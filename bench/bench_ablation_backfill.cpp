@@ -1,0 +1,50 @@
+// Ablation B: backfill-window sensitivity (§5.3 uses window 50).
+//
+// EASY backfilling is what lets a constrained scheduler keep utilization
+// high: blocked head jobs leave holes that the lookahead window fills.
+// This bench sweeps the window for Baseline and Jigsaw and reports
+// utilization and turnaround, showing where the paper's choice of 50 sits
+// on the curve.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  define_scale_flags(flags, "2000");
+  flags.define("trace", "trace to sweep", "Synth-16");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const NamedTrace nt = load(flags.str("trace"), scaled_jobs(flags));
+  std::cout << "=== Ablation: EASY backfill window and order sweep ("
+            << flags.str("trace") << ") ===\n\n";
+  TablePrinter table({"Window", "Order", "Scheme", "Utilization %",
+                      "Mean turnaround (s)", "Makespan (s)"});
+  for (const int window : {0, 1, 10, 50, 200}) {
+    for (const BackfillOrder order :
+         {BackfillOrder::kFifo, BackfillOrder::kShortestFirst}) {
+      if (window == 0 && order != BackfillOrder::kFifo) continue;
+      for (const Scheme s : {Scheme::kBaseline, Scheme::kJigsaw}) {
+        const AllocatorPtr scheme = make_scheme(s);
+        SimConfig config;
+        config.backfill_window = window;
+        config.backfill_order = order;
+        const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
+        table.add_row({std::to_string(window),
+                       order == BackfillOrder::kFifo ? "FIFO" : "SJBF",
+                       scheme->name(),
+                       TablePrinter::fmt(100.0 * m.steady_utilization, 1),
+                       TablePrinter::fmt(m.mean_turnaround_all, 0),
+                       TablePrinter::fmt(m.makespan, 0)});
+      }
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nExpected: utilization rises steeply from window 0 to 10 "
+               "and saturates near 50 — the paper's setting captures most "
+               "of the benefit for both schemes. Shortest-job-first "
+               "backfilling (SJBF) trims mean turnaround further at equal "
+               "windows.\n";
+  return 0;
+}

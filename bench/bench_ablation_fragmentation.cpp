@@ -1,0 +1,117 @@
+// Ablation C: fragmentation anatomy under steady churn (Figure 2,
+// quantified).
+//
+// Drives every scheme through the same random allocate/release churn at a
+// target fill level and samples fragmentation analytics: where Figure 2
+// *illustrates* LaaS's internal and TA's external fragmentation, this
+// bench measures them — wasted (granted-but-idle) nodes, stranded free
+// capacity, and the placeability frontier.
+
+#include "bench_common.hpp"
+#include "core/fragmentation.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  flags.define("radix", "cluster switch radix", "16");
+  flags.define("fill", "target fraction of nodes busy", "0.9");
+  flags.define("rounds", "churn rounds sampled", "400");
+  flags.define("mean-size", "mean job size (exponential)", "12");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const FatTree topo =
+      FatTree::from_radix(static_cast<int>(flags.integer("radix")));
+  const double fill = flags.real("fill");
+  const int rounds = static_cast<int>(flags.integer("rounds"));
+  const double mean_size = flags.real("mean-size");
+
+  std::cout << "=== Ablation: fragmentation under churn (" << topo.describe()
+            << ", target fill " << fill << ") ===\n\n";
+  TablePrinter table({"Scheme", "Achieved fill %", "Wasted nodes %",
+                      "Free, stranded %", "Frontier/free %",
+                      "Fully-free leaves"});
+  for (const Scheme s : {Scheme::kBaseline, Scheme::kJigsaw, Scheme::kLaas,
+                         Scheme::kTa, Scheme::kLc}) {
+    const AllocatorPtr scheme = make_scheme(s);
+    ClusterState state(topo);
+    Rng rng(2468);
+    std::vector<Allocation> live;
+    Accumulator fill_acc;
+    Accumulator waste_acc;
+    Accumulator stranded_acc;
+    Accumulator frontier_acc;
+    Accumulator free_leaves_acc;
+
+    auto draw_job_size = [&]() {
+      int size;
+      do {
+        size = static_cast<int>(std::lround(rng.exponential(mean_size)));
+      } while (size < 1 || size > topo.total_nodes() / 4);
+      return size;
+    };
+
+    for (int round = 0; round < rounds; ++round) {
+      // Churn toward the target fill: allocate while below, release one
+      // random job while above.
+      const double busy =
+          1.0 - static_cast<double>(state.total_free_nodes()) /
+                    static_cast<double>(topo.total_nodes());
+      if (busy < fill || live.empty()) {
+        auto alloc = scheme->allocate(
+            state, JobRequest{static_cast<JobId>(round), draw_job_size(),
+                              0.0});
+        if (alloc.has_value()) {
+          state.apply(*alloc);
+          live.push_back(std::move(*alloc));
+        } else if (!live.empty()) {
+          const std::size_t victim = rng.below(live.size());
+          state.release(live[victim]);
+          live.erase(live.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+        }
+      } else {
+        const std::size_t victim = rng.below(live.size());
+        state.release(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      if (round < rounds / 4) continue;  // warm-up
+
+      const FragmentationReport frag =
+          analyze_fragmentation(state, *scheme);
+      int wasted = 0;
+      for (const Allocation& a : live) wasted += a.wasted_nodes();
+      const double busy_now =
+          1.0 - static_cast<double>(frag.free_nodes) /
+                    static_cast<double>(topo.total_nodes());
+      fill_acc.add(100.0 * busy_now);
+      waste_acc.add(100.0 * wasted / topo.total_nodes());
+      stranded_acc.add(
+          frag.free_nodes == 0
+              ? 0.0
+              : 100.0 * (frag.free_nodes - frag.largest_placeable) /
+                    topo.total_nodes());
+      frontier_acc.add(frag.free_nodes == 0
+                           ? 100.0
+                           : 100.0 * frag.largest_placeable /
+                                 frag.free_nodes);
+      free_leaves_acc.add(frag.fully_free_leaves);
+    }
+    table.add_row({scheme->name(), TablePrinter::fmt(fill_acc.mean(), 1),
+                   TablePrinter::fmt(waste_acc.mean(), 1),
+                   TablePrinter::fmt(stranded_acc.mean(), 1),
+                   TablePrinter::fmt(frontier_acc.mean(), 1),
+                   TablePrinter::fmt(free_leaves_acc.mean(), 1)});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: 'Wasted' is internal fragmentation (LaaS's "
+               "rounded-up grants; TA's implicit reservations waste links, "
+               "not nodes, so they appear as stranding instead); free "
+               "capacity beyond the placeability frontier is external "
+               "fragmentation. Expected ordering: Baseline reaches every "
+               "free node; Jigsaw/LC/LaaS strand a little behind shape "
+               "conditions; TA strands by far the most — the Figure 2/"
+               "Figure 6 story in numbers.\n";
+  return 0;
+}

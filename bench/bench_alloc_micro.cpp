@@ -1,0 +1,103 @@
+// Google-benchmark microbenchmarks of the allocator searches themselves
+// (complements Table 3's end-to-end scheduling times): placement latency
+// per scheme on empty and churned clusters across the paper's cluster
+// sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "core/lc.hpp"
+#include "core/ta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace jigsaw;
+
+AllocatorPtr scheme_by_index(int index) {
+  switch (index) {
+    case 0: return std::make_unique<JigsawAllocator>();
+    case 1: return std::make_unique<LaasAllocator>();
+    case 2: return std::make_unique<TaAllocator>();
+    case 3: return std::make_unique<LeastConstrainedAllocator>(false);
+    default: return std::make_unique<BaselineAllocator>();
+  }
+}
+
+/// Churn the cluster to a realistic ~90% fill with random job sizes.
+std::vector<Allocation> churn(const FatTree& topo, const Allocator& scheme,
+                              ClusterState& state, Rng& rng) {
+  std::vector<Allocation> live;
+  for (JobId job = 0; job < 4096; ++job) {
+    if (state.total_free_nodes() < topo.total_nodes() / 10) break;
+    const int size =
+        1 + static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(topo.nodes_per_leaf() * 4)));
+    auto alloc = scheme.allocate(state, JobRequest{job, size, 0.0});
+    if (!alloc.has_value()) break;
+    state.apply(*alloc);
+    live.push_back(std::move(*alloc));
+  }
+  return live;
+}
+
+void BM_AllocateOnChurnedCluster(benchmark::State& bench_state) {
+  const int radix = static_cast<int>(bench_state.range(0));
+  const int scheme_index = static_cast<int>(bench_state.range(1));
+  const FatTree topo = FatTree::from_radix(radix);
+  const AllocatorPtr scheme = scheme_by_index(scheme_index);
+  ClusterState state(topo);
+  Rng rng(42);
+  auto live = churn(topo, *scheme, state, rng);
+  if (live.empty()) {
+    bench_state.SkipWithError("churn produced no allocations");
+    return;
+  }
+  // Steady churn: release one random job, allocate a same-size one.
+  std::size_t victim = 0;
+  JobId next_job = 1 << 20;
+  for (auto _ : bench_state) {
+    state.release(live[victim]);
+    const int size = live[victim].requested_nodes;
+    auto alloc = scheme->allocate(state, JobRequest{next_job++, size, 0.0});
+    if (alloc.has_value()) {
+      state.apply(*alloc);
+      live[victim] = std::move(*alloc);
+    } else {
+      state.apply(live[victim]);  // put it back; try another victim
+    }
+    victim = (victim + 1) % live.size();
+    benchmark::DoNotOptimize(live[victim].nodes.data());
+  }
+  bench_state.SetLabel(scheme->name() + " radix-" + std::to_string(radix));
+}
+
+void BM_AllocateOnEmptyCluster(benchmark::State& bench_state) {
+  const int radix = static_cast<int>(bench_state.range(0));
+  const int scheme_index = static_cast<int>(bench_state.range(1));
+  const FatTree topo = FatTree::from_radix(radix);
+  const AllocatorPtr scheme = scheme_by_index(scheme_index);
+  const ClusterState state(topo);
+  const int size = topo.total_nodes() / 10;
+  for (auto _ : bench_state) {
+    auto alloc = scheme->allocate(state, JobRequest{1, size, 0.0});
+    benchmark::DoNotOptimize(alloc);
+  }
+  bench_state.SetLabel(scheme->name() + " radix-" + std::to_string(radix));
+}
+
+}  // namespace
+
+BENCHMARK(BM_AllocateOnEmptyCluster)
+    ->ArgsProduct({{16, 18, 28}, {0, 1, 2, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_AllocateOnChurnedCluster)
+    ->ArgsProduct({{16, 18}, {0, 1, 2, 4}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Shared plumbing for the bench harnesses.
+//
+// Each bench binary reproduces one table or figure from the paper. By
+// default traces run at a reduced job count so the whole suite finishes in
+// minutes on one core; pass --full for paper-scale runs (the qualitative
+// shape is stable across scales). Trace-to-cluster pairing follows §5.4.3:
+// synthetic traces on their matched clusters, LLNL-like traces on the
+// 1458-node radix-18 tree.
+
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "core/lc.hpp"
+#include "core/ta.hpp"
+#include "sim/simulator.hpp"
+#include "trace/llnl_like.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace jigsaw::bench {
+
+struct NamedTrace {
+  Trace trace;
+  FatTree topo;
+};
+
+/// Paper trace by name at the requested scale (0 = paper scale), on the
+/// §5.4.3 cluster: Synth-16 -> radix 16, Synth-22 -> radix 22,
+/// Synth-28 -> radix 28, LLNL-like -> radix 18 (1458 nodes).
+inline NamedTrace load(const std::string& name, std::size_t jobs) {
+  auto make = [&](Trace trace, int radix) {
+    Rng rng(0xBADC0FFEEULL);
+    assign_bandwidth_classes(trace, rng);
+    return NamedTrace{std::move(trace), FatTree::from_radix(radix)};
+  };
+  if (name == "Synth-16") {
+    return make(named_synthetic(name, jobs == 0 ? 10000 : jobs), 16);
+  }
+  if (name == "Synth-22") {
+    return make(named_synthetic(name, jobs == 0 ? 10000 : jobs), 22);
+  }
+  if (name == "Synth-28") {
+    return make(named_synthetic(name, jobs == 0 ? 10000 : jobs), 28);
+  }
+  if (name == "Thunder") {
+    return make(thunder_like(jobs == 0 ? 105764 : jobs), 18);
+  }
+  if (name == "Atlas") {
+    return make(atlas_like(jobs == 0 ? 29700 : jobs), 18);
+  }
+  if (name.size() > 4 && name.substr(name.size() - 4) == "-Cab") {
+    return make(cab_like(name.substr(0, name.size() - 4), jobs), 18);
+  }
+  throw std::invalid_argument("unknown trace: " + name);
+}
+
+inline const std::vector<std::string>& all_trace_names() {
+  static const std::vector<std::string> kNames = {
+      "Synth-16", "Synth-22", "Synth-28", "Atlas",   "Thunder",
+      "Aug-Cab",  "Sep-Cab",  "Oct-Cab",  "Nov-Cab"};
+  return kNames;
+}
+
+enum class Scheme { kBaseline, kLcs, kJigsaw, kLaas, kTa, kLc };
+
+inline AllocatorPtr make_scheme(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kBaseline: return std::make_unique<BaselineAllocator>();
+    case Scheme::kLcs:
+      return std::make_unique<LeastConstrainedAllocator>(true);
+    case Scheme::kJigsaw: return std::make_unique<JigsawAllocator>();
+    case Scheme::kLaas: return std::make_unique<LaasAllocator>();
+    case Scheme::kTa: return std::make_unique<TaAllocator>();
+    case Scheme::kLc:
+      return std::make_unique<LeastConstrainedAllocator>(false);
+  }
+  return nullptr;
+}
+
+/// The Figure 6 line-up, in the paper's legend order.
+inline const std::vector<Scheme>& figure6_schemes() {
+  static const std::vector<Scheme> kSchemes = {
+      Scheme::kBaseline, Scheme::kLcs, Scheme::kJigsaw, Scheme::kLaas,
+      Scheme::kTa};
+  return kSchemes;
+}
+
+/// Standard scale flags shared by every bench.
+inline void define_scale_flags(CliFlags& flags, const std::string& jobs_default) {
+  flags.define("jobs", "jobs per trace (0 = paper scale)", jobs_default);
+  flags.define_bool("full", "run at paper scale (overrides --jobs)");
+}
+
+inline std::size_t scaled_jobs(const CliFlags& flags) {
+  if (flags.boolean("full")) return 0;
+  return static_cast<std::size_t>(flags.integer("jobs"));
+}
+
+}  // namespace jigsaw::bench

@@ -1,0 +1,101 @@
+// Extension: measured slowdown distributions vs the §5.4.1 scenarios.
+//
+// The paper's 5/10/20% speed-up scenarios encode "how much faster a job
+// runs when isolated," justified by interference measurements from prior
+// work. Here we measure it inside the reproduction: saturate the cluster
+// under Baseline, drive random permutations, compute max-min fair
+// bandwidth shares under static D-mod-k routing, and report the
+// distribution of per-job bandwidth slowdowns — the isolation benefit an
+// interference-free scheduler would hand back. Jigsaw partitions under
+// the same traffic show cross-job slowdown 1.0 by construction.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "routing/fairshare.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace jigsaw;
+using namespace jigsaw::bench;
+
+std::vector<Allocation> saturate(const FatTree& topo,
+                                 const Allocator& scheme, const Trace& trace,
+                                 std::size_t max_jobs) {
+  ClusterState state(topo);
+  std::vector<Allocation> running;
+  for (std::size_t k = 0; k < trace.jobs.size() && k < max_jobs; ++k) {
+    const Job& j = trace.jobs[k];
+    auto alloc = scheme.allocate(state, JobRequest{j.id, j.nodes, 0.0});
+    if (!alloc.has_value()) continue;
+    state.apply(*alloc);
+    running.push_back(std::move(*alloc));
+  }
+  return running;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  define_scale_flags(flags, "600");
+  flags.define("trace", "trace supplying the job mix", "Synth-16");
+  flags.define("rounds", "traffic rounds to aggregate", "10");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const NamedTrace nt = load(flags.str("trace"), scaled_jobs(flags));
+  const int rounds = static_cast<int>(flags.integer("rounds"));
+
+  std::cout << "=== Extension: measured bandwidth-slowdown distribution ===\n\n";
+  TablePrinter table({"Scheme/Routing", "Jobs", "Mean slowdown",
+                      "p50", "p90", "Max", ">5% slowed"});
+  struct Setup {
+    Scheme scheme;
+    TrafficRouting routing;
+    const char* label;
+  };
+  for (const Setup& setup :
+       {Setup{Scheme::kBaseline, TrafficRouting::kDmodk,
+              "Baseline / D-mod-k"},
+        Setup{Scheme::kJigsaw, TrafficRouting::kWraparound,
+              "Jigsaw / wraparound"},
+        Setup{Scheme::kJigsaw, TrafficRouting::kRnbOptimal,
+              "Jigsaw / RNB-optimal"}}) {
+    const AllocatorPtr scheme = make_scheme(setup.scheme);
+    const auto running = saturate(nt.topo, *scheme, nt.trace, 400);
+    Rng rng(4321);
+    std::vector<double> slowdowns;
+    Accumulator acc;
+    double slowed = 0.0;
+    std::size_t samples = 0;
+    for (int r = 0; r < rounds; ++r) {
+      const SlowdownReport report =
+          measure_slowdowns(nt.topo, running, rng, setup.routing);
+      for (const JobSlowdown& j : report.jobs) {
+        slowdowns.push_back(j.slowdown);
+        acc.add(j.slowdown);
+        if (j.slowdown > 1.05) slowed += 1.0;
+        ++samples;
+      }
+    }
+    if (slowdowns.empty()) continue;
+    std::sort(slowdowns.begin(), slowdowns.end());
+    table.add_row({setup.label, std::to_string(running.size()),
+                   TablePrinter::fmt(acc.mean(), 3),
+                   TablePrinter::fmt(percentile_sorted(slowdowns, 50), 3),
+                   TablePrinter::fmt(percentile_sorted(slowdowns, 90), 3),
+                   TablePrinter::fmt(acc.max(), 3),
+                   TablePrinter::fmt(100.0 * slowed /
+                                         static_cast<double>(samples), 1) +
+                       "%"});
+  }
+  std::cout << table.render();
+  std::cout << "\nReading: the Baseline row is the interference a job-"
+               "isolating scheduler eliminates; mean slowdowns of 1.05-1.3x "
+               "correspond to the paper's 5-20% speed-up scenarios. The "
+               "Jigsaw row's residual slowdown is *intra-job* contention of "
+               "deterministic wraparound routing, which the job itself can "
+               "optimize away (an RNB schedule always exists).\n";
+  return 0;
+}

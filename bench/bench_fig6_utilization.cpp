@@ -1,0 +1,57 @@
+// Figure 6: average steady-state system utilization for every scheduling
+// scheme on every trace.
+//
+// Reproduction target (shape): Baseline 97-100%; LC+S at or just below
+// Baseline; Jigsaw 95-96% (93/92% on Oct-Cab/Atlas); LaaS ~90-91%
+// (internal fragmentation); TA 85-88% (external fragmentation).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  define_scale_flags(flags, "5000");
+  flags.define("traces", "comma-separated trace subset (default: all)", "");
+  if (!flags.parse(argc, argv)) return 0;
+  const std::size_t jobs = scaled_jobs(flags);
+
+  std::vector<std::string> names;
+  if (flags.str("traces").empty()) {
+    names = all_trace_names();
+  } else {
+    std::string rest = flags.str("traces");
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      names.push_back(rest.substr(0, comma));
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    }
+  }
+
+  std::cout << "=== Figure 6: average system utilization (%) ===\n\n";
+  std::vector<std::string> header{"Trace"};
+  for (const Scheme s : figure6_schemes()) {
+    header.push_back(make_scheme(s)->name());
+  }
+  TablePrinter table(header);
+  for (const std::string& name : names) {
+    const NamedTrace nt = load(name, jobs);
+    std::vector<std::string> row{name};
+    for (const Scheme s : figure6_schemes()) {
+      const AllocatorPtr scheme = make_scheme(s);
+      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, SimConfig{});
+      row.push_back(TablePrinter::fmt(100.0 * m.steady_utilization, 1));
+      std::cerr << name << " / " << scheme->name() << ": util "
+                << TablePrinter::fmt(100.0 * m.steady_utilization, 1)
+                << "%, waste "
+                << TablePrinter::fmt(100.0 * m.steady_waste, 1)
+                << "%, allocate calls " << m.allocate_calls
+                << ", budget exhaustions " << m.budget_exhaustions << "\n";
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper shape: Baseline > LC+S >= Jigsaw (95-96) > LaaS "
+               "(90-91) > TA (85-88); Jigsaw dips on Oct-Cab and Atlas.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7: average job turnaround time normalized to Baseline, for all
+// jobs and for large (> 100 node) jobs, across the six §5.4.1 speed-up
+// scenarios, on the Aug-Cab and Oct-Cab traces.
+//
+// Reproduction target (shape): with no speed-ups the isolating schemes pay
+// a small penalty; Jigsaw crosses below 1.0 by the 10% scenario on
+// Aug-Cab; TA stays well above Jigsaw; LaaS sits between; large jobs lag
+// all-jobs averages.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  define_scale_flags(flags, "4000");
+  flags.define("traces", "comma-separated Cab traces", "Aug-Cab,Oct-Cab");
+  if (!flags.parse(argc, argv)) return 0;
+  const std::size_t jobs = scaled_jobs(flags);
+
+  std::vector<std::string> names;
+  {
+    std::string rest = flags.str("traces");
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      names.push_back(rest.substr(0, comma));
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    }
+  }
+
+  for (const std::string& name : names) {
+    const NamedTrace nt = load(name, jobs);
+    std::cout << "=== Figure 7: turnaround normalized to Baseline ("
+              << name << ") ===\n\n";
+    TablePrinter table({"Scenario", "TA all/lg", "LaaS all/lg",
+                        "Jigsaw all/lg", "LC+S all/lg"});
+    for (const SpeedupScenario scenario : SpeedupModel::all()) {
+      SimConfig config;
+      config.scenario = scenario;
+      const SimMetrics base =
+          simulate(nt.topo, *make_scheme(Scheme::kBaseline), nt.trace,
+                   config);
+      std::vector<std::string> row{SpeedupModel::name(scenario)};
+      for (const Scheme s :
+           {Scheme::kTa, Scheme::kLaas, Scheme::kJigsaw, Scheme::kLcs}) {
+        const SimMetrics m =
+            simulate(nt.topo, *make_scheme(s), nt.trace, config);
+        const double all = m.mean_turnaround_all / base.mean_turnaround_all;
+        const double large =
+            base.mean_turnaround_large > 0
+                ? m.mean_turnaround_large / base.mean_turnaround_large
+                : 0.0;
+        row.push_back(TablePrinter::fmt(all, 2) + "/" +
+                      TablePrinter::fmt(large, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render() << "\n";
+  }
+  std::cout << "Paper shape: Jigsaw beats Baseline (< 1.0) in every "
+               "Aug-Cab scenario and in the 10%/20% Oct-Cab scenarios; "
+               "TA is always the worst isolating scheme.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8: makespan normalized to Baseline on the Thunder and Atlas
+// traces across the six speed-up scenarios.
+//
+// Reproduction target (shape): with no speed-ups Jigsaw costs at most a
+// few percent of makespan; under speed-up scenarios it matches or beats
+// Baseline (by up to ~15%); TA is worst except at 20%; LaaS sits between
+// TA and Jigsaw; LC+S tracks Jigsaw closely.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  define_scale_flags(flags, "5000");
+  flags.define("traces", "comma-separated traces", "Thunder,Atlas");
+  if (!flags.parse(argc, argv)) return 0;
+  const std::size_t jobs = scaled_jobs(flags);
+
+  std::vector<std::string> names;
+  {
+    std::string rest = flags.str("traces");
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      names.push_back(rest.substr(0, comma));
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    }
+  }
+
+  for (const std::string& name : names) {
+    const NamedTrace nt = load(name, jobs);
+    std::cout << "=== Figure 8: makespan normalized to Baseline (" << name
+              << ") ===\n\n";
+    TablePrinter table({"Scenario", "TA", "LaaS", "Jigsaw", "LC+S"});
+    for (const SpeedupScenario scenario : SpeedupModel::all()) {
+      SimConfig config;
+      config.scenario = scenario;
+      const double base = simulate(nt.topo, *make_scheme(Scheme::kBaseline),
+                                   nt.trace, config)
+                              .makespan;
+      std::vector<std::string> row{SpeedupModel::name(scenario)};
+      for (const Scheme s :
+           {Scheme::kTa, Scheme::kLaas, Scheme::kJigsaw, Scheme::kLcs}) {
+        const double makespan =
+            simulate(nt.topo, *make_scheme(s), nt.trace, config).makespan;
+        row.push_back(TablePrinter::fmt(makespan / base, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.render() << "\n";
+  }
+  std::cout << "Paper shape: Jigsaw <= Baseline under every speed-up "
+               "scenario, worst case +6% with no speed-ups; TA worst "
+               "(+14% at None).\n";
+  return 0;
+}

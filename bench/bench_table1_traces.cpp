@@ -1,0 +1,39 @@
+// Table 1: characteristics of the job queue traces.
+//
+// Prints the same columns the paper reports for each trace: native system
+// size, number of jobs, maximum job node count, job runtime range, and
+// whether arrival times are retained. Generated traces should land inside
+// the published envelopes (see EXPERIMENTS.md for the comparison).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  define_scale_flags(flags, "5000");
+  if (!flags.parse(argc, argv)) return 0;
+  const std::size_t jobs = scaled_jobs(flags);
+
+  std::cout << "=== Table 1: job queue trace characteristics ===\n\n";
+  TablePrinter table({"Trace name", "System nodes", "Number of jobs",
+                      "Max job nodes", "Job run times (s)", "Arrival times"});
+  for (const std::string& name : all_trace_names()) {
+    const NamedTrace nt = load(name, jobs);
+    const TraceStats stats = summarize(nt.trace);
+    table.add_row({name,
+                   nt.trace.system_nodes > 0
+                       ? std::to_string(nt.trace.system_nodes)
+                       : "-",
+                   std::to_string(stats.job_count),
+                   std::to_string(stats.max_nodes),
+                   TablePrinter::fmt(stats.min_runtime, 0) + "-" +
+                       TablePrinter::fmt(stats.max_runtime, 0),
+                   stats.has_arrivals ? "Y" : "N"});
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper envelopes: Synth 20-3000 s; Cab max ~257 nodes, "
+               "runtimes to ~9e4 s; Thunder max 965; Atlas max 1024 with "
+               "whole-machine requests.\n";
+  return 0;
+}

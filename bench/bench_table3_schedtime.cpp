@@ -1,0 +1,55 @@
+// Table 3: average scheduling time per job (seconds), smallest to largest
+// cluster: Synth-16 (1024 nodes), Sep-Cab (1458), Thunder (1458),
+// Synth-28 (5488).
+//
+// Reproduction target (shape): TA, LaaS and Jigsaw within the same order
+// of magnitude (milliseconds per job), Jigsaw scaling to 5488 nodes; LC+S
+// one to two orders of magnitude slower, growing steeply with cluster
+// size.
+
+#include <sstream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  define_scale_flags(flags, "2000");
+  flags.define_bool("skip-lcs", "skip the slow LC+S row");
+  if (!flags.parse(argc, argv)) return 0;
+  const std::size_t jobs = scaled_jobs(flags);
+
+  const std::vector<std::string> names{"Synth-16", "Sep-Cab", "Thunder",
+                                       "Synth-28"};
+  std::cout << "=== Table 3: average scheduling time per job (s) ===\n\n";
+  TablePrinter table({"Approach", "Synth-16", "Sep-Cab", "Thunder",
+                      "Synth-28"});
+  std::vector<Scheme> schemes{Scheme::kTa, Scheme::kLaas, Scheme::kJigsaw};
+  if (!flags.boolean("skip-lcs")) schemes.push_back(Scheme::kLcs);
+
+  // Cache traces so every scheme sees identical inputs.
+  std::vector<NamedTrace> traces;
+  for (const auto& name : names) traces.push_back(load(name, jobs));
+
+  for (const Scheme s : schemes) {
+    const AllocatorPtr scheme = make_scheme(s);
+    std::vector<std::string> row{scheme->name()};
+    for (const NamedTrace& nt : traces) {
+      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, SimConfig{});
+      std::ostringstream cell;
+      cell.setf(std::ios::scientific);
+      cell.precision(2);
+      cell << m.mean_sched_time_per_job;
+      row.push_back(cell.str());
+      std::cerr << scheme->name() << " / " << nt.trace.name << ": "
+                << m.allocate_calls << " allocate calls, "
+                << m.budget_exhaustions << " budget exhaustions\n";
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << table.render();
+  std::cout << "\nPaper shape: TA/LaaS/Jigsaw all ~1-10 ms/job; LC+S "
+               "~50-255 ms/job and growing with cluster size.\n";
+  return 0;
+}

@@ -1,0 +1,175 @@
+// cluster_shell: an interactive miniature resource manager.
+//
+// Drives a Jigsaw-scheduled cluster from a tiny command language — the
+// feel of poking a login node, backed by this library. Also accepts a
+// script on stdin, which makes it a handy manual-testing harness.
+//
+//   $ ./cluster_shell --radix 8 --scheduler jigsaw
+//   > submit 24          # allocate 24 nodes, returns a job id
+//   > submit 100
+//   > status             # utilization, fragmentation, per-job partitions
+//   > show 1             # one job's nodes/links, per subtree
+//   > verify 1           # prove the partition is RNB (random permutation)
+//   > cancel 1
+//   > quit
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/baseline.hpp"
+#include "core/fragmentation.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "core/lc.hpp"
+#include "core/ta.hpp"
+#include "routing/rnb_router.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace jigsaw;
+
+AllocatorPtr make_allocator(const std::string& name) {
+  if (name == "jigsaw") return std::make_unique<JigsawAllocator>();
+  if (name == "laas") return std::make_unique<LaasAllocator>();
+  if (name == "ta") return std::make_unique<TaAllocator>();
+  if (name == "lc") return std::make_unique<LeastConstrainedAllocator>(false);
+  if (name == "baseline") return std::make_unique<BaselineAllocator>();
+  throw std::invalid_argument(
+      "scheduler must be jigsaw/laas/ta/lc/baseline, got " + name);
+}
+
+void print_allocation(const FatTree& topo, const Allocation& a) {
+  std::map<TreeId, std::map<LeafId, int>> by_tree;
+  for (const NodeId n : a.nodes) {
+    ++by_tree[topo.tree_of_node(n)][topo.leaf_of_node(n)];
+  }
+  std::map<std::pair<TreeId, int>, int> spine_counts;
+  for (const L2Wire& w : a.l2_wires) ++spine_counts[{w.tree, w.l2_index}];
+  std::cout << "  job " << a.job << ": " << a.allocated_nodes() << " nodes ("
+            << a.requested_nodes << " requested), " << a.leaf_wires.size()
+            << " leaf uplinks, " << a.l2_wires.size() << " spine uplinks\n";
+  for (const auto& [tree, leaves] : by_tree) {
+    std::cout << "    subtree " << tree << ":";
+    for (const auto& [leaf, count] : leaves) {
+      std::cout << " leaf" << topo.leaf_index_in_tree(leaf) << "x" << count;
+    }
+    int spines = 0;
+    for (int i = 0; i < topo.l2_per_tree(); ++i) {
+      const auto it = spine_counts.find({tree, i});
+      if (it != spine_counts.end()) spines += it->second;
+    }
+    if (spines > 0) std::cout << "  (" << spines << " spine links)";
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("radix", "cluster switch radix", "8");
+  flags.define("scheduler", "jigsaw/laas/ta/lc/baseline", "jigsaw");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const FatTree topo =
+      FatTree::from_radix(static_cast<int>(flags.integer("radix")));
+  ClusterState state(topo);
+  const AllocatorPtr allocator = make_allocator(flags.str("scheduler"));
+  std::map<JobId, Allocation> jobs;
+  JobId next_job = 1;
+  Rng rng(2027);
+
+  std::cout << "cluster_shell on " << topo.describe() << "\n"
+            << "scheduler: " << allocator->name()
+            << " — commands: submit N | cancel ID | show ID | verify ID | "
+               "status | quit\n";
+
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    if (!(words >> command)) continue;
+
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "submit") {
+      int nodes = 0;
+      if (!(words >> nodes) || nodes < 1) {
+        std::cout << "usage: submit <nodes>\n";
+        continue;
+      }
+      auto alloc = allocator->allocate(state, JobRequest{next_job, nodes, 0.0});
+      if (!alloc.has_value()) {
+        std::cout << "DENIED: no " << allocator->name() << "-legal placement for "
+                  << nodes << " nodes right now (" << state.total_free_nodes()
+                  << " nodes free)\n";
+        continue;
+      }
+      state.apply(*alloc);
+      std::cout << "job " << next_job << " started on "
+                << alloc->allocated_nodes() << " nodes\n";
+      jobs.emplace(next_job, std::move(*alloc));
+      ++next_job;
+      continue;
+    }
+
+    if (command == "cancel" || command == "show" || command == "verify") {
+      JobId id = 0;
+      if (!(words >> id) || !jobs.count(id)) {
+        std::cout << "usage: " << command << " <job-id> (known job)\n";
+        continue;
+      }
+      if (command == "cancel") {
+        state.release(jobs.at(id));
+        jobs.erase(id);
+        std::cout << "job " << id << " cancelled\n";
+      } else if (command == "show") {
+        print_allocation(topo, jobs.at(id));
+      } else {
+        const Allocation& a = jobs.at(id);
+        if (a.nodes.size() < 2) {
+          std::cout << "job " << id << ": single node, trivially contention-free\n";
+          continue;
+        }
+        const auto perm = random_permutation(a, rng);
+        const auto outcome = route_permutation(topo, a, perm);
+        const std::string violation =
+            outcome.ok ? verify_one_flow_per_link(topo, a, outcome.routes)
+                       : outcome.error;
+        std::cout << "job " << id << ": random all-to-all of " << perm.size()
+                  << " flows -> "
+                  << (violation.empty() ? "one flow per link (RNB holds)"
+                                        : violation)
+                  << "\n";
+      }
+      continue;
+    }
+
+    if (command == "status") {
+      const FragmentationReport frag =
+          analyze_fragmentation(state, *allocator);
+      const double util =
+          1.0 - static_cast<double>(state.total_free_nodes()) /
+                    static_cast<double>(topo.total_nodes());
+      std::cout << "  " << jobs.size() << " jobs, utilization "
+                << static_cast<int>(100.0 * util + 0.5) << "%, "
+                << frag.free_nodes << " free nodes, largest placeable job "
+                << frag.largest_placeable << " (external fragmentation "
+                << static_cast<int>(100.0 * frag.external_fragmentation + 0.5)
+                << "%)\n";
+      for (const auto& [id, alloc] : jobs) {
+        (void)alloc;
+        std::cout << "  job " << id << ": " << alloc.requested_nodes
+                  << " nodes\n";
+      }
+      continue;
+    }
+
+    std::cout << "unknown command: " << command << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// trace_inspect: examine or export the workload traces.
+//
+// Prints a Table-1-style summary, size and runtime histograms, and an
+// offered-load profile for any built-in trace — or converts between the
+// generators and Standard Workload Format so external tools (or the real
+// archive logs) interoperate with the simulator.
+//
+//   $ ./trace_inspect --trace Oct-Cab --jobs 5000
+//   $ ./trace_inspect --trace Thunder --export thunder.swf
+//   $ ./trace_inspect --import my_cluster.swf --procs-per-node 4
+
+#include <fstream>
+#include <iostream>
+
+#include "trace/llnl_like.hpp"
+#include "trace/swf.hpp"
+#include "trace/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace jigsaw;
+
+Trace load_named(const std::string& name, std::size_t jobs) {
+  if (name.rfind("Synth", 0) == 0) return named_synthetic(name, jobs);
+  if (name == "Thunder") return thunder_like(jobs);
+  if (name == "Atlas") return atlas_like(jobs);
+  if (name.size() > 4 && name.substr(name.size() - 4) == "-Cab") {
+    return cab_like(name.substr(0, name.size() - 4), jobs);
+  }
+  throw std::invalid_argument("unknown trace: " + name);
+}
+
+void print_histogram(const std::string& title, const BoundedHistogram& h) {
+  std::cout << title << "\n";
+  std::size_t peak = 1;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    peak = std::max(peak, h.count(b));
+  }
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    const int bar = static_cast<int>(50 * h.count(b) / peak);
+    std::cout << "  " << std::string(12 - std::min<std::size_t>(
+                                              12, h.label(b).size()),
+                                     ' ')
+              << h.label(b) << " |" << std::string(bar, '#') << " "
+              << h.count(b) << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("trace", "Synth-16/22/28, Thunder, Atlas, {Aug,Sep,Oct,Nov}-Cab",
+               "Synth-16");
+  flags.define("jobs", "job count (0 = paper scale)", "5000");
+  flags.define("export", "write the trace to this SWF file", "");
+  flags.define("import", "read an SWF file instead of generating", "");
+  flags.define("procs-per-node", "SWF processors per node", "1");
+  if (!flags.parse(argc, argv)) return 0;
+
+  Trace trace;
+  if (!flags.str("import").empty()) {
+    SwfOptions options;
+    options.procs_per_node = static_cast<int>(flags.integer("procs-per-node"));
+    trace = read_swf_file(flags.str("import"), options);
+  } else {
+    trace = load_named(flags.str("trace"),
+                       static_cast<std::size_t>(flags.integer("jobs")));
+  }
+
+  const TraceStats stats = summarize(trace);
+  TablePrinter summary({"Trace", "Jobs", "Max nodes", "Mean nodes",
+                        "Runtimes (s)", "Arrivals", "Node-hours"});
+  summary.add_row(
+      {trace.name, std::to_string(stats.job_count),
+       std::to_string(stats.max_nodes), TablePrinter::fmt(stats.mean_nodes, 1),
+       TablePrinter::fmt(stats.min_runtime, 0) + "-" +
+           TablePrinter::fmt(stats.max_runtime, 0),
+       stats.has_arrivals ? "real" : "all at t=0",
+       TablePrinter::fmt(stats.total_node_seconds / 3600.0, 0)});
+  std::cout << summary.render() << "\n";
+
+  BoundedHistogram sizes({2, 4, 8, 16, 32, 64, 128, 256});
+  BoundedHistogram runtimes({60, 600, 3600, 6 * 3600, 24 * 3600});
+  for (const Job& j : trace.jobs) {
+    sizes.add(j.nodes);
+    runtimes.add(j.runtime);
+  }
+  print_histogram("Job sizes (nodes):", sizes);
+  std::cout << "\n";
+  print_histogram("Runtimes (s):", runtimes);
+
+  if (stats.has_arrivals && stats.job_count > 0) {
+    double last = 0.0;
+    for (const Job& j : trace.jobs) last = std::max(last, j.arrival);
+    if (last > 0.0) {
+      std::cout << "\nOffered load vs the 1458-node simulation cluster: "
+                << TablePrinter::fmt(
+                       stats.total_node_seconds / (1458.0 * last), 2)
+                << "\n";
+    }
+  }
+
+  if (!flags.str("export").empty()) {
+    std::ofstream out(flags.str("export"));
+    if (!out) {
+      std::cerr << "cannot open " << flags.str("export") << "\n";
+      return 1;
+    }
+    write_swf(out, trace);
+    std::cout << "\nwrote " << trace.jobs.size() << " jobs to "
+              << flags.str("export") << "\n";
+  }
+  return 0;
+}

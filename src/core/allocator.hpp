@@ -1,0 +1,53 @@
+// Allocator interface shared by every scheduling scheme.
+//
+// An allocator is a stateless placement policy: given the current cluster
+// resource state and a job request, it either produces an Allocation
+// (without mutating the state — the scheduler applies it) or reports that
+// no legal placement currently exists.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "topology/cluster_state.hpp"
+
+namespace jigsaw {
+
+struct JobRequest {
+  JobId id = kNoJob;
+  int nodes = 0;
+  /// Average per-link bandwidth demand in GB/s; only consulted by the
+  /// link-sharing scheme (LC+S).
+  double bandwidth = 0.0;
+};
+
+/// Counters a placement search reports for scheduling-time analysis.
+struct SearchStats {
+  std::uint64_t steps = 0;       ///< backtracking steps taken
+  bool budget_exhausted = false; ///< search gave up at its step budget
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when the scheme guarantees complete inter-job network isolation
+  /// (decides whether isolation speed-up scenarios apply to its jobs).
+  virtual bool isolating() const = 0;
+
+  /// Find a placement for the request. Does not modify `state`; returns
+  /// std::nullopt when the policy admits no placement right now.
+  virtual std::optional<Allocation> allocate(const ClusterState& state,
+                                             const JobRequest& request,
+                                             SearchStats* stats = nullptr)
+      const = 0;
+};
+
+using AllocatorPtr = std::unique_ptr<Allocator>;
+
+}  // namespace jigsaw

@@ -1,0 +1,32 @@
+#include "core/baseline.hpp"
+
+namespace jigsaw {
+
+std::optional<Allocation> BaselineAllocator::allocate(
+    const ClusterState& state, const JobRequest& request,
+    SearchStats* stats) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > state.total_free_nodes()) {
+    return std::nullopt;
+  }
+
+  Allocation a;
+  a.job = request.id;
+  a.requested_nodes = request.nodes;
+  a.nodes.reserve(static_cast<std::size_t>(request.nodes));
+  for (LeafId l = 0;
+       l < topo.total_leaves() &&
+       static_cast<int>(a.nodes.size()) < request.nodes;
+       ++l) {
+    Mask free = state.free_nodes(l);
+    while (free != 0 && static_cast<int>(a.nodes.size()) < request.nodes) {
+      const int bit = lowest_bit(free);
+      a.nodes.push_back(topo.node_id(l, bit));
+      free &= free - 1;
+    }
+    if (stats != nullptr) ++stats->steps;
+  }
+  return a;
+}
+
+}  // namespace jigsaw

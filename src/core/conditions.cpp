@@ -1,0 +1,275 @@
+#include "core/conditions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/bitset64.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+ConditionReport fail(const std::string& message) {
+  return ConditionReport{false, message};
+}
+
+struct Grouped {
+  std::map<LeafId, int> nodes_per_leaf;
+  std::map<TreeId, int> nodes_per_tree;
+  std::map<LeafId, Mask> leaf_wire_mask;
+  std::map<std::pair<TreeId, int>, Mask> l2_wire_mask;  // (tree, l2 index)
+  std::set<TreeId> trees;
+};
+
+bool group(const FatTree& topo, const Allocation& a, Grouped* g,
+           std::string* error) {
+  std::set<NodeId> seen_nodes;
+  for (const NodeId n : a.nodes) {
+    if (n < 0 || n >= topo.total_nodes()) {
+      *error = "node id out of range";
+      return false;
+    }
+    if (!seen_nodes.insert(n).second) {
+      *error = "duplicate node in allocation";
+      return false;
+    }
+    const LeafId l = topo.leaf_of_node(n);
+    ++g->nodes_per_leaf[l];
+    ++g->nodes_per_tree[topo.tree_of_leaf(l)];
+    g->trees.insert(topo.tree_of_leaf(l));
+  }
+  for (const LeafWire& w : a.leaf_wires) {
+    if (w.leaf < 0 || w.leaf >= topo.total_leaves() || w.l2_index < 0 ||
+        w.l2_index >= topo.l2_per_tree()) {
+      *error = "leaf wire out of range";
+      return false;
+    }
+    Mask& m = g->leaf_wire_mask[w.leaf];
+    const Mask bit = Mask{1} << w.l2_index;
+    if (m & bit) {
+      *error = "duplicate leaf wire in allocation";
+      return false;
+    }
+    m |= bit;
+  }
+  for (const L2Wire& w : a.l2_wires) {
+    if (w.tree < 0 || w.tree >= topo.trees() || w.l2_index < 0 ||
+        w.l2_index >= topo.l2_per_tree() || w.spine_index < 0 ||
+        w.spine_index >= topo.spines_per_group()) {
+      *error = "L2 wire out of range";
+      return false;
+    }
+    Mask& m = g->l2_wire_mask[{w.tree, w.l2_index}];
+    const Mask bit = Mask{1} << w.spine_index;
+    if (m & bit) {
+      *error = "duplicate L2 wire in allocation";
+      return false;
+    }
+    m |= bit;
+  }
+  return true;
+}
+
+}  // namespace
+
+ConditionReport check_full_bandwidth(const FatTree& topo,
+                                     const Allocation& a) {
+  if (a.nodes.empty()) return fail("allocation has no nodes");
+  Grouped g;
+  std::string error;
+  if (!group(topo, a, &g, &error)) return fail(error);
+
+  // Condition (1)/(2)/(3): identify nL, the remainder leaf, nT, and the
+  // remainder tree; at most one of each, remainder leaf inside remainder
+  // tree.
+  int nl = 0;
+  for (const auto& [leaf, count] : g.nodes_per_leaf) nl = std::max(nl, count);
+  LeafId remainder_leaf = -1;
+  for (const auto& [leaf, count] : g.nodes_per_leaf) {
+    if (count == nl) continue;
+    if (remainder_leaf >= 0) {
+      return fail("condition 1: more than one remainder leaf");
+    }
+    remainder_leaf = leaf;
+  }
+
+  int nt = 0;
+  for (const auto& [tree, count] : g.nodes_per_tree) nt = std::max(nt, count);
+  TreeId remainder_tree = -1;
+  for (const auto& [tree, count] : g.nodes_per_tree) {
+    if (count == nt) continue;
+    if (remainder_tree >= 0) {
+      return fail("condition 2: more than one remainder tree");
+    }
+    remainder_tree = tree;
+  }
+  if (g.trees.size() > 1 && remainder_leaf >= 0 &&
+      topo.tree_of_leaf(remainder_leaf) != remainder_tree) {
+    return fail("condition 3: remainder leaf outside the remainder tree");
+  }
+  // Full trees must hold a whole number of full leaves (N = T*LT*nL + ...).
+  if (g.trees.size() > 1 && nt % nl != 0) {
+    return fail("condition 3: full subtree node count not divisible by nL");
+  }
+  const int lt = g.trees.size() > 1
+                     ? nt / nl
+                     : (static_cast<int>(g.nodes_per_leaf.size()) -
+                        (remainder_leaf >= 0 ? 1 : 0));
+  const int nrl =
+      remainder_leaf >= 0 ? g.nodes_per_leaf.at(remainder_leaf) : 0;
+
+  // Single-leaf partitions need no links at all; if links are present
+  // (LaaS grants whole leaves) they must at least be balanced.
+  const bool single_leaf = g.nodes_per_leaf.size() == 1;
+  if (single_leaf) {
+    const auto [leaf, count] = *g.nodes_per_leaf.begin();
+    const auto it = g.leaf_wire_mask.find(leaf);
+    const int wires =
+        it == g.leaf_wire_mask.end() ? 0 : popcount(it->second);
+    if (wires != 0 && wires < count) {
+      return fail("balance: single leaf has fewer uplinks than nodes");
+    }
+    if (!g.l2_wire_mask.empty()) {
+      return fail("single-leaf partition must not hold spine links");
+    }
+    return {};
+  }
+
+  // Condition (4): every full leaf carries the same L2 set S with
+  // |S| == nL; the remainder leaf a subset Sr with |Sr| == nrL.
+  // Condition (5): S holds the same indices in every subtree — masks are
+  // expressed in per-subtree indices, so cross-tree equality covers it.
+  Mask s_set = 0;
+  bool s_known = false;
+  for (const auto& [leaf, count] : g.nodes_per_leaf) {
+    const auto it = g.leaf_wire_mask.find(leaf);
+    const Mask mask = it == g.leaf_wire_mask.end() ? 0 : it->second;
+    if (leaf == remainder_leaf) continue;
+    if (popcount(mask) < count) {
+      return fail("balance: leaf has fewer uplinks than nodes");
+    }
+    if (!s_known) {
+      s_set = mask;
+      s_known = true;
+    } else if (mask != s_set) {
+      return fail("condition 4/5: full leaves use differing L2 sets");
+    }
+  }
+  if (remainder_leaf >= 0) {
+    const auto it = g.leaf_wire_mask.find(remainder_leaf);
+    const Mask mask = it == g.leaf_wire_mask.end() ? 0 : it->second;
+    if (popcount(mask) != nrl) {
+      return fail("balance: remainder leaf uplinks != its node count");
+    }
+    if (!subset_of(mask, s_set)) {
+      return fail("condition 4: remainder leaf set Sr not a subset of S");
+    }
+  }
+  // Every leaf wire must belong to an allocated leaf.
+  for (const auto& [leaf, mask] : g.leaf_wire_mask) {
+    (void)mask;
+    if (g.nodes_per_leaf.find(leaf) == g.nodes_per_leaf.end()) {
+      return fail("leaf wire on a leaf with no allocated nodes");
+    }
+  }
+
+  // Condition (6): spine sets. Single-subtree partitions use no spines.
+  if (g.trees.size() == 1) {
+    if (!g.l2_wire_mask.empty()) {
+      return fail("single-subtree partition must not hold spine links");
+    }
+    return {};
+  }
+
+  for (const auto& [key, mask] : g.l2_wire_mask) {
+    (void)mask;
+    if (g.nodes_per_tree.find(key.first) == g.nodes_per_tree.end()) {
+      return fail("L2 wire in a subtree with no allocated nodes");
+    }
+    if (!has_bit(s_set, key.second)) {
+      return fail("condition 6: spine links on an L2 switch outside S");
+    }
+  }
+
+  std::map<int, Mask> s_star;  // per L2 index, from full trees
+  bool star_known = false;
+  for (const TreeId t : g.trees) {
+    if (t == remainder_tree) continue;
+    std::map<int, Mask> this_tree;
+    for_each_bit(s_set, [&](int i) {
+      const auto it = g.l2_wire_mask.find({t, i});
+      this_tree[i] = it == g.l2_wire_mask.end() ? 0 : it->second;
+    });
+    for (const auto& [i, mask] : this_tree) {
+      if (popcount(mask) != lt) {
+        std::ostringstream msg;
+        msg << "balance: subtree " << t << " L2[" << i << "] has "
+            << popcount(mask) << " spine links, expected " << lt;
+        return fail(msg.str());
+      }
+    }
+    if (!star_known) {
+      s_star = this_tree;
+      star_known = true;
+    } else if (this_tree != s_star) {
+      return fail("condition 6: full subtrees use differing spine sets S*_i");
+    }
+  }
+  if (remainder_tree >= 0) {
+    const int rem_full_leaves =
+        (g.nodes_per_tree.at(remainder_tree) - nrl) / nl;
+    for (const auto& [i, star] : s_star) {
+      const auto it = g.l2_wire_mask.find({remainder_tree, i});
+      const Mask mask = it == g.l2_wire_mask.end() ? 0 : it->second;
+      const bool serves_remainder_leaf =
+          remainder_leaf >= 0 &&
+          [&] {
+            const auto lw = g.leaf_wire_mask.find(remainder_leaf);
+            return lw != g.leaf_wire_mask.end() && has_bit(lw->second, i);
+          }();
+      const int expected = rem_full_leaves + (serves_remainder_leaf ? 1 : 0);
+      if (popcount(mask) != expected) {
+        return fail(
+            "balance: remainder subtree L2 spine links != leaves served");
+      }
+      if (!subset_of(mask, star)) {
+        return fail("condition 6: S*r_i not a subset of S*_i");
+      }
+    }
+  }
+  return {};
+}
+
+ConditionReport check_high_utilization(const FatTree& topo,
+                                       const Allocation& a) {
+  if (a.allocated_nodes() != a.requested_nodes) {
+    return fail("allocated node count differs from request (internal "
+                "fragmentation)");
+  }
+  Grouped g;
+  std::string error;
+  if (!group(topo, a, &g, &error)) return fail(error);
+
+  if (g.nodes_per_leaf.size() == 1) {
+    if (!a.leaf_wires.empty() || !a.l2_wires.empty()) {
+      return fail("single-leaf job must not consume links");
+    }
+    return {};
+  }
+  // Minimal links: each leaf holds exactly as many uplinks as nodes.
+  for (const auto& [leaf, count] : g.nodes_per_leaf) {
+    const auto it = g.leaf_wire_mask.find(leaf);
+    const int wires = it == g.leaf_wire_mask.end() ? 0 : popcount(it->second);
+    if (wires != count) {
+      return fail("leaf uplinks not minimal (uplinks != nodes on leaf)");
+    }
+  }
+  if (g.trees.size() == 1 && !a.l2_wires.empty()) {
+    return fail("single-subtree job must not consume spine links");
+  }
+  return {};
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,38 @@
+// Structural validation of allocations against the formal conditions of
+// §3.2 (the necessary-and-sufficient conditions for a partition to be
+// rearrangeable non-blocking).
+//
+// check_full_bandwidth verifies conditions (1)-(6): nodes spread evenly
+// over identical subtrees/leaves with single remainders, common L2 sets S
+// at consistent indices, and consistent spine sets S*_i with remainder
+// subsets. Every allocation Jigsaw or LaaS emits must pass; deliberately
+// malformed allocations (Figure 1's violations) must fail.
+//
+// check_high_utilization verifies the §3.2.3 conditions: exactly the
+// requested number of nodes (no LaaS-style rounding) and the minimum
+// number of links (balanced up/down, none superfluous). Jigsaw passes;
+// LaaS intentionally does not.
+
+#pragma once
+
+#include <string>
+
+#include "topology/allocation.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace jigsaw {
+
+struct ConditionReport {
+  bool ok = true;
+  std::string error;  ///< first violated condition, empty when ok
+
+  explicit operator bool() const { return ok; }
+};
+
+ConditionReport check_full_bandwidth(const FatTree& topo,
+                                     const Allocation& a);
+
+ConditionReport check_high_utilization(const FatTree& topo,
+                                       const Allocation& a);
+
+}  // namespace jigsaw

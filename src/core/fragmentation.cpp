@@ -1,0 +1,62 @@
+#include "core/fragmentation.hpp"
+
+#include <algorithm>
+
+namespace jigsaw {
+
+FragmentationReport analyze_fragmentation(const ClusterState& state,
+                                          const Allocator& allocator) {
+  const FatTree& topo = state.topo();
+  FragmentationReport report;
+  report.free_nodes = state.total_free_nodes();
+  report.leaf_free_histogram.assign(
+      static_cast<std::size_t>(topo.nodes_per_leaf()) + 1, 0);
+  for (LeafId l = 0; l < topo.total_leaves(); ++l) {
+    const int free_count = state.free_node_count(l);
+    ++report.leaf_free_histogram[static_cast<std::size_t>(free_count)];
+    if (state.leaf_fully_free(l)) ++report.fully_free_leaves;
+  }
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    if (state.fully_free_leaves(t) == topo.leaves_per_tree()) {
+      ++report.fully_free_trees;
+    }
+  }
+
+  if (report.free_nodes == 0) return report;
+
+  // Placeability is monotone in job size for the condition-based schemes
+  // (an N-node placement embeds an (N-1)-node one), so bisection finds
+  // the frontier. TA's must-fit-at-the-smallest-level rules break
+  // monotonicity at leaf/subtree class boundaries, so a bounded linear
+  // sweep above the bisection result catches those pockets.
+  auto placeable = [&](int size) {
+    return allocator.allocate(state, JobRequest{kNoJob, size, 0.0})
+        .has_value();
+  };
+  int lo = 0;
+  int hi = report.free_nodes;
+  if (placeable(hi)) {
+    lo = hi;
+  } else {
+    while (lo + 1 < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (placeable(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const int sweep_end =
+        std::min(report.free_nodes,
+                 lo + topo.nodes_per_leaf() * topo.leaves_per_tree());
+    for (int size = lo + 1; size <= sweep_end; ++size) {
+      if (placeable(size)) lo = size;
+    }
+  }
+  report.largest_placeable = lo;
+  report.external_fragmentation =
+      1.0 - static_cast<double>(lo) / static_cast<double>(report.free_nodes);
+  return report;
+}
+
+}  // namespace jigsaw

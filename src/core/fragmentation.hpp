@@ -1,0 +1,40 @@
+// Fragmentation analytics (§2.3.2's vocabulary, quantified).
+//
+// The paper attributes each scheme's utilization loss to *internal*
+// fragmentation (resources granted but unused: LaaS's rounded-up nodes,
+// TA's implicitly reserved links) and *external* fragmentation (enough
+// free resources exist, but no legal placement reaches them). This module
+// measures both for a live cluster state:
+//
+//   * structural counts: free nodes, fully-free leaves/subtrees, and the
+//     per-leaf free-node histogram (how scattered the free capacity is);
+//   * the *placeability frontier* of an allocator: the largest job it
+//     could start right now, found by bisection over probe allocations;
+//   * the external-fragmentation index 1 - frontier/free: 0 when all free
+//     nodes are reachable by one job, approaching 1 when free capacity is
+//     stranded in unusable shreds.
+
+#pragma once
+
+#include <vector>
+
+#include "core/allocator.hpp"
+
+namespace jigsaw {
+
+struct FragmentationReport {
+  int free_nodes = 0;
+  int fully_free_leaves = 0;
+  int fully_free_trees = 0;
+  /// leaf_free_histogram[k] = number of leaves with exactly k free nodes.
+  std::vector<int> leaf_free_histogram;
+  /// Largest single job the allocator can place right now (0 when none).
+  int largest_placeable = 0;
+  /// 1 - largest_placeable / free_nodes (0 when free_nodes == 0).
+  double external_fragmentation = 0.0;
+};
+
+FragmentationReport analyze_fragmentation(const ClusterState& state,
+                                          const Allocator& allocator);
+
+}  // namespace jigsaw

@@ -1,0 +1,90 @@
+#include "core/jigsaw_allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/search.hpp"
+#include "core/shapes.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+/// Trees ordered best-fit (fewest free nodes first): packing small jobs
+/// into already-busy subtrees keeps other subtrees whole for the
+/// three-level placements that large jobs require.
+std::vector<TreeId> trees_best_fit(const ClusterState& state) {
+  const FatTree& topo = state.topo();
+  std::vector<int> free_nodes(static_cast<std::size_t>(topo.trees()), 0);
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+      free_nodes[static_cast<std::size_t>(t)] +=
+          state.free_node_count(topo.leaf_id(t, li));
+    }
+  }
+  std::vector<TreeId> order(static_cast<std::size_t>(topo.trees()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](TreeId a, TreeId b) {
+    return free_nodes[static_cast<std::size_t>(a)] <
+           free_nodes[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::optional<Allocation> JigsawAllocator::allocate(
+    const ClusterState& state, const JobRequest& request,
+    SearchStats* stats) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
+    return std::nullopt;
+  }
+  if (request.nodes > state.total_free_nodes()) return std::nullopt;
+
+  const LinkView view{&state, 0.0};
+  std::uint64_t budget = step_budget_;
+  auto record = [&](bool exhausted) {
+    if (stats != nullptr) {
+      stats->steps += step_budget_ - budget;
+      stats->budget_exhausted = stats->budget_exhausted || exhausted;
+    }
+  };
+
+  // Pass 1: single-subtree (two-level) allocations, densest shape first,
+  // fullest subtree first.
+  const std::vector<TreeId> tree_order = trees_best_fit(state);
+  for (const TwoLevelShape& shape : two_level_shapes(request.nodes, topo)) {
+    for (const TreeId t : tree_order) {
+      TwoLevelPick pick;
+      if (find_two_level(state, view, shape, t, budget, &pick)) {
+        record(false);
+        return materialize(state, shape, pick, request.id, request.nodes,
+                           0.0);
+      }
+      if (budget == 0) {
+        record(true);
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Pass 2: cross-subtree allocations with the whole-leaf restriction.
+  for (const ThreeLevelShape& shape :
+       three_level_shapes(request.nodes, topo, /*restrict_full_leaves=*/true)) {
+    ThreeLevelPick pick;
+    if (find_three_level_full_leaves(state, view, shape, budget, &pick)) {
+      record(false);
+      return materialize(state, shape, pick, request.id, request.nodes, 0.0);
+    }
+    if (budget == 0) {
+      record(true);
+      return std::nullopt;
+    }
+  }
+
+  record(false);
+  return std::nullopt;
+}
+
+}  // namespace jigsaw

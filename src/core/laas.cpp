@@ -1,0 +1,218 @@
+#include "core/laas.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/search.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+/// Spine-index bundles free in tree t: bit j set when the wire to spine j
+/// is free from *every* L2 switch of the tree. Under whole-leaf operation
+/// bundles are claimed and released atomically, so this is exact.
+Mask free_bundles(const ClusterState& state, TreeId t) {
+  Mask m = low_bits(state.topo().spines_per_group());
+  for (int i = 0; i < state.topo().l2_per_tree(); ++i) {
+    m &= state.free_l2_up(t, i);
+  }
+  return m;
+}
+
+/// Lowest `count` fully-free leaves of tree t (whole-leaf grants need the
+/// uplinks too, which free leaves always have under whole-leaf operation).
+std::vector<LeafId> free_leaves(const ClusterState& state, TreeId t,
+                                int count) {
+  std::vector<LeafId> out;
+  const FatTree& topo = state.topo();
+  const LinkView view{&state, 0.0};
+  for (int li = 0;
+       li < topo.leaves_per_tree() && static_cast<int>(out.size()) < count;
+       ++li) {
+    const LeafId l = topo.leaf_id(t, li);
+    if (view.leaf_fully_available(l)) out.push_back(l);
+  }
+  if (static_cast<int>(out.size()) < count) out.clear();
+  return out;
+}
+
+void take_whole_leaf(const ClusterState& state, LeafId l, Allocation* a) {
+  const FatTree& topo = state.topo();
+  for (int n = 0; n < topo.nodes_per_leaf(); ++n) {
+    a->nodes.push_back(topo.node_id(l, n));
+  }
+  for (int i = 0; i < topo.l2_per_tree(); ++i) {
+    a->leaf_wires.push_back(LeafWire{l, i});
+  }
+}
+
+void take_bundles(const ClusterState& state, TreeId t, Mask bundles,
+                  Allocation* a) {
+  for (int i = 0; i < state.topo().l2_per_tree(); ++i) {
+    for_each_bit(bundles,
+                 [&](int j) { a->l2_wires.push_back(L2Wire{t, i, j}); });
+  }
+}
+
+struct LaasCtx {
+  const ClusterState* state;
+  int per_tree;   ///< c: leaves per full subtree
+  int full;       ///< q: full subtrees
+  int remainder;  ///< cr: leaves in the remainder subtree
+  std::vector<TreeId> cand;
+  std::vector<Mask> cand_bundles;
+  std::vector<TreeId> chosen;
+  std::uint64_t* budget;
+  Allocation* out;
+};
+
+bool laas_complete(LaasCtx& ctx, Mask inter) {
+  const FatTree& topo = ctx.state->topo();
+  const Mask j_set = lowest_n_bits(inter, ctx.per_tree);
+  Allocation staged = *ctx.out;  // header fields already populated
+  for (const TreeId t : ctx.chosen) {
+    for (const LeafId l : free_leaves(*ctx.state, t, ctx.per_tree)) {
+      take_whole_leaf(*ctx.state, l, &staged);
+    }
+    take_bundles(*ctx.state, t, j_set, &staged);
+  }
+  if (ctx.remainder > 0) {
+    TreeId found = -1;
+    Mask jr = 0;
+    for (TreeId tr = 0; tr < topo.trees(); ++tr) {
+      if (*ctx.budget == 0) return false;
+      --*ctx.budget;
+      if (std::find(ctx.chosen.begin(), ctx.chosen.end(), tr) !=
+          ctx.chosen.end()) {
+        continue;
+      }
+      const Mask b = free_bundles(*ctx.state, tr) & j_set;
+      if (popcount(b) < ctx.remainder) continue;
+      if (free_leaves(*ctx.state, tr, ctx.remainder).empty()) continue;
+      found = tr;
+      jr = lowest_n_bits(b, ctx.remainder);
+      break;
+    }
+    if (found < 0) return false;
+    for (const LeafId l : free_leaves(*ctx.state, found, ctx.remainder)) {
+      take_whole_leaf(*ctx.state, l, &staged);
+    }
+    take_bundles(*ctx.state, found, jr, &staged);
+  }
+  *ctx.out = std::move(staged);
+  return true;
+}
+
+bool laas_recurse(LaasCtx& ctx, std::size_t start, Mask inter) {
+  if (*ctx.budget == 0) return false;
+  --*ctx.budget;
+  if (static_cast<int>(ctx.chosen.size()) == ctx.full) {
+    return laas_complete(ctx, inter);
+  }
+  const std::size_t need =
+      static_cast<std::size_t>(ctx.full) - ctx.chosen.size();
+  for (std::size_t idx = start; idx + need <= ctx.cand.size(); ++idx) {
+    const Mask next = inter & ctx.cand_bundles[idx];
+    if (popcount(next) < ctx.per_tree) continue;
+    ctx.chosen.push_back(ctx.cand[idx]);
+    if (laas_recurse(ctx, idx + 1, next)) return true;
+    ctx.chosen.pop_back();
+    if (*ctx.budget == 0) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
+                                                  const JobRequest& request,
+                                                  SearchStats* stats) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
+    return std::nullopt;
+  }
+  const int m1 = topo.nodes_per_leaf();
+  const int m2 = topo.leaves_per_tree();
+  const int m3 = topo.trees();
+  const int leaves_needed = (request.nodes + m1 - 1) / m1;  // R
+
+  std::uint64_t budget = step_budget_;
+  auto record = [&](bool exhausted) {
+    if (stats != nullptr) {
+      stats->steps += step_budget_ - budget;
+      stats->budget_exhausted = stats->budget_exhausted || exhausted;
+    }
+  };
+
+  // Single-subtree allocations first: LaaS's native two-level conditions
+  // (shared with Jigsaw) place exact node counts — no rounding. Fullest
+  // subtree first, keeping whole subtrees available for spanning jobs.
+  const LinkView view{&state, 0.0};
+  std::vector<TreeId> tree_order(static_cast<std::size_t>(m3));
+  std::iota(tree_order.begin(), tree_order.end(), 0);
+  {
+    std::vector<int> free_nodes(static_cast<std::size_t>(m3), 0);
+    for (TreeId t = 0; t < m3; ++t) {
+      for (int li = 0; li < m2; ++li) {
+        free_nodes[static_cast<std::size_t>(t)] +=
+            state.free_node_count(topo.leaf_id(t, li));
+      }
+    }
+    std::stable_sort(tree_order.begin(), tree_order.end(),
+                     [&](TreeId a, TreeId b) {
+                       return free_nodes[static_cast<std::size_t>(a)] <
+                              free_nodes[static_cast<std::size_t>(b)];
+                     });
+  }
+  for (const TwoLevelShape& shape : two_level_shapes(request.nodes, topo)) {
+    for (const TreeId t : tree_order) {
+      TwoLevelPick pick;
+      if (find_two_level(state, view, shape, t, budget, &pick)) {
+        record(false);
+        return materialize(state, shape, pick, request.id, request.nodes,
+                           0.0);
+      }
+      if (budget == 0) {
+        record(true);
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Multi-subtree: spread R leaves evenly, densest decomposition first.
+  for (int c = std::min(leaves_needed, m2); c >= 1; --c) {
+    const int q = leaves_needed / c;
+    const int cr = leaves_needed % c;
+    if (q < 1 || q + (cr > 0 ? 1 : 0) < 2) continue;
+    if (q + (cr > 0 ? 1 : 0) > m3) continue;
+
+    LaasCtx ctx{&state, c, q, cr, {}, {}, {}, &budget, nullptr};
+    for (TreeId t = 0; t < m3; ++t) {
+      if (free_leaves(state, t, c).empty()) continue;
+      const Mask b = free_bundles(state, t);
+      if (popcount(b) < c) continue;
+      ctx.cand.push_back(t);
+      ctx.cand_bundles.push_back(b);
+    }
+    if (static_cast<int>(ctx.cand.size()) < q) continue;
+
+    Allocation a;
+    a.job = request.id;
+    a.requested_nodes = request.nodes;
+    ctx.out = &a;
+    if (laas_recurse(ctx, 0, low_bits(topo.spines_per_group()))) {
+      record(false);
+      return a;
+    }
+    if (budget == 0) {
+      record(true);
+      return std::nullopt;
+    }
+  }
+
+  record(false);
+  return std::nullopt;
+}
+
+}  // namespace jigsaw

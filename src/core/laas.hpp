@@ -1,0 +1,40 @@
+// Links-as-a-Service allocator (Zahavi et al., ANCS'16).
+//
+// Within a single subtree LaaS applies its native two-level conditions —
+// the paper's conditions (2) and (4), which it shares with Jigsaw
+// (footnote 1) — and allocates exact node counts, remainder leaf included.
+//
+// For jobs that must span subtrees, LaaS has no three-level conditions;
+// it *reduces* the problem to two levels: whole leaves stand in for
+// nodes, subtrees for leaves, and spine-index bundles for L2 switches.
+// The job is rounded up to R = ceil(N / m1) whole leaves — the surplus
+// nodes are internal fragmentation (Figure 2, left; 3-7% of the system in
+// the paper's experiments). The R leaves are spread evenly across
+// subtrees (c per subtree plus a remainder subtree), and each L2 switch
+// of an allocated subtree receives uplinks at a *common spine-index set*
+// J — the reduction forces every L2 group to use the same indices, which
+// is more restrictive than Jigsaw's per-group sets S*_i.
+
+#pragma once
+
+#include "core/allocator.hpp"
+
+namespace jigsaw {
+
+class LaasAllocator final : public Allocator {
+ public:
+  explicit LaasAllocator(std::uint64_t step_budget = 1ull << 24)
+      : step_budget_(step_budget) {}
+
+  std::string name() const override { return "LaaS"; }
+  bool isolating() const override { return true; }
+
+  std::optional<Allocation> allocate(const ClusterState& state,
+                                     const JobRequest& request,
+                                     SearchStats* stats = nullptr) const override;
+
+ private:
+  std::uint64_t step_budget_;
+};
+
+}  // namespace jigsaw

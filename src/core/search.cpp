@@ -1,0 +1,417 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace jigsaw {
+
+namespace {
+
+bool is_chosen(const std::vector<LeafId>& chosen, LeafId l) {
+  return std::find(chosen.begin(), chosen.end(), l) != chosen.end();
+}
+
+struct TwoLevelCtx {
+  const ClusterState* state;
+  const LinkView* view;
+  TwoLevelShape shape;
+  TreeId tree;
+  bool needs_links;
+  std::vector<LeafId> candidates;
+  std::vector<Mask> cand_up;
+  std::vector<LeafId> chosen;
+  std::uint64_t* budget;
+  TwoLevelPick* out;
+};
+
+/// Base case: LT full leaves chosen with common-uplink mask `inter`;
+/// finish by selecting S (and a remainder leaf with Sr when required).
+bool complete_two_level(TwoLevelCtx& ctx, Mask inter) {
+  const auto& sh = ctx.shape;
+  TwoLevelPick& out = *ctx.out;
+  if (sh.remainder == 0) {
+    out.tree = ctx.tree;
+    out.full_leaves = ctx.chosen;
+    out.remainder_leaf = -1;
+    out.sr_set = 0;
+    out.s_set =
+        ctx.needs_links ? lowest_n_bits(inter, sh.nodes_per_leaf) : Mask{0};
+    return true;
+  }
+
+  // Remainder leaf: best fit (fewest free nodes that still suffice), so
+  // partially-used leaves are consumed before pristine ones.
+  const FatTree& topo = ctx.state->topo();
+  LeafId best = -1;
+  int best_free = std::numeric_limits<int>::max();
+  Mask best_r = 0;
+  for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+    const LeafId l = topo.leaf_id(ctx.tree, li);
+    if (is_chosen(ctx.chosen, l)) continue;
+    const int free_count = ctx.state->free_node_count(l);
+    if (free_count < sh.remainder || free_count >= best_free) continue;
+    const Mask r = ctx.view->leaf_up(l) & inter;
+    if (popcount(r) < sh.remainder) continue;
+    best = l;
+    best_free = free_count;
+    best_r = r;
+  }
+  if (best < 0) return false;
+
+  const Mask sr = lowest_n_bits(best_r, sh.remainder);
+  const Mask s =
+      sr | lowest_n_bits(inter & ~sr, sh.nodes_per_leaf - sh.remainder);
+  out.tree = ctx.tree;
+  out.full_leaves = ctx.chosen;
+  out.remainder_leaf = best;
+  out.s_set = s;
+  out.sr_set = sr;
+  return true;
+}
+
+bool recurse_two_level(TwoLevelCtx& ctx, std::size_t start, Mask inter) {
+  if (*ctx.budget == 0) return false;
+  --*ctx.budget;
+  if (static_cast<int>(ctx.chosen.size()) == ctx.shape.full_leaves) {
+    return complete_two_level(ctx, inter);
+  }
+  const std::size_t need =
+      static_cast<std::size_t>(ctx.shape.full_leaves) - ctx.chosen.size();
+  for (std::size_t idx = start; idx + need <= ctx.candidates.size(); ++idx) {
+    const Mask next = inter & ctx.cand_up[idx];
+    if (ctx.needs_links && popcount(next) < ctx.shape.nodes_per_leaf) continue;
+    ctx.chosen.push_back(ctx.candidates[idx]);
+    if (recurse_two_level(ctx, idx + 1, next)) return true;
+    ctx.chosen.pop_back();
+    if (*ctx.budget == 0) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool find_two_level(const ClusterState& state, const LinkView& view,
+                    const TwoLevelShape& shape, TreeId tree,
+                    std::uint64_t& budget, TwoLevelPick* out) {
+  const FatTree& topo = state.topo();
+  TwoLevelCtx ctx{&state,  &view,  shape, tree, shape.leaves_touched() > 1,
+                  {},      {},     {},    &budget, out};
+  ctx.candidates.reserve(static_cast<std::size_t>(topo.leaves_per_tree()));
+  for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+    const LeafId l = topo.leaf_id(tree, li);
+    if (state.free_node_count(l) < shape.nodes_per_leaf) continue;
+    const Mask up = view.leaf_up(l);
+    if (ctx.needs_links && popcount(up) < shape.nodes_per_leaf) continue;
+    ctx.candidates.push_back(l);
+  }
+  // Best fit: prefer the leaves with the fewest free nodes, so partially
+  // used leaves fill up and pristine leaves stay available for the
+  // whole-leaf three-level placements large jobs need. This ordering is
+  // what keeps external fragmentation — and thus utilization — in check.
+  std::stable_sort(ctx.candidates.begin(), ctx.candidates.end(),
+                   [&](LeafId a, LeafId b) {
+                     return state.free_node_count(a) <
+                            state.free_node_count(b);
+                   });
+  ctx.cand_up.reserve(ctx.candidates.size());
+  for (const LeafId l : ctx.candidates) ctx.cand_up.push_back(view.leaf_up(l));
+  if (static_cast<int>(ctx.candidates.size()) < shape.full_leaves) {
+    return false;
+  }
+  ctx.chosen.reserve(static_cast<std::size_t>(shape.full_leaves));
+  return recurse_two_level(ctx, 0, ~Mask{0});
+}
+
+namespace {
+
+struct ThreeLevelCtx {
+  const ClusterState* state;
+  const LinkView* view;
+  ThreeLevelShape shape;
+  std::vector<TreeId> cand_trees;
+  std::vector<std::vector<Mask>> tree_up;  ///< per candidate, per L2 index
+  std::vector<TreeId> chosen;
+  std::uint64_t* budget;
+  ThreeLevelPick* out;
+};
+
+/// Lowest `count` fully-available leaves of tree t; empty when scarce.
+std::vector<LeafId> pick_full_leaves(const ClusterState& state,
+                                     const LinkView& view, TreeId t,
+                                     int count) {
+  std::vector<LeafId> leaves;
+  const FatTree& topo = state.topo();
+  for (int li = 0; li < topo.leaves_per_tree() &&
+                   static_cast<int>(leaves.size()) < count;
+       ++li) {
+    const LeafId l = topo.leaf_id(t, li);
+    if (view.leaf_fully_available(l)) leaves.push_back(l);
+  }
+  if (static_cast<int>(leaves.size()) < count) leaves.clear();
+  return leaves;
+}
+
+/// Try tree `tr` as the remainder tree given the running intersections.
+bool try_remainder_tree(ThreeLevelCtx& ctx, TreeId tr,
+                        const std::vector<Mask>& inter) {
+  const auto& sh = ctx.shape;
+  const FatTree& topo = ctx.state->topo();
+  const int w2 = topo.l2_per_tree();
+
+  std::vector<Mask> c(static_cast<std::size_t>(w2));
+  for (int i = 0; i < w2; ++i) {
+    c[static_cast<std::size_t>(i)] =
+        inter[static_cast<std::size_t>(i)] & ctx.view->l2_up(tr, i);
+    if (popcount(c[static_cast<std::size_t>(i)]) < sh.rem_full_leaves) {
+      return false;
+    }
+  }
+
+  auto rem_leaves = pick_full_leaves(*ctx.state, *ctx.view, tr,
+                                     sh.rem_full_leaves);
+  if (sh.rem_full_leaves > 0 && rem_leaves.empty()) return false;
+
+  LeafId rem_leaf = -1;
+  Mask sr = 0;
+  if (sh.rem_leaf_nodes > 0) {
+    // L2 indices that can absorb the extra uplink the remainder leaf adds.
+    Mask eligible = 0;
+    for (int i = 0; i < w2; ++i) {
+      if (popcount(c[static_cast<std::size_t>(i)]) >= sh.rem_full_leaves + 1) {
+        eligible |= Mask{1} << i;
+      }
+    }
+    int best_free = std::numeric_limits<int>::max();
+    Mask best_r = 0;
+    for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+      const LeafId l = topo.leaf_id(tr, li);
+      if (is_chosen(rem_leaves, l)) continue;
+      const int free_count = ctx.state->free_node_count(l);
+      if (free_count < sh.rem_leaf_nodes || free_count >= best_free) continue;
+      const Mask r = ctx.view->leaf_up(l) & eligible;
+      if (popcount(r) < sh.rem_leaf_nodes) continue;
+      rem_leaf = l;
+      best_free = free_count;
+      best_r = r;
+    }
+    if (rem_leaf < 0) return false;
+    sr = lowest_n_bits(best_r, sh.rem_leaf_nodes);
+  }
+
+  ThreeLevelPick& out = *ctx.out;
+  out.remainder_tree = tr;
+  out.rem_full_leaves = std::move(rem_leaves);
+  out.remainder_leaf = rem_leaf;
+  out.sr_set = sr;
+  out.s_star.assign(static_cast<std::size_t>(w2), 0);
+  out.s_star_rem.assign(static_cast<std::size_t>(w2), 0);
+  for (int i = 0; i < w2; ++i) {
+    const int need_rem = sh.rem_full_leaves + (has_bit(sr, i) ? 1 : 0);
+    const Mask srem = lowest_n_bits(c[static_cast<std::size_t>(i)], need_rem);
+    out.s_star_rem[static_cast<std::size_t>(i)] = srem;
+    out.s_star[static_cast<std::size_t>(i)] =
+        srem | lowest_n_bits(inter[static_cast<std::size_t>(i)] & ~srem,
+                             sh.leaves_per_tree - need_rem);
+  }
+  return true;
+}
+
+bool complete_three_level(ThreeLevelCtx& ctx, const std::vector<Mask>& inter) {
+  const auto& sh = ctx.shape;
+  const FatTree& topo = ctx.state->topo();
+  ThreeLevelPick& out = *ctx.out;
+
+  out.full_trees = ctx.chosen;
+  out.full_tree_leaves.clear();
+  for (const TreeId t : ctx.chosen) {
+    out.full_tree_leaves.push_back(
+        pick_full_leaves(*ctx.state, *ctx.view, t, sh.leaves_per_tree));
+    if (out.full_tree_leaves.back().empty()) return false;  // raced; defensive
+  }
+
+  if (!sh.has_remainder_tree()) {
+    const int w2 = topo.l2_per_tree();
+    out.remainder_tree = -1;
+    out.rem_full_leaves.clear();
+    out.remainder_leaf = -1;
+    out.sr_set = 0;
+    out.s_star.assign(static_cast<std::size_t>(w2), 0);
+    out.s_star_rem.assign(static_cast<std::size_t>(w2), 0);
+    for (int i = 0; i < w2; ++i) {
+      out.s_star[static_cast<std::size_t>(i)] =
+          lowest_n_bits(inter[static_cast<std::size_t>(i)],
+                        sh.leaves_per_tree);
+    }
+    return true;
+  }
+
+  for (TreeId tr = 0; tr < topo.trees(); ++tr) {
+    if (*ctx.budget == 0) return false;
+    --*ctx.budget;
+    if (std::find(ctx.chosen.begin(), ctx.chosen.end(), tr) !=
+        ctx.chosen.end()) {
+      continue;
+    }
+    if (try_remainder_tree(ctx, tr, inter)) return true;
+  }
+  return false;
+}
+
+bool recurse_three_level(ThreeLevelCtx& ctx, std::size_t start,
+                         const std::vector<Mask>& inter) {
+  if (*ctx.budget == 0) return false;
+  --*ctx.budget;
+  if (static_cast<int>(ctx.chosen.size()) == ctx.shape.full_trees) {
+    return complete_three_level(ctx, inter);
+  }
+  const std::size_t need =
+      static_cast<std::size_t>(ctx.shape.full_trees) - ctx.chosen.size();
+  const int w2 = ctx.state->topo().l2_per_tree();
+  std::vector<Mask> next(static_cast<std::size_t>(w2));
+  for (std::size_t idx = start; idx + need <= ctx.cand_trees.size(); ++idx) {
+    bool viable = true;
+    for (int i = 0; i < w2 && viable; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          inter[static_cast<std::size_t>(i)] &
+          ctx.tree_up[idx][static_cast<std::size_t>(i)];
+      viable = popcount(next[static_cast<std::size_t>(i)]) >=
+               ctx.shape.leaves_per_tree;
+    }
+    if (!viable) continue;
+    ctx.chosen.push_back(ctx.cand_trees[idx]);
+    if (recurse_three_level(ctx, idx + 1, next)) return true;
+    ctx.chosen.pop_back();
+    if (*ctx.budget == 0) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool find_three_level_full_leaves(const ClusterState& state,
+                                  const LinkView& view,
+                                  const ThreeLevelShape& shape,
+                                  std::uint64_t& budget,
+                                  ThreeLevelPick* out) {
+  const FatTree& topo = state.topo();
+  if (shape.nodes_per_leaf != topo.nodes_per_leaf()) {
+    throw std::invalid_argument(
+        "find_three_level_full_leaves: shape must use whole leaves");
+  }
+  ThreeLevelCtx ctx{&state, &view, shape, {}, {}, {}, &budget, out};
+  const int w2 = topo.l2_per_tree();
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    int full = 0;
+    for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+      if (view.leaf_fully_available(topo.leaf_id(t, li))) ++full;
+    }
+    if (full < shape.leaves_per_tree) continue;
+    std::vector<Mask> up(static_cast<std::size_t>(w2));
+    bool viable = true;
+    for (int i = 0; i < w2 && viable; ++i) {
+      up[static_cast<std::size_t>(i)] = view.l2_up(t, i);
+      viable = popcount(up[static_cast<std::size_t>(i)]) >=
+               shape.leaves_per_tree;
+    }
+    if (!viable) continue;
+    ctx.cand_trees.push_back(t);
+    ctx.tree_up.push_back(std::move(up));
+  }
+  if (static_cast<int>(ctx.cand_trees.size()) < shape.full_trees) return false;
+  ctx.chosen.reserve(static_cast<std::size_t>(shape.full_trees));
+  const std::vector<Mask> all(static_cast<std::size_t>(w2),
+                              low_bits(topo.spines_per_group()));
+  return recurse_three_level(ctx, 0, all);
+}
+
+std::vector<NodeId> pick_free_nodes(const ClusterState& state, LeafId leaf,
+                                    int count) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(count));
+  Mask free = state.free_nodes(leaf);
+  for (int taken = 0; taken < count; ++taken) {
+    if (free == 0) throw std::logic_error("pick_free_nodes: leaf exhausted");
+    const int bit = lowest_bit(free);
+    nodes.push_back(state.topo().node_id(leaf, bit));
+    free &= free - 1;
+  }
+  return nodes;
+}
+
+Allocation materialize(const ClusterState& state, const TwoLevelShape& shape,
+                       const TwoLevelPick& pick, JobId job, int requested,
+                       double demand) {
+  Allocation a;
+  a.job = job;
+  a.requested_nodes = requested;
+  a.bandwidth = demand;
+  for (const LeafId l : pick.full_leaves) {
+    for (const NodeId n : pick_free_nodes(state, l, shape.nodes_per_leaf)) {
+      a.nodes.push_back(n);
+    }
+    for_each_bit(pick.s_set,
+                 [&](int i) { a.leaf_wires.push_back(LeafWire{l, i}); });
+  }
+  if (pick.remainder_leaf >= 0) {
+    for (const NodeId n :
+         pick_free_nodes(state, pick.remainder_leaf, shape.remainder)) {
+      a.nodes.push_back(n);
+    }
+    for_each_bit(pick.sr_set, [&](int i) {
+      a.leaf_wires.push_back(LeafWire{pick.remainder_leaf, i});
+    });
+  }
+  return a;
+}
+
+Allocation materialize(const ClusterState& state, const ThreeLevelShape& shape,
+                       const ThreeLevelPick& pick, JobId job, int requested,
+                       double demand) {
+  Allocation a;
+  a.job = job;
+  a.requested_nodes = requested;
+  a.bandwidth = demand;
+  const FatTree& topo = state.topo();
+  const int w2 = topo.l2_per_tree();
+  const Mask all_up = low_bits(w2);
+
+  auto take_full_leaf = [&](LeafId l) {
+    for (const NodeId n : pick_free_nodes(state, l, topo.nodes_per_leaf())) {
+      a.nodes.push_back(n);
+    }
+    for_each_bit(all_up,
+                 [&](int i) { a.leaf_wires.push_back(LeafWire{l, i}); });
+  };
+
+  for (std::size_t ti = 0; ti < pick.full_trees.size(); ++ti) {
+    const TreeId t = pick.full_trees[ti];
+    for (const LeafId l : pick.full_tree_leaves[ti]) take_full_leaf(l);
+    for (int i = 0; i < w2; ++i) {
+      for_each_bit(pick.s_star[static_cast<std::size_t>(i)], [&](int j) {
+        a.l2_wires.push_back(L2Wire{t, i, j});
+      });
+    }
+  }
+
+  if (pick.remainder_tree >= 0) {
+    for (const LeafId l : pick.rem_full_leaves) take_full_leaf(l);
+    if (pick.remainder_leaf >= 0) {
+      for (const NodeId n :
+           pick_free_nodes(state, pick.remainder_leaf, shape.rem_leaf_nodes)) {
+        a.nodes.push_back(n);
+      }
+      for_each_bit(pick.sr_set, [&](int i) {
+        a.leaf_wires.push_back(LeafWire{pick.remainder_leaf, i});
+      });
+    }
+    for (int i = 0; i < w2; ++i) {
+      for_each_bit(pick.s_star_rem[static_cast<std::size_t>(i)], [&](int j) {
+        a.l2_wires.push_back(L2Wire{pick.remainder_tree, i, j});
+      });
+    }
+  }
+  return a;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,94 @@
+// Shared placement-search machinery for the condition-based allocators.
+//
+// The Jigsaw, LaaS and least-constrained allocators all search for
+// placements that satisfy the formal conditions of §3.2; they differ in
+// which shapes they admit and in how link availability is defined
+// (exclusive wires vs. residual bandwidth). LinkView abstracts the latter,
+// and the find_* helpers implement the recursive-backtracking searches of
+// Algorithm 1 over it.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shapes.hpp"
+#include "topology/cluster_state.hpp"
+
+namespace jigsaw {
+
+/// Availability lens over the cluster state. demand == 0 gives the
+/// exclusive-wire view (Jigsaw/LaaS); demand > 0 the bandwidth-share view
+/// (LC+S), where a wire is available when its residual covers the demand.
+struct LinkView {
+  const ClusterState* state;
+  double demand = 0.0;
+
+  Mask leaf_up(LeafId l) const {
+    return demand > 0.0 ? state->leaf_up_with_bandwidth(l, demand)
+                        : state->free_leaf_up(l);
+  }
+  Mask l2_up(TreeId t, int l2_index) const {
+    return demand > 0.0 ? state->l2_up_with_bandwidth(t, l2_index, demand)
+                        : state->free_l2_up(t, l2_index);
+  }
+  /// A leaf usable as a "full" leaf at three levels: every node free and
+  /// every uplink available under this view.
+  bool leaf_fully_available(LeafId l) const {
+    return state->leaf_fully_free(l) &&
+           leaf_up(l) == low_bits(state->topo().l2_per_tree());
+  }
+};
+
+/// Outcome of a single-subtree (two-level) search.
+struct TwoLevelPick {
+  TreeId tree = -1;
+  std::vector<LeafId> full_leaves;  ///< LT leaves carrying nL nodes each
+  LeafId remainder_leaf = -1;       ///< -1 when the shape has no remainder
+  Mask s_set = 0;                   ///< L2 indices S (0 for single-leaf)
+  Mask sr_set = 0;                  ///< Sr subset of S for the remainder leaf
+};
+
+/// Outcome of a cross-subtree (three-level) search with whole leaves
+/// (nodes_per_leaf == m1), i.e. Jigsaw's restricted shape family.
+struct ThreeLevelPick {
+  std::vector<TreeId> full_trees;
+  /// Leaves used in each full tree, parallel to full_trees.
+  std::vector<std::vector<LeafId>> full_tree_leaves;
+  TreeId remainder_tree = -1;
+  std::vector<LeafId> rem_full_leaves;
+  LeafId remainder_leaf = -1;
+  Mask sr_set = 0;               ///< L2 indices used by the remainder leaf
+  std::vector<Mask> s_star;      ///< S*_i per L2 index (|.| == LT)
+  std::vector<Mask> s_star_rem;  ///< S*r_i per L2 index (subset of S*_i)
+};
+
+/// Searches subtree `tree` for a placement of `shape`. Decrements `budget`
+/// per backtracking step and gives up at zero. First-fit over ascending
+/// leaf indices; the remainder leaf is chosen best-fit (fewest free nodes
+/// that still suffice) to conserve empty leaves.
+bool find_two_level(const ClusterState& state, const LinkView& view,
+                    const TwoLevelShape& shape, TreeId tree,
+                    std::uint64_t& budget, TwoLevelPick* out);
+
+/// Searches the whole machine for a placement of a whole-leaf three-level
+/// shape (shape.nodes_per_leaf must equal the topology's nodes-per-leaf).
+bool find_three_level_full_leaves(const ClusterState& state,
+                                  const LinkView& view,
+                                  const ThreeLevelShape& shape,
+                                  std::uint64_t& budget, ThreeLevelPick* out);
+
+/// Expand a pick into the concrete resource set. `demand` is copied into
+/// Allocation::bandwidth.
+Allocation materialize(const ClusterState& state, const TwoLevelShape& shape,
+                       const TwoLevelPick& pick, JobId job, int requested,
+                       double demand);
+Allocation materialize(const ClusterState& state, const ThreeLevelShape& shape,
+                       const ThreeLevelPick& pick, JobId job, int requested,
+                       double demand);
+
+/// Lowest `count` free-node ids on a leaf.
+std::vector<NodeId> pick_free_nodes(const ClusterState& state, LeafId leaf,
+                                    int count);
+
+}  // namespace jigsaw

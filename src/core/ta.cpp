@@ -1,0 +1,174 @@
+#include "core/ta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace jigsaw {
+
+namespace {
+
+/// A leaf is usable by a multi-leaf job when no other multi-leaf job has
+/// implicitly reserved its uplinks (all uplink wires still free).
+bool leaf_uplinks_free(const ClusterState& state, LeafId l) {
+  return state.free_leaf_up(l) == low_bits(state.topo().l2_per_tree());
+}
+
+/// A subtree is usable by a cross-subtree job when no other cross-subtree
+/// job has implicitly reserved its spine uplinks.
+bool tree_spines_free(const ClusterState& state, TreeId t) {
+  const Mask all = low_bits(state.topo().spines_per_group());
+  for (int i = 0; i < state.topo().l2_per_tree(); ++i) {
+    if (state.free_l2_up(t, i) != all) return false;
+  }
+  return true;
+}
+
+void take_nodes(const ClusterState& state, LeafId l, int count,
+                Allocation* a) {
+  Mask free = state.free_nodes(l);
+  for (int k = 0; k < count; ++k) {
+    const int bit = lowest_bit(free);
+    a->nodes.push_back(state.topo().node_id(l, bit));
+    free &= free - 1;
+  }
+}
+
+void reserve_leaf_uplinks(const ClusterState& state, LeafId l, Allocation* a) {
+  for (int i = 0; i < state.topo().l2_per_tree(); ++i) {
+    a->leaf_wires.push_back(LeafWire{l, i});
+  }
+}
+
+void reserve_tree_spines(const ClusterState& state, TreeId t, Allocation* a) {
+  for (int i = 0; i < state.topo().l2_per_tree(); ++i) {
+    for (int j = 0; j < state.topo().spines_per_group(); ++j) {
+      a->l2_wires.push_back(L2Wire{t, i, j});
+    }
+  }
+}
+
+/// Leaves of tree t usable for a multi-leaf job, sorted by free-node count
+/// descending so the job claims the fewest leaves (and so the fewest
+/// implicitly-reserved uplinks).
+std::vector<LeafId> usable_leaves_desc(const ClusterState& state, TreeId t) {
+  std::vector<LeafId> leaves;
+  for (int li = 0; li < state.topo().leaves_per_tree(); ++li) {
+    const LeafId l = state.topo().leaf_id(t, li);
+    if (state.free_node_count(l) > 0 && leaf_uplinks_free(state, l)) {
+      leaves.push_back(l);
+    }
+  }
+  std::stable_sort(leaves.begin(), leaves.end(),
+                   [&](LeafId a, LeafId b) {
+                     return state.free_node_count(a) >
+                            state.free_node_count(b);
+                   });
+  return leaves;
+}
+
+/// Place `count` nodes on tree t's usable leaves; returns false when the
+/// tree lacks capacity. Appends the touched leaves' implicit reservations.
+bool fill_from_tree(const ClusterState& state, TreeId t, int count,
+                    Allocation* a) {
+  int remaining = count;
+  for (const LeafId l : usable_leaves_desc(state, t)) {
+    if (remaining == 0) break;
+    const int take = std::min(remaining, state.free_node_count(l));
+    take_nodes(state, l, take, a);
+    reserve_leaf_uplinks(state, l, a);
+    remaining -= take;
+  }
+  return remaining == 0;
+}
+
+}  // namespace
+
+std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
+                                                const JobRequest& request,
+                                                SearchStats* stats) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
+    return std::nullopt;
+  }
+  const int m1 = topo.nodes_per_leaf();
+  const int tree_capacity = m1 * topo.leaves_per_tree();
+
+  Allocation a;
+  a.job = request.id;
+  a.requested_nodes = request.nodes;
+
+  if (request.nodes <= m1) {
+    // Intra-leaf job: best fit over every leaf whose uplinks are not
+    // implicitly reserved by a multi-leaf job — TA avoids any placement
+    // where contention is conceivable under an arbitrary routing, so a
+    // claimed leaf is dedicated and its leftover nodes stay idle.
+    LeafId best = -1;
+    int best_free = std::numeric_limits<int>::max();
+    for (LeafId l = 0; l < topo.total_leaves(); ++l) {
+      if (stats != nullptr) ++stats->steps;
+      if (!leaf_uplinks_free(state, l)) continue;
+      const int free_count = state.free_node_count(l);
+      if (free_count >= request.nodes && free_count < best_free) {
+        best = l;
+        best_free = free_count;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    take_nodes(state, best, request.nodes, &a);
+    return a;
+  }
+
+  if (request.nodes <= tree_capacity) {
+    // Intra-subtree job: first subtree with enough usable capacity.
+    for (TreeId t = 0; t < topo.trees(); ++t) {
+      if (stats != nullptr) ++stats->steps;
+      int capacity = 0;
+      for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+        const LeafId l = topo.leaf_id(t, li);
+        if (leaf_uplinks_free(state, l)) capacity += state.free_node_count(l);
+      }
+      if (capacity < request.nodes) continue;
+      if (fill_from_tree(state, t, request.nodes, &a)) return a;
+      a.clear();
+    }
+    return std::nullopt;
+  }
+
+  // Cross-subtree job: gather usable subtrees, fill greedily.
+  int total = 0;
+  std::vector<std::pair<TreeId, int>> usable;  // (tree, usable capacity)
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    if (stats != nullptr) ++stats->steps;
+    if (!tree_spines_free(state, t)) continue;
+    int capacity = 0;
+    for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+      const LeafId l = topo.leaf_id(t, li);
+      if (leaf_uplinks_free(state, l)) capacity += state.free_node_count(l);
+    }
+    if (capacity == 0) continue;
+    usable.emplace_back(t, capacity);
+    total += capacity;
+  }
+  if (total < request.nodes) return std::nullopt;
+
+  // Fill fullest-first so the job touches (and implicitly reserves the
+  // spines of) as few subtrees as possible.
+  std::stable_sort(usable.begin(), usable.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second > y.second;
+                   });
+  int remaining = request.nodes;
+  for (const auto& [t, capacity] : usable) {
+    if (remaining == 0) break;
+    const int take = std::min(remaining, capacity);
+    if (!fill_from_tree(state, t, take, &a)) {
+      a.clear();
+      return std::nullopt;  // defensive; capacity was just computed
+    }
+    reserve_tree_spines(state, t, &a);
+    remaining -= take;
+  }
+  return a;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,39 @@
+// Topology-aware (TA) allocator (Jain et al., IPDPS'17; evaluated by
+// Pollard et al., SC'18).
+//
+// TA never allocates links explicitly. Instead it constrains node
+// placement so that, under any routing, no two jobs can contend:
+//
+//   * A job that fits within one leaf (size <= m1) MUST be placed on a
+//     single leaf; its traffic never leaves the leaf switch.
+//   * A job that fits within one subtree (size <= m1*m2) MUST be placed in
+//     a single subtree; its traffic never uses spines. Each leaf it
+//     touches implicitly reserves ALL of the leaf's uplinks, so a leaf
+//     hosts nodes of at most one multi-leaf job (plus any number of
+//     intra-leaf jobs) — Figure 2 center's internal link fragmentation.
+//   * Only larger jobs span subtrees; each subtree such a job touches
+//     implicitly reserves ALL of the subtree's spine uplinks, so a subtree
+//     hosts at most one cross-subtree job.
+//
+// The implicit reservations are modeled as real wire allocations so that
+// the shared ClusterState captures the fragmentation exactly. The
+// "must fit at the smallest level" rules are what produce TA's external
+// fragmentation (Figure 2, right).
+
+#pragma once
+
+#include "core/allocator.hpp"
+
+namespace jigsaw {
+
+class TaAllocator final : public Allocator {
+ public:
+  std::string name() const override { return "TA"; }
+  bool isolating() const override { return true; }
+
+  std::optional<Allocation> allocate(const ClusterState& state,
+                                     const JobRequest& request,
+                                     SearchStats* stats = nullptr) const override;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,107 @@
+#include "routing/congestion.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "routing/dmodk.hpp"
+#include "routing/partition_routing.hpp"
+#include "routing/rnb_router.hpp"
+
+namespace jigsaw {
+
+CongestionReport analyze_congestion(const FatTree& topo,
+                                    const std::vector<Allocation>& running,
+                                    Rng& rng, bool partition_routing) {
+  CongestionReport report;
+  const std::size_t links =
+      static_cast<std::size_t>(topo.directed_link_count());
+  std::vector<int> load(links, 0);
+  std::vector<JobId> first_job(links, kNoJob);
+  std::vector<char> multi_job(links, 0);
+
+  struct JobFlows {
+    JobId job;
+    std::vector<std::vector<int>> routes;
+  };
+  std::vector<JobFlows> all;
+
+  for (const Allocation& alloc : running) {
+    if (alloc.nodes.size() < 2) continue;
+    JobFlows jf;
+    jf.job = alloc.job;
+    PartitionRouter router(topo, alloc);
+    for (const Flow& f : random_permutation(alloc, rng)) {
+      std::vector<int> route = partition_routing
+                                   ? router.route(f.src, f.dst)
+                                   : dmodk_route(topo, f.src, f.dst);
+      for (const int l : route) {
+        auto& owner = first_job[static_cast<std::size_t>(l)];
+        if (owner == kNoJob) {
+          owner = alloc.job;
+        } else if (owner != alloc.job) {
+          multi_job[static_cast<std::size_t>(l)] = 1;
+        }
+        ++load[static_cast<std::size_t>(l)];
+      }
+      jf.routes.push_back(std::move(route));
+      ++report.total_flows;
+    }
+    all.push_back(std::move(jf));
+  }
+
+  long loaded_links = 0;
+  long loaded_sum = 0;
+  for (std::size_t l = 0; l < links; ++l) {
+    if (load[l] == 0) continue;
+    ++loaded_links;
+    loaded_sum += load[l];
+    report.max_link_load = std::max(report.max_link_load, load[l]);
+  }
+  report.mean_loaded_link =
+      loaded_links == 0
+          ? 0.0
+          : static_cast<double>(loaded_sum) / static_cast<double>(loaded_links);
+
+  int max_jobs = loaded_links > 0 ? 1 : 0;
+  for (std::size_t l = 0; l < links; ++l) {
+    if (multi_job[l]) max_jobs = std::max(max_jobs, 2);
+  }
+  // Distinct-job counts beyond two need a second pass only when some link
+  // is already shared; recompute exactly in that case.
+  if (max_jobs == 2) {
+    std::vector<std::vector<JobId>> jobs_on(links);
+    for (const auto& jf : all) {
+      for (const auto& route : jf.routes) {
+        for (const int l : route) {
+          auto& v = jobs_on[static_cast<std::size_t>(l)];
+          if (std::find(v.begin(), v.end(), jf.job) == v.end()) {
+            v.push_back(jf.job);
+          }
+        }
+      }
+    }
+    for (const auto& v : jobs_on) {
+      max_jobs = std::max(max_jobs, static_cast<int>(v.size()));
+    }
+  }
+  report.max_jobs_per_link = max_jobs;
+
+  double slowdown_sum = 0.0;
+  for (const auto& jf : all) {
+    int worst = 1;
+    for (const auto& route : jf.routes) {
+      bool interfered = false;
+      for (const int l : route) {
+        worst = std::max(worst, load[static_cast<std::size_t>(l)]);
+        interfered = interfered || multi_job[static_cast<std::size_t>(l)];
+      }
+      if (interfered) ++report.interfered_flows;
+    }
+    slowdown_sum += worst;
+  }
+  report.mean_job_slowdown =
+      all.empty() ? 1.0 : slowdown_sum / static_cast<double>(all.size());
+  return report;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,43 @@
+// Static-routing congestion analysis.
+//
+// Models the inter-job interference a traditional scheduler exposes jobs
+// to: every running job drives a random permutation of traffic among its
+// nodes, all flows are routed with static D-mod-k (or, for comparison,
+// with partition-confined routing), and link loads are tallied. Jobs
+// isolated by Jigsaw can never share a link with another job; Baseline
+// placements routinely do (§2.2 reports slowdowns up to 120%).
+
+#pragma once
+
+#include <vector>
+
+#include "topology/allocation.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw {
+
+struct CongestionReport {
+  int total_flows = 0;
+  /// Flows on the most loaded directed link.
+  int max_link_load = 0;
+  /// Mean load over links carrying at least one flow.
+  double mean_loaded_link = 0.0;
+  /// Flows that share a link with a different job's flow.
+  int interfered_flows = 0;
+  /// Largest number of distinct jobs on one link.
+  int max_jobs_per_link = 0;
+  /// Mean over jobs of (max link load on the job's flows) — a simple
+  /// bandwidth-share slowdown factor (1.0 == no contention).
+  double mean_job_slowdown = 1.0;
+};
+
+/// Routes one random permutation per job and tallies contention.
+/// With `partition_routing` the flows follow each job's allocated links
+/// (requires condition-satisfying allocations); otherwise D-mod-k on the
+/// full tree.
+CongestionReport analyze_congestion(const FatTree& topo,
+                                    const std::vector<Allocation>& running,
+                                    Rng& rng, bool partition_routing);
+
+}  // namespace jigsaw

@@ -1,0 +1,34 @@
+#include "routing/dmodk.hpp"
+
+#include <stdexcept>
+
+namespace jigsaw {
+
+std::vector<int> dmodk_route(const FatTree& topo, NodeId src, NodeId dst) {
+  if (src < 0 || src >= topo.total_nodes() || dst < 0 ||
+      dst >= topo.total_nodes()) {
+    throw std::invalid_argument("dmodk_route: node out of range");
+  }
+  std::vector<int> links;
+  if (src == dst) return links;
+
+  const LeafId src_leaf = topo.leaf_of_node(src);
+  const LeafId dst_leaf = topo.leaf_of_node(dst);
+  links.push_back(topo.node_up_link(src));
+  if (src_leaf != dst_leaf) {
+    const int i = dst % topo.l2_per_tree();
+    const TreeId src_tree = topo.tree_of_leaf(src_leaf);
+    const TreeId dst_tree = topo.tree_of_leaf(dst_leaf);
+    links.push_back(topo.leaf_up_link(src_leaf, i));
+    if (src_tree != dst_tree) {
+      const int j = (dst / topo.l2_per_tree()) % topo.spines_per_group();
+      links.push_back(topo.l2_up_link(src_tree, i, j));
+      links.push_back(topo.l2_down_link(dst_tree, i, j));
+    }
+    links.push_back(topo.leaf_down_link(dst_leaf, i));
+  }
+  links.push_back(topo.node_down_link(dst));
+  return links;
+}
+
+}  // namespace jigsaw

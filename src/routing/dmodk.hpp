@@ -1,0 +1,22 @@
+// D-mod-k static routing on the full fat-tree (Zahavi, CCIT #776).
+//
+// The standard destination-based routing used on production fat-tree
+// clusters: each switch selects its up-port as a modulus of the
+// destination id, which balances shift permutations but — as §2.2
+// observes — still produces hotspots for multi-job workloads. Used by the
+// congestion analyzer to model Baseline's interference.
+
+#pragma once
+
+#include <vector>
+
+#include "topology/fat_tree.hpp"
+
+namespace jigsaw {
+
+/// Directed link ids traversed by a packet from src to dst (empty when
+/// src == dst). Deterministic: the up-path is chosen by destination
+/// modulus at each level.
+std::vector<int> dmodk_route(const FatTree& topo, NodeId src, NodeId dst);
+
+}  // namespace jigsaw

@@ -1,0 +1,94 @@
+#include "routing/edge_coloring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jigsaw {
+
+std::vector<int> bipartite_edge_coloring(
+    int n_left, int n_right, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<int> left_degree(static_cast<std::size_t>(n_left), 0);
+  std::vector<int> right_degree(static_cast<std::size_t>(n_right), 0);
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= n_left || v < 0 || v >= n_right) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+    ++left_degree[static_cast<std::size_t>(u)];
+    ++right_degree[static_cast<std::size_t>(v)];
+  }
+  int max_degree = 0;
+  for (const int d : left_degree) max_degree = std::max(max_degree, d);
+  for (const int d : right_degree) max_degree = std::max(max_degree, d);
+  if (max_degree == 0) return std::vector<int>(edges.size(), 0);
+
+  const std::size_t palette = static_cast<std::size_t>(max_degree);
+  constexpr int kFree = -1;
+  // at_left[u * palette + c] = edge currently colored c at left vertex u.
+  std::vector<int> at_left(static_cast<std::size_t>(n_left) * palette, kFree);
+  std::vector<int> at_right(static_cast<std::size_t>(n_right) * palette,
+                            kFree);
+  std::vector<int> color(edges.size(), kFree);
+
+  auto left_slot = [&](int u, int c) -> int& {
+    return at_left[static_cast<std::size_t>(u) * palette +
+                   static_cast<std::size_t>(c)];
+  };
+  auto right_slot = [&](int v, int c) -> int& {
+    return at_right[static_cast<std::size_t>(v) * palette +
+                    static_cast<std::size_t>(c)];
+  };
+  auto first_free = [&](const std::vector<int>& table, int vertex) {
+    const std::size_t base = static_cast<std::size_t>(vertex) * palette;
+    for (std::size_t c = 0; c < palette; ++c) {
+      if (table[base + c] == kFree) return static_cast<int>(c);
+    }
+    throw std::logic_error("no free color; degree bookkeeping broken");
+  };
+
+  std::vector<int> path;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const int a = first_free(at_left, u);
+    if (right_slot(v, a) != kFree) {
+      // a is taken at v: flip the alternating (a, b) path starting at v,
+      // where b is free at v. The path cannot reach u (a is free there),
+      // so after the flip a is free at both endpoints of e.
+      const int b = first_free(at_right, v);
+      path.clear();
+      int vertex = v;
+      bool on_right = true;
+      int want = a;
+      while (true) {
+        const int pe =
+            on_right ? right_slot(vertex, want) : left_slot(vertex, want);
+        if (pe == kFree) break;
+        path.push_back(pe);
+        vertex = on_right ? edges[static_cast<std::size_t>(pe)].first
+                          : edges[static_cast<std::size_t>(pe)].second;
+        on_right = !on_right;
+        want = want == a ? b : a;
+      }
+      for (const int pe : path) {
+        const int old_color = color[static_cast<std::size_t>(pe)];
+        left_slot(edges[static_cast<std::size_t>(pe)].first, old_color) =
+            kFree;
+        right_slot(edges[static_cast<std::size_t>(pe)].second, old_color) =
+            kFree;
+      }
+      for (const int pe : path) {
+        const int old_color = color[static_cast<std::size_t>(pe)];
+        const int new_color = old_color == a ? b : a;
+        color[static_cast<std::size_t>(pe)] = new_color;
+        left_slot(edges[static_cast<std::size_t>(pe)].first, new_color) = pe;
+        right_slot(edges[static_cast<std::size_t>(pe)].second, new_color) =
+            pe;
+      }
+    }
+    color[e] = a;
+    left_slot(u, a) = static_cast<int>(e);
+    right_slot(v, a) = static_cast<int>(e);
+  }
+  return color;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,26 @@
+// Bipartite multigraph edge coloring (König's theorem, constructive).
+//
+// Routing a traffic permutation across a fat-tree stage is equivalent to
+// edge-coloring a bipartite multigraph: vertices are switches on each side
+// of the stage, edges are flows, and each color class — a matching — can
+// share one center switch without link conflicts. The RNB router uses this
+// twice (leaf stage, then subtree stage), following the Appendix A proofs.
+//
+// The implementation is the classical alternating-path algorithm: colors
+// edges of a bipartite multigraph with exactly max-degree colors in
+// O(V * E). Parallel edges and self-pairs (same index left and right —
+// distinct vertices on the two sides of the bipartition) are fine.
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace jigsaw {
+
+/// Edge list of a bipartite multigraph: edges[e] = (left vertex, right
+/// vertex). Returns one color per edge using colors [0, max_degree).
+std::vector<int> bipartite_edge_coloring(
+    int n_left, int n_right, const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace jigsaw

@@ -1,0 +1,149 @@
+#include "routing/fairshare.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "routing/dmodk.hpp"
+#include "routing/partition_routing.hpp"
+#include "routing/rnb_router.hpp"
+
+namespace jigsaw {
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& flow_links, double idle_rate) {
+  const std::size_t link_count = capacities.size();
+  const std::size_t flow_count = flow_links.size();
+
+  // Deduplicated link lists and per-link active-flow counts.
+  std::vector<std::vector<int>> links(flow_count);
+  std::vector<int> active_on(link_count, 0);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    links[f] = flow_links[f];
+    std::sort(links[f].begin(), links[f].end());
+    links[f].erase(std::unique(links[f].begin(), links[f].end()),
+                   links[f].end());
+    for (const int l : links[f]) {
+      if (l < 0 || static_cast<std::size_t>(l) >= link_count) {
+        throw std::invalid_argument("flow uses a link out of range");
+      }
+      ++active_on[static_cast<std::size_t>(l)];
+    }
+  }
+
+  std::vector<double> rate(flow_count, idle_rate);
+  std::vector<char> frozen(flow_count, 0);
+  std::vector<double> remaining = capacities;
+  double level = 0.0;
+
+  std::size_t unfrozen = 0;
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    if (links[f].empty()) {
+      frozen[f] = 1;  // no network links: full speed
+    } else {
+      ++unfrozen;
+    }
+  }
+
+  while (unfrozen > 0) {
+    // The next bottleneck: the link that saturates first if every active
+    // flow grows uniformly.
+    double step = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_count; ++l) {
+      if (active_on[l] > 0) {
+        step = std::min(step, remaining[l] / active_on[l]);
+      }
+    }
+    if (!(step < std::numeric_limits<double>::infinity())) break;
+    level += step;
+
+    // Drain the step from every active link, then freeze flows riding a
+    // saturated link.
+    for (std::size_t l = 0; l < link_count; ++l) {
+      if (active_on[l] > 0) remaining[l] -= step * active_on[l];
+    }
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      if (frozen[f]) continue;
+      bool saturated = false;
+      for (const int l : links[f]) {
+        if (remaining[static_cast<std::size_t>(l)] <= 1e-12) {
+          saturated = true;
+          break;
+        }
+      }
+      if (saturated) {
+        frozen[f] = 1;
+        rate[f] = level;
+        for (const int l : links[f]) --active_on[static_cast<std::size_t>(l)];
+        --unfrozen;
+      }
+    }
+  }
+  return rate;
+}
+
+SlowdownReport measure_slowdowns(const FatTree& topo,
+                                 const std::vector<Allocation>& running,
+                                 Rng& rng, TrafficRouting routing) {
+  std::vector<std::vector<int>> flow_links;
+  std::vector<std::size_t> flow_job;  // index into `running`
+  for (std::size_t k = 0; k < running.size(); ++k) {
+    const Allocation& alloc = running[k];
+    if (alloc.nodes.size() < 2) continue;
+    const auto permutation = random_permutation(alloc, rng);
+    if (routing == TrafficRouting::kRnbOptimal) {
+      auto outcome = route_permutation(topo, alloc, permutation);
+      if (!outcome.ok) {
+        throw std::invalid_argument(
+            "RNB routing needs condition-satisfying allocations: " +
+            outcome.error);
+      }
+      for (auto& routed : outcome.routes) {
+        if (routed.flow.src == routed.flow.dst) continue;
+        flow_links.push_back(std::move(routed.links));
+        flow_job.push_back(k);
+      }
+      continue;
+    }
+    const PartitionRouter router(topo, alloc);
+    for (const Flow& f : permutation) {
+      if (f.src == f.dst) continue;
+      flow_links.push_back(routing == TrafficRouting::kWraparound
+                               ? router.route(f.src, f.dst)
+                               : dmodk_route(topo, f.src, f.dst));
+      flow_job.push_back(k);
+    }
+  }
+
+  const std::vector<double> capacities(
+      static_cast<std::size_t>(topo.directed_link_count()), 1.0);
+  const std::vector<double> rates =
+      max_min_fair_rates(capacities, flow_links);
+
+  SlowdownReport report;
+  std::vector<double> worst(running.size(), 1.0);
+  std::vector<char> has_flows(running.size(), 0);
+  for (std::size_t f = 0; f < rates.size(); ++f) {
+    const double slowdown = rates[f] > 0.0 ? 1.0 / rates[f] : 0.0;
+    worst[flow_job[f]] = std::max(worst[flow_job[f]], slowdown);
+    has_flows[flow_job[f]] = 1;
+  }
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t k = 0; k < running.size(); ++k) {
+    if (!has_flows[k]) continue;
+    report.jobs.push_back(JobSlowdown{running[k].job, worst[k]});
+    report.max_slowdown = std::max(report.max_slowdown, worst[k]);
+    if (worst[k] > 1.05) report.fraction_slowed += 1.0;
+    sum += worst[k];
+    ++counted;
+  }
+  if (counted > 0) {
+    report.mean_slowdown = sum / static_cast<double>(counted);
+    report.fraction_slowed /= static_cast<double>(counted);
+  }
+  return report;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,63 @@
+// Max-min fair bandwidth sharing over capacitated links.
+//
+// The paper's turnaround/makespan analysis *assumes* per-job speed-ups
+// from isolation (§5.4.1), citing measured interference in prior work.
+// This module closes the loop inside the repository: given the flows of
+// every running job routed over the tree, progressive filling computes the
+// max-min fair rate of each flow; a job's effective bandwidth slowdown is
+// the inverse rate of its slowest flow (collectives finish with their
+// stragglers). Comparing Baseline placements under D-mod-k against
+// isolated partitions yields a *measured* distribution of slowdowns to
+// hold next to the 5/10/20% scenarios (bench_ext_speedup_dist).
+
+#pragma once
+
+#include <vector>
+
+#include "topology/allocation.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw {
+
+/// Progressive filling: all flows grow at one rate; when a link saturates
+/// (capacity exhausted by its active flows) its flows freeze at the
+/// current rate. Returns the fair rate per flow (same order as
+/// flow_links). Flows traversing no links get rate `idle_rate`.
+///
+/// capacities are per directed link; flow_links[f] lists the directed
+/// links flow f traverses (duplicates ignored).
+std::vector<double> max_min_fair_rates(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& flow_links, double idle_rate = 1.0);
+
+struct JobSlowdown {
+  JobId job = kNoJob;
+  /// 1.0 = full speed; 2.0 = the job's slowest flow got half bandwidth.
+  double slowdown = 1.0;
+};
+
+struct SlowdownReport {
+  std::vector<JobSlowdown> jobs;
+  double mean_slowdown = 1.0;
+  double max_slowdown = 1.0;
+  /// Fraction of jobs slowed by more than 5% (the paper's weakest
+  /// speed-up scenario threshold).
+  double fraction_slowed = 0.0;
+};
+
+enum class TrafficRouting {
+  kDmodk,       ///< static D-mod-k on the full tree (Baseline reality)
+  kWraparound,  ///< partition-confined single-path routing (Figure 5)
+  kRnbOptimal,  ///< the constructive RNB schedule (zero contention)
+};
+
+/// Drives one random permutation per multi-node job, routes every flow per
+/// `routing`, applies max-min fairness with unit link capacities, and
+/// reports per-job bandwidth slowdowns. kWraparound/kRnbOptimal require
+/// condition-satisfying allocations.
+SlowdownReport measure_slowdowns(const FatTree& topo,
+                                 const std::vector<Allocation>& running,
+                                 Rng& rng, TrafficRouting routing);
+
+}  // namespace jigsaw

@@ -1,0 +1,96 @@
+#include "routing/partition_routing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jigsaw {
+
+PartitionRouter::PartitionRouter(const FatTree& topo,
+                                 const Allocation& allocation)
+    : topo_(&topo) {
+  std::vector<NodeId> nodes = allocation.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    rank_[nodes[r]] = static_cast<int>(r);
+  }
+  for (const LeafWire& w : allocation.leaf_wires) {
+    leaf_uplinks_[w.leaf].push_back(w.l2_index);
+  }
+  for (auto& [leaf, ups] : leaf_uplinks_) {
+    (void)leaf;
+    std::sort(ups.begin(), ups.end());
+  }
+  for (const L2Wire& w : allocation.l2_wires) {
+    l2_uplinks_[{w.tree, w.l2_index}].push_back(w.spine_index);
+  }
+  for (auto& [key, ups] : l2_uplinks_) {
+    (void)key;
+    std::sort(ups.begin(), ups.end());
+  }
+}
+
+int PartitionRouter::rank_of(NodeId n) const {
+  const auto it = rank_.find(n);
+  if (it == rank_.end()) {
+    throw std::invalid_argument("node not in allocation");
+  }
+  return it->second;
+}
+
+std::vector<int> PartitionRouter::route(NodeId src, NodeId dst) const {
+  const int dst_rank = rank_of(dst);
+  rank_of(src);  // membership check
+  std::vector<int> links;
+  if (src == dst) return links;
+
+  const FatTree& topo = *topo_;
+  const LeafId src_leaf = topo.leaf_of_node(src);
+  const LeafId dst_leaf = topo.leaf_of_node(dst);
+  links.push_back(topo.node_up_link(src));
+  if (src_leaf != dst_leaf) {
+    // Common uplink indices of the two leaves; wraparound the D-mod-k
+    // modulus over this (possibly remainder-shortened) set.
+    const auto src_it = leaf_uplinks_.find(src_leaf);
+    const auto dst_it = leaf_uplinks_.find(dst_leaf);
+    if (src_it == leaf_uplinks_.end() || dst_it == leaf_uplinks_.end()) {
+      throw std::invalid_argument(
+          "partition has no uplinks on a multi-leaf path");
+    }
+    std::vector<int> common;
+    std::set_intersection(src_it->second.begin(), src_it->second.end(),
+                          dst_it->second.begin(), dst_it->second.end(),
+                          std::back_inserter(common));
+    if (common.empty()) {
+      throw std::invalid_argument("leaves share no allocated uplinks");
+    }
+    const int i = common[static_cast<std::size_t>(dst_rank) % common.size()];
+
+    const TreeId src_tree = topo.tree_of_leaf(src_leaf);
+    const TreeId dst_tree = topo.tree_of_leaf(dst_leaf);
+    links.push_back(topo.leaf_up_link(src_leaf, i));
+    if (src_tree != dst_tree) {
+      const auto su = l2_uplinks_.find({src_tree, i});
+      const auto du = l2_uplinks_.find({dst_tree, i});
+      if (su == l2_uplinks_.end() || du == l2_uplinks_.end()) {
+        throw std::invalid_argument("partition lacks spine links at L2");
+      }
+      std::vector<int> spines;
+      std::set_intersection(su->second.begin(), su->second.end(),
+                            du->second.begin(), du->second.end(),
+                            std::back_inserter(spines));
+      if (spines.empty()) {
+        throw std::invalid_argument("subtrees share no allocated spines");
+      }
+      const int j =
+          spines[static_cast<std::size_t>(dst_rank / topo.l2_per_tree()) %
+                 spines.size()];
+      links.push_back(topo.l2_up_link(src_tree, i, j));
+      links.push_back(topo.l2_down_link(dst_tree, i, j));
+    }
+    links.push_back(topo.leaf_down_link(dst_leaf, i));
+  }
+  links.push_back(topo.node_down_link(dst));
+  return links;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,42 @@
+// Partition-confined routing (Figure 5).
+//
+// Standard D-mod-k is unaware of Jigsaw's allocations: its first hop can
+// leave the partition. PartitionRouter maps D-mod-k onto the allocated
+// links instead, wrapping the modulus around the partition's own uplink
+// sets — including the smaller sets on remainder switches — so every hop
+// stays on links the job owns. This models the routing-table adjustment a
+// deployment would push through the subnet manager (§4).
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topology/allocation.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace jigsaw {
+
+class PartitionRouter {
+ public:
+  /// The allocation should satisfy the §3.2 conditions (Jigsaw/LaaS/LC
+  /// output); construction throws std::invalid_argument when a flow could
+  /// be unroutable (e.g. no common uplinks between two allocated leaves).
+  PartitionRouter(const FatTree& topo, const Allocation& allocation);
+
+  /// Directed link ids for one packet src -> dst. Both nodes must belong
+  /// to the allocation.
+  std::vector<int> route(NodeId src, NodeId dst) const;
+
+  /// Local rank of a node within the allocation (0..N-1, ordered by id);
+  /// the modulus driving up-port selection.
+  int rank_of(NodeId n) const;
+
+ private:
+  const FatTree* topo_;
+  std::map<NodeId, int> rank_;
+  std::map<LeafId, std::vector<int>> leaf_uplinks_;  // sorted L2 indices
+  std::map<std::pair<TreeId, int>, std::vector<int>> l2_uplinks_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,457 @@
+#include "routing/rnb_router.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/conditions.hpp"
+#include "routing/edge_coloring.hpp"
+#include "util/bitset64.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+/// Structure of a condition-satisfying partition, derived from the
+/// allocation's resource lists.
+struct PartitionInfo {
+  std::vector<LeafId> leaves;  // sorted
+  std::map<LeafId, int> leaf_index;
+  std::vector<int> leaf_nodes;   // per leaf index
+  std::vector<Mask> leaf_wires;  // per leaf index
+  std::vector<TreeId> trees;     // sorted
+  std::map<TreeId, int> tree_index;
+  std::map<std::pair<TreeId, int>, Mask> l2_wires;
+  int n_leaf = 0;          // nL
+  int leaves_per_tree = 0; // LT (0 when single-tree)
+  int rem_leaf = -1;       // leaf index, -1 when none
+  int rem_tree = -1;       // tree index, -1 when none
+  Mask s_set = 0;
+  Mask sr_set = 0;
+};
+
+PartitionInfo analyze(const FatTree& topo, const Allocation& a) {
+  PartitionInfo p;
+  std::map<LeafId, int> node_count;
+  std::map<TreeId, int> tree_count;
+  for (const NodeId n : a.nodes) {
+    ++node_count[topo.leaf_of_node(n)];
+    ++tree_count[topo.tree_of_node(n)];
+  }
+  for (const auto& [leaf, count] : node_count) {
+    p.leaf_index[leaf] = static_cast<int>(p.leaves.size());
+    p.leaves.push_back(leaf);
+    p.leaf_nodes.push_back(count);
+    p.n_leaf = std::max(p.n_leaf, count);
+  }
+  p.leaf_wires.assign(p.leaves.size(), 0);
+  for (const LeafWire& w : a.leaf_wires) {
+    p.leaf_wires[static_cast<std::size_t>(p.leaf_index.at(w.leaf))] |=
+        Mask{1} << w.l2_index;
+  }
+  for (std::size_t li = 0; li < p.leaves.size(); ++li) {
+    if (p.leaf_nodes[li] < p.n_leaf) p.rem_leaf = static_cast<int>(li);
+    else p.s_set = p.leaf_wires[li];  // any full leaf defines S
+  }
+  if (p.rem_leaf >= 0) {
+    p.sr_set = p.leaf_wires[static_cast<std::size_t>(p.rem_leaf)];
+  }
+  int max_tree_nodes = 0;
+  for (const auto& [tree, count] : tree_count) {
+    p.tree_index[tree] = static_cast<int>(p.trees.size());
+    p.trees.push_back(tree);
+    max_tree_nodes = std::max(max_tree_nodes, count);
+  }
+  for (const auto& [tree, count] : tree_count) {
+    if (count < max_tree_nodes) p.rem_tree = p.tree_index.at(tree);
+  }
+  if (p.trees.size() > 1) p.leaves_per_tree = max_tree_nodes / p.n_leaf;
+  for (const L2Wire& w : a.l2_wires) {
+    p.l2_wires[{w.tree, w.l2_index}] |= Mask{1} << w.spine_index;
+  }
+  return p;
+}
+
+/// Assign one resource (bit of `pool`) to each color class: classes in
+/// `constrained` draw from `constrained_pool` first (they must), the rest
+/// from whatever remains.
+std::vector<int> assign_classes(int num_classes, Mask pool,
+                                const std::set<int>& constrained,
+                                Mask constrained_pool) {
+  std::vector<int> assignment(static_cast<std::size_t>(num_classes), -1);
+  Mask remaining = pool;
+  Mask cpool = constrained_pool;
+  for (const int c : constrained) {
+    const int bit = lowest_bit(cpool);
+    assignment[static_cast<std::size_t>(c)] = bit;
+    cpool &= cpool - 1;
+    remaining &= ~(Mask{1} << bit);
+  }
+  for (int c = 0; c < num_classes; ++c) {
+    if (assignment[static_cast<std::size_t>(c)] >= 0) continue;
+    assignment[static_cast<std::size_t>(c)] = lowest_bit(remaining);
+    remaining &= remaining - 1;
+  }
+  return assignment;
+}
+
+struct StageAEdge {
+  int src_leaf;  // leaf index
+  int dst_leaf;
+  int flow = -1;  // index into the permutation; -1 for virtual padding
+};
+
+RoutingOutcome failure(const std::string& message) {
+  RoutingOutcome out;
+  out.error = message;
+  return out;
+}
+
+}  // namespace
+
+RoutingOutcome route_permutation(const FatTree& topo, const Allocation& a,
+                                 const std::vector<Flow>& permutation) {
+  if (const auto report = check_full_bandwidth(topo, a); !report) {
+    return failure("allocation violates conditions: " + report.error);
+  }
+
+  // The permutation must pair every allocated node once each way.
+  std::set<NodeId> allocated(a.nodes.begin(), a.nodes.end());
+  if (permutation.size() != allocated.size()) {
+    return failure("permutation size != allocation size");
+  }
+  std::set<NodeId> sources;
+  std::set<NodeId> destinations;
+  for (const Flow& f : permutation) {
+    if (!allocated.count(f.src) || !allocated.count(f.dst)) {
+      return failure("flow endpoint outside the allocation");
+    }
+    if (!sources.insert(f.src).second || !destinations.insert(f.dst).second) {
+      return failure("not a permutation: repeated source or destination");
+    }
+  }
+
+  const PartitionInfo p = analyze(topo, a);
+  RoutingOutcome out;
+  out.routes.resize(permutation.size());
+  for (std::size_t i = 0; i < permutation.size(); ++i) {
+    out.routes[i].flow = permutation[i];
+  }
+
+  auto direct_route = [&](std::size_t fi) {
+    const Flow f = permutation[fi];
+    if (f.src != f.dst) {
+      out.routes[fi].links = {topo.node_up_link(f.src),
+                              topo.node_down_link(f.dst)};
+    }
+  };
+
+  if (p.leaves.size() == 1) {  // single-leaf partition: all flows local
+    for (std::size_t fi = 0; fi < permutation.size(); ++fi) direct_route(fi);
+    out.ok = true;
+    return out;
+  }
+
+  // ---- Stage A: color the leaf-to-leaf flow multigraph with nL colors.
+  std::vector<StageAEdge> a_edges;
+  std::vector<std::pair<int, int>> a_pairs;
+  for (std::size_t fi = 0; fi < permutation.size(); ++fi) {
+    const Flow f = permutation[fi];
+    const int sl = p.leaf_index.at(topo.leaf_of_node(f.src));
+    const int dl = p.leaf_index.at(topo.leaf_of_node(f.dst));
+    a_edges.push_back({sl, dl, static_cast<int>(fi)});
+    a_pairs.emplace_back(sl, dl);
+  }
+  if (p.rem_leaf >= 0) {  // pad the remainder leaf to full degree
+    const int missing =
+        p.n_leaf - p.leaf_nodes[static_cast<std::size_t>(p.rem_leaf)];
+    for (int k = 0; k < missing; ++k) {
+      a_edges.push_back({p.rem_leaf, p.rem_leaf, -1});
+      a_pairs.emplace_back(p.rem_leaf, p.rem_leaf);
+    }
+  }
+  const auto a_colors =
+      bipartite_edge_coloring(static_cast<int>(p.leaves.size()),
+                              static_cast<int>(p.leaves.size()), a_pairs);
+
+  // Map colors to L2 indices: classes where the remainder leaf carries a
+  // real flow to/from another leaf must land in Sr (proof Cases 1/2).
+  std::set<int> rem_classes;
+  for (std::size_t e = 0; e < a_edges.size(); ++e) {
+    const StageAEdge& edge = a_edges[e];
+    if (edge.flow < 0 || edge.src_leaf == edge.dst_leaf) continue;
+    if (edge.src_leaf == p.rem_leaf || edge.dst_leaf == p.rem_leaf) {
+      rem_classes.insert(a_colors[e]);
+    }
+  }
+  if (static_cast<int>(rem_classes.size()) > popcount(p.sr_set)) {
+    return failure("internal: remainder leaf classes exceed |Sr|");
+  }
+  const std::vector<int> l2_of_class =
+      assign_classes(p.n_leaf, p.s_set, rem_classes, p.sr_set);
+
+  // ---- Per class: route intra-subtree flows, then Stage B for the rest.
+  std::vector<std::vector<std::size_t>> class_edges(
+      static_cast<std::size_t>(p.n_leaf));
+  for (std::size_t e = 0; e < a_edges.size(); ++e) {
+    class_edges[static_cast<std::size_t>(a_colors[e])].push_back(e);
+  }
+
+  for (int c = 0; c < p.n_leaf; ++c) {
+    const int i = l2_of_class[static_cast<std::size_t>(c)];
+    std::vector<std::pair<int, int>> b_pairs;  // tree-index multigraph
+    std::vector<int> b_flow;                   // flow per edge, -1 virtual
+    std::vector<int> out_deg(p.trees.size(), 0);
+    std::vector<int> in_deg(p.trees.size(), 0);
+
+    for (const std::size_t e : class_edges[static_cast<std::size_t>(c)]) {
+      const StageAEdge& edge = a_edges[e];
+      int st = -1;
+      int dt = -1;
+      if (edge.flow >= 0) {
+        const Flow f = permutation[static_cast<std::size_t>(edge.flow)];
+        st = p.tree_index.at(topo.tree_of_node(f.src));
+        dt = p.tree_index.at(topo.tree_of_node(f.dst));
+        if (f.src == f.dst) {
+          // occupies this leaf's slot, no links
+        } else if (edge.src_leaf == edge.dst_leaf) {
+          direct_route(static_cast<std::size_t>(edge.flow));
+        } else if (st == dt) {
+          out.routes[static_cast<std::size_t>(edge.flow)].links = {
+              topo.node_up_link(f.src),
+              topo.leaf_up_link(topo.leaf_of_node(f.src), i),
+              topo.leaf_down_link(topo.leaf_of_node(f.dst), i),
+              topo.node_down_link(f.dst)};
+        }
+      } else {
+        st = dt = p.tree_index.at(
+            topo.tree_of_leaf(p.leaves[static_cast<std::size_t>(
+                edge.src_leaf)]));
+      }
+      b_pairs.emplace_back(st, dt);
+      b_flow.push_back(st != dt ? edge.flow : -1);
+      ++out_deg[static_cast<std::size_t>(st)];
+      ++in_deg[static_cast<std::size_t>(dt)];
+    }
+
+    if (p.trees.size() == 1) continue;  // no spine stage
+
+    // Pad every subtree to degree LT with virtual self-loops so each Stage
+    // B class is a perfect matching over subtrees.
+    for (std::size_t t = 0; t < p.trees.size(); ++t) {
+      if (out_deg[t] != in_deg[t]) {
+        return failure("internal: class out/in degree mismatch");
+      }
+      for (int k = out_deg[t]; k < p.leaves_per_tree; ++k) {
+        b_pairs.emplace_back(static_cast<int>(t), static_cast<int>(t));
+        b_flow.push_back(-1);
+      }
+    }
+    const auto b_colors =
+        bipartite_edge_coloring(static_cast<int>(p.trees.size()),
+                                static_cast<int>(p.trees.size()), b_pairs);
+
+    // Spine sets at L2 index i: S*_i from any full tree, S*r_i from the
+    // remainder tree.
+    Mask star = 0;
+    for (std::size_t t = 0; t < p.trees.size(); ++t) {
+      if (static_cast<int>(t) == p.rem_tree) continue;
+      const auto it = p.l2_wires.find({p.trees[t], i});
+      star = it == p.l2_wires.end() ? 0 : it->second;
+      break;
+    }
+    Mask star_rem = 0;
+    if (p.rem_tree >= 0) {
+      const auto it =
+          p.l2_wires.find({p.trees[static_cast<std::size_t>(p.rem_tree)], i});
+      if (it != p.l2_wires.end()) star_rem = it->second;
+    }
+
+    std::set<int> rem_b_classes;
+    for (std::size_t e = 0; e < b_pairs.size(); ++e) {
+      if (b_flow[e] < 0) continue;
+      if (b_pairs[e].first == p.rem_tree || b_pairs[e].second == p.rem_tree) {
+        rem_b_classes.insert(b_colors[e]);
+      }
+    }
+    if (static_cast<int>(rem_b_classes.size()) > popcount(star_rem)) {
+      return failure("internal: remainder subtree classes exceed |S*r_i|");
+    }
+    const std::vector<int> spine_of_class =
+        assign_classes(p.leaves_per_tree, star, rem_b_classes, star_rem);
+
+    for (std::size_t e = 0; e < b_pairs.size(); ++e) {
+      if (b_flow[e] < 0) continue;
+      const Flow f = permutation[static_cast<std::size_t>(b_flow[e])];
+      const int j = spine_of_class[static_cast<std::size_t>(b_colors[e])];
+      out.routes[static_cast<std::size_t>(b_flow[e])].links = {
+          topo.node_up_link(f.src),
+          topo.leaf_up_link(topo.leaf_of_node(f.src), i),
+          topo.l2_up_link(topo.tree_of_node(f.src), i, j),
+          topo.l2_down_link(topo.tree_of_node(f.dst), i, j),
+          topo.leaf_down_link(topo.leaf_of_node(f.dst), i),
+          topo.node_down_link(f.dst)};
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+std::string verify_one_flow_per_link(const FatTree& topo, const Allocation& a,
+                                     const std::vector<RoutedFlow>& routes) {
+  std::set<int> allowed;
+  for (const NodeId n : a.nodes) {
+    allowed.insert(topo.node_up_link(n));
+    allowed.insert(topo.node_down_link(n));
+  }
+  for (const LeafWire& w : a.leaf_wires) {
+    allowed.insert(topo.leaf_up_link(w.leaf, w.l2_index));
+    allowed.insert(topo.leaf_down_link(w.leaf, w.l2_index));
+  }
+  for (const L2Wire& w : a.l2_wires) {
+    allowed.insert(topo.l2_up_link(w.tree, w.l2_index, w.spine_index));
+    allowed.insert(topo.l2_down_link(w.tree, w.l2_index, w.spine_index));
+  }
+  std::map<int, int> usage;
+  for (const RoutedFlow& r : routes) {
+    for (const int link : r.links) {
+      if (!allowed.count(link)) {
+        return "flow uses unallocated link " + topo.link_name(link);
+      }
+      if (++usage[link] > 1) {
+        return "link " + topo.link_name(link) + " carries multiple flows";
+      }
+    }
+  }
+  return {};
+}
+
+RoutingOutcome route_permutation_exhaustive(const FatTree& topo,
+                                            const Allocation& a,
+                                            const std::vector<Flow>& flows,
+                                            std::uint64_t step_budget) {
+  const PartitionInfo p = analyze(topo, a);
+
+  // Enumerate each flow's candidate link lists within the allocation.
+  std::vector<std::vector<std::vector<int>>> options(flows.size());
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const Flow f = flows[fi];
+    if (f.src == f.dst) {
+      options[fi].push_back({});
+      continue;
+    }
+    const LeafId sl = topo.leaf_of_node(f.src);
+    const LeafId dl = topo.leaf_of_node(f.dst);
+    if (sl == dl) {
+      options[fi].push_back(
+          {topo.node_up_link(f.src), topo.node_down_link(f.dst)});
+      continue;
+    }
+    const auto sli = p.leaf_index.find(sl);
+    const auto dli = p.leaf_index.find(dl);
+    if (sli == p.leaf_index.end() || dli == p.leaf_index.end()) {
+      return failure("flow endpoint on unallocated leaf");
+    }
+    const Mask common =
+        p.leaf_wires[static_cast<std::size_t>(sli->second)] &
+        p.leaf_wires[static_cast<std::size_t>(dli->second)];
+    const TreeId st = topo.tree_of_leaf(sl);
+    const TreeId dt = topo.tree_of_leaf(dl);
+    for_each_bit(common, [&](int i) {
+      if (st == dt) {
+        options[fi].push_back({topo.node_up_link(f.src),
+                               topo.leaf_up_link(sl, i),
+                               topo.leaf_down_link(dl, i),
+                               topo.node_down_link(f.dst)});
+        return;
+      }
+      const auto su = p.l2_wires.find({st, i});
+      const auto du = p.l2_wires.find({dt, i});
+      if (su == p.l2_wires.end() || du == p.l2_wires.end()) return;
+      for_each_bit(su->second & du->second, [&](int j) {
+        options[fi].push_back(
+            {topo.node_up_link(f.src), topo.leaf_up_link(sl, i),
+             topo.l2_up_link(st, i, j), topo.l2_down_link(dt, i, j),
+             topo.leaf_down_link(dl, i), topo.node_down_link(f.dst)});
+      });
+    });
+    if (options[fi].empty()) {
+      return failure("flow has no in-partition route at all");
+    }
+  }
+
+  // Most-constrained-first ordering, then backtrack over candidates.
+  std::vector<std::size_t> order(flows.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return options[x].size() < options[y].size();
+  });
+
+  std::vector<char> used(static_cast<std::size_t>(topo.directed_link_count()),
+                         0);
+  std::vector<int> choice(flows.size(), -1);
+  std::uint64_t budget = step_budget;
+
+  auto fits = [&](const std::vector<int>& links) {
+    for (const int l : links) {
+      if (used[static_cast<std::size_t>(l)]) return false;
+    }
+    return true;
+  };
+  auto mark = [&](const std::vector<int>& links, char v) {
+    for (const int l : links) used[static_cast<std::size_t>(l)] = v;
+  };
+
+  // Iterative backtracking over the ordered flows.
+  std::size_t depth = 0;
+  while (true) {
+    if (budget-- == 0) return failure("exhausted");
+    if (depth == flows.size()) break;  // solved
+    const std::size_t fi = order[depth];
+    int next = choice[fi] + 1;
+    if (choice[fi] >= 0) {
+      mark(options[fi][static_cast<std::size_t>(choice[fi])], 0);
+    }
+    bool advanced = false;
+    for (; next < static_cast<int>(options[fi].size()); ++next) {
+      if (fits(options[fi][static_cast<std::size_t>(next)])) {
+        choice[fi] = next;
+        mark(options[fi][static_cast<std::size_t>(next)], 1);
+        ++depth;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      choice[fi] = -1;
+      if (depth == 0) return failure("no conflict-free routing exists");
+      --depth;
+    }
+  }
+
+  RoutingOutcome out;
+  out.ok = true;
+  out.routes.resize(flows.size());
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    out.routes[fi].flow = flows[fi];
+    out.routes[fi].links = options[fi][static_cast<std::size_t>(choice[fi])];
+  }
+  return out;
+}
+
+std::vector<Flow> random_permutation(const Allocation& a, Rng& rng) {
+  std::vector<NodeId> dsts = a.nodes;
+  for (std::size_t k = dsts.size(); k > 1; --k) {
+    std::swap(dsts[k - 1], dsts[rng.below(k)]);
+  }
+  std::vector<Flow> flows;
+  flows.reserve(a.nodes.size());
+  for (std::size_t k = 0; k < a.nodes.size(); ++k) {
+    flows.push_back(Flow{a.nodes[k], dsts[k]});
+  }
+  return flows;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,77 @@
+// Constructive rearrangeable-non-blocking routing (Appendix A).
+//
+// route_permutation implements the sufficiency proof of Theorem 6 as an
+// algorithm: given an allocation that satisfies the §3.2 conditions and an
+// arbitrary permutation of its nodes, it produces a routing with at most
+// one flow per directed link, confined to the allocation's links.
+//
+// The construction is two nested bipartite edge colorings:
+//   Stage A colors the leaf-to-leaf flow multigraph with nL colors (the
+//   remainder leaf is padded to full degree with virtual self-flows, the
+//   paper's augmentation); color classes are perfect matchings over
+//   leaves and each is assigned one L2 index. Classes in which the
+//   remainder leaf carries a *real* flow map into Sr — the Case 1/2
+//   center-network selection of the proof.
+//   Stage B, per class, colors the subtree-to-subtree multigraph with LT
+//   colors (subtrees padded with virtual self-loops) and assigns each
+//   class one spine; classes with real inter-subtree flows at the
+//   remainder subtree map into S*r_i.
+//
+// route_permutation_exhaustive is an independent backtracking router for
+// *arbitrary* allocations (small instances); the necessity tests use it to
+// show that condition-violating allocations admit unroutable permutations.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/allocation.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw {
+
+struct Flow {
+  NodeId src;
+  NodeId dst;
+};
+
+struct RoutedFlow {
+  Flow flow;
+  std::vector<int> links;  ///< directed link ids, in hop order
+};
+
+struct RoutingOutcome {
+  bool ok = false;
+  std::string error;
+  std::vector<RoutedFlow> routes;
+};
+
+/// Constructive router; requires check_full_bandwidth(topo, a) to pass and
+/// `permutation` to pair every allocated node once as source and once as
+/// destination.
+RoutingOutcome route_permutation(const FatTree& topo, const Allocation& a,
+                                 const std::vector<Flow>& permutation);
+
+/// Backtracking router over per-flow (L2 index, spine) choices within the
+/// allocation's links; exact but exponential — use on small instances.
+/// ok == false with error "exhausted" means the budget ran out before the
+/// search space did.
+RoutingOutcome route_permutation_exhaustive(const FatTree& topo,
+                                            const Allocation& a,
+                                            const std::vector<Flow>& flows,
+                                            std::uint64_t step_budget = 1u
+                                                                        << 22);
+
+/// Empty string when every directed link carries at most one flow and all
+/// links belong to the allocation; otherwise a description of the first
+/// violation.
+std::string verify_one_flow_per_link(const FatTree& topo, const Allocation& a,
+                                     const std::vector<RoutedFlow>& routes);
+
+/// Uniformly random permutation over the allocation's nodes.
+std::vector<Flow> random_permutation(const Allocation& a, Rng& rng);
+
+}  // namespace jigsaw

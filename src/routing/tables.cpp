@@ -1,0 +1,199 @@
+#include "routing/tables.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/bitset64.hpp"
+
+namespace jigsaw {
+
+ForwardingTables build_dmodk_tables(const FatTree& topo) {
+  ForwardingTables tables;
+  tables.total_nodes = topo.total_nodes();
+  const std::size_t n = static_cast<std::size_t>(topo.total_nodes());
+  tables.leaf_out.resize(static_cast<std::size_t>(topo.total_leaves()) * n);
+  tables.l2_out.resize(static_cast<std::size_t>(topo.total_l2()) * n);
+  tables.spine_out.resize(static_cast<std::size_t>(topo.total_spines()) * n);
+
+  for (LeafId leaf = 0; leaf < topo.total_leaves(); ++leaf) {
+    for (NodeId dst = 0; dst < topo.total_nodes(); ++dst) {
+      const std::int16_t port =
+          topo.leaf_of_node(dst) == leaf
+              ? static_cast<std::int16_t>(topo.node_index_in_leaf(dst))
+              : static_cast<std::int16_t>(topo.nodes_per_leaf() +
+                                          dst % topo.l2_per_tree());
+      tables.leaf_out[static_cast<std::size_t>(leaf) * n +
+                      static_cast<std::size_t>(dst)] = port;
+    }
+  }
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    for (int i = 0; i < topo.l2_per_tree(); ++i) {
+      const std::size_t l2 = static_cast<std::size_t>(topo.l2_id(t, i));
+      for (NodeId dst = 0; dst < topo.total_nodes(); ++dst) {
+        const std::int16_t port =
+            topo.tree_of_node(dst) == t
+                ? static_cast<std::int16_t>(
+                      topo.leaf_index_in_tree(topo.leaf_of_node(dst)))
+                : static_cast<std::int16_t>(
+                      topo.leaves_per_tree() +
+                      (dst / topo.l2_per_tree()) % topo.spines_per_group());
+        tables.l2_out[l2 * n + static_cast<std::size_t>(dst)] = port;
+      }
+    }
+  }
+  for (SpineId s = 0; s < topo.total_spines(); ++s) {
+    for (NodeId dst = 0; dst < topo.total_nodes(); ++dst) {
+      tables.spine_out[static_cast<std::size_t>(s) * n +
+                       static_cast<std::size_t>(dst)] =
+          static_cast<std::int16_t>(topo.tree_of_node(dst));
+    }
+  }
+  return tables;
+}
+
+std::size_t apply_partition_overrides(const FatTree& topo,
+                                      const Allocation& allocation,
+                                      ForwardingTables* tables) {
+  const std::size_t n = static_cast<std::size_t>(topo.total_nodes());
+  std::size_t rewritten = 0;
+
+  // Rank nodes within the allocation (the wraparound modulus).
+  std::vector<NodeId> nodes = allocation.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  std::map<NodeId, int> rank;
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    rank[nodes[r]] = static_cast<int>(r);
+  }
+
+  std::map<LeafId, std::vector<int>> leaf_ups;
+  for (const LeafWire& w : allocation.leaf_wires) {
+    leaf_ups[w.leaf].push_back(w.l2_index);
+  }
+  for (auto& [leaf, ups] : leaf_ups) {
+    (void)leaf;
+    std::sort(ups.begin(), ups.end());
+  }
+  std::map<std::pair<TreeId, int>, std::vector<int>> l2_ups;
+  for (const L2Wire& w : allocation.l2_wires) {
+    l2_ups[{w.tree, w.l2_index}].push_back(w.spine_index);
+  }
+  for (auto& [key, ups] : l2_ups) {
+    (void)key;
+    std::sort(ups.begin(), ups.end());
+  }
+
+  // Leaf entries: for every allocated source leaf and every allocated
+  // destination on another leaf, pick the wraparound uplink from the two
+  // leaves' common allocated set (as PartitionRouter does).
+  for (const auto& [src_leaf, src_ups] : leaf_ups) {
+    for (const NodeId dst : nodes) {
+      const LeafId dst_leaf = topo.leaf_of_node(dst);
+      if (dst_leaf == src_leaf) continue;
+      const auto dst_it = leaf_ups.find(dst_leaf);
+      if (dst_it == leaf_ups.end()) continue;
+      std::vector<int> common;
+      std::set_intersection(src_ups.begin(), src_ups.end(),
+                            dst_it->second.begin(), dst_it->second.end(),
+                            std::back_inserter(common));
+      if (common.empty()) continue;  // conditions make this unreachable
+      const int i = common[static_cast<std::size_t>(rank.at(dst)) %
+                           common.size()];
+      tables->leaf_out[static_cast<std::size_t>(src_leaf) * n +
+                       static_cast<std::size_t>(dst)] =
+          static_cast<std::int16_t>(topo.nodes_per_leaf() + i);
+      ++rewritten;
+    }
+  }
+
+  // L2 entries: for every allocated (tree, L2 index) and destination in
+  // another tree, pick the wraparound spine from the common allocated set.
+  for (const auto& [key, src_js] : l2_ups) {
+    const auto& [src_tree, i] = key;
+    for (const NodeId dst : nodes) {
+      const TreeId dst_tree = topo.tree_of_node(dst);
+      if (dst_tree == src_tree) continue;
+      const auto dst_it = l2_ups.find({dst_tree, i});
+      if (dst_it == l2_ups.end()) continue;
+      std::vector<int> common;
+      std::set_intersection(src_js.begin(), src_js.end(),
+                            dst_it->second.begin(), dst_it->second.end(),
+                            std::back_inserter(common));
+      if (common.empty()) continue;
+      const int j =
+          common[static_cast<std::size_t>(rank.at(dst) /
+                                          topo.l2_per_tree()) %
+                 common.size()];
+      tables->l2_out[static_cast<std::size_t>(topo.l2_id(src_tree, i)) * n +
+                     static_cast<std::size_t>(dst)] =
+          static_cast<std::int16_t>(topo.leaves_per_tree() + j);
+      ++rewritten;
+    }
+  }
+  return rewritten;
+}
+
+WalkResult walk(const FatTree& topo, const ForwardingTables& tables,
+                NodeId src, NodeId dst) {
+  WalkResult result;
+  if (src < 0 || src >= topo.total_nodes() || dst < 0 ||
+      dst >= topo.total_nodes()) {
+    result.error = "node out of range";
+    return result;
+  }
+  if (src == dst) {
+    result.ok = true;
+    return result;
+  }
+
+  const int m1 = topo.nodes_per_leaf();
+  const int m2 = topo.leaves_per_tree();
+  result.links.push_back(topo.node_up_link(src));
+
+  LeafId leaf = topo.leaf_of_node(src);
+  int port = tables.leaf_port(leaf, dst);
+  if (port < m1) {  // direct delivery on the source leaf
+    if (topo.node_id(leaf, port) != dst) {
+      result.error = "leaf table delivers to the wrong node";
+      return result;
+    }
+    result.links.push_back(topo.node_down_link(dst));
+    result.ok = true;
+    return result;
+  }
+
+  const int i = port - m1;
+  TreeId tree = topo.tree_of_leaf(leaf);
+  result.links.push_back(topo.leaf_up_link(leaf, i));
+
+  int l2_port = tables.l2_port(topo.l2_id(tree, i), dst);
+  if (l2_port >= m2) {  // cross-subtree: via a spine
+    const int j = l2_port - m2;
+    result.links.push_back(topo.l2_up_link(tree, i, j));
+    const SpineId spine = topo.spine_id(i, j);
+    const int spine_port = tables.spine_port(spine, dst);
+    if (spine_port < 0 || spine_port >= topo.trees()) {
+      result.error = "spine table port out of range";
+      return result;
+    }
+    tree = spine_port;
+    result.links.push_back(topo.l2_down_link(tree, i, j));
+    l2_port = tables.l2_port(topo.l2_id(tree, i), dst);
+    if (l2_port >= m2) {
+      result.error = "forwarding loop: L2 sent a packet back up";
+      return result;
+    }
+  }
+
+  const LeafId down_leaf = topo.leaf_id(tree, l2_port);
+  result.links.push_back(topo.leaf_down_link(down_leaf, i));
+  const int final_port = tables.leaf_port(down_leaf, dst);
+  if (final_port >= m1 || topo.node_id(down_leaf, final_port) != dst) {
+    result.error = "packet arrived at a leaf that cannot deliver it";
+    return result;
+  }
+  result.links.push_back(topo.node_down_link(dst));
+  result.ok = true;
+  return result;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,81 @@
+// Per-switch forwarding tables and Jigsaw's routing-table adjustment.
+//
+// On a production InfiniBand fat-tree, routing is realized as linear
+// forwarding tables in every switch: destination -> output port. §4 notes
+// that once Jigsaw allocates a partition, "the routing tables must be
+// adjusted ... via the subnet management software" so traffic stays on
+// allocated links. This module makes that mechanism concrete:
+//
+//   * build_dmodk_tables computes the cluster-wide D-mod-k tables;
+//   * apply_partition_overrides patches the entries for one job's
+//     destinations with the wraparound (Figure 5) routes;
+//   * TableWalker forwards a packet hop by hop through the tables and
+//     reports the directed links used, so tests can confirm that the
+//     table-driven path equals the analytic route and never escapes the
+//     partition.
+//
+// Port numbering convention per switch:
+//   leaf:  ports [0, m1) go down to nodes, [m1, m1+w2) up to L2 switches;
+//   L2:    ports [0, m2) down to leaves,   [m2, m2+w3) up to spines;
+//   spine: ports [0, m3) down to subtrees (port t reaches subtree t).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/allocation.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace jigsaw {
+
+/// Forwarding tables for the whole cluster: for each switch, a vector of
+/// output ports indexed by destination node id.
+struct ForwardingTables {
+  int total_nodes = 0;
+  /// leaf_out[leaf * total_nodes + dst] -> output port on that leaf.
+  std::vector<std::int16_t> leaf_out;
+  /// l2_out[l2 * total_nodes + dst] -> output port on that L2 switch.
+  std::vector<std::int16_t> l2_out;
+  /// spine_out[spine * total_nodes + dst] -> output port (the subtree).
+  std::vector<std::int16_t> spine_out;
+
+  std::int16_t leaf_port(LeafId leaf, NodeId dst) const {
+    return leaf_out[static_cast<std::size_t>(leaf) *
+                        static_cast<std::size_t>(total_nodes) +
+                    static_cast<std::size_t>(dst)];
+  }
+  std::int16_t l2_port(L2Id l2, NodeId dst) const {
+    return l2_out[static_cast<std::size_t>(l2) *
+                      static_cast<std::size_t>(total_nodes) +
+                  static_cast<std::size_t>(dst)];
+  }
+  std::int16_t spine_port(SpineId spine, NodeId dst) const {
+    return spine_out[static_cast<std::size_t>(spine) *
+                         static_cast<std::size_t>(total_nodes) +
+                     static_cast<std::size_t>(dst)];
+  }
+};
+
+/// Cluster-wide destination-based D-mod-k tables.
+ForwardingTables build_dmodk_tables(const FatTree& topo);
+
+/// Patch the tables so that traffic to the allocation's nodes follows the
+/// partition-confined wraparound routes (only entries for destinations
+/// inside the allocation change, and only on switches the partition
+/// touches) — the Figure 5 adjustment a subnet manager would push.
+/// Returns the number of table entries rewritten.
+std::size_t apply_partition_overrides(const FatTree& topo,
+                                      const Allocation& allocation,
+                                      ForwardingTables* tables);
+
+/// Forwards a packet src -> dst through the tables, hop by hop.
+struct WalkResult {
+  bool ok = false;
+  std::string error;              ///< set when forwarding loops or dead-ends
+  std::vector<int> links;         ///< directed link ids in hop order
+};
+WalkResult walk(const FatTree& topo, const ForwardingTables& tables,
+                NodeId src, NodeId dst);
+
+}  // namespace jigsaw

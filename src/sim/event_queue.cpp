@@ -1,0 +1,15 @@
+#include "sim/event_queue.hpp"
+
+namespace jigsaw {
+
+void EventQueue::push(double time, EventType type, JobId job) {
+  heap_.push(Event{time, type, job, next_seq_++});
+}
+
+Event EventQueue::pop() {
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace jigsaw

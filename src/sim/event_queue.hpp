@@ -1,0 +1,48 @@
+// Discrete-event queue for the scheduling simulator.
+//
+// A strict-weak-ordered min-heap of timestamped events with deterministic
+// FIFO tie-breaking (insertion sequence), so simulations replay
+// identically across runs and platforms.
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace jigsaw {
+
+enum class EventType { kArrival, kCompletion };
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kArrival;
+  JobId job = kNoJob;
+  std::uint64_t seq = 0;  ///< insertion order; breaks time ties
+};
+
+class EventQueue {
+ public:
+  void push(double time, EventType type, JobId job);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      // Completions before arrivals at the same instant, so freed
+      // resources are visible to the scheduling pass.
+      if (a.type != b.type) return a.type == EventType::kArrival;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,70 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace jigsaw {
+
+void write_job_records_csv(std::ostream& out,
+                           const std::vector<JobRecord>& records) {
+  out << "job,nodes,arrival,start,end,wait,turnaround\n";
+  for (const JobRecord& r : records) {
+    out << r.job << ',' << r.nodes << ',' << r.arrival << ',' << r.start
+        << ',' << r.end << ',' << r.wait() << ',' << r.turnaround() << '\n';
+  }
+}
+
+void UtilizationTimeline::record(double time, int delta) {
+  if (!points_.empty() && time < points_.back().time) {
+    throw std::invalid_argument("timeline times must be non-decreasing");
+  }
+  busy_ += delta;
+  if (!points_.empty() && points_.back().time == time) {
+    points_.back().busy = busy_;
+  } else {
+    points_.push_back(Point{time, busy_, waste_});
+  }
+}
+
+void UtilizationTimeline::record_waste(double time, int delta) {
+  if (!points_.empty() && time < points_.back().time) {
+    throw std::invalid_argument("timeline times must be non-decreasing");
+  }
+  waste_ += delta;
+  if (!points_.empty() && points_.back().time == time) {
+    points_.back().waste = waste_;
+  } else {
+    points_.push_back(Point{time, busy_, waste_});
+  }
+}
+
+double UtilizationTimeline::integrate(double start, double end,
+                                      bool waste) const {
+  if (end <= start || points_.empty()) return 0.0;
+  double area = 0.0;
+  // State before the first point is zero.
+  for (std::size_t k = 0; k < points_.size(); ++k) {
+    const double seg_start = std::max(start, points_[k].time);
+    const double seg_end =
+        std::min(end, k + 1 < points_.size() ? points_[k + 1].time : end);
+    if (seg_end <= seg_start) continue;
+    const int level = waste ? points_[k].waste : points_[k].busy;
+    area += static_cast<double>(level) * (seg_end - seg_start);
+  }
+  return area;
+}
+
+double UtilizationTimeline::utilization(double start, double end) const {
+  if (end <= start) return 0.0;
+  return integrate(start, end, false) /
+         (static_cast<double>(system_nodes_) * (end - start));
+}
+
+double UtilizationTimeline::waste_fraction(double start, double end) const {
+  if (end <= start) return 0.0;
+  return integrate(start, end, true) /
+         (static_cast<double>(system_nodes_) * (end - start));
+}
+
+}  // namespace jigsaw

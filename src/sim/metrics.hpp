@@ -1,0 +1,106 @@
+// Simulation metrics (§5, "Evaluation Setup").
+//
+// The paper evaluates schedulers on: average *steady-state* system
+// utilization (Figure 6), instantaneous-utilization frequency (Table 2),
+// job turnaround time for all and for >100-node jobs (Figure 7), makespan
+// (Figure 8), and average scheduling time per job (Table 3).
+//
+// UtilizationTimeline records the piecewise-constant count of busy
+// (requested) nodes and integrates it over any window after the run, so
+// the steady-state window — from the first moment the scheduler leaves
+// work waiting to the last moment the queue drains — can be applied
+// post-hoc.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace jigsaw {
+
+/// Per-job outcome recorded by the simulator (optional; see
+/// SimConfig::collect_job_records).
+struct JobRecord {
+  JobId job = kNoJob;
+  int nodes = 0;
+  double arrival = 0.0;
+  double start = 0.0;
+  double end = 0.0;
+
+  double wait() const { return start - arrival; }
+  double turnaround() const { return end - arrival; }
+  double runtime() const { return end - start; }
+};
+
+/// CSV export (header + one line per record), for external analysis.
+void write_job_records_csv(std::ostream& out,
+                           const std::vector<JobRecord>& records);
+
+class UtilizationTimeline {
+ public:
+  explicit UtilizationTimeline(int system_nodes)
+      : system_nodes_(system_nodes) {}
+
+  /// Record a change in busy node count at `time` (monotone non-decreasing
+  /// times). `delta` is +requested on job start, -requested on completion.
+  void record(double time, int delta);
+
+  /// Also track nodes allocated-but-wasted (LaaS rounding) for the
+  /// internal-fragmentation statistic.
+  void record_waste(double time, int delta);
+
+  int busy_now() const { return busy_; }
+  int waste_now() const { return waste_; }
+  int system_nodes() const { return system_nodes_; }
+
+  /// Mean utilization of requested nodes over [start, end].
+  double utilization(double start, double end) const;
+  /// Mean fraction of nodes allocated but wasted over [start, end].
+  double waste_fraction(double start, double end) const;
+
+ private:
+  struct Point {
+    double time;
+    int busy;
+    int waste;
+  };
+  double integrate(double start, double end, bool waste) const;
+
+  int system_nodes_;
+  int busy_ = 0;
+  int waste_ = 0;
+  std::vector<Point> points_;  // state *from* points_[k].time onward
+};
+
+struct SimMetrics {
+  double steady_utilization = 0.0;  ///< Figure 6 metric, in [0, 1]
+  double steady_waste = 0.0;        ///< internal fragmentation fraction
+  double steady_start = 0.0;
+  double steady_end = 0.0;
+  double makespan = 0.0;            ///< Figure 8 metric
+  double mean_turnaround_all = 0.0; ///< Figure 7 metric
+  double mean_turnaround_large = 0.0;  ///< jobs > 100 nodes
+  std::size_t large_jobs = 0;
+  double mean_wait = 0.0;
+  std::size_t completed = 0;
+  double sched_wall_seconds = 0.0;  ///< total wall time in scheduling passes
+  std::uint64_t sched_passes = 0;
+  std::uint64_t allocate_calls = 0;
+  std::uint64_t search_steps = 0;
+  std::uint64_t budget_exhaustions = 0;
+  double mean_sched_time_per_job = 0.0;  ///< Table 3 metric
+  /// Instantaneous utilization (percent) sampled at every schedule or
+  /// completion event inside the steady window (Table 2 input).
+  std::vector<double> instant_utilization;
+  /// Turnaround distribution percentiles (always computed).
+  double p50_turnaround = 0.0;
+  double p90_turnaround = 0.0;
+  double p99_turnaround = 0.0;
+  /// Per-job outcomes; filled only when SimConfig::collect_job_records.
+  std::vector<JobRecord> job_records;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,91 @@
+// FIFO + EASY backfilling over an arbitrary allocator (§5.3).
+//
+// EASY semantics: start jobs from the head of the queue while they fit.
+// When the head does not fit, give it a reservation — the *shadow* time,
+// found by replaying running-job completions (earliest first) against a
+// copy of the cluster state until the head becomes placeable, together
+// with the shadow placement itself. Then backfill: any of the next
+// `window` queued jobs may start now if it fits and either finishes by the
+// shadow time or its placement is disjoint from the shadow placement, so
+// the reservation cannot be delayed.
+//
+// Because placeability is monotone in released resources, the shadow
+// search binary-searches the completion prefix instead of replaying
+// completions one at a time.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/allocator.hpp"
+
+namespace jigsaw {
+
+struct PendingJob {
+  JobId id = kNoJob;
+  int nodes = 0;
+  double bandwidth = 0.0;
+  double est_runtime = 0.0;  ///< runtime estimate (we use actual runtime)
+};
+
+struct RunningJob {
+  JobId id = kNoJob;
+  double end_time = 0.0;
+  Allocation allocation;
+};
+
+/// Order in which backfill candidates inside the window are examined.
+enum class BackfillOrder {
+  kFifo,          ///< queue order (classic EASY, the paper's §5.3 setting)
+  kShortestFirst  ///< shortest estimated runtime first (SJBF variant)
+};
+
+class EasyScheduler {
+ public:
+  EasyScheduler(const Allocator& allocator, int backfill_window,
+                BackfillOrder order = BackfillOrder::kFifo)
+      : allocator_(&allocator), window_(backfill_window), order_(order) {}
+
+  struct Decision {
+    std::size_t pending_index;
+    Allocation allocation;
+  };
+
+  struct PassStats {
+    std::uint64_t allocate_calls = 0;
+    std::uint64_t search_steps = 0;
+    std::uint64_t budget_exhaustions = 0;
+  };
+
+  /// Inter-pass memo. When the cluster state is unchanged since a pass
+  /// that left the same head job blocked (an arrival-only event), the
+  /// head retry and shadow recomputation are skipped and only backfill
+  /// candidates that were not yet examined are tried. Owned by the
+  /// caller; pass the same instance to consecutive schedule() calls.
+  struct Cache {
+    std::uint64_t revision = ~0ull;
+    JobId blocked_head = kNoJob;
+    std::size_t examined = 0;
+    std::optional<Allocation> shadow;
+    double shadow_time = 0.0;
+  };
+
+  /// Decide which pending jobs to start at time `now`. Does not modify
+  /// `state`; the caller applies the returned allocations. `running` may
+  /// be in any order.
+  std::vector<Decision> schedule(double now, const ClusterState& state,
+                                 const std::deque<PendingJob>& pending,
+                                 const std::vector<RunningJob>& running,
+                                 PassStats* stats = nullptr,
+                                 Cache* cache = nullptr) const;
+
+ private:
+  const Allocator* allocator_;
+  int window_;
+  BackfillOrder order_;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,59 @@
+// The discrete-event scheduling simulator (§5).
+//
+// Replays a job trace against a fat-tree cluster under a given allocator
+// with FIFO + EASY backfilling, and reports the paper's metrics. Speed-up
+// scenarios shorten the runtimes of jobs scheduled by interference-free
+// (or near-interference-free, LC+S) schemes.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/allocator.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/speedup.hpp"
+#include "trace/trace.hpp"
+
+namespace jigsaw {
+
+struct SimConfig {
+  SpeedupScenario scenario = SpeedupScenario::kNone;
+  std::uint64_t scenario_seed = 1;
+  int backfill_window = 50;
+  BackfillOrder backfill_order = BackfillOrder::kFifo;
+  /// Per-wire bandwidth budget for link sharing: peak 5 GB/s x 80% cap
+  /// (§5.4.2).
+  double usable_bandwidth = 4.0;
+  /// Record instantaneous utilization at every schedule/completion event
+  /// (Table 2); costs memory on very long traces.
+  bool collect_instant_samples = false;
+  /// Stop after this many completed jobs (0 = whole trace).
+  std::size_t max_jobs = 0;
+  /// Keep a JobRecord per completed job in SimMetrics::job_records (for
+  /// CSV export / distribution analysis); costs memory on long traces.
+  bool collect_job_records = false;
+  /// Measured-interference mode: when > 0 and the scheduler is NOT
+  /// interference-free, each starting job pays a congestion penalty
+  /// derived from its own placement — a random traffic permutation is
+  /// routed with D-mod-k against the links currently loaded by running
+  /// jobs, and the runtime stretches by
+  ///   comm_fraction * (worst link sharing - 1).
+  /// This replaces the paper's assumed speed-up scenarios with penalties
+  /// the simulation itself measures (set scenario = kNone when using it).
+  double measured_interference_comm_fraction = 0.0;
+  std::uint64_t traffic_seed = 99;
+};
+
+/// Runs the whole trace to completion and computes metrics.
+/// `allocator.speedup_eligible` jobs (any isolating scheme, plus LC+S by
+/// convention) run at their isolated runtime under the configured scenario.
+SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
+                    const Trace& trace, const SimConfig& config);
+
+/// Whether jobs under this allocator receive isolation speed-ups:
+/// every isolating scheme, plus LC+S (interference assumed negligible).
+bool speedup_eligible(const Allocator& allocator);
+
+}  // namespace jigsaw

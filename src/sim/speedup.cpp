@@ -1,0 +1,69 @@
+#include "sim/speedup.hpp"
+
+#include <algorithm>
+
+namespace jigsaw {
+
+namespace {
+
+/// Deterministic uniform draw in [0, 1) from (seed, job id).
+double job_draw(std::uint64_t seed, JobId id) {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(id + 1));
+  const std::uint64_t word = splitmix64(s);
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double SpeedupModel::fraction(const Job& job) const {
+  switch (scenario_) {
+    case SpeedupScenario::kNone:
+      return 0.0;
+    case SpeedupScenario::kFixed5:
+      return job.nodes > 4 ? 0.05 : 0.0;
+    case SpeedupScenario::kFixed10:
+      return job.nodes > 4 ? 0.10 : 0.0;
+    case SpeedupScenario::kFixed20:
+      return job.nodes > 4 ? 0.20 : 0.0;
+    case SpeedupScenario::kV2: {
+      // Random bucket with ceiling 0/10/20/30%; within a bucket the
+      // speed-up scales linearly with node count (saturating at 256
+      // nodes), following the TA paper's description.
+      if (job.nodes <= 4) return 0.0;
+      static constexpr double kCeil[] = {0.0, 0.10, 0.20, 0.30};
+      const double ceiling =
+          kCeil[static_cast<int>(job_draw(seed_, job.id) * 4.0)];
+      const double scale =
+          std::min(1.0, static_cast<double>(job.nodes) / 256.0);
+      return ceiling * scale;
+    }
+    case SpeedupScenario::kRandom: {
+      if (job.nodes <= 64) return 0.0;
+      static constexpr double kChoices[] = {0.0, 0.05, 0.15, 0.30};
+      return kChoices[static_cast<int>(job_draw(seed_, job.id) * 4.0)];
+    }
+  }
+  return 0.0;
+}
+
+std::string SpeedupModel::name(SpeedupScenario s) {
+  switch (s) {
+    case SpeedupScenario::kNone: return "None";
+    case SpeedupScenario::kFixed5: return "5%";
+    case SpeedupScenario::kFixed10: return "10%";
+    case SpeedupScenario::kFixed20: return "20%";
+    case SpeedupScenario::kV2: return "V2";
+    case SpeedupScenario::kRandom: return "Random";
+  }
+  return "?";
+}
+
+const std::vector<SpeedupScenario>& SpeedupModel::all() {
+  static const std::vector<SpeedupScenario> kAll = {
+      SpeedupScenario::kNone,   SpeedupScenario::kFixed5,
+      SpeedupScenario::kFixed10, SpeedupScenario::kFixed20,
+      SpeedupScenario::kV2,     SpeedupScenario::kRandom};
+  return kAll;
+}
+
+}  // namespace jigsaw

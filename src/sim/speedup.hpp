@@ -1,0 +1,44 @@
+// Job performance scenarios under isolation (§5.4.1).
+//
+// When a job runs in an interference-free partition it may run faster than
+// under a traditional scheduler. The paper evaluates six assumptions:
+// no improvement; fixed 5/10/20% speed-ups for jobs larger than four
+// nodes; the TA paper's "V2" randomized size-scaled scenario (0-30%); and
+// a pessimistic "Random" scenario where only jobs larger than 64 nodes
+// speed up, by 0/5/15/30% at random. Assignments are deterministic per
+// (seed, job id) so every scheduler sees the same draw.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace jigsaw {
+
+enum class SpeedupScenario { kNone, kFixed5, kFixed10, kFixed20, kV2, kRandom };
+
+class SpeedupModel {
+ public:
+  SpeedupModel(SpeedupScenario scenario, std::uint64_t seed)
+      : scenario_(scenario), seed_(seed) {}
+
+  /// Fractional speed-up s; an isolated run takes runtime / (1 + s).
+  double fraction(const Job& job) const;
+
+  double isolated_runtime(const Job& job) const {
+    return job.runtime / (1.0 + fraction(job));
+  }
+
+  SpeedupScenario scenario() const { return scenario_; }
+
+  static std::string name(SpeedupScenario s);
+  static const std::vector<SpeedupScenario>& all();
+
+ private:
+  SpeedupScenario scenario_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jigsaw

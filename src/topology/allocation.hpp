@@ -1,0 +1,41 @@
+// The resource set a scheduler hands to a job.
+//
+// An allocation names the nodes a job runs on plus the network links
+// reserved for it. Job-isolating schedulers (Jigsaw, LaaS, TA-as-modeled)
+// reserve whole wires; the link-sharing scheduler LC+S instead reserves a
+// bandwidth share on each wire (bandwidth > 0).
+
+#pragma once
+
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace jigsaw {
+
+struct Allocation {
+  JobId job = kNoJob;
+
+  /// Nodes the job requested (N_r). size(nodes) may exceed this under
+  /// LaaS-style rounding; the surplus is internal fragmentation.
+  int requested_nodes = 0;
+
+  std::vector<NodeId> nodes;
+  std::vector<LeafWire> leaf_wires;
+  std::vector<L2Wire> l2_wires;
+
+  /// Per-wire bandwidth share in GB/s; 0 means exclusive wire ownership.
+  double bandwidth = 0.0;
+
+  int allocated_nodes() const { return static_cast<int>(nodes.size()); }
+  int wasted_nodes() const { return allocated_nodes() - requested_nodes; }
+  bool empty() const { return nodes.empty(); }
+
+  void clear() {
+    nodes.clear();
+    leaf_wires.clear();
+    l2_wires.clear();
+  }
+};
+
+}  // namespace jigsaw

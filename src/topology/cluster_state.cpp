@@ -1,0 +1,225 @@
+#include "topology/cluster_state.hpp"
+
+#include <stdexcept>
+
+namespace jigsaw {
+
+ClusterState::ClusterState(const FatTree& topo, double usable_bandwidth)
+    : topo_(&topo),
+      usable_bandwidth_(usable_bandwidth),
+      free_nodes_(static_cast<std::size_t>(topo.total_leaves()),
+                  low_bits(topo.nodes_per_leaf())),
+      free_leaf_up_(static_cast<std::size_t>(topo.total_leaves()),
+                    low_bits(topo.l2_per_tree())),
+      free_l2_up_(static_cast<std::size_t>(topo.total_l2()),
+                  low_bits(topo.spines_per_group())),
+      total_free_nodes_(topo.total_nodes()) {}
+
+int ClusterState::fully_free_leaves(TreeId t) const {
+  int count = 0;
+  for (int l = 0; l < topo_->leaves_per_tree(); ++l) {
+    if (leaf_fully_free(topo_->leaf_id(t, l))) ++count;
+  }
+  return count;
+}
+
+void ClusterState::ensure_bandwidth_tracking() {
+  if (!residual_leaf_up_.empty()) return;
+  residual_leaf_up_.assign(free_leaf_up_.size() *
+                               static_cast<std::size_t>(topo_->l2_per_tree()),
+                           usable_bandwidth_);
+  residual_l2_up_.assign(free_l2_up_.size() * static_cast<std::size_t>(
+                                                  topo_->spines_per_group()),
+                         usable_bandwidth_);
+}
+
+double ClusterState::residual_leaf_up(LeafId l, int l2_index) const {
+  if (residual_leaf_up_.empty()) {
+    return has_bit(free_leaf_up_[l], l2_index) ? usable_bandwidth_ : 0.0;
+  }
+  return residual_leaf_up_[static_cast<std::size_t>(l) *
+                               static_cast<std::size_t>(topo_->l2_per_tree()) +
+                           static_cast<std::size_t>(l2_index)];
+}
+
+double ClusterState::residual_l2_up(TreeId t, int l2_index,
+                                    int spine_index) const {
+  if (residual_l2_up_.empty()) {
+    return has_bit(free_l2_up(t, l2_index), spine_index) ? usable_bandwidth_
+                                                         : 0.0;
+  }
+  const std::size_t l2 = static_cast<std::size_t>(t * topo_->l2_per_tree() +
+                                                  l2_index);
+  return residual_l2_up_[l2 * static_cast<std::size_t>(
+                                  topo_->spines_per_group()) +
+                         static_cast<std::size_t>(spine_index)];
+}
+
+Mask ClusterState::leaf_up_with_bandwidth(LeafId l, double demand) const {
+  Mask out = 0;
+  for (int i = 0; i < topo_->l2_per_tree(); ++i) {
+    // A wire owned exclusively has its free bit cleared; shared wires keep
+    // the bit set and drain residual instead.
+    if (has_bit(free_leaf_up_[l], i) &&
+        residual_leaf_up(l, i) >= demand - 1e-9) {
+      out |= Mask{1} << i;
+    }
+  }
+  return out;
+}
+
+Mask ClusterState::l2_up_with_bandwidth(TreeId t, int l2_index,
+                                        double demand) const {
+  Mask out = 0;
+  for (int j = 0; j < topo_->spines_per_group(); ++j) {
+    if (has_bit(free_l2_up(t, l2_index), j) &&
+        residual_l2_up(t, l2_index, j) >= demand - 1e-9) {
+      out |= Mask{1} << j;
+    }
+  }
+  return out;
+}
+
+void ClusterState::apply(const Allocation& a) {
+  // Validate first so a failed apply leaves the state untouched (the
+  // schedulers rely on throw-and-retry semantics in tests and tooling).
+  const bool shared = a.bandwidth > 0.0;
+  if (shared) ensure_bandwidth_tracking();
+  {
+    std::vector<Mask> node_bits(free_nodes_.size(), 0);
+    for (const NodeId n : a.nodes) {
+      const LeafId l = topo_->leaf_of_node(n);
+      const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
+      if (!(free_nodes_[l] & bit) || (node_bits[l] & bit)) {
+        throw std::logic_error("apply: node already allocated");
+      }
+      node_bits[l] |= bit;
+    }
+    for (const LeafWire& w : a.leaf_wires) {
+      const Mask bit = Mask{1} << w.l2_index;
+      if (!(free_leaf_up_[w.leaf] & bit)) {
+        throw std::logic_error("apply: leaf wire already allocated");
+      }
+      if (shared &&
+          residual_leaf_up_[static_cast<std::size_t>(w.leaf) *
+                                static_cast<std::size_t>(
+                                    topo_->l2_per_tree()) +
+                            static_cast<std::size_t>(w.l2_index)] <
+              a.bandwidth - 1e-9) {
+        throw std::logic_error("apply: leaf wire lacks bandwidth");
+      }
+    }
+    for (const L2Wire& w : a.l2_wires) {
+      const std::size_t l2 = static_cast<std::size_t>(
+          w.tree * topo_->l2_per_tree() + w.l2_index);
+      const Mask bit = Mask{1} << w.spine_index;
+      if (!(free_l2_up_[l2] & bit)) {
+        throw std::logic_error("apply: L2 wire already allocated");
+      }
+      if (shared &&
+          residual_l2_up_[l2 * static_cast<std::size_t>(
+                                   topo_->spines_per_group()) +
+                          static_cast<std::size_t>(w.spine_index)] <
+              a.bandwidth - 1e-9) {
+        throw std::logic_error("apply: L2 wire lacks bandwidth");
+      }
+    }
+  }
+
+  for (const NodeId n : a.nodes) {
+    const LeafId l = topo_->leaf_of_node(n);
+    free_nodes_[l] &= ~(Mask{1} << topo_->node_index_in_leaf(n));
+    --total_free_nodes_;
+  }
+
+  for (const LeafWire& w : a.leaf_wires) {
+    if (shared) {
+      residual_leaf_up_[static_cast<std::size_t>(w.leaf) *
+                            static_cast<std::size_t>(topo_->l2_per_tree()) +
+                        static_cast<std::size_t>(w.l2_index)] -= a.bandwidth;
+    } else {
+      free_leaf_up_[w.leaf] &= ~(Mask{1} << w.l2_index);
+    }
+  }
+
+  for (const L2Wire& w : a.l2_wires) {
+    const std::size_t l2 =
+        static_cast<std::size_t>(w.tree * topo_->l2_per_tree() + w.l2_index);
+    if (shared) {
+      residual_l2_up_[l2 * static_cast<std::size_t>(
+                               topo_->spines_per_group()) +
+                      static_cast<std::size_t>(w.spine_index)] -= a.bandwidth;
+    } else {
+      free_l2_up_[l2] &= ~(Mask{1} << w.spine_index);
+    }
+  }
+  ++revision_;
+}
+
+void ClusterState::release(const Allocation& a) {
+  ++revision_;
+  for (const NodeId n : a.nodes) {
+    const LeafId l = topo_->leaf_of_node(n);
+    const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
+    if (free_nodes_[l] & bit) {
+      throw std::logic_error("release: node was not allocated");
+    }
+    free_nodes_[l] |= bit;
+    ++total_free_nodes_;
+  }
+
+  const bool shared = a.bandwidth > 0.0;
+  for (const LeafWire& w : a.leaf_wires) {
+    const Mask bit = Mask{1} << w.l2_index;
+    if (shared) {
+      residual_leaf_up_[static_cast<std::size_t>(w.leaf) *
+                            static_cast<std::size_t>(topo_->l2_per_tree()) +
+                        static_cast<std::size_t>(w.l2_index)] += a.bandwidth;
+    } else {
+      if (free_leaf_up_[w.leaf] & bit) {
+        throw std::logic_error("release: leaf wire was not allocated");
+      }
+      free_leaf_up_[w.leaf] |= bit;
+    }
+  }
+  for (const L2Wire& w : a.l2_wires) {
+    const std::size_t l2 =
+        static_cast<std::size_t>(w.tree * topo_->l2_per_tree() + w.l2_index);
+    const Mask bit = Mask{1} << w.spine_index;
+    if (shared) {
+      residual_l2_up_[l2 * static_cast<std::size_t>(
+                               topo_->spines_per_group()) +
+                      static_cast<std::size_t>(w.spine_index)] += a.bandwidth;
+    } else {
+      if (free_l2_up_[l2] & bit) {
+        throw std::logic_error("release: L2 wire was not allocated");
+      }
+      free_l2_up_[l2] |= bit;
+    }
+  }
+}
+
+bool ClusterState::check_invariants() const {
+  int recount = 0;
+  const Mask node_range = low_bits(topo_->nodes_per_leaf());
+  const Mask up_range = low_bits(topo_->l2_per_tree());
+  const Mask spine_range = low_bits(topo_->spines_per_group());
+  for (std::size_t l = 0; l < free_nodes_.size(); ++l) {
+    if (free_nodes_[l] & ~node_range) return false;
+    if (free_leaf_up_[l] & ~up_range) return false;
+    recount += popcount(free_nodes_[l]);
+  }
+  for (const Mask m : free_l2_up_) {
+    if (m & ~spine_range) return false;
+  }
+  if (recount != total_free_nodes_) return false;
+  for (const double r : residual_leaf_up_) {
+    if (r < -1e-6 || r > usable_bandwidth_ + 1e-6) return false;
+  }
+  for (const double r : residual_l2_up_) {
+    if (r < -1e-6 || r > usable_bandwidth_ + 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace jigsaw

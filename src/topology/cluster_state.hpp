@@ -1,0 +1,88 @@
+// Mutable resource availability for a fat-tree cluster.
+//
+// Tracks, per leaf, the free nodes and free uplink wires, and per L2
+// switch the free spine-uplink wires — all as 64-bit masks so allocator
+// searches reduce to mask intersections. Optionally tracks fractional
+// residual bandwidth per wire for the link-sharing scheduler (LC+S).
+//
+// The state copies cheaply (flat vectors), which the EASY backfilling
+// scheduler relies on when computing shadow reservations.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/allocation.hpp"
+#include "topology/fat_tree.hpp"
+#include "util/bitset64.hpp"
+
+namespace jigsaw {
+
+class ClusterState {
+ public:
+  /// `usable_bandwidth` is the per-wire budget available to shared
+  /// allocations (peak link bandwidth times the utilization cap);
+  /// it only matters when bandwidth-tracking allocations are applied.
+  explicit ClusterState(const FatTree& topo, double usable_bandwidth = 4.0);
+
+  const FatTree& topo() const { return *topo_; }
+
+  // -- exclusive-resource queries --------------------------------------
+  Mask free_nodes(LeafId l) const { return free_nodes_[l]; }
+  int free_node_count(LeafId l) const { return popcount(free_nodes_[l]); }
+  Mask free_leaf_up(LeafId l) const { return free_leaf_up_[l]; }
+  Mask free_l2_up(TreeId t, int l2_index) const {
+    return free_l2_up_[t * topo_->l2_per_tree() + l2_index];
+  }
+  bool leaf_fully_free(LeafId l) const {
+    return free_nodes_[l] == low_bits(topo_->nodes_per_leaf());
+  }
+  int total_free_nodes() const { return total_free_nodes_; }
+
+  /// Number of fully-free leaves in tree t.
+  int fully_free_leaves(TreeId t) const;
+
+  // -- bandwidth-aware queries (for LC+S) -------------------------------
+  double usable_bandwidth() const { return usable_bandwidth_; }
+  double residual_leaf_up(LeafId l, int l2_index) const;
+  double residual_l2_up(TreeId t, int l2_index, int spine_index) const;
+  /// Mask of L2 indices whose uplink wire from leaf l has >= demand left
+  /// *and* is not exclusively owned.
+  Mask leaf_up_with_bandwidth(LeafId l, double demand) const;
+  Mask l2_up_with_bandwidth(TreeId t, int l2_index, double demand) const;
+
+  // -- mutation ----------------------------------------------------------
+  /// Claims every resource in the allocation. Throws std::logic_error if
+  /// any resource is unavailable (callers must only apply placements their
+  /// search validated).
+  void apply(const Allocation& a);
+  /// Returns every resource in the allocation.
+  void release(const Allocation& a);
+
+  /// Consistency audit for tests: recomputed totals match counters and all
+  /// masks are within range.
+  bool check_invariants() const;
+
+  /// Monotone counter bumped by every successful apply/release; lets the
+  /// scheduler skip repeated searches against an unchanged cluster.
+  std::uint64_t revision() const { return revision_; }
+
+ private:
+  void ensure_bandwidth_tracking();
+
+  const FatTree* topo_;
+  double usable_bandwidth_;
+  std::vector<Mask> free_nodes_;    // per leaf
+  std::vector<Mask> free_leaf_up_;  // per leaf
+  std::vector<Mask> free_l2_up_;    // per (tree * w2 + i)
+  int total_free_nodes_;
+  std::uint64_t revision_ = 0;
+
+  // Residual shared bandwidth per wire; allocated lazily on first shared
+  // allocation. Indexed like the masks: leaf * w2 + i / (t * w2 + i) * w3 + j.
+  std::vector<double> residual_leaf_up_;
+  std::vector<double> residual_l2_up_;
+};
+
+}  // namespace jigsaw

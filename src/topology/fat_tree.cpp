@@ -1,0 +1,83 @@
+#include "topology/fat_tree.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace jigsaw {
+
+FatTree::FatTree(int m1, int m2, int m3) : m1_(m1), m2_(m2), m3_(m3) {
+  if (m1 < 1 || m1 > 64 || m2 < 1 || m2 > 64 || m3 < 1) {
+    throw std::invalid_argument(
+        "FatTree: need 1 <= m1, m2 <= 64 and m3 >= 1");
+  }
+}
+
+FatTree FatTree::from_radix(int radix) {
+  if (radix < 2 || radix > 64 || radix % 2 != 0) {
+    throw std::invalid_argument("FatTree radix must be even, in [2, 64]");
+  }
+  return FatTree(radix / 2, radix / 2, radix);
+}
+
+FatTree FatTree::at_least(int min_nodes) {
+  for (int radix = 2; radix <= 64; radix += 2) {
+    const int half = radix / 2;
+    if (half * half * radix >= min_nodes) return from_radix(radix);
+  }
+  throw std::invalid_argument("no maximal fat-tree (radix <= 64) that large");
+}
+
+int FatTree::radix() const {
+  if (m1_ != m2_) {
+    throw std::logic_error("non-uniform tree has no single switch radix");
+  }
+  return 2 * m1_;
+}
+
+std::string FatTree::describe() const {
+  std::ostringstream out;
+  out << "FatTree(m1=" << m1_ << ", m2=" << m2_ << ", m3=" << m3_
+      << "): " << total_nodes() << " nodes, " << total_leaves() << " leaves, "
+      << total_l2() << " L2 switches, " << total_spines() << " spines";
+  return out.str();
+}
+
+std::string FatTree::link_name(int directed_link) const {
+  std::ostringstream out;
+  int id = directed_link;
+  if (id < num_node_wires()) {
+    out << "node" << id << "->leaf" << leaf_of_node(id);
+    return out.str();
+  }
+  id -= num_node_wires();
+  if (id < num_node_wires()) {
+    out << "leaf" << leaf_of_node(id) << "->node" << id;
+    return out.str();
+  }
+  id -= num_node_wires();
+  if (id < num_leaf_wires()) {
+    out << "leaf" << id / m1_ << "->L2[" << id % m1_ << "]";
+    return out.str();
+  }
+  id -= num_leaf_wires();
+  if (id < num_leaf_wires()) {
+    out << "L2[" << id % m1_ << "]->leaf" << id / m1_;
+    return out.str();
+  }
+  id -= num_leaf_wires();
+  if (id < num_l2_wires()) {
+    const int t = id / (m1_ * m2_);
+    const int i = (id / m2_) % m1_;
+    const int j = id % m2_;
+    out << "t" << t << ".L2[" << i << "]->spine" << spine_id(i, j);
+    return out.str();
+  }
+  id -= num_l2_wires();
+  const int t = id / (m1_ * m2_);
+  const int i = (id / m2_) % m1_;
+  const int j = id % m2_;
+  out << "spine" << spine_id(i, j) << "->t" << t << ".L2[" << i << "]";
+  return out.str();
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,112 @@
+// Full (maximal-size) three-level fat-tree topology.
+//
+// The tree is an XGFT(3; m1, m2, m3; 1, w2, w3) with the full-bandwidth
+// property m1 == w2 (as many L2 switches per subtree as nodes per leaf) and
+// m2 == w3 (as many spines per L2 group as leaves per subtree):
+//
+//   - Each *leaf* switch hosts m1 nodes and has one uplink to each of the
+//     w2 L2 switches of its subtree.
+//   - Each *L2* switch has one downlink per leaf of its subtree and one
+//     uplink to each of the w3 spines in its group.
+//   - The i-th L2 switch of every subtree connects to spine group i
+//     (spines i*w3 .. i*w3 + w3 - 1), forming the full-bipartite partition
+//     T*_i of the Jigsaw paper's condition (6).
+//
+// Built from uniform radix-k switches (k even), a full tree has
+// m1 = m2 = k/2 and m3 = k, giving (k/2)^2 * k nodes: radix 16 -> 1024,
+// 18 -> 1458, 22 -> 2662, 28 -> 5488 (the paper's four clusters).
+//
+// Directed links are densely enumerated so routing verifiers can keep
+// per-link flow counts in a flat array. Each physical wire contributes an
+// "up" link (toward the spines) and a "down" link (toward the nodes).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace jigsaw {
+
+class FatTree {
+ public:
+  /// General full-bandwidth three-level tree. Requirements:
+  /// 1 <= m1, m2 <= 64 (group masks are 64-bit), m3 >= 1.
+  FatTree(int m1, int m2, int m3);
+
+  /// The maximal tree built from radix-k switches (k even, 2 <= k <= 64).
+  static FatTree from_radix(int radix);
+
+  /// Smallest maximal radix-k tree with at least `min_nodes` nodes.
+  static FatTree at_least(int min_nodes);
+
+  // -- shape -----------------------------------------------------------
+  int nodes_per_leaf() const { return m1_; }    ///< m1 (== w2)
+  int leaves_per_tree() const { return m2_; }   ///< m2 (== w3)
+  int trees() const { return m3_; }             ///< m3
+  int l2_per_tree() const { return m1_; }       ///< w2
+  int spines_per_group() const { return m2_; }  ///< w3
+  int spine_groups() const { return m1_; }
+
+  int total_nodes() const { return m1_ * m2_ * m3_; }
+  int total_leaves() const { return m2_ * m3_; }
+  int total_l2() const { return m1_ * m3_; }
+  int total_spines() const { return m1_ * m2_; }
+  int radix() const;  ///< switch radix when uniform (m1 == m2), else throws
+
+  std::string describe() const;
+
+  // -- entity mapping --------------------------------------------------
+  LeafId leaf_of_node(NodeId n) const { return n / m1_; }
+  int node_index_in_leaf(NodeId n) const { return n % m1_; }
+  TreeId tree_of_leaf(LeafId l) const { return l / m2_; }
+  int leaf_index_in_tree(LeafId l) const { return l % m2_; }
+  TreeId tree_of_node(NodeId n) const { return tree_of_leaf(leaf_of_node(n)); }
+
+  LeafId leaf_id(TreeId t, int leaf_index) const {
+    return t * m2_ + leaf_index;
+  }
+  NodeId node_id(LeafId l, int node_index) const {
+    return l * m1_ + node_index;
+  }
+  L2Id l2_id(TreeId t, int l2_index) const { return t * m1_ + l2_index; }
+  SpineId spine_id(int l2_index, int spine_index) const {
+    return l2_index * m2_ + spine_index;
+  }
+  int group_of_spine(SpineId s) const { return s / m2_; }
+  int index_in_group(SpineId s) const { return s % m2_; }
+
+  // -- directed link enumeration ---------------------------------------
+  // Layout: [node up][node down][leaf up][leaf down][l2 up][l2 down].
+  int directed_link_count() const { return 2 * (num_node_wires() + num_leaf_wires() + num_l2_wires()); }
+  int num_node_wires() const { return total_nodes(); }
+  int num_leaf_wires() const { return total_leaves() * m1_; }
+  int num_l2_wires() const { return total_l2() * m2_; }
+
+  int node_up_link(NodeId n) const { return n; }
+  int node_down_link(NodeId n) const { return num_node_wires() + n; }
+  int leaf_up_link(LeafId l, int l2_index) const {
+    return 2 * num_node_wires() + l * m1_ + l2_index;
+  }
+  int leaf_down_link(LeafId l, int l2_index) const {
+    return 2 * num_node_wires() + num_leaf_wires() + l * m1_ + l2_index;
+  }
+  int l2_up_link(TreeId t, int l2_index, int spine_index) const {
+    return 2 * (num_node_wires() + num_leaf_wires()) +
+           (t * m1_ + l2_index) * m2_ + spine_index;
+  }
+  int l2_down_link(TreeId t, int l2_index, int spine_index) const {
+    return l2_up_link(t, l2_index, spine_index) + num_l2_wires();
+  }
+
+  /// Human-readable name of a directed link id (for diagnostics).
+  std::string link_name(int directed_link) const;
+
+ private:
+  int m1_;
+  int m2_;
+  int m3_;
+};
+
+}  // namespace jigsaw

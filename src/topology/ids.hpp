@@ -1,0 +1,44 @@
+// Entity identifiers for three-level fat-trees.
+//
+// All entities are dense integer indices so that per-entity state lives in
+// flat arrays. Naming convention throughout the library:
+//   tree  t : two-level subtree ("pod"),            t in [0, m3)
+//   leaf  l : leaf switch, local within a tree,     l in [0, m2)
+//   node  n : compute node, local within a leaf,    n in [0, m1)
+//   l2    i : L2 switch index within a tree,        i in [0, w2)  (w2 == m1)
+//   spine j : spine index within an L2's group,     j in [0, w3)  (w3 == m2)
+// Global ids flatten these hierarchically (see FatTree accessors).
+
+#pragma once
+
+#include <cstdint>
+
+namespace jigsaw {
+
+using NodeId = std::int32_t;   ///< global node id in [0, total_nodes)
+using LeafId = std::int32_t;   ///< global leaf id in [0, m2 * m3)
+using TreeId = std::int32_t;   ///< subtree ("pod") id in [0, m3)
+using L2Id = std::int32_t;     ///< global L2 switch id in [0, w2 * m3)
+using SpineId = std::int32_t;  ///< global spine id in [0, w2 * w3)
+using JobId = std::int64_t;    ///< simulator job id
+
+inline constexpr JobId kNoJob = -1;
+
+/// A leaf<->L2 wire, identified by the leaf and the L2 index i it reaches.
+struct LeafWire {
+  LeafId leaf;
+  std::int32_t l2_index;
+  friend bool operator==(const LeafWire&, const LeafWire&) = default;
+  friend auto operator<=>(const LeafWire&, const LeafWire&) = default;
+};
+
+/// An L2<->spine wire: tree t, L2 index i, spine j within group i.
+struct L2Wire {
+  TreeId tree;
+  std::int32_t l2_index;
+  std::int32_t spine_index;
+  friend bool operator==(const L2Wire&, const L2Wire&) = default;
+  friend auto operator<=>(const L2Wire&, const L2Wire&) = default;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,154 @@
+#include "trace/llnl_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jigsaw {
+
+namespace {
+
+/// Roughly exponential sizes with extra mass at powers of two, matching
+/// the paper's description of the LLNL traces (§5.1).
+int draw_size(Rng& rng, double mean, int max_size, double p_pow2) {
+  if (rng.chance(p_pow2)) {
+    int k = 0;
+    while (rng.chance(0.55) && (1 << (k + 1)) <= max_size) ++k;
+    return 1 << k;
+  }
+  int size = 0;
+  do {
+    size = static_cast<int>(std::lround(rng.exponential(mean)));
+  } while (size < 1 || size > max_size);
+  return size;
+}
+
+/// Short-skewed runtimes with a heavy tail: lognormal clamped to the
+/// Table 1 range.
+double draw_runtime(Rng& rng, double median, double sigma, double min_rt,
+                    double max_rt) {
+  const double value = rng.lognormal(std::log(median), sigma);
+  return std::clamp(value, min_rt, max_rt);
+}
+
+}  // namespace
+
+Trace thunder_like(std::size_t jobs, std::uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  trace.name = "Thunder";
+  trace.system_nodes = 1024;
+  trace.jobs.reserve(jobs);
+  for (std::size_t k = 0; k < jobs; ++k) {
+    // A sliver of very large jobs reproduces Thunder's 965-node maximum.
+    const int size = rng.chance(0.001)
+                         ? static_cast<int>(rng.between(256, 965))
+                         : draw_size(rng, 14.0, 512, 0.40);
+    const double runtime = draw_runtime(rng, 300.0, 2.2, 1.0, 172362.0);
+    trace.jobs.push_back(Job{static_cast<JobId>(k), 0.0, size, runtime, 1.0});
+  }
+  normalize(trace);
+  return trace;
+}
+
+Trace atlas_like(std::size_t jobs, std::uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  trace.name = "Atlas";
+  trace.system_nodes = 1152;
+  trace.jobs.reserve(jobs);
+  // "Several whole-machine job requests" make Atlas the paper's worst
+  // case. Emit them at a deterministic rate (1 per ~1700 jobs, >= 3) and
+  // evenly spaced through the queue, so small runs keep the same character
+  // as paper-scale ones instead of a high-variance Bernoulli draw.
+  const std::size_t whole_machine =
+      std::max<std::size_t>(3, jobs / 1700);
+  const std::size_t stride = jobs / whole_machine;
+  for (std::size_t k = 0; k < jobs; ++k) {
+    int size;
+    if (stride > 0 && k % stride == stride / 2) {
+      size = 1024;
+    } else if (rng.chance(0.002)) {
+      size = static_cast<int>(rng.between(256, 900));
+    } else {
+      size = draw_size(rng, 20.0, 512, 0.40);
+    }
+    const double runtime = draw_runtime(rng, 400.0, 2.3, 1.0, 342754.0);
+    trace.jobs.push_back(Job{static_cast<JobId>(k), 0.0, size, runtime, 1.0});
+  }
+  normalize(trace);
+  return trace;
+}
+
+Trace cab_like(const std::string& month, std::size_t jobs) {
+  struct MonthParams {
+    const char* name;
+    std::size_t paper_jobs;
+    int max_size;
+    double max_runtime;
+    double offered_load;  ///< after the paper's 0.5 scaling for Aug/Nov
+    std::uint64_t seed;
+  };
+  // Offered load is calibrated against the paper's 1458-node simulation
+  // cluster (§5.4.3), not Cab's native 1296 nodes, so the simulated system
+  // stays under sufficient demand; Aug/Nov reflect the paper's 0.5
+  // arrival-time scaling, October is the heaviest (worst-case) month.
+  static constexpr MonthParams kMonths[] = {
+      {"Aug", 30691, 257, 86429.0, 1.04, 8001},
+      {"Sep", 87564, 256, 57629.0, 1.02, 9001},
+      {"Oct", 125228, 258, 93623.0, 1.10, 10001},
+      {"Nov", 50353, 256, 86426.0, 1.04, 11001},
+  };
+  const MonthParams* params = nullptr;
+  for (const auto& m : kMonths) {
+    if (month == m.name) params = &m;
+  }
+  if (params == nullptr) {
+    throw std::invalid_argument("cab_like: month must be Aug/Sep/Oct/Nov");
+  }
+  if (jobs == 0) jobs = params->paper_jobs;
+
+  Rng rng(params->seed);
+  Trace trace;
+  trace.name = month + "-Cab";
+  trace.system_nodes = 1296;
+  trace.jobs.reserve(jobs);
+  double node_seconds = 0.0;
+  // October mixes in more mid-size jobs, making it the paper's worst case
+  // for fragmentation-sensitive schedulers.
+  const double mean_size = month == "Oct" ? 14.0 : 11.0;
+  for (std::size_t k = 0; k < jobs; ++k) {
+    const int size = rng.chance(0.002)
+                         ? static_cast<int>(rng.between(128, params->max_size))
+                         : draw_size(rng, mean_size, 128, 0.45);
+    const double runtime =
+        draw_runtime(rng, 250.0, 2.0, 1.0, params->max_runtime);
+    node_seconds += static_cast<double>(size) * runtime;
+    trace.jobs.push_back(Job{static_cast<JobId>(k), 0.0, size, runtime, 1.0});
+  }
+  // Inhomogeneous Poisson arrivals over a window sized for the month's
+  // mean offered load (relative to the 1458-node simulation cluster), with
+  // a diurnal swing: production submission rates peak during working hours
+  // and sag at night, which is what creates the backlog episodes and
+  // drain-outs real Cab months exhibit. Sampling by thinning: uniform
+  // candidates accepted proportionally to the instantaneous rate.
+  const double window = node_seconds / (1458.0 * params->offered_load);
+  constexpr double kDay = 86400.0;
+  constexpr double kSwing = 0.6;
+  for (Job& j : trace.jobs) {
+    for (;;) {
+      const double t = rng.uniform(0.0, window);
+      const double rate =
+          (1.0 + kSwing * std::sin(2.0 * 3.141592653589793 * t / kDay)) /
+          (1.0 + kSwing);
+      if (rng.chance(rate)) {
+        j.arrival = t;
+        break;
+      }
+    }
+  }
+  normalize(trace);
+  return trace;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,35 @@
+// Standard Workload Format (SWF) I/O.
+//
+// The Parallel Workloads Archive distributes the real Thunder and Atlas
+// logs in SWF. When those files are available, read_swf drops them into
+// the simulator directly; write_swf exports any trace (including the
+// generated LLNL-like substitutes) for external tools.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace jigsaw {
+
+struct SwfOptions {
+  /// Processors per node: SWF logs count processors; node counts are
+  /// ceil(procs / procs_per_node).
+  int procs_per_node = 1;
+  /// Discard arrival times (paper does this for Thunder/Atlas).
+  bool zero_arrivals = false;
+  /// Multiply arrival times (the paper's 0.5 scaling for Aug/Nov-Cab).
+  double arrival_scale = 1.0;
+  /// Skip jobs with nonpositive runtime or processor count.
+  bool skip_invalid = true;
+};
+
+Trace read_swf(std::istream& in, const std::string& name,
+               const SwfOptions& options);
+Trace read_swf_file(const std::string& path, const SwfOptions& options);
+
+void write_swf(std::ostream& out, const Trace& trace);
+
+}  // namespace jigsaw

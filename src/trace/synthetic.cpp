@@ -1,0 +1,52 @@
+#include "trace/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jigsaw {
+
+Trace synthetic_trace(const SyntheticParams& params) {
+  if (params.mean_size < 1.0 || params.jobs == 0) {
+    throw std::invalid_argument("synthetic_trace: bad parameters");
+  }
+  const int cap = params.max_size > 0
+                      ? params.max_size
+                      : static_cast<int>(std::ceil(8.625 * params.mean_size));
+  Rng rng(params.seed);
+  Trace trace;
+  trace.name = "Synth";
+  trace.system_nodes = 0;
+  trace.jobs.reserve(params.jobs);
+  for (std::size_t k = 0; k < params.jobs; ++k) {
+    int size = 0;
+    do {
+      size = static_cast<int>(std::lround(rng.exponential(params.mean_size)));
+    } while (size < 1 || size > cap);
+    const double runtime = rng.uniform(params.min_runtime, params.max_runtime);
+    trace.jobs.push_back(Job{static_cast<JobId>(k), 0.0, size, runtime, 1.0});
+  }
+  normalize(trace);
+  return trace;
+}
+
+Trace named_synthetic(const std::string& name, std::size_t jobs) {
+  SyntheticParams params;
+  params.jobs = jobs;
+  if (name == "Synth-16") {
+    params.mean_size = 16.0;
+    params.seed = 1601;
+  } else if (name == "Synth-22") {
+    params.mean_size = 22.0;
+    params.seed = 2201;
+  } else if (name == "Synth-28") {
+    params.mean_size = 28.0;
+    params.seed = 2801;
+  } else {
+    throw std::invalid_argument("unknown synthetic trace: " + name);
+  }
+  Trace trace = synthetic_trace(params);
+  trace.name = name;
+  return trace;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,30 @@
+// Synthetic traces in the style of the LaaS paper (§5.1).
+//
+// Job sizes are drawn from an exponential distribution (rounded, min 1,
+// capped near 8.6x the mean to match Table 1's observed maxima); runtimes
+// are uniform in [20, 3000] seconds; all jobs arrive at time zero so the
+// system is under continuous heavy demand. The paper's Synth-16/22/28
+// use mean sizes 16/22/28 on 1024/2662/5488-node clusters.
+
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace jigsaw {
+
+struct SyntheticParams {
+  std::size_t jobs = 10000;
+  double mean_size = 16.0;
+  int max_size = 0;          ///< 0 = ceil(8.625 * mean_size), per Table 1
+  double min_runtime = 20.0;
+  double max_runtime = 3000.0;
+  std::uint64_t seed = 42;
+};
+
+Trace synthetic_trace(const SyntheticParams& params);
+
+/// The paper's named synthetic traces: "Synth-16", "Synth-22", "Synth-28"
+/// (optionally with fewer jobs for quick runs).
+Trace named_synthetic(const std::string& name, std::size_t jobs = 10000);
+
+}  // namespace jigsaw

@@ -1,0 +1,42 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace jigsaw {
+
+TraceStats summarize(const Trace& trace) {
+  TraceStats stats;
+  stats.job_count = trace.jobs.size();
+  if (trace.jobs.empty()) return stats;
+  stats.min_runtime = trace.jobs.front().runtime;
+  double node_sum = 0.0;
+  for (const Job& j : trace.jobs) {
+    stats.max_nodes = std::max(stats.max_nodes, j.nodes);
+    stats.min_runtime = std::min(stats.min_runtime, j.runtime);
+    stats.max_runtime = std::max(stats.max_runtime, j.runtime);
+    stats.has_arrivals = stats.has_arrivals || j.arrival > 0.0;
+    node_sum += j.nodes;
+    stats.total_node_seconds += static_cast<double>(j.nodes) * j.runtime;
+  }
+  stats.mean_nodes = node_sum / static_cast<double>(trace.jobs.size());
+  return stats;
+}
+
+void assign_bandwidth_classes(Trace& trace, Rng& rng) {
+  static constexpr double kClasses[] = {0.5, 1.0, 1.5, 2.0};
+  for (Job& j : trace.jobs) {
+    j.bandwidth = kClasses[rng.below(4)];
+  }
+}
+
+void normalize(Trace& trace) {
+  std::stable_sort(trace.jobs.begin(), trace.jobs.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t k = 0; k < trace.jobs.size(); ++k) {
+    trace.jobs[k].id = static_cast<JobId>(k);
+  }
+}
+
+}  // namespace jigsaw

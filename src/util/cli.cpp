@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jigsaw {
+
+void CliFlags::define(const std::string& name, const std::string& help,
+                      const std::string& default_value) {
+  flags_[name] = Flag{help, default_value, false};
+}
+
+void CliFlags::define_bool(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{help, "false", true};
+}
+
+bool CliFlags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    bool has_value = false;
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag: --" + arg);
+    }
+    if (it->second.is_bool) {
+      it->second.value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("flag --" + arg + " needs a value");
+        }
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+  }
+  return true;
+}
+
+std::string CliFlags::str(const std::string& name) const {
+  return flags_.at(name).value;
+}
+
+std::int64_t CliFlags::integer(const std::string& name) const {
+  return std::stoll(flags_.at(name).value);
+}
+
+double CliFlags::real(const std::string& name) const {
+  return std::stod(flags_.at(name).value);
+}
+
+bool CliFlags::boolean(const std::string& name) const {
+  return flags_.at(name).value == "true";
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default: " << flag.value << ")\n      "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports `--flag value`, `--flag=value`, and boolean `--flag`. Unknown
+// flags raise; every binary self-documents via the registered flags.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+
+class CliFlags {
+ public:
+  /// Register a flag with a help string and default textual value.
+  /// Boolean flags default to "false" and flip to "true" when present.
+  void define(const std::string& name, const std::string& help,
+              const std::string& default_value);
+  void define_bool(const std::string& name, const std::string& help);
+
+  /// Parse argv; returns false (after printing usage) when --help is given.
+  /// Throws std::invalid_argument on unknown flags.
+  bool parse(int argc, char** argv);
+
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace jigsaw

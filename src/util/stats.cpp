@@ -1,0 +1,75 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace jigsaw {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("percentile of empty set");
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+BoundedHistogram::BoundedHistogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)), counts_(boundaries_.size() + 1, 0) {
+  if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {
+    throw std::invalid_argument("histogram boundaries must be sorted");
+  }
+}
+
+void BoundedHistogram::add(double value, std::size_t weight) {
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  const auto bucket =
+      static_cast<std::size_t>(std::distance(boundaries_.begin(), it));
+  counts_[bucket] += weight;
+  total_ += weight;
+}
+
+std::string BoundedHistogram::label(std::size_t bucket) const {
+  std::ostringstream out;
+  if (bucket == 0) {
+    out << "<" << boundaries_.front();
+  } else if (bucket == boundaries_.size()) {
+    out << ">=" << boundaries_.back();
+  } else {
+    out << "[" << boundaries_[bucket - 1] << ", " << boundaries_[bucket]
+        << ")";
+  }
+  return out.str();
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,62 @@
+// Summary statistics and fixed-bucket histograms used by the metrics layer.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+
+/// Online mean/min/max/count accumulator (Welford variance).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation); p in [0, 100].
+/// The input vector is copied; for repeated queries sort once and use
+/// percentile_sorted.
+double percentile(std::vector<double> values, double p);
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+/// Histogram over explicit bucket boundaries. A value lands in bucket i
+/// when boundaries[i-1] <= value < boundaries[i]; values below the first
+/// boundary go to bucket 0, values at or above the last go to the final
+/// bucket. With B boundaries there are B+1 buckets.
+class BoundedHistogram {
+ public:
+  explicit BoundedHistogram(std::vector<double> boundaries);
+
+  void add(double value, std::size_t weight = 1);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+
+  /// Human-readable label for a bucket, e.g. "[90, 95)".
+  std::string label(std::size_t bucket) const;
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace jigsaw

@@ -1,0 +1,31 @@
+// Fixed-width ASCII table rendering for bench harness output.
+//
+// Every bench binary reproduces a table or figure from the paper as rows of
+// text; TablePrinter keeps the formatting consistent across binaries.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jigsaw {
+
+class TablePrinter {
+ public:
+  /// Column headers fix the column count; subsequent rows must match.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string fmt(double value, int precision = 2);
+
+  /// Render with column-aligned padding and a header underline.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace jigsaw

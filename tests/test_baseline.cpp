@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+TEST(Baseline, TakesAnyFreeNodes) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const Allocation a = must_allocate(baseline, state, 1, 10);
+  EXPECT_EQ(a.allocated_nodes(), 10);
+  EXPECT_TRUE(a.leaf_wires.empty());
+  EXPECT_TRUE(a.l2_wires.empty());
+}
+
+TEST(Baseline, FirstFitAscending) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const Allocation a = must_allocate(baseline, state, 1, 5);
+  std::vector<NodeId> expected{0, 1, 2, 3, 4};
+  std::vector<NodeId> got = a.nodes;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Baseline, PacksFragmentedNodesOtherSchedulersCannot) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  // Use every leaf partially.
+  for (LeafId l = 0; l < t.total_leaves(); ++l) {
+    Allocation filler;
+    filler.job = 100 + l;
+    filler.requested_nodes = 3;
+    filler.nodes = {t.node_id(l, 0), t.node_id(l, 1), t.node_id(l, 2)};
+    state.apply(filler);
+  }
+  // 16 single-node holes; Baseline happily packs a 16-node job into them.
+  const Allocation a = must_allocate(baseline, state, 1, 16);
+  EXPECT_EQ(a.allocated_nodes(), 16);
+  EXPECT_EQ(state.total_free_nodes(), 0);
+}
+
+TEST(Baseline, FailsOnlyWhenNodesShort) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  must_allocate(baseline, state, 1, 60);
+  EXPECT_FALSE(baseline.allocate(state, JobRequest{2, 5, 0.0}).has_value());
+  EXPECT_TRUE(baseline.allocate(state, JobRequest{3, 4, 0.0}).has_value());
+}
+
+TEST(Baseline, NotIsolating) {
+  EXPECT_FALSE(BaselineAllocator().isolating());
+}
+
+}  // namespace
+}  // namespace jigsaw

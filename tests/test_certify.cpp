@@ -1,0 +1,139 @@
+// Exhaustive small-scale certification of the §3.2 theory.
+//
+// On tiny fat-trees, sweep every shape the condition checker accepts and
+// every shape-violating perturbation, cross-checking three independent
+// oracles: the structural checker (core/conditions), the constructive
+// router (routing/rnb_router, sufficiency), and the exact exhaustive
+// router (necessity — a violating allocation admits an unroutable
+// permutation, which we find by trying adversarial permutations).
+
+#include <gtest/gtest.h>
+
+#include "core/conditions.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/shapes.hpp"
+#include "routing/rnb_router.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+/// All permutations of up to 6 elements; sampled beyond that.
+std::vector<std::vector<Flow>> permutations_of(const Allocation& a,
+                                               Rng& rng, int samples) {
+  std::vector<NodeId> nodes = a.nodes;
+  std::sort(nodes.begin(), nodes.end());
+  std::vector<std::vector<Flow>> result;
+  if (nodes.size() <= 6) {
+    std::vector<NodeId> dsts = nodes;
+    do {
+      std::vector<Flow> perm;
+      for (std::size_t k = 0; k < nodes.size(); ++k) {
+        perm.push_back(Flow{nodes[k], dsts[k]});
+      }
+      result.push_back(std::move(perm));
+    } while (std::next_permutation(dsts.begin(), dsts.end()));
+  } else {
+    for (int s = 0; s < samples; ++s) {
+      result.push_back(random_permutation(a, rng));
+    }
+  }
+  return result;
+}
+
+class CertifySize : public ::testing::TestWithParam<int> {};
+
+TEST_P(CertifySize, EveryJigsawPartitionRoutesEveryPermutation) {
+  const int size = GetParam();
+  const FatTree t(2, 3, 4);  // 24 nodes — small enough to enumerate
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, size);
+  ASSERT_TRUE(check_full_bandwidth(t, a).ok);
+  Rng rng(static_cast<std::uint64_t>(size));
+  for (const auto& perm : permutations_of(a, rng, 40)) {
+    const auto outcome = route_permutation(t, a, perm);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    ASSERT_TRUE(verify_one_flow_per_link(t, a, outcome.routes).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CertifySize,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12,
+                                           15, 18, 24));
+
+TEST(Certify, CheckerAgreesWithExhaustiveRouterOnPerturbations) {
+  // Start from legal two-leaf partitions and perturb the wire sets in
+  // every single-wire way; whenever the checker rejects, some pairwise
+  // exchange permutation must be unroutable OR the partition must lack
+  // balance only in a harmless direction (the checker is conservative
+  // about extra uplinks, which cannot *break* routability).
+  const FatTree t(4, 4, 4);
+  Allocation base;
+  base.job = 1;
+  base.requested_nodes = 4;
+  base.nodes = {t.node_id(0, 0), t.node_id(0, 1), t.node_id(1, 0),
+                t.node_id(1, 1)};
+  base.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 1}, LeafWire{1, 0},
+                     LeafWire{1, 1}};
+  ASSERT_TRUE(check_full_bandwidth(t, base).ok);
+
+  const std::vector<Flow> exchange{{base.nodes[0], base.nodes[2]},
+                                   {base.nodes[1], base.nodes[3]},
+                                   {base.nodes[2], base.nodes[0]},
+                                   {base.nodes[3], base.nodes[1]}};
+  // Removing any one wire breaks either balance or the common set; the
+  // exchange permutation must become unroutable.
+  for (std::size_t drop = 0; drop < base.leaf_wires.size(); ++drop) {
+    Allocation perturbed = base;
+    perturbed.leaf_wires.erase(perturbed.leaf_wires.begin() +
+                               static_cast<std::ptrdiff_t>(drop));
+    EXPECT_FALSE(check_full_bandwidth(t, perturbed).ok);
+    const auto outcome = route_permutation_exhaustive(t, perturbed, exchange);
+    EXPECT_FALSE(outcome.ok) << "drop " << drop;
+  }
+  // Swapping one leaf's wire to a non-common index likewise.
+  for (int new_index : {2, 3}) {
+    Allocation perturbed = base;
+    perturbed.leaf_wires[3] = LeafWire{1, new_index};
+    EXPECT_FALSE(check_full_bandwidth(t, perturbed).ok);
+    const auto outcome = route_permutation_exhaustive(t, perturbed, exchange);
+    EXPECT_FALSE(outcome.ok);
+  }
+}
+
+TEST(Certify, ShapeArithmeticCoversEveryJobSize) {
+  // For every job size on several topologies, the two- and three-level
+  // shape families jointly cover the size (two-level alone when the job
+  // fits a subtree).
+  for (const auto& [m1, m2, m3] :
+       {std::tuple{2, 3, 4}, std::tuple{4, 4, 4}, std::tuple{3, 5, 6}}) {
+    const FatTree t(m1, m2, m3);
+    for (int size = 1; size <= t.total_nodes(); ++size) {
+      const auto two = two_level_shapes(size, t);
+      const auto three = three_level_shapes(size, t, true);
+      EXPECT_TRUE(!two.empty() || !three.empty())
+          << "size " << size << " on " << t.describe();
+      if (size <= t.nodes_per_leaf() * t.leaves_per_tree()) {
+        EXPECT_FALSE(two.empty()) << "size " << size;
+      }
+    }
+  }
+}
+
+TEST(Certify, JigsawFrontierCoversWholeMachineFromEmpty) {
+  // From an empty machine, Jigsaw must place every size 1..N (the shapes
+  // exist and all resources are free): completeness at the boundary.
+  const FatTree t(2, 3, 4);
+  const JigsawAllocator jigsaw;
+  for (int size = 1; size <= t.total_nodes(); ++size) {
+    const ClusterState state(t);
+    EXPECT_TRUE(jigsaw.allocate(state, JobRequest{1, size, 0.0}).has_value())
+        << "size " << size;
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "topology/cluster_state.hpp"
+
+namespace jigsaw {
+namespace {
+
+Allocation tiny_alloc(const FatTree& t) {
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 3;
+  a.nodes = {t.node_id(0, 0), t.node_id(0, 1), t.node_id(1, 0)};
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 2}, LeafWire{1, 0}};
+  a.l2_wires = {L2Wire{0, 0, 1}};
+  return a;
+}
+
+TEST(ClusterState, StartsFullyFree) {
+  const FatTree t(4, 4, 4);
+  const ClusterState s(t);
+  EXPECT_EQ(s.total_free_nodes(), t.total_nodes());
+  for (LeafId l = 0; l < t.total_leaves(); ++l) {
+    EXPECT_EQ(s.free_nodes(l), low_bits(4));
+    EXPECT_EQ(s.free_leaf_up(l), low_bits(4));
+    EXPECT_TRUE(s.leaf_fully_free(l));
+  }
+  for (TreeId tr = 0; tr < t.trees(); ++tr) {
+    EXPECT_EQ(s.fully_free_leaves(tr), 4);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(s.free_l2_up(tr, i), low_bits(4));
+  }
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(ClusterState, ApplyReleaseRoundTrip) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  const Allocation a = tiny_alloc(t);
+  s.apply(a);
+  EXPECT_EQ(s.total_free_nodes(), t.total_nodes() - 3);
+  EXPECT_EQ(s.free_nodes(0), low_bits(4) & ~Mask{0b11});
+  EXPECT_FALSE(s.leaf_fully_free(0));
+  EXPECT_EQ(s.free_leaf_up(0), low_bits(4) & ~Mask{0b101});
+  EXPECT_EQ(s.free_l2_up(0, 0), low_bits(4) & ~Mask{0b10});
+  EXPECT_TRUE(s.check_invariants());
+  s.release(a);
+  EXPECT_EQ(s.total_free_nodes(), t.total_nodes());
+  EXPECT_TRUE(s.leaf_fully_free(0));
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(ClusterState, DoubleApplyThrows) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  const Allocation a = tiny_alloc(t);
+  s.apply(a);
+  EXPECT_THROW(s.apply(a), std::logic_error);
+}
+
+TEST(ClusterState, ReleaseUnallocatedThrows) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  EXPECT_THROW(s.release(tiny_alloc(t)), std::logic_error);
+}
+
+TEST(ClusterState, ConflictingWireThrows) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 1;
+  a.nodes = {t.node_id(0, 0)};
+  a.leaf_wires = {LeafWire{0, 1}};
+  s.apply(a);
+  Allocation b;
+  b.job = 2;
+  b.requested_nodes = 1;
+  b.nodes = {t.node_id(0, 1)};
+  b.leaf_wires = {LeafWire{0, 1}};  // same wire
+  EXPECT_THROW(s.apply(b), std::logic_error);
+}
+
+TEST(ClusterState, BandwidthSharingAllowsCotenants) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t, 4.0);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 1;
+  a.nodes = {t.node_id(0, 0)};
+  a.leaf_wires = {LeafWire{0, 1}};
+  a.bandwidth = 2.0;
+  s.apply(a);
+  EXPECT_DOUBLE_EQ(s.residual_leaf_up(0, 1), 2.0);
+  // A second 2.0 GB/s tenant still fits; a third does not.
+  Allocation b = a;
+  b.job = 2;
+  b.nodes = {t.node_id(0, 1)};
+  s.apply(b);
+  EXPECT_DOUBLE_EQ(s.residual_leaf_up(0, 1), 0.0);
+  Allocation c = a;
+  c.job = 3;
+  c.nodes = {t.node_id(0, 2)};
+  EXPECT_THROW(s.apply(c), std::logic_error);
+  EXPECT_TRUE(s.check_invariants());
+  s.release(b);
+  EXPECT_DOUBLE_EQ(s.residual_leaf_up(0, 1), 2.0);
+  s.apply(c);  // fits again after the release
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(ClusterState, BandwidthMaskThresholds) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t, 4.0);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 1;
+  a.nodes = {t.node_id(0, 0)};
+  a.leaf_wires = {LeafWire{0, 0}};
+  a.l2_wires = {L2Wire{0, 0, 0}};
+  a.bandwidth = 3.0;
+  s.apply(a);
+  EXPECT_EQ(s.leaf_up_with_bandwidth(0, 2.0), low_bits(4) & ~Mask{1});
+  EXPECT_EQ(s.leaf_up_with_bandwidth(0, 1.0), low_bits(4));
+  EXPECT_EQ(s.l2_up_with_bandwidth(0, 0, 2.0), low_bits(4) & ~Mask{1});
+}
+
+TEST(ClusterState, ExclusiveWireExcludedFromBandwidthMask) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t, 4.0);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 1;
+  a.nodes = {t.node_id(0, 0)};
+  a.leaf_wires = {LeafWire{0, 2}};
+  s.apply(a);  // exclusive
+  EXPECT_EQ(s.leaf_up_with_bandwidth(0, 0.5), low_bits(4) & ~Mask{0b100});
+}
+
+TEST(ClusterState, CopySemanticsForShadowState) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  const Allocation a = tiny_alloc(t);
+  s.apply(a);
+  ClusterState shadow = s;  // the EASY scheduler's copy
+  shadow.release(a);
+  EXPECT_EQ(shadow.total_free_nodes(), t.total_nodes());
+  EXPECT_EQ(s.total_free_nodes(), t.total_nodes() - 3);  // original untouched
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/conditions.hpp"
+
+namespace jigsaw {
+namespace {
+
+// Figure 3's legal allocation on a (2 nodes/leaf, 3 leaves/tree) fat-tree:
+// N=11 as two full trees (2 leaves x 2 nodes) plus a remainder tree with
+// one full leaf and a one-node remainder leaf. S = {0, 1}, Sr = {0};
+// S*_i = {0, 1}; S*r_0 = {0, 1} (full leaf + remainder leaf through L2 0),
+// S*r_1 = {0} (full leaf only).
+Allocation figure3_allocation(const FatTree& t) {
+  Allocation a;
+  a.job = 7;
+  a.requested_nodes = 11;
+  for (const TreeId tree : {0, 1}) {
+    for (int leaf = 0; leaf < 2; ++leaf) {
+      const LeafId l = t.leaf_id(tree, leaf);
+      a.nodes.push_back(t.node_id(l, 0));
+      a.nodes.push_back(t.node_id(l, 1));
+      a.leaf_wires.push_back(LeafWire{l, 0});
+      a.leaf_wires.push_back(LeafWire{l, 1});
+    }
+    for (int i = 0; i < 2; ++i) {
+      a.l2_wires.push_back(L2Wire{tree, i, 0});
+      a.l2_wires.push_back(L2Wire{tree, i, 1});
+    }
+  }
+  // Remainder tree 2: one full leaf, one remainder leaf with one node.
+  const LeafId full = t.leaf_id(2, 0);
+  a.nodes.push_back(t.node_id(full, 0));
+  a.nodes.push_back(t.node_id(full, 1));
+  a.leaf_wires.push_back(LeafWire{full, 0});
+  a.leaf_wires.push_back(LeafWire{full, 1});
+  const LeafId rem = t.leaf_id(2, 1);
+  a.nodes.push_back(t.node_id(rem, 0));
+  a.leaf_wires.push_back(LeafWire{rem, 0});  // Sr = {0}
+  a.l2_wires.push_back(L2Wire{2, 0, 0});
+  a.l2_wires.push_back(L2Wire{2, 0, 1});  // L2 0 serves full + remainder leaf
+  a.l2_wires.push_back(L2Wire{2, 1, 0});  // L2 1 serves the full leaf only
+  return a;
+}
+
+TEST(Conditions, Figure3AllocationIsLegal) {
+  const FatTree t(2, 3, 4);
+  const Allocation a = figure3_allocation(t);
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_TRUE(report.ok) << report.error;
+  const auto util = check_high_utilization(t, a);
+  EXPECT_TRUE(util.ok) << util.error;
+}
+
+TEST(Conditions, EmptyAllocationFails) {
+  const FatTree t(2, 3, 4);
+  EXPECT_FALSE(check_full_bandwidth(t, Allocation{}).ok);
+}
+
+TEST(Conditions, DuplicateNodeFails) {
+  const FatTree t(2, 3, 4);
+  Allocation a = figure3_allocation(t);
+  a.nodes.push_back(a.nodes.front());
+  EXPECT_FALSE(check_full_bandwidth(t, a).ok);
+}
+
+TEST(Conditions, TwoRemainderLeavesFail) {
+  // Figure 1 (center): 1, 2, 3 nodes across three leaves is not evenly
+  // distributed — two different non-maximal leaf counts.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 6;
+  for (int n = 0; n < 1; ++n) a.nodes.push_back(t.node_id(0, n));
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(1, n));
+  for (int n = 0; n < 3; ++n) a.nodes.push_back(t.node_id(2, n));
+  for (const LeafId l : {0, 1, 2}) {
+    for (int i = 0; i < 3; ++i) a.leaf_wires.push_back(LeafWire{l, i});
+  }
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("remainder leaf"), std::string::npos);
+}
+
+TEST(Conditions, TaperedUplinksFail) {
+  // Figure 1 (left): fewer uplinks than downlinks on a leaf.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(0, n));
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(1, n));
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 1}, LeafWire{1, 0}};  // 1 short
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(Conditions, MismatchedL2SetsFail) {
+  // Figure 1 (right): balanced but independently-chosen uplinks.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(0, n));
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(1, n));
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 1},   // S = {0, 1}
+                  LeafWire{1, 2}, LeafWire{1, 3}};  // S = {2, 3}
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("condition 4"), std::string::npos);
+}
+
+TEST(Conditions, RemainderLeafOutsideRemainderTreeFails) {
+  const FatTree t(2, 3, 4);
+  Allocation a = figure3_allocation(t);
+  // Move the remainder node from tree 2's leaf to a new leaf on tree 0,
+  // leaving tree 2 smaller but hosting no remainder leaf.
+  a.nodes.pop_back();  // drop node on t.leaf_id(2, 1)
+  a.leaf_wires.pop_back();
+  a.nodes.push_back(t.node_id(t.leaf_id(0, 2), 0));
+  a.leaf_wires.push_back(LeafWire{t.leaf_id(0, 2), 0});
+  EXPECT_FALSE(check_full_bandwidth(t, a).ok);
+}
+
+TEST(Conditions, InconsistentSpineSetsFail) {
+  const FatTree t(2, 3, 4);
+  Allocation a = figure3_allocation(t);
+  // Tree 1's L2 0 uses spines {0, 2} while tree 0 uses {0, 1}.
+  for (auto& w : a.l2_wires) {
+    if (w.tree == 1 && w.l2_index == 0 && w.spine_index == 1) {
+      w.spine_index = 2;
+    }
+  }
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("S*"), std::string::npos);
+}
+
+TEST(Conditions, RemainderSpinesMustBeSubset) {
+  const FatTree t(2, 3, 4);
+  Allocation a = figure3_allocation(t);
+  for (auto& w : a.l2_wires) {
+    if (w.tree == 2 && w.l2_index == 1 && w.spine_index == 0) {
+      w.spine_index = 2;  // outside S*_1 = {0, 1}
+    }
+  }
+  EXPECT_FALSE(check_full_bandwidth(t, a).ok);
+}
+
+TEST(Conditions, SingleLeafJobNeedsNoLinks) {
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 3;
+  for (int n = 0; n < 3; ++n) a.nodes.push_back(t.node_id(5, n));
+  EXPECT_TRUE(check_full_bandwidth(t, a).ok);
+  EXPECT_TRUE(check_high_utilization(t, a).ok);
+}
+
+TEST(Conditions, LaaSStyleWholeLeafPassesBandwidthNotUtilization) {
+  // A 3-node request granted a whole 4-node leaf (with all its uplinks):
+  // full bandwidth holds, the high-utilization conditions do not.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 3;
+  for (int n = 0; n < 4; ++n) a.nodes.push_back(t.node_id(0, n));
+  for (int i = 0; i < 4; ++i) a.leaf_wires.push_back(LeafWire{0, i});
+  EXPECT_TRUE(check_full_bandwidth(t, a).ok);
+  const auto util = check_high_utilization(t, a);
+  EXPECT_FALSE(util.ok);
+  EXPECT_NE(util.error.find("fragmentation"), std::string::npos);
+}
+
+TEST(Conditions, SingleSubtreeMustNotHoldSpines) {
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(0, n));
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(1, n));
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 1}, LeafWire{1, 0},
+                  LeafWire{1, 1}};
+  EXPECT_TRUE(check_full_bandwidth(t, a).ok);
+  a.l2_wires.push_back(L2Wire{0, 0, 0});
+  EXPECT_FALSE(check_full_bandwidth(t, a).ok);
+}
+
+}  // namespace
+}  // namespace jigsaw

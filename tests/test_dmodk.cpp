@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "routing/dmodk.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(DmodK, SelfFlowUsesNoLinks) {
+  const FatTree t(4, 4, 4);
+  EXPECT_TRUE(dmodk_route(t, 5, 5).empty());
+}
+
+TEST(DmodK, SameLeafStaysLocal) {
+  const FatTree t(4, 4, 4);
+  const auto route = dmodk_route(t, t.node_id(3, 0), t.node_id(3, 2));
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route[0], t.node_up_link(t.node_id(3, 0)));
+  EXPECT_EQ(route[1], t.node_down_link(t.node_id(3, 2)));
+}
+
+TEST(DmodK, SameTreeUsesOneL2) {
+  const FatTree t(4, 4, 4);
+  const NodeId src = t.node_id(t.leaf_id(1, 0), 0);
+  const NodeId dst = t.node_id(t.leaf_id(1, 2), 1);
+  const auto route = dmodk_route(t, src, dst);
+  ASSERT_EQ(route.size(), 4u);
+  const int i = dst % t.l2_per_tree();
+  EXPECT_EQ(route[1], t.leaf_up_link(t.leaf_of_node(src), i));
+  EXPECT_EQ(route[2], t.leaf_down_link(t.leaf_of_node(dst), i));
+}
+
+TEST(DmodK, CrossTreeUsesSpine) {
+  const FatTree t(4, 4, 4);
+  const NodeId src = t.node_id(t.leaf_id(0, 0), 0);
+  const NodeId dst = t.node_id(t.leaf_id(3, 1), 2);
+  const auto route = dmodk_route(t, src, dst);
+  ASSERT_EQ(route.size(), 6u);
+  const int i = dst % t.l2_per_tree();
+  const int j = (dst / t.l2_per_tree()) % t.spines_per_group();
+  EXPECT_EQ(route[2], t.l2_up_link(0, i, j));
+  EXPECT_EQ(route[3], t.l2_down_link(3, i, j));
+}
+
+TEST(DmodK, OutOfRangeThrows) {
+  const FatTree t(4, 4, 4);
+  EXPECT_THROW(dmodk_route(t, -1, 0), std::invalid_argument);
+  EXPECT_THROW(dmodk_route(t, 0, t.total_nodes()), std::invalid_argument);
+}
+
+TEST(DmodK, ShiftPermutationIsContentionFreeAcrossLeaves) {
+  // The property D-mod-k was designed for (Zahavi): a shift permutation
+  // dst = (src + m1) mod N — every node sends one leaf over — routes with
+  // at most one flow per link on the full tree.
+  const FatTree t(4, 4, 4);
+  std::map<int, int> load;
+  for (NodeId src = 0; src < t.total_nodes(); ++src) {
+    const NodeId dst = (src + t.nodes_per_leaf()) % t.total_nodes();
+    for (const int link : dmodk_route(t, src, dst)) {
+      EXPECT_LE(++load[link], 1) << t.link_name(link);
+    }
+  }
+}
+
+TEST(DmodK, DeterministicRoutes) {
+  const FatTree t(8, 8, 16);
+  EXPECT_EQ(dmodk_route(t, 17, 901), dmodk_route(t, 17, 901));
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "routing/edge_coloring.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw {
+namespace {
+
+/// Proper coloring: no two edges sharing a vertex (on the same side) share
+/// a color, and colors stay below the maximum degree.
+void expect_proper(int n_left, int n_right,
+                   const std::vector<std::pair<int, int>>& edges,
+                   const std::vector<int>& colors) {
+  ASSERT_EQ(edges.size(), colors.size());
+  std::vector<int> ldeg(static_cast<std::size_t>(n_left), 0);
+  std::vector<int> rdeg(static_cast<std::size_t>(n_right), 0);
+  for (const auto& [u, v] : edges) {
+    ++ldeg[static_cast<std::size_t>(u)];
+    ++rdeg[static_cast<std::size_t>(v)];
+  }
+  int max_degree = 0;
+  for (const int d : ldeg) max_degree = std::max(max_degree, d);
+  for (const int d : rdeg) max_degree = std::max(max_degree, d);
+
+  std::set<std::pair<int, int>> left_seen;
+  std::set<std::pair<int, int>> right_seen;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    ASSERT_GE(colors[e], 0);
+    ASSERT_LT(colors[e], std::max(max_degree, 1));
+    EXPECT_TRUE(left_seen.insert({edges[e].first, colors[e]}).second)
+        << "color repeated at left vertex " << edges[e].first;
+    EXPECT_TRUE(right_seen.insert({edges[e].second, colors[e]}).second)
+        << "color repeated at right vertex " << edges[e].second;
+  }
+}
+
+TEST(EdgeColoring, EmptyGraph) {
+  EXPECT_TRUE(bipartite_edge_coloring(3, 3, {}).empty());
+}
+
+TEST(EdgeColoring, SingleEdge) {
+  const std::vector<std::pair<int, int>> edges{{0, 1}};
+  const auto colors = bipartite_edge_coloring(2, 2, edges);
+  expect_proper(2, 2, edges, colors);
+}
+
+TEST(EdgeColoring, PerfectMatchingDecompositionOfRegularGraph) {
+  // Complete bipartite K3,3 has degree 3: colorable with exactly 3 colors,
+  // each class a perfect matching.
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) edges.emplace_back(u, v);
+  }
+  const auto colors = bipartite_edge_coloring(3, 3, edges);
+  expect_proper(3, 3, edges, colors);
+  // Every color class covers all three left and right vertices.
+  for (int c = 0; c < 3; ++c) {
+    std::set<int> lefts;
+    std::set<int> rights;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (colors[e] != c) continue;
+      lefts.insert(edges[e].first);
+      rights.insert(edges[e].second);
+    }
+    EXPECT_EQ(lefts.size(), 3u);
+    EXPECT_EQ(rights.size(), 3u);
+  }
+}
+
+TEST(EdgeColoring, ParallelEdgesGetDistinctColors) {
+  const std::vector<std::pair<int, int>> edges{{0, 0}, {0, 0}, {0, 0}};
+  const auto colors = bipartite_edge_coloring(1, 1, edges);
+  expect_proper(1, 1, edges, colors);
+  EXPECT_EQ(std::set<int>(colors.begin(), colors.end()).size(), 3u);
+}
+
+TEST(EdgeColoring, OutOfRangeThrows) {
+  EXPECT_THROW(bipartite_edge_coloring(1, 1, {{0, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(bipartite_edge_coloring(1, 1, {{-1, 0}}),
+               std::invalid_argument);
+}
+
+class EdgeColoringRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeColoringRandom, ProperOnRandomMultigraphs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 2 + static_cast<int>(rng.below(14));
+  const int m = static_cast<int>(rng.below(120));
+  std::vector<std::pair<int, int>> edges;
+  for (int e = 0; e < m; ++e) {
+    edges.emplace_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(n))),
+                       static_cast<int>(rng.below(static_cast<std::uint64_t>(n))));
+  }
+  const auto colors = bipartite_edge_coloring(n, n, edges);
+  expect_proper(n, n, edges, colors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeColoringRandom,
+                         ::testing::Range(0, 40));
+
+TEST(EdgeColoring, RandomPermutationsAreOneColorable) {
+  // A permutation between n left and n right vertices has degree 1.
+  Rng rng(99);
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> perm(16);
+  for (int k = 0; k < 16; ++k) perm[static_cast<std::size_t>(k)] = k;
+  for (std::size_t k = perm.size(); k > 1; --k) {
+    std::swap(perm[k - 1], perm[rng.below(k)]);
+  }
+  for (int k = 0; k < 16; ++k) edges.emplace_back(k, perm[static_cast<std::size_t>(k)]);
+  const auto colors = bipartite_edge_coloring(16, 16, edges);
+  for (const int c : colors) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace jigsaw

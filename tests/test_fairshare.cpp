@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "routing/fairshare.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+TEST(MaxMinFair, SingleFlowGetsFullLink) {
+  const auto rates = max_min_fair_rates({1.0, 1.0}, {{0, 1}});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+}
+
+TEST(MaxMinFair, TwoFlowsShareEvenly) {
+  const auto rates = max_min_fair_rates({1.0}, {{0}, {0}});
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+}
+
+TEST(MaxMinFair, ClassicWaterfillingExample) {
+  // Textbook instance: link 0 (cap 1) shared by flows A and B; link 1
+  // (cap 10) used by flows B and C. A and B bottleneck at 0.5 on link 0;
+  // C then takes the rest of link 1 (9.5).
+  const auto rates = max_min_fair_rates({1.0, 10.0}, {{0}, {0, 1}, {1}});
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 9.5);
+}
+
+TEST(MaxMinFair, LinklessFlowRunsAtIdleRate) {
+  const auto rates = max_min_fair_rates({1.0}, {{}, {0}}, 2.0);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);
+}
+
+TEST(MaxMinFair, RatesNeverExceedAnyLinkCapacity) {
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t links = 4 + rng.below(8);
+    const std::size_t flows = 1 + rng.below(20);
+    std::vector<double> caps(links);
+    for (auto& c : caps) c = rng.uniform(0.5, 4.0);
+    std::vector<std::vector<int>> fl(flows);
+    for (auto& f : fl) {
+      const std::size_t hops = 1 + rng.below(4);
+      for (std::size_t h = 0; h < hops; ++h) {
+        f.push_back(static_cast<int>(rng.below(links)));
+      }
+    }
+    const auto rates = max_min_fair_rates(caps, fl);
+    // Conservation: per link, sum of rates <= capacity.
+    std::vector<double> load(links, 0.0);
+    for (std::size_t f = 0; f < flows; ++f) {
+      auto unique_links = fl[f];
+      std::sort(unique_links.begin(), unique_links.end());
+      unique_links.erase(
+          std::unique(unique_links.begin(), unique_links.end()),
+          unique_links.end());
+      for (const int l : unique_links) {
+        load[static_cast<std::size_t>(l)] += rates[f];
+      }
+    }
+    for (std::size_t l = 0; l < links; ++l) {
+      EXPECT_LE(load[l], caps[l] + 1e-6);
+    }
+    // Max-min property (weak form): every flow is bottlenecked — some link
+    // on its path is (nearly) saturated.
+    for (std::size_t f = 0; f < flows; ++f) {
+      bool bottlenecked = false;
+      for (const int l : fl[f]) {
+        if (load[static_cast<std::size_t>(l)] >=
+            caps[static_cast<std::size_t>(l)] - 1e-6) {
+          bottlenecked = true;
+        }
+      }
+      EXPECT_TRUE(bottlenecked) << "flow " << f << " has slack everywhere";
+    }
+  }
+}
+
+TEST(MaxMinFair, OutOfRangeLinkThrows) {
+  EXPECT_THROW(max_min_fair_rates({1.0}, {{2}}), std::invalid_argument);
+}
+
+TEST(MeasureSlowdowns, IsolatedJigsawJobsSufferOnlySelfContention) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  std::vector<Allocation> running;
+  for (const int size : {11, 16, 20}) {
+    running.push_back(must_allocate(
+        jigsaw, state, static_cast<JobId>(running.size()), size));
+  }
+  Rng rng(5);
+  const SlowdownReport report =
+      measure_slowdowns(t, running, rng, TrafficRouting::kWraparound);
+  // Deterministic single-path routing may still collide within a job, but
+  // cross-job isolation bounds the damage: no flow shares with more than
+  // its own job's flows.
+  EXPECT_GE(report.mean_slowdown, 1.0);
+  EXPECT_EQ(report.jobs.size(), 3u);
+}
+
+TEST(MeasureSlowdowns, SharedBaselineWorseThanIsolated) {
+  const FatTree t(4, 4, 4);
+  // Two interleaved jobs whose destination slots overlap (see the
+  // congestion test for why this collides under D-mod-k).
+  std::vector<Allocation> running(2);
+  for (LeafId l = 0; l < 4; ++l) {
+    running[0].nodes.push_back(t.node_id(l, 0));
+    running[0].nodes.push_back(t.node_id(l, 1));
+    running[1].nodes.push_back(t.node_id(l, 2));
+    running[1].nodes.push_back(t.node_id(l, 3));
+    running[1].nodes.push_back(t.node_id(l + 4, 0));
+    running[1].nodes.push_back(t.node_id(l + 4, 1));
+  }
+  running[0].job = 0;
+  running[1].job = 1;
+  Rng rng(7);
+  const SlowdownReport shared =
+      measure_slowdowns(t, running, rng, TrafficRouting::kDmodk);
+  EXPECT_GT(shared.max_slowdown, 1.0);
+}
+
+TEST(MeasureSlowdowns, RnbOptimalRoutingHasZeroContention) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  std::vector<Allocation> running;
+  for (const int size : {11, 16, 20, 8}) {
+    running.push_back(must_allocate(
+        jigsaw, state, static_cast<JobId>(running.size()), size));
+  }
+  Rng rng(6);
+  const SlowdownReport report =
+      measure_slowdowns(t, running, rng, TrafficRouting::kRnbOptimal);
+  EXPECT_DOUBLE_EQ(report.mean_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(report.fraction_slowed, 0.0);
+}
+
+TEST(MeasureSlowdowns, RnbOptimalRejectsIllegalAllocations) {
+  const FatTree t(4, 4, 4);
+  Allocation bad;
+  bad.job = 1;
+  bad.requested_nodes = 4;
+  bad.nodes = {t.node_id(0, 0), t.node_id(0, 1), t.node_id(1, 0),
+               t.node_id(1, 1)};
+  bad.leaf_wires = {LeafWire{0, 0}, LeafWire{1, 1}};
+  Rng rng(8);
+  EXPECT_THROW(
+      measure_slowdowns(t, {bad}, rng, TrafficRouting::kRnbOptimal),
+      std::invalid_argument);
+}
+
+TEST(MeasureSlowdowns, EmptySystem) {
+  const FatTree t(4, 4, 4);
+  Rng rng(9);
+  const SlowdownReport report = measure_slowdowns(t, {}, rng, TrafficRouting::kDmodk);
+  EXPECT_TRUE(report.jobs.empty());
+  EXPECT_DOUBLE_EQ(report.mean_slowdown, 1.0);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/fat_tree.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(FatTree, PaperClusterSizes) {
+  // §5.1: radix 16/18/22/28 -> 1024/1458/2662/5488 nodes.
+  EXPECT_EQ(FatTree::from_radix(16).total_nodes(), 1024);
+  EXPECT_EQ(FatTree::from_radix(18).total_nodes(), 1458);
+  EXPECT_EQ(FatTree::from_radix(22).total_nodes(), 2662);
+  EXPECT_EQ(FatTree::from_radix(28).total_nodes(), 5488);
+}
+
+TEST(FatTree, ShapeFromRadix) {
+  const FatTree t = FatTree::from_radix(8);
+  EXPECT_EQ(t.nodes_per_leaf(), 4);
+  EXPECT_EQ(t.leaves_per_tree(), 4);
+  EXPECT_EQ(t.trees(), 8);
+  EXPECT_EQ(t.l2_per_tree(), 4);
+  EXPECT_EQ(t.spines_per_group(), 4);
+  EXPECT_EQ(t.total_leaves(), 32);
+  EXPECT_EQ(t.total_l2(), 32);
+  EXPECT_EQ(t.total_spines(), 16);
+  EXPECT_EQ(t.radix(), 8);
+}
+
+TEST(FatTree, AtLeastPicksSmallestSufficient) {
+  EXPECT_EQ(FatTree::at_least(1024).total_nodes(), 1024);
+  EXPECT_EQ(FatTree::at_least(1025).total_nodes(), 1458);
+  EXPECT_EQ(FatTree::at_least(1296).total_nodes(), 1458);  // Cab fits here
+}
+
+TEST(FatTree, InvalidParametersThrow) {
+  EXPECT_THROW(FatTree::from_radix(7), std::invalid_argument);
+  EXPECT_THROW(FatTree::from_radix(66), std::invalid_argument);
+  EXPECT_THROW(FatTree(0, 4, 4), std::invalid_argument);
+  EXPECT_THROW(FatTree(65, 4, 4), std::invalid_argument);
+}
+
+TEST(FatTree, NodeLeafTreeMapping) {
+  const FatTree t(3, 4, 5);  // 3 nodes/leaf, 4 leaves/tree, 5 trees
+  EXPECT_EQ(t.total_nodes(), 60);
+  const NodeId n = 37;  // leaf 12, tree 3
+  EXPECT_EQ(t.leaf_of_node(n), 12);
+  EXPECT_EQ(t.node_index_in_leaf(n), 1);
+  EXPECT_EQ(t.tree_of_leaf(12), 3);
+  EXPECT_EQ(t.leaf_index_in_tree(12), 0);
+  EXPECT_EQ(t.tree_of_node(n), 3);
+  EXPECT_EQ(t.node_id(12, 1), n);
+  EXPECT_EQ(t.leaf_id(3, 0), 12);
+}
+
+TEST(FatTree, SpineGroups) {
+  const FatTree t(3, 4, 5);
+  // Spine group i holds w3 == m2 == 4 spines.
+  EXPECT_EQ(t.spine_id(0, 0), 0);
+  EXPECT_EQ(t.spine_id(1, 0), 4);
+  EXPECT_EQ(t.spine_id(2, 3), 11);
+  EXPECT_EQ(t.group_of_spine(11), 2);
+  EXPECT_EQ(t.index_in_group(11), 3);
+  EXPECT_EQ(t.total_spines(), 12);
+}
+
+TEST(FatTree, DirectedLinkIdsAreDenseAndUnique) {
+  const FatTree t(2, 3, 4);
+  std::set<int> ids;
+  for (NodeId n = 0; n < t.total_nodes(); ++n) {
+    ids.insert(t.node_up_link(n));
+    ids.insert(t.node_down_link(n));
+  }
+  for (LeafId l = 0; l < t.total_leaves(); ++l) {
+    for (int i = 0; i < t.l2_per_tree(); ++i) {
+      ids.insert(t.leaf_up_link(l, i));
+      ids.insert(t.leaf_down_link(l, i));
+    }
+  }
+  for (TreeId tr = 0; tr < t.trees(); ++tr) {
+    for (int i = 0; i < t.l2_per_tree(); ++i) {
+      for (int j = 0; j < t.spines_per_group(); ++j) {
+        ids.insert(t.l2_up_link(tr, i, j));
+        ids.insert(t.l2_down_link(tr, i, j));
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(ids.size()), t.directed_link_count());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), t.directed_link_count() - 1);
+}
+
+TEST(FatTree, LinkNamesRoundTripKinds) {
+  const FatTree t(2, 3, 4);
+  EXPECT_NE(t.link_name(t.node_up_link(5)).find("node5"), std::string::npos);
+  EXPECT_NE(t.link_name(t.leaf_up_link(2, 1)).find("leaf2"),
+            std::string::npos);
+  EXPECT_NE(t.link_name(t.l2_up_link(1, 0, 2)).find("t1"), std::string::npos);
+}
+
+TEST(FatTree, RadixThrowsForNonUniform) {
+  EXPECT_THROW(FatTree(3, 4, 5).radix(), std::logic_error);
+}
+
+TEST(FatTree, UpDownBalancePerSwitch) {
+  // Full-bandwidth property: every leaf has as many uplinks (w2) as nodes
+  // (m1); every L2 as many spine uplinks (w3) as leaves (m2).
+  for (const int radix : {4, 8, 16}) {
+    const FatTree t = FatTree::from_radix(radix);
+    EXPECT_EQ(t.nodes_per_leaf(), t.l2_per_tree());
+    EXPECT_EQ(t.leaves_per_tree(), t.spines_per_group());
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw

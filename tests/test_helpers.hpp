@@ -1,0 +1,26 @@
+// Shared helpers for the test suite.
+
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/allocator.hpp"
+
+namespace jigsaw::testing {
+
+/// Allocate-and-apply; throws when the allocator finds no placement.
+inline Allocation must_allocate(const Allocator& allocator,
+                                ClusterState& state, JobId job, int nodes,
+                                double bandwidth = 0.0) {
+  const auto alloc =
+      allocator.allocate(state, JobRequest{job, nodes, bandwidth});
+  if (!alloc.has_value()) {
+    throw std::runtime_error("expected an allocation for job " +
+                             std::to_string(job));
+  }
+  state.apply(*alloc);
+  return *alloc;
+}
+
+}  // namespace jigsaw::testing

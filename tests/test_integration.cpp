@@ -1,0 +1,135 @@
+// Cross-module integration: whole simulations, scheme orderings, and the
+// paper's headline qualitative claims at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "core/lc.hpp"
+#include "core/ta.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+
+namespace jigsaw {
+namespace {
+
+struct SchemeResult {
+  std::string name;
+  SimMetrics metrics;
+};
+
+std::vector<SchemeResult> run_all(const FatTree& topo, const Trace& trace,
+                                  const SimConfig& config) {
+  std::vector<std::unique_ptr<Allocator>> schemes;
+  schemes.push_back(std::make_unique<BaselineAllocator>());
+  schemes.push_back(std::make_unique<JigsawAllocator>());
+  schemes.push_back(std::make_unique<LaasAllocator>());
+  schemes.push_back(std::make_unique<TaAllocator>());
+  std::vector<SchemeResult> results;
+  for (const auto& scheme : schemes) {
+    results.push_back(
+        SchemeResult{scheme->name(), simulate(topo, *scheme, trace, config)});
+  }
+  return results;
+}
+
+double util_of(const std::vector<SchemeResult>& results,
+               const std::string& name) {
+  for (const auto& r : results) {
+    if (r.name == name) return r.metrics.steady_utilization;
+  }
+  throw std::logic_error("scheme missing: " + name);
+}
+
+TEST(Integration, UtilizationOrderingMatchesFigure6) {
+  // Figure 6's qualitative ordering under heavy load:
+  // Baseline > Jigsaw > LaaS > TA.
+  const FatTree topo = FatTree::from_radix(8);  // 256 nodes, quick
+  SyntheticParams params;
+  params.jobs = 400;
+  params.mean_size = 4.0;  // scaled to the smaller tree
+  params.seed = 77;
+  const Trace trace = synthetic_trace(params);
+  const auto results = run_all(topo, trace, SimConfig{});
+  const double baseline = util_of(results, "Baseline");
+  const double jigsaw = util_of(results, "Jigsaw");
+  const double laas = util_of(results, "LaaS");
+  const double ta = util_of(results, "TA");
+  EXPECT_GE(baseline, jigsaw);
+  EXPECT_GT(jigsaw, laas);
+  EXPECT_GT(jigsaw, ta);
+  EXPECT_GT(jigsaw, 0.85);    // high utilization claim (small tree is harsher)
+  EXPECT_GT(baseline, 0.90);
+}
+
+TEST(Integration, AllSchemesCompleteIdenticalWorkload) {
+  const FatTree topo = FatTree::from_radix(8);
+  SyntheticParams params;
+  params.jobs = 200;
+  params.mean_size = 4.0;
+  params.seed = 78;
+  const Trace trace = synthetic_trace(params);
+  for (const auto& r : run_all(topo, trace, SimConfig{})) {
+    EXPECT_EQ(r.metrics.completed, 200u) << r.name;
+  }
+}
+
+TEST(Integration, SpeedupsImproveJigsawTurnaroundRelativeToBaseline) {
+  const FatTree topo = FatTree::from_radix(8);
+  SyntheticParams params;
+  params.jobs = 300;
+  params.mean_size = 4.0;
+  params.seed = 79;
+  const Trace trace = synthetic_trace(params);
+  const BaselineAllocator baseline;
+  const JigsawAllocator jigsaw;
+
+  SimConfig none;
+  SimConfig twenty;
+  twenty.scenario = SpeedupScenario::kFixed20;
+  const double base = simulate(topo, baseline, trace, none).makespan;
+  const double jig_none = simulate(topo, jigsaw, trace, none).makespan;
+  const double jig_twenty = simulate(topo, jigsaw, trace, twenty).makespan;
+  // Without speed-ups Jigsaw pays a small makespan penalty; with 20%
+  // speed-ups it must beat Baseline (Figure 8's crossover).
+  EXPECT_GE(jig_none, base * 0.98);
+  EXPECT_LT(jig_twenty, base);
+}
+
+TEST(Integration, LaasWastesNodesJigsawDoesNot) {
+  const FatTree topo = FatTree::from_radix(8);  // 16-node subtrees
+  SyntheticParams params;
+  params.jobs = 200;
+  params.mean_size = 8.0;  // a healthy share of cross-subtree jobs
+  params.seed = 80;
+  const Trace trace = synthetic_trace(params);
+  const JigsawAllocator jigsaw;
+  const LaasAllocator laas;
+  const double jig_waste =
+      simulate(topo, jigsaw, trace, SimConfig{}).steady_waste;
+  const double laas_waste =
+      simulate(topo, laas, trace, SimConfig{}).steady_waste;
+  EXPECT_DOUBLE_EQ(jig_waste, 0.0);
+  EXPECT_GT(laas_waste, 0.01);  // rounding on subtree-spanning jobs
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const FatTree topo = FatTree::from_radix(8);
+  SyntheticParams params;
+  params.jobs = 150;
+  params.mean_size = 4.0;
+  params.seed = 81;
+  const Trace trace = synthetic_trace(params);
+  const JigsawAllocator jigsaw;
+  const SimMetrics a = simulate(topo, jigsaw, trace, SimConfig{});
+  const SimMetrics b = simulate(topo, jigsaw, trace, SimConfig{});
+  EXPECT_DOUBLE_EQ(a.steady_utilization, b.steady_utilization);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.mean_turnaround_all, b.mean_turnaround_all);
+}
+
+}  // namespace
+}  // namespace jigsaw

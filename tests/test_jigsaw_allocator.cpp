@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/conditions.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+TEST(JigsawAllocator, SingleNodeJob) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 1);
+  EXPECT_EQ(a.allocated_nodes(), 1);
+  EXPECT_TRUE(a.leaf_wires.empty());
+  EXPECT_TRUE(a.l2_wires.empty());
+  EXPECT_TRUE(check_high_utilization(t, a).ok);
+}
+
+TEST(JigsawAllocator, ExactNodeCountAlways) {
+  const FatTree t(8, 8, 16);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  for (int size : {1, 5, 8, 13, 64, 100, 200}) {
+    const Allocation a = must_allocate(jigsaw, state, size, size);
+    EXPECT_EQ(a.allocated_nodes(), size);  // no internal fragmentation
+    EXPECT_EQ(a.wasted_nodes(), 0);
+  }
+}
+
+TEST(JigsawAllocator, PrefersSingleSubtree) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 16);  // exactly a tree
+  TreeId tree = t.tree_of_node(a.nodes.front());
+  for (const NodeId n : a.nodes) EXPECT_EQ(t.tree_of_node(n), tree);
+  EXPECT_TRUE(a.l2_wires.empty());  // two-level allocations use no spines
+}
+
+TEST(JigsawAllocator, ThreeLevelWhenSubtreeIsFull) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 20);  // > one subtree
+  EXPECT_FALSE(a.l2_wires.empty());
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(JigsawAllocator, EveryAllocationSatisfiesAllConditions) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  Rng rng(17);
+  std::vector<Allocation> live;
+  for (JobId job = 0; job < 40; ++job) {
+    const int size = 1 + static_cast<int>(rng.below(20));
+    const auto alloc = jigsaw.allocate(state, JobRequest{job, size, 0.0});
+    if (!alloc.has_value()) {
+      // Free something and retry once.
+      if (live.empty()) continue;
+      state.release(live.back());
+      live.pop_back();
+      continue;
+    }
+    state.apply(*alloc);
+    const auto fb = check_full_bandwidth(t, *alloc);
+    ASSERT_TRUE(fb.ok) << "job " << job << " size " << size << ": "
+                       << fb.error;
+    const auto hu = check_high_utilization(t, *alloc);
+    ASSERT_TRUE(hu.ok) << "job " << job << ": " << hu.error;
+    live.push_back(*alloc);
+  }
+  EXPECT_TRUE(state.check_invariants());
+}
+
+TEST(JigsawAllocator, RemainderLeafPrefersPartialLeaves) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  // Leave a 1-node hole on leaf 0, then ask for 4+2: the 2-node remainder
+  // should land on the partially-used leaf (3 free) rather than break a
+  // pristine one.
+  must_allocate(jigsaw, state, 1, 1);
+  const Allocation a = must_allocate(jigsaw, state, 2, 6);
+  int on_leaf0 = 0;
+  for (const NodeId n : a.nodes) {
+    if (t.leaf_of_node(n) == 0) ++on_leaf0;
+  }
+  EXPECT_EQ(on_leaf0, 2);
+}
+
+TEST(JigsawAllocator, FillsMachineCompletely) {
+  // With whole-subtree jobs the machine packs to 100%.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  for (JobId job = 0; job < 4; ++job) must_allocate(jigsaw, state, job, 16);
+  EXPECT_EQ(state.total_free_nodes(), 0);
+  EXPECT_FALSE(jigsaw.allocate(state, JobRequest{99, 1, 0.0}).has_value());
+}
+
+TEST(JigsawAllocator, ReusesFreedResources) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  std::vector<Allocation> allocs;
+  for (JobId job = 0; job < 4; ++job) {
+    allocs.push_back(must_allocate(jigsaw, state, job, 16));
+  }
+  state.release(allocs[1]);
+  const Allocation again = must_allocate(jigsaw, state, 10, 16);
+  EXPECT_EQ(state.total_free_nodes(), 0);
+  EXPECT_TRUE(state.check_invariants());
+  (void)again;
+}
+
+TEST(JigsawAllocator, WholeMachineJob) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, t.total_nodes());
+  EXPECT_EQ(state.total_free_nodes(), 0);
+  EXPECT_TRUE(check_full_bandwidth(t, a).ok);
+}
+
+TEST(JigsawAllocator, OversizeAndInvalidRequests) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  EXPECT_FALSE(jigsaw.allocate(state, JobRequest{1, 0, 0.0}).has_value());
+  EXPECT_FALSE(
+      jigsaw.allocate(state, JobRequest{1, t.total_nodes() + 1, 0.0})
+          .has_value());
+}
+
+TEST(JigsawAllocator, SpreadsJobOverPartialLeavesWhereTaCannot) {
+  // The §6.1 observation: a small job that does not fit on any single leaf
+  // can still be placed by Jigsaw across several partially-free leaves.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  // Occupy 2 nodes of every leaf in tree 0.
+  for (int leaf = 0; leaf < 4; ++leaf) {
+    Allocation filler;
+    filler.job = 100 + leaf;
+    filler.requested_nodes = 2;
+    filler.nodes = {t.node_id(t.leaf_id(0, leaf), 0),
+                    t.node_id(t.leaf_id(0, leaf), 1)};
+    state.apply(filler);
+  }
+  // Fill all other trees completely.
+  for (TreeId tree = 1; tree < 4; ++tree) {
+    must_allocate(jigsaw, state, 200 + tree, 16);
+  }
+  // 4 free nodes exist only as 2+2 on tree 0's leaves.
+  const auto alloc = jigsaw.allocate(state, JobRequest{1, 4, 0.0});
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->allocated_nodes(), 4);
+}
+
+TEST(JigsawAllocator, ReportsSearchStats) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  SearchStats stats;
+  const auto a = jigsaw.allocate(state, JobRequest{1, 20, 0.0}, &stats);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_FALSE(stats.budget_exhausted);
+}
+
+}  // namespace
+}  // namespace jigsaw

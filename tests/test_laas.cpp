@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+
+#include <map>
+#include <set>
+#include "core/conditions.hpp"
+#include "core/laas.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+TEST(Laas, SingleSubtreeJobsAreExact) {
+  // Within one subtree LaaS applies its native two-level conditions and
+  // wastes nothing (footnote 1: shared with Jigsaw).
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, 3);
+  EXPECT_EQ(a.requested_nodes, 3);
+  EXPECT_EQ(a.allocated_nodes(), 3);
+  EXPECT_EQ(a.wasted_nodes(), 0);
+}
+
+TEST(Laas, CrossSubtreeJobsRoundUpToWholeLeaves) {
+  // A job too large for one subtree reduces leaves to nodes and rounds up:
+  // 17 nodes -> ceil(17/4) = 5 whole leaves = 20 nodes (Figure 2, left).
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, 17);
+  EXPECT_EQ(a.requested_nodes, 17);
+  EXPECT_EQ(a.allocated_nodes(), 20);
+  EXPECT_EQ(a.wasted_nodes(), 3);
+  EXPECT_EQ(a.leaf_wires.size(), 20u);  // every grant takes all uplinks
+}
+
+TEST(Laas, ExactMultipleWastesNothing) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, 8);
+  EXPECT_EQ(a.allocated_nodes(), 8);
+  EXPECT_EQ(a.wasted_nodes(), 0);
+}
+
+TEST(Laas, SingleSubtreeUsesNoSpines) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, 13);
+  EXPECT_TRUE(a.l2_wires.empty());
+  EXPECT_EQ(a.allocated_nodes(), 13);
+  const TreeId tree = t.tree_of_node(a.nodes.front());
+  for (const NodeId n : a.nodes) EXPECT_EQ(t.tree_of_node(n), tree);
+}
+
+TEST(Laas, CrossSubtreeAllocationsSatisfyBandwidthConditions) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, 23);  // 6 leaves
+  EXPECT_FALSE(a.l2_wires.empty());
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_TRUE(report.ok) << report.error;
+  // ... but not the high-utilization conditions (internal fragmentation).
+  EXPECT_FALSE(check_high_utilization(t, a).ok);
+}
+
+TEST(Laas, CommonSpineIndexBundles) {
+  // The reduction forces every L2 group to use the same spine indices.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, 32);  // 2 trees x 4 leaves
+  std::map<std::pair<TreeId, int>, Mask> wires;
+  for (const L2Wire& w : a.l2_wires) {
+    wires[{w.tree, w.l2_index}] |= Mask{1} << w.spine_index;
+  }
+  ASSERT_FALSE(wires.empty());
+  const Mask first = wires.begin()->second;
+  for (const auto& [key, mask] : wires) {
+    (void)key;
+    EXPECT_EQ(mask, first);  // same j-set everywhere
+  }
+}
+
+TEST(Laas, RoundingStrandsNodesUnderCrossSubtreeLoad) {
+  // Three 17-node jobs each consume 5 whole leaves (20 nodes). The nine
+  // wasted nodes are unreachable by further cross-subtree jobs even
+  // though the machine "has room": 64 - 60 = 4 free + 9 stranded.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  int wasted = 0;
+  for (JobId job = 0; job < 3; ++job) {
+    wasted += must_allocate(laas, state, job, 17).wasted_nodes();
+  }
+  EXPECT_EQ(wasted, 9);
+  EXPECT_EQ(state.total_free_nodes(), 4);
+  // A 5-node job needs a 2-level placement; only one fully-free leaf (4
+  // nodes) remains, and no partial leaf is free — so it cannot be placed
+  // although 13 nodes are physically idle.
+  EXPECT_FALSE(laas.allocate(state, JobRequest{9, 5, 0.0}).has_value());
+  EXPECT_TRUE(laas.allocate(state, JobRequest{10, 4, 0.0}).has_value());
+}
+
+TEST(Laas, WholeMachine) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, t.total_nodes());
+  EXPECT_EQ(state.total_free_nodes(), 0);
+  EXPECT_TRUE(check_full_bandwidth(t, a).ok);
+}
+
+TEST(Laas, RemainderSubtreeUsesSpineSubset) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  // 9 leaves = 2 trees x 4 + remainder tree with 1 leaf.
+  const Allocation a = must_allocate(laas, state, 1, 36);
+  const auto report = check_full_bandwidth(t, a);
+  EXPECT_TRUE(report.ok) << report.error;
+  std::set<TreeId> trees;
+  for (const NodeId n : a.nodes) trees.insert(t.tree_of_node(n));
+  EXPECT_EQ(trees.size(), 3u);
+}
+
+TEST(Laas, FallsBackToReductionWhenNoSubtreeFits) {
+  // A 10-node job fits a subtree by capacity, but every subtree is half
+  // used: the two-level pass fails and the whole-leaf reduction places it
+  // across subtrees, rounding up.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const LaasAllocator laas;
+  // Eat two leaves per subtree (8 nodes each) with exact 2-level jobs.
+  for (TreeId tree = 0; tree < 4; ++tree) {
+    Allocation filler;
+    filler.job = 100 + tree;
+    filler.requested_nodes = 8;
+    for (int leaf = 0; leaf < 2; ++leaf) {
+      for (int n = 0; n < 4; ++n) {
+        filler.nodes.push_back(t.node_id(t.leaf_id(tree, leaf), n));
+      }
+    }
+    state.apply(filler);
+  }
+  // Each subtree has 8 free nodes on 2 fully-free leaves; a 10-node job
+  // cannot fit one subtree, so LaaS reduces: ceil(10/4) = 3 whole leaves
+  // (12 nodes) split 2 + 1 across subtrees.
+  const Allocation a = must_allocate(laas, state, 1, 10);
+  EXPECT_EQ(a.allocated_nodes(), 12);
+  EXPECT_EQ(a.wasted_nodes(), 2);
+  std::set<TreeId> trees;
+  for (const NodeId n : a.nodes) trees.insert(t.tree_of_node(n));
+  EXPECT_EQ(trees.size(), 2u);
+  EXPECT_TRUE(check_full_bandwidth(t, a).ok);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/conditions.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/lc.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+TEST(Lc, NamesAndFlags) {
+  EXPECT_EQ(LeastConstrainedAllocator(false).name(), "LC");
+  EXPECT_EQ(LeastConstrainedAllocator(true).name(), "LC+S");
+  EXPECT_TRUE(LeastConstrainedAllocator(false).isolating());
+  EXPECT_FALSE(LeastConstrainedAllocator(true).isolating());
+}
+
+TEST(Lc, ExclusiveAllocationsSatisfyConditions) {
+  const FatTree t(4, 4, 4);
+  const LeastConstrainedAllocator lc(false);
+  for (const int size : {1, 3, 11, 20, 37, 64}) {
+    ClusterState state(t);
+    const Allocation a = must_allocate(lc, state, size, size);
+    const auto report = check_full_bandwidth(t, a);
+    EXPECT_TRUE(report.ok) << "size " << size << ": " << report.error;
+    EXPECT_EQ(a.allocated_nodes(), size);
+    EXPECT_TRUE(state.check_invariants());
+  }
+}
+
+TEST(Lc, UsesGeneralShapesJigsawCannot) {
+  // Scatter 2-free-node holes across every leaf of two subtrees; Jigsaw's
+  // whole-leaf three-level restriction cannot combine them into one job,
+  // but the least-constrained search can (nL = 2 across 8 leaves).
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  for (TreeId tree = 0; tree < 4; ++tree) {
+    for (int leaf = 0; leaf < 4; ++leaf) {
+      Allocation filler;
+      filler.job = 100 + tree * 4 + leaf;
+      filler.requested_nodes = 2;
+      filler.nodes = {t.node_id(t.leaf_id(tree, leaf), 0),
+                      t.node_id(t.leaf_id(tree, leaf), 1)};
+      state.apply(filler);
+    }
+  }
+  // 32 free nodes, all in 2-node holes. A 20-node job has no whole leaf.
+  const JigsawAllocator jigsaw;
+  EXPECT_FALSE(jigsaw.allocate(state, JobRequest{1, 20, 0.0}).has_value());
+  const LeastConstrainedAllocator lc(false);
+  const auto a = lc.allocate(state, JobRequest{1, 20, 0.0});
+  ASSERT_TRUE(a.has_value());
+  const auto report = check_full_bandwidth(t, *a);
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(LcS, SharesLinksBetweenJobs) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t, 4.0);
+  const LeastConstrainedAllocator lcs(true);
+  // Two multi-leaf jobs with 2.0 GB/s demand each fit the same wires.
+  const Allocation a = must_allocate(lcs, state, 1, 8, 2.0);
+  const Allocation b = must_allocate(lcs, state, 2, 8, 2.0);
+  EXPECT_EQ(a.bandwidth, 2.0);
+  EXPECT_EQ(b.bandwidth, 2.0);
+  EXPECT_TRUE(state.check_invariants());
+  // A third 2.0 job needs wires with >= 2.0 residual; with 16 nodes left
+  // on fewer wires this may or may not fit, but a 0.5 job must.
+  EXPECT_TRUE(lcs.allocate(state, JobRequest{3, 8, 0.5}).has_value());
+}
+
+TEST(LcS, RespectsBandwidthCap) {
+  const FatTree t(2, 2, 2);  // tiny: 8 nodes, 2 leaves/tree
+  ClusterState state(t, 4.0);
+  const LeastConstrainedAllocator lcs(true);
+  // Each 2.0 GB/s multi-leaf job on one subtree drains leaf wires; after
+  // two tenants a wire is exhausted.
+  const Allocation a = must_allocate(lcs, state, 1, 4, 2.0);
+  EXPECT_FALSE(a.leaf_wires.empty());
+  double residual_min = 4.0;
+  for (const LeafWire& w : a.leaf_wires) {
+    residual_min =
+        std::min(residual_min, state.residual_leaf_up(w.leaf, w.l2_index));
+  }
+  EXPECT_DOUBLE_EQ(residual_min, 2.0);
+}
+
+TEST(LcS, ZeroDemandJobsAlwaysShareable) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t, 4.0);
+  const LeastConstrainedAllocator lcs(true);
+  for (JobId job = 0; job < 8; ++job) {
+    const auto a = lcs.allocate(state, JobRequest{job, 6, 0.0});
+    ASSERT_TRUE(a.has_value());
+    state.apply(*a);
+  }
+  EXPECT_EQ(state.total_free_nodes(), t.total_nodes() - 48);
+}
+
+TEST(Lc, BudgetExhaustionReportsAndFailsSoft) {
+  const FatTree t(8, 8, 16);
+  ClusterState state(t);
+  const LeastConstrainedAllocator lc(false, /*step_budget=*/16);
+  SearchStats stats;
+  // With a 16-step budget the allocator may give up quickly; it must not
+  // crash, and exhaustion must be reported.
+  const auto a = lc.allocate(state, JobRequest{1, 100, 0.0}, &stats);
+  if (!a.has_value()) {
+    EXPECT_TRUE(stats.budget_exhausted);
+  }
+  EXPECT_LE(stats.steps, 16u + 8u);
+}
+
+TEST(Lc, FillsFragmentedMachineFully) {
+  const FatTree t(2, 3, 4);
+  ClusterState state(t);
+  const LeastConstrainedAllocator lc(false);
+  int placed = 0;
+  // Sizes chosen to leave awkward remainders.
+  for (const int size : {5, 5, 5, 5, 2, 1, 1}) {
+    const auto a = lc.allocate(state, JobRequest{placed, size, 0.0});
+    ASSERT_TRUE(a.has_value()) << "size " << size;
+    state.apply(*a);
+    ++placed;
+  }
+  EXPECT_EQ(state.total_free_nodes(), 0);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,144 @@
+// Necessity of the §3.2 conditions (Lemmas 1-6), exercised empirically:
+// each Figure 1 violation admits a permutation that the exact exhaustive
+// router proves unroutable within the allocation's links.
+
+#include <gtest/gtest.h>
+
+#include "routing/rnb_router.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace jigsaw {
+namespace {
+
+void expect_unroutable(const FatTree& t, const Allocation& a,
+                       const std::vector<Flow>& perm) {
+  const auto outcome = route_permutation_exhaustive(t, a, perm);
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error, "exhausted") << "search gave up, not proven";
+}
+
+TEST(Necessity, TaperedUplinksForceSharing) {
+  // Figure 1 (left): two 2-node leaves with only one uplink each. Both of
+  // a leaf's senders must leave on the same wire.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  a.nodes = {t.node_id(0, 0), t.node_id(0, 1), t.node_id(1, 0),
+             t.node_id(1, 1)};
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{1, 0}};
+  const std::vector<Flow> perm{{a.nodes[0], a.nodes[2]},
+                               {a.nodes[1], a.nodes[3]},
+                               {a.nodes[2], a.nodes[0]},
+                               {a.nodes[3], a.nodes[1]}};
+  expect_unroutable(t, a, perm);
+}
+
+TEST(Necessity, UnevenNodeDistributionForcesSharing) {
+  // Figure 1 (center): leaves with 1, 2 and 3 nodes. Balanced per-leaf
+  // links exist, but three flows into the big leaf collide on its wires.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 6;
+  const LeafId big = 0;
+  const LeafId mid = 1;
+  const LeafId small = 2;
+  for (int n = 0; n < 3; ++n) a.nodes.push_back(t.node_id(big, n));
+  for (int n = 0; n < 2; ++n) a.nodes.push_back(t.node_id(mid, n));
+  a.nodes.push_back(t.node_id(small, 0));
+  for (int i = 0; i < 3; ++i) a.leaf_wires.push_back(LeafWire{big, i});
+  for (int i = 0; i < 2; ++i) a.leaf_wires.push_back(LeafWire{mid, i});
+  a.leaf_wires.push_back(LeafWire{small, 0});
+  // big's 3 nodes -> mid's 2 + small's 1; they reply in kind.
+  const std::vector<Flow> perm{
+      {a.nodes[0], a.nodes[3]}, {a.nodes[1], a.nodes[4]},
+      {a.nodes[2], a.nodes[5]}, {a.nodes[3], a.nodes[0]},
+      {a.nodes[4], a.nodes[1]}, {a.nodes[5], a.nodes[2]}};
+  expect_unroutable(t, a, perm);
+}
+
+TEST(Necessity, MismatchedL2SetsBreakConnectivity) {
+  // Figure 1 (right): balanced uplinks chosen independently per leaf leave
+  // no common L2 switch — a dead end at the top.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  a.nodes = {t.node_id(0, 0), t.node_id(0, 1), t.node_id(1, 0),
+             t.node_id(1, 1)};
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 1},   // leaf 0: {0, 1}
+                  LeafWire{1, 2}, LeafWire{1, 3}};  // leaf 1: {2, 3}
+  const std::vector<Flow> perm{{a.nodes[0], a.nodes[2]},
+                               {a.nodes[1], a.nodes[3]},
+                               {a.nodes[2], a.nodes[0]},
+                               {a.nodes[3], a.nodes[1]}};
+  expect_unroutable(t, a, perm);
+}
+
+TEST(Necessity, PartialL2OverlapStillInsufficient) {
+  // Only one shared L2 switch for two flows per direction.
+  const FatTree t(4, 4, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  a.nodes = {t.node_id(0, 0), t.node_id(0, 1), t.node_id(1, 0),
+             t.node_id(1, 1)};
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 1},   // {0, 1}
+                  LeafWire{1, 1}, LeafWire{1, 2}};  // {1, 2}; common = {1}
+  const std::vector<Flow> perm{{a.nodes[0], a.nodes[2]},
+                               {a.nodes[1], a.nodes[3]},
+                               {a.nodes[2], a.nodes[0]},
+                               {a.nodes[3], a.nodes[1]}};
+  expect_unroutable(t, a, perm);
+}
+
+TEST(Necessity, InconsistentSpineSetsBreakCrossTreeTraffic) {
+  // Lemma 6: two subtrees whose (same-index) L2 switches connect to
+  // disjoint spine subsets cannot exchange two simultaneous flows.
+  const FatTree t(2, 3, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  const LeafId l0 = t.leaf_id(0, 0);
+  const LeafId l1 = t.leaf_id(1, 0);
+  a.nodes = {t.node_id(l0, 0), t.node_id(l0, 1), t.node_id(l1, 0),
+             t.node_id(l1, 1)};
+  a.leaf_wires = {LeafWire{l0, 0}, LeafWire{l0, 1}, LeafWire{l1, 0},
+                  LeafWire{l1, 1}};
+  // Tree 0's L2s reach spines {0,1}; tree 1's reach {2} only: at most one
+  // spine path per L2 index pair, and disjoint at index 1.
+  a.l2_wires = {L2Wire{0, 0, 0}, L2Wire{0, 1, 0},
+                L2Wire{1, 0, 0}, L2Wire{1, 1, 1}};
+  const std::vector<Flow> perm{{a.nodes[0], a.nodes[2]},
+                               {a.nodes[1], a.nodes[3]},
+                               {a.nodes[2], a.nodes[0]},
+                               {a.nodes[3], a.nodes[1]}};
+  expect_unroutable(t, a, perm);
+}
+
+TEST(Necessity, MissingSpineCapacityBetweenTrees) {
+  // Lemma 2 flavor: four nodes per tree but only one spine wire each —
+  // four cross-tree flows cannot fit through one spine.
+  const FatTree t(2, 3, 4);
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 4;
+  const LeafId l0 = t.leaf_id(0, 0);
+  const LeafId l0b = t.leaf_id(0, 1);
+  const LeafId l1 = t.leaf_id(1, 0);
+  const LeafId l1b = t.leaf_id(1, 1);
+  a.nodes = {t.node_id(l0, 0), t.node_id(l0b, 0), t.node_id(l1, 0),
+             t.node_id(l1b, 0)};
+  a.leaf_wires = {LeafWire{l0, 0}, LeafWire{l0b, 0}, LeafWire{l1, 0},
+                  LeafWire{l1b, 0}};
+  a.l2_wires = {L2Wire{0, 0, 0}, L2Wire{1, 0, 0}};  // one shared spine path
+  const std::vector<Flow> perm{{a.nodes[0], a.nodes[2]},
+                               {a.nodes[1], a.nodes[3]},
+                               {a.nodes[2], a.nodes[0]},
+                               {a.nodes[3], a.nodes[1]}};
+  expect_unroutable(t, a, perm);
+}
+
+}  // namespace
+}  // namespace jigsaw

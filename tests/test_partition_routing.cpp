@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/jigsaw_allocator.hpp"
+#include "routing/partition_routing.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+std::set<int> allowed_links(const FatTree& t, const Allocation& a) {
+  std::set<int> allowed;
+  for (const NodeId n : a.nodes) {
+    allowed.insert(t.node_up_link(n));
+    allowed.insert(t.node_down_link(n));
+  }
+  for (const LeafWire& w : a.leaf_wires) {
+    allowed.insert(t.leaf_up_link(w.leaf, w.l2_index));
+    allowed.insert(t.leaf_down_link(w.leaf, w.l2_index));
+  }
+  for (const L2Wire& w : a.l2_wires) {
+    allowed.insert(t.l2_up_link(w.tree, w.l2_index, w.spine_index));
+    allowed.insert(t.l2_down_link(w.tree, w.l2_index, w.spine_index));
+  }
+  return allowed;
+}
+
+TEST(PartitionRouting, AllPairsStayInsidePartition) {
+  // Figure 5's point: every hop of every flow uses an allocated link,
+  // including to and from remainder switches.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  // 11 nodes forces a remainder leaf; occupy some nodes first so the
+  // allocation is not perfectly aligned.
+  must_allocate(jigsaw, state, 1, 3);
+  const Allocation a = must_allocate(jigsaw, state, 2, 11);
+  const PartitionRouter router(t, a);
+  const auto allowed = allowed_links(t, a);
+  for (const NodeId src : a.nodes) {
+    for (const NodeId dst : a.nodes) {
+      for (const int link : router.route(src, dst)) {
+        EXPECT_TRUE(allowed.count(link))
+            << "flow " << src << "->" << dst << " escaped on "
+            << t.link_name(link);
+      }
+    }
+  }
+}
+
+TEST(PartitionRouting, CrossTreeAllocationsStayInside) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  // Larger than one subtree (16 nodes) => three-level allocation.
+  const Allocation a = must_allocate(jigsaw, state, 1, 37);
+  const PartitionRouter router(t, a);
+  const auto allowed = allowed_links(t, a);
+  int cross_tree_flows = 0;
+  for (const NodeId src : a.nodes) {
+    for (const NodeId dst : a.nodes) {
+      const auto route = router.route(src, dst);
+      if (route.size() == 6) ++cross_tree_flows;
+      for (const int link : route) {
+        ASSERT_TRUE(allowed.count(link)) << t.link_name(link);
+      }
+    }
+  }
+  EXPECT_GT(cross_tree_flows, 0);
+}
+
+TEST(PartitionRouting, WraparoundSpreadsLoadAcrossUplinks) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 8);  // 2 leaves x 4
+  const PartitionRouter router(t, a);
+  // Destinations on the same remote leaf but different ranks should use
+  // different uplinks (the modulus wraps over the allocated set).
+  std::set<int> uplinks_used;
+  const NodeId src = a.nodes.front();
+  for (const NodeId dst : a.nodes) {
+    if (t.leaf_of_node(dst) == t.leaf_of_node(src)) continue;
+    const auto route = router.route(src, dst);
+    ASSERT_EQ(route.size(), 4u);
+    uplinks_used.insert(route[1]);
+  }
+  EXPECT_GT(uplinks_used.size(), 1u);
+}
+
+TEST(PartitionRouting, RejectsForeignNodes) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 4);
+  const PartitionRouter router(t, a);
+  const NodeId outside = t.total_nodes() - 1;
+  EXPECT_THROW(router.route(a.nodes.front(), outside), std::invalid_argument);
+  EXPECT_THROW(router.rank_of(outside), std::invalid_argument);
+}
+
+TEST(PartitionRouting, RanksAreDenseAndOrdered) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 9);
+  const PartitionRouter router(t, a);
+  std::vector<NodeId> sorted = a.nodes;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    EXPECT_EQ(router.rank_of(sorted[k]), static_cast<int>(k));
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw

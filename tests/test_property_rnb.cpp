@@ -1,0 +1,106 @@
+// Property tests for the sufficiency theorem (Appendix A, Theorem 6):
+// every allocation the condition-based allocators emit is rearrangeable
+// non-blocking — every random permutation routes with one flow per link,
+// confined to allocated links. Parameterized over seeds and schemes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "core/lc.hpp"
+#include "routing/rnb_router.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw {
+namespace {
+
+enum class Scheme { kJigsaw, kLaas, kLc };
+
+AllocatorPtr make(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kJigsaw: return std::make_unique<JigsawAllocator>();
+    case Scheme::kLaas: return std::make_unique<LaasAllocator>();
+    case Scheme::kLc:
+      return std::make_unique<LeastConstrainedAllocator>(false);
+  }
+  return nullptr;
+}
+
+class RnbProperty
+    : public ::testing::TestWithParam<std::tuple<Scheme, int>> {};
+
+TEST_P(RnbProperty, RandomWorkloadsProduceRnbPartitions) {
+  const auto [scheme, seed] = GetParam();
+  const AllocatorPtr allocator = make(scheme);
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  Rng rng(static_cast<std::uint64_t>(seed) * 1000003 + 7);
+
+  std::vector<Allocation> live;
+  for (JobId job = 0; job < 25; ++job) {
+    const int size = 1 + static_cast<int>(rng.below(24));
+    auto alloc = allocator->allocate(state, JobRequest{job, size, 0.0});
+    if (!alloc.has_value()) {
+      if (!live.empty()) {
+        const std::size_t victim = rng.below(live.size());
+        state.release(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      continue;
+    }
+    state.apply(*alloc);
+    live.push_back(std::move(*alloc));
+
+    // Each live partition must route 3 random permutations conflict-free.
+    const Allocation& a = live.back();
+    for (int round = 0; round < 3; ++round) {
+      const auto perm = random_permutation(a, rng);
+      const auto outcome = route_permutation(t, a, perm);
+      ASSERT_TRUE(outcome.ok)
+          << "scheme " << static_cast<int>(scheme) << " job " << job
+          << " size " << size << ": " << outcome.error;
+      const std::string violation =
+          verify_one_flow_per_link(t, a, outcome.routes);
+      ASSERT_TRUE(violation.empty()) << violation;
+      // Every flow must actually be routed end-to-end.
+      for (const auto& routed : outcome.routes) {
+        if (routed.flow.src != routed.flow.dst) {
+          ASSERT_GE(routed.links.size(), 2u);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(state.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSeeds, RnbProperty,
+    ::testing::Combine(::testing::Values(Scheme::kJigsaw, Scheme::kLaas,
+                                         Scheme::kLc),
+                       ::testing::Range(0, 12)));
+
+class RnbLargerTree : public ::testing::TestWithParam<int> {};
+
+TEST_P(RnbLargerTree, JigsawPartitionsOnRadix8) {
+  const FatTree t = FatTree::from_radix(8);  // 256 nodes
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 99);
+  for (JobId job = 0; job < 10; ++job) {
+    const int size = 1 + static_cast<int>(rng.below(60));
+    auto alloc = jigsaw.allocate(state, JobRequest{job, size, 0.0});
+    if (!alloc.has_value()) continue;
+    state.apply(*alloc);
+    const auto perm = random_permutation(*alloc, rng);
+    const auto outcome = route_permutation(t, *alloc, perm);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    ASSERT_TRUE(verify_one_flow_per_link(t, *alloc, outcome.routes).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RnbLargerTree, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "routing/rnb_router.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+void expect_routable(const FatTree& t, const Allocation& a,
+                     const std::vector<Flow>& perm) {
+  const auto outcome = route_permutation(t, a, perm);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  const std::string violation = verify_one_flow_per_link(t, a, outcome.routes);
+  EXPECT_TRUE(violation.empty()) << violation;
+}
+
+TEST(RnbRouter, SingleLeafPartition) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 3);
+  Rng rng(1);
+  expect_routable(t, a, random_permutation(a, rng));
+}
+
+TEST(RnbRouter, TwoLevelPartitionWithRemainderLeaf) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 11);  // 2x4 + 3
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    expect_routable(t, a, random_permutation(a, rng));
+  }
+}
+
+TEST(RnbRouter, ThreeLevelPartitionWithRemainderTreeAndLeaf) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  // 16 nodes/tree: 39 = 2 full trees (16) + remainder tree (4 + 3).
+  const Allocation a = must_allocate(jigsaw, state, 1, 39);
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    expect_routable(t, a, random_permutation(a, rng));
+  }
+}
+
+TEST(RnbRouter, IdentityPermutationUsesNoLinks) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 11);
+  std::vector<Flow> identity;
+  for (const NodeId n : a.nodes) identity.push_back(Flow{n, n});
+  const auto outcome = route_permutation(t, a, identity);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  for (const auto& r : outcome.routes) EXPECT_TRUE(r.links.empty());
+}
+
+TEST(RnbRouter, FullReversalPermutation) {
+  // Worst-case-ish adversarial pattern: node k sends to node N-1-k.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 48);  // 3 full trees
+  std::vector<NodeId> sorted = a.nodes;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<Flow> reversal;
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    reversal.push_back(Flow{sorted[k], sorted[sorted.size() - 1 - k]});
+  }
+  expect_routable(t, a, reversal);
+}
+
+TEST(RnbRouter, LaaSPartitionsAreRoutable) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  LaasAllocator laas;
+  const Allocation a = must_allocate(laas, state, 1, 23);  // rounds to 6 leaves
+  Rng rng(4);
+  for (int round = 0; round < 10; ++round) {
+    expect_routable(t, a, random_permutation(a, rng));
+  }
+}
+
+TEST(RnbRouter, RejectsNonPermutations) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 4);
+  std::vector<Flow> bad;
+  for (const NodeId n : a.nodes) bad.push_back(Flow{n, a.nodes[0]});
+  EXPECT_FALSE(route_permutation(t, a, bad).ok);
+  bad.pop_back();
+  EXPECT_FALSE(route_permutation(t, a, bad).ok);  // wrong size
+}
+
+TEST(RnbRouter, RejectsConditionViolatingAllocations) {
+  const FatTree t(4, 4, 4);
+  Allocation bad;
+  bad.job = 1;
+  bad.requested_nodes = 3;
+  bad.nodes = {t.node_id(0, 0), t.node_id(1, 0), t.node_id(1, 1)};
+  // The remainder leaf's wire {2} is not a subset of S = {0, 1}.
+  bad.leaf_wires = {LeafWire{0, 2}, LeafWire{1, 0}, LeafWire{1, 1}};
+  std::vector<Flow> perm{{bad.nodes[0], bad.nodes[1]},
+                         {bad.nodes[1], bad.nodes[2]},
+                         {bad.nodes[2], bad.nodes[0]}};
+  const auto outcome = route_permutation(t, bad, perm);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_NE(outcome.error.find("conditions"), std::string::npos);
+}
+
+TEST(RnbRouter, VerifierDetectsDoubleUse) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 8);
+  Rng rng(5);
+  auto outcome = route_permutation(t, a, random_permutation(a, rng));
+  ASSERT_TRUE(outcome.ok);
+  // Duplicate one routed flow: some link must now carry two flows.
+  outcome.routes.push_back(outcome.routes.front());
+  if (!outcome.routes.front().links.empty()) {
+    EXPECT_FALSE(verify_one_flow_per_link(t, a, outcome.routes).empty());
+  }
+}
+
+TEST(RnbRouter, VerifierDetectsForeignLink) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 4);
+  std::vector<RoutedFlow> routes(1);
+  routes[0].flow = Flow{a.nodes[0], a.nodes[1]};
+  routes[0].links = {t.l2_up_link(3, 0, 0)};  // not allocated
+  EXPECT_FALSE(verify_one_flow_per_link(t, a, routes).empty());
+}
+
+TEST(RnbRouterExhaustive, AgreesWithConstructiveOnLegalPartitions) {
+  const FatTree t(2, 3, 4);
+  ClusterState state(t);
+  JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 11);  // Figure 3 shape
+  Rng rng(6);
+  for (int round = 0; round < 5; ++round) {
+    const auto perm = random_permutation(a, rng);
+    const auto constructive = route_permutation(t, a, perm);
+    ASSERT_TRUE(constructive.ok) << constructive.error;
+    const auto exhaustive = route_permutation_exhaustive(t, a, perm);
+    ASSERT_TRUE(exhaustive.ok) << exhaustive.error;
+    EXPECT_TRUE(verify_one_flow_per_link(t, a, exhaustive.routes).empty());
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "sim/scheduler.hpp"
+
+namespace jigsaw {
+namespace {
+
+PendingJob pending(JobId id, int nodes, double runtime) {
+  return PendingJob{id, nodes, 0.0, runtime};
+}
+
+TEST(EasyScheduler, StartsHeadJobsInFifoOrder) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const EasyScheduler sched(baseline, 50);
+  std::deque<PendingJob> queue{pending(0, 10, 100), pending(1, 20, 100),
+                               pending(2, 30, 100)};
+  const auto decisions = sched.schedule(0.0, state, queue, {});
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_EQ(decisions[0].pending_index, 0u);
+  EXPECT_EQ(decisions[1].pending_index, 1u);
+  EXPECT_EQ(decisions[2].pending_index, 2u);
+}
+
+TEST(EasyScheduler, StopsAtBlockedHeadWithoutBackfillWindow) {
+  const FatTree t(4, 4, 4);  // 64 nodes
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const EasyScheduler sched(baseline, 0);  // no backfill
+  std::deque<PendingJob> queue{pending(0, 60, 100), pending(1, 60, 100),
+                               pending(2, 2, 1)};
+  const auto decisions = sched.schedule(0.0, state, queue, {});
+  ASSERT_EQ(decisions.size(), 1u);  // only the first 60-node job starts
+}
+
+TEST(EasyScheduler, BackfillsShortJobsBehindBlockedHead) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const EasyScheduler sched(baseline, 50);
+  // Job 0 occupies 60 nodes until t=100; head job 1 needs 60 (blocked,
+  // shadow at t=100). Job 2 is small and short: backfillable. Job 3 is
+  // small but long: only allowed if disjoint from the shadow placement —
+  // with 60 of 64 nodes in the shadow, it must be rejected or disjoint.
+  std::deque<PendingJob> queue{pending(0, 60, 100), pending(1, 60, 200),
+                               pending(2, 4, 50), pending(3, 4, 500)};
+  const auto first = sched.schedule(0.0, state, queue, {});
+  ASSERT_GE(first.size(), 2u);
+  EXPECT_EQ(first[0].pending_index, 0u);
+  EXPECT_EQ(first[1].pending_index, 2u);  // short job backfilled
+  // Job 3 (long) would overlap the shadow placement's nodes: 60-node
+  // shadow + 60-node job 0 cover the machine, so job 3 must NOT start.
+  for (const auto& d : first) EXPECT_NE(d.pending_index, 3u);
+}
+
+TEST(EasyScheduler, BackfillAllowsLongJobDisjointFromShadow) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const EasyScheduler sched(baseline, 50);
+  // Running job holds 32 nodes until t=100. Head wants 30 (fits after the
+  // completion; shadow uses freed+free nodes). A long 2-node job can still
+  // backfill iff its nodes avoid the 30-node shadow placement.
+  std::deque<PendingJob> queue{pending(1, 60, 200), pending(2, 2, 10000)};
+  std::vector<RunningJob> running;
+  const BaselineAllocator alloc_for_setup;
+  ClusterState setup = state;
+  auto a = alloc_for_setup.allocate(setup, JobRequest{0, 32, 0.0});
+  ASSERT_TRUE(a.has_value());
+  state.apply(*a);
+  running.push_back(RunningJob{0, 100.0, *a});
+  const auto decisions = sched.schedule(0.0, state, queue, running);
+  // Head blocked (needs 60, only 32 free). The 2-node job may backfill:
+  // shadow placement covers 60 of 64 nodes; 2 free nodes remain outside
+  // only if the shadow avoided them. Either outcome is legal; assert no
+  // head start and bounded decisions.
+  for (const auto& d : decisions) EXPECT_NE(d.pending_index, 0u);
+  EXPECT_LE(decisions.size(), 1u);
+}
+
+TEST(EasyScheduler, WindowLimitsBackfillCandidates) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const EasyScheduler sched(baseline, 1);  // examine only one candidate
+  std::deque<PendingJob> queue{pending(0, 60, 100), pending(1, 60, 100),
+                               pending(2, 64, 100),  // examined, cannot fit
+                               pending(3, 2, 1)};    // outside the window
+  const auto decisions = sched.schedule(0.0, state, queue, {});
+  ASSERT_EQ(decisions.size(), 1u);  // job 0 only; job 3 never examined
+}
+
+TEST(EasyScheduler, ReservationRespectedByTopologyAllocator) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const EasyScheduler sched(jigsaw, 50);
+  // Fill three subtrees; head needs a full subtree (16), blocked until a
+  // running subtree job ends at t=50. A 16-node backfill (200 s) would
+  // take the last free subtree and delay the head: must be rejected.
+  std::vector<RunningJob> running;
+  for (TreeId tree = 0; tree < 3; ++tree) {
+    auto a = jigsaw.allocate(state, JobRequest{tree, 16, 0.0});
+    ASSERT_TRUE(a.has_value());
+    state.apply(*a);
+    running.push_back(
+        RunningJob{tree, 50.0 + static_cast<double>(tree), *a});
+  }
+  std::deque<PendingJob> queue{pending(10, 32, 100),   // needs 2 subtrees
+                               pending(11, 16, 200),   // would delay head
+                               pending(12, 16, 10)};   // finishes by shadow
+  const auto decisions = sched.schedule(0.0, state, queue, running);
+  bool started11 = false;
+  bool started12 = false;
+  for (const auto& d : decisions) {
+    if (queue[d.pending_index].id == 11) started11 = true;
+    if (queue[d.pending_index].id == 12) started12 = true;
+  }
+  EXPECT_FALSE(started11);
+  EXPECT_TRUE(started12);
+}
+
+TEST(EasyScheduler, ReportsPassStats) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const EasyScheduler sched(jigsaw, 10);
+  std::deque<PendingJob> queue{pending(0, 8, 10), pending(1, 64, 10),
+                               pending(2, 4, 10)};
+  EasyScheduler::PassStats stats;
+  sched.schedule(0.0, state, queue, {}, &stats);
+  EXPECT_GE(stats.allocate_calls, 3u);
+}
+
+TEST(EasyScheduler, EmptyQueueNoDecisions) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const EasyScheduler sched(baseline, 50);
+  EXPECT_TRUE(sched.schedule(0.0, state, {}, {}).empty());
+}
+
+}  // namespace
+}  // namespace jigsaw

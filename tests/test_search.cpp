@@ -1,0 +1,186 @@
+// Direct unit tests of the shared placement-search engine (core/search),
+// exercising edge cases the allocator-level tests reach only indirectly.
+
+#include <gtest/gtest.h>
+
+#include "core/search.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(FindTwoLevel, SingleLeafShapeIgnoresLinks) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  // Exhaust every uplink of leaf 0; a single-leaf job must still place.
+  Allocation wires;
+  wires.job = 9;
+  wires.requested_nodes = 0;
+  for (int i = 0; i < 4; ++i) wires.leaf_wires.push_back(LeafWire{0, i});
+  state.apply(wires);
+
+  const LinkView view{&state, 0.0};
+  const TwoLevelShape shape{1, 3, 0};
+  std::uint64_t budget = 1000;
+  TwoLevelPick pick;
+  ASSERT_TRUE(find_two_level(state, view, shape, 0, budget, &pick));
+  EXPECT_EQ(pick.s_set, 0u);
+  EXPECT_EQ(pick.full_leaves.size(), 1u);
+}
+
+TEST(FindTwoLevel, RequiresCommonUplinks) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  // Leaf 0 keeps uplinks {0,1}; leaf 1 keeps {2,3}: a 2x2 job needs two
+  // common uplinks and leaves 2, 3 of tree 0 are fully taken.
+  Allocation blocker;
+  blocker.job = 5;
+  blocker.requested_nodes = 0;
+  blocker.leaf_wires = {LeafWire{0, 2}, LeafWire{0, 3}, LeafWire{1, 0},
+                        LeafWire{1, 1}};
+  for (int n = 0; n < 4; ++n) {
+    blocker.nodes.push_back(t.node_id(2, n));
+    blocker.nodes.push_back(t.node_id(3, n));
+  }
+  state.apply(blocker);
+
+  const LinkView view{&state, 0.0};
+  const TwoLevelShape shape{2, 2, 0};
+  std::uint64_t budget = 1000;
+  TwoLevelPick pick;
+  EXPECT_FALSE(find_two_level(state, view, shape, 0, budget, &pick));
+  // A 2x1 job (one uplink needed) still fails: masks {0,1} and {2,3} have
+  // empty intersection.
+  const TwoLevelShape thin{2, 1, 0};
+  budget = 1000;
+  EXPECT_FALSE(find_two_level(state, view, thin, 0, budget, &pick));
+}
+
+TEST(FindTwoLevel, RemainderLeafMustShareS) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  // All four leaves free. Shape 2x3+2: remainder leaf needs 2 uplinks
+  // inside the chosen S of size 3.
+  const LinkView view{&state, 0.0};
+  const TwoLevelShape shape{2, 3, 2};
+  std::uint64_t budget = 1000;
+  TwoLevelPick pick;
+  ASSERT_TRUE(find_two_level(state, view, shape, 0, budget, &pick));
+  EXPECT_EQ(popcount(pick.s_set), 3);
+  EXPECT_EQ(popcount(pick.sr_set), 2);
+  EXPECT_TRUE(subset_of(pick.sr_set, pick.s_set));
+  EXPECT_NE(pick.remainder_leaf, -1);
+  // The remainder leaf is not one of the full leaves.
+  for (const LeafId l : pick.full_leaves) {
+    EXPECT_NE(l, pick.remainder_leaf);
+  }
+}
+
+TEST(FindTwoLevel, BudgetZeroFailsCleanly) {
+  const FatTree t(4, 4, 4);
+  const ClusterState state(t);
+  const LinkView view{&state, 0.0};
+  std::uint64_t budget = 0;
+  TwoLevelPick pick;
+  EXPECT_FALSE(find_two_level(state, view, TwoLevelShape{2, 2, 0}, 0, budget,
+                              &pick));
+  EXPECT_EQ(budget, 0u);
+}
+
+TEST(FindThreeLevel, RejectsNonWholeLeafShape) {
+  const FatTree t(4, 4, 4);
+  const ClusterState state(t);
+  const LinkView view{&state, 0.0};
+  std::uint64_t budget = 1000;
+  ThreeLevelPick pick;
+  const ThreeLevelShape bad{2, 2, 3, 0, 0};  // nL = 3 != m1
+  EXPECT_THROW(
+      find_three_level_full_leaves(state, view, bad, budget, &pick),
+      std::invalid_argument);
+}
+
+TEST(FindThreeLevel, SpineIntersectionAcrossTrees) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  // Burn spine wires so tree 0's L2 0 keeps {0,1} and tree 1's keeps
+  // {1,2}: a 2-tree x 2-leaf job needs |S*_0| = 2 common spines — only
+  // {1} is common, so trees {0,1} cannot pair; the search must fall back
+  // to other trees.
+  Allocation blocker;
+  blocker.job = 5;
+  blocker.requested_nodes = 0;
+  blocker.l2_wires = {L2Wire{0, 0, 2}, L2Wire{0, 0, 3}, L2Wire{1, 0, 0},
+                      L2Wire{1, 0, 3}};
+  state.apply(blocker);
+
+  const LinkView view{&state, 0.0};
+  const ThreeLevelShape shape{2, 2, 4, 0, 0};  // 2 trees x 2 full leaves
+  std::uint64_t budget = 100000;
+  ThreeLevelPick pick;
+  ASSERT_TRUE(find_three_level_full_leaves(state, view, shape, budget, &pick));
+  // Trees 0 and 1 cannot both appear (their L2-0 spine sets intersect in
+  // only one wire but two are needed).
+  const bool has0 = std::find(pick.full_trees.begin(), pick.full_trees.end(),
+                              0) != pick.full_trees.end();
+  const bool has1 = std::find(pick.full_trees.begin(), pick.full_trees.end(),
+                              1) != pick.full_trees.end();
+  EXPECT_FALSE(has0 && has1);
+  for (const Mask star : pick.s_star) EXPECT_EQ(popcount(star), 2);
+}
+
+TEST(FindThreeLevel, RemainderTreeSpineSubsets) {
+  const FatTree t(2, 3, 4);  // Figure 3's proportions
+  const ClusterState state(t);
+  const LinkView view{&state, 0.0};
+  // N=11: T=2 trees x (2 leaves x 2 nodes), remainder tree with 1 full
+  // leaf + 1-node remainder leaf.
+  const ThreeLevelShape shape{2, 2, 2, 1, 1};
+  std::uint64_t budget = 100000;
+  ThreeLevelPick pick;
+  ASSERT_TRUE(find_three_level_full_leaves(state, view, shape, budget, &pick));
+  EXPECT_EQ(pick.full_trees.size(), 2u);
+  EXPECT_NE(pick.remainder_tree, -1);
+  EXPECT_EQ(pick.rem_full_leaves.size(), 1u);
+  EXPECT_NE(pick.remainder_leaf, -1);
+  EXPECT_EQ(popcount(pick.sr_set), 1);
+  for (int i = 0; i < t.l2_per_tree(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    EXPECT_EQ(popcount(pick.s_star[idx]), 2);  // LT
+    const int expected_rem = 1 + (has_bit(pick.sr_set, i) ? 1 : 0);
+    EXPECT_EQ(popcount(pick.s_star_rem[idx]), expected_rem);
+    EXPECT_TRUE(subset_of(pick.s_star_rem[idx], pick.s_star[idx]));
+  }
+}
+
+TEST(PickFreeNodes, TakesLowestFreeAndThrowsWhenShort) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  Allocation filler;
+  filler.job = 1;
+  filler.requested_nodes = 2;
+  filler.nodes = {t.node_id(0, 0), t.node_id(0, 2)};
+  state.apply(filler);
+  const auto nodes = pick_free_nodes(state, 0, 2);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{t.node_id(0, 1), t.node_id(0, 3)}));
+  EXPECT_THROW(pick_free_nodes(state, 0, 3), std::logic_error);
+}
+
+TEST(LinkView, BandwidthViewFiltersThinWires) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t, 4.0);
+  Allocation shared;
+  shared.job = 1;
+  shared.requested_nodes = 1;
+  shared.nodes = {t.node_id(0, 0)};
+  shared.leaf_wires = {LeafWire{0, 0}};
+  shared.bandwidth = 3.5;
+  state.apply(shared);
+  const LinkView thin{&state, 1.0};
+  const LinkView thick{&state, 0.25};
+  EXPECT_EQ(thin.leaf_up(0), low_bits(4) & ~Mask{1});
+  EXPECT_EQ(thick.leaf_up(0), low_bits(4));
+  EXPECT_FALSE(thin.leaf_fully_available(0));  // node 0 is taken anyway
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/swf.hpp"
+#include "trace/synthetic.hpp"
+
+namespace jigsaw {
+namespace {
+
+constexpr const char* kSample =
+    "; Example SWF log\n"
+    "; UnixStartTime: 0\n"
+    "1 0 5 100 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n"
+    "2 50 0 200 8 -1 -1 8 240 -1 1 1 1 1 1 -1 -1 -1\n"
+    "3 60 0 -1 4 -1 -1 4 60 -1 0 1 1 1 1 -1 -1 -1\n"  // invalid runtime
+    "4 70 0 30 0 -1 -1 32 60 -1 1 1 1 1 1 -1 -1 -1\n";  // procs via request
+
+TEST(Swf, ParsesJobsSkipsCommentsAndInvalid) {
+  std::istringstream in(kSample);
+  const Trace trace = read_swf(in, "sample", SwfOptions{});
+  ASSERT_EQ(trace.jobs.size(), 3u);
+  EXPECT_EQ(trace.jobs[0].nodes, 16);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].runtime, 100.0);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(trace.jobs[1].arrival, 50.0);
+  EXPECT_EQ(trace.jobs[2].nodes, 32);  // fell back to requested procs
+}
+
+TEST(Swf, ProcsPerNodeConversion) {
+  std::istringstream in(kSample);
+  SwfOptions options;
+  options.procs_per_node = 4;
+  const Trace trace = read_swf(in, "sample", options);
+  EXPECT_EQ(trace.jobs[0].nodes, 4);
+  EXPECT_EQ(trace.jobs[1].nodes, 2);
+}
+
+TEST(Swf, ZeroArrivalsAndScaling) {
+  {
+    std::istringstream in(kSample);
+    SwfOptions options;
+    options.zero_arrivals = true;
+    const Trace trace = read_swf(in, "sample", options);
+    for (const Job& j : trace.jobs) EXPECT_DOUBLE_EQ(j.arrival, 0.0);
+  }
+  {
+    std::istringstream in(kSample);
+    SwfOptions options;
+    options.arrival_scale = 0.5;  // the paper's Aug/Nov-Cab scaling
+    const Trace trace = read_swf(in, "sample", options);
+    EXPECT_DOUBLE_EQ(trace.jobs[1].arrival, 25.0);
+  }
+}
+
+TEST(Swf, RoundTripThroughWriter) {
+  const Trace original = named_synthetic("Synth-16", 50);
+  std::ostringstream out;
+  write_swf(out, original);
+  std::istringstream in(out.str());
+  const Trace parsed = read_swf(in, "roundtrip", SwfOptions{});
+  ASSERT_EQ(parsed.jobs.size(), original.jobs.size());
+  for (std::size_t k = 0; k < parsed.jobs.size(); ++k) {
+    EXPECT_EQ(parsed.jobs[k].nodes, original.jobs[k].nodes);
+    EXPECT_NEAR(parsed.jobs[k].runtime, original.jobs[k].runtime, 1e-6);
+  }
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW(read_swf_file("/nonexistent/file.swf", SwfOptions{}),
+               std::runtime_error);
+}
+
+TEST(Swf, BadProcsPerNodeThrows) {
+  std::istringstream in(kSample);
+  SwfOptions options;
+  options.procs_per_node = 0;
+  EXPECT_THROW(read_swf(in, "sample", options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jigsaw

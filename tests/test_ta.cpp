@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/conditions.hpp"
+#include "core/ta.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+TEST(Ta, SmallJobOnSingleLeaf) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  const Allocation a = must_allocate(ta, state, 1, 3);
+  const LeafId leaf = t.leaf_of_node(a.nodes.front());
+  for (const NodeId n : a.nodes) EXPECT_EQ(t.leaf_of_node(n), leaf);
+  EXPECT_TRUE(a.leaf_wires.empty());  // intra-leaf jobs reserve no links
+}
+
+TEST(Ta, SmallJobBestFit) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  const Allocation a = must_allocate(ta, state, 1, 3);  // 1 free node left
+  const LeafId first = t.leaf_of_node(a.nodes.front());
+  const Allocation b = must_allocate(ta, state, 2, 1);
+  // Best fit: the 1-node job lands in the 1-node hole.
+  EXPECT_EQ(t.leaf_of_node(b.nodes.front()), first);
+  EXPECT_EQ(state.free_node_count(first), 0);
+}
+
+TEST(Ta, ExternalFragmentationFigure2Right) {
+  // Free nodes exist (2 + 2) but no single leaf has 3: a 3-node job cannot
+  // be placed under TA's must-fit-in-a-leaf rule.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  // Fill every leaf down to 2 free nodes.
+  for (LeafId l = 0; l < t.total_leaves(); ++l) {
+    Allocation filler;
+    filler.job = 100 + l;
+    filler.requested_nodes = 2;
+    filler.nodes = {t.node_id(l, 0), t.node_id(l, 1)};
+    state.apply(filler);
+  }
+  EXPECT_EQ(state.total_free_nodes(), 32);
+  EXPECT_FALSE(ta.allocate(state, JobRequest{1, 3, 0.0}).has_value());
+  EXPECT_TRUE(ta.allocate(state, JobRequest{2, 2, 0.0}).has_value());
+}
+
+TEST(Ta, MediumJobSingleSubtreeWithImplicitLinkReservation) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  const Allocation a = must_allocate(ta, state, 1, 6);  // 2 leaves in 1 tree
+  const TreeId tree = t.tree_of_node(a.nodes.front());
+  std::set<LeafId> leaves;
+  for (const NodeId n : a.nodes) {
+    EXPECT_EQ(t.tree_of_node(n), tree);
+    leaves.insert(t.leaf_of_node(n));
+  }
+  // Every touched leaf's uplinks are implicitly reserved (Figure 2 center).
+  EXPECT_EQ(a.leaf_wires.size(), leaves.size() * 4);
+  for (const LeafId l : leaves) {
+    EXPECT_EQ(state.free_leaf_up(l), 0u);
+  }
+}
+
+TEST(Ta, LeafNotSharedBetweenMultiLeafJobs) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  const Allocation a = must_allocate(ta, state, 1, 6);  // 4+2 on two leaves
+  // The second multi-leaf job must avoid the half-used leaf because its
+  // uplinks belong to job 1.
+  const Allocation b = must_allocate(ta, state, 2, 6);
+  std::set<LeafId> a_leaves;
+  std::set<LeafId> b_leaves;
+  for (const NodeId n : a.nodes) a_leaves.insert(t.leaf_of_node(n));
+  for (const NodeId n : b.nodes) b_leaves.insert(t.leaf_of_node(n));
+  for (const LeafId l : b_leaves) EXPECT_FALSE(a_leaves.count(l));
+}
+
+TEST(Ta, ClaimedLeavesAreClosedToIntraLeafJobs) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  must_allocate(ta, state, 1, 6);  // leaves 0 (4 nodes) and 1 (2 nodes)
+  // Leaf 1 keeps two idle nodes, but its uplinks belong to job 1, and TA
+  // avoids any placement where contention is conceivable: the 2-node job
+  // must take a pristine leaf instead (internal link fragmentation).
+  const Allocation b = must_allocate(ta, state, 2, 2);
+  EXPECT_NE(t.leaf_of_node(b.nodes.front()), 1);
+  EXPECT_EQ(state.free_node_count(1), 2);  // stranded
+}
+
+TEST(Ta, LargeJobReservesWholeSubtreeSpines) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  const Allocation a = must_allocate(ta, state, 1, 20);  // > one subtree
+  std::set<TreeId> trees;
+  for (const NodeId n : a.nodes) trees.insert(t.tree_of_node(n));
+  EXPECT_GE(trees.size(), 2u);
+  for (const TreeId tree : trees) {
+    for (int i = 0; i < t.l2_per_tree(); ++i) {
+      EXPECT_EQ(state.free_l2_up(tree, i), 0u);
+    }
+  }
+}
+
+TEST(Ta, TwoCrossSubtreeJobsCannotShareASubtree) {
+  const FatTree t(4, 4, 4);  // 64 nodes, 16 per subtree
+  ClusterState state(t);
+  const TaAllocator ta;
+  must_allocate(ta, state, 1, 20);  // spans 2 subtrees, reserves their spines
+  // 44 free nodes remain but only 2 un-reserved subtrees (32 usable):
+  // another 40-node cross-subtree job must fail.
+  EXPECT_FALSE(ta.allocate(state, JobRequest{2, 40, 0.0}).has_value());
+  EXPECT_TRUE(ta.allocate(state, JobRequest{3, 30, 0.0}).has_value());
+}
+
+TEST(Ta, MediumJobMustFitInOneSubtree) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  // A 10-node intra-subtree job per subtree: two full leaves plus two
+  // nodes on a third leaf, whose uplinks get implicitly reserved. Each
+  // subtree keeps one pristine leaf (4 usable nodes for multi-leaf jobs)
+  // plus 2 stranded nodes behind reserved uplinks.
+  while (ta.allocate(state, JobRequest{50, 10, 0.0}).has_value()) {
+    must_allocate(ta, state, 50, 10);
+  }
+  EXPECT_EQ(state.total_free_nodes(), 24);  // 6 per subtree
+  // A 6-node job fits no single subtree's usable capacity (4 each), and
+  // TA forbids spilling a subtree-sized job across subtrees.
+  EXPECT_FALSE(ta.allocate(state, JobRequest{1, 6, 0.0}).has_value());
+  // Leaf-sized jobs still fit: the pristine leaf takes a 4-node job and
+  // the stranded 2-node holes take intra-leaf jobs.
+  EXPECT_TRUE(ta.allocate(state, JobRequest{2, 4, 0.0}).has_value());
+  EXPECT_TRUE(ta.allocate(state, JobRequest{3, 2, 0.0}).has_value());
+}
+
+TEST(Ta, NoInternalNodeFragmentation) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const TaAllocator ta;
+  for (const int size : {1, 3, 6, 17}) {
+    const Allocation a = must_allocate(ta, state, size, size);
+    EXPECT_EQ(a.allocated_nodes(), size);
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw

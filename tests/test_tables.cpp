@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/jigsaw_allocator.hpp"
+#include "routing/dmodk.hpp"
+#include "routing/partition_routing.hpp"
+#include "routing/tables.hpp"
+#include "util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace jigsaw {
+namespace {
+
+using testing::must_allocate;
+
+TEST(ForwardingTables, WalkMatchesAnalyticDmodk) {
+  const FatTree t(4, 4, 4);
+  const ForwardingTables tables = build_dmodk_tables(t);
+  Rng rng(3);
+  for (int round = 0; round < 200; ++round) {
+    const NodeId src = static_cast<NodeId>(rng.below(
+        static_cast<std::uint64_t>(t.total_nodes())));
+    const NodeId dst = static_cast<NodeId>(rng.below(
+        static_cast<std::uint64_t>(t.total_nodes())));
+    const WalkResult walked = walk(t, tables, src, dst);
+    ASSERT_TRUE(walked.ok) << walked.error;
+    EXPECT_EQ(walked.links, dmodk_route(t, src, dst))
+        << "src " << src << " dst " << dst;
+  }
+}
+
+TEST(ForwardingTables, AllPairsDeliverOnLargerTree) {
+  const FatTree t = FatTree::from_radix(8);
+  const ForwardingTables tables = build_dmodk_tables(t);
+  Rng rng(4);
+  for (int round = 0; round < 500; ++round) {
+    const NodeId src = static_cast<NodeId>(rng.below(
+        static_cast<std::uint64_t>(t.total_nodes())));
+    const NodeId dst = static_cast<NodeId>(rng.below(
+        static_cast<std::uint64_t>(t.total_nodes())));
+    EXPECT_TRUE(walk(t, tables, src, dst).ok);
+  }
+}
+
+TEST(ForwardingTables, PartitionOverridesConfineTraffic) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  must_allocate(jigsaw, state, 1, 5);  // perturb the layout
+  const Allocation a = must_allocate(jigsaw, state, 2, 39);  // 3-level
+
+  ForwardingTables tables = build_dmodk_tables(t);
+  const std::size_t rewritten = apply_partition_overrides(t, a, &tables);
+  EXPECT_GT(rewritten, 0u);
+
+  std::set<int> allowed;
+  for (const NodeId n : a.nodes) {
+    allowed.insert(t.node_up_link(n));
+    allowed.insert(t.node_down_link(n));
+  }
+  for (const LeafWire& w : a.leaf_wires) {
+    allowed.insert(t.leaf_up_link(w.leaf, w.l2_index));
+    allowed.insert(t.leaf_down_link(w.leaf, w.l2_index));
+  }
+  for (const L2Wire& w : a.l2_wires) {
+    allowed.insert(t.l2_up_link(w.tree, w.l2_index, w.spine_index));
+    allowed.insert(t.l2_down_link(w.tree, w.l2_index, w.spine_index));
+  }
+  for (const NodeId src : a.nodes) {
+    for (const NodeId dst : a.nodes) {
+      const WalkResult walked = walk(t, tables, src, dst);
+      ASSERT_TRUE(walked.ok) << walked.error;
+      for (const int link : walked.links) {
+        EXPECT_TRUE(allowed.count(link))
+            << src << "->" << dst << " escaped on " << t.link_name(link);
+      }
+    }
+  }
+}
+
+TEST(ForwardingTables, OverridesMatchPartitionRouter) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 23);
+  ForwardingTables tables = build_dmodk_tables(t);
+  apply_partition_overrides(t, a, &tables);
+  const PartitionRouter router(t, a);
+  for (const NodeId src : a.nodes) {
+    for (const NodeId dst : a.nodes) {
+      const WalkResult walked = walk(t, tables, src, dst);
+      ASSERT_TRUE(walked.ok) << walked.error;
+      EXPECT_EQ(walked.links, router.route(src, dst))
+          << "src " << src << " dst " << dst;
+    }
+  }
+}
+
+TEST(ForwardingTables, ForeignTrafficUnaffectedByOverrides) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const Allocation a = must_allocate(jigsaw, state, 1, 11);
+  ForwardingTables tables = build_dmodk_tables(t);
+  apply_partition_overrides(t, a, &tables);
+  const std::set<NodeId> owned(a.nodes.begin(), a.nodes.end());
+  for (NodeId src = 0; src < t.total_nodes(); ++src) {
+    for (NodeId dst = 0; dst < t.total_nodes(); dst += 7) {
+      if (owned.count(dst)) continue;  // only non-partition destinations
+      EXPECT_EQ(walk(t, tables, src, dst).links, dmodk_route(t, src, dst));
+    }
+  }
+}
+
+TEST(ForwardingTables, WalkRejectsOutOfRange) {
+  const FatTree t(4, 4, 4);
+  const ForwardingTables tables = build_dmodk_tables(t);
+  EXPECT_FALSE(walk(t, tables, -1, 0).ok);
+  EXPECT_FALSE(walk(t, tables, 0, t.total_nodes()).ok);
+}
+
+TEST(ForwardingTables, SelfDeliveryIsEmpty) {
+  const FatTree t(4, 4, 4);
+  const ForwardingTables tables = build_dmodk_tables(t);
+  const WalkResult walked = walk(t, tables, 5, 5);
+  EXPECT_TRUE(walked.ok);
+  EXPECT_TRUE(walked.links.empty());
+}
+
+}  // namespace
+}  // namespace jigsaw

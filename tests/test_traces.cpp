@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/llnl_like.hpp"
+#include "trace/synthetic.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(SyntheticTrace, MatchesTable1Shape) {
+  const Trace trace = named_synthetic("Synth-16", 10000);
+  const TraceStats stats = summarize(trace);
+  EXPECT_EQ(stats.job_count, 10000u);
+  EXPECT_LE(stats.max_nodes, 138);
+  EXPECT_GE(stats.max_nodes, 60);  // the tail should be exercised
+  EXPECT_GE(stats.min_runtime, 20.0);
+  EXPECT_LE(stats.max_runtime, 3000.0);
+  EXPECT_FALSE(stats.has_arrivals);  // all at time zero
+  EXPECT_NEAR(stats.mean_nodes, 16.0, 2.0);
+}
+
+TEST(SyntheticTrace, AllThreeNamedVariants) {
+  for (const auto& [name, mean, cap] :
+       {std::tuple{"Synth-16", 16.0, 138}, std::tuple{"Synth-22", 22.0, 190},
+        std::tuple{"Synth-28", 28.0, 241}}) {
+    const Trace trace = named_synthetic(name, 4000);
+    const TraceStats stats = summarize(trace);
+    EXPECT_NEAR(stats.mean_nodes, mean, mean * 0.15) << name;
+    EXPECT_LE(stats.max_nodes, cap) << name;
+  }
+  EXPECT_THROW(named_synthetic("Synth-99"), std::invalid_argument);
+}
+
+TEST(SyntheticTrace, DeterministicForSeed) {
+  const Trace a = named_synthetic("Synth-16", 100);
+  const Trace b = named_synthetic("Synth-16", 100);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t k = 0; k < a.jobs.size(); ++k) {
+    EXPECT_EQ(a.jobs[k].nodes, b.jobs[k].nodes);
+    EXPECT_EQ(a.jobs[k].runtime, b.jobs[k].runtime);
+  }
+}
+
+TEST(ThunderLike, MatchesTable1) {
+  const Trace trace = thunder_like(20000);
+  const TraceStats stats = summarize(trace);
+  EXPECT_EQ(trace.system_nodes, 1024);
+  EXPECT_LE(stats.max_nodes, 965);
+  EXPECT_GT(stats.max_nodes, 256);  // the large-job tail exists
+  EXPECT_GE(stats.min_runtime, 1.0);
+  EXPECT_LE(stats.max_runtime, 172362.0);
+  EXPECT_FALSE(stats.has_arrivals);
+}
+
+TEST(AtlasLike, HasWholeMachineJobs) {
+  const Trace trace = atlas_like(29700);
+  const TraceStats stats = summarize(trace);
+  EXPECT_EQ(trace.system_nodes, 1152);
+  EXPECT_EQ(stats.max_nodes, 1024);
+  int whole_machine = 0;
+  for (const Job& j : trace.jobs) {
+    if (j.nodes == 1024) ++whole_machine;
+  }
+  EXPECT_GE(whole_machine, 3);  // "several whole-machine job requests"
+  EXPECT_FALSE(stats.has_arrivals);
+}
+
+TEST(CabLike, RetainsArrivalsAndLoad) {
+  const Trace trace = cab_like("Sep", 5000);
+  const TraceStats stats = summarize(trace);
+  EXPECT_EQ(trace.system_nodes, 1296);
+  EXPECT_TRUE(stats.has_arrivals);
+  EXPECT_LE(stats.max_nodes, 256);
+  // Offered load relative to the 1458-node simulation cluster should be
+  // near the month's target (1.04 for September).
+  double last_arrival = 0.0;
+  for (const Job& j : trace.jobs) {
+    last_arrival = std::max(last_arrival, j.arrival);
+  }
+  const double offered =
+      stats.total_node_seconds / (1458.0 * last_arrival);
+  EXPECT_NEAR(offered, 1.04, 0.2);
+}
+
+TEST(CabLike, AllFourMonths) {
+  for (const char* month : {"Aug", "Sep", "Oct", "Nov"}) {
+    const Trace trace = cab_like(month, 1000);
+    EXPECT_EQ(trace.jobs.size(), 1000u) << month;
+    EXPECT_EQ(trace.name, std::string(month) + "-Cab");
+  }
+  EXPECT_THROW(cab_like("Dec", 10), std::invalid_argument);
+}
+
+TEST(CabLike, ArrivalsSorted) {
+  const Trace trace = cab_like("Oct", 2000);
+  for (std::size_t k = 1; k < trace.jobs.size(); ++k) {
+    EXPECT_LE(trace.jobs[k - 1].arrival, trace.jobs[k].arrival);
+    EXPECT_EQ(trace.jobs[k].id, static_cast<JobId>(k));
+  }
+}
+
+TEST(CabLike, DiurnalArrivalsAreNonUniform) {
+  // Submission rates swing with the time of day: the busiest day-hour
+  // bucket should see markedly more arrivals than the quietest.
+  const Trace trace = cab_like("Sep", 20000);
+  double last = 0.0;
+  for (const Job& j : trace.jobs) last = std::max(last, j.arrival);
+  ASSERT_GT(last, 86400.0);  // spans multiple days
+  std::vector<int> by_hour(24, 0);
+  for (const Job& j : trace.jobs) {
+    const int hour = static_cast<int>(j.arrival / 3600.0) % 24;
+    ++by_hour[static_cast<std::size_t>(hour)];
+  }
+  const auto [lo, hi] = std::minmax_element(by_hour.begin(), by_hour.end());
+  // With a 0.6 swing the peak-to-trough rate ratio is 4:1; demand at
+  // least 2:1 to stay robust to sampling noise.
+  EXPECT_GT(*hi, 2 * *lo);
+}
+
+TEST(BandwidthClasses, AssignsPaperClasses) {
+  Trace trace = named_synthetic("Synth-16", 2000);
+  Rng rng(4);
+  assign_bandwidth_classes(trace, rng);
+  std::map<double, int> histogram;
+  for (const Job& j : trace.jobs) ++histogram[j.bandwidth];
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const double demand : {0.5, 1.0, 1.5, 2.0}) {
+    EXPECT_GT(histogram[demand], 300);  // roughly uniform
+  }
+}
+
+TEST(TraceSummary, EmptyTrace) {
+  const TraceStats stats = summarize(Trace{});
+  EXPECT_EQ(stats.job_count, 0u);
+  EXPECT_EQ(stats.max_nodes, 0);
+}
+
+}  // namespace
+}  // namespace jigsaw
