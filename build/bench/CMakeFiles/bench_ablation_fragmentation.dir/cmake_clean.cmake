@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fragmentation.dir/bench_ablation_fragmentation.cpp.o"
+  "CMakeFiles/bench_ablation_fragmentation.dir/bench_ablation_fragmentation.cpp.o.d"
+  "bench_ablation_fragmentation"
+  "bench_ablation_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lc.dir/bench_ablation_lc.cpp.o"
+  "CMakeFiles/bench_ablation_lc.dir/bench_ablation_lc.cpp.o.d"
+  "bench_ablation_lc"
+  "bench_ablation_lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

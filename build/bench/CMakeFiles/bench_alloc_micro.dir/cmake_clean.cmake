@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alloc_micro.dir/bench_alloc_micro.cpp.o"
+  "CMakeFiles/bench_alloc_micro.dir/bench_alloc_micro.cpp.o.d"
+  "bench_alloc_micro"
+  "bench_alloc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alloc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_measured_sim.dir/bench_ext_measured_sim.cpp.o"
+  "CMakeFiles/bench_ext_measured_sim.dir/bench_ext_measured_sim.cpp.o.d"
+  "bench_ext_measured_sim"
+  "bench_ext_measured_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_measured_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_speedup_dist.dir/bench_ext_speedup_dist.cpp.o"
+  "CMakeFiles/bench_ext_speedup_dist.dir/bench_ext_speedup_dist.cpp.o.d"
+  "bench_ext_speedup_dist"
+  "bench_ext_speedup_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_speedup_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_turnaround.dir/bench_fig7_turnaround.cpp.o"
+  "CMakeFiles/bench_fig7_turnaround.dir/bench_fig7_turnaround.cpp.o.d"
+  "bench_fig7_turnaround"
+  "bench_fig7_turnaround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_turnaround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_instantaneous.dir/bench_table2_instantaneous.cpp.o"
+  "CMakeFiles/bench_table2_instantaneous.dir/bench_table2_instantaneous.cpp.o.d"
+  "bench_table2_instantaneous"
+  "bench_table2_instantaneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_instantaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_schedtime.dir/bench_table3_schedtime.cpp.o"
+  "CMakeFiles/bench_table3_schedtime.dir/bench_table3_schedtime.cpp.o.d"
+  "bench_table3_schedtime"
+  "bench_table3_schedtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_schedtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

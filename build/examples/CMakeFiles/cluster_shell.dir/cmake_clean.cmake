@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_shell.dir/cluster_shell.cpp.o"
+  "CMakeFiles/cluster_shell.dir/cluster_shell.cpp.o.d"
+  "cluster_shell"
+  "cluster_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_verify.dir/routing_verify.cpp.o"
+  "CMakeFiles/routing_verify.dir/routing_verify.cpp.o.d"
+  "routing_verify"
+  "routing_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

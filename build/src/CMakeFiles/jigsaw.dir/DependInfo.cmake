@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/CMakeFiles/jigsaw.dir/core/baseline.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/baseline.cpp.o.d"
+  "/root/repo/src/core/conditions.cpp" "src/CMakeFiles/jigsaw.dir/core/conditions.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/conditions.cpp.o.d"
+  "/root/repo/src/core/fragmentation.cpp" "src/CMakeFiles/jigsaw.dir/core/fragmentation.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/fragmentation.cpp.o.d"
+  "/root/repo/src/core/jigsaw_allocator.cpp" "src/CMakeFiles/jigsaw.dir/core/jigsaw_allocator.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/jigsaw_allocator.cpp.o.d"
+  "/root/repo/src/core/laas.cpp" "src/CMakeFiles/jigsaw.dir/core/laas.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/laas.cpp.o.d"
+  "/root/repo/src/core/lc.cpp" "src/CMakeFiles/jigsaw.dir/core/lc.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/lc.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/CMakeFiles/jigsaw.dir/core/search.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/search.cpp.o.d"
+  "/root/repo/src/core/shapes.cpp" "src/CMakeFiles/jigsaw.dir/core/shapes.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/shapes.cpp.o.d"
+  "/root/repo/src/core/ta.cpp" "src/CMakeFiles/jigsaw.dir/core/ta.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/core/ta.cpp.o.d"
+  "/root/repo/src/routing/congestion.cpp" "src/CMakeFiles/jigsaw.dir/routing/congestion.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/routing/congestion.cpp.o.d"
+  "/root/repo/src/routing/dmodk.cpp" "src/CMakeFiles/jigsaw.dir/routing/dmodk.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/routing/dmodk.cpp.o.d"
+  "/root/repo/src/routing/edge_coloring.cpp" "src/CMakeFiles/jigsaw.dir/routing/edge_coloring.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/routing/edge_coloring.cpp.o.d"
+  "/root/repo/src/routing/fairshare.cpp" "src/CMakeFiles/jigsaw.dir/routing/fairshare.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/routing/fairshare.cpp.o.d"
+  "/root/repo/src/routing/partition_routing.cpp" "src/CMakeFiles/jigsaw.dir/routing/partition_routing.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/routing/partition_routing.cpp.o.d"
+  "/root/repo/src/routing/rnb_router.cpp" "src/CMakeFiles/jigsaw.dir/routing/rnb_router.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/routing/rnb_router.cpp.o.d"
+  "/root/repo/src/routing/tables.cpp" "src/CMakeFiles/jigsaw.dir/routing/tables.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/routing/tables.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/jigsaw.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/jigsaw.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/jigsaw.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/jigsaw.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/speedup.cpp" "src/CMakeFiles/jigsaw.dir/sim/speedup.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/sim/speedup.cpp.o.d"
+  "/root/repo/src/topology/cluster_state.cpp" "src/CMakeFiles/jigsaw.dir/topology/cluster_state.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/topology/cluster_state.cpp.o.d"
+  "/root/repo/src/topology/fat_tree.cpp" "src/CMakeFiles/jigsaw.dir/topology/fat_tree.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/topology/fat_tree.cpp.o.d"
+  "/root/repo/src/trace/llnl_like.cpp" "src/CMakeFiles/jigsaw.dir/trace/llnl_like.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/trace/llnl_like.cpp.o.d"
+  "/root/repo/src/trace/swf.cpp" "src/CMakeFiles/jigsaw.dir/trace/swf.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/trace/swf.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/CMakeFiles/jigsaw.dir/trace/synthetic.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/trace/synthetic.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/jigsaw.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/jigsaw.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/jigsaw.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/jigsaw.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/jigsaw.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

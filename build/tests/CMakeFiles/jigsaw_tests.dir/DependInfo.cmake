@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_certify.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_certify.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_certify.cpp.o.d"
+  "/root/repo/tests/test_cluster_state.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_cluster_state.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_cluster_state.cpp.o.d"
+  "/root/repo/tests/test_conditions.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_conditions.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_conditions.cpp.o.d"
+  "/root/repo/tests/test_congestion.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_congestion.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_congestion.cpp.o.d"
+  "/root/repo/tests/test_dmodk.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_dmodk.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_dmodk.cpp.o.d"
+  "/root/repo/tests/test_edge_coloring.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_edge_coloring.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_edge_coloring.cpp.o.d"
+  "/root/repo/tests/test_fairshare.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_fairshare.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_fairshare.cpp.o.d"
+  "/root/repo/tests/test_fat_tree.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_fat_tree.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_fat_tree.cpp.o.d"
+  "/root/repo/tests/test_fragmentation.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_fragmentation.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_fragmentation.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_jigsaw_allocator.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_jigsaw_allocator.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_jigsaw_allocator.cpp.o.d"
+  "/root/repo/tests/test_laas.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_laas.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_laas.cpp.o.d"
+  "/root/repo/tests/test_lc.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_lc.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_lc.cpp.o.d"
+  "/root/repo/tests/test_necessity.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_necessity.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_necessity.cpp.o.d"
+  "/root/repo/tests/test_partition_routing.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_partition_routing.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_partition_routing.cpp.o.d"
+  "/root/repo/tests/test_property_allocators.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_property_allocators.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_property_allocators.cpp.o.d"
+  "/root/repo/tests/test_property_rnb.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_property_rnb.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_property_rnb.cpp.o.d"
+  "/root/repo/tests/test_rnb_router.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_rnb_router.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_rnb_router.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_scheduler_cache.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_scheduler_cache.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_scheduler_cache.cpp.o.d"
+  "/root/repo/tests/test_search.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_search.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_search.cpp.o.d"
+  "/root/repo/tests/test_shapes.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_shapes.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_shapes.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_swf.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_swf.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_swf.cpp.o.d"
+  "/root/repo/tests/test_ta.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_ta.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_ta.cpp.o.d"
+  "/root/repo/tests/test_tables.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_tables.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_tables.cpp.o.d"
+  "/root/repo/tests/test_traces.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_traces.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_traces.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/jigsaw_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/jigsaw_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jigsaw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
