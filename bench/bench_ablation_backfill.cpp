@@ -13,8 +13,10 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "2000");
+  define_obs_flags(flags);
   flags.define("trace", "trace to sweep", "Synth-16");
   if (!flags.parse(argc, argv)) return 0;
+  ObsSetup obs_setup = make_obs(flags);
 
   const NamedTrace nt = load(flags.str("trace"), scaled_jobs(flags));
   std::cout << "=== Ablation: EASY backfill window and order sweep ("
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
         SimConfig config;
         config.backfill_window = window;
         config.backfill_order = order;
+        config.obs = obs_setup.ctx;
+        obs_setup.annotate_run(flags.str("trace"), scheme->name());
         const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
         table.add_row({std::to_string(window),
                        order == BackfillOrder::kFifo ? "FIFO" : "SJBF",
@@ -41,6 +45,8 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << table.render();
+  write_json_out(flags, "ablation_backfill", table);
+  obs_setup.finish();
   std::cout << "\nExpected: utilization rises steeply from window 0 to 10 "
                "and saturates near 50 — the paper's setting captures most "
                "of the benefit for both schemes. Shortest-job-first "

@@ -19,7 +19,9 @@ int main(int argc, char** argv) {
   flags.define("fill", "target fraction of nodes busy", "0.9");
   flags.define("rounds", "churn rounds sampled", "400");
   flags.define("mean-size", "mean job size (exponential)", "12");
+  define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
+  ObsSetup obs_setup = make_obs(flags);
 
   const FatTree topo =
       FatTree::from_radix(static_cast<int>(flags.integer("radix")));
@@ -105,6 +107,8 @@ int main(int argc, char** argv) {
                    TablePrinter::fmt(free_leaves_acc.mean(), 1)});
   }
   std::cout << table.render();
+  write_json_out(flags, "ablation_fragmentation", table);
+  obs_setup.finish();
   std::cout << "\nReading: 'Wasted' is internal fragmentation (LaaS's "
                "rounded-up grants; TA's implicit reservations waste links, "
                "not nodes, so they appear as stranding instead); free "

@@ -14,9 +14,11 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "5000");
+  define_obs_flags(flags);
   flags.define("traces", "comma-separated traces", "Synth-16,Thunder");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
+  ObsSetup obs_setup = make_obs(flags);
 
   std::vector<std::string> names;
   {
@@ -36,7 +38,10 @@ int main(int argc, char** argv) {
     const NamedTrace nt = load(name, jobs);
     for (const Scheme s : {Scheme::kJigsaw, Scheme::kLc}) {
       const AllocatorPtr scheme = make_scheme(s);
-      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, SimConfig{});
+      SimConfig config;
+      config.obs = obs_setup.ctx;
+      obs_setup.annotate_run(name, scheme->name());
+      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
       table.add_row({name, scheme->name(),
                      TablePrinter::fmt(100.0 * m.steady_utilization, 1),
                      TablePrinter::fmt(m.makespan, 0),
@@ -45,6 +50,8 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << table.render();
+  write_json_out(flags, "ablation_lc", table);
+  obs_setup.finish();
   std::cout << "\nExpected: Jigsaw matches or beats LC on utilization while "
                "spending far less search time — the restriction costs "
                "nothing and buys speed (and often utilization, via less "

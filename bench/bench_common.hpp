@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -20,6 +21,7 @@
 #include "core/laas.hpp"
 #include "core/lc.hpp"
 #include "core/ta.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulator.hpp"
 #include "trace/llnl_like.hpp"
 #include "trace/synthetic.hpp"
@@ -103,6 +105,104 @@ inline void define_scale_flags(CliFlags& flags, const std::string& jobs_default)
 inline std::size_t scaled_jobs(const CliFlags& flags) {
   if (flags.boolean("full")) return 0;
   return static_cast<std::size_t>(flags.integer("jobs"));
+}
+
+// ---- observability plumbing (shared by every bench binary) -------------
+
+/// Standard observability/output flags. Every bench binary defines these
+/// next to its scale flags.
+inline void define_obs_flags(CliFlags& flags) {
+  flags.define("trace-out",
+               "write structured event trace to this file (empty = off)", "");
+  flags.define("trace-format", "event trace format: chrome or jsonl",
+               "chrome");
+  flags.define("metrics-out",
+               "write metrics registry JSON snapshot to this file", "");
+  flags.define("json-out",
+               "write the result table as machine-readable JSON", "");
+}
+
+/// Owns the sink/registry behind a SimConfig's ObsContext for one bench
+/// process. Null members (flags unset) keep the simulator on its
+/// zero-cost path. Call finish() (or rely on the destructor) to finalize
+/// the trace file and dump the metrics snapshot.
+struct ObsSetup {
+  std::unique_ptr<std::ofstream> trace_stream;
+  std::unique_ptr<obs::TraceSink> sink;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::string metrics_path;
+  obs::ObsContext ctx;
+
+  ObsSetup() = default;
+  ObsSetup(const ObsSetup&) = delete;
+  ObsSetup& operator=(const ObsSetup&) = delete;
+  ObsSetup(ObsSetup&&) = default;
+  ObsSetup& operator=(ObsSetup&&) = default;
+  ~ObsSetup() { finish(); }
+
+  void finish() {
+    if (sink != nullptr) {
+      sink->finish();
+      sink.reset();
+      trace_stream.reset();
+    }
+    if (metrics != nullptr && !metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::cerr << "cannot write metrics snapshot: " << metrics_path
+                  << "\n";
+      } else {
+        metrics->write_json(out);
+      }
+      metrics_path.clear();
+    }
+  }
+
+  /// Tag the event stream with run metadata (which trace/scheme the
+  /// following events belong to) so multi-run bench traces stay legible.
+  void annotate_run(const std::string& trace_name,
+                    const std::string& scheme_name) const {
+    if (ctx.sink == nullptr) return;
+    ctx.emit(obs::instant("bench", "bench.run", 0.0)
+                 .arg("trace", trace_name)
+                 .arg("scheme", scheme_name));
+  }
+};
+
+/// Build the observability context requested on the command line.
+inline ObsSetup make_obs(const CliFlags& flags) {
+  ObsSetup setup;
+  const std::string trace_path = flags.str("trace-out");
+  if (!trace_path.empty()) {
+    setup.trace_stream = std::make_unique<std::ofstream>(trace_path);
+    if (!*setup.trace_stream) {
+      throw std::runtime_error("cannot open --trace-out file: " + trace_path);
+    }
+    setup.sink = obs::make_sink(flags.str("trace-format"),
+                                *setup.trace_stream);
+    setup.ctx.sink = setup.sink.get();
+  }
+  const std::string metrics_path = flags.str("metrics-out");
+  if (!metrics_path.empty()) {
+    setup.metrics = std::make_unique<obs::MetricsRegistry>();
+    setup.metrics_path = metrics_path;
+    setup.ctx.metrics = setup.metrics.get();
+  }
+  return setup;
+}
+
+/// Honor --json-out: write the rendered table as JSON named after the
+/// bench binary.
+inline void write_json_out(const CliFlags& flags, const std::string& bench,
+                           const TablePrinter& table) {
+  const std::string path = flags.str("json-out");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write --json-out file: " << path << "\n";
+    return;
+  }
+  table.write_json(out, bench);
 }
 
 }  // namespace jigsaw::bench

@@ -42,9 +42,11 @@ std::vector<Allocation> saturate(const FatTree& topo,
 int main(int argc, char** argv) {
   CliFlags flags;
   define_scale_flags(flags, "600");
+  define_obs_flags(flags);
   flags.define("trace", "trace supplying the job mix", "Synth-16");
   flags.define("rounds", "random traffic rounds to average", "5");
   if (!flags.parse(argc, argv)) return 0;
+  ObsSetup obs_setup = make_obs(flags);
 
   const NamedTrace nt = load(flags.str("trace"), scaled_jobs(flags));
   const int rounds = static_cast<int>(flags.integer("rounds"));
@@ -98,7 +100,8 @@ int main(int argc, char** argv) {
       if (alloc.nodes.size() < 2) continue;
       ++eligible;
       const auto perm = random_permutation(alloc, rng);
-      const auto outcome = route_permutation(nt.topo, alloc, perm);
+      const auto outcome =
+          route_permutation(nt.topo, alloc, perm, &obs_setup.ctx);
       if (outcome.ok &&
           verify_one_flow_per_link(nt.topo, alloc, outcome.routes).empty()) {
         ++clean_jobs;
@@ -111,6 +114,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << table.render();
+  write_json_out(flags, "ext_interference", table);
+  obs_setup.finish();
   std::cout << "\nExpected: Jigsaw shows 0% interfered flows and exactly one "
                "job per link; with RNB-optimal routing even intra-job "
                "contention is zero (slowdown 1.00); Baseline under static "

@@ -15,8 +15,10 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "3000");
+  define_obs_flags(flags);
   flags.define("trace", "trace to replay", "Sep-Cab");
   if (!flags.parse(argc, argv)) return 0;
+  ObsSetup obs_setup = make_obs(flags);
 
   const NamedTrace nt = load(flags.str("trace"), scaled_jobs(flags));
   std::cout << "=== Extension: scheduling under measured interference ("
@@ -32,6 +34,8 @@ int main(int argc, char** argv) {
       SimConfig config;
       config.scenario = SpeedupScenario::kNone;  // no assumed speed-ups
       config.measured_interference_comm_fraction = comm;
+      config.obs = obs_setup.ctx;
+      obs_setup.annotate_run(flags.str("trace"), scheme->name());
       const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
       if (s == Scheme::kBaseline) baseline_turnaround = m.mean_turnaround_all;
       table.add_row(
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << table.render();
+  write_json_out(flags, "ext_measured_sim", table);
+  obs_setup.finish();
   std::cout << "\nReading: at comm fraction 0 Baseline wins on raw "
                "utilization; as the measured congestion penalty grows, the "
                "isolating schemes' normalized turnaround drops below 1.0 — "

@@ -40,9 +40,11 @@ std::vector<Allocation> saturate(const FatTree& topo,
 int main(int argc, char** argv) {
   CliFlags flags;
   define_scale_flags(flags, "600");
+  define_obs_flags(flags);
   flags.define("trace", "trace supplying the job mix", "Synth-16");
   flags.define("rounds", "traffic rounds to aggregate", "10");
   if (!flags.parse(argc, argv)) return 0;
+  ObsSetup obs_setup = make_obs(flags);
 
   const NamedTrace nt = load(flags.str("trace"), scaled_jobs(flags));
   const int rounds = static_cast<int>(flags.integer("rounds"));
@@ -91,6 +93,8 @@ int main(int argc, char** argv) {
                        "%"});
   }
   std::cout << table.render();
+  write_json_out(flags, "ext_speedup_dist", table);
+  obs_setup.finish();
   std::cout << "\nReading: the Baseline row is the interference a job-"
                "isolating scheduler eliminates; mean slowdowns of 1.05-1.3x "
                "correspond to the paper's 5-20% speed-up scenarios. The "

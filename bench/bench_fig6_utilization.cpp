@@ -12,9 +12,11 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "5000");
+  define_obs_flags(flags);
   flags.define("traces", "comma-separated trace subset (default: all)", "");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
+  ObsSetup obs_setup = make_obs(flags);
 
   std::vector<std::string> names;
   if (flags.str("traces").empty()) {
@@ -39,7 +41,10 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{name};
     for (const Scheme s : figure6_schemes()) {
       const AllocatorPtr scheme = make_scheme(s);
-      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, SimConfig{});
+      SimConfig config;
+      config.obs = obs_setup.ctx;
+      obs_setup.annotate_run(name, scheme->name());
+      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
       row.push_back(TablePrinter::fmt(100.0 * m.steady_utilization, 1));
       std::cerr << name << " / " << scheme->name() << ": util "
                 << TablePrinter::fmt(100.0 * m.steady_utilization, 1)
@@ -51,6 +56,8 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::cout << table.render();
+  write_json_out(flags, "fig6_utilization", table);
+  obs_setup.finish();
   std::cout << "\nPaper shape: Baseline > LC+S >= Jigsaw (95-96) > LaaS "
                "(90-91) > TA (85-88); Jigsaw dips on Oct-Cab and Atlas.\n";
   return 0;

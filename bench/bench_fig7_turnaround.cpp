@@ -14,9 +14,11 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "4000");
+  define_obs_flags(flags);
   flags.define("traces", "comma-separated Cab traces", "Aug-Cab,Oct-Cab");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
+  ObsSetup obs_setup = make_obs(flags);
 
   std::vector<std::string> names;
   {
@@ -28,6 +30,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  TablePrinter json_table({"Trace", "Scenario", "TA all/lg", "LaaS all/lg",
+                           "Jigsaw all/lg", "LC+S all/lg"});
   for (const std::string& name : names) {
     const NamedTrace nt = load(name, jobs);
     std::cout << "=== Figure 7: turnaround normalized to Baseline ("
@@ -37,14 +41,17 @@ int main(int argc, char** argv) {
     for (const SpeedupScenario scenario : SpeedupModel::all()) {
       SimConfig config;
       config.scenario = scenario;
+      config.obs = obs_setup.ctx;
+      obs_setup.annotate_run(name, "Baseline");
       const SimMetrics base =
           simulate(nt.topo, *make_scheme(Scheme::kBaseline), nt.trace,
                    config);
       std::vector<std::string> row{SpeedupModel::name(scenario)};
       for (const Scheme s :
            {Scheme::kTa, Scheme::kLaas, Scheme::kJigsaw, Scheme::kLcs}) {
-        const SimMetrics m =
-            simulate(nt.topo, *make_scheme(s), nt.trace, config);
+        const AllocatorPtr scheme = make_scheme(s);
+        obs_setup.annotate_run(name, scheme->name());
+        const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
         const double all = m.mean_turnaround_all / base.mean_turnaround_all;
         const double large =
             base.mean_turnaround_large > 0
@@ -53,10 +60,15 @@ int main(int argc, char** argv) {
         row.push_back(TablePrinter::fmt(all, 2) + "/" +
                       TablePrinter::fmt(large, 2));
       }
+      std::vector<std::string> json_row{name};
+      json_row.insert(json_row.end(), row.begin(), row.end());
+      json_table.add_row(std::move(json_row));
       table.add_row(std::move(row));
     }
     std::cout << table.render() << "\n";
   }
+  write_json_out(flags, "fig7_turnaround", json_table);
+  obs_setup.finish();
   std::cout << "Paper shape: Jigsaw beats Baseline (< 1.0) in every "
                "Aug-Cab scenario and in the 10%/20% Oct-Cab scenarios; "
                "TA is always the worst isolating scheme.\n";

@@ -13,9 +13,11 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "5000");
+  define_obs_flags(flags);
   flags.define("traces", "comma-separated traces", "Thunder,Atlas");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
+  ObsSetup obs_setup = make_obs(flags);
 
   std::vector<std::string> names;
   {
@@ -27,6 +29,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  TablePrinter json_table({"Trace", "Scenario", "TA", "LaaS", "Jigsaw",
+                           "LC+S"});
   for (const std::string& name : names) {
     const NamedTrace nt = load(name, jobs);
     std::cout << "=== Figure 8: makespan normalized to Baseline (" << name
@@ -35,20 +39,29 @@ int main(int argc, char** argv) {
     for (const SpeedupScenario scenario : SpeedupModel::all()) {
       SimConfig config;
       config.scenario = scenario;
+      config.obs = obs_setup.ctx;
+      obs_setup.annotate_run(name, "Baseline");
       const double base = simulate(nt.topo, *make_scheme(Scheme::kBaseline),
                                    nt.trace, config)
                               .makespan;
       std::vector<std::string> row{SpeedupModel::name(scenario)};
       for (const Scheme s :
            {Scheme::kTa, Scheme::kLaas, Scheme::kJigsaw, Scheme::kLcs}) {
+        const AllocatorPtr scheme = make_scheme(s);
+        obs_setup.annotate_run(name, scheme->name());
         const double makespan =
-            simulate(nt.topo, *make_scheme(s), nt.trace, config).makespan;
+            simulate(nt.topo, *scheme, nt.trace, config).makespan;
         row.push_back(TablePrinter::fmt(makespan / base, 3));
       }
+      std::vector<std::string> json_row{name};
+      json_row.insert(json_row.end(), row.begin(), row.end());
+      json_table.add_row(std::move(json_row));
       table.add_row(std::move(row));
     }
     std::cout << table.render() << "\n";
   }
+  write_json_out(flags, "fig8_makespan", json_table);
+  obs_setup.finish();
   std::cout << "Paper shape: Jigsaw <= Baseline under every speed-up "
                "scenario, worst case +6% with no speed-ups; TA worst "
                "(+14% at None).\n";

@@ -12,8 +12,10 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "5000");
+  define_obs_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
+  ObsSetup obs_setup = make_obs(flags);
 
   std::cout << "=== Table 1: job queue trace characteristics ===\n\n";
   TablePrinter table({"Trace name", "System nodes", "Number of jobs",
@@ -32,6 +34,8 @@ int main(int argc, char** argv) {
                    stats.has_arrivals ? "Y" : "N"});
   }
   std::cout << table.render();
+  write_json_out(flags, "table1_traces", table);
+  obs_setup.finish();
   std::cout << "\nPaper envelopes: Synth 20-3000 s; Cab max ~257 nodes, "
                "runtimes to ~9e4 s; Thunder max 965; Atlas max 1024 with "
                "whole-machine requests.\n";

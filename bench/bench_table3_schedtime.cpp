@@ -16,9 +16,11 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "2000");
+  define_obs_flags(flags);
   flags.define_bool("skip-lcs", "skip the slow LC+S row");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
+  ObsSetup obs_setup = make_obs(flags);
 
   const std::vector<std::string> names{"Synth-16", "Sep-Cab", "Thunder",
                                        "Synth-28"};
@@ -36,7 +38,10 @@ int main(int argc, char** argv) {
     const AllocatorPtr scheme = make_scheme(s);
     std::vector<std::string> row{scheme->name()};
     for (const NamedTrace& nt : traces) {
-      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, SimConfig{});
+      SimConfig config;
+      config.obs = obs_setup.ctx;
+      obs_setup.annotate_run(nt.trace.name, scheme->name());
+      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
       std::ostringstream cell;
       cell.setf(std::ios::scientific);
       cell.precision(2);
@@ -49,6 +54,8 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   std::cout << table.render();
+  write_json_out(flags, "table3_schedtime", table);
+  obs_setup.finish();
   std::cout << "\nPaper shape: TA/LaaS/Jigsaw all ~1-10 ms/job; LC+S "
                "~50-255 ms/job and growing with cluster size.\n";
   return 0;

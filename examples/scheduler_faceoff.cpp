@@ -3,7 +3,13 @@
 // miniature of the paper's whole evaluation.
 //
 //   $ ./scheduler_faceoff [--trace Synth-16] [--jobs 2000] [--scenario 10%]
+//
+// Observability: --trace-out FILE [--trace-format chrome|jsonl] records
+// every scheduling decision as a structured event stream (open chrome
+// format traces at https://ui.perfetto.dev), and --metrics-out FILE dumps
+// the counters/histograms registry as JSON after the runs.
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -13,6 +19,7 @@
 #include "core/laas.hpp"
 #include "core/lc.hpp"
 #include "core/ta.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulator.hpp"
 #include "trace/llnl_like.hpp"
 #include "trace/synthetic.hpp"
@@ -50,7 +57,28 @@ int main(int argc, char** argv) {
   flags.define("jobs", "number of jobs to replay", "2000");
   flags.define("scenario", "isolation speed-up scenario (None/5%/10%/20%/V2/Random)",
                "10%");
+  flags.define("trace-out",
+               "write structured event trace to this file (empty = off)", "");
+  flags.define("trace-format", "event trace format: chrome or jsonl",
+               "chrome");
+  flags.define("metrics-out",
+               "write metrics registry JSON snapshot to this file", "");
   if (!flags.parse(argc, argv)) return 0;
+
+  std::ofstream trace_stream;
+  std::unique_ptr<obs::TraceSink> sink;
+  obs::MetricsRegistry registry;
+  obs::ObsContext obs_ctx;
+  if (!flags.str("trace-out").empty()) {
+    trace_stream.open(flags.str("trace-out"));
+    if (!trace_stream) {
+      std::cerr << "cannot open --trace-out file\n";
+      return 1;
+    }
+    sink = obs::make_sink(flags.str("trace-format"), trace_stream);
+    obs_ctx.sink = sink.get();
+  }
+  if (!flags.str("metrics-out").empty()) obs_ctx.metrics = &registry;
 
   Trace trace = load_trace(flags.str("trace"),
                            static_cast<std::size_t>(flags.integer("jobs")));
@@ -65,6 +93,7 @@ int main(int argc, char** argv) {
 
   SimConfig config;
   config.scenario = parse_scenario(flags.str("scenario"));
+  config.obs = obs_ctx;
 
   std::vector<AllocatorPtr> schemes;
   schemes.push_back(std::make_unique<BaselineAllocator>());
@@ -86,6 +115,15 @@ int main(int argc, char** argv) {
                    TablePrinter::fmt(1e3 * m.mean_sched_time_per_job, 3)});
   }
   std::cout << table.render();
+  if (sink != nullptr) sink->finish();
+  if (obs_ctx.metrics != nullptr) {
+    std::ofstream metrics_out(flags.str("metrics-out"));
+    if (metrics_out) {
+      registry.write_json(metrics_out);
+    } else {
+      std::cerr << "cannot write --metrics-out file\n";
+    }
+  }
   std::cout << "\nIsolating schemes (Jigsaw/LaaS/TA) and LC+S run jobs at "
                "their isolated speed under scenario "
             << flags.str("scenario") << "; Baseline never does.\n";

@@ -1,0 +1,59 @@
+#include "obs/cluster_probe.hpp"
+
+#include "util/bitset64.hpp"
+
+namespace jigsaw::obs {
+
+ClusterOccupancy measure_occupancy(const ClusterState& state) {
+  const FatTree& topo = state.topo();
+  ClusterOccupancy occ;
+  occ.free_nodes = state.total_free_nodes();
+  occ.node_occupancy =
+      1.0 - static_cast<double>(occ.free_nodes) /
+                static_cast<double>(topo.total_nodes());
+
+  int free_leaf_up = 0;
+  for (LeafId l = 0; l < topo.total_leaves(); ++l) {
+    free_leaf_up += popcount(state.free_leaf_up(l));
+  }
+  const int total_leaf_up = topo.num_leaf_wires();
+  occ.leaf_up_occupancy =
+      total_leaf_up == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(free_leaf_up) /
+                      static_cast<double>(total_leaf_up);
+
+  int free_l2_up = 0;
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    for (int i = 0; i < topo.l2_per_tree(); ++i) {
+      free_l2_up += popcount(state.free_l2_up(t, i));
+    }
+  }
+  const int total_l2_up = topo.num_l2_wires();
+  occ.l2_up_occupancy = total_l2_up == 0
+                            ? 0.0
+                            : 1.0 - static_cast<double>(free_l2_up) /
+                                        static_cast<double>(total_l2_up);
+  return occ;
+}
+
+void sample_cluster_occupancy(const ObsContext& obs, const ClusterState& state,
+                              double ts) {
+  if (!obs.enabled()) return;
+  const ClusterOccupancy occ = measure_occupancy(state);
+  if (obs.metering()) {
+    obs.metrics->gauge("cluster.node_occupancy").set(occ.node_occupancy);
+    obs.metrics->gauge("cluster.leaf_up_occupancy").set(occ.leaf_up_occupancy);
+    obs.metrics->gauge("cluster.l2_up_occupancy").set(occ.l2_up_occupancy);
+    obs.metrics->gauge("cluster.free_nodes")
+        .set(static_cast<double>(occ.free_nodes));
+  }
+  if (obs.tracing()) {
+    obs.emit(counter("cluster", "cluster.occupancy", ts)
+                 .arg("nodes", occ.node_occupancy)
+                 .arg("leaf_up", occ.leaf_up_occupancy)
+                 .arg("l2_up", occ.l2_up_occupancy));
+  }
+}
+
+}  // namespace jigsaw::obs

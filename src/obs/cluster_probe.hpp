@@ -1,0 +1,31 @@
+// Samples cluster resource occupancy into the observability layer.
+//
+// Walks ClusterState's free-resource masks and publishes per-level
+// occupancy gauges (nodes, leaf uplink wires, L2 uplink wires) plus, when
+// a sink is attached, a Chrome counter event so occupancy renders as a
+// track in Perfetto. Cost is O(leaves + L2 switches) per sample — only
+// paid when observability is on.
+
+#pragma once
+
+#include "obs/observer.hpp"
+#include "topology/cluster_state.hpp"
+
+namespace jigsaw::obs {
+
+struct ClusterOccupancy {
+  double node_occupancy = 0.0;     ///< busy nodes / total nodes
+  double leaf_up_occupancy = 0.0;  ///< claimed leaf uplink wires / total
+  double l2_up_occupancy = 0.0;    ///< claimed L2 uplink wires / total
+  int free_nodes = 0;
+};
+
+/// Pure measurement (no registry required).
+ClusterOccupancy measure_occupancy(const ClusterState& state);
+
+/// Measures and publishes `cluster.*` gauges and a `cluster.occupancy`
+/// counter event at simulation time `ts`. No-op on a null context.
+void sample_cluster_occupancy(const ObsContext& obs, const ClusterState& state,
+                              double ts);
+
+}  // namespace jigsaw::obs

@@ -1,0 +1,165 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/sink.hpp"  // json_escape
+
+namespace jigsaw::obs {
+
+namespace {
+
+constexpr int kExpOffset = 32;  // bucket 1 covers [2^-32, 2^-31)
+
+int bucket_of(double value) {
+  if (!(value > 0.0)) return 0;
+  const int e = static_cast<int>(std::floor(std::log2(value)));
+  return std::clamp(e + kExpOffset + 1, 1, Histogram::kBuckets - 1);
+}
+
+void print_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << (std::isnan(v) ? "null" : (v > 0 ? "1e308" : "-1e308"));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out << buf;
+}
+
+}  // namespace
+
+void Histogram::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_of(value)];
+}
+
+double Histogram::bucket_lo(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::ldexp(1.0, bucket - 1 - kExpOffset);
+}
+
+double Histogram::bucket_hi(int bucket) {
+  if (bucket <= 0) return std::ldexp(1.0, -kExpOffset);
+  return std::ldexp(1.0, bucket - kExpOffset);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= rank) {
+      // Geometric midpoint of the bucket, clamped to observed extremes.
+      const double mid =
+          b == 0 ? min_ : std::sqrt(bucket_lo(b) * bucket_hi(b));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void MetricsRegistry::check_unique(const std::string& name, int kind) const {
+  const bool clash = (kind != 0 && counters_.count(name) != 0) ||
+                     (kind != 1 && gauges_.count(name) != 0) ||
+                     (kind != 2 && histograms_.count(name) != 0);
+  if (clash) {
+    throw std::logic_error("metric name reused across kinds: " + name);
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  check_unique(name, 0);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  check_unique(name, 1);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  check_unique(name, 2);
+  return histograms_[name];
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << c.value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": ";
+    print_double(out, g.value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << h.count() << ", \"sum\": ";
+    print_double(out, h.sum());
+    out << ", \"min\": ";
+    print_double(out, h.min());
+    out << ", \"max\": ";
+    print_double(out, h.max());
+    out << ", \"mean\": ";
+    print_double(out, h.mean());
+    out << ", \"p50\": ";
+    print_double(out, h.percentile(50));
+    out << ", \"p90\": ";
+    print_double(out, h.percentile(90));
+    out << ", \"p99\": ";
+    print_double(out, h.percentile(99));
+    out << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "{\"lo\": ";
+      print_double(out, Histogram::bucket_lo(b));
+      out << ", \"hi\": ";
+      print_double(out, Histogram::bucket_hi(b));
+      out << ", \"count\": " << h.bucket_count(b) << '}';
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace jigsaw::obs

@@ -1,0 +1,99 @@
+// Metrics registry: named counters, gauges, and histograms with a JSON
+// snapshot exporter.
+//
+// Instrumentation sites look a handle up once (by name) and then update
+// it without further map lookups, so the per-event cost is an increment.
+// The registry owns every metric; handles stay valid for the registry's
+// lifetime (std::map nodes never move).
+//
+// Histograms use power-of-two exponential buckets covering 2^-32 .. 2^32
+// (sub-nanosecond timings through billions of search steps) plus an
+// underflow bucket for zero/negative values, and track exact count / sum /
+// min / max alongside, so means are exact and percentiles are
+// bucket-resolution estimates.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace jigsaw::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  /// Bucket 0 catches v <= 0; bucket 1+k covers [2^(k-32), 2^(k-31)).
+  static constexpr int kBuckets = 66;
+
+  void add(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  std::uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
+  /// Inclusive-lower bound of a bucket; bucket 0 has lower bound 0.
+  static double bucket_lo(int bucket);
+  static double bucket_hi(int bucket);
+
+  /// Bucket-resolution percentile estimate (geometric bucket midpoint),
+  /// clamped to the observed [min, max]; p in [0, 100].
+  double percentile(double p) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name. References stay valid for the registry's
+  /// lifetime. A name may hold only one metric kind; reusing it across
+  /// kinds throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Pretty-printed JSON snapshot:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///    {count,sum,min,max,mean,p50,p90,p99,buckets:[{lo,hi,count}...]}}}
+  void write_json(std::ostream& out) const;
+
+ private:
+  void check_unique(const std::string& name, int kind) const;
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace jigsaw::obs

@@ -1,0 +1,37 @@
+// ObsContext: the handle instrumented code holds on the observability
+// layer.
+//
+// A context is a pair of non-owning pointers — an event sink and a
+// metrics registry — either of which may be null. The default context is
+// entirely null, and every instrumentation site guards on the relevant
+// pointer *before* building an event or reading a clock, so a simulation
+// run without observers executes the same instruction stream as before
+// the layer existed (null-sink zero-cost default).
+//
+// Ownership stays with whoever configured the run (the bench harness, an
+// example binary, a test); ObsContext is freely copyable and is passed by
+// value inside SimConfig.
+
+#pragma once
+
+#include "obs/metrics_registry.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace_event.hpp"
+
+namespace jigsaw::obs {
+
+struct ObsContext {
+  TraceSink* sink = nullptr;          ///< may be null: no event emission
+  MetricsRegistry* metrics = nullptr; ///< may be null: no counters
+
+  bool tracing() const { return sink != nullptr; }
+  bool metering() const { return metrics != nullptr; }
+  bool enabled() const { return tracing() || metering(); }
+
+  /// Emit iff a sink is attached.
+  void emit(const TraceEvent& e) const {
+    if (sink != nullptr) sink->emit(e);
+  }
+};
+
+}  // namespace jigsaw::obs

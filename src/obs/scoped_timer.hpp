@@ -1,0 +1,51 @@
+// RAII wall-clock timers feeding observability histograms.
+//
+// ScopedTimer measures a scope with steady_clock and records the elapsed
+// seconds into a Histogram on destruction (or at an explicit stop(),
+// which also returns the reading — the simulator uses that to keep its
+// legacy SimMetrics::sched_wall_seconds aggregate in sync with the
+// histogram). Constructed disabled, it never touches the clock: the
+// instrumented hot paths stay zero-cost when observability is off.
+
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics_registry.hpp"
+
+namespace jigsaw::obs {
+
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Records into `hist` (may be null) when `enabled`. A disabled timer
+  /// performs no clock reads and records nothing.
+  explicit ScopedTimer(Histogram* hist, bool enabled = true)
+      : hist_(hist), enabled_(enabled) {
+    if (enabled_) start_ = Clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Stops the timer, records, and returns elapsed seconds (0.0 when
+  /// disabled). Idempotent: later calls return the first reading.
+  double stop() {
+    if (!enabled_) return elapsed_;
+    enabled_ = false;
+    elapsed_ = std::chrono::duration<double>(Clock::now() - start_).count();
+    if (hist_ != nullptr) hist_->add(elapsed_);
+    return elapsed_;
+  }
+
+ private:
+  Histogram* hist_;
+  bool enabled_;
+  double elapsed_ = 0.0;
+  Clock::time_point start_{};
+};
+
+}  // namespace jigsaw::obs

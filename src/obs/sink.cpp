@@ -1,0 +1,137 @@
+#include "obs/sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace jigsaw::obs {
+
+namespace {
+
+/// Phase letter shared by both formats (Chrome trace-event vocabulary).
+const char* phase_letter(TraceEvent::Phase phase) {
+  switch (phase) {
+    case TraceEvent::Phase::kInstant: return "i";
+    case TraceEvent::Phase::kComplete: return "X";
+    case TraceEvent::Phase::kCounter: return "C";
+  }
+  return "i";
+}
+
+void write_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no Infinity/NaN literals
+    out << (std::isnan(v) ? "null" : (v > 0 ? "1e308" : "-1e308"));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out << buf;
+}
+
+void write_args_object(std::ostream& out, const TraceEvent& event) {
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : event.args) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":";
+    write_json_value(out, value);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_value(std::ostream& out, const ArgValue& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    out << *i;
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    write_double(out, *d);
+  } else {
+    out << '"' << json_escape(std::get<std::string>(value)) << '"';
+  }
+}
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  std::ostream& out = *out_;
+  out << "{\"ph\":\"" << phase_letter(event.phase) << "\",\"cat\":\""
+      << json_escape(event.category) << "\",\"name\":\""
+      << json_escape(event.name) << "\",\"ts\":";
+  write_double(out, event.ts);
+  if (event.phase == TraceEvent::Phase::kComplete) {
+    out << ",\"dur\":";
+    write_double(out, event.dur);
+  }
+  out << ",\"args\":";
+  write_args_object(out, event);
+  out << "}\n";
+}
+
+void JsonlTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_->flush();
+}
+
+void ChromeTraceSink::emit(const TraceEvent& event) {
+  std::ostream& out = *out_;
+  out << (any_ ? ",\n" : "[\n");
+  any_ = true;
+  out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+      << json_escape(event.category) << "\",\"ph\":\""
+      << phase_letter(event.phase) << "\",\"ts\":";
+  // Simulation seconds -> trace microseconds.
+  write_double(out, event.ts * 1e6);
+  if (event.phase == TraceEvent::Phase::kComplete) {
+    out << ",\"dur\":";
+    write_double(out, event.dur * 1e6);
+  }
+  if (event.phase == TraceEvent::Phase::kInstant) {
+    out << ",\"s\":\"t\"";  // thread-scoped instant
+  }
+  out << ",\"pid\":1,\"tid\":1,\"args\":";
+  write_args_object(out, event);
+  out << '}';
+}
+
+void ChromeTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // An empty trace is still a valid (empty) array.
+  *out_ << (any_ ? "\n]\n" : "[]\n");
+  out_->flush();
+}
+
+std::unique_ptr<TraceSink> make_sink(const std::string& format,
+                                     std::ostream& out) {
+  if (format == "jsonl") return std::make_unique<JsonlTraceSink>(out);
+  if (format == "chrome") return std::make_unique<ChromeTraceSink>(out);
+  throw std::invalid_argument("unknown trace format: " + format +
+                              " (expected jsonl or chrome)");
+}
+
+}  // namespace jigsaw::obs

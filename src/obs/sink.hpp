@@ -1,0 +1,91 @@
+// Trace sinks: where structured events go.
+//
+// The simulator and scheduler emit TraceEvents through a TraceSink
+// pointer; a null pointer is the default "sink" and costs nothing (call
+// sites guard on it before building an event). Two file backends ship:
+//
+//   JsonlTraceSink  — one self-contained JSON object per line; trivially
+//                     greppable / jq-able, schema documented in DESIGN.md.
+//   ChromeTraceSink — the Chrome trace-event JSON array format, loadable
+//                     in Perfetto (https://ui.perfetto.dev) or
+//                     chrome://tracing. Simulation seconds map to trace
+//                     microseconds.
+//
+// Sinks buffer through the ostream they are given and finalize trailing
+// syntax (the closing ']' of the Chrome array) in finish(), which the
+// destructor also calls.
+
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "obs/trace_event.hpp"
+
+namespace jigsaw::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void emit(const TraceEvent& event) = 0;
+
+  /// Write any trailing syntax and flush. Idempotent; emit() after
+  /// finish() is undefined. The destructor calls it.
+  virtual void finish() {}
+};
+
+/// Swallows everything; for tests and explicit "off" configurations.
+class NullTraceSink : public TraceSink {
+ public:
+  void emit(const TraceEvent&) override {}
+};
+
+/// One JSON object per line:
+///   {"ph":"i","cat":"job","name":"job.arrival","ts":12.5,"args":{...}}
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit JsonlTraceSink(std::ostream& out) : out_(&out) {}
+  ~JsonlTraceSink() override { finish(); }
+
+  void emit(const TraceEvent& event) override;
+  void finish() override;
+
+ private:
+  std::ostream* out_;
+  bool finished_ = false;
+};
+
+/// Chrome trace-event format: a JSON array of event objects with the
+/// required name/cat/ph/ts/pid/tid keys. Instants use ph "i", spans use
+/// complete events ph "X" (dur in wall-clock microseconds), counters use
+/// ph "C".
+class ChromeTraceSink : public TraceSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit ChromeTraceSink(std::ostream& out) : out_(&out) {}
+  ~ChromeTraceSink() override { finish(); }
+
+  void emit(const TraceEvent& event) override;
+  void finish() override;
+
+ private:
+  std::ostream* out_;
+  bool any_ = false;
+  bool finished_ = false;
+};
+
+/// JSON string escaping shared by the sinks and the metrics exporter.
+std::string json_escape(const std::string& s);
+
+/// Serialize one argument value as a JSON scalar.
+void write_json_value(std::ostream& out, const ArgValue& value);
+
+/// Factory for the --trace-format flag: "jsonl" or "chrome".
+/// Throws std::invalid_argument on anything else.
+std::unique_ptr<TraceSink> make_sink(const std::string& format,
+                                     std::ostream& out);
+
+}  // namespace jigsaw::obs

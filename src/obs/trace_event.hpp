@@ -1,0 +1,85 @@
+// Structured trace events for the observability layer.
+//
+// A TraceEvent is one timestamped record on the simulation timeline: a
+// point occurrence (job arrival, backfill rejection), a completed span
+// (a scheduling pass with its wall-clock duration), or a counter sample.
+// Events carry a small bag of typed key/value arguments; sinks (see
+// obs/sink.hpp) serialize them as JSONL or Chrome trace-event JSON.
+//
+// Timestamps are *simulation* seconds; span durations are *wall-clock*
+// seconds (a scheduling pass occupies zero simulated time but real CPU
+// time — the trace shows where it happened, the duration shows what it
+// cost).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace jigsaw::obs {
+
+/// Argument value: integer, real, or string.
+using ArgValue = std::variant<std::int64_t, double, std::string>;
+
+struct TraceEvent {
+  enum class Phase {
+    kInstant,   ///< point occurrence at `ts`
+    kComplete,  ///< span at `ts` with wall-clock duration `dur`
+    kCounter    ///< counter sample; args are the series values
+  };
+
+  Phase phase = Phase::kInstant;
+  std::string category;  ///< "job", "sched", "alloc", "sim", "rnb"
+  std::string name;      ///< e.g. "job.arrival", "sched.pass"
+  double ts = 0.0;       ///< simulation time, seconds
+  double dur = 0.0;      ///< wall-clock seconds (kComplete only)
+  std::vector<std::pair<std::string, ArgValue>> args;
+
+  TraceEvent& arg(std::string key, std::int64_t v) {
+    args.emplace_back(std::move(key), ArgValue(v));
+    return *this;
+  }
+  TraceEvent& arg(std::string key, double v) {
+    args.emplace_back(std::move(key), ArgValue(v));
+    return *this;
+  }
+  TraceEvent& arg(std::string key, std::string v) {
+    args.emplace_back(std::move(key), ArgValue(std::move(v)));
+    return *this;
+  }
+};
+
+/// Convenience constructors.
+inline TraceEvent instant(std::string category, std::string name, double ts) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = std::move(category);
+  e.name = std::move(name);
+  e.ts = ts;
+  return e;
+}
+
+inline TraceEvent span(std::string category, std::string name, double ts,
+                       double wall_seconds) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.category = std::move(category);
+  e.name = std::move(name);
+  e.ts = ts;
+  e.dur = wall_seconds;
+  return e;
+}
+
+inline TraceEvent counter(std::string category, std::string name, double ts) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.category = std::move(category);
+  e.name = std::move(name);
+  e.ts = ts;
+  return e;
+}
+
+}  // namespace jigsaw::obs

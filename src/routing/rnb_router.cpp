@@ -1,5 +1,7 @@
 #include "routing/rnb_router.hpp"
 
+#include "obs/scoped_timer.hpp"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -108,10 +110,10 @@ RoutingOutcome failure(const std::string& message) {
   return out;
 }
 
-}  // namespace
-
-RoutingOutcome route_permutation(const FatTree& topo, const Allocation& a,
-                                 const std::vector<Flow>& permutation) {
+/// Uninstrumented construction; route_permutation wraps it with the
+/// profiling hook.
+RoutingOutcome route_permutation_impl(const FatTree& topo, const Allocation& a,
+                                      const std::vector<Flow>& permutation) {
   if (const auto report = check_full_bandwidth(topo, a); !report) {
     return failure("allocation violates conditions: " + report.error);
   }
@@ -296,6 +298,26 @@ RoutingOutcome route_permutation(const FatTree& topo, const Allocation& a,
   }
 
   out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+RoutingOutcome route_permutation(const FatTree& topo, const Allocation& a,
+                                 const std::vector<Flow>& permutation,
+                                 const obs::ObsContext* obs) {
+  obs::MetricsRegistry* reg =
+      obs != nullptr && obs->metering() ? obs->metrics : nullptr;
+  obs::ScopedTimer timer(
+      reg != nullptr ? &reg->histogram("rnb.route_seconds") : nullptr,
+      reg != nullptr);
+  RoutingOutcome out = route_permutation_impl(topo, a, permutation);
+  timer.stop();
+  if (reg != nullptr) {
+    reg->counter(out.ok ? "rnb.routes" : "rnb.route_failures").add();
+    reg->histogram("rnb.flows_per_route")
+        .add(static_cast<double>(permutation.size()));
+  }
   return out;
 }
 

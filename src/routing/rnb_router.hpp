@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observer.hpp"
 #include "topology/allocation.hpp"
 #include "topology/fat_tree.hpp"
 #include "util/rng.hpp"
@@ -52,8 +53,14 @@ struct RoutingOutcome {
 /// Constructive router; requires check_full_bandwidth(topo, a) to pass and
 /// `permutation` to pair every allocated node once as source and once as
 /// destination.
+///
+/// When `obs` carries a metrics registry, each call feeds the
+/// `rnb.route_seconds` and `rnb.flows_per_route` histograms and the
+/// `rnb.routes` / `rnb.route_failures` counters (profiling hook; null by
+/// default and free when absent).
 RoutingOutcome route_permutation(const FatTree& topo, const Allocation& a,
-                                 const std::vector<Flow>& permutation);
+                                 const std::vector<Flow>& permutation,
+                                 const obs::ObsContext* obs = nullptr);
 
 /// Backtracking router over per-flow (L2 index, spine) choices within the
 /// allocation's links; exact but exponential — use on small instances.

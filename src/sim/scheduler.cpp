@@ -4,9 +4,40 @@
 #include <limits>
 #include <set>
 
+#include "obs/scoped_timer.hpp"
+
 namespace jigsaw {
 
 namespace {
+
+/// Metric handles a scheduling pass updates; resolved once per pass so
+/// the per-allocate-call cost is an increment, not a map lookup.
+struct PassObs {
+  bool tracing = false;
+  obs::Counter* alloc_calls = nullptr;
+  obs::Counter* search_steps = nullptr;
+  obs::Counter* budget_exhaustions = nullptr;
+  obs::Counter* backfill_accepted = nullptr;
+  obs::Counter* backfill_rejected = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Histogram* call_seconds = nullptr;
+  obs::Histogram* steps_per_call = nullptr;
+
+  explicit PassObs(const obs::ObsContext* o) {
+    if (o == nullptr) return;
+    tracing = o->tracing();
+    if (!o->metering()) return;
+    obs::MetricsRegistry& m = *o->metrics;
+    alloc_calls = &m.counter("alloc.calls");
+    search_steps = &m.counter("alloc.search_steps");
+    budget_exhaustions = &m.counter("alloc.budget_exhaustions");
+    backfill_accepted = &m.counter("sched.backfill_accepted");
+    backfill_rejected = &m.counter("sched.backfill_rejected");
+    cache_hits = &m.counter("sched.cache_hits");
+    call_seconds = &m.histogram("alloc.call_seconds");
+    steps_per_call = &m.histogram("alloc.search_steps_per_call");
+  }
+};
 
 struct ResourceSet {
   std::set<NodeId> nodes;
@@ -38,20 +69,57 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
     double now, const ClusterState& state,
     const std::deque<PendingJob>& pending,
     const std::vector<RunningJob>& running, PassStats* stats,
-    Cache* cache) const {
+    Cache* cache, const obs::ObsContext* obs) const {
   std::vector<Decision> decisions;
   if (pending.empty()) return decisions;
 
+  const PassObs po(obs);
   ClusterState work = state;
-  auto try_alloc = [&](const ClusterState& s, const PendingJob& p) {
+  // `context` labels why the allocate call happened: "head" (FIFO start
+  // attempt), "shadow_probe" (reservation search against a hypothetical
+  // future state), or "backfill" (window candidate).
+  auto try_alloc = [&](const ClusterState& s, const PendingJob& p,
+                       const char* context) {
     SearchStats search;
+    obs::ScopedTimer timer(po.call_seconds, po.call_seconds != nullptr);
     auto result =
         allocator_->allocate(s, JobRequest{p.id, p.nodes, p.bandwidth},
                              &search);
+    timer.stop();
     if (stats != nullptr) {
       ++stats->allocate_calls;
       stats->search_steps += search.steps;
       if (search.budget_exhausted) ++stats->budget_exhaustions;
+    }
+    if (po.alloc_calls != nullptr) {
+      po.alloc_calls->add();
+      po.search_steps->add(search.steps);
+      if (search.budget_exhausted) po.budget_exhaustions->add();
+      po.steps_per_call->add(static_cast<double>(search.steps));
+    }
+    if (po.tracing) {
+      obs::TraceEvent e = obs::instant("alloc", "alloc.attempt", now);
+      e.arg("allocator", allocator_->name())
+          .arg("job", p.id)
+          .arg("requested_nodes", static_cast<std::int64_t>(p.nodes))
+          .arg("context", std::string(context))
+          .arg("steps", static_cast<std::int64_t>(search.steps))
+          .arg("ok", static_cast<std::int64_t>(result.has_value() ? 1 : 0));
+      if (result.has_value()) {
+        e.arg("allocated_nodes",
+              static_cast<std::int64_t>(result->allocated_nodes()))
+            .arg("wasted_nodes",
+                 static_cast<std::int64_t>(result->wasted_nodes()))
+            .arg("leaf_wires",
+                 static_cast<std::int64_t>(result->leaf_wires.size()))
+            .arg("l2_wires",
+                 static_cast<std::int64_t>(result->l2_wires.size()));
+      } else {
+        e.arg("reason", std::string(search.budget_exhausted
+                                        ? "budget_exhausted"
+                                        : "no_placement"));
+      }
+      obs->emit(e);
     }
     return result;
   };
@@ -68,6 +136,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
   double shadow_time = std::numeric_limits<double>::infinity();
   std::size_t first_candidate_offset = 0;  // into the backfill window
 
+  if (cache_hit && po.cache_hits != nullptr) po.cache_hits->add();
   if (cache_hit) {
     if (!cache->shadow.has_value()) return decisions;  // still no reservation
     shadow_alloc = cache->shadow;
@@ -80,7 +149,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
   } else {
     // FIFO: start head jobs while they fit.
     while (head_index < pending.size()) {
-      auto alloc = try_alloc(work, pending[head_index]);
+      auto alloc = try_alloc(work, pending[head_index], "head");
       if (!alloc.has_value()) break;
       work.apply(*alloc);
       decisions.push_back(Decision{head_index, std::move(*alloc)});
@@ -112,7 +181,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       for (std::size_t e = 0; e < k; ++e) {
         trial_state.release(*endings[e].allocation);
       }
-      return try_alloc(trial_state, head);
+      return try_alloc(trial_state, head, "shadow_probe");
     };
     if (!endings.empty() && fits_after(endings.size()).has_value()) {
       // Placeability is monotone in released resources: binary-search the
@@ -129,6 +198,15 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       }
       shadow_alloc = fits_after(lo);
       shadow_time = endings[lo - 1].end;
+    }
+    if (po.tracing) {
+      obs::TraceEvent e = obs::instant("sched", "sched.head_blocked", now);
+      e.arg("job", head.id)
+          .arg("requested_nodes", static_cast<std::int64_t>(head.nodes))
+          .arg("reserved",
+               static_cast<std::int64_t>(shadow_alloc.has_value() ? 1 : 0));
+      if (shadow_alloc.has_value()) e.arg("shadow_time", shadow_time);
+      obs->emit(e);
     }
     if (cache != nullptr && decisions.empty()) {
       // Only an unchanged-queue-head, no-decision pass is reusable: any
@@ -160,15 +238,37 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
                      });
   }
 
+  auto note_backfill = [&](const PendingJob& p, const char* outcome,
+                           bool accepted) {
+    if (accepted) {
+      if (po.backfill_accepted != nullptr) po.backfill_accepted->add();
+    } else if (po.backfill_rejected != nullptr) {
+      po.backfill_rejected->add();
+    }
+    if (po.tracing) {
+      obs->emit(obs::instant("sched", "sched.backfill", now)
+                    .arg("job", p.id)
+                    .arg("requested_nodes", static_cast<std::int64_t>(p.nodes))
+                    .arg("outcome", std::string(outcome)));
+    }
+  };
+
   std::size_t examined = first_candidate_offset;
   for (std::size_t c = first_candidate_offset; c < candidates.size();
        ++c, ++examined) {
     const std::size_t k = candidates[c];
-    auto trial = try_alloc(work, pending[k]);
-    if (!trial.has_value()) continue;
+    auto trial = try_alloc(work, pending[k], "backfill");
+    if (!trial.has_value()) {
+      note_backfill(pending[k], "no_placement", false);
+      continue;
+    }
     const bool safe = now + pending[k].est_runtime <= shadow_time + 1e-9 ||
                       shadow_resources.disjoint_from(*trial);
-    if (!safe) continue;
+    if (!safe) {
+      note_backfill(pending[k], "would_delay_reservation", false);
+      continue;
+    }
+    note_backfill(pending[k], "accepted", true);
     work.apply(*trial);
     decisions.push_back(Decision{k, std::move(*trial)});
   }

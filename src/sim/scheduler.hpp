@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/allocator.hpp"
+#include "obs/observer.hpp"
 
 namespace jigsaw {
 
@@ -76,11 +77,19 @@ class EasyScheduler {
   /// Decide which pending jobs to start at time `now`. Does not modify
   /// `state`; the caller applies the returned allocations. `running` may
   /// be in any order.
+  ///
+  /// When `obs` is non-null the pass reports decision-level telemetry:
+  /// per-allocate-call `alloc.attempt` events and timing histograms,
+  /// `sched.head_blocked` with the shadow reservation, and one
+  /// `sched.backfill` event per candidate with the accept/reject reason.
+  /// A null `obs` keeps the pass allocation- and clock-free beyond the
+  /// pre-existing behavior.
   std::vector<Decision> schedule(double now, const ClusterState& state,
                                  const std::deque<PendingJob>& pending,
                                  const std::vector<RunningJob>& running,
                                  PassStats* stats = nullptr,
-                                 Cache* cache = nullptr) const;
+                                 Cache* cache = nullptr,
+                                 const obs::ObsContext* obs = nullptr) const;
 
  private:
   const Allocator* allocator_;

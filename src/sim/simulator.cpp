@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/cluster_probe.hpp"
+#include "obs/scoped_timer.hpp"
 #include "routing/dmodk.hpp"
 #include "util/stats.hpp"
 #include "routing/rnb_router.hpp"
@@ -67,6 +69,37 @@ class TrafficLoadModel {
   Rng rng_;
 };
 
+/// Pre-resolved observability handles for the simulation loop: one name
+/// lookup per metric per run instead of per event.
+struct SimObs {
+  const obs::ObsContext* ctx = nullptr;  ///< null when fully disabled
+  bool tracing = false;
+  obs::Counter* arrived = nullptr;
+  obs::Counter* started = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* passes = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Histogram* pass_seconds = nullptr;
+  obs::Histogram* queue_depth_hist = nullptr;
+  obs::Histogram* wait_seconds = nullptr;
+
+  explicit SimObs(const obs::ObsContext& o) {
+    if (!o.enabled()) return;
+    ctx = &o;
+    tracing = o.tracing();
+    if (!o.metering()) return;
+    obs::MetricsRegistry& m = *o.metrics;
+    arrived = &m.counter("jobs.arrived");
+    started = &m.counter("jobs.started");
+    completed = &m.counter("jobs.completed");
+    passes = &m.counter("sched.passes");
+    queue_depth = &m.gauge("queue.depth");
+    pass_seconds = &m.histogram("sched.pass_seconds");
+    queue_depth_hist = &m.histogram("sched.queue_depth");
+    wait_seconds = &m.histogram("jobs.wait_seconds");
+  }
+};
+
 }  // namespace
 
 bool speedup_eligible(const Allocator& allocator) {
@@ -103,6 +136,17 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
       throw std::invalid_argument("trace job larger than the cluster");
     }
     events.push(j.arrival, EventType::kArrival, j.id);
+  }
+
+  const SimObs so(config.obs);
+  if (so.tracing) {
+    config.obs.emit(
+        obs::instant("sim", "sim.run_start", 0.0)
+            .arg("allocator", allocator.name())
+            .arg("jobs", static_cast<std::int64_t>(job_count))
+            .arg("total_nodes", static_cast<std::int64_t>(topo.total_nodes()))
+            .arg("isolating",
+                 static_cast<std::int64_t>(allocator.isolating() ? 1 : 0)));
   }
 
   std::deque<PendingJob> queue;
@@ -156,6 +200,13 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
         queue.push_back(PendingJob{job.id, job.nodes, job.bandwidth,
                                    effective_runtime(job)});
         queue_trace_index.push_back(trace_index.at(e.job));
+        if (so.arrived != nullptr) so.arrived->add();
+        if (so.tracing) {
+          config.obs.emit(
+              obs::instant("job", "job.arrival", now)
+                  .arg("job", job.id)
+                  .arg("nodes", static_cast<std::int64_t>(job.nodes)));
+        }
       } else {
         const std::size_t ri = running_index.at(e.job);
         if (traffic != nullptr) traffic->remove_job(e.job);
@@ -184,18 +235,39 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
         }
         ++metrics.completed;
         last_completion = std::max(last_completion, now);
+        if (so.completed != nullptr) so.completed->add();
+        if (so.tracing) {
+          config.obs.emit(
+              obs::instant("job", "job.completion", now)
+                  .arg("job", job.id)
+                  .arg("nodes", static_cast<std::int64_t>(job.nodes))
+                  .arg("wait", start_time.at(job.id) - job.arrival)
+                  .arg("turnaround", turnaround));
+        }
       }
     }
 
-    // Scheduling pass.
+    // Scheduling pass. The timer is always on (SimMetrics needs the wall
+    // time regardless); the histogram pointer is null when metering is off.
+    const std::size_t pre_pass_depth = queue.size();
     EasyScheduler::PassStats pass;
-    const auto t0 = std::chrono::steady_clock::now();
-    auto decisions =
-        scheduler.schedule(now, state, queue, running, &pass, &sched_cache);
-    const auto t1 = std::chrono::steady_clock::now();
-    metrics.sched_wall_seconds +=
-        std::chrono::duration<double>(t1 - t0).count();
+    obs::ScopedTimer pass_timer(so.pass_seconds);
+    auto decisions = scheduler.schedule(now, state, queue, running, &pass,
+                                        &sched_cache, so.ctx);
+    const double pass_seconds = pass_timer.stop();
+    metrics.sched_wall_seconds += pass_seconds;
     ++metrics.sched_passes;
+    if (so.passes != nullptr) so.passes->add();
+    if (so.tracing) {
+      config.obs.emit(
+          obs::span("sched", "sched.pass", now, pass_seconds)
+              .arg("queue_depth", static_cast<std::int64_t>(pre_pass_depth))
+              .arg("started", static_cast<std::int64_t>(decisions.size()))
+              .arg("allocate_calls",
+                   static_cast<std::int64_t>(pass.allocate_calls))
+              .arg("search_steps",
+                   static_cast<std::int64_t>(pass.search_steps)));
+    }
     metrics.allocate_calls += pass.allocate_calls;
     metrics.search_steps += pass.search_steps;
     metrics.budget_exhaustions += pass.budget_exhaustions;
@@ -219,6 +291,22 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
         }
         start_time[job.id] = now;
         wait_sum += now - job.arrival;
+        if (so.started != nullptr) {
+          so.started->add();
+          so.wait_seconds->add(now - job.arrival);
+        }
+        if (so.tracing) {
+          config.obs.emit(
+              obs::instant("job", "job.start", now)
+                  .arg("job", job.id)
+                  .arg("nodes", static_cast<std::int64_t>(job.nodes))
+                  .arg("allocated_nodes",
+                       static_cast<std::int64_t>(d.allocation.allocated_nodes()))
+                  .arg("wasted_nodes",
+                       static_cast<std::int64_t>(d.allocation.wasted_nodes()))
+                  .arg("wait", now - job.arrival)
+                  .arg("runtime", runtime));
+        }
         running_index[job.id] = running.size();
         running.push_back(
             RunningJob{job.id, now + runtime, std::move(d.allocation)});
@@ -233,6 +321,19 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
       }
       queue = std::move(next_queue);
       queue_trace_index = std::move(next_index);
+    }
+
+    if (so.queue_depth != nullptr) {
+      so.queue_depth->set(static_cast<double>(queue.size()));
+      so.queue_depth_hist->add(static_cast<double>(queue.size()));
+    }
+    if (so.ctx != nullptr) {
+      obs::sample_cluster_occupancy(*so.ctx, state, now);
+      if (so.tracing) {
+        config.obs.emit(obs::counter("sched", "queue.depth", now)
+                            .arg("depth",
+                                 static_cast<std::int64_t>(queue.size())));
+      }
     }
 
     was_backlogged = !queue.empty();
@@ -298,6 +399,15 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
       (void)time;
       metrics.instant_utilization.push_back(percent);
     }
+  }
+  if (so.tracing) {
+    config.obs.emit(
+        obs::instant("sim", "sim.run_end", last_completion)
+            .arg("allocator", allocator.name())
+            .arg("completed", static_cast<std::int64_t>(metrics.completed))
+            .arg("makespan", metrics.makespan)
+            .arg("steady_utilization", metrics.steady_utilization)
+            .arg("sched_wall_seconds", metrics.sched_wall_seconds));
   }
   return metrics;
 }

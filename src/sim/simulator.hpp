@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/allocator.hpp"
+#include "obs/observer.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/speedup.hpp"
@@ -44,6 +45,13 @@ struct SimConfig {
   /// the simulation itself measures (set scenario = kNone when using it).
   double measured_interference_comm_fraction = 0.0;
   std::uint64_t traffic_seed = 99;
+  /// Observability hookup (non-owning; see obs/observer.hpp). Default is
+  /// the null context: no events, no metrics, no extra cost. With a sink
+  /// attached the run emits job-lifecycle, allocation, and scheduling-pass
+  /// events; with a registry attached it feeds `sched.*` / `alloc.*` /
+  /// `jobs.*` counters and histograms plus `cluster.*` / `queue.depth`
+  /// gauges.
+  obs::ObsContext obs;
 };
 
 /// Runs the whole trace to completion and computes metrics.

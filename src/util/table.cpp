@@ -1,10 +1,54 @@
 #include "util/table.hpp"
 
 #include <iomanip>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/sink.hpp"  // json_escape
+
 namespace jigsaw {
+
+namespace {
+
+/// A strict JSON number: -?digits[.digits][(e|E)[+-]digits]. strtod is
+/// too permissive here ("inf", "nan", hex) — those must stay strings.
+bool is_json_number(const std::string& cell) {
+  std::size_t i = 0;
+  const std::size_t n = cell.size();
+  auto digits = [&]() {
+    const std::size_t begin = i;
+    while (i < n && cell[i] >= '0' && cell[i] <= '9') ++i;
+    return i > begin;
+  };
+  if (i < n && cell[i] == '-') ++i;
+  // JSON forbids leading zeros: the integer part is "0" or [1-9]digits.
+  if (i < n && cell[i] == '0') {
+    ++i;
+  } else if (!digits()) {
+    return false;
+  }
+  if (i < n && cell[i] == '.') {
+    ++i;
+    if (!digits()) return false;
+  }
+  if (i < n && (cell[i] == 'e' || cell[i] == 'E')) {
+    ++i;
+    if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+    if (!digits()) return false;
+  }
+  return i == n;
+}
+
+void write_cell(std::ostream& out, const std::string& cell) {
+  if (is_json_number(cell)) {
+    out << cell;
+  } else {
+    out << '"' << obs::json_escape(cell) << '"';
+  }
+}
+
+}  // namespace
 
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {
@@ -46,6 +90,27 @@ std::string TablePrinter::render() const {
   out << std::string(total, '-') << '\n';
   for (const auto& row : rows_) emit_row(row);
   return out.str();
+}
+
+void TablePrinter::write_json(std::ostream& out,
+                              const std::string& name) const {
+  out << "{\n  \"name\": \"" << obs::json_escape(name)
+      << "\",\n  \"headers\": [";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "" : ", ") << '"' << obs::json_escape(headers_[c])
+        << '"';
+  }
+  out << "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << (r == 0 ? "\n" : ",\n") << "    {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out << (c == 0 ? "" : ", ") << '"' << obs::json_escape(headers_[c])
+          << "\": ";
+      write_cell(out, rows_[r][c]);
+    }
+    out << '}';
+  }
+  out << (rows_.empty() ? "" : "\n  ") << "]\n}\n";
 }
 
 }  // namespace jigsaw

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,13 @@ class TablePrinter {
 
   /// Render with column-aligned padding and a header underline.
   std::string render() const;
+
+  /// Machine-readable form of the same table:
+  ///   {"name": <name>, "headers": [...], "rows": [{header: cell, ...}]}
+  /// Cells that parse fully as numbers are written as JSON numbers, the
+  /// rest as strings — so bench output (BENCH_*.json trajectories) keeps
+  /// numeric columns numeric.
+  void write_json(std::ostream& out, const std::string& name) const;
 
  private:
   std::vector<std::string> headers_;

@@ -1,0 +1,112 @@
+// UtilizationTimeline edge cases and the job-record CSV export.
+//
+// The timeline is the integrator behind every Figure 6/8 number, so its
+// corner cases — empty windows, windows that predate the first recorded
+// point, interleaved busy/waste updates at shared timestamps — deserve
+// direct coverage rather than riding along inside simulator tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/metrics.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(UtilizationTimeline, EmptyOrInvertedWindowIsZero) {
+  UtilizationTimeline tl(100);
+  tl.record(0.0, 50);
+  EXPECT_DOUBLE_EQ(tl.utilization(10.0, 10.0), 0.0);  // empty window
+  EXPECT_DOUBLE_EQ(tl.utilization(20.0, 10.0), 0.0);  // inverted window
+  EXPECT_DOUBLE_EQ(tl.waste_fraction(10.0, 10.0), 0.0);
+}
+
+TEST(UtilizationTimeline, NoPointsMeansZeroEverywhere) {
+  const UtilizationTimeline tl(100);
+  EXPECT_EQ(tl.busy_now(), 0);
+  EXPECT_EQ(tl.waste_now(), 0);
+  EXPECT_DOUBLE_EQ(tl.utilization(0.0, 100.0), 0.0);
+}
+
+TEST(UtilizationTimeline, WindowBeforeFirstPointIsZero) {
+  UtilizationTimeline tl(100);
+  tl.record(50.0, 100);
+  // The machine is idle before the first recorded change.
+  EXPECT_DOUBLE_EQ(tl.utilization(0.0, 50.0), 0.0);
+  // A window straddling the first point integrates only the busy half.
+  EXPECT_DOUBLE_EQ(tl.utilization(40.0, 60.0), 0.5);
+  // Fully after the point: busy level holds to the window end.
+  EXPECT_DOUBLE_EQ(tl.utilization(50.0, 80.0), 1.0);
+}
+
+TEST(UtilizationTimeline, PiecewiseIntegrationAcrossSteps) {
+  UtilizationTimeline tl(100);
+  tl.record(0.0, 40);    // 40 busy on [0, 10)
+  tl.record(10.0, 40);   // 80 busy on [10, 20)
+  tl.record(20.0, -60);  // 20 busy from 20 on
+  // (40*10 + 80*10 + 20*10) / (100*30) = 1400/3000
+  EXPECT_DOUBLE_EQ(tl.utilization(0.0, 30.0), 1400.0 / 3000.0);
+  // Sub-window clipped to one segment.
+  EXPECT_DOUBLE_EQ(tl.utilization(12.0, 18.0), 0.8);
+  EXPECT_EQ(tl.busy_now(), 20);
+}
+
+TEST(UtilizationTimeline, RecordWasteInterleavesWithBusy) {
+  UtilizationTimeline tl(100);
+  tl.record(0.0, 50);        // 50 busy
+  tl.record_waste(0.0, 10);  // same timestamp: coalesces into one point
+  tl.record(10.0, -50);
+  tl.record_waste(10.0, -10);
+  EXPECT_DOUBLE_EQ(tl.utilization(0.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(tl.waste_fraction(0.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(tl.utilization(10.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(tl.waste_fraction(10.0, 20.0), 0.0);
+  EXPECT_EQ(tl.busy_now(), 0);
+  EXPECT_EQ(tl.waste_now(), 0);
+}
+
+TEST(UtilizationTimeline, WasteOnlyPointsCarryBusyLevelForward) {
+  UtilizationTimeline tl(100);
+  tl.record(0.0, 60);
+  tl.record_waste(5.0, 20);  // waste appears mid-flight, busy unchanged
+  EXPECT_DOUBLE_EQ(tl.utilization(0.0, 10.0), 0.6);
+  EXPECT_DOUBLE_EQ(tl.waste_fraction(0.0, 10.0), 0.1);  // 20 over [5,10)
+  EXPECT_DOUBLE_EQ(tl.waste_fraction(5.0, 10.0), 0.2);
+}
+
+TEST(UtilizationTimeline, RejectsTimeGoingBackwards) {
+  UtilizationTimeline tl(100);
+  tl.record(10.0, 5);
+  EXPECT_THROW(tl.record(9.0, 5), std::invalid_argument);
+  EXPECT_THROW(tl.record_waste(9.0, 5), std::invalid_argument);
+}
+
+TEST(JobRecordsCsv, HeaderAndRowFormat) {
+  std::vector<JobRecord> records;
+  records.push_back(JobRecord{7, 64, 10.0, 25.0, 125.0});
+  records.push_back(JobRecord{8, 1, 0.0, 0.0, 50.5});
+
+  std::ostringstream out;
+  write_job_records_csv(out, records);
+
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "job,nodes,arrival,start,end,wait,turnaround");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "7,64,10,25,125,15,115");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "8,1,0,0,50.5,0,50.5");
+  EXPECT_FALSE(std::getline(in, line));  // nothing after the last record
+}
+
+TEST(JobRecordsCsv, EmptyRecordsWriteHeaderOnly) {
+  std::ostringstream out;
+  write_job_records_csv(out, {});
+  EXPECT_EQ(out.str(), "job,nodes,arrival,start,end,wait,turnaround\n");
+}
+
+}  // namespace
+}  // namespace jigsaw
