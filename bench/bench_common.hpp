@@ -26,6 +26,7 @@
 #include "trace/llnl_like.hpp"
 #include "trace/synthetic.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace jigsaw::bench {
@@ -105,6 +106,40 @@ inline void define_scale_flags(CliFlags& flags, const std::string& jobs_default)
 inline std::size_t scaled_jobs(const CliFlags& flags) {
   if (flags.boolean("full")) return 0;
   return static_cast<std::size_t>(flags.integer("jobs"));
+}
+
+// ---- repeated-run statistics (shared --repeat plumbing) ----------------
+
+inline void define_repeat_flag(CliFlags& flags) {
+  flags.define("repeat",
+               "independent repetitions per configuration, each with a "
+               "distinct seed; > 1 reports mean and stddev columns",
+               "1");
+}
+
+inline int repeat_count(const CliFlags& flags) {
+  const int n = static_cast<int>(flags.integer("repeat"));
+  if (n < 1) throw std::invalid_argument("--repeat must be >= 1");
+  return n;
+}
+
+/// Header(s) for one repeated measurement: the base name, plus a
+/// "<base>.sd" sample-stddev column when repeating. Keeping mean and
+/// stddev in separate columns keeps them numeric in --json-out output.
+inline void push_repeat_headers(std::vector<std::string>& headers,
+                                const std::string& base, int repeats) {
+  headers.push_back(base);
+  if (repeats > 1) headers.push_back(base + ".sd");
+}
+
+/// Cell(s) matching push_repeat_headers for one accumulated measurement.
+inline void push_repeat_cells(std::vector<std::string>& cells,
+                              const Accumulator& acc, int repeats,
+                              int precision = 2) {
+  cells.push_back(TablePrinter::fmt(acc.mean(), precision));
+  if (repeats > 1) {
+    cells.push_back(TablePrinter::fmt(acc.stddev(), precision));
+  }
 }
 
 // ---- observability plumbing (shared by every bench binary) -------------

@@ -1,0 +1,214 @@
+// Resilience sweep: utilization and turnaround degradation versus failure
+// rate, for every Figure 6 scheme on a degraded fat-tree.
+//
+// A seeded random failure process (Poisson node/wire failures, exponential
+// repairs) runs against the trace; the sweep variable is the cluster-wide
+// node MTBF. The same failure realization is replayed for every scheme at
+// a given (MTBF, repeat) point so schemes face identical outages.
+//
+// Every grant is audited as it lands: a placement touching failed
+// hardware, or a Jigsaw placement that no longer certifies RNB on the
+// surviving sub-tree (conditions + constructive routing + one-flow-per-
+// link check), counts as a violation. The violations column must read 0.
+
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/conditions.hpp"
+#include "fault/failure_schedule.hpp"
+#include "fault/injector.hpp"
+#include "routing/rnb_router.hpp"
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::string rest = list;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    out.push_back(rest.substr(0, comma));
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jigsaw;
+  using namespace jigsaw::bench;
+  CliFlags flags;
+  define_scale_flags(flags, "2000");
+  define_obs_flags(flags);
+  define_repeat_flag(flags);
+  flags.define("trace", "workload trace (see bench_common pairing)",
+               "Synth-16");
+  flags.define("radix", "fat-tree radix override (0 = trace's pairing)", "0");
+  flags.define("mtbf",
+               "comma-separated cluster-wide node MTBF sweep, seconds; "
+               "inf = pristine baseline",
+               "inf,20000,5000,1250");
+  flags.define("wire-mtbf-mult", "wire MTBF = node MTBF x this factor", "2");
+  flags.define("mttr", "mean time to repair, seconds", "4000");
+  flags.define("horizon",
+               "failure-generation horizon, seconds (0 = auto from demand)",
+               "0");
+  flags.define("policy",
+               "victim policy: kill (kill-and-requeue) or degrade "
+               "(run-to-completion-degraded)",
+               "kill");
+  flags.define("schedule",
+               "failure-schedule script file; replaces the --mtbf sweep "
+               "with one deterministic scripted outage",
+               "");
+  flags.define("seed", "base seed for the failure process", "1");
+  if (!flags.parse(argc, argv)) return 0;
+  const std::size_t jobs = scaled_jobs(flags);
+  const int repeats = repeat_count(flags);
+  ObsSetup obs_setup = make_obs(flags);
+
+  const NamedTrace nt = load(flags.str("trace"), jobs);
+  const int radix = static_cast<int>(flags.integer("radix"));
+  const FatTree topo =
+      radix == 0 ? nt.topo : FatTree::from_radix(radix);
+
+  const std::string policy_name = flags.str("policy");
+  VictimPolicy policy;
+  if (policy_name == "kill") {
+    policy = VictimPolicy::kKillAndRequeue;
+  } else if (policy_name == "degrade") {
+    policy = VictimPolicy::kRunToCompletionDegraded;
+  } else {
+    throw std::invalid_argument("--policy must be kill or degrade");
+  }
+
+  // All synthetic arrivals land at t=0, so the failure horizon comes from
+  // the demand-implied makespan: total node-seconds over capacity, padded
+  // for scheduling slack and requeue reruns.
+  double horizon = flags.real("horizon");
+  if (horizon <= 0.0) {
+    double node_seconds = 0.0;
+    double max_arrival = 0.0;
+    for (const Job& j : nt.trace.jobs) {
+      node_seconds += static_cast<double>(j.nodes) * j.runtime;
+      max_arrival = std::max(max_arrival, j.arrival);
+    }
+    horizon = max_arrival +
+              1.3 * node_seconds / static_cast<double>(topo.total_nodes());
+  }
+
+  std::cout << "=== Resilience: MTBF sweep on " << flags.str("trace")
+            << ", radix " << topo.radix() << " (" << topo.total_nodes()
+            << " nodes), policy " << policy_name << " ===\n\n";
+
+  std::vector<std::string> header{"MTBF", "Scheme"};
+  push_repeat_headers(header, "util%", repeats);
+  push_repeat_headers(header, "turnaround", repeats);
+  push_repeat_headers(header, "requeues", repeats);
+  header.push_back("rejected");
+  header.push_back("abandoned");
+  header.push_back("violations");
+  TablePrinter table(header);
+
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(flags.integer("seed"));
+  const double wire_mult = flags.real("wire-mtbf-mult");
+  const std::string schedule_path = flags.str("schedule");
+  const std::vector<std::string> mtbf_cells =
+      schedule_path.empty() ? split_commas(flags.str("mtbf"))
+                            : std::vector<std::string>{"script"};
+
+  for (std::size_t mi = 0; mi < mtbf_cells.size(); ++mi) {
+    const std::string& mtbf_text = mtbf_cells[mi];
+    const bool pristine = schedule_path.empty() && mtbf_text == "inf";
+
+    // One failure realization per (MTBF, repeat), shared by every scheme.
+    // A scripted outage is the same deterministic schedule in every
+    // repeat; a random one draws a fresh seed per repeat.
+    std::vector<fault::FailureSchedule> schedules;
+    for (int r = 0; r < repeats; ++r) {
+      fault::FailureSchedule schedule;
+      if (!schedule_path.empty()) {
+        schedule = fault::parse_schedule_file(schedule_path, topo);
+      } else if (!pristine) {
+        fault::RandomFaultConfig fc;
+        fc.horizon = horizon;
+        fc.node_mtbf = std::stod(mtbf_text);
+        fc.wire_mtbf = fc.node_mtbf * wire_mult;
+        fc.mttr = flags.real("mttr");
+        fc.seed = base_seed + 7919 * mi + static_cast<std::uint64_t>(r);
+        schedule = fault::make_random_schedule(topo, fc);
+      }
+      schedules.push_back(std::move(schedule));
+    }
+
+    for (const Scheme s : figure6_schemes()) {
+      const AllocatorPtr scheme = make_scheme(s);
+      Accumulator util, turnaround, requeues;
+      std::uint64_t rejected = 0;
+      std::size_t abandoned = 0;
+      std::uint64_t violations = 0;
+      for (int r = 0; r < repeats; ++r) {
+        SimConfig config;
+        config.obs = obs_setup.ctx;
+        config.victim_policy = policy;
+        if (!schedules[static_cast<std::size_t>(r)].empty()) {
+          config.failures = &schedules[static_cast<std::size_t>(r)];
+        }
+        Rng cert_rng(base_seed ^ (0x9E3779B97F4A7C15ULL + 31 * mi +
+                                  static_cast<std::uint64_t>(r)));
+        const bool certify = s == Scheme::kJigsaw;
+        config.grant_audit = [&](double, const Allocation& a,
+                                 const ClusterState& state) {
+          if (fault::allocation_on_failed_hardware(state, a)) {
+            ++violations;
+            return;
+          }
+          if (!certify) return;
+          if (!check_full_bandwidth(topo, a)) {
+            ++violations;
+            return;
+          }
+          if (a.nodes.size() < 2) return;
+          const auto perm = random_permutation(a, cert_rng);
+          const RoutingOutcome out = route_permutation(topo, a, perm);
+          if (!out.ok ||
+              !verify_one_flow_per_link(topo, a, out.routes).empty()) {
+            ++violations;
+          }
+        };
+        obs_setup.annotate_run(flags.str("trace") + "@" + mtbf_text,
+                               scheme->name());
+        const SimMetrics m = simulate(topo, *scheme, nt.trace, config);
+        util.add(100.0 * m.steady_utilization);
+        turnaround.add(m.mean_turnaround_all);
+        requeues.add(static_cast<double>(m.jobs_requeued));
+        rejected += m.grants_rejected;
+        abandoned += m.abandoned;
+        std::cerr << "mtbf " << mtbf_text << " / " << scheme->name()
+                  << " [" << (r + 1) << "/" << repeats << "]: util "
+                  << TablePrinter::fmt(100.0 * m.steady_utilization, 1)
+                  << "%, killed " << m.jobs_killed << ", requeued "
+                  << m.jobs_requeued << ", abandoned " << m.abandoned
+                  << ", fault events " << m.fault_events << "\n";
+      }
+      std::vector<std::string> row{mtbf_text, scheme->name()};
+      push_repeat_cells(row, util, repeats, 1);
+      push_repeat_cells(row, turnaround, repeats, 0);
+      push_repeat_cells(row, requeues, repeats, 1);
+      row.push_back(std::to_string(rejected));
+      row.push_back(std::to_string(abandoned));
+      row.push_back(std::to_string(violations));
+      table.add_row(std::move(row));
+    }
+  }
+
+  std::cout << table.render();
+  write_json_out(flags, "resilience", table);
+  obs_setup.finish();
+  std::cout << "\nExpected shape: utilization and turnaround degrade as "
+               "MTBF falls; violations must be 0 for every scheme.\n";
+  return 0;
+}

@@ -10,6 +10,8 @@
 //   > status             # utilization, fragmentation, per-job partitions
 //   > show 1             # one job's nodes/links, per subtree
 //   > verify 1           # prove the partition is RNB (random permutation)
+//   > fail node 17       # degrade the tree; new placements route around it
+//   > repair node 17
 //   > cancel 1
 //   > quit
 
@@ -25,6 +27,8 @@
 #include "core/laas.hpp"
 #include "core/lc.hpp"
 #include "core/ta.hpp"
+#include "fault/failure_schedule.hpp"
+#include "fault/injector.hpp"
 #include "routing/rnb_router.hpp"
 #include "util/cli.hpp"
 
@@ -86,7 +90,9 @@ int main(int argc, char** argv) {
   std::cout << "cluster_shell on " << topo.describe() << "\n"
             << "scheduler: " << allocator->name()
             << " — commands: submit N | cancel ID | show ID | verify ID | "
-               "status | quit\n";
+               "fail TARGET | repair TARGET | status | quit\n"
+            << "  TARGET: node N | leafwire L I | l2wire T I J | "
+               "leafswitch L | l2switch T I | spine I J\n";
 
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
@@ -149,6 +155,34 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    if (command == "fail" || command == "repair") {
+      fault::FaultTarget target;
+      std::string error;
+      if (!fault::parse_target(words, &target, &error)) {
+        std::cout << "usage: " << command
+                  << " node N | leafwire L I | l2wire T I J | leafswitch L "
+                     "| l2switch T I | spine I J (" << error << ")\n";
+        continue;
+      }
+      error = fault::validate(topo, target);
+      if (!error.empty()) {
+        std::cout << error << "\n";
+        continue;
+      }
+      const fault::PrimitiveSet primitives = fault::expand(topo, target);
+      const int changed = command == "fail"
+                              ? fault::apply_failure(state, primitives)
+                              : fault::apply_repair(state, primitives);
+      std::cout << (command == "fail" ? "failed " : "repaired ")
+                << fault::describe(target) << ": " << changed << " of "
+                << primitives.size() << " resources changed state ("
+                << state.failed_node_count() << " nodes / "
+                << state.failed_wire_count() << " wires down)\n";
+      // Running jobs keep their grants; the degradation only shapes what
+      // the allocator may hand out next (run-to-completion-degraded).
+      continue;
+    }
+
     if (command == "status") {
       const FragmentationReport frag =
           analyze_fragmentation(state, *allocator);
@@ -161,6 +195,11 @@ int main(int argc, char** argv) {
                 << frag.largest_placeable << " (external fragmentation "
                 << static_cast<int>(100.0 * frag.external_fragmentation + 0.5)
                 << "%)\n";
+      if (state.degraded()) {
+        std::cout << "  DEGRADED: " << state.failed_node_count()
+                  << " nodes / " << state.failed_wire_count()
+                  << " wires failed\n";
+      }
       for (const auto& [id, alloc] : jobs) {
         (void)alloc;
         std::cout << "  job " << id << ": " << alloc.requested_nodes

@@ -1,0 +1,238 @@
+#include "fault/failure_schedule.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace jigsaw::fault {
+
+namespace {
+
+const char* kind_name(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kNode: return "node";
+    case ResourceKind::kLeafWire: return "leafwire";
+    case ResourceKind::kL2Wire: return "l2wire";
+    case ResourceKind::kLeafSwitch: return "leafswitch";
+    case ResourceKind::kL2Switch: return "l2switch";
+    case ResourceKind::kSpine: return "spine";
+  }
+  return "?";
+}
+
+/// Number of integer operands each kind takes after the kind word.
+int operand_count(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kNode:
+    case ResourceKind::kLeafSwitch: return 1;
+    case ResourceKind::kLeafWire:
+    case ResourceKind::kL2Switch:
+    case ResourceKind::kSpine: return 2;
+    case ResourceKind::kL2Wire: return 3;
+  }
+  return 0;
+}
+
+bool in_range(std::int32_t v, int limit) { return v >= 0 && v < limit; }
+
+}  // namespace
+
+std::string describe(const FaultTarget& target) {
+  std::ostringstream out;
+  out << kind_name(target.kind) << ' ' << target.a;
+  if (operand_count(target.kind) >= 2) out << '/' << target.b;
+  if (operand_count(target.kind) >= 3) out << '/' << target.c;
+  return out.str();
+}
+
+std::string validate(const FatTree& topo, const FaultTarget& target) {
+  bool ok = true;
+  switch (target.kind) {
+    case ResourceKind::kNode:
+      ok = in_range(target.a, topo.total_nodes());
+      break;
+    case ResourceKind::kLeafWire:
+      ok = in_range(target.a, topo.total_leaves()) &&
+           in_range(target.b, topo.l2_per_tree());
+      break;
+    case ResourceKind::kL2Wire:
+      ok = in_range(target.a, topo.trees()) &&
+           in_range(target.b, topo.l2_per_tree()) &&
+           in_range(target.c, topo.spines_per_group());
+      break;
+    case ResourceKind::kLeafSwitch:
+      ok = in_range(target.a, topo.total_leaves());
+      break;
+    case ResourceKind::kL2Switch:
+      ok = in_range(target.a, topo.trees()) &&
+           in_range(target.b, topo.l2_per_tree());
+      break;
+    case ResourceKind::kSpine:
+      ok = in_range(target.a, topo.spine_groups()) &&
+           in_range(target.b, topo.spines_per_group());
+      break;
+  }
+  if (ok) return {};
+  return "target out of range for this topology: " + describe(target);
+}
+
+void FailureSchedule::sort_by_time() {
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+}
+
+bool parse_target(std::istream& words, FaultTarget* out, std::string* error) {
+  std::string kind_word;
+  if (!(words >> kind_word)) {
+    if (error != nullptr) *error = "missing target kind";
+    return false;
+  }
+  FaultTarget target;
+  if (kind_word == "node") {
+    target.kind = ResourceKind::kNode;
+  } else if (kind_word == "leafwire") {
+    target.kind = ResourceKind::kLeafWire;
+  } else if (kind_word == "l2wire") {
+    target.kind = ResourceKind::kL2Wire;
+  } else if (kind_word == "leafswitch" || kind_word == "leaf") {
+    target.kind = ResourceKind::kLeafSwitch;
+  } else if (kind_word == "l2switch") {
+    target.kind = ResourceKind::kL2Switch;
+  } else if (kind_word == "spine") {
+    target.kind = ResourceKind::kSpine;
+  } else {
+    if (error != nullptr) *error = "unknown target kind: " + kind_word;
+    return false;
+  }
+  std::int32_t* fields[] = {&target.a, &target.b, &target.c};
+  const int needed = operand_count(target.kind);
+  for (int k = 0; k < needed; ++k) {
+    if (!(words >> *fields[k])) {
+      if (error != nullptr) {
+        *error = std::string(kind_name(target.kind)) + " takes " +
+                 std::to_string(needed) + " integer id(s)";
+      }
+      return false;
+    }
+  }
+  *out = target;
+  return true;
+}
+
+FailureSchedule parse_schedule(std::istream& in, const FatTree& topo) {
+  FailureSchedule schedule;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    double time = 0.0;
+    if (!(words >> time)) {
+      std::string rest;
+      if (words.clear(), words.str(line), (words >> rest)) {
+        throw std::invalid_argument("failure schedule line " +
+                                    std::to_string(line_number) +
+                                    ": expected a timestamp");
+      }
+      continue;  // blank / comment-only line
+    }
+    std::string action;
+    words >> action;
+    bool failure = true;
+    if (action == "fail") {
+      failure = true;
+    } else if (action == "repair") {
+      failure = false;
+    } else {
+      throw std::invalid_argument("failure schedule line " +
+                                  std::to_string(line_number) +
+                                  ": expected fail or repair, got '" + action +
+                                  "'");
+    }
+    FaultTarget target;
+    std::string error;
+    if (!parse_target(words, &target, &error)) {
+      throw std::invalid_argument("failure schedule line " +
+                                  std::to_string(line_number) + ": " + error);
+    }
+    if (const std::string range_error = validate(topo, target);
+        !range_error.empty()) {
+      throw std::invalid_argument("failure schedule line " +
+                                  std::to_string(line_number) + ": " +
+                                  range_error);
+    }
+    schedule.add(time, failure, target);
+  }
+  schedule.sort_by_time();
+  return schedule;
+}
+
+FailureSchedule parse_schedule_file(const std::string& path,
+                                    const FatTree& topo) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open failure schedule: " + path);
+  }
+  return parse_schedule(in, topo);
+}
+
+FailureSchedule make_random_schedule(const FatTree& topo,
+                                     const RandomFaultConfig& config) {
+  FailureSchedule schedule;
+  Rng rng(config.seed);
+  const int leaf_wires = topo.total_leaves() * topo.l2_per_tree();
+  const int l2_wires = topo.total_l2() * topo.spines_per_group();
+
+  auto emit_outage = [&](double time, const FaultTarget& target) {
+    schedule.add(time, /*failure=*/true, target);
+    // A repeated failure of a target whose earlier repair is still
+    // pending just re-fails it; ClusterState fail/repair are idempotent,
+    // so overlapping outages of one resource merge into the union.
+    const double repair_delay = std::max(rng.exponential(config.mttr), 1e-9);
+    schedule.add(time + repair_delay, /*failure=*/false, target);
+  };
+
+  if (config.node_mtbf > 0.0) {
+    double t = rng.exponential(config.node_mtbf);
+    while (t < config.horizon) {
+      const NodeId victim =
+          static_cast<NodeId>(rng.below(
+              static_cast<std::uint64_t>(topo.total_nodes())));
+      emit_outage(t, FaultTarget{ResourceKind::kNode, victim, 0, 0});
+      t += rng.exponential(config.node_mtbf);
+    }
+  }
+  if (config.wire_mtbf > 0.0) {
+    double t = rng.exponential(config.wire_mtbf);
+    while (t < config.horizon) {
+      const int pick = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(leaf_wires + l2_wires)));
+      FaultTarget target;
+      if (pick < leaf_wires) {
+        target.kind = ResourceKind::kLeafWire;
+        target.a = pick / topo.l2_per_tree();
+        target.b = pick % topo.l2_per_tree();
+      } else {
+        const int w = pick - leaf_wires;
+        const int per_l2 = topo.spines_per_group();
+        const int l2 = w / per_l2;
+        target.kind = ResourceKind::kL2Wire;
+        target.a = l2 / topo.l2_per_tree();
+        target.b = l2 % topo.l2_per_tree();
+        target.c = w % per_l2;
+      }
+      emit_outage(t, target);
+      t += rng.exponential(config.wire_mtbf);
+    }
+  }
+  schedule.sort_by_time();
+  return schedule;
+}
+
+}  // namespace jigsaw::fault

@@ -1,0 +1,120 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace jigsaw::fault {
+
+PrimitiveSet expand(const FatTree& topo, const FaultTarget& target) {
+  PrimitiveSet out;
+  switch (target.kind) {
+    case ResourceKind::kNode:
+      out.nodes.push_back(target.a);
+      break;
+    case ResourceKind::kLeafWire:
+      out.leaf_wires.push_back(LeafWire{target.a, target.b});
+      break;
+    case ResourceKind::kL2Wire:
+      out.l2_wires.push_back(L2Wire{target.a, target.b, target.c});
+      break;
+    case ResourceKind::kLeafSwitch: {
+      // A dead leaf switch severs its nodes and every uplink wire.
+      const LeafId l = target.a;
+      for (int k = 0; k < topo.nodes_per_leaf(); ++k) {
+        out.nodes.push_back(topo.node_id(l, k));
+      }
+      for (int i = 0; i < topo.l2_per_tree(); ++i) {
+        out.leaf_wires.push_back(LeafWire{l, i});
+      }
+      break;
+    }
+    case ResourceKind::kL2Switch: {
+      // A dead L2 switch severs one uplink of every leaf in its tree plus
+      // all of its own spine uplinks.
+      const TreeId t = target.a;
+      const std::int32_t i = target.b;
+      for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+        out.leaf_wires.push_back(LeafWire{topo.leaf_id(t, li), i});
+      }
+      for (int j = 0; j < topo.spines_per_group(); ++j) {
+        out.l2_wires.push_back(L2Wire{t, i, j});
+      }
+      break;
+    }
+    case ResourceKind::kSpine: {
+      // Spine j of group i has one downlink wire to L2 switch i of every
+      // tree.
+      const std::int32_t i = target.a;
+      const std::int32_t j = target.b;
+      for (TreeId t = 0; t < topo.trees(); ++t) {
+        out.l2_wires.push_back(L2Wire{t, i, j});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+int apply_failure(ClusterState& state, const PrimitiveSet& primitives) {
+  int changed = 0;
+  for (const NodeId n : primitives.nodes) {
+    if (state.fail_node(n)) ++changed;
+  }
+  for (const LeafWire& w : primitives.leaf_wires) {
+    if (state.fail_leaf_up(w.leaf, w.l2_index)) ++changed;
+  }
+  for (const L2Wire& w : primitives.l2_wires) {
+    if (state.fail_l2_up(w.tree, w.l2_index, w.spine_index)) ++changed;
+  }
+  return changed;
+}
+
+int apply_repair(ClusterState& state, const PrimitiveSet& primitives) {
+  int changed = 0;
+  for (const NodeId n : primitives.nodes) {
+    if (state.repair_node(n)) ++changed;
+  }
+  for (const LeafWire& w : primitives.leaf_wires) {
+    if (state.repair_leaf_up(w.leaf, w.l2_index)) ++changed;
+  }
+  for (const L2Wire& w : primitives.l2_wires) {
+    if (state.repair_l2_up(w.tree, w.l2_index, w.spine_index)) ++changed;
+  }
+  return changed;
+}
+
+bool allocation_uses(const Allocation& a, const PrimitiveSet& primitives) {
+  for (const NodeId n : primitives.nodes) {
+    if (std::find(a.nodes.begin(), a.nodes.end(), n) != a.nodes.end()) {
+      return true;
+    }
+  }
+  for (const LeafWire& w : primitives.leaf_wires) {
+    if (std::find(a.leaf_wires.begin(), a.leaf_wires.end(), w) !=
+        a.leaf_wires.end()) {
+      return true;
+    }
+  }
+  for (const L2Wire& w : primitives.l2_wires) {
+    if (std::find(a.l2_wires.begin(), a.l2_wires.end(), w) !=
+        a.l2_wires.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool allocation_on_failed_hardware(const ClusterState& state,
+                                   const Allocation& a) {
+  for (const NodeId n : a.nodes) {
+    if (!state.node_healthy(n)) return true;
+  }
+  for (const LeafWire& w : a.leaf_wires) {
+    if (!state.leaf_up_healthy(w.leaf, w.l2_index)) return true;
+  }
+  for (const L2Wire& w : a.l2_wires) {
+    if (!state.l2_up_healthy(w.tree, w.l2_index, w.spine_index)) return true;
+  }
+  return false;
+}
+
+}  // namespace jigsaw::fault

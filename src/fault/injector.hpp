@@ -1,0 +1,51 @@
+// Applies fault events to a live cluster and finds their victims.
+//
+// A FaultTarget names hardware at switch granularity; ClusterState tracks
+// health per primitive resource (node, leaf->L2 wire, L2->spine wire).
+// expand() lowers a target onto a topology; apply_failure()/apply_repair()
+// drive the ClusterState health masks and report how much capacity
+// actually changed state (idempotent: re-failing failed hardware is a
+// no-op); allocation_uses() answers whether a running job owns any of the
+// failed resources, which the simulator's victim policy consumes.
+
+#pragma once
+
+#include <vector>
+
+#include "fault/failure_schedule.hpp"
+#include "topology/allocation.hpp"
+#include "topology/cluster_state.hpp"
+
+namespace jigsaw::fault {
+
+/// A fault target lowered to the primitive resources ClusterState tracks.
+struct PrimitiveSet {
+  std::vector<NodeId> nodes;
+  std::vector<LeafWire> leaf_wires;
+  std::vector<L2Wire> l2_wires;
+
+  bool empty() const {
+    return nodes.empty() && leaf_wires.empty() && l2_wires.empty();
+  }
+  std::size_t size() const {
+    return nodes.size() + leaf_wires.size() + l2_wires.size();
+  }
+};
+
+PrimitiveSet expand(const FatTree& topo, const FaultTarget& target);
+
+/// Fail/repair every primitive in the set; returns the number of
+/// resources whose health actually flipped.
+int apply_failure(ClusterState& state, const PrimitiveSet& primitives);
+int apply_repair(ClusterState& state, const PrimitiveSet& primitives);
+
+/// True when the allocation owns any resource in the set.
+bool allocation_uses(const Allocation& a, const PrimitiveSet& primitives);
+
+/// True when the allocation touches any currently-failed resource of
+/// `state` — the audit the resilience bench and degraded-tree tests run
+/// on every grant.
+bool allocation_on_failed_hardware(const ClusterState& state,
+                                   const Allocation& a);
+
+}  // namespace jigsaw::fault

@@ -2,8 +2,9 @@
 
 namespace jigsaw {
 
-void EventQueue::push(double time, EventType type, JobId job) {
-  heap_.push(Event{time, type, job, next_seq_++});
+void EventQueue::push(double time, EventType type, JobId job,
+                      std::int64_t aux) {
+  heap_.push(Event{time, type, job, aux, next_seq_++});
 }
 
 Event EventQueue::pop() {

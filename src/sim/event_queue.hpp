@@ -14,30 +14,44 @@
 
 namespace jigsaw {
 
-enum class EventType { kArrival, kCompletion };
+enum class EventType { kArrival, kCompletion, kFailure, kRepair };
 
 struct Event {
   double time = 0.0;
   EventType type = EventType::kArrival;
   JobId job = kNoJob;
+  /// Event-type payload: the failure-schedule index for kFailure/kRepair,
+  /// the job's run generation for kCompletion (a requeued job abandons
+  /// completion events of earlier generations). Unused for kArrival.
+  std::int64_t aux = 0;
   std::uint64_t seq = 0;  ///< insertion order; breaks time ties
 };
 
 class EventQueue {
  public:
-  void push(double time, EventType type, JobId job);
+  void push(double time, EventType type, JobId job, std::int64_t aux = 0);
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
   const Event& top() const { return heap_.top(); }
   Event pop();
 
  private:
+  /// Same-instant ordering: completions free resources first, then the
+  /// cluster degrades/recovers, and arrivals see the settled state.
+  static int rank(EventType type) {
+    switch (type) {
+      case EventType::kCompletion: return 0;
+      case EventType::kFailure: return 1;
+      case EventType::kRepair: return 2;
+      case EventType::kArrival: return 3;
+    }
+    return 4;
+  }
+
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
-      // Completions before arrivals at the same instant, so freed
-      // resources are visible to the scheduling pass.
-      if (a.type != b.type) return a.type == EventType::kArrival;
+      if (a.type != b.type) return rank(a.type) > rank(b.type);
       return a.seq > b.seq;
     }
   };

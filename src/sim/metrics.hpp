@@ -92,6 +92,18 @@ struct SimMetrics {
   std::uint64_t search_steps = 0;
   std::uint64_t budget_exhaustions = 0;
   double mean_sched_time_per_job = 0.0;  ///< Table 3 metric
+  // -- fault accounting (nonzero only when a FailureSchedule is active) --
+  std::uint64_t fault_events = 0;        ///< schedule events applied
+  std::uint64_t resources_failed = 0;    ///< primitive resources newly failed
+  std::uint64_t resources_repaired = 0;  ///< primitive resources restored
+  std::uint64_t jobs_killed = 0;         ///< running jobs hit by a failure
+  std::uint64_t jobs_requeued = 0;       ///< kill-and-requeue re-entries
+  std::uint64_t grants_rejected = 0;     ///< placements the can_apply
+                                         ///< precheck bounced back to queue
+  /// Jobs never completed because the degraded tree could not place them
+  /// by the time the event queue drained (kill-and-requeue may orbit a
+  /// job whose shape no longer fits the surviving hardware).
+  std::size_t abandoned = 0;
   /// Instantaneous utilization (percent) sampled at every schedule or
   /// completion event inside the steady window (Table 2 input).
   std::vector<double> instant_utilization;

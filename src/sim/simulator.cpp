@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "fault/injector.hpp"
 #include "obs/cluster_probe.hpp"
 #include "obs/scoped_timer.hpp"
 #include "routing/dmodk.hpp"
@@ -137,6 +138,15 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
     }
     events.push(j.arrival, EventType::kArrival, j.id);
   }
+  if (config.failures != nullptr) {
+    const auto& fault_events = config.failures->events;
+    for (std::size_t k = 0; k < fault_events.size(); ++k) {
+      events.push(fault_events[k].time,
+                  fault_events[k].failure ? EventType::kFailure
+                                          : EventType::kRepair,
+                  kNoJob, static_cast<std::int64_t>(k));
+    }
+  }
 
   const SimObs so(config.obs);
   if (so.tracing) {
@@ -175,6 +185,10 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
   double turnaround_large_sum = 0.0;
   double wait_sum = 0.0;
   std::unordered_map<JobId, double> start_time;
+  // Run generation per job: bumped on every kill-and-requeue so the dead
+  // run's still-queued completion event (EventQueue has no removal) is
+  // recognized as a ghost and skipped.
+  std::unordered_map<JobId, std::int64_t> generation;
   double first_arrival = std::numeric_limits<double>::infinity();
   double last_completion = 0.0;
   double first_backlog = std::numeric_limits<double>::infinity();
@@ -194,6 +208,79 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
     last_event_time = now;
     while (!events.empty() && events.top().time == now) {
       const Event e = events.pop();
+      if (e.type == EventType::kFailure || e.type == EventType::kRepair) {
+        const fault::FaultEvent& fe =
+            config.failures->events[static_cast<std::size_t>(e.aux)];
+        const fault::PrimitiveSet primitives = fault::expand(topo, fe.target);
+        ++metrics.fault_events;
+        if (e.type == EventType::kRepair) {
+          metrics.resources_repaired += static_cast<std::uint64_t>(
+              fault::apply_repair(state, primitives));
+          if (so.tracing) {
+            config.obs.emit(
+                obs::instant("fault", "resource_repaired", now)
+                    .arg("target", fault::describe(fe.target))
+                    .arg("failed_nodes",
+                         static_cast<std::int64_t>(state.failed_node_count()))
+                    .arg("failed_wires",
+                         static_cast<std::int64_t>(state.failed_wire_count())));
+          }
+          continue;
+        }
+        metrics.resources_failed += static_cast<std::uint64_t>(
+            fault::apply_failure(state, primitives));
+        if (so.tracing) {
+          config.obs.emit(
+              obs::instant("fault", "resource_failed", now)
+                  .arg("target", fault::describe(fe.target))
+                  .arg("failed_nodes",
+                       static_cast<std::int64_t>(state.failed_node_count()))
+                  .arg("failed_wires",
+                       static_cast<std::int64_t>(state.failed_wire_count())));
+        }
+        if (config.victim_policy == VictimPolicy::kKillAndRequeue) {
+          std::vector<JobId> victims;
+          for (const RunningJob& r : running) {
+            if (fault::allocation_uses(r.allocation, primitives)) {
+              victims.push_back(r.id);
+            }
+          }
+          for (const JobId id : victims) {
+            const std::size_t ri = running_index.at(id);
+            const Job& vjob = trace.jobs[trace_index.at(id)];
+            if (traffic != nullptr) traffic->remove_job(id);
+            state.release(running[ri].allocation);
+            timeline.record(now, -vjob.nodes);
+            if (running[ri].allocation.wasted_nodes() > 0) {
+              timeline.record_waste(now,
+                                    -running[ri].allocation.wasted_nodes());
+            }
+            running_index.erase(id);
+            if (ri != running.size() - 1) {
+              running[ri] = std::move(running.back());
+              running_index[running[ri].id] = ri;
+            }
+            running.pop_back();
+            // Undo the wait credited at the dead run's start; the restart
+            // credits the full arrival-to-restart wait instead.
+            wait_sum -= start_time.at(id) - vjob.arrival;
+            ++generation[id];
+            ++metrics.jobs_killed;
+            ++metrics.jobs_requeued;
+            queue.push_back(PendingJob{vjob.id, vjob.nodes, vjob.bandwidth,
+                                       effective_runtime(vjob)});
+            queue_trace_index.push_back(trace_index.at(id));
+            if (so.tracing) {
+              config.obs.emit(
+                  obs::instant("fault", "job_requeued", now)
+                      .arg("job", id)
+                      .arg("nodes", static_cast<std::int64_t>(vjob.nodes))
+                      .arg("target", fault::describe(fe.target)));
+            }
+          }
+        }
+        continue;
+      }
       const Job& job = trace.jobs[trace_index.at(e.job)];
       if (e.type == EventType::kArrival) {
         first_arrival = std::min(first_arrival, now);
@@ -208,6 +295,11 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
                   .arg("nodes", static_cast<std::int64_t>(job.nodes)));
         }
       } else {
+        const auto git = generation.find(e.job);
+        if (git != generation.end() && e.aux != git->second) {
+          // Ghost completion of a run that was killed by a failure.
+          continue;
+        }
         const std::size_t ri = running_index.at(e.job);
         if (traffic != nullptr) traffic->remove_job(e.job);
         state.release(running[ri].allocation);
@@ -277,14 +369,34 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
       for (auto& d : decisions) {
         const Job& job =
             trace.jobs[queue_trace_index[d.pending_index]];
+        if (!state.can_apply(d.allocation)) {
+          // The placement raced a state change (a fault, or an earlier
+          // grant this pass); the job simply stays queued for the next
+          // pass instead of tripping apply()'s logic_error.
+          ++metrics.grants_rejected;
+          if (so.tracing) {
+            config.obs.emit(
+                obs::instant("fault", "grant_rejected", now)
+                    .arg("job", job.id)
+                    .arg("nodes", static_cast<std::int64_t>(job.nodes)));
+          }
+          continue;
+        }
         state.apply(d.allocation);
+        if (config.grant_audit) {
+          config.grant_audit(now, d.allocation, state);
+        }
         double runtime = effective_runtime(job);
         if (traffic != nullptr) {
           const double factor = traffic->add_job(d.allocation);
           runtime *= 1.0 + config.measured_interference_comm_fraction *
                                (factor - 1.0);
         }
-        events.push(now + runtime, EventType::kCompletion, job.id);
+        {
+          const auto git = generation.find(job.id);
+          events.push(now + runtime, EventType::kCompletion, job.id,
+                      git == generation.end() ? 0 : git->second);
+        }
         timeline.record(now, job.nodes);
         if (d.allocation.wasted_nodes() > 0) {
           timeline.record_waste(now, d.allocation.wasted_nodes());
@@ -349,7 +461,13 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
   }
 
   if (metrics.completed != job_count) {
-    throw std::logic_error("simulation ended with unfinished jobs");
+    if (config.failures == nullptr) {
+      throw std::logic_error("simulation ended with unfinished jobs");
+    }
+    // Under failure injection a job can outlive the event horizon: its
+    // shape may never fit the surviving tree again. Report rather than
+    // throw.
+    metrics.abandoned = job_count - metrics.completed;
   }
 
   metrics.makespan = last_completion - first_arrival;

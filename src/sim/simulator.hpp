@@ -7,10 +7,12 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "core/allocator.hpp"
+#include "fault/failure_schedule.hpp"
 #include "obs/observer.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler.hpp"
@@ -18,6 +20,18 @@
 #include "trace/trace.hpp"
 
 namespace jigsaw {
+
+/// What happens to a running job when a failure event hits hardware it
+/// owns.
+enum class VictimPolicy {
+  /// Kill the job, release its partition, and resubmit it at the back of
+  /// the wait queue for a full restart (no checkpointing).
+  kKillAndRequeue,
+  /// Let the job run to its normal completion on the degraded partition;
+  /// the failed resources stay owned until release and only then drop
+  /// out of the free pool.
+  kRunToCompletionDegraded,
+};
 
 struct SimConfig {
   SpeedupScenario scenario = SpeedupScenario::kNone;
@@ -45,6 +59,21 @@ struct SimConfig {
   /// the simulation itself measures (set scenario = kNone when using it).
   double measured_interference_comm_fraction = 0.0;
   std::uint64_t traffic_seed = 99;
+  /// Failure injection (non-owning; null = pristine hardware). Fail and
+  /// repair events enter the discrete-event loop, flip ClusterState
+  /// health masks, and trigger the victim policy on running jobs. With a
+  /// schedule attached the run may end with unplaceable jobs still
+  /// queued; they are reported in SimMetrics::abandoned instead of
+  /// throwing.
+  const fault::FailureSchedule* failures = nullptr;
+  VictimPolicy victim_policy = VictimPolicy::kKillAndRequeue;
+  /// Called after every successful grant (post-apply) with the settled
+  /// cluster state — the hook the resilience bench and degraded-tree
+  /// tests use to audit that no placement lands on failed hardware and
+  /// that Jigsaw placements stay RNB-certifiable. Leave empty for the
+  /// zero-cost path.
+  std::function<void(double now, const Allocation&, const ClusterState&)>
+      grant_audit;
   /// Observability hookup (non-owning; see obs/observer.hpp). Default is
   /// the null context: no events, no metrics, no extra cost. With a sink
   /// attached the run emits job-lifecycle, allocation, and scheduling-pass

@@ -13,6 +13,12 @@ ClusterState::ClusterState(const FatTree& topo, double usable_bandwidth)
                     low_bits(topo.l2_per_tree())),
       free_l2_up_(static_cast<std::size_t>(topo.total_l2()),
                   low_bits(topo.spines_per_group())),
+      healthy_nodes_(static_cast<std::size_t>(topo.total_leaves()),
+                     low_bits(topo.nodes_per_leaf())),
+      healthy_leaf_up_(static_cast<std::size_t>(topo.total_leaves()),
+                       low_bits(topo.l2_per_tree())),
+      healthy_l2_up_(static_cast<std::size_t>(topo.total_l2()),
+                     low_bits(topo.spines_per_group())),
       total_free_nodes_(topo.total_nodes()) {}
 
 int ClusterState::fully_free_leaves(TreeId t) const {
@@ -34,6 +40,7 @@ void ClusterState::ensure_bandwidth_tracking() {
 }
 
 double ClusterState::residual_leaf_up(LeafId l, int l2_index) const {
+  if (!has_bit(healthy_leaf_up_[l], l2_index)) return 0.0;
   if (residual_leaf_up_.empty()) {
     return has_bit(free_leaf_up_[l], l2_index) ? usable_bandwidth_ : 0.0;
   }
@@ -44,12 +51,12 @@ double ClusterState::residual_leaf_up(LeafId l, int l2_index) const {
 
 double ClusterState::residual_l2_up(TreeId t, int l2_index,
                                     int spine_index) const {
-  if (residual_l2_up_.empty()) {
-    return has_bit(free_l2_up(t, l2_index), spine_index) ? usable_bandwidth_
-                                                         : 0.0;
-  }
   const std::size_t l2 = static_cast<std::size_t>(t * topo_->l2_per_tree() +
                                                   l2_index);
+  if (!has_bit(healthy_l2_up_[l2], spine_index)) return 0.0;
+  if (residual_l2_up_.empty()) {
+    return has_bit(free_l2_up_[l2], spine_index) ? usable_bandwidth_ : 0.0;
+  }
   return residual_l2_up_[l2 * static_cast<std::size_t>(
                                   topo_->spines_per_group()) +
                          static_cast<std::size_t>(spine_index)];
@@ -59,8 +66,8 @@ Mask ClusterState::leaf_up_with_bandwidth(LeafId l, double demand) const {
   Mask out = 0;
   for (int i = 0; i < topo_->l2_per_tree(); ++i) {
     // A wire owned exclusively has its free bit cleared; shared wires keep
-    // the bit set and drain residual instead.
-    if (has_bit(free_leaf_up_[l], i) &&
+    // the bit set and drain residual instead. Failed wires show neither.
+    if (has_bit(free_leaf_up(l), i) &&
         residual_leaf_up(l, i) >= demand - 1e-9) {
       out |= Mask{1} << i;
     }
@@ -80,50 +87,53 @@ Mask ClusterState::l2_up_with_bandwidth(TreeId t, int l2_index,
   return out;
 }
 
+const char* ClusterState::check_apply(const Allocation& a) const {
+  const bool shared = a.bandwidth > 0.0;
+  std::vector<Mask> node_bits(free_nodes_.size(), 0);
+  for (const NodeId n : a.nodes) {
+    const LeafId l = topo_->leaf_of_node(n);
+    const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
+    if (!(free_nodes_[l] & bit) || (node_bits[l] & bit)) {
+      return "apply: node already allocated";
+    }
+    if (!(healthy_nodes_[l] & bit)) return "apply: node failed";
+    node_bits[l] |= bit;
+  }
+  for (const LeafWire& w : a.leaf_wires) {
+    const Mask bit = Mask{1} << w.l2_index;
+    if (!(free_leaf_up_[w.leaf] & bit)) {
+      return "apply: leaf wire already allocated";
+    }
+    if (!(healthy_leaf_up_[w.leaf] & bit)) return "apply: leaf wire failed";
+    if (shared &&
+        residual_leaf_up(w.leaf, w.l2_index) < a.bandwidth - 1e-9) {
+      return "apply: leaf wire lacks bandwidth";
+    }
+  }
+  for (const L2Wire& w : a.l2_wires) {
+    const std::size_t l2 = static_cast<std::size_t>(
+        w.tree * topo_->l2_per_tree() + w.l2_index);
+    const Mask bit = Mask{1} << w.spine_index;
+    if (!(free_l2_up_[l2] & bit)) {
+      return "apply: L2 wire already allocated";
+    }
+    if (!(healthy_l2_up_[l2] & bit)) return "apply: L2 wire failed";
+    if (shared &&
+        residual_l2_up(w.tree, w.l2_index, w.spine_index) <
+            a.bandwidth - 1e-9) {
+      return "apply: L2 wire lacks bandwidth";
+    }
+  }
+  return nullptr;
+}
+
 void ClusterState::apply(const Allocation& a) {
   // Validate first so a failed apply leaves the state untouched (the
   // schedulers rely on throw-and-retry semantics in tests and tooling).
   const bool shared = a.bandwidth > 0.0;
   if (shared) ensure_bandwidth_tracking();
-  {
-    std::vector<Mask> node_bits(free_nodes_.size(), 0);
-    for (const NodeId n : a.nodes) {
-      const LeafId l = topo_->leaf_of_node(n);
-      const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
-      if (!(free_nodes_[l] & bit) || (node_bits[l] & bit)) {
-        throw std::logic_error("apply: node already allocated");
-      }
-      node_bits[l] |= bit;
-    }
-    for (const LeafWire& w : a.leaf_wires) {
-      const Mask bit = Mask{1} << w.l2_index;
-      if (!(free_leaf_up_[w.leaf] & bit)) {
-        throw std::logic_error("apply: leaf wire already allocated");
-      }
-      if (shared &&
-          residual_leaf_up_[static_cast<std::size_t>(w.leaf) *
-                                static_cast<std::size_t>(
-                                    topo_->l2_per_tree()) +
-                            static_cast<std::size_t>(w.l2_index)] <
-              a.bandwidth - 1e-9) {
-        throw std::logic_error("apply: leaf wire lacks bandwidth");
-      }
-    }
-    for (const L2Wire& w : a.l2_wires) {
-      const std::size_t l2 = static_cast<std::size_t>(
-          w.tree * topo_->l2_per_tree() + w.l2_index);
-      const Mask bit = Mask{1} << w.spine_index;
-      if (!(free_l2_up_[l2] & bit)) {
-        throw std::logic_error("apply: L2 wire already allocated");
-      }
-      if (shared &&
-          residual_l2_up_[l2 * static_cast<std::size_t>(
-                                   topo_->spines_per_group()) +
-                          static_cast<std::size_t>(w.spine_index)] <
-              a.bandwidth - 1e-9) {
-        throw std::logic_error("apply: L2 wire lacks bandwidth");
-      }
-    }
+  if (const char* violation = check_apply(a); violation != nullptr) {
+    throw std::logic_error(violation);
   }
 
   for (const NodeId n : a.nodes) {
@@ -165,7 +175,9 @@ void ClusterState::release(const Allocation& a) {
       throw std::logic_error("release: node was not allocated");
     }
     free_nodes_[l] |= bit;
-    ++total_free_nodes_;
+    // A node that failed while allocated returns its free bit but not
+    // its capacity; repair_node adds it back exactly once.
+    if (healthy_nodes_[l] & bit) ++total_free_nodes_;
   }
 
   const bool shared = a.bandwidth > 0.0;
@@ -199,20 +211,92 @@ void ClusterState::release(const Allocation& a) {
   }
 }
 
+bool ClusterState::fail_node(NodeId n) {
+  const LeafId l = topo_->leaf_of_node(n);
+  const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
+  if (!(healthy_nodes_[l] & bit)) return false;
+  healthy_nodes_[l] &= ~bit;
+  if (free_nodes_[l] & bit) --total_free_nodes_;
+  ++failed_nodes_;
+  ++revision_;
+  return true;
+}
+
+bool ClusterState::repair_node(NodeId n) {
+  const LeafId l = topo_->leaf_of_node(n);
+  const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
+  if (healthy_nodes_[l] & bit) return false;
+  healthy_nodes_[l] |= bit;
+  if (free_nodes_[l] & bit) ++total_free_nodes_;
+  --failed_nodes_;
+  ++revision_;
+  return true;
+}
+
+bool ClusterState::fail_leaf_up(LeafId l, int l2_index) {
+  const Mask bit = Mask{1} << l2_index;
+  if (!(healthy_leaf_up_[l] & bit)) return false;
+  healthy_leaf_up_[l] &= ~bit;
+  ++failed_wires_;
+  ++revision_;
+  return true;
+}
+
+bool ClusterState::repair_leaf_up(LeafId l, int l2_index) {
+  const Mask bit = Mask{1} << l2_index;
+  if (healthy_leaf_up_[l] & bit) return false;
+  healthy_leaf_up_[l] |= bit;
+  --failed_wires_;
+  ++revision_;
+  return true;
+}
+
+bool ClusterState::fail_l2_up(TreeId t, int l2_index, int spine_index) {
+  const std::size_t l2 =
+      static_cast<std::size_t>(t * topo_->l2_per_tree() + l2_index);
+  const Mask bit = Mask{1} << spine_index;
+  if (!(healthy_l2_up_[l2] & bit)) return false;
+  healthy_l2_up_[l2] &= ~bit;
+  ++failed_wires_;
+  ++revision_;
+  return true;
+}
+
+bool ClusterState::repair_l2_up(TreeId t, int l2_index, int spine_index) {
+  const std::size_t l2 =
+      static_cast<std::size_t>(t * topo_->l2_per_tree() + l2_index);
+  const Mask bit = Mask{1} << spine_index;
+  if (healthy_l2_up_[l2] & bit) return false;
+  healthy_l2_up_[l2] |= bit;
+  --failed_wires_;
+  ++revision_;
+  return true;
+}
+
 bool ClusterState::check_invariants() const {
   int recount = 0;
+  int refailed_nodes = 0;
+  int refailed_wires = 0;
   const Mask node_range = low_bits(topo_->nodes_per_leaf());
   const Mask up_range = low_bits(topo_->l2_per_tree());
   const Mask spine_range = low_bits(topo_->spines_per_group());
   for (std::size_t l = 0; l < free_nodes_.size(); ++l) {
     if (free_nodes_[l] & ~node_range) return false;
     if (free_leaf_up_[l] & ~up_range) return false;
-    recount += popcount(free_nodes_[l]);
+    if (healthy_nodes_[l] & ~node_range) return false;
+    if (healthy_leaf_up_[l] & ~up_range) return false;
+    recount += popcount(free_nodes_[l] & healthy_nodes_[l]);
+    refailed_nodes += popcount(node_range & ~healthy_nodes_[l]);
+    refailed_wires += popcount(up_range & ~healthy_leaf_up_[l]);
   }
-  for (const Mask m : free_l2_up_) {
-    if (m & ~spine_range) return false;
+  for (std::size_t l2 = 0; l2 < free_l2_up_.size(); ++l2) {
+    if (free_l2_up_[l2] & ~spine_range) return false;
+    if (healthy_l2_up_[l2] & ~spine_range) return false;
+    refailed_wires += popcount(spine_range & ~healthy_l2_up_[l2]);
   }
   if (recount != total_free_nodes_) return false;
+  if (refailed_nodes != failed_nodes_) return false;
+  if (refailed_wires != failed_wires_) return false;
   for (const double r : residual_leaf_up_) {
     if (r < -1e-6 || r > usable_bandwidth_ + 1e-6) return false;
   }

@@ -5,6 +5,14 @@
 // searches reduce to mask intersections. Optionally tracks fractional
 // residual bandwidth per wire for the link-sharing scheduler (LC+S).
 //
+// Degraded-tree support: every resource additionally carries a *health*
+// bit (src/fault/ drives the fail/repair mutations). The free_* queries
+// return free-AND-healthy masks, so every allocator built on them is
+// automatically confined to the surviving sub-tree. Health composes with
+// ownership: a wire owned by a running job may fail while allocated; the
+// free bit returns on release but the resource stays invisible until
+// repaired, and the free-node counter never double-counts.
+//
 // The state copies cheaply (flat vectors), which the EASY backfilling
 // scheduler relies on when computing shadow reservations.
 
@@ -29,19 +37,51 @@ class ClusterState {
   const FatTree& topo() const { return *topo_; }
 
   // -- exclusive-resource queries --------------------------------------
-  Mask free_nodes(LeafId l) const { return free_nodes_[l]; }
-  int free_node_count(LeafId l) const { return popcount(free_nodes_[l]); }
-  Mask free_leaf_up(LeafId l) const { return free_leaf_up_[l]; }
+  // All masks are restricted to healthy resources; failed hardware is
+  // indistinguishable from allocated hardware to a placement search.
+  Mask free_nodes(LeafId l) const {
+    return free_nodes_[l] & healthy_nodes_[l];
+  }
+  int free_node_count(LeafId l) const { return popcount(free_nodes(l)); }
+  Mask free_leaf_up(LeafId l) const {
+    return free_leaf_up_[l] & healthy_leaf_up_[l];
+  }
   Mask free_l2_up(TreeId t, int l2_index) const {
-    return free_l2_up_[t * topo_->l2_per_tree() + l2_index];
+    const std::size_t l2 =
+        static_cast<std::size_t>(t * topo_->l2_per_tree() + l2_index);
+    return free_l2_up_[l2] & healthy_l2_up_[l2];
   }
   bool leaf_fully_free(LeafId l) const {
-    return free_nodes_[l] == low_bits(topo_->nodes_per_leaf());
+    return free_nodes(l) == low_bits(topo_->nodes_per_leaf());
   }
   int total_free_nodes() const { return total_free_nodes_; }
 
   /// Number of fully-free leaves in tree t.
   int fully_free_leaves(TreeId t) const;
+
+  // -- health queries ----------------------------------------------------
+  bool node_healthy(NodeId n) const {
+    return has_bit(healthy_nodes_[topo_->leaf_of_node(n)],
+                   topo_->node_index_in_leaf(n));
+  }
+  bool leaf_up_healthy(LeafId l, int l2_index) const {
+    return has_bit(healthy_leaf_up_[l], l2_index);
+  }
+  bool l2_up_healthy(TreeId t, int l2_index, int spine_index) const {
+    return has_bit(
+        healthy_l2_up_[static_cast<std::size_t>(t * topo_->l2_per_tree() +
+                                                l2_index)],
+        spine_index);
+  }
+  Mask healthy_nodes(LeafId l) const { return healthy_nodes_[l]; }
+  Mask healthy_leaf_up(LeafId l) const { return healthy_leaf_up_[l]; }
+  Mask healthy_l2_up(TreeId t, int l2_index) const {
+    return healthy_l2_up_[static_cast<std::size_t>(
+        t * topo_->l2_per_tree() + l2_index)];
+  }
+  int failed_node_count() const { return failed_nodes_; }
+  int failed_wire_count() const { return failed_wires_; }
+  bool degraded() const { return failed_nodes_ > 0 || failed_wires_ > 0; }
 
   // -- bandwidth-aware queries (for LC+S) -------------------------------
   double usable_bandwidth() const { return usable_bandwidth_; }
@@ -60,23 +100,51 @@ class ClusterState {
   /// Returns every resource in the allocation.
   void release(const Allocation& a);
 
+  /// True iff apply(a) would succeed against the current state — every
+  /// resource free, healthy, duplicate-free, and (for shared allocations)
+  /// covered by residual bandwidth. The simulator prechecks placements
+  /// with this so a grant raced by a failure event requeues cleanly
+  /// instead of aborting the run.
+  bool can_apply(const Allocation& a) const { return check_apply(a) == nullptr; }
+
+  // -- fail / repair -----------------------------------------------------
+  // Each returns true when the call changed state (the resource was in
+  // the opposite health state), false when it was a no-op — so callers
+  // can count newly-failed capacity without pre-querying. Failing an
+  // allocated resource is legal: the owner keeps it until release, but no
+  // new placement will see it.
+  bool fail_node(NodeId n);
+  bool repair_node(NodeId n);
+  bool fail_leaf_up(LeafId l, int l2_index);
+  bool repair_leaf_up(LeafId l, int l2_index);
+  bool fail_l2_up(TreeId t, int l2_index, int spine_index);
+  bool repair_l2_up(TreeId t, int l2_index, int spine_index);
+
   /// Consistency audit for tests: recomputed totals match counters and all
   /// masks are within range.
   bool check_invariants() const;
 
-  /// Monotone counter bumped by every successful apply/release; lets the
-  /// scheduler skip repeated searches against an unchanged cluster.
+  /// Monotone counter bumped by every successful apply/release/fail/
+  /// repair; lets the scheduler skip repeated searches against an
+  /// unchanged cluster.
   std::uint64_t revision() const { return revision_; }
 
  private:
   void ensure_bandwidth_tracking();
+  /// nullptr when apply(a) would succeed; otherwise the violation text.
+  const char* check_apply(const Allocation& a) const;
 
   const FatTree* topo_;
   double usable_bandwidth_;
   std::vector<Mask> free_nodes_;    // per leaf
   std::vector<Mask> free_leaf_up_;  // per leaf
   std::vector<Mask> free_l2_up_;    // per (tree * w2 + i)
-  int total_free_nodes_;
+  std::vector<Mask> healthy_nodes_;    // per leaf
+  std::vector<Mask> healthy_leaf_up_;  // per leaf
+  std::vector<Mask> healthy_l2_up_;    // per (tree * w2 + i)
+  int total_free_nodes_;  // free AND healthy
+  int failed_nodes_ = 0;
+  int failed_wires_ = 0;  // leaf-up + l2-up wires currently failed
   std::uint64_t revision_ = 0;
 
   // Residual shared bandwidth per wire; allocated lazily on first shared

@@ -1,0 +1,473 @@
+// Fault subsystem: schedule parsing, target expansion, degraded
+// ClusterState semantics, accounting invariants under random
+// apply/fail/repair/release interleavings, and the simulator's
+// failure-event integration with both victim policies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "fault/failure_schedule.hpp"
+#include "fault/injector.hpp"
+#include "sim/simulator.hpp"
+#include "topology/cluster_state.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw {
+namespace {
+
+using fault::FaultTarget;
+using fault::ResourceKind;
+
+Allocation tiny_alloc(const FatTree& t) {
+  Allocation a;
+  a.job = 1;
+  a.requested_nodes = 3;
+  a.nodes = {t.node_id(0, 0), t.node_id(0, 1), t.node_id(1, 0)};
+  a.leaf_wires = {LeafWire{0, 0}, LeafWire{0, 2}, LeafWire{1, 0}};
+  a.l2_wires = {L2Wire{0, 0, 1}};
+  return a;
+}
+
+// ---- schedule parsing --------------------------------------------------
+
+TEST(FailureSchedule, ParsesScriptSortedByTime) {
+  const FatTree topo(4, 4, 4);
+  std::istringstream script(
+      "# outage drill\n"
+      "200 repair node 5\n"
+      "\n"
+      "100 fail node 5    # comment after the event\n"
+      "50 fail leafwire 2 3\n"
+      "75 fail l2wire 1 2 3\n"
+      "60 fail leafswitch 7\n"
+      "65 fail l2switch 3 1\n"
+      "70 fail spine 2 1\n");
+  const fault::FailureSchedule s = fault::parse_schedule(script, topo);
+  ASSERT_EQ(s.size(), 7u);
+  for (std::size_t k = 1; k < s.events.size(); ++k) {
+    EXPECT_LE(s.events[k - 1].time, s.events[k].time);
+  }
+  EXPECT_EQ(s.events.front().target,
+            (FaultTarget{ResourceKind::kLeafWire, 2, 3, 0}));
+  EXPECT_TRUE(s.events.front().failure);
+  EXPECT_EQ(s.events.back().target, (FaultTarget{ResourceKind::kNode, 5, 0, 0}));
+  EXPECT_FALSE(s.events.back().failure);
+}
+
+TEST(FailureSchedule, RejectsMalformedLinesWithLineNumber) {
+  const FatTree topo(4, 4, 4);
+  auto expect_error = [&](const std::string& text, const std::string& needle) {
+    std::istringstream script(text);
+    try {
+      fault::parse_schedule(script, topo);
+      FAIL() << "expected invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("oops fail node 1\n", "line 1");
+  expect_error("10 explode node 1\n", "fail or repair");
+  expect_error("10 fail gremlin 1\n", "unknown target kind");
+  expect_error("10 fail node\n", "node takes 1");
+  expect_error("\n10 fail node 9999\n", "line 2");
+  expect_error("10 fail leafwire 0 99\n", "out of range");
+}
+
+TEST(FailureSchedule, DescribeAndValidate) {
+  const FatTree topo(4, 4, 4);
+  EXPECT_EQ(fault::describe(FaultTarget{ResourceKind::kNode, 17, 0, 0}),
+            "node 17");
+  EXPECT_EQ(fault::describe(FaultTarget{ResourceKind::kL2Wire, 0, 3, 1}),
+            "l2wire 0/3/1");
+  EXPECT_TRUE(
+      fault::validate(topo, FaultTarget{ResourceKind::kNode, 63, 0, 0})
+          .empty());
+  EXPECT_FALSE(
+      fault::validate(topo, FaultTarget{ResourceKind::kNode, 64, 0, 0})
+          .empty());
+  EXPECT_FALSE(
+      fault::validate(topo, FaultTarget{ResourceKind::kSpine, 0, 4, 0})
+          .empty());
+}
+
+TEST(FailureSchedule, RandomScheduleDeterministicAndPaired) {
+  const FatTree topo = FatTree::from_radix(8);
+  fault::RandomFaultConfig config;
+  config.horizon = 50000.0;
+  config.node_mtbf = 2000.0;
+  config.wire_mtbf = 3000.0;
+  config.mttr = 500.0;
+  config.seed = 42;
+  const fault::FailureSchedule a = fault::make_random_schedule(topo, config);
+  const fault::FailureSchedule b = fault::make_random_schedule(topo, config);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 0u);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.events[k].time, b.events[k].time);
+    EXPECT_EQ(a.events[k].target, b.events[k].target);
+    EXPECT_EQ(a.events[k].failure, b.events[k].failure);
+  }
+  // Every failure is paired with a later repair of the same target.
+  std::map<std::string, int> open;
+  int failures = 0;
+  for (const fault::FaultEvent& e : a.events) {
+    if (e.failure) {
+      ++failures;
+      ++open[fault::describe(e.target)];
+    } else {
+      --open[fault::describe(e.target)];
+    }
+  }
+  EXPECT_GT(failures, 0);
+  for (const auto& [target, count] : open) EXPECT_EQ(count, 0) << target;
+
+  config.seed = 43;
+  const fault::FailureSchedule c = fault::make_random_schedule(topo, config);
+  bool differs = c.size() != a.size();
+  for (std::size_t k = 0; !differs && k < a.size(); ++k) {
+    differs = !(a.events[k].target == c.events[k].target) ||
+              a.events[k].time != c.events[k].time;
+  }
+  EXPECT_TRUE(differs);
+
+  config.node_mtbf = 0.0;
+  config.wire_mtbf = 0.0;
+  EXPECT_TRUE(fault::make_random_schedule(topo, config).empty());
+}
+
+// ---- target expansion --------------------------------------------------
+
+TEST(FaultInjector, ExpandsSwitchTargetsToPrimitives) {
+  const FatTree topo(4, 4, 4);  // m1=4 nodes/leaf, w2=4, w3=4, 4 trees
+  const auto leaf = fault::expand(
+      topo, FaultTarget{ResourceKind::kLeafSwitch, 2, 0, 0});
+  EXPECT_EQ(leaf.nodes.size(), 4u);
+  EXPECT_EQ(leaf.leaf_wires.size(), 4u);
+  EXPECT_EQ(leaf.l2_wires.size(), 0u);
+
+  const auto l2 =
+      fault::expand(topo, FaultTarget{ResourceKind::kL2Switch, 1, 2, 0});
+  EXPECT_EQ(l2.nodes.size(), 0u);
+  EXPECT_EQ(l2.leaf_wires.size(),
+            static_cast<std::size_t>(topo.leaves_per_tree()));
+  EXPECT_EQ(l2.l2_wires.size(),
+            static_cast<std::size_t>(topo.spines_per_group()));
+  for (const LeafWire& w : l2.leaf_wires) EXPECT_EQ(w.l2_index, 2);
+
+  const auto spine =
+      fault::expand(topo, FaultTarget{ResourceKind::kSpine, 1, 3, 0});
+  EXPECT_EQ(spine.l2_wires.size(), static_cast<std::size_t>(topo.trees()));
+  for (const L2Wire& w : spine.l2_wires) {
+    EXPECT_EQ(w.l2_index, 1);
+    EXPECT_EQ(w.spine_index, 3);
+  }
+}
+
+// ---- degraded ClusterState semantics ----------------------------------
+
+TEST(DegradedState, FailRemovesFreeCapacityRepairRestoresIt) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  const std::uint64_t rev0 = s.revision();
+  ASSERT_TRUE(s.fail_node(t.node_id(0, 0)));
+  EXPECT_GT(s.revision(), rev0);
+  EXPECT_EQ(s.total_free_nodes(), t.total_nodes() - 1);
+  EXPECT_FALSE(s.node_healthy(t.node_id(0, 0)));
+  EXPECT_FALSE(has_bit(s.free_nodes(0), 0));
+  EXPECT_FALSE(s.leaf_fully_free(0));
+  EXPECT_TRUE(s.degraded());
+  EXPECT_EQ(s.failed_node_count(), 1);
+  EXPECT_FALSE(s.fail_node(t.node_id(0, 0)));  // idempotent
+  EXPECT_EQ(s.total_free_nodes(), t.total_nodes() - 1);
+  EXPECT_TRUE(s.check_invariants());
+
+  ASSERT_TRUE(s.repair_node(t.node_id(0, 0)));
+  EXPECT_FALSE(s.repair_node(t.node_id(0, 0)));
+  EXPECT_EQ(s.total_free_nodes(), t.total_nodes());
+  EXPECT_FALSE(s.degraded());
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(DegradedState, FailedWiresLeaveQueriesAndResiduals) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  ASSERT_TRUE(s.fail_leaf_up(0, 1));
+  ASSERT_TRUE(s.fail_l2_up(2, 3, 1));
+  EXPECT_EQ(s.failed_wire_count(), 2);
+  EXPECT_FALSE(has_bit(s.free_leaf_up(0), 1));
+  EXPECT_FALSE(has_bit(s.free_l2_up(2, 3), 1));
+  EXPECT_EQ(s.residual_leaf_up(0, 1), 0.0);
+  EXPECT_EQ(s.residual_l2_up(2, 3, 1), 0.0);
+  EXPECT_FALSE(has_bit(s.leaf_up_with_bandwidth(0, 0.5), 1));
+  EXPECT_TRUE(s.check_invariants());
+  ASSERT_TRUE(s.repair_leaf_up(0, 1));
+  ASSERT_TRUE(s.repair_l2_up(2, 3, 1));
+  EXPECT_FALSE(s.degraded());
+  EXPECT_GT(s.residual_leaf_up(0, 1), 0.0);
+}
+
+TEST(DegradedState, FailWhileAllocatedNeverDoubleFrees) {
+  const FatTree t(4, 4, 4);
+  // Order 1: fail while allocated, release, then repair.
+  {
+    ClusterState s(t);
+    const Allocation a = tiny_alloc(t);
+    s.apply(a);
+    ASSERT_TRUE(s.fail_node(t.node_id(0, 0)));
+    ASSERT_TRUE(s.fail_leaf_up(0, 2));
+    EXPECT_EQ(s.total_free_nodes(), t.total_nodes() - 3);  // all owned anyway
+    EXPECT_TRUE(s.check_invariants());
+    s.release(a);
+    // The failed node's free bit returned but not its capacity.
+    EXPECT_EQ(s.total_free_nodes(), t.total_nodes() - 1);
+    EXPECT_FALSE(has_bit(s.free_nodes(0), 0));
+    EXPECT_FALSE(has_bit(s.free_leaf_up(0), 2));
+    EXPECT_TRUE(s.check_invariants());
+    ASSERT_TRUE(s.repair_node(t.node_id(0, 0)));
+    ASSERT_TRUE(s.repair_leaf_up(0, 2));
+    EXPECT_EQ(s.total_free_nodes(), t.total_nodes());
+    EXPECT_TRUE(s.check_invariants());
+  }
+  // Order 2: fail while allocated, repair while still allocated, release.
+  {
+    ClusterState s(t);
+    const Allocation a = tiny_alloc(t);
+    s.apply(a);
+    ASSERT_TRUE(s.fail_node(t.node_id(0, 0)));
+    ASSERT_TRUE(s.repair_node(t.node_id(0, 0)));
+    EXPECT_EQ(s.total_free_nodes(), t.total_nodes() - 3);
+    s.release(a);
+    EXPECT_EQ(s.total_free_nodes(), t.total_nodes());
+    EXPECT_TRUE(s.check_invariants());
+  }
+}
+
+TEST(DegradedState, CanApplyPrechecksFreeHealthyAndBandwidth) {
+  const FatTree t(4, 4, 4);
+  ClusterState s(t);
+  const Allocation a = tiny_alloc(t);
+  EXPECT_TRUE(s.can_apply(a));
+  s.apply(a);
+  EXPECT_FALSE(s.can_apply(a));  // already owned
+  ASSERT_TRUE(s.fail_node(t.node_id(0, 0)));
+  s.release(a);
+  EXPECT_FALSE(s.can_apply(a));  // node 0 still failed
+  ASSERT_TRUE(s.repair_node(t.node_id(0, 0)));
+  EXPECT_TRUE(s.can_apply(a));
+
+  Allocation dup = a;
+  dup.nodes.push_back(dup.nodes.front());
+  EXPECT_FALSE(s.can_apply(dup));
+
+  Allocation shared = a;
+  shared.bandwidth = s.usable_bandwidth() + 1.0;  // more than any wire has
+  EXPECT_FALSE(s.can_apply(shared));
+  EXPECT_TRUE(s.check_invariants());
+}
+
+// ---- property test: random interleavings ------------------------------
+
+TEST(DegradedState, RandomInterleavingsPreserveAccounting) {
+  const FatTree topo = FatTree::from_radix(8);
+  ClusterState state(topo);
+  const BaselineAllocator allocator;
+  Rng rng(0xFA017u);
+  std::vector<Allocation> held;
+  std::vector<FaultTarget> failed;
+  JobId next_job = 1;
+
+  for (int iter = 0; iter < 1200; ++iter) {
+    const std::uint64_t op = rng.below(10);
+    if (op < 4) {  // allocate
+      const int size = static_cast<int>(1 + rng.below(24));
+      const auto alloc =
+          allocator.allocate(state, JobRequest{next_job, size, 0.0});
+      if (alloc.has_value()) {
+        // Grants never overlap failed hardware and always pass the
+        // precheck that guards the simulator's apply.
+        ASSERT_FALSE(fault::allocation_on_failed_hardware(state, *alloc));
+        ASSERT_TRUE(state.can_apply(*alloc));
+        state.apply(*alloc);
+        held.push_back(*alloc);
+        ++next_job;
+      }
+    } else if (op < 6) {  // release
+      if (!held.empty()) {
+        const std::size_t pick = rng.below(held.size());
+        state.release(held[pick]);
+        held[pick] = std::move(held.back());
+        held.pop_back();
+      }
+    } else if (op < 8) {  // fail a random primitive
+      FaultTarget target;
+      const std::uint64_t kind = rng.below(3);
+      if (kind == 0) {
+        target = FaultTarget{
+            ResourceKind::kNode,
+            static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(topo.total_nodes()))),
+            0, 0};
+      } else if (kind == 1) {
+        target = FaultTarget{
+            ResourceKind::kLeafWire,
+            static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(topo.total_leaves()))),
+            static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(topo.l2_per_tree()))),
+            0};
+      } else {
+        target = FaultTarget{
+            ResourceKind::kL2Wire,
+            static_cast<std::int32_t>(
+                rng.below(static_cast<std::uint64_t>(topo.trees()))),
+            static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(topo.l2_per_tree()))),
+            static_cast<std::int32_t>(rng.below(
+                static_cast<std::uint64_t>(topo.spines_per_group())))};
+      }
+      fault::apply_failure(state, fault::expand(topo, target));
+      failed.push_back(target);
+    } else {  // repair a random failed target
+      if (!failed.empty()) {
+        const std::size_t pick = rng.below(failed.size());
+        fault::apply_repair(state, fault::expand(topo, failed[pick]));
+        failed[pick] = failed.back();
+        failed.pop_back();
+      }
+    }
+    ASSERT_TRUE(state.check_invariants()) << "iteration " << iter;
+    ASSERT_GE(state.total_free_nodes(), 0);
+    ASSERT_LE(state.total_free_nodes(),
+              topo.total_nodes() - state.failed_node_count());
+  }
+
+  // Drain: release everything and repair everything; the state must come
+  // back to a pristine fully-free cluster (capacity restored exactly once).
+  for (const Allocation& a : held) state.release(a);
+  for (const FaultTarget& target : failed) {
+    fault::apply_repair(state, fault::expand(topo, target));
+  }
+  EXPECT_TRUE(state.check_invariants());
+  EXPECT_FALSE(state.degraded());
+  EXPECT_EQ(state.total_free_nodes(), topo.total_nodes());
+}
+
+// ---- simulator integration ---------------------------------------------
+
+Trace saturating_trace(int jobs, int nodes, double runtime) {
+  Trace trace;
+  trace.name = "fault-sim";
+  for (int k = 0; k < jobs; ++k) {
+    trace.jobs.push_back(
+        Job{static_cast<JobId>(k), 0.0, nodes, runtime, 1.0});
+  }
+  normalize(trace);
+  return trace;
+}
+
+TEST(FaultSimulator, KillAndRequeueRestartsVictimsAndFinishes) {
+  const FatTree topo = FatTree::from_radix(8);  // 128 nodes
+  const JigsawAllocator allocator;
+  const Trace trace = saturating_trace(6, 32, 1000.0);  // 4 run, 2 queue
+
+  fault::FailureSchedule schedule;
+  schedule.add(500.0, true, FaultTarget{ResourceKind::kNode, 0, 0, 0});
+  schedule.add(2500.0, false, FaultTarget{ResourceKind::kNode, 0, 0, 0});
+  schedule.sort_by_time();
+
+  SimConfig config;
+  config.failures = &schedule;
+  config.victim_policy = VictimPolicy::kKillAndRequeue;
+  const SimMetrics m = simulate(topo, allocator, trace, config);
+  // Node 0 is allocated at t=500 (the machine is full), so its owner dies
+  // and restarts; every job still completes, no ghost double-counting.
+  EXPECT_EQ(m.completed, 6u);
+  EXPECT_EQ(m.abandoned, 0u);
+  EXPECT_EQ(m.jobs_killed, 1u);
+  EXPECT_EQ(m.jobs_requeued, 1u);
+  EXPECT_EQ(m.fault_events, 2u);
+  EXPECT_EQ(m.resources_failed, 1u);
+  EXPECT_EQ(m.resources_repaired, 1u);
+  // The victim lost 500s of work and restarted in the next wave alongside
+  // the queued jobs; the run is at least as long as the pristine 2000s.
+  EXPECT_GE(m.makespan, 2000.0);
+
+  // Deterministic replay.
+  const SimMetrics m2 = simulate(topo, allocator, trace, config);
+  EXPECT_EQ(m2.makespan, m.makespan);
+  EXPECT_EQ(m2.jobs_requeued, m.jobs_requeued);
+  EXPECT_EQ(m2.steady_utilization, m.steady_utilization);
+}
+
+TEST(FaultSimulator, RunToCompletionDegradedKillsNothing) {
+  const FatTree topo = FatTree::from_radix(8);
+  const JigsawAllocator allocator;
+  const Trace trace = saturating_trace(6, 32, 1000.0);
+
+  fault::FailureSchedule schedule;
+  schedule.add(500.0, true, FaultTarget{ResourceKind::kNode, 0, 0, 0});
+  schedule.sort_by_time();
+
+  SimConfig config;
+  config.failures = &schedule;
+  config.victim_policy = VictimPolicy::kRunToCompletionDegraded;
+  const SimMetrics m = simulate(topo, allocator, trace, config);
+  EXPECT_EQ(m.completed, 6u);
+  EXPECT_EQ(m.jobs_killed, 0u);
+  EXPECT_EQ(m.jobs_requeued, 0u);
+  // The owner kept the failed node to completion; afterwards it stays out
+  // of the pool, but 32-node jobs still fit on the surviving 127 nodes.
+  EXPECT_EQ(m.abandoned, 0u);
+}
+
+TEST(FaultSimulator, UnplaceableJobIsAbandonedNotFatal) {
+  const FatTree topo = FatTree::from_radix(8);
+  const JigsawAllocator allocator;
+  Trace trace;
+  trace.name = "whale";
+  trace.jobs = {Job{0, 10.0, topo.total_nodes(), 100.0, 1.0}};
+  normalize(trace);
+
+  fault::FailureSchedule schedule;  // permanent outage before arrival
+  schedule.add(0.0, true, FaultTarget{ResourceKind::kNode, 3, 0, 0});
+  schedule.sort_by_time();
+
+  SimConfig config;
+  config.failures = &schedule;
+  const SimMetrics m = simulate(topo, allocator, trace, config);
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_EQ(m.abandoned, 1u);
+}
+
+TEST(FaultSimulator, GrantAuditSeesEveryPlacement) {
+  const FatTree topo = FatTree::from_radix(8);
+  const JigsawAllocator allocator;
+  const Trace trace = saturating_trace(6, 32, 1000.0);
+
+  fault::FailureSchedule schedule;
+  schedule.add(500.0, true, FaultTarget{ResourceKind::kLeafSwitch, 0, 0, 0});
+  schedule.sort_by_time();
+
+  SimConfig config;
+  config.failures = &schedule;
+  std::size_t grants = 0;
+  config.grant_audit = [&](double, const Allocation& a,
+                           const ClusterState& state) {
+    ++grants;
+    EXPECT_FALSE(fault::allocation_on_failed_hardware(state, a));
+  };
+  const SimMetrics m = simulate(topo, allocator, trace, config);
+  // 6 first placements plus one restart per victim of the dead leaf.
+  EXPECT_EQ(grants, 6u + m.jobs_requeued);
+  EXPECT_GE(m.jobs_requeued, 1u);
+  EXPECT_EQ(m.completed, 6u);
+}
+
+}  // namespace
+}  // namespace jigsaw
