@@ -9,11 +9,19 @@
 
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/baseline.hpp"
@@ -22,6 +30,7 @@
 #include "core/lc.hpp"
 #include "core/ta.hpp"
 #include "obs/observer.hpp"
+#include "obs/sink.hpp"  // json_escape
 #include "sim/simulator.hpp"
 #include "trace/llnl_like.hpp"
 #include "trace/synthetic.hpp"
@@ -226,10 +235,126 @@ inline ObsSetup make_obs(const CliFlags& flags) {
   return setup;
 }
 
+// ---- parallel cell driver ----------------------------------------------
+
+inline void define_threads_flag(CliFlags& flags) {
+  flags.define("threads",
+               "worker threads for bench cells (0 = hardware concurrency; "
+               "1 = sequential legacy path)",
+               "0");
+}
+
+/// Worker count for this run. The structured trace sink and metrics
+/// registry are single-threaded, so requesting either forces the
+/// sequential path (with a note, since the user asked for parallelism).
+inline int resolve_threads(const CliFlags& flags, const ObsSetup& obs) {
+  int n = static_cast<int>(flags.integer("threads"));
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n < 1) n = 1;
+  }
+  if (n > 1 && (obs.ctx.sink != nullptr || obs.ctx.metrics != nullptr)) {
+    std::cerr << "note: --trace-out/--metrics-out sinks are "
+                 "single-threaded; forcing --threads 1\n";
+    n = 1;
+  }
+  return n;
+}
+
+/// Run `cells` cell bodies across a pool of worker threads. Bodies must
+/// write results only into their own pre-sized slot (results[i]) so
+/// output is deterministic regardless of which worker runs which cell.
+/// With one worker the bodies run inline in index order — the bit-exact
+/// legacy sequential path. The first exception from any cell is rethrown
+/// here after the pool drains.
+inline void run_cells(int threads, std::size_t cells,
+                      const std::function<void(std::size_t)>& body) {
+  const std::size_t workers =
+      std::min<std::size_t>(threads < 1 ? 1 : static_cast<std::size_t>(threads),
+                            cells);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < cells; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= cells) return;
+        try {
+          body(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+          }
+          next.store(cells);  // drain remaining work
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+// ---- per-cell attribution ----------------------------------------------
+
+/// One simulated (trace x scheme x repeat) cell's cost attribution,
+/// emitted as the JSON "cells" array next to the result table so
+/// speedups are attributable (search pruning vs. copy elimination).
+struct CellStats {
+  std::string trace;
+  std::string scheme;
+  int repeat = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t search_steps = 0;
+  std::uint64_t allocate_calls = 0;
+};
+
+/// simulate() wrapped with a wall clock, filling `stat`'s attribution
+/// fields (wall time, allocator search steps, allocate calls).
+inline SimMetrics timed_simulate(const FatTree& topo, const Allocator& alloc,
+                                 const Trace& trace, const SimConfig& config,
+                                 CellStats* stat) {
+  const auto start = std::chrono::steady_clock::now();
+  SimMetrics m = simulate(topo, alloc, trace, config);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (stat != nullptr) {
+    stat->wall_seconds = elapsed.count();
+    stat->search_steps = m.search_steps;
+    stat->allocate_calls = m.allocate_calls;
+  }
+  return m;
+}
+
+inline std::string cells_json(const std::vector<CellStats>& cells) {
+  std::ostringstream out;
+  out << "\"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellStats& c = cells[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"trace\": \""
+        << obs::json_escape(c.trace) << "\", \"scheme\": \""
+        << obs::json_escape(c.scheme) << "\", \"repeat\": " << c.repeat
+        << ", \"wall_seconds\": " << c.wall_seconds
+        << ", \"search_steps\": " << c.search_steps
+        << ", \"allocate_calls\": " << c.allocate_calls << '}';
+  }
+  out << (cells.empty() ? "" : "\n  ") << ']';
+  return out.str();
+}
+
 /// Honor --json-out: write the rendered table as JSON named after the
-/// bench binary.
+/// bench binary, with optional per-cell attribution records.
 inline void write_json_out(const CliFlags& flags, const std::string& bench,
-                           const TablePrinter& table) {
+                           const TablePrinter& table,
+                           const std::vector<CellStats>& cells = {}) {
   const std::string path = flags.str("json-out");
   if (path.empty()) return;
   std::ofstream out(path);
@@ -237,7 +362,7 @@ inline void write_json_out(const CliFlags& flags, const std::string& bench,
     std::cerr << "cannot write --json-out file: " << path << "\n";
     return;
   }
-  table.write_json(out, bench);
+  table.write_json(out, bench, cells.empty() ? "" : cells_json(cells));
 }
 
 }  // namespace jigsaw::bench

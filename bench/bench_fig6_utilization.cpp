@@ -13,10 +13,12 @@ int main(int argc, char** argv) {
   CliFlags flags;
   define_scale_flags(flags, "5000");
   define_obs_flags(flags);
+  define_threads_flag(flags);
   flags.define("traces", "comma-separated trace subset (default: all)", "");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
   ObsSetup obs_setup = make_obs(flags);
+  const int threads = resolve_threads(flags, obs_setup);
 
   std::vector<std::string> names;
   if (flags.str("traces").empty()) {
@@ -35,28 +37,57 @@ int main(int argc, char** argv) {
   for (const Scheme s : figure6_schemes()) {
     header.push_back(make_scheme(s)->name());
   }
+
+  // One cell per (trace, scheme), run across the worker pool. Traces are
+  // loaded up front and shared read-only; every cell owns its allocator.
+  std::vector<NamedTrace> traces;
+  traces.reserve(names.size());
+  for (const std::string& name : names) traces.push_back(load(name, jobs));
+
+  const std::size_t schemes = figure6_schemes().size();
+  struct Cell {
+    std::string util;
+    std::string note;
+    CellStats stats;
+  };
+  std::vector<Cell> cells(names.size() * schemes);
+  run_cells(threads, cells.size(), [&](std::size_t i) {
+    const std::size_t ti = i / schemes;
+    const Scheme s = figure6_schemes()[i % schemes];
+    const NamedTrace& nt = traces[ti];
+    const AllocatorPtr scheme = make_scheme(s);
+    SimConfig config;
+    config.obs = obs_setup.ctx;
+    obs_setup.annotate_run(names[ti], scheme->name());
+    Cell& cell = cells[i];
+    cell.stats.trace = names[ti];
+    cell.stats.scheme = scheme->name();
+    const SimMetrics m =
+        timed_simulate(nt.topo, *scheme, nt.trace, config, &cell.stats);
+    cell.util = TablePrinter::fmt(100.0 * m.steady_utilization, 1);
+    std::ostringstream note;
+    note << names[ti] << " / " << scheme->name() << ": util " << cell.util
+         << "%, waste " << TablePrinter::fmt(100.0 * m.steady_waste, 1)
+         << "%, allocate calls " << m.allocate_calls
+         << ", budget exhaustions " << m.budget_exhaustions << "\n";
+    cell.note = note.str();
+  });
+
   TablePrinter table(header);
-  for (const std::string& name : names) {
-    const NamedTrace nt = load(name, jobs);
-    std::vector<std::string> row{name};
-    for (const Scheme s : figure6_schemes()) {
-      const AllocatorPtr scheme = make_scheme(s);
-      SimConfig config;
-      config.obs = obs_setup.ctx;
-      obs_setup.annotate_run(name, scheme->name());
-      const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
-      row.push_back(TablePrinter::fmt(100.0 * m.steady_utilization, 1));
-      std::cerr << name << " / " << scheme->name() << ": util "
-                << TablePrinter::fmt(100.0 * m.steady_utilization, 1)
-                << "%, waste "
-                << TablePrinter::fmt(100.0 * m.steady_waste, 1)
-                << "%, allocate calls " << m.allocate_calls
-                << ", budget exhaustions " << m.budget_exhaustions << "\n";
+  std::vector<CellStats> stats;
+  stats.reserve(cells.size());
+  for (std::size_t ti = 0; ti < names.size(); ++ti) {
+    std::vector<std::string> row{names[ti]};
+    for (std::size_t si = 0; si < schemes; ++si) {
+      Cell& cell = cells[ti * schemes + si];
+      row.push_back(cell.util);
+      std::cerr << cell.note;
+      stats.push_back(std::move(cell.stats));
     }
     table.add_row(std::move(row));
   }
   std::cout << table.render();
-  write_json_out(flags, "fig6_utilization", table);
+  write_json_out(flags, "fig6_utilization", table, stats);
   obs_setup.finish();
   std::cout << "\nPaper shape: Baseline > LC+S >= Jigsaw (95-96) > LaaS "
                "(90-91) > TA (85-88); Jigsaw dips on Oct-Cab and Atlas.\n";

@@ -15,10 +15,12 @@ int main(int argc, char** argv) {
   CliFlags flags;
   define_scale_flags(flags, "4000");
   define_obs_flags(flags);
+  define_threads_flag(flags);
   flags.define("traces", "comma-separated Cab traces", "Aug-Cab,Oct-Cab");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
   ObsSetup obs_setup = make_obs(flags);
+  const int threads = resolve_threads(flags, obs_setup);
 
   std::vector<std::string> names;
   {
@@ -30,44 +32,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<NamedTrace> traces;
+  traces.reserve(names.size());
+  for (const std::string& name : names) traces.push_back(load(name, jobs));
+
+  // One cell per (trace, scenario); the Baseline run every ratio
+  // normalizes against lives in the same cell as its four scheme runs.
+  const std::vector<Scheme> row_schemes{Scheme::kTa, Scheme::kLaas,
+                                        Scheme::kJigsaw, Scheme::kLcs};
+  const std::size_t scenarios = SpeedupModel::all().size();
+  struct Cell {
+    std::vector<std::string> ratios;
+    std::vector<CellStats> stats;
+  };
+  std::vector<Cell> cells(names.size() * scenarios);
+  run_cells(threads, cells.size(), [&](std::size_t i) {
+    const std::size_t ti = i / scenarios;
+    const SpeedupScenario scenario = SpeedupModel::all()[i % scenarios];
+    const NamedTrace& nt = traces[ti];
+    SimConfig config;
+    config.scenario = scenario;
+    config.obs = obs_setup.ctx;
+    Cell& cell = cells[i];
+    const std::string tag =
+        names[ti] + "@" + SpeedupModel::name(scenario);
+    obs_setup.annotate_run(names[ti], "Baseline");
+    cell.stats.push_back(CellStats{tag, "Baseline", 0, 0.0, 0, 0});
+    const SimMetrics base = timed_simulate(
+        nt.topo, *make_scheme(Scheme::kBaseline), nt.trace, config,
+        &cell.stats.back());
+    for (const Scheme s : row_schemes) {
+      const AllocatorPtr scheme = make_scheme(s);
+      obs_setup.annotate_run(names[ti], scheme->name());
+      cell.stats.push_back(CellStats{tag, scheme->name(), 0, 0.0, 0, 0});
+      const SimMetrics m = timed_simulate(nt.topo, *scheme, nt.trace,
+                                          config, &cell.stats.back());
+      const double all = m.mean_turnaround_all / base.mean_turnaround_all;
+      const double large =
+          base.mean_turnaround_large > 0
+              ? m.mean_turnaround_large / base.mean_turnaround_large
+              : 0.0;
+      cell.ratios.push_back(TablePrinter::fmt(all, 2) + "/" +
+                            TablePrinter::fmt(large, 2));
+    }
+  });
+
   TablePrinter json_table({"Trace", "Scenario", "TA all/lg", "LaaS all/lg",
                            "Jigsaw all/lg", "LC+S all/lg"});
-  for (const std::string& name : names) {
-    const NamedTrace nt = load(name, jobs);
+  std::vector<CellStats> stats;
+  for (std::size_t ti = 0; ti < names.size(); ++ti) {
     std::cout << "=== Figure 7: turnaround normalized to Baseline ("
-              << name << ") ===\n\n";
+              << names[ti] << ") ===\n\n";
     TablePrinter table({"Scenario", "TA all/lg", "LaaS all/lg",
                         "Jigsaw all/lg", "LC+S all/lg"});
-    for (const SpeedupScenario scenario : SpeedupModel::all()) {
-      SimConfig config;
-      config.scenario = scenario;
-      config.obs = obs_setup.ctx;
-      obs_setup.annotate_run(name, "Baseline");
-      const SimMetrics base =
-          simulate(nt.topo, *make_scheme(Scheme::kBaseline), nt.trace,
-                   config);
-      std::vector<std::string> row{SpeedupModel::name(scenario)};
-      for (const Scheme s :
-           {Scheme::kTa, Scheme::kLaas, Scheme::kJigsaw, Scheme::kLcs}) {
-        const AllocatorPtr scheme = make_scheme(s);
-        obs_setup.annotate_run(name, scheme->name());
-        const SimMetrics m = simulate(nt.topo, *scheme, nt.trace, config);
-        const double all = m.mean_turnaround_all / base.mean_turnaround_all;
-        const double large =
-            base.mean_turnaround_large > 0
-                ? m.mean_turnaround_large / base.mean_turnaround_large
-                : 0.0;
-        row.push_back(TablePrinter::fmt(all, 2) + "/" +
-                      TablePrinter::fmt(large, 2));
-      }
-      std::vector<std::string> json_row{name};
+    for (std::size_t si = 0; si < scenarios; ++si) {
+      Cell& cell = cells[ti * scenarios + si];
+      std::vector<std::string> row{
+          SpeedupModel::name(SpeedupModel::all()[si])};
+      row.insert(row.end(), cell.ratios.begin(), cell.ratios.end());
+      std::vector<std::string> json_row{names[ti]};
       json_row.insert(json_row.end(), row.begin(), row.end());
       json_table.add_row(std::move(json_row));
       table.add_row(std::move(row));
+      for (CellStats& cs : cell.stats) stats.push_back(std::move(cs));
     }
     std::cout << table.render() << "\n";
   }
-  write_json_out(flags, "fig7_turnaround", json_table);
+  write_json_out(flags, "fig7_turnaround", json_table, stats);
   obs_setup.finish();
   std::cout << "Paper shape: Jigsaw beats Baseline (< 1.0) in every "
                "Aug-Cab scenario and in the 10%/20% Oct-Cab scenarios; "

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   define_scale_flags(flags, "2000");
   define_obs_flags(flags);
+  define_threads_flag(flags);
   define_repeat_flag(flags);
   flags.define("trace", "workload trace (see bench_common pairing)",
                "Synth-16");
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
   const std::size_t jobs = scaled_jobs(flags);
   const int repeats = repeat_count(flags);
   ObsSetup obs_setup = make_obs(flags);
+  const int threads = resolve_threads(flags, obs_setup);
 
   const NamedTrace nt = load(flags.str("trace"), jobs);
   const int radix = static_cast<int>(flags.integer("radix"));
@@ -120,14 +122,16 @@ int main(int argc, char** argv) {
       schedule_path.empty() ? split_commas(flags.str("mtbf"))
                             : std::vector<std::string>{"script"};
 
+  // One failure realization per (MTBF, repeat), shared by every scheme so
+  // schemes face identical outages. A scripted outage is the same
+  // deterministic schedule in every repeat; a random one draws a fresh
+  // seed per repeat. Precomputed up front so the cell pool can share
+  // them read-only.
+  std::vector<std::vector<fault::FailureSchedule>> schedules(
+      mtbf_cells.size());
   for (std::size_t mi = 0; mi < mtbf_cells.size(); ++mi) {
     const std::string& mtbf_text = mtbf_cells[mi];
     const bool pristine = schedule_path.empty() && mtbf_text == "inf";
-
-    // One failure realization per (MTBF, repeat), shared by every scheme.
-    // A scripted outage is the same deterministic schedule in every
-    // repeat; a random one draws a fresh seed per repeat.
-    std::vector<fault::FailureSchedule> schedules;
     for (int r = 0; r < repeats; ++r) {
       fault::FailureSchedule schedule;
       if (!schedule_path.empty()) {
@@ -141,60 +145,105 @@ int main(int argc, char** argv) {
         fc.seed = base_seed + 7919 * mi + static_cast<std::uint64_t>(r);
         schedule = fault::make_random_schedule(topo, fc);
       }
-      schedules.push_back(std::move(schedule));
+      schedules[mi].push_back(std::move(schedule));
     }
+  }
 
-    for (const Scheme s : figure6_schemes()) {
-      const AllocatorPtr scheme = make_scheme(s);
+  // One cell per (MTBF, scheme, repeat); the grant-audit counters and the
+  // certification RNG are cell-local so cells are independent.
+  struct Cell {
+    double util = 0.0;
+    double turnaround = 0.0;
+    double requeues = 0.0;
+    std::uint64_t rejected = 0;
+    std::size_t abandoned = 0;
+    std::uint64_t violations = 0;
+    std::string note;
+    CellStats stats;
+  };
+  const std::size_t n_schemes = figure6_schemes().size();
+  const std::size_t n_repeats = static_cast<std::size_t>(repeats);
+  std::vector<Cell> cells(mtbf_cells.size() * n_schemes * n_repeats);
+  run_cells(threads, cells.size(), [&](std::size_t i) {
+    const std::size_t mi = i / (n_schemes * n_repeats);
+    const std::size_t si = (i / n_repeats) % n_schemes;
+    const int r = static_cast<int>(i % n_repeats);
+    const std::string& mtbf_text = mtbf_cells[mi];
+    const Scheme s = figure6_schemes()[si];
+    const AllocatorPtr scheme = make_scheme(s);
+    Cell& cell = cells[i];
+
+    SimConfig config;
+    config.obs = obs_setup.ctx;
+    config.victim_policy = policy;
+    if (!schedules[mi][static_cast<std::size_t>(r)].empty()) {
+      config.failures = &schedules[mi][static_cast<std::size_t>(r)];
+    }
+    Rng cert_rng(base_seed ^ (0x9E3779B97F4A7C15ULL + 31 * mi +
+                              static_cast<std::uint64_t>(r)));
+    const bool certify = s == Scheme::kJigsaw;
+    config.grant_audit = [&](double, const Allocation& a,
+                             const ClusterState& state) {
+      if (fault::allocation_on_failed_hardware(state, a)) {
+        ++cell.violations;
+        return;
+      }
+      if (!certify) return;
+      if (!check_full_bandwidth(topo, a)) {
+        ++cell.violations;
+        return;
+      }
+      if (a.nodes.size() < 2) return;
+      const auto perm = random_permutation(a, cert_rng);
+      const RoutingOutcome out = route_permutation(topo, a, perm);
+      if (!out.ok ||
+          !verify_one_flow_per_link(topo, a, out.routes).empty()) {
+        ++cell.violations;
+      }
+    };
+    obs_setup.annotate_run(flags.str("trace") + "@" + mtbf_text,
+                           scheme->name());
+    cell.stats.trace = flags.str("trace") + "@" + mtbf_text;
+    cell.stats.scheme = scheme->name();
+    cell.stats.repeat = r;
+    const SimMetrics m =
+        timed_simulate(topo, *scheme, nt.trace, config, &cell.stats);
+    cell.util = 100.0 * m.steady_utilization;
+    cell.turnaround = m.mean_turnaround_all;
+    cell.requeues = static_cast<double>(m.jobs_requeued);
+    cell.rejected = m.grants_rejected;
+    cell.abandoned = m.abandoned;
+    std::ostringstream note;
+    note << "mtbf " << mtbf_text << " / " << scheme->name() << " ["
+         << (r + 1) << "/" << repeats << "]: util "
+         << TablePrinter::fmt(100.0 * m.steady_utilization, 1)
+         << "%, killed " << m.jobs_killed << ", requeued "
+         << m.jobs_requeued << ", abandoned " << m.abandoned
+         << ", fault events " << m.fault_events << "\n";
+    cell.note = note.str();
+  });
+
+  std::vector<CellStats> stats;
+  stats.reserve(cells.size());
+  for (std::size_t mi = 0; mi < mtbf_cells.size(); ++mi) {
+    for (std::size_t si = 0; si < n_schemes; ++si) {
       Accumulator util, turnaround, requeues;
       std::uint64_t rejected = 0;
       std::size_t abandoned = 0;
       std::uint64_t violations = 0;
-      for (int r = 0; r < repeats; ++r) {
-        SimConfig config;
-        config.obs = obs_setup.ctx;
-        config.victim_policy = policy;
-        if (!schedules[static_cast<std::size_t>(r)].empty()) {
-          config.failures = &schedules[static_cast<std::size_t>(r)];
-        }
-        Rng cert_rng(base_seed ^ (0x9E3779B97F4A7C15ULL + 31 * mi +
-                                  static_cast<std::uint64_t>(r)));
-        const bool certify = s == Scheme::kJigsaw;
-        config.grant_audit = [&](double, const Allocation& a,
-                                 const ClusterState& state) {
-          if (fault::allocation_on_failed_hardware(state, a)) {
-            ++violations;
-            return;
-          }
-          if (!certify) return;
-          if (!check_full_bandwidth(topo, a)) {
-            ++violations;
-            return;
-          }
-          if (a.nodes.size() < 2) return;
-          const auto perm = random_permutation(a, cert_rng);
-          const RoutingOutcome out = route_permutation(topo, a, perm);
-          if (!out.ok ||
-              !verify_one_flow_per_link(topo, a, out.routes).empty()) {
-            ++violations;
-          }
-        };
-        obs_setup.annotate_run(flags.str("trace") + "@" + mtbf_text,
-                               scheme->name());
-        const SimMetrics m = simulate(topo, *scheme, nt.trace, config);
-        util.add(100.0 * m.steady_utilization);
-        turnaround.add(m.mean_turnaround_all);
-        requeues.add(static_cast<double>(m.jobs_requeued));
-        rejected += m.grants_rejected;
-        abandoned += m.abandoned;
-        std::cerr << "mtbf " << mtbf_text << " / " << scheme->name()
-                  << " [" << (r + 1) << "/" << repeats << "]: util "
-                  << TablePrinter::fmt(100.0 * m.steady_utilization, 1)
-                  << "%, killed " << m.jobs_killed << ", requeued "
-                  << m.jobs_requeued << ", abandoned " << m.abandoned
-                  << ", fault events " << m.fault_events << "\n";
+      for (std::size_t r = 0; r < n_repeats; ++r) {
+        Cell& cell = cells[(mi * n_schemes + si) * n_repeats + r];
+        util.add(cell.util);
+        turnaround.add(cell.turnaround);
+        requeues.add(cell.requeues);
+        rejected += cell.rejected;
+        abandoned += cell.abandoned;
+        violations += cell.violations;
+        std::cerr << cell.note;
+        stats.push_back(std::move(cell.stats));
       }
-      std::vector<std::string> row{mtbf_text, scheme->name()};
+      std::vector<std::string> row{
+          mtbf_cells[mi], make_scheme(figure6_schemes()[si])->name()};
       push_repeat_cells(row, util, repeats, 1);
       push_repeat_cells(row, turnaround, repeats, 0);
       push_repeat_cells(row, requeues, repeats, 1);
@@ -206,7 +255,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << table.render();
-  write_json_out(flags, "resilience", table);
+  write_json_out(flags, "resilience", table, stats);
   obs_setup.finish();
   std::cout << "\nExpected shape: utilization and turnaround degrade as "
                "MTBF falls; violations must be 0 for every scheme.\n";

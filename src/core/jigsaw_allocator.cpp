@@ -15,18 +15,10 @@ namespace {
 /// three-level placements that large jobs require.
 std::vector<TreeId> trees_best_fit(const ClusterState& state) {
   const FatTree& topo = state.topo();
-  std::vector<int> free_nodes(static_cast<std::size_t>(topo.trees()), 0);
-  for (TreeId t = 0; t < topo.trees(); ++t) {
-    for (int li = 0; li < topo.leaves_per_tree(); ++li) {
-      free_nodes[static_cast<std::size_t>(t)] +=
-          state.free_node_count(topo.leaf_id(t, li));
-    }
-  }
   std::vector<TreeId> order(static_cast<std::size_t>(topo.trees()));
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](TreeId a, TreeId b) {
-    return free_nodes[static_cast<std::size_t>(a)] <
-           free_nodes[static_cast<std::size_t>(b)];
+    return state.tree_free_nodes(a) < state.tree_free_nodes(b);
   });
   return order;
 }

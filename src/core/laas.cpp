@@ -22,16 +22,19 @@ Mask free_bundles(const ClusterState& state, TreeId t) {
 
 /// Lowest `count` fully-free leaves of tree t (whole-leaf grants need the
 /// uplinks too, which free leaves always have under whole-leaf operation).
+/// Reads the fully-free-leaf index; the uplink check stays for degraded
+/// trees, where a node-fully-free leaf can have failed uplink wires.
 std::vector<LeafId> free_leaves(const ClusterState& state, TreeId t,
                                 int count) {
   std::vector<LeafId> out;
   const FatTree& topo = state.topo();
-  const LinkView view{&state, 0.0};
-  for (int li = 0;
-       li < topo.leaves_per_tree() && static_cast<int>(out.size()) < count;
-       ++li) {
+  const Mask all_up = low_bits(topo.l2_per_tree());
+  Mask fully_free = state.fully_free_leaf_mask(t);
+  while (fully_free != 0 && static_cast<int>(out.size()) < count) {
+    const int li = lowest_bit(fully_free);
+    fully_free &= fully_free - 1;
     const LeafId l = topo.leaf_id(t, li);
-    if (view.leaf_fully_available(l)) out.push_back(l);
+    if (state.free_leaf_up(l) == all_up) out.push_back(l);
   }
   if (static_cast<int>(out.size()) < count) out.clear();
   return out;
@@ -151,20 +154,11 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
   const LinkView view{&state, 0.0};
   std::vector<TreeId> tree_order(static_cast<std::size_t>(m3));
   std::iota(tree_order.begin(), tree_order.end(), 0);
-  {
-    std::vector<int> free_nodes(static_cast<std::size_t>(m3), 0);
-    for (TreeId t = 0; t < m3; ++t) {
-      for (int li = 0; li < m2; ++li) {
-        free_nodes[static_cast<std::size_t>(t)] +=
-            state.free_node_count(topo.leaf_id(t, li));
-      }
-    }
-    std::stable_sort(tree_order.begin(), tree_order.end(),
-                     [&](TreeId a, TreeId b) {
-                       return free_nodes[static_cast<std::size_t>(a)] <
-                              free_nodes[static_cast<std::size_t>(b)];
-                     });
-  }
+  std::stable_sort(tree_order.begin(), tree_order.end(),
+                   [&](TreeId a, TreeId b) {
+                     return state.tree_free_nodes(a) <
+                            state.tree_free_nodes(b);
+                   });
   for (const TwoLevelShape& shape : two_level_shapes(request.nodes, topo)) {
     for (const TreeId t : tree_order) {
       TwoLevelPick pick;

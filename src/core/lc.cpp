@@ -67,14 +67,19 @@ std::vector<TreeSolution> tree_solutions(const ClusterState& state,
   }
   L2Ctx ctx{&state, &view, tree, full_leaves, nodes_per_leaf,
             {},     {},    {},   &out,        &budget};
-  for (int li = 0; li < state.topo().leaves_per_tree(); ++li) {
+  // OR of the >= nodes_per_leaf free-count buckets, walked in ascending
+  // leaf-index order — the same candidate order as a full leaf sweep.
+  Mask eligible = 0;
+  for (int c = nodes_per_leaf; c <= state.topo().nodes_per_leaf(); ++c) {
+    eligible |= state.leaves_with_free_count(tree, c);
+  }
+  for_each_bit(eligible, [&](int li) {
     const LeafId l = state.topo().leaf_id(tree, li);
-    if (state.free_node_count(l) < nodes_per_leaf) continue;
     const Mask up = view.leaf_up(l);
-    if (popcount(up) < nodes_per_leaf) continue;
+    if (popcount(up) < nodes_per_leaf) return;
     ctx.candidates.push_back(l);
     ctx.cand_up.push_back(up);
-  }
+  });
   if (static_cast<int>(ctx.candidates.size()) >= full_leaves) {
     find_all_l2(ctx, 0, ~Mask{0});
   }
@@ -349,27 +354,21 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
     }
   }
 
-  // Cheap per-tree counts reused to pre-filter shapes before the
-  // expensive per-tree solution enumeration.
-  std::vector<int> tree_free(static_cast<std::size_t>(topo.trees()), 0);
-  std::vector<std::vector<int>> leaf_free(
-      static_cast<std::size_t>(topo.trees()));
+  // Suffix-summed bucket counts, one row per tree: row[c] = leaves with
+  // >= c free nodes. Built once from the capacity index so the per-shape
+  // feasibility screen below is an O(1) read per tree.
+  const int m1 = topo.nodes_per_leaf();
+  std::vector<int> at_least(
+      static_cast<std::size_t>(topo.trees()) * (m1 + 2), 0);
   for (TreeId t = 0; t < topo.trees(); ++t) {
-    auto& leaves = leaf_free[static_cast<std::size_t>(t)];
-    leaves.resize(static_cast<std::size_t>(topo.leaves_per_tree()));
-    for (int li = 0; li < topo.leaves_per_tree(); ++li) {
-      leaves[static_cast<std::size_t>(li)] =
-          state.free_node_count(topo.leaf_id(t, li));
-      tree_free[static_cast<std::size_t>(t)] +=
-          leaves[static_cast<std::size_t>(li)];
+    int* row = &at_least[static_cast<std::size_t>(t) * (m1 + 2)];
+    for (int c = m1; c >= 1; --c) {
+      row[c] = row[c + 1] + popcount(state.leaves_with_free_count(t, c));
     }
+    row[0] = topo.leaves_per_tree();
   }
   auto leaves_with_at_least = [&](TreeId t, int per_leaf) {
-    int count = 0;
-    for (const int f : leaf_free[static_cast<std::size_t>(t)]) {
-      if (f >= per_leaf) ++count;
-    }
-    return count;
+    return at_least[static_cast<std::size_t>(t) * (m1 + 2) + per_leaf];
   };
 
   for (const ThreeLevelShape& shape :
@@ -383,7 +382,7 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
       const int deep = leaves_with_at_least(t, shape.nodes_per_leaf);
       if (deep >= shape.leaves_per_tree) ++full_capable;
       if (shape.has_remainder_tree() && deep >= shape.rem_full_leaves &&
-          tree_free[static_cast<std::size_t>(t)] >= shape.remainder_nodes()) {
+          state.tree_free_nodes(t) >= shape.remainder_nodes()) {
         ++rem_capable;
       }
     }

@@ -41,21 +41,25 @@ bool complete_two_level(TwoLevelCtx& ctx, Mask inter) {
   }
 
   // Remainder leaf: best fit (fewest free nodes that still suffice), so
-  // partially-used leaves are consumed before pristine ones.
+  // partially-used leaves are consumed before pristine ones. The
+  // per-(tree, count) buckets visit leaves count-ascending then
+  // index-ascending — the same winner the full scan used to find.
   const FatTree& topo = ctx.state->topo();
   LeafId best = -1;
-  int best_free = std::numeric_limits<int>::max();
   Mask best_r = 0;
-  for (int li = 0; li < topo.leaves_per_tree(); ++li) {
-    const LeafId l = topo.leaf_id(ctx.tree, li);
-    if (is_chosen(ctx.chosen, l)) continue;
-    const int free_count = ctx.state->free_node_count(l);
-    if (free_count < sh.remainder || free_count >= best_free) continue;
-    const Mask r = ctx.view->leaf_up(l) & inter;
-    if (popcount(r) < sh.remainder) continue;
-    best = l;
-    best_free = free_count;
-    best_r = r;
+  for (int c = sh.remainder; c <= topo.nodes_per_leaf() && best < 0; ++c) {
+    Mask bucket = ctx.state->leaves_with_free_count(ctx.tree, c);
+    while (bucket != 0) {
+      const int li = lowest_bit(bucket);
+      bucket &= bucket - 1;
+      const LeafId l = topo.leaf_id(ctx.tree, li);
+      if (is_chosen(ctx.chosen, l)) continue;
+      const Mask r = ctx.view->leaf_up(l) & inter;
+      if (popcount(r) < sh.remainder) continue;
+      best = l;
+      best_r = r;
+      break;
+    }
   }
   if (best < 0) return false;
 
@@ -95,27 +99,36 @@ bool find_two_level(const ClusterState& state, const LinkView& view,
                     const TwoLevelShape& shape, TreeId tree,
                     std::uint64_t& budget, TwoLevelPick* out) {
   const FatTree& topo = state.topo();
+  // Index prescreen: the recursion needs full_leaves sufficiently-free
+  // leaves, so a handful of bucket reads settles most trees before any
+  // candidate collection (or its allocations) happens. Budget-neutral:
+  // the sweep below would reach the same verdict without spending steps.
+  Mask eligible = 0;
+  for (int c = shape.nodes_per_leaf; c <= topo.nodes_per_leaf(); ++c) {
+    eligible |= state.leaves_with_free_count(tree, c);
+  }
+  if (popcount(eligible) < shape.full_leaves) return false;
+
   TwoLevelCtx ctx{&state,  &view,  shape, tree, shape.leaves_touched() > 1,
                   {},      {},     {},    &budget, out};
-  ctx.candidates.reserve(static_cast<std::size_t>(topo.leaves_per_tree()));
-  for (int li = 0; li < topo.leaves_per_tree(); ++li) {
-    const LeafId l = topo.leaf_id(tree, li);
-    if (state.free_node_count(l) < shape.nodes_per_leaf) continue;
-    const Mask up = view.leaf_up(l);
-    if (ctx.needs_links && popcount(up) < shape.nodes_per_leaf) continue;
-    ctx.candidates.push_back(l);
-  }
   // Best fit: prefer the leaves with the fewest free nodes, so partially
   // used leaves fill up and pristine leaves stay available for the
   // whole-leaf three-level placements large jobs need. This ordering is
   // what keeps external fragmentation — and thus utilization — in check.
-  std::stable_sort(ctx.candidates.begin(), ctx.candidates.end(),
-                   [&](LeafId a, LeafId b) {
-                     return state.free_node_count(a) <
-                            state.free_node_count(b);
-                   });
-  ctx.cand_up.reserve(ctx.candidates.size());
-  for (const LeafId l : ctx.candidates) ctx.cand_up.push_back(view.leaf_up(l));
+  // The per-(tree, count) buckets yield exactly the old
+  // filter-then-stable-sort order (count ascending, leaf index ascending
+  // within a count) without scanning leaves that lack capacity.
+  ctx.candidates.reserve(static_cast<std::size_t>(topo.leaves_per_tree()));
+  ctx.cand_up.reserve(static_cast<std::size_t>(topo.leaves_per_tree()));
+  for (int c = shape.nodes_per_leaf; c <= topo.nodes_per_leaf(); ++c) {
+    for_each_bit(state.leaves_with_free_count(tree, c), [&](int li) {
+      const LeafId l = topo.leaf_id(tree, li);
+      const Mask up = view.leaf_up(l);
+      if (ctx.needs_links && popcount(up) < shape.nodes_per_leaf) return;
+      ctx.candidates.push_back(l);
+      ctx.cand_up.push_back(up);
+    });
+  }
   if (static_cast<int>(ctx.candidates.size()) < shape.full_leaves) {
     return false;
   }
@@ -137,16 +150,21 @@ struct ThreeLevelCtx {
 };
 
 /// Lowest `count` fully-available leaves of tree t; empty when scarce.
+/// Walks the fully-free-leaf index instead of scanning every leaf; the
+/// per-leaf uplink check stays because a node-fully-free leaf can still
+/// have failed (or bandwidth-exhausted) uplink wires.
 std::vector<LeafId> pick_full_leaves(const ClusterState& state,
                                      const LinkView& view, TreeId t,
                                      int count) {
   std::vector<LeafId> leaves;
   const FatTree& topo = state.topo();
-  for (int li = 0; li < topo.leaves_per_tree() &&
-                   static_cast<int>(leaves.size()) < count;
-       ++li) {
+  const Mask all_up = low_bits(topo.l2_per_tree());
+  Mask fully_free = state.fully_free_leaf_mask(t);
+  while (fully_free != 0 && static_cast<int>(leaves.size()) < count) {
+    const int li = lowest_bit(fully_free);
+    fully_free &= fully_free - 1;
     const LeafId l = topo.leaf_id(t, li);
-    if (view.leaf_fully_available(l)) leaves.push_back(l);
+    if (view.leaf_up(l) == all_up) leaves.push_back(l);
   }
   if (static_cast<int>(leaves.size()) < count) leaves.clear();
   return leaves;
@@ -301,11 +319,15 @@ bool find_three_level_full_leaves(const ClusterState& state,
   }
   ThreeLevelCtx ctx{&state, &view, shape, {}, {}, {}, &budget, out};
   const int w2 = topo.l2_per_tree();
+  const Mask all_leaf_up = low_bits(w2);
   for (TreeId t = 0; t < topo.trees(); ++t) {
+    // Index prescreen: fully-available leaves are a subset of node-fully-
+    // free leaves, so a tree failing the cheap count can never qualify.
+    if (state.fully_free_leaves(t) < shape.leaves_per_tree) continue;
     int full = 0;
-    for (int li = 0; li < topo.leaves_per_tree(); ++li) {
-      if (view.leaf_fully_available(topo.leaf_id(t, li))) ++full;
-    }
+    for_each_bit(state.fully_free_leaf_mask(t), [&](int li) {
+      if (view.leaf_up(topo.leaf_id(t, li)) == all_leaf_up) ++full;
+    });
     if (full < shape.leaves_per_tree) continue;
     std::vector<Mask> up(static_cast<std::size_t>(w2));
     bool viable = true;

@@ -24,13 +24,45 @@ struct LinkView {
   const ClusterState* state;
   double demand = 0.0;
 
+  LinkView(const ClusterState* s, double d) : state(s), demand(d) {}
+
+  /// Lazy memo for the bandwidth-filtered masks (demand > 0 only): a view
+  /// lives within one search over a frozen state, so each residual scan
+  /// is paid at most once per wire group. Zero-demand reads are already
+  /// O(1) index lookups and bypass the memo.
+  mutable std::vector<Mask> leaf_memo_;
+  mutable std::vector<char> leaf_known_;
+  mutable std::vector<Mask> l2_memo_;
+  mutable std::vector<char> l2_known_;
+
   Mask leaf_up(LeafId l) const {
-    return demand > 0.0 ? state->leaf_up_with_bandwidth(l, demand)
-                        : state->free_leaf_up(l);
+    if (demand <= 0.0) return state->free_leaf_up(l);
+    if (leaf_known_.empty()) {
+      leaf_known_.assign(
+          static_cast<std::size_t>(state->topo().total_leaves()), 0);
+      leaf_memo_.resize(leaf_known_.size());
+    }
+    const auto k = static_cast<std::size_t>(l);
+    if (!leaf_known_[k]) {
+      leaf_memo_[k] = state->leaf_up_with_bandwidth(l, demand);
+      leaf_known_[k] = 1;
+    }
+    return leaf_memo_[k];
   }
   Mask l2_up(TreeId t, int l2_index) const {
-    return demand > 0.0 ? state->l2_up_with_bandwidth(t, l2_index, demand)
-                        : state->free_l2_up(t, l2_index);
+    if (demand <= 0.0) return state->free_l2_up(t, l2_index);
+    const int w2 = state->topo().l2_per_tree();
+    if (l2_known_.empty()) {
+      l2_known_.assign(
+          static_cast<std::size_t>(state->topo().trees() * w2), 0);
+      l2_memo_.resize(l2_known_.size());
+    }
+    const auto k = static_cast<std::size_t>(t * w2 + l2_index);
+    if (!l2_known_[k]) {
+      l2_memo_[k] = state->l2_up_with_bandwidth(t, l2_index, demand);
+      l2_known_[k] = 1;
+    }
+    return l2_memo_[k];
   }
   /// A leaf usable as a "full" leaf at three levels: every node free and
   /// every uplink available under this view.

@@ -51,18 +51,17 @@ void reserve_tree_spines(const ClusterState& state, TreeId t, Allocation* a) {
 /// descending so the job claims the fewest leaves (and so the fewest
 /// implicitly-reserved uplinks).
 std::vector<LeafId> usable_leaves_desc(const ClusterState& state, TreeId t) {
+  // Count-descending bucket walk: identical order to collecting leaves in
+  // ascending leaf-index order and stable-sorting by free count descending
+  // (ties keep ascending index, matching for_each_bit's ascending walk).
   std::vector<LeafId> leaves;
-  for (int li = 0; li < state.topo().leaves_per_tree(); ++li) {
-    const LeafId l = state.topo().leaf_id(t, li);
-    if (state.free_node_count(l) > 0 && leaf_uplinks_free(state, l)) {
-      leaves.push_back(l);
-    }
+  const FatTree& topo = state.topo();
+  for (int c = topo.nodes_per_leaf(); c >= 1; --c) {
+    for_each_bit(state.leaves_with_free_count(t, c), [&](int li) {
+      const LeafId l = topo.leaf_id(t, li);
+      if (leaf_uplinks_free(state, l)) leaves.push_back(l);
+    });
   }
-  std::stable_sort(leaves.begin(), leaves.end(),
-                   [&](LeafId a, LeafId b) {
-                     return state.free_node_count(a) >
-                            state.free_node_count(b);
-                   });
   return leaves;
 }
 
@@ -122,6 +121,9 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
     // Intra-subtree job: first subtree with enough usable capacity.
     for (TreeId t = 0; t < topo.trees(); ++t) {
       if (stats != nullptr) ++stats->steps;
+      // Usable capacity never exceeds the tree's free-node index, so a
+      // short tree can be skipped without the per-leaf uplink scan.
+      if (state.tree_free_nodes(t) < request.nodes) continue;
       int capacity = 0;
       for (int li = 0; li < topo.leaves_per_tree(); ++li) {
         const LeafId l = topo.leaf_id(t, li);
@@ -139,6 +141,7 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
   std::vector<std::pair<TreeId, int>> usable;  // (tree, usable capacity)
   for (TreeId t = 0; t < topo.trees(); ++t) {
     if (stats != nullptr) ++stats->steps;
+    if (state.tree_free_nodes(t) == 0) continue;  // capacity would be 0
     if (!tree_spines_free(state, t)) continue;
     int capacity = 0;
     for (int li = 0; li < topo.leaves_per_tree(); ++li) {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
+#include <memory>
 
 #include "obs/scoped_timer.hpp"
 
@@ -39,25 +39,34 @@ struct PassObs {
   }
 };
 
+/// Sorted-vector resource membership; rebuilt once per pass from the
+/// shadow placement and probed per backfill candidate, so contiguous
+/// binary searches beat node-per-node tree walks.
 struct ResourceSet {
-  std::set<NodeId> nodes;
-  std::set<LeafWire> leaf_wires;
-  std::set<L2Wire> l2_wires;
+  std::vector<NodeId> nodes;
+  std::vector<LeafWire> leaf_wires;
+  std::vector<L2Wire> l2_wires;
 
   explicit ResourceSet(const Allocation& a)
-      : nodes(a.nodes.begin(), a.nodes.end()),
-        leaf_wires(a.leaf_wires.begin(), a.leaf_wires.end()),
-        l2_wires(a.l2_wires.begin(), a.l2_wires.end()) {}
+      : nodes(a.nodes), leaf_wires(a.leaf_wires), l2_wires(a.l2_wires) {
+    std::sort(nodes.begin(), nodes.end());
+    std::sort(leaf_wires.begin(), leaf_wires.end());
+    std::sort(l2_wires.begin(), l2_wires.end());
+  }
 
   bool disjoint_from(const Allocation& a) const {
     for (const NodeId n : a.nodes) {
-      if (nodes.count(n)) return false;
+      if (std::binary_search(nodes.begin(), nodes.end(), n)) return false;
     }
     for (const LeafWire& w : a.leaf_wires) {
-      if (leaf_wires.count(w)) return false;
+      if (std::binary_search(leaf_wires.begin(), leaf_wires.end(), w)) {
+        return false;
+      }
     }
     for (const L2Wire& w : a.l2_wires) {
-      if (l2_wires.count(w)) return false;
+      if (std::binary_search(l2_wires.begin(), l2_wires.end(), w)) {
+        return false;
+      }
     }
     return true;
   }
@@ -66,7 +75,7 @@ struct ResourceSet {
 }  // namespace
 
 std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
-    double now, const ClusterState& state,
+    double now, ClusterState& state,
     const std::deque<PendingJob>& pending,
     const std::vector<RunningJob>& running, PassStats* stats,
     Cache* cache, const obs::ObsContext* obs) const {
@@ -74,7 +83,13 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
   if (pending.empty()) return decisions;
 
   const PassObs po(obs);
-  ClusterState work = state;
+  // All speculative mutation this pass makes — head starts, shadow-probe
+  // releases, backfill placements — happens inside this transaction and
+  // is rolled back on every return path, restoring the caller's state
+  // (revision included) bit-identically. Cache comparisons therefore pin
+  // the revision observed at pass entry.
+  const std::uint64_t entry_revision = state.revision();
+  ClusterState::Txn pass_txn(state);
   // `context` labels why the allocate call happened: "head" (FIFO start
   // attempt), "shadow_probe" (reservation search against a hypothetical
   // future state), or "backfill" (window candidate).
@@ -129,7 +144,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
   // shadow recomputation; only backfill candidates beyond the ones already
   // examined can possibly start.
   const bool cache_hit = cache != nullptr &&
-                         cache->revision == state.revision() &&
+                         cache->revision == entry_revision &&
                          cache->blocked_head == pending.front().id;
   std::size_t head_index = 0;
   std::optional<Allocation> shadow_alloc;
@@ -142,16 +157,17 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
     shadow_alloc = cache->shadow;
     shadow_time = cache->shadow_time;
     // The examined-prefix shortcut relies on candidates keeping their
-    // order across passes, which only FIFO order guarantees.
+    // order across passes, which only FIFO order guarantees (SJBF
+    // re-sorts the window on every arrival, so it stays uncached).
     if (order_ == BackfillOrder::kFifo) {
       first_candidate_offset = cache->examined;
     }
   } else {
     // FIFO: start head jobs while they fit.
     while (head_index < pending.size()) {
-      auto alloc = try_alloc(work, pending[head_index], "head");
+      auto alloc = try_alloc(state, pending[head_index], "head");
       if (!alloc.has_value()) break;
-      work.apply(*alloc);
+      state.apply(*alloc);
       decisions.push_back(Decision{head_index, std::move(*alloc)});
       ++head_index;
     }
@@ -176,28 +192,46 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
     std::sort(endings.begin(), endings.end(),
               [](const Ending& a, const Ending& b) { return a.end < b.end; });
 
-    auto fits_after = [&](std::size_t k) -> std::optional<Allocation> {
-      ClusterState trial_state = work;
-      for (std::size_t e = 0; e < k; ++e) {
-        trial_state.release(*endings[e].allocation);
-      }
-      return try_alloc(trial_state, head, "shadow_probe");
-    };
-    if (!endings.empty() && fits_after(endings.size()).has_value()) {
-      // Placeability is monotone in released resources: binary-search the
-      // earliest completion prefix after which the head fits.
-      std::size_t lo = 1;
-      std::size_t hi = endings.size();
-      while (lo < hi) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        if (fits_after(mid).has_value()) {
-          hi = mid;
-        } else {
-          lo = mid + 1;
+    {
+      // Released-prefix ladder: rung e holds a nested transaction that
+      // released endings[e]. Moving the probe prefix from r to k costs
+      // |k - r| release/rollback steps, so the whole binary search pays
+      // O(total endings) instead of re-releasing a prefix per probe.
+      // The rungs must unwind in reverse before this scope exits (Txns
+      // are LIFO), which set_prefix(0) guarantees on every path below.
+      std::vector<ClusterState::Txn> rungs;
+      rungs.reserve(endings.size());
+      auto set_prefix = [&](std::size_t k) {
+        while (rungs.size() > k) {
+          rungs.back().rollback();
+          rungs.pop_back();
         }
+        while (rungs.size() < k) {
+          rungs.emplace_back(state);
+          state.release(*endings[rungs.size() - 1].allocation);
+        }
+      };
+      auto fits_after = [&](std::size_t k) -> std::optional<Allocation> {
+        set_prefix(k);
+        return try_alloc(state, head, "shadow_probe");
+      };
+      if (!endings.empty() && fits_after(endings.size()).has_value()) {
+        // Placeability is monotone in released resources: binary-search
+        // the earliest completion prefix after which the head fits.
+        std::size_t lo = 1;
+        std::size_t hi = endings.size();
+        while (lo < hi) {
+          const std::size_t mid = lo + (hi - lo) / 2;
+          if (fits_after(mid).has_value()) {
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
+        }
+        shadow_alloc = fits_after(lo);
+        shadow_time = endings[lo - 1].end;
       }
-      shadow_alloc = fits_after(lo);
-      shadow_time = endings[lo - 1].end;
+      set_prefix(0);
     }
     if (po.tracing) {
       obs::TraceEvent e = obs::instant("sched", "sched.head_blocked", now);
@@ -211,7 +245,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
     if (cache != nullptr && decisions.empty()) {
       // Only an unchanged-queue-head, no-decision pass is reusable: any
       // started job mutates the cluster and invalidates the revision.
-      cache->revision = state.revision();
+      cache->revision = entry_revision;
       cache->blocked_head = head.id;
       cache->shadow = shadow_alloc;
       cache->shadow_time = shadow_time;
@@ -257,7 +291,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
   for (std::size_t c = first_candidate_offset; c < candidates.size();
        ++c, ++examined) {
     const std::size_t k = candidates[c];
-    auto trial = try_alloc(work, pending[k], "backfill");
+    auto trial = try_alloc(state, pending[k], "backfill");
     if (!trial.has_value()) {
       note_backfill(pending[k], "no_placement", false);
       continue;
@@ -269,12 +303,15 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       continue;
     }
     note_backfill(pending[k], "accepted", true);
-    work.apply(*trial);
+    state.apply(*trial);
     decisions.push_back(Decision{k, std::move(*trial)});
   }
+  // Persist the examined prefix for both miss and cache-hit passes that
+  // started nothing: the next arrival-only pass resumes where this one
+  // stopped instead of re-probing the whole window.
   if (cache != nullptr && decisions.empty() &&
       order_ == BackfillOrder::kFifo &&
-      cache->revision == state.revision() &&
+      cache->revision == entry_revision &&
       cache->blocked_head == pending.front().id) {
     cache->examined = examined;
   }

@@ -12,6 +12,13 @@
 // Because placeability is monotone in released resources, the shadow
 // search binary-searches the completion prefix instead of replaying
 // completions one at a time.
+//
+// The pass is copy-free: head starts, shadow probes and backfill all run
+// against the caller's ClusterState under nested transactions
+// (ClusterState::Txn) and are rolled back before returning, so the caller
+// observes an unchanged state — including its revision counter — while
+// the scheduler pays O(touched-resources) per speculation instead of
+// O(cluster) deep copies.
 
 #pragma once
 
@@ -64,8 +71,15 @@ class EasyScheduler {
   /// Inter-pass memo. When the cluster state is unchanged since a pass
   /// that left the same head job blocked (an arrival-only event), the
   /// head retry and shadow recomputation are skipped and only backfill
-  /// candidates that were not yet examined are tried. Owned by the
-  /// caller; pass the same instance to consecutive schedule() calls.
+  /// candidates that were not yet examined are tried. The examined
+  /// prefix keeps advancing across consecutive zero-start cache-hit
+  /// passes, so a stream of arrivals probes each candidate exactly once.
+  /// Under BackfillOrder::kShortestFirst the examined prefix is
+  /// deliberately uncached: new arrivals re-sort the window, so
+  /// candidates do not keep their positions across passes and every
+  /// cache-hit pass re-examines the full window (the head retry and
+  /// shadow reuse still apply). Owned by the caller; pass the same
+  /// instance to consecutive schedule() calls.
   struct Cache {
     std::uint64_t revision = ~0ull;
     JobId blocked_head = kNoJob;
@@ -74,9 +88,11 @@ class EasyScheduler {
     double shadow_time = 0.0;
   };
 
-  /// Decide which pending jobs to start at time `now`. Does not modify
-  /// `state`; the caller applies the returned allocations. `running` may
-  /// be in any order.
+  /// Decide which pending jobs to start at time `now`. `state` is
+  /// mutated during the pass (speculative placements under a
+  /// transaction) but restored bit-identically — revision included —
+  /// before returning; the caller applies the returned allocations.
+  /// `running` may be in any order.
   ///
   /// When `obs` is non-null the pass reports decision-level telemetry:
   /// per-allocate-call `alloc.attempt` events and timing histograms,
@@ -84,7 +100,7 @@ class EasyScheduler {
   /// `sched.backfill` event per candidate with the accept/reject reason.
   /// A null `obs` keeps the pass allocation- and clock-free beyond the
   /// pre-existing behavior.
-  std::vector<Decision> schedule(double now, const ClusterState& state,
+  std::vector<Decision> schedule(double now, ClusterState& state,
                                  const std::deque<PendingJob>& pending,
                                  const std::vector<RunningJob>& running,
                                  PassStats* stats = nullptr,

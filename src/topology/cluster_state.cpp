@@ -1,5 +1,6 @@
 #include "topology/cluster_state.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace jigsaw {
@@ -19,15 +20,184 @@ ClusterState::ClusterState(const FatTree& topo, double usable_bandwidth)
                        low_bits(topo.l2_per_tree())),
       healthy_l2_up_(static_cast<std::size_t>(topo.total_l2()),
                      low_bits(topo.spines_per_group())),
-      total_free_nodes_(topo.total_nodes()) {}
-
-int ClusterState::fully_free_leaves(TreeId t) const {
-  int count = 0;
-  for (int l = 0; l < topo_->leaves_per_tree(); ++l) {
-    if (leaf_fully_free(topo_->leaf_id(t, l))) ++count;
+      total_free_nodes_(topo.total_nodes()),
+      leaf_free_(static_cast<std::size_t>(topo.total_leaves()),
+                 topo.nodes_per_leaf()),
+      tree_free_(static_cast<std::size_t>(topo.trees()),
+                 topo.nodes_per_leaf() * topo.leaves_per_tree()),
+      tree_fully_free_(static_cast<std::size_t>(topo.trees()),
+                       topo.leaves_per_tree()),
+      fully_free_mask_(static_cast<std::size_t>(topo.trees()),
+                       low_bits(topo.leaves_per_tree())),
+      leaf_bucket_(static_cast<std::size_t>(topo.trees()) *
+                       (static_cast<std::size_t>(topo.nodes_per_leaf()) + 1),
+                   0),
+      l2_up_count_(static_cast<std::size_t>(topo.total_l2()),
+                   topo.spines_per_group()) {
+  // Every leaf starts in its tree's "all nodes free" bucket.
+  const std::size_t stride =
+      static_cast<std::size_t>(topo.nodes_per_leaf()) + 1;
+  for (std::size_t t = 0; t < static_cast<std::size_t>(topo.trees()); ++t) {
+    leaf_bucket_[t * stride + static_cast<std::size_t>(
+                                  topo.nodes_per_leaf())] =
+        low_bits(topo.leaves_per_tree());
   }
-  return count;
 }
+
+// ---- incremental index maintenance ------------------------------------
+
+void ClusterState::refresh_leaf_index(LeafId l) {
+  const int new_count = popcount(free_nodes_[l] & healthy_nodes_[l]);
+  const int old_count = leaf_free_[l];
+  if (new_count == old_count) return;
+  const int m1 = topo_->nodes_per_leaf();
+  const TreeId t = topo_->tree_of_leaf(l);
+  const Mask li_bit = Mask{1} << topo_->leaf_index_in_tree(l);
+  leaf_free_[l] = new_count;
+  total_free_nodes_ += new_count - old_count;
+  tree_free_[t] += new_count - old_count;
+  const std::size_t base =
+      static_cast<std::size_t>(t) * (static_cast<std::size_t>(m1) + 1);
+  leaf_bucket_[base + static_cast<std::size_t>(old_count)] &= ~li_bit;
+  leaf_bucket_[base + static_cast<std::size_t>(new_count)] |= li_bit;
+  if (old_count == m1) {
+    fully_free_mask_[t] &= ~li_bit;
+    --tree_fully_free_[t];
+  } else if (new_count == m1) {
+    fully_free_mask_[t] |= li_bit;
+    ++tree_fully_free_[t];
+  }
+}
+
+void ClusterState::refresh_l2_index(std::size_t l2) {
+  l2_up_count_[l2] = popcount(free_l2_up_[l2] & healthy_l2_up_[l2]);
+}
+
+// ---- journaling setters -------------------------------------------------
+
+void ClusterState::journal(Field f, std::size_t index,
+                           std::uint64_t old_bits) {
+  if (frames_.empty()) return;
+  journal_.push_back(
+      UndoEntry{f, static_cast<std::uint32_t>(index), old_bits});
+}
+
+void ClusterState::set_free_nodes(LeafId l, Mask v) {
+  journal(Field::kFreeNodes, static_cast<std::size_t>(l), free_nodes_[l]);
+  free_nodes_[l] = v;
+  refresh_leaf_index(l);
+}
+
+void ClusterState::set_healthy_nodes(LeafId l, Mask v) {
+  journal(Field::kHealthyNodes, static_cast<std::size_t>(l),
+          healthy_nodes_[l]);
+  healthy_nodes_[l] = v;
+  refresh_leaf_index(l);
+}
+
+void ClusterState::set_free_leaf_up(LeafId l, Mask v) {
+  journal(Field::kFreeLeafUp, static_cast<std::size_t>(l), free_leaf_up_[l]);
+  free_leaf_up_[l] = v;
+}
+
+void ClusterState::set_healthy_leaf_up(LeafId l, Mask v) {
+  journal(Field::kHealthyLeafUp, static_cast<std::size_t>(l),
+          healthy_leaf_up_[l]);
+  healthy_leaf_up_[l] = v;
+}
+
+void ClusterState::set_free_l2_up(std::size_t l2, Mask v) {
+  journal(Field::kFreeL2Up, l2, free_l2_up_[l2]);
+  free_l2_up_[l2] = v;
+  refresh_l2_index(l2);
+}
+
+void ClusterState::set_healthy_l2_up(std::size_t l2, Mask v) {
+  journal(Field::kHealthyL2Up, l2, healthy_l2_up_[l2]);
+  healthy_l2_up_[l2] = v;
+  refresh_l2_index(l2);
+}
+
+void ClusterState::set_residual_leaf_up(std::size_t wire, double v) {
+  journal(Field::kResidualLeafUp, wire,
+          std::bit_cast<std::uint64_t>(residual_leaf_up_[wire]));
+  residual_leaf_up_[wire] = v;
+}
+
+void ClusterState::set_residual_l2_up(std::size_t wire, double v) {
+  journal(Field::kResidualL2Up, wire,
+          std::bit_cast<std::uint64_t>(residual_l2_up_[wire]));
+  residual_l2_up_[wire] = v;
+}
+
+// ---- transactions -------------------------------------------------------
+
+std::size_t ClusterState::begin_txn() {
+  frames_.push_back(
+      TxnFrame{journal_.size(), failed_nodes_, failed_wires_, revision_});
+  return frames_.size() - 1;
+}
+
+void ClusterState::restore(const UndoEntry& e) {
+  const std::size_t i = e.index;
+  switch (e.field) {
+    case Field::kFreeNodes:
+      free_nodes_[i] = e.old_bits;
+      refresh_leaf_index(static_cast<LeafId>(i));
+      break;
+    case Field::kHealthyNodes:
+      healthy_nodes_[i] = e.old_bits;
+      refresh_leaf_index(static_cast<LeafId>(i));
+      break;
+    case Field::kFreeLeafUp:
+      free_leaf_up_[i] = e.old_bits;
+      break;
+    case Field::kHealthyLeafUp:
+      healthy_leaf_up_[i] = e.old_bits;
+      break;
+    case Field::kFreeL2Up:
+      free_l2_up_[i] = e.old_bits;
+      refresh_l2_index(i);
+      break;
+    case Field::kHealthyL2Up:
+      healthy_l2_up_[i] = e.old_bits;
+      refresh_l2_index(i);
+      break;
+    case Field::kResidualLeafUp:
+      residual_leaf_up_[i] = std::bit_cast<double>(e.old_bits);
+      break;
+    case Field::kResidualL2Up:
+      residual_l2_up_[i] = std::bit_cast<double>(e.old_bits);
+      break;
+  }
+}
+
+void ClusterState::rollback_txn(std::size_t frame) {
+  if (frame + 1 != frames_.size()) {
+    throw std::logic_error("Txn: non-LIFO rollback");
+  }
+  const TxnFrame& f = frames_.back();
+  while (journal_.size() > f.journal_mark) {
+    restore(journal_.back());
+    journal_.pop_back();
+  }
+  failed_nodes_ = f.failed_nodes;
+  failed_wires_ = f.failed_wires;
+  revision_ = f.revision;
+  frames_.pop_back();
+}
+
+void ClusterState::commit_txn(std::size_t frame) {
+  if (frame + 1 != frames_.size()) {
+    throw std::logic_error("Txn: non-LIFO commit");
+  }
+  frames_.pop_back();
+  // Entries recorded under an outer Txn must survive for its rollback;
+  // only the outermost commit may drop the journal.
+  if (frames_.empty()) journal_.clear();
+}
+
+// ---- bandwidth tracking -------------------------------------------------
 
 void ClusterState::ensure_bandwidth_tracking() {
   if (!residual_leaf_up_.empty()) return;
@@ -136,19 +306,28 @@ void ClusterState::apply(const Allocation& a) {
     throw std::logic_error(violation);
   }
 
-  for (const NodeId n : a.nodes) {
-    const LeafId l = topo_->leaf_of_node(n);
-    free_nodes_[l] &= ~(Mask{1} << topo_->node_index_in_leaf(n));
-    --total_free_nodes_;
+  // Nodes arrive grouped by leaf (materialize emits them leaf-by-leaf);
+  // batching each run into one masked write keeps the journal and the
+  // index refreshes O(touched leaves) instead of O(nodes).
+  for (std::size_t i = 0; i < a.nodes.size();) {
+    const LeafId l = topo_->leaf_of_node(a.nodes[i]);
+    Mask bits = 0;
+    do {
+      bits |= Mask{1} << topo_->node_index_in_leaf(a.nodes[i]);
+      ++i;
+    } while (i < a.nodes.size() && topo_->leaf_of_node(a.nodes[i]) == l);
+    set_free_nodes(l, free_nodes_[l] & ~bits);
   }
 
   for (const LeafWire& w : a.leaf_wires) {
     if (shared) {
-      residual_leaf_up_[static_cast<std::size_t>(w.leaf) *
-                            static_cast<std::size_t>(topo_->l2_per_tree()) +
-                        static_cast<std::size_t>(w.l2_index)] -= a.bandwidth;
+      const std::size_t wire =
+          static_cast<std::size_t>(w.leaf) *
+              static_cast<std::size_t>(topo_->l2_per_tree()) +
+          static_cast<std::size_t>(w.l2_index);
+      set_residual_leaf_up(wire, residual_leaf_up_[wire] - a.bandwidth);
     } else {
-      free_leaf_up_[w.leaf] &= ~(Mask{1} << w.l2_index);
+      set_free_leaf_up(w.leaf, free_leaf_up_[w.leaf] & ~(Mask{1} << w.l2_index));
     }
   }
 
@@ -156,11 +335,12 @@ void ClusterState::apply(const Allocation& a) {
     const std::size_t l2 =
         static_cast<std::size_t>(w.tree * topo_->l2_per_tree() + w.l2_index);
     if (shared) {
-      residual_l2_up_[l2 * static_cast<std::size_t>(
-                               topo_->spines_per_group()) +
-                      static_cast<std::size_t>(w.spine_index)] -= a.bandwidth;
+      const std::size_t wire =
+          l2 * static_cast<std::size_t>(topo_->spines_per_group()) +
+          static_cast<std::size_t>(w.spine_index);
+      set_residual_l2_up(wire, residual_l2_up_[wire] - a.bandwidth);
     } else {
-      free_l2_up_[l2] &= ~(Mask{1} << w.spine_index);
+      set_free_l2_up(l2, free_l2_up_[l2] & ~(Mask{1} << w.spine_index));
     }
   }
   ++revision_;
@@ -168,30 +348,36 @@ void ClusterState::apply(const Allocation& a) {
 
 void ClusterState::release(const Allocation& a) {
   ++revision_;
-  for (const NodeId n : a.nodes) {
-    const LeafId l = topo_->leaf_of_node(n);
-    const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
-    if (free_nodes_[l] & bit) {
+  for (std::size_t i = 0; i < a.nodes.size();) {
+    const LeafId l = topo_->leaf_of_node(a.nodes[i]);
+    Mask bits = 0;
+    do {
+      bits |= Mask{1} << topo_->node_index_in_leaf(a.nodes[i]);
+      ++i;
+    } while (i < a.nodes.size() && topo_->leaf_of_node(a.nodes[i]) == l);
+    if (free_nodes_[l] & bits) {
       throw std::logic_error("release: node was not allocated");
     }
-    free_nodes_[l] |= bit;
     // A node that failed while allocated returns its free bit but not
-    // its capacity; repair_node adds it back exactly once.
-    if (healthy_nodes_[l] & bit) ++total_free_nodes_;
+    // its capacity; the index refresh masks with health, so repair_node
+    // adds it back exactly once.
+    set_free_nodes(l, free_nodes_[l] | bits);
   }
 
   const bool shared = a.bandwidth > 0.0;
   for (const LeafWire& w : a.leaf_wires) {
     const Mask bit = Mask{1} << w.l2_index;
     if (shared) {
-      residual_leaf_up_[static_cast<std::size_t>(w.leaf) *
-                            static_cast<std::size_t>(topo_->l2_per_tree()) +
-                        static_cast<std::size_t>(w.l2_index)] += a.bandwidth;
+      const std::size_t wire =
+          static_cast<std::size_t>(w.leaf) *
+              static_cast<std::size_t>(topo_->l2_per_tree()) +
+          static_cast<std::size_t>(w.l2_index);
+      set_residual_leaf_up(wire, residual_leaf_up_[wire] + a.bandwidth);
     } else {
       if (free_leaf_up_[w.leaf] & bit) {
         throw std::logic_error("release: leaf wire was not allocated");
       }
-      free_leaf_up_[w.leaf] |= bit;
+      set_free_leaf_up(w.leaf, free_leaf_up_[w.leaf] | bit);
     }
   }
   for (const L2Wire& w : a.l2_wires) {
@@ -199,14 +385,15 @@ void ClusterState::release(const Allocation& a) {
         static_cast<std::size_t>(w.tree * topo_->l2_per_tree() + w.l2_index);
     const Mask bit = Mask{1} << w.spine_index;
     if (shared) {
-      residual_l2_up_[l2 * static_cast<std::size_t>(
-                               topo_->spines_per_group()) +
-                      static_cast<std::size_t>(w.spine_index)] += a.bandwidth;
+      const std::size_t wire =
+          l2 * static_cast<std::size_t>(topo_->spines_per_group()) +
+          static_cast<std::size_t>(w.spine_index);
+      set_residual_l2_up(wire, residual_l2_up_[wire] + a.bandwidth);
     } else {
       if (free_l2_up_[l2] & bit) {
         throw std::logic_error("release: L2 wire was not allocated");
       }
-      free_l2_up_[l2] |= bit;
+      set_free_l2_up(l2, free_l2_up_[l2] | bit);
     }
   }
 }
@@ -215,8 +402,7 @@ bool ClusterState::fail_node(NodeId n) {
   const LeafId l = topo_->leaf_of_node(n);
   const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
   if (!(healthy_nodes_[l] & bit)) return false;
-  healthy_nodes_[l] &= ~bit;
-  if (free_nodes_[l] & bit) --total_free_nodes_;
+  set_healthy_nodes(l, healthy_nodes_[l] & ~bit);
   ++failed_nodes_;
   ++revision_;
   return true;
@@ -226,8 +412,7 @@ bool ClusterState::repair_node(NodeId n) {
   const LeafId l = topo_->leaf_of_node(n);
   const Mask bit = Mask{1} << topo_->node_index_in_leaf(n);
   if (healthy_nodes_[l] & bit) return false;
-  healthy_nodes_[l] |= bit;
-  if (free_nodes_[l] & bit) ++total_free_nodes_;
+  set_healthy_nodes(l, healthy_nodes_[l] | bit);
   --failed_nodes_;
   ++revision_;
   return true;
@@ -236,7 +421,7 @@ bool ClusterState::repair_node(NodeId n) {
 bool ClusterState::fail_leaf_up(LeafId l, int l2_index) {
   const Mask bit = Mask{1} << l2_index;
   if (!(healthy_leaf_up_[l] & bit)) return false;
-  healthy_leaf_up_[l] &= ~bit;
+  set_healthy_leaf_up(l, healthy_leaf_up_[l] & ~bit);
   ++failed_wires_;
   ++revision_;
   return true;
@@ -245,7 +430,7 @@ bool ClusterState::fail_leaf_up(LeafId l, int l2_index) {
 bool ClusterState::repair_leaf_up(LeafId l, int l2_index) {
   const Mask bit = Mask{1} << l2_index;
   if (healthy_leaf_up_[l] & bit) return false;
-  healthy_leaf_up_[l] |= bit;
+  set_healthy_leaf_up(l, healthy_leaf_up_[l] | bit);
   --failed_wires_;
   ++revision_;
   return true;
@@ -256,7 +441,7 @@ bool ClusterState::fail_l2_up(TreeId t, int l2_index, int spine_index) {
       static_cast<std::size_t>(t * topo_->l2_per_tree() + l2_index);
   const Mask bit = Mask{1} << spine_index;
   if (!(healthy_l2_up_[l2] & bit)) return false;
-  healthy_l2_up_[l2] &= ~bit;
+  set_healthy_l2_up(l2, healthy_l2_up_[l2] & ~bit);
   ++failed_wires_;
   ++revision_;
   return true;
@@ -267,7 +452,7 @@ bool ClusterState::repair_l2_up(TreeId t, int l2_index, int spine_index) {
       static_cast<std::size_t>(t * topo_->l2_per_tree() + l2_index);
   const Mask bit = Mask{1} << spine_index;
   if (healthy_l2_up_[l2] & bit) return false;
-  healthy_l2_up_[l2] |= bit;
+  set_healthy_l2_up(l2, healthy_l2_up_[l2] | bit);
   --failed_wires_;
   ++revision_;
   return true;
@@ -277,7 +462,8 @@ bool ClusterState::check_invariants() const {
   int recount = 0;
   int refailed_nodes = 0;
   int refailed_wires = 0;
-  const Mask node_range = low_bits(topo_->nodes_per_leaf());
+  const int m1 = topo_->nodes_per_leaf();
+  const Mask node_range = low_bits(m1);
   const Mask up_range = low_bits(topo_->l2_per_tree());
   const Mask spine_range = low_bits(topo_->spines_per_group());
   for (std::size_t l = 0; l < free_nodes_.size(); ++l) {
@@ -285,18 +471,50 @@ bool ClusterState::check_invariants() const {
     if (free_leaf_up_[l] & ~up_range) return false;
     if (healthy_nodes_[l] & ~node_range) return false;
     if (healthy_leaf_up_[l] & ~up_range) return false;
-    recount += popcount(free_nodes_[l] & healthy_nodes_[l]);
+    const int count = popcount(free_nodes_[l] & healthy_nodes_[l]);
+    if (leaf_free_[l] != count) return false;
+    recount += count;
     refailed_nodes += popcount(node_range & ~healthy_nodes_[l]);
     refailed_wires += popcount(up_range & ~healthy_leaf_up_[l]);
   }
   for (std::size_t l2 = 0; l2 < free_l2_up_.size(); ++l2) {
     if (free_l2_up_[l2] & ~spine_range) return false;
     if (healthy_l2_up_[l2] & ~spine_range) return false;
+    if (l2_up_count_[l2] != popcount(free_l2_up_[l2] & healthy_l2_up_[l2])) {
+      return false;
+    }
     refailed_wires += popcount(spine_range & ~healthy_l2_up_[l2]);
   }
   if (recount != total_free_nodes_) return false;
   if (refailed_nodes != failed_nodes_) return false;
   if (refailed_wires != failed_wires_) return false;
+  // Tree-level indices against a from-scratch recomputation.
+  const std::size_t stride = static_cast<std::size_t>(m1) + 1;
+  for (TreeId t = 0; t < topo_->trees(); ++t) {
+    int sum = 0;
+    int fully = 0;
+    Mask fully_mask = 0;
+    std::vector<Mask> buckets(stride, 0);
+    for (int li = 0; li < topo_->leaves_per_tree(); ++li) {
+      const LeafId l = topo_->leaf_id(t, li);
+      const int count = leaf_free_[l];
+      sum += count;
+      buckets[static_cast<std::size_t>(count)] |= Mask{1} << li;
+      if (count == m1) {
+        ++fully;
+        fully_mask |= Mask{1} << li;
+      }
+    }
+    if (tree_free_[t] != sum) return false;
+    if (tree_fully_free_[t] != fully) return false;
+    if (fully_free_mask_[t] != fully_mask) return false;
+    for (std::size_t c = 0; c < stride; ++c) {
+      if (leaf_bucket_[static_cast<std::size_t>(t) * stride + c] !=
+          buckets[c]) {
+        return false;
+      }
+    }
+  }
   for (const double r : residual_leaf_up_) {
     if (r < -1e-6 || r > usable_bandwidth_ + 1e-6) return false;
   }

@@ -13,8 +13,21 @@
 // free bit returns on release but the resource stays invisible until
 // repaired, and the free-node counter never double-counts.
 //
-// The state copies cheaply (flat vectors), which the EASY backfilling
-// scheduler relies on when computing shadow reservations.
+// Two features keep the allocate/schedule hot path copy-free and
+// sweep-free:
+//
+//  * Incremental capacity indices. Every mutation — apply, release, fail,
+//    repair — maintains per-leaf free-node counts, per-tree free-node
+//    sums, per-tree fully-free-leaf masks, per-(tree, count) leaf buckets
+//    and per-L2 uplink popcounts, so allocator candidate collection reads
+//    O(1)/O(buckets) indices instead of rescanning every leaf and tree.
+//
+//  * An undo journal. Inside a Txn, every mask/residual write records the
+//    old value; Txn::rollback() restores the touched words in reverse and
+//    re-derives only the touched index slots, giving O(touched-resources)
+//    rollback. The EASY scheduler runs head-start, shadow probes and
+//    backfill against the caller's state under nested Txns instead of
+//    deep-copying the cluster per pass and per probe.
 
 #pragma once
 
@@ -42,7 +55,7 @@ class ClusterState {
   Mask free_nodes(LeafId l) const {
     return free_nodes_[l] & healthy_nodes_[l];
   }
-  int free_node_count(LeafId l) const { return popcount(free_nodes(l)); }
+  int free_node_count(LeafId l) const { return leaf_free_[l]; }
   Mask free_leaf_up(LeafId l) const {
     return free_leaf_up_[l] & healthy_leaf_up_[l];
   }
@@ -52,12 +65,34 @@ class ClusterState {
     return free_l2_up_[l2] & healthy_l2_up_[l2];
   }
   bool leaf_fully_free(LeafId l) const {
-    return free_nodes(l) == low_bits(topo_->nodes_per_leaf());
+    return leaf_free_[l] == topo_->nodes_per_leaf();
   }
   int total_free_nodes() const { return total_free_nodes_; }
 
+  // -- incremental capacity indices -------------------------------------
+  // Maintained by every mutation (including health-mask changes); all
+  // reads are O(1).
   /// Number of fully-free leaves in tree t.
-  int fully_free_leaves(TreeId t) const;
+  int fully_free_leaves(TreeId t) const { return tree_fully_free_[t]; }
+  /// Mask of leaf-indices-in-tree that are fully free (free AND healthy).
+  Mask fully_free_leaf_mask(TreeId t) const { return fully_free_mask_[t]; }
+  /// Sum of free_node_count over the leaves of tree t.
+  int tree_free_nodes(TreeId t) const { return tree_free_[t]; }
+  /// Mask of leaf-indices-in-tree whose free-node count is exactly
+  /// `count` (0 <= count <= nodes_per_leaf). The buckets partition the
+  /// tree's leaves, so best-fit orderings walk them count-ascending.
+  Mask leaves_with_free_count(TreeId t, int count) const {
+    return leaf_bucket_[static_cast<std::size_t>(t) *
+                            (static_cast<std::size_t>(
+                                 topo_->nodes_per_leaf()) +
+                             1) +
+                        static_cast<std::size_t>(count)];
+  }
+  /// popcount(free_l2_up(t, l2_index)) without touching the masks.
+  int free_l2_up_count(TreeId t, int l2_index) const {
+    return l2_up_count_[static_cast<std::size_t>(
+        t * topo_->l2_per_tree() + l2_index)];
+  }
 
   // -- health queries ----------------------------------------------------
   bool node_healthy(NodeId n) const {
@@ -120,16 +155,129 @@ class ClusterState {
   bool fail_l2_up(TreeId t, int l2_index, int spine_index);
   bool repair_l2_up(TreeId t, int l2_index, int spine_index);
 
-  /// Consistency audit for tests: recomputed totals match counters and all
-  /// masks are within range.
+  // -- transactions ------------------------------------------------------
+  /// Speculative-mutation scope. While at least one Txn is open, every
+  /// mutation journals the words it overwrites; rollback() restores them
+  /// in reverse order (and the revision counter, so an arrival-only
+  /// scheduling pass still looks unchanged to the inter-pass cache).
+  /// Txns nest LIFO — an inner Txn must resolve before the outer one.
+  /// Destruction rolls back unless commit() was called.
+  class Txn {
+   public:
+    explicit Txn(ClusterState& state)
+        : state_(&state), frame_(state.begin_txn()) {}
+    ~Txn() {
+      if (state_ != nullptr) state_->rollback_txn(frame_);
+    }
+    Txn(const Txn&) = delete;
+    Txn& operator=(const Txn&) = delete;
+    Txn(Txn&& other) noexcept : state_(other.state_), frame_(other.frame_) {
+      other.state_ = nullptr;
+    }
+    Txn& operator=(Txn&&) = delete;
+
+    /// Undo every mutation made since this Txn opened.
+    void rollback() {
+      state_->rollback_txn(frame_);
+      state_ = nullptr;
+    }
+    /// Keep the mutations. Inside an outer Txn they remain revertible
+    /// by that outer rollback.
+    void commit() {
+      state_->commit_txn(frame_);
+      state_ = nullptr;
+    }
+
+   private:
+    ClusterState* state_;
+    std::size_t frame_;
+  };
+
+  /// RAII apply: claims `a` on construction, returns it on destruction
+  /// unless keep() is called. Handy for "place tentatively, test, maybe
+  /// keep" logic outside a full Txn.
+  class ScopedPlacement {
+   public:
+    ScopedPlacement(ClusterState& state, const Allocation& a)
+        : state_(&state), alloc_(&a) {
+      state.apply(a);
+    }
+    ~ScopedPlacement() {
+      if (state_ != nullptr) state_->release(*alloc_);
+    }
+    ScopedPlacement(const ScopedPlacement&) = delete;
+    ScopedPlacement& operator=(const ScopedPlacement&) = delete;
+
+    /// Leave the placement applied.
+    void keep() { state_ = nullptr; }
+
+   private:
+    ClusterState* state_;
+    const Allocation* alloc_;
+  };
+
+  /// True while at least one Txn is open (mutations are being journaled).
+  bool in_txn() const { return !frames_.empty(); }
+
+  /// Consistency audit for tests: recomputed totals match counters, all
+  /// masks are within range, and every incremental index equals its
+  /// from-scratch recomputation.
   bool check_invariants() const;
 
   /// Monotone counter bumped by every successful apply/release/fail/
   /// repair; lets the scheduler skip repeated searches against an
-  /// unchanged cluster.
+  /// unchanged cluster. Rolling back a Txn restores the counter to its
+  /// value at Txn open.
   std::uint64_t revision() const { return revision_; }
 
  private:
+  // Journaled write targets. One enumerator per mutable array; the undo
+  // entry stores (field, flat index, old word).
+  enum class Field : std::uint8_t {
+    kFreeNodes,
+    kFreeLeafUp,
+    kFreeL2Up,
+    kHealthyNodes,
+    kHealthyLeafUp,
+    kHealthyL2Up,
+    kResidualLeafUp,
+    kResidualL2Up,
+  };
+  struct UndoEntry {
+    Field field;
+    std::uint32_t index;
+    std::uint64_t old_bits;  // mask, or bit-cast double for residuals
+  };
+  struct TxnFrame {
+    std::size_t journal_mark;
+    int failed_nodes;
+    int failed_wires;
+    std::uint64_t revision;
+  };
+
+  std::size_t begin_txn();
+  void rollback_txn(std::size_t frame);
+  void commit_txn(std::size_t frame);
+  void restore(const UndoEntry& e);
+
+  // Journaling setters; every mask mutation funnels through these so the
+  // undo journal and the incremental indices can never diverge.
+  void set_free_nodes(LeafId l, Mask v);
+  void set_healthy_nodes(LeafId l, Mask v);
+  void set_free_leaf_up(LeafId l, Mask v);
+  void set_healthy_leaf_up(LeafId l, Mask v);
+  void set_free_l2_up(std::size_t l2, Mask v);
+  void set_healthy_l2_up(std::size_t l2, Mask v);
+  void set_residual_leaf_up(std::size_t wire, double v);
+  void set_residual_l2_up(std::size_t wire, double v);
+
+  /// Re-derive every index slot that depends on leaf l (its free count,
+  /// bucket bit, fully-free bit, and the tree/total sums).
+  void refresh_leaf_index(LeafId l);
+  /// Re-derive the uplink popcount of flat L2 index l2.
+  void refresh_l2_index(std::size_t l2);
+  void journal(Field f, std::size_t index, std::uint64_t old_bits);
+
   void ensure_bandwidth_tracking();
   /// nullptr when apply(a) would succeed; otherwise the violation text.
   const char* check_apply(const Allocation& a) const;
@@ -146,6 +294,18 @@ class ClusterState {
   int failed_nodes_ = 0;
   int failed_wires_ = 0;  // leaf-up + l2-up wires currently failed
   std::uint64_t revision_ = 0;
+
+  // Incremental indices, derived from the masks above.
+  std::vector<int> leaf_free_;        // per leaf: popcount(free & healthy)
+  std::vector<int> tree_free_;        // per tree: sum over its leaves
+  std::vector<int> tree_fully_free_;  // per tree: #leaves with count == m1
+  std::vector<Mask> fully_free_mask_; // per tree: mask of fully-free leaves
+  std::vector<Mask> leaf_bucket_;     // per (tree * (m1+1) + count)
+  std::vector<int> l2_up_count_;      // per (tree * w2 + i)
+
+  // Undo journal; entries are recorded only while a Txn is open.
+  std::vector<UndoEntry> journal_;
+  std::vector<TxnFrame> frames_;
 
   // Residual shared bandwidth per wire; allocated lazily on first shared
   // allocation. Indexed like the masks: leaf * w2 + i / (t * w2 + i) * w3 + j.

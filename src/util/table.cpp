@@ -92,8 +92,8 @@ std::string TablePrinter::render() const {
   return out.str();
 }
 
-void TablePrinter::write_json(std::ostream& out,
-                              const std::string& name) const {
+void TablePrinter::write_json(std::ostream& out, const std::string& name,
+                              const std::string& extra_members) const {
   out << "{\n  \"name\": \"" << obs::json_escape(name)
       << "\",\n  \"headers\": [";
   for (std::size_t c = 0; c < headers_.size(); ++c) {
@@ -110,7 +110,9 @@ void TablePrinter::write_json(std::ostream& out,
     }
     out << '}';
   }
-  out << (rows_.empty() ? "" : "\n  ") << "]\n}\n";
+  out << (rows_.empty() ? "" : "\n  ") << ']';
+  if (!extra_members.empty()) out << ",\n  " << extra_members;
+  out << "\n}\n";
 }
 
 }  // namespace jigsaw

@@ -28,8 +28,11 @@ class TablePrinter {
   ///   {"name": <name>, "headers": [...], "rows": [{header: cell, ...}]}
   /// Cells that parse fully as numbers are written as JSON numbers, the
   /// rest as strings — so bench output (BENCH_*.json trajectories) keeps
-  /// numeric columns numeric.
-  void write_json(std::ostream& out, const std::string& name) const;
+  /// numeric columns numeric. `extra_members`, when non-empty, is emitted
+  /// verbatim as additional top-level members after "rows" (callers pass
+  /// pre-rendered JSON such as a "cells" attribution array).
+  void write_json(std::ostream& out, const std::string& name,
+                  const std::string& extra_members = "") const;
 
  private:
   std::vector<std::string> headers_;

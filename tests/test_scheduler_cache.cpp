@@ -4,6 +4,8 @@
 
 #include "core/baseline.hpp"
 #include "core/jigsaw_allocator.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/observer.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "trace/synthetic.hpp"
@@ -78,6 +80,48 @@ TEST(SchedulerCache, ArrivalOnlyPassSkipsHeadRetry) {
       sched.schedule(1.0, state, queue, running, &second_stats, &cache)
           .empty());
   EXPECT_LE(second_stats.allocate_calls, 1u);
+}
+
+TEST(SchedulerCache, ExaminedPrefixPersistsAcrossCacheHitPasses) {
+  // Regression: a cache-hit pass that starts zero jobs must persist its
+  // advanced examined prefix, so a stream of arrival-only events probes
+  // each backfill candidate exactly once. The sched.cache_hits counter
+  // pins the hit passes; allocate_calls pins the probe count.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const BaselineAllocator baseline;
+  const EasyScheduler sched(baseline, 50);
+  obs::MetricsRegistry reg;
+  obs::ObsContext ctx;
+  ctx.metrics = &reg;
+
+  // Machine completely full until t=100: the head blocks and every
+  // backfill probe fails, so no pass starts anything.
+  std::vector<RunningJob> running;
+  auto big = baseline.allocate(state, JobRequest{0, 64, 0.0});
+  ASSERT_TRUE(big.has_value());
+  state.apply(*big);
+  running.push_back(RunningJob{0, 100.0, *big});
+
+  std::deque<PendingJob> queue{pending(1, 10, 50)};
+  EasyScheduler::Cache cache;
+  ASSERT_TRUE(sched.schedule(0.0, state, queue, running, nullptr, &cache,
+                             &ctx)
+                  .empty());
+  EXPECT_EQ(reg.counter("sched.cache_hits").value(), 0u);
+
+  // Two consecutive arrival-only events. Each cache-hit pass must probe
+  // only its own new candidate — including the third pass, whose
+  // examined prefix was advanced by the *cache-hit* second pass.
+  for (std::uint64_t arrival = 0; arrival < 2; ++arrival) {
+    queue.push_back(pending(static_cast<JobId>(2 + arrival), 4, 200));
+    EasyScheduler::PassStats stats;
+    ASSERT_TRUE(sched.schedule(1.0 + static_cast<double>(arrival), state,
+                               queue, running, &stats, &cache, &ctx)
+                    .empty());
+    EXPECT_EQ(reg.counter("sched.cache_hits").value(), arrival + 1);
+    EXPECT_EQ(stats.allocate_calls, 1u) << "pass " << arrival;
+  }
 }
 
 TEST(SchedulerCache, SimulationIdenticalAcrossRepeats) {
