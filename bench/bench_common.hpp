@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <exception>
 #include <fstream>
 #include <functional>
@@ -234,6 +235,51 @@ inline ObsSetup make_obs(const CliFlags& flags) {
   }
   return setup;
 }
+
+// ---- graceful shutdown (SIGINT/SIGTERM during a long run) --------------
+
+/// Flushes the bench's observability sinks when the process is
+/// interrupted, so a half-finished multi-hour sweep still leaves a valid
+/// trace file and metrics snapshot behind. RAII: install next to the
+/// ObsSetup, automatically uninstalled at scope exit. The handler
+/// finalizes the sinks and re-raises with the default disposition, so the
+/// exit status still reflects the signal.
+///
+/// (Finalizing an ofstream from a handler is not strictly
+/// async-signal-safe; for a bench being Ctrl-C'd, a truncated trace with
+/// a closing bracket beats a corrupt one with certainty.)
+class SignalFlush {
+ public:
+  explicit SignalFlush(ObsSetup& obs) {
+    target() = &obs;
+    previous_int_ = std::signal(SIGINT, handler);
+    previous_term_ = std::signal(SIGTERM, handler);
+  }
+  ~SignalFlush() {
+    target() = nullptr;
+    std::signal(SIGINT, previous_int_);
+    std::signal(SIGTERM, previous_term_);
+  }
+  SignalFlush(const SignalFlush&) = delete;
+  SignalFlush& operator=(const SignalFlush&) = delete;
+
+ private:
+  static ObsSetup*& target() {
+    static ObsSetup* t = nullptr;
+    return t;
+  }
+  static void handler(int sig) {
+    if (ObsSetup* obs = target()) {
+      target() = nullptr;
+      obs->finish();
+    }
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+  }
+
+  void (*previous_int_)(int) = SIG_DFL;
+  void (*previous_term_)(int) = SIG_DFL;
+};
 
 // ---- parallel cell driver ----------------------------------------------
 

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
   ObsSetup obs_setup = make_obs(flags);
+  SignalFlush signal_flush(obs_setup);
   const int threads = resolve_threads(flags, obs_setup);
 
   std::vector<std::string> names;

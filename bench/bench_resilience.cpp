@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   const std::size_t jobs = scaled_jobs(flags);
   const int repeats = repeat_count(flags);
   ObsSetup obs_setup = make_obs(flags);
+  SignalFlush signal_flush(obs_setup);
   const int threads = resolve_threads(flags, obs_setup);
 
   const NamedTrace nt = load(flags.str("trace"), jobs);

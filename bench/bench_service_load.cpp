@@ -1,0 +1,241 @@
+// bench_service_load: load generator for the online scheduler service.
+//
+// Starts an in-process jigsaw_daemon-equivalent (ServiceDaemon + Reactor
+// on a private Unix socket), fans out N concurrent clients that replay a
+// synthetic trace's submissions over the socket, then drains and reports:
+//
+//   * sustained submission throughput (submits/second over the wire),
+//   * submit-to-ack latency p50/p99/p999 (client-side round trip), and
+//   * submit-to-grant latency p50/p99/p999 (daemon-side wall clock, read
+//     back through the `stats` op).
+//
+// The acceptance bar this repro pins: >= 10k submissions/sec over
+// loopback with 8 concurrent clients. Results go to the usual table +
+// --json-out; --trace-out captures the daemon's service.* event stream.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/reactor.hpp"
+
+namespace {
+
+using namespace jigsaw;
+using namespace jigsaw::bench;
+
+struct ClientResult {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::vector<double> ack_seconds;  ///< per-submit round-trip times
+  std::string error;
+};
+
+void run_client(const std::string& endpoint, const Trace& trace,
+                std::size_t begin, std::size_t stride, ClientResult* out) {
+  service::ServiceClient client;
+  std::string error;
+  if (!client.connect(endpoint, &error)) {
+    out->error = error;
+    return;
+  }
+  out->ack_seconds.reserve(trace.jobs.size() / stride + 1);
+  for (std::size_t k = begin; k < trace.jobs.size(); k += stride) {
+    const Job& job = trace.jobs[k];
+    std::string request =
+        "{\"op\":\"submit\",\"id\":" + std::to_string(job.id) +
+        ",\"nodes\":" + std::to_string(job.nodes) + ",\"runtime\":";
+    service::append_double(request, job.runtime);
+    request += ",\"bandwidth\":";
+    service::append_double(request, job.bandwidth);
+    request += ",\"arrival\":";
+    service::append_double(request, job.arrival);
+    request += "}";
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string reply;
+    if (!client.request(request, &reply, &error)) {
+      out->error = error;
+      return;
+    }
+    out->ack_seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    service::JsonValue doc;
+    if (service::parse_json(reply, &doc, &error) &&
+        doc.find("ok") != nullptr && doc.find("ok")->as_bool()) {
+      ++out->accepted;
+    } else {
+      ++out->rejected;
+    }
+  }
+}
+
+double pct(const std::vector<double>& sorted, double p) {
+  return sorted.empty() ? 0.0 : percentile_sorted(sorted, p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.define("trace", "synthetic trace to replay", "Synth-16");
+  flags.define("jobs", "submissions to replay", "20000");
+  flags.define("clients", "concurrent load-generator clients", "8");
+  flags.define("scheduler", "daemon scheduler scheme", "jigsaw");
+  flags.define("socket",
+               "unix socket path for the in-process daemon (empty = "
+               "per-process default under /tmp)",
+               "");
+  flags.define_bool("drain",
+                    "after the load phase, drain the virtual clock and "
+                    "report the drain wall time");
+  define_obs_flags(flags);
+  try {
+    if (!flags.parse(argc, argv)) return 0;
+    const std::size_t jobs = static_cast<std::size_t>(flags.integer("jobs"));
+    const int clients = static_cast<int>(flags.integer("clients"));
+    if (clients < 1) throw std::invalid_argument("--clients must be >= 1");
+
+    NamedTrace named = load(flags.str("trace"), jobs);
+    // Submissions carry the trace arrivals, so the daemon's admission
+    // queue holds the whole workload; raise the bound accordingly.
+    service::DaemonOptions options;
+    options.clock = service::ClockMode::kVirtual;
+    options.max_queue = named.trace.jobs.size() + 16;
+
+    ObsSetup obs = make_obs(flags);
+    SignalFlush signal_flush(obs);
+    SimConfig config;
+    config.obs = obs.ctx;
+
+    Scheme scheme = Scheme::kJigsaw;
+    for (const Scheme s : {Scheme::kBaseline, Scheme::kLcs, Scheme::kJigsaw,
+                           Scheme::kLaas, Scheme::kTa, Scheme::kLc}) {
+      if (make_scheme(s)->name() == flags.str("scheduler")) scheme = s;
+    }
+    const AllocatorPtr allocator = make_scheme(scheme);
+
+    service::ServiceDaemon daemon(named.topo, *allocator, config, options);
+    std::string error;
+    if (!daemon.init(&error)) {
+      std::cerr << "daemon init failed: " << error << "\n";
+      return 1;
+    }
+    service::Reactor reactor;
+    std::string socket_path = flags.str("socket");
+    if (socket_path.empty()) {
+      socket_path = "/tmp/jigsaw_bench_" + std::to_string(::getpid()) +
+                    ".sock";
+    }
+    if (!reactor.listen_unix(socket_path, &error)) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    daemon.attach_reactor(&reactor);
+    reactor.set_line_handler(
+        [&daemon](service::Reactor::ClientId, std::string&& line) {
+          return daemon.handle_line(line);
+        });
+    reactor.set_overflow_handler(
+        [&daemon](service::Reactor::ClientId, bool oversized) {
+          return daemon.overflow_reply(oversized);
+        });
+    reactor.set_idle_handler([&daemon]() { return daemon.on_idle(); });
+    std::thread daemon_thread([&reactor]() { reactor.run(); });
+
+    // ---- load phase ----------------------------------------------------
+    std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+    std::vector<std::thread> workers;
+    const auto load_start = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back(run_client, "unix:" + socket_path,
+                           std::cref(named.trace),
+                           static_cast<std::size_t>(c),
+                           static_cast<std::size_t>(clients),
+                           &results[static_cast<std::size_t>(c)]);
+    }
+    for (std::thread& w : workers) w.join();
+    const double load_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      load_start)
+            .count();
+
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::vector<double> acks;
+    for (const ClientResult& r : results) {
+      if (!r.error.empty()) {
+        std::cerr << "client error: " << r.error << "\n";
+        return 1;
+      }
+      accepted += r.accepted;
+      rejected += r.rejected;
+      acks.insert(acks.end(), r.ack_seconds.begin(), r.ack_seconds.end());
+    }
+    std::sort(acks.begin(), acks.end());
+
+    // ---- drain + teardown through the protocol -------------------------
+    service::ServiceClient control;
+    if (!control.connect("unix:" + socket_path, &error)) {
+      std::cerr << error << "\n";
+      return 1;
+    }
+    double drain_seconds = 0.0;
+    if (flags.boolean("drain")) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (!control.request_json("{\"op\":\"drain\"}", &error).has_value()) {
+        std::cerr << "drain failed: " << error << "\n";
+        return 1;
+      }
+      drain_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+    const std::optional<service::JsonValue> stats_doc =
+        control.request_json("{\"op\":\"stats\"}", &error);
+    if (!stats_doc.has_value()) {
+      std::cerr << "stats failed: " << error << "\n";
+      return 1;
+    }
+    const service::JsonValue* stats = stats_doc->find("stats");
+    const service::JsonValue* grant_lat =
+        stats != nullptr ? stats->find("grant_latency") : nullptr;
+    auto grant_field = [&](const char* key) {
+      const service::JsonValue* v =
+          grant_lat != nullptr ? grant_lat->find(key) : nullptr;
+      return v != nullptr ? v->as_double() : 0.0;
+    };
+    control.request_json("{\"op\":\"shutdown\"}", &error);
+    daemon_thread.join();
+    ::unlink(socket_path.c_str());
+
+    const double throughput =
+        load_seconds > 0.0 ? static_cast<double>(accepted + rejected) /
+                                 load_seconds
+                           : 0.0;
+    TablePrinter table({"trace", "clients", "submits", "rejected",
+                        "submits.per.sec", "ack.p50.us", "ack.p99.us",
+                        "ack.p999.us", "grant.p50.ms", "grant.p99.ms",
+                        "grant.p999.ms", "drain.sec"});
+    table.add_row({named.trace.name, std::to_string(clients),
+                   std::to_string(accepted), std::to_string(rejected),
+                   TablePrinter::fmt(throughput, 0),
+                   TablePrinter::fmt(pct(acks, 50.0) * 1e6, 1),
+                   TablePrinter::fmt(pct(acks, 99.0) * 1e6, 1),
+                   TablePrinter::fmt(pct(acks, 99.9) * 1e6, 1),
+                   TablePrinter::fmt(grant_field("p50") * 1e3, 3),
+                   TablePrinter::fmt(grant_field("p99") * 1e3, 3),
+                   TablePrinter::fmt(grant_field("p999") * 1e3, 3),
+                   TablePrinter::fmt(drain_seconds, 2)});
+    std::cout << table.render();
+    write_json_out(flags, "bench_service_load", table);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

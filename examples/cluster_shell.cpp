@@ -14,6 +14,11 @@
 //   > repair node 17
 //   > cancel 1
 //   > quit
+//
+// With --connect unix:/tmp/jigsaw.sock the shell drives a running
+// jigsaw_daemon instead of a local ClusterState: submit/cancel/status/
+// fail/repair translate to protocol requests (submit takes an optional
+// runtime, default 3600 s) and replies print as the daemon's JSON.
 
 #include <iostream>
 #include <map>
@@ -29,7 +34,10 @@
 #include "core/ta.hpp"
 #include "fault/failure_schedule.hpp"
 #include "fault/injector.hpp"
+#include "obs/sink.hpp"
 #include "routing/rnb_router.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -71,13 +79,85 @@ void print_allocation(const FatTree& topo, const Allocation& a) {
   }
 }
 
+/// Remote mode: translate shell commands into daemon protocol requests.
+/// Returns the process exit code.
+int run_remote(const std::string& endpoint) {
+  service::ServiceClient client;
+  std::string error;
+  if (!client.connect(endpoint, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cout << "cluster_shell connected to " << endpoint << "\n"
+            << "commands: submit N [RUNTIME] | cancel ID | status ID | "
+               "fail TARGET | repair TARGET | stats | drain | quit\n";
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    if (!(words >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+
+    std::string request;
+    if (command == "submit") {
+      int nodes = 0;
+      double runtime = 3600.0;
+      if (!(words >> nodes) || nodes < 1) {
+        std::cout << "usage: submit <nodes> [runtime-seconds]\n";
+        continue;
+      }
+      words >> runtime;
+      request = "{\"op\":\"submit\",\"nodes\":" + std::to_string(nodes) +
+                ",\"runtime\":";
+      service::append_double(request, runtime);
+      request += "}";
+    } else if (command == "cancel" || command == "status") {
+      JobId id = 0;
+      if (!(words >> id)) {
+        std::cout << "usage: " << command << " <job-id>\n";
+        continue;
+      }
+      request = "{\"op\":\"" + command + "\",\"job\":" + std::to_string(id) +
+                "}";
+    } else if (command == "fail" || command == "repair") {
+      std::string target;
+      std::getline(words, target);
+      const std::size_t first = target.find_first_not_of(" \t");
+      if (first == std::string::npos) {
+        std::cout << "usage: " << command << " <target>\n";
+        continue;
+      }
+      request = "{\"op\":\"" + command + "\",\"target\":\"" +
+                obs::json_escape(target.substr(first)) + "\"}";
+    } else if (command == "stats" || command == "drain" ||
+               command == "ping") {
+      request = "{\"op\":\"" + command + "\"}";
+    } else {
+      std::cout << "unknown command (remote mode): " << command << "\n";
+      continue;
+    }
+    std::string reply;
+    if (!client.request(request, &reply, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    std::cout << reply << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.define("radix", "cluster switch radix", "8");
   flags.define("scheduler", "jigsaw/laas/ta/lc/baseline", "jigsaw");
+  flags.define("connect",
+               "drive a running jigsaw_daemon at this endpoint "
+               "(unix:/path or tcp:PORT) instead of a local cluster",
+               "");
   if (!flags.parse(argc, argv)) return 0;
+  if (!flags.str("connect").empty()) return run_remote(flags.str("connect"));
 
   const FatTree topo =
       FatTree::from_radix(static_cast<int>(flags.integer("radix")));

@@ -1,0 +1,193 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace jigsaw::service {
+
+namespace {
+
+void fill_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+ServiceClient::~ServiceClient() { close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool ServiceClient::connect(const std::string& endpoint, std::string* error) {
+  close();
+  std::string path;
+  int port = -1;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    path = endpoint.substr(5);
+  } else if (endpoint.rfind("tcp:", 0) == 0) {
+    port = std::atoi(endpoint.c_str() + 4);
+  } else if (endpoint.find('/') != std::string::npos) {
+    path = endpoint;
+  } else {
+    if (error != nullptr) {
+      *error = "endpoint must be unix:/path or tcp:PORT, got " + endpoint;
+    }
+    return false;
+  }
+  if (!path.empty()) {
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long: " + path;
+      return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      fill_error(error, "socket");
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      fill_error(error, "connect " + path);
+      close();
+      return false;
+    }
+    return true;
+  }
+  if (port <= 0 || port > 65535) {
+    if (error != nullptr) *error = "bad tcp port in endpoint " + endpoint;
+    return false;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    fill_error(error, "socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fill_error(error, "connect 127.0.0.1:" + std::to_string(port));
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool ServiceClient::send(const std::string& line, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  std::string framed = line;
+  framed += '\n';
+  const char* p = framed.data();
+  std::size_t remaining = framed.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fill_error(error, "write");
+      return false;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ServiceClient::recv(std::string* reply, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *reply = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!reply->empty() && reply->back() == '\r') reply->pop_back();
+      return true;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      if (error != nullptr) *error = "connection closed by daemon";
+    } else {
+      fill_error(error, "read");
+    }
+    return false;
+  }
+}
+
+bool ServiceClient::request(const std::string& line, std::string* reply,
+                            std::string* error) {
+  return send(line, error) && recv(reply, error);
+}
+
+std::optional<JsonValue> ServiceClient::request_json(const std::string& line,
+                                                     std::string* error) {
+  std::string reply;
+  if (!request(line, &reply, error)) return std::nullopt;
+  JsonValue doc;
+  std::string parse_error;
+  if (!parse_json(reply, &doc, &parse_error)) {
+    if (error != nullptr) *error = "bad reply from daemon: " + parse_error;
+    return std::nullopt;
+  }
+  const JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    if (error != nullptr) *error = "reply missing \"ok\": " + reply;
+    return std::nullopt;
+  }
+  if (!ok->as_bool()) {
+    if (error != nullptr) {
+      const JsonValue* code = doc.find("error");
+      const JsonValue* message = doc.find("message");
+      *error = "daemon error";
+      if (code != nullptr) *error += " [" + code->as_string() + "]";
+      if (message != nullptr) *error += ": " + message->as_string();
+    }
+    return std::nullopt;
+  }
+  return doc;
+}
+
+}  // namespace jigsaw::service

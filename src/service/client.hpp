@@ -1,0 +1,51 @@
+// Blocking line-protocol client for the scheduler daemon.
+//
+// Connects over a Unix-domain socket or loopback TCP, sends one JSON
+// request per line, reads one JSON reply per line. Used by the
+// jigsaw_client CLI, the bench_service_load driver's worker threads
+// (one client per thread; the class itself is not thread-safe), the
+// cluster_shell `connect` mode, and the loopback golden tests.
+//
+// Endpoints: "unix:/path/to.sock" or "tcp:PORT" (loopback); a bare
+// string containing '/' is treated as a unix path.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "service/json.hpp"
+
+namespace jigsaw::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+
+  bool connect(const std::string& endpoint, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Write one request line (newline appended).
+  bool send(const std::string& line, std::string* error);
+  /// Block until one full reply line arrives (newline stripped).
+  bool recv(std::string* reply, std::string* error);
+  /// send() + recv(): the simple request/reply cadence.
+  bool request(const std::string& line, std::string* reply,
+               std::string* error);
+  /// request() + parse; returns nullopt (with *error set, including the
+  /// daemon's error code/message for ok:false replies) on any failure.
+  std::optional<JsonValue> request_json(const std::string& line,
+                                        std::string* error);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace jigsaw::service

@@ -1,0 +1,671 @@
+#include "service/daemon.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/failure_schedule.hpp"
+#include "obs/sink.hpp"
+#include "util/stats.hpp"
+
+namespace jigsaw::service {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, double v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  append_double(out, v);
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_kv(std::string& out, const char* key, const std::string& v) {
+  out += ",\"";
+  out += key;
+  out += "\":\"";
+  out += obs::json_escape(v);
+  out += '"';
+}
+
+/// Little-endian field encodings for the placement digest: explicit bytes,
+/// never struct memory (padding would poison the crc).
+void put32(std::string& buf, std::uint32_t v) {
+  for (int k = 0; k < 4; ++k) buf.push_back(static_cast<char>(v >> (8 * k)));
+}
+
+void put64(std::string& buf, std::uint64_t v) {
+  for (int k = 0; k < 8; ++k) buf.push_back(static_cast<char>(v >> (8 * k)));
+}
+
+bool read_number(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->as_double();
+  return true;
+}
+
+}  // namespace
+
+const char* clock_mode_name(ClockMode mode) {
+  return mode == ClockMode::kWall ? "wall" : "virtual";
+}
+
+bool parse_clock_mode(const std::string& text, ClockMode* out) {
+  if (text == "virtual") {
+    *out = ClockMode::kVirtual;
+  } else if (text == "wall") {
+    *out = ClockMode::kWall;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_sync_policy(const std::string& text, SyncPolicy* out) {
+  if (text == "none") {
+    *out = SyncPolicy::kNone;
+  } else if (text == "batch") {
+    *out = SyncPolicy::kBatch;
+  } else if (text == "always") {
+    *out = SyncPolicy::kAlways;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ServiceDaemon::ServiceDaemon(const FatTree& topo, const Allocator& allocator,
+                             const SimConfig& config, DaemonOptions options)
+    : topo_(&topo),
+      options_(std::move(options)),
+      config_(config),
+      engine_(topo, allocator, config) {}
+
+double ServiceDaemon::wall_elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void ServiceDaemon::emit(const char* name, JobId job) {
+  if (!config_.obs.tracing()) return;
+  obs::TraceEvent e = obs::instant("service", name, engine_.now());
+  if (job != kNoJob) e.arg("job", static_cast<std::int64_t>(job));
+  config_.obs.emit(e);
+}
+
+ServiceDaemon::GrantFact ServiceDaemon::grant_fact(double now,
+                                                   const Allocation& alloc) {
+  GrantFact f;
+  f.job = alloc.job;
+  append_double(f.time, now);
+  f.nodes = alloc.allocated_nodes();
+  std::string buf;
+  put64(buf, static_cast<std::uint64_t>(alloc.job));
+  put32(buf, static_cast<std::uint32_t>(alloc.requested_nodes));
+  for (const NodeId n : alloc.nodes) put32(buf, static_cast<std::uint32_t>(n));
+  for (const LeafWire& w : alloc.leaf_wires) {
+    put32(buf, static_cast<std::uint32_t>(w.leaf));
+    put32(buf, static_cast<std::uint32_t>(w.l2_index));
+  }
+  for (const L2Wire& w : alloc.l2_wires) {
+    put32(buf, static_cast<std::uint32_t>(w.tree));
+    put32(buf, static_cast<std::uint32_t>(w.l2_index));
+    put32(buf, static_cast<std::uint32_t>(w.spine_index));
+  }
+  f.digest = crc32(buf.data(), buf.size());
+  return f;
+}
+
+void ServiceDaemon::install_live_hooks() {
+  engine_.set_grant_hook([this](double now, const Allocation& alloc) {
+    on_grant(now, alloc);
+  });
+  engine_.set_release_hook([this](double now, JobId job, bool completed) {
+    on_release(now, job, completed);
+  });
+}
+
+void ServiceDaemon::on_grant(double now, const Allocation& alloc) {
+  ++grants_;
+  const GrantFact f = grant_fact(now, alloc);
+  if (recovering_) {
+    derived_grants_.push_back(f);
+    return;
+  }
+  const auto it = submit_wall_.find(alloc.job);
+  if (it != submit_wall_.end()) {
+    grant_latencies_.push_back(wall_elapsed() - it->second);
+    submit_wall_.erase(it);
+  }
+  if (wal_.is_open()) {
+    std::string payload = "{\"job\":" + std::to_string(f.job) + ",\"time\":";
+    payload += f.time;
+    payload += ",\"nodes\":" + std::to_string(f.nodes);
+    payload += ",\"digest\":" + std::to_string(f.digest) + "}";
+    std::string error;
+    wal_append(WalRecordType::kGrant, payload, &error);
+  }
+  if (config_.obs.tracing()) {
+    config_.obs.emit(obs::instant("service", "service.grant", now)
+                         .arg("job", static_cast<std::int64_t>(alloc.job))
+                         .arg("nodes", static_cast<std::int64_t>(f.nodes)));
+  }
+}
+
+void ServiceDaemon::on_release(double now, JobId job, bool completed) {
+  ++releases_;
+  if (recovering_) return;
+  if (wal_.is_open()) {
+    std::string payload = "{\"job\":" + std::to_string(job) + ",\"time\":";
+    append_double(payload, now);
+    payload += ",\"completed\":";
+    payload += completed ? "true" : "false";
+    payload += "}";
+    std::string error;
+    wal_append(WalRecordType::kRelease, payload, &error);
+  }
+  if (config_.obs.tracing()) {
+    config_.obs.emit(obs::instant("service", "service.release", now)
+                         .arg("job", static_cast<std::int64_t>(job))
+                         .arg("completed",
+                              static_cast<std::int64_t>(completed ? 1 : 0)));
+  }
+}
+
+bool ServiceDaemon::wal_append(WalRecordType type, const std::string& payload,
+                               std::string* error) {
+  if (!wal_.is_open()) return true;
+  if (!wal_.append(type, payload, error)) return false;
+  if (options_.sync == SyncPolicy::kAlways) return wal_.sync(error);
+  wal_dirty_ = true;
+  return true;
+}
+
+bool ServiceDaemon::init(std::string* error) {
+  start_ = std::chrono::steady_clock::now();
+  install_live_hooks();
+  if (options_.wal_path.empty()) {
+    if (options_.recover) {
+      *error = "--recover requires a WAL path";
+      return false;
+    }
+    return true;
+  }
+  const WalReadResult log = read_wal(options_.wal_path);
+  if (options_.recover) {
+    recovery_.performed = true;
+    recovery_.records = log.records.size();
+    recovery_.dropped_bytes = log.file_bytes - log.valid_bytes;
+    if (log.file_bytes > 0 && !log.header_ok) {
+      recovery_.error = "WAL header corrupt: " + options_.wal_path;
+      *error = recovery_.error;
+      return false;
+    }
+    if (!wal_.open(options_.wal_path, error,
+                   log.file_bytes > 0 ? log.valid_bytes : 0)) {
+      recovery_.error = *error;
+      return false;
+    }
+    if (!recover_from_wal(log, error)) {
+      recovery_.error = *error;
+      return false;
+    }
+    emit("service.recover");
+    return true;
+  }
+  if (log.file_bytes > 0) {
+    *error = "WAL already exists (pass --recover or remove it): " +
+             options_.wal_path;
+    return false;
+  }
+  return wal_.open(options_.wal_path, error);
+}
+
+bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
+                                     std::string* error) {
+  recovering_ = true;
+  std::vector<GrantFact> logged;
+  double horizon = 0.0;
+  bool ok = true;
+  for (const WalRecord& rec : log.records) {
+    if (!ok) break;
+    JsonValue payload;
+    std::string parse_error;
+    if (!parse_json(rec.payload, &payload, &parse_error)) {
+      *error = std::string("WAL record ") + wal_record_type_name(rec.type) +
+               " at offset " + std::to_string(rec.offset) +
+               " has malformed payload: " + parse_error;
+      ok = false;
+      break;
+    }
+    try {
+      switch (rec.type) {
+        case WalRecordType::kSubmit: {
+          Job job;
+          double id = 0.0;
+          double nodes = 0.0;
+          if (!read_number(payload, "id", &id) ||
+              !read_number(payload, "arrival", &job.arrival) ||
+              !read_number(payload, "nodes", &nodes) ||
+              !read_number(payload, "runtime", &job.runtime) ||
+              !read_number(payload, "bandwidth", &job.bandwidth)) {
+            throw std::invalid_argument("missing submit field");
+          }
+          job.id = static_cast<JobId>(id);
+          job.nodes = static_cast<int>(nodes);
+          engine_.submit(job);
+          next_job_id_ = std::max(next_job_id_, job.id + 1);
+          ++recovery_.inputs_replayed;
+          break;
+        }
+        case WalRecordType::kCancel: {
+          double job = 0.0;
+          if (!read_number(payload, "job", &job)) {
+            throw std::invalid_argument("missing cancel field");
+          }
+          if (!engine_.cancel(static_cast<JobId>(job))) {
+            throw std::invalid_argument("cancel replay hit a non-queued job");
+          }
+          ++recovery_.inputs_replayed;
+          break;
+        }
+        case WalRecordType::kFault: {
+          double time = 0.0;
+          const JsonValue* failure = payload.find("failure");
+          const JsonValue* target_text = payload.find("target");
+          if (!read_number(payload, "time", &time) || failure == nullptr ||
+              !failure->is_bool() || target_text == nullptr ||
+              !target_text->is_string()) {
+            throw std::invalid_argument("missing fault field");
+          }
+          std::istringstream words(target_text->as_string());
+          fault::FaultTarget target;
+          std::string target_error;
+          if (!fault::parse_target(words, &target, &target_error)) {
+            throw std::invalid_argument("bad fault target: " + target_error);
+          }
+          engine_.add_fault(time, failure->as_bool(), target);
+          ++recovery_.inputs_replayed;
+          break;
+        }
+        case WalRecordType::kDrain:
+          recovery_.saw_drain = true;
+          ++recovery_.inputs_replayed;
+          break;
+        case WalRecordType::kGrant: {
+          GrantFact f;
+          double job = 0.0;
+          double time = 0.0;
+          double nodes = 0.0;
+          double digest = 0.0;
+          if (!read_number(payload, "job", &job) ||
+              !read_number(payload, "time", &time) ||
+              !read_number(payload, "nodes", &nodes) ||
+              !read_number(payload, "digest", &digest)) {
+            throw std::invalid_argument("missing grant field");
+          }
+          f.job = static_cast<JobId>(job);
+          append_double(f.time, time);
+          f.nodes = static_cast<int>(nodes);
+          f.digest = static_cast<std::uint32_t>(digest);
+          logged.push_back(std::move(f));
+          horizon = std::max(horizon, time);
+          break;
+        }
+        case WalRecordType::kRelease: {
+          double time = 0.0;
+          if (read_number(payload, "time", &time)) {
+            horizon = std::max(horizon, time);
+          }
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      *error = std::string("WAL replay failed at ") +
+               wal_record_type_name(rec.type) + " record, offset " +
+               std::to_string(rec.offset) + ": " + e.what();
+      ok = false;
+    }
+  }
+  if (ok && recovery_.saw_drain) {
+    ok = run_drain(error);
+  } else if (ok && horizon > 0.0) {
+    // Wall-mode log: re-advance to the last audited grant/release so the
+    // recovered engine resumes from the pre-crash point.
+    engine_.advance_until(horizon);
+  }
+  recovering_ = false;
+  recovery_.grants_logged = logged.size();
+  recovery_.grants_derived = derived_grants_.size();
+  if (ok) {
+    // Deterministic replay must re-derive every logged grant, in order.
+    recovery_.audit_ok = logged.size() <= derived_grants_.size() &&
+                         std::equal(logged.begin(), logged.end(),
+                                    derived_grants_.begin());
+    if (!recovery_.audit_ok) {
+      *error =
+          "WAL grant audit failed: logged grants are not a prefix of the "
+          "replayed run (" +
+          std::to_string(logged.size()) + " logged, " +
+          std::to_string(derived_grants_.size()) + " derived)";
+      ok = false;
+    }
+  } else {
+    recovery_.audit_ok = false;
+  }
+  derived_grants_.clear();
+  derived_grants_.shrink_to_fit();
+  return ok;
+}
+
+bool ServiceDaemon::run_drain(std::string* error) {
+  emit("service.drain");
+  std::function<bool()> interrupted;
+  if (interrupt_check_ || options_.step_delay_us > 0) {
+    interrupted = [this]() {
+      if (options_.step_delay_us > 0) {
+        ::usleep(static_cast<useconds_t>(options_.step_delay_us));
+      }
+      return interrupt_check_ ? interrupt_check_() : false;
+    };
+  }
+  engine_.run(interrupted);
+  if (interrupt_check_ && interrupt_check_()) {
+    *error = "drain interrupted";
+    return false;
+  }
+  if (!engine_.idle()) {
+    *error = "drain interrupted";
+    return false;
+  }
+  try {
+    final_metrics_ = engine_.finish();
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+  return true;
+}
+
+void ServiceDaemon::advance_wall() {
+  if (options_.clock != ClockMode::kWall || drained()) return;
+  engine_.advance_until(wall_elapsed() * options_.time_scale);
+}
+
+double ServiceDaemon::on_idle() {
+  if (wal_dirty_ && options_.sync == SyncPolicy::kBatch) {
+    std::string error;
+    if (wal_.sync(&error)) wal_dirty_ = false;
+  }
+  if (options_.clock != ClockMode::kWall) return -1.0;
+  advance_wall();
+  if (engine_.idle()) return -1.0;
+  const double dt =
+      engine_.next_time() - wall_elapsed() * options_.time_scale;
+  if (dt <= 0.0) return 0.0;
+  return dt / options_.time_scale;
+}
+
+void ServiceDaemon::flush() {
+  if (!wal_.is_open()) return;
+  std::string error;
+  if (wal_.sync(&error)) wal_dirty_ = false;
+}
+
+std::string ServiceDaemon::overflow_reply(bool oversized_line) {
+  if (oversized_line) {
+    return error_reply(ErrorCode::kLineTooLong,
+                       "request line exceeds the size limit");
+  }
+  return error_reply(ErrorCode::kQueueFull,
+                     "per-client pending request queue is full");
+}
+
+std::string ServiceDaemon::handle_line(const std::string& line) {
+  Request req;
+  ParseFailure failure;
+  if (!parse_request(line, &req, &failure)) {
+    return error_reply(failure.code, failure.message, failure.seq);
+  }
+  advance_wall();
+  switch (req.op) {
+    case RequestOp::kPing: {
+      std::string body;
+      append_kv(body, "time", engine_.now());
+      return ok_reply(body, req.seq);
+    }
+    case RequestOp::kSubmit:
+      return handle_submit(req);
+    case RequestOp::kCancel:
+      return handle_cancel(req);
+    case RequestOp::kStatus:
+      return handle_status(req);
+    case RequestOp::kStats:
+      return handle_stats(req);
+    case RequestOp::kFail:
+    case RequestOp::kRepair:
+      return handle_fault(req);
+    case RequestOp::kDrain:
+      return handle_drain(req);
+    case RequestOp::kShutdown:
+      return handle_shutdown(req);
+  }
+  return error_reply(ErrorCode::kInternal, "unhandled op", req.seq);
+}
+
+std::string ServiceDaemon::handle_submit(const Request& req) {
+  if (drained()) {
+    return error_reply(ErrorCode::kBadState,
+                       "daemon already drained; no further submissions",
+                       req.seq);
+  }
+  if (req.nodes > topo_->total_nodes()) {
+    return error_reply(
+        ErrorCode::kOversizedJob,
+        "job wants " + std::to_string(req.nodes) + " nodes but the cluster has " +
+            std::to_string(topo_->total_nodes()),
+        req.seq);
+  }
+  if (engine_.active_count() >= options_.max_queue) {
+    return error_reply(ErrorCode::kQueueFull,
+                       "admission queue is full (" +
+                           std::to_string(options_.max_queue) + " active jobs)",
+                       req.seq);
+  }
+  Job job;
+  job.id = req.id.has_value() ? *req.id : next_job_id_;
+  job.nodes = req.nodes;
+  job.runtime = req.runtime;
+  job.bandwidth = req.bandwidth;
+  job.arrival = req.arrival.has_value() ? *req.arrival : engine_.now();
+  try {
+    engine_.submit(job);
+  } catch (const std::invalid_argument& e) {
+    return error_reply(ErrorCode::kBadRequest, e.what(), req.seq);
+  }
+  next_job_id_ = std::max(next_job_id_, job.id + 1);
+  submit_wall_[job.id] = wall_elapsed();
+  std::string payload = "{\"id\":" + std::to_string(job.id) + ",\"arrival\":";
+  append_double(payload, job.arrival);
+  payload += ",\"nodes\":" + std::to_string(job.nodes) + ",\"runtime\":";
+  append_double(payload, job.runtime);
+  payload += ",\"bandwidth\":";
+  append_double(payload, job.bandwidth);
+  payload += "}";
+  std::string error;
+  if (!wal_append(WalRecordType::kSubmit, payload, &error)) {
+    return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
+                       req.seq);
+  }
+  emit("service.submit", job.id);
+  std::string body = ",\"job\":" + std::to_string(job.id);
+  append_kv(body, "arrival", job.arrival);
+  return ok_reply(body, req.seq);
+}
+
+std::string ServiceDaemon::handle_cancel(const Request& req) {
+  if (drained()) {
+    return error_reply(ErrorCode::kBadState, "daemon already drained",
+                       req.seq);
+  }
+  const JobPhase phase = engine_.phase(req.job);
+  if (phase == JobPhase::kUnknown) {
+    return error_reply(ErrorCode::kUnknownJob,
+                       "job " + std::to_string(req.job) + " was never accepted",
+                       req.seq);
+  }
+  if (!engine_.cancel(req.job)) {
+    return error_reply(ErrorCode::kBadState,
+                       "job " + std::to_string(req.job) + " is " +
+                           job_phase_name(phase) + "; only queued jobs cancel",
+                       req.seq);
+  }
+  std::string error;
+  if (!wal_append(WalRecordType::kCancel,
+                  "{\"job\":" + std::to_string(req.job) + "}", &error)) {
+    return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
+                       req.seq);
+  }
+  emit("service.cancel", req.job);
+  std::string body = ",\"job\":" + std::to_string(req.job);
+  append_kv(body, "phase", std::string(job_phase_name(JobPhase::kCancelled)));
+  return ok_reply(body, req.seq);
+}
+
+std::string ServiceDaemon::handle_status(const Request& req) {
+  const std::optional<SimEngine::JobStatus> status = engine_.status(req.job);
+  if (!status.has_value()) {
+    return error_reply(ErrorCode::kUnknownJob,
+                       "job " + std::to_string(req.job) + " was never accepted",
+                       req.seq);
+  }
+  std::string body = ",\"job\":" + std::to_string(req.job);
+  append_kv(body, "phase", std::string(job_phase_name(status->phase)));
+  append_kv(body, "nodes", static_cast<std::uint64_t>(status->job.nodes));
+  append_kv(body, "arrival", status->job.arrival);
+  append_kv(body, "runtime", status->job.runtime);
+  if (std::isfinite(status->start)) append_kv(body, "start", status->start);
+  if (std::isfinite(status->end)) append_kv(body, "end", status->end);
+  return ok_reply(body, req.seq);
+}
+
+std::string ServiceDaemon::handle_stats(const Request& req) {
+  std::string s = "{\"clock\":\"";
+  s += clock_mode_name(options_.clock);
+  s += '"';
+  append_kv(s, "now", engine_.now());
+  append_kv(s, "queue_depth", static_cast<std::uint64_t>(engine_.queue_depth()));
+  append_kv(s, "running", static_cast<std::uint64_t>(engine_.running_count()));
+  append_kv(s, "submitted",
+            static_cast<std::uint64_t>(engine_.submitted_count()));
+  append_kv(s, "completed",
+            static_cast<std::uint64_t>(engine_.completed_count()));
+  append_kv(s, "cancelled",
+            static_cast<std::uint64_t>(engine_.cancelled_count()));
+  append_kv(s, "active", static_cast<std::uint64_t>(engine_.active_count()));
+  append_kv(s, "grants", grants_);
+  append_kv(s, "releases", releases_);
+  s += ",\"drained\":";
+  s += drained() ? "true" : "false";
+  if (recovery_.performed) {
+    s += ",\"recovered\":true,\"recovery_audit_ok\":";
+    s += recovery_.audit_ok ? "true" : "false";
+    append_kv(s, "recovery_records",
+              static_cast<std::uint64_t>(recovery_.records));
+    append_kv(s, "recovery_dropped_bytes", recovery_.dropped_bytes);
+  }
+  std::vector<double> lat = grant_latencies_;
+  std::sort(lat.begin(), lat.end());
+  s += ",\"grant_latency\":{\"count\":" + std::to_string(lat.size());
+  if (!lat.empty()) {
+    append_kv(s, "p50", percentile_sorted(lat, 50.0));
+    append_kv(s, "p99", percentile_sorted(lat, 99.0));
+    append_kv(s, "p999", percentile_sorted(lat, 99.9));
+    append_kv(s, "max", lat.back());
+  }
+  s += "}}";
+  return ok_reply(",\"stats\":" + s, req.seq);
+}
+
+std::string ServiceDaemon::handle_fault(const Request& req) {
+  if (drained()) {
+    return error_reply(ErrorCode::kBadState, "daemon already drained",
+                       req.seq);
+  }
+  std::istringstream words(req.target);
+  fault::FaultTarget target;
+  std::string target_error;
+  if (!fault::parse_target(words, &target, &target_error)) {
+    return error_reply(ErrorCode::kBadRequest,
+                       "bad target: " + target_error, req.seq);
+  }
+  const std::string invalid = fault::validate(*topo_, target);
+  if (!invalid.empty()) {
+    return error_reply(ErrorCode::kBadRequest, invalid, req.seq);
+  }
+  const bool is_failure = req.op == RequestOp::kFail;
+  const double time = req.time.has_value() ? *req.time : engine_.now();
+  try {
+    engine_.add_fault(time, is_failure, target);
+  } catch (const std::invalid_argument& e) {
+    return error_reply(ErrorCode::kBadRequest, e.what(), req.seq);
+  }
+  std::string payload = "{\"time\":";
+  append_double(payload, time);
+  payload += ",\"failure\":";
+  payload += is_failure ? "true" : "false";
+  payload += ",\"target\":\"" + obs::json_escape(req.target) + "\"}";
+  std::string error;
+  if (!wal_append(WalRecordType::kFault, payload, &error)) {
+    return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
+                       req.seq);
+  }
+  emit(is_failure ? "service.fail" : "service.repair");
+  std::string body;
+  append_kv(body, "target", fault::describe(target));
+  append_kv(body, "time", time);
+  return ok_reply(body, req.seq);
+}
+
+std::string ServiceDaemon::handle_drain(const Request& req) {
+  if (options_.clock == ClockMode::kWall) {
+    return error_reply(ErrorCode::kBadState,
+                       "drain applies to virtual-clock mode only", req.seq);
+  }
+  if (!drained()) {
+    std::string error;
+    if (!wal_append(WalRecordType::kDrain, "{}", &error)) {
+      return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
+                         req.seq);
+    }
+    // The drain marker must be durable before the run starts: recovery
+    // after a mid-drain crash re-drains only if the marker survived.
+    if (wal_.is_open() && options_.sync != SyncPolicy::kNone) {
+      if (wal_.sync(&error)) wal_dirty_ = false;
+    }
+    if (!run_drain(&error)) {
+      return error_reply(ErrorCode::kInternal, error, req.seq);
+    }
+  }
+  return ok_reply(",\"metrics\":" + metrics_json(*final_metrics_), req.seq);
+}
+
+std::string ServiceDaemon::handle_shutdown(const Request& req) {
+  emit("service.shutdown");
+  flush();
+  if (reactor_ != nullptr) reactor_->request_stop();
+  return ok_reply(",\"stopping\":true", req.seq);
+}
+
+}  // namespace jigsaw::service

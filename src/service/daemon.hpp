@@ -1,0 +1,177 @@
+// ServiceDaemon: protocol semantics, write-ahead logging, and recovery.
+//
+// The daemon turns request lines into engine operations and replies. It
+// is transport-agnostic — handle_line() maps one request line to one
+// reply line, so tests and the load bench can drive it directly while
+// jigsaw_daemon plugs it into a Reactor. State changes follow a strict
+// order: validate, apply to the engine, append to the WAL, then ack, so
+// every acknowledged input is recoverable (under --wal-sync=always; the
+// batch policy trades the unsynced tail for throughput).
+//
+// Clock modes:
+//  * kVirtual — the engine's event clock only advances during `drain`,
+//    which runs every pending event and finalizes SimMetrics. A trace
+//    replayed this way produces metrics bit-identical to the batch
+//    simulator (pinned by tests/test_service.cpp).
+//  * kWall — on_idle() (wired as the reactor's idle handler) maps wall
+//    time elapsed since startup, scaled by `time_scale`, onto the event
+//    clock and advances the engine between requests; `drain` is refused
+//    (bad_state) since the wall clock cannot jump.
+//
+// Recovery (--recover): read_wal() yields the longest valid record
+// prefix; the writer truncates the torn tail; inputs (submit / cancel /
+// fault / drain) replay through a fresh engine in log order. Replay is
+// deterministic, so re-derived grants must reproduce the logged kGrant
+// records — recovery cross-checks job id, %.17g grant time, node count,
+// and a crc32 placement digest, requiring the log to be an exact prefix
+// of the re-derivation (RecoveryReport::audit_ok). A drain marker in the
+// log makes recovery finish the run and cache the final metrics, which is
+// how a killed daemon's run completes with bit-identical metrics after
+// restart. Recovery appends nothing, so recovering twice is idempotent.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/reactor.hpp"
+#include "service/wal.hpp"
+#include "sim/engine.hpp"
+
+namespace jigsaw::service {
+
+enum class ClockMode { kVirtual, kWall };
+enum class SyncPolicy { kNone, kBatch, kAlways };
+
+const char* clock_mode_name(ClockMode mode);
+/// Parse "virtual"/"wall" and "none"/"batch"/"always"; false on junk.
+bool parse_clock_mode(const std::string& text, ClockMode* out);
+bool parse_sync_policy(const std::string& text, SyncPolicy* out);
+
+struct DaemonOptions {
+  ClockMode clock = ClockMode::kVirtual;
+  std::string wal_path;  ///< empty: run without a WAL (no recovery)
+  SyncPolicy sync = SyncPolicy::kBatch;
+  bool recover = false;  ///< replay an existing WAL before serving
+  /// Admission bound: submits beyond this many active (queued + running)
+  /// jobs are rejected with queue_full.
+  std::size_t max_queue = 4096;
+  /// Wall mode: event-clock seconds per wall-clock second.
+  double time_scale = 1.0;
+  /// Artificial delay between drain steps (crash-window widener for the
+  /// kill -9 recovery smoke test; 0 in normal operation).
+  std::uint64_t step_delay_us = 0;
+};
+
+struct RecoveryReport {
+  bool performed = false;
+  std::size_t records = 0;        ///< valid records read
+  std::size_t inputs_replayed = 0;
+  std::size_t grants_logged = 0;  ///< kGrant records in the log
+  std::size_t grants_derived = 0; ///< grants re-derived by replay
+  std::uint64_t dropped_bytes = 0;///< torn tail truncated away
+  bool saw_drain = false;
+  bool audit_ok = true;
+  std::string error;  ///< nonempty: recovery failed (daemon unusable)
+};
+
+class ServiceDaemon {
+ public:
+  ServiceDaemon(const FatTree& topo, const Allocator& allocator,
+                const SimConfig& config, DaemonOptions options);
+
+  /// Open (and optionally recover) the WAL, install engine hooks, start
+  /// the wall clock. Must be called once before handle_line().
+  bool init(std::string* error);
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  /// One request line -> one reply line. The whole protocol lives here.
+  std::string handle_line(const std::string& line);
+  /// Reply for a reactor overflow (oversized line / pending-queue full).
+  std::string overflow_reply(bool oversized_line);
+
+  /// Reactor to stop on `shutdown` (optional; handle_line works without).
+  void attach_reactor(Reactor* reactor) { reactor_ = reactor; }
+  /// Polled between drain steps so SIGTERM can abort a long drain.
+  void set_interrupt_check(std::function<bool()> check) {
+    interrupt_check_ = std::move(check);
+  }
+
+  /// Reactor idle handler: advance the engine (wall mode), flush batched
+  /// WAL writes; returns the next poll timeout in seconds (< 0 = block).
+  double on_idle();
+
+  /// fsync the WAL (graceful-shutdown path; safe when no WAL).
+  void flush();
+
+  bool drained() const { return final_metrics_.has_value(); }
+  const SimEngine& engine() const { return engine_; }
+
+  /// Wall-clock submit->grant latencies observed so far (seconds), in
+  /// grant order. The bench reads these through `stats`.
+  const std::vector<double>& grant_latencies() const {
+    return grant_latencies_;
+  }
+
+ private:
+  std::string handle_submit(const Request& req);
+  std::string handle_cancel(const Request& req);
+  std::string handle_status(const Request& req);
+  std::string handle_stats(const Request& req);
+  std::string handle_fault(const Request& req);
+  std::string handle_drain(const Request& req);
+  std::string handle_shutdown(const Request& req);
+
+  bool recover_from_wal(const WalReadResult& log, std::string* error);
+  bool run_drain(std::string* error);  ///< run + finish, step-delay aware
+  void install_live_hooks();
+  void on_grant(double now, const Allocation& alloc);
+  void on_release(double now, JobId job, bool completed);
+  bool wal_append(WalRecordType type, const std::string& payload,
+                  std::string* error);
+
+  double wall_elapsed() const;  ///< wall seconds since init()
+  /// Wall mode: map wall time onto the event clock and advance.
+  void advance_wall();
+  void emit(const char* name, JobId job = kNoJob);
+
+  const FatTree* topo_;
+  DaemonOptions options_;
+  SimConfig config_;
+  SimEngine engine_;
+  Reactor* reactor_ = nullptr;
+  std::function<bool()> interrupt_check_;
+
+  WalWriter wal_;
+  bool wal_dirty_ = false;   ///< unsynced appends (batch policy)
+  bool recovering_ = false;  ///< replay in progress: hooks stay quiet
+  RecoveryReport recovery_;
+
+  JobId next_job_id_ = 0;
+  std::optional<SimMetrics> final_metrics_;
+  std::chrono::steady_clock::time_point start_;
+
+  /// Grant identity tuple logged to / audited against the WAL.
+  struct GrantFact {
+    JobId job = kNoJob;
+    std::string time;  ///< %.17g — compared textually, bit-exact
+    int nodes = 0;
+    std::uint32_t digest = 0;  ///< crc32 over the placement
+    friend bool operator==(const GrantFact&, const GrantFact&) = default;
+  };
+  static GrantFact grant_fact(double now, const Allocation& alloc);
+  std::vector<GrantFact> derived_grants_;  ///< recovery replay only
+
+  std::unordered_map<JobId, double> submit_wall_;  ///< id -> wall seconds
+  std::vector<double> grant_latencies_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace jigsaw::service

@@ -1,0 +1,308 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/sink.hpp"  // json_escape
+
+namespace jigsaw::service {
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string* error;
+
+  bool fail(const std::string& message, const char* at) {
+    if (error != nullptr) {
+      *error = message + " at byte " + std::to_string(at - start);
+    }
+    return false;
+  }
+  const char* start;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep", p);
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input", p);
+    switch (*p) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (end - p >= 4 && std::memcmp(p, "true", 4) == 0) {
+          p += 4;
+          *out = JsonValue(true);
+          return true;
+        }
+        return fail("bad literal", p);
+      case 'f':
+        if (end - p >= 5 && std::memcmp(p, "false", 5) == 0) {
+          p += 5;
+          *out = JsonValue(false);
+          return true;
+        }
+        return fail("bad literal", p);
+      case 'n':
+        if (end - p >= 4 && std::memcmp(p, "null", 4) == 0) {
+          p += 4;
+          *out = JsonValue(nullptr);
+          return true;
+        }
+        return fail("bad literal", p);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const char* num_start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+      return fail("bad number", num_start);
+    }
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+        return fail("bad number", num_start);
+      }
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+        return fail("bad number", num_start);
+      }
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    // The slice is NUL-free and strtod stops at the first invalid char,
+    // which is exactly where we stopped.
+    const std::string slice(num_start, p);
+    char* parsed_end = nullptr;
+    const double v = std::strtod(slice.c_str(), &parsed_end);
+    if (parsed_end != slice.c_str() + slice.size()) {
+      return fail("bad number", num_start);
+    }
+    *out = JsonValue(v);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (*p != '"') return fail("expected string", p);
+    ++p;
+    out->clear();
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        ++p;
+        if (p >= end) return fail("bad escape", p);
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end - p < 5) return fail("bad \\u escape", p);
+            unsigned code = 0;
+            for (int k = 1; k <= 4; ++k) {
+              const char h = p[k];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape", p);
+            }
+            p += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // combined; protocol strings are ASCII in practice).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("bad escape", p);
+        }
+        ++p;
+        continue;
+      }
+      if (c < 0x20) return fail("unescaped control character", p);
+      out->push_back(static_cast<char>(c));
+      ++p;
+    }
+    return fail("unterminated string", p);
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    ++p;  // '{'
+    JsonValue::Object obj;
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      *out = JsonValue(std::move(obj));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (p >= end || *p != '"') return fail("expected object key", p);
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return fail("expected ':'", p);
+      ++p;
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        *out = JsonValue(std::move(obj));
+        return true;
+      }
+      return fail("expected ',' or '}'", p);
+    }
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    ++p;  // '['
+    JsonValue::Array arr;
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      *out = JsonValue(std::move(arr));
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        *out = JsonValue(std::move(arr));
+        return true;
+      }
+      return fail("expected ',' or ']'", p);
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool parse_json(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), error, text.data()};
+  if (!parser.parse_value(out, 0)) return false;
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    return parser.fail("trailing garbage", parser.p);
+  }
+  return true;
+}
+
+void append_double(std::string& out, double value) {
+  char buf[32];
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(value)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out += buf;
+}
+
+void write_json(std::string& out, const JsonValue& value) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    const double d = value.as_double();
+    if (std::isfinite(d)) {
+      append_double(out, d);
+    } else {
+      out += "null";  // JSON has no inf/nan
+    }
+  } else if (value.is_string()) {
+    out += '"';
+    out += obs::json_escape(value.as_string());
+    out += '"';
+  } else if (value.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const JsonValue& v : value.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      write_json(out, v);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : value.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += obs::json_escape(k);
+      out += "\":";
+      write_json(out, v);
+    }
+    out += '}';
+  }
+}
+
+std::string to_json(const JsonValue& value) {
+  std::string out;
+  write_json(out, value);
+  return out;
+}
+
+}  // namespace jigsaw::service

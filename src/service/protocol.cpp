@@ -1,0 +1,248 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/sink.hpp"  // json_escape
+
+namespace jigsaw::service {
+
+namespace {
+
+bool require_number(const JsonValue& obj, const char* key, double* out,
+                    std::string* message) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    *message = std::string("missing or non-numeric field \"") + key + "\"";
+    return false;
+  }
+  *out = v->as_double();
+  return true;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownOp: return "unknown_op";
+    case ErrorCode::kOversizedJob: return "oversized_job";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kLineTooLong: return "line_too_long";
+    case ErrorCode::kUnknownJob: return "unknown_job";
+    case ErrorCode::kBadState: return "bad_state";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+bool parse_request(const std::string& line, Request* out,
+                   ParseFailure* failure) {
+  JsonValue doc;
+  std::string error;
+  if (!parse_json(line, &doc, &error)) {
+    failure->code = ErrorCode::kParse;
+    failure->message = error;
+    return false;
+  }
+  if (!doc.is_object()) {
+    failure->code = ErrorCode::kBadRequest;
+    failure->message = "request must be a JSON object";
+    return false;
+  }
+  if (const JsonValue* seq = doc.find("seq")) {
+    out->seq = to_json(*seq);
+    failure->seq = out->seq;
+  }
+  const JsonValue* opv = doc.find("op");
+  if (opv == nullptr || !opv->is_string()) {
+    failure->code = ErrorCode::kBadRequest;
+    failure->message = "missing \"op\"";
+    return false;
+  }
+  const std::string& op = opv->as_string();
+  std::string message;
+  if (op == "ping") {
+    out->op = RequestOp::kPing;
+  } else if (op == "submit") {
+    out->op = RequestOp::kSubmit;
+    double nodes = 0.0;
+    double runtime = 0.0;
+    if (!require_number(doc, "nodes", &nodes, &message) ||
+        !require_number(doc, "runtime", &runtime, &message)) {
+      failure->code = ErrorCode::kBadRequest;
+      failure->message = message;
+      return false;
+    }
+    if (nodes < 1.0 || nodes != std::floor(nodes) || nodes > 1e9) {
+      failure->code = ErrorCode::kBadRequest;
+      failure->message = "\"nodes\" must be a positive integer";
+      return false;
+    }
+    if (!(runtime > 0.0) || !std::isfinite(runtime)) {
+      failure->code = ErrorCode::kBadRequest;
+      failure->message = "\"runtime\" must be positive and finite";
+      return false;
+    }
+    out->nodes = static_cast<int>(nodes);
+    out->runtime = runtime;
+    if (const JsonValue* v = doc.find("id")) {
+      if (!v->is_number() || v->as_double() < 0.0) {
+        failure->code = ErrorCode::kBadRequest;
+        failure->message = "\"id\" must be a non-negative number";
+        return false;
+      }
+      out->id = static_cast<JobId>(v->as_int());
+    }
+    if (const JsonValue* v = doc.find("bandwidth")) {
+      if (!v->is_number() || v->as_double() < 0.0) {
+        failure->code = ErrorCode::kBadRequest;
+        failure->message = "\"bandwidth\" must be non-negative";
+        return false;
+      }
+      out->bandwidth = v->as_double();
+    }
+    if (const JsonValue* v = doc.find("arrival")) {
+      if (!v->is_number() || !std::isfinite(v->as_double()) ||
+          v->as_double() < 0.0) {
+        failure->code = ErrorCode::kBadRequest;
+        failure->message = "\"arrival\" must be a non-negative number";
+        return false;
+      }
+      out->arrival = v->as_double();
+    }
+  } else if (op == "cancel" || op == "status") {
+    out->op = op == "cancel" ? RequestOp::kCancel : RequestOp::kStatus;
+    double job = 0.0;
+    if (!require_number(doc, "job", &job, &message)) {
+      failure->code = ErrorCode::kBadRequest;
+      failure->message = message;
+      return false;
+    }
+    out->job = static_cast<JobId>(job);
+  } else if (op == "stats") {
+    out->op = RequestOp::kStats;
+  } else if (op == "fail" || op == "repair") {
+    out->op = op == "fail" ? RequestOp::kFail : RequestOp::kRepair;
+    const JsonValue* target = doc.find("target");
+    if (target == nullptr || !target->is_string() ||
+        target->as_string().empty()) {
+      failure->code = ErrorCode::kBadRequest;
+      failure->message = "missing \"target\" string";
+      return false;
+    }
+    out->target = target->as_string();
+    if (const JsonValue* v = doc.find("time")) {
+      if (!v->is_number() || !std::isfinite(v->as_double())) {
+        failure->code = ErrorCode::kBadRequest;
+        failure->message = "\"time\" must be a finite number";
+        return false;
+      }
+      out->time = v->as_double();
+    }
+  } else if (op == "drain") {
+    out->op = RequestOp::kDrain;
+  } else if (op == "shutdown") {
+    out->op = RequestOp::kShutdown;
+  } else {
+    failure->code = ErrorCode::kUnknownOp;
+    failure->message = "unknown op \"" + op + "\"";
+    return false;
+  }
+  return true;
+}
+
+std::string error_reply(ErrorCode code, const std::string& message,
+                        const std::string& seq) {
+  std::string out = "{\"ok\":false,\"error\":\"";
+  out += error_code_name(code);
+  out += "\",\"message\":\"";
+  out += obs::json_escape(message);
+  out += '"';
+  if (!seq.empty()) {
+    out += ",\"seq\":";
+    out += seq;
+  }
+  out += '}';
+  return out;
+}
+
+std::string ok_reply(const std::string& body, const std::string& seq) {
+  std::string out = "{\"ok\":true";
+  out += body;
+  if (!seq.empty()) {
+    out += ",\"seq\":";
+    out += seq;
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+void field(std::string& out, const char* name, double v, bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  out += '"';
+  out += name;
+  out += "\":";
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  } else {
+    // +/-inf can legitimately appear (makespan of an empty run); keep the
+    // reply valid JSON and exactly invertible.
+    out += '"';
+    out += v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+    out += '"';
+  }
+}
+
+void field(std::string& out, const char* name, std::uint64_t v, bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  out += '"';
+  out += name;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::string metrics_json(const SimMetrics& m) {
+  std::string out = "{";
+  bool first = true;
+  field(out, "steady_utilization", m.steady_utilization, &first);
+  field(out, "steady_waste", m.steady_waste, &first);
+  field(out, "steady_start", m.steady_start, &first);
+  field(out, "steady_end", m.steady_end, &first);
+  field(out, "makespan", m.makespan, &first);
+  field(out, "mean_turnaround_all", m.mean_turnaround_all, &first);
+  field(out, "mean_turnaround_large", m.mean_turnaround_large, &first);
+  field(out, "large_jobs", static_cast<std::uint64_t>(m.large_jobs), &first);
+  field(out, "mean_wait", m.mean_wait, &first);
+  field(out, "completed", static_cast<std::uint64_t>(m.completed), &first);
+  field(out, "sched_wall_seconds", m.sched_wall_seconds, &first);
+  field(out, "sched_passes", m.sched_passes, &first);
+  field(out, "allocate_calls", m.allocate_calls, &first);
+  field(out, "search_steps", m.search_steps, &first);
+  field(out, "budget_exhaustions", m.budget_exhaustions, &first);
+  field(out, "mean_sched_time_per_job", m.mean_sched_time_per_job, &first);
+  field(out, "fault_events", m.fault_events, &first);
+  field(out, "resources_failed", m.resources_failed, &first);
+  field(out, "resources_repaired", m.resources_repaired, &first);
+  field(out, "jobs_killed", m.jobs_killed, &first);
+  field(out, "jobs_requeued", m.jobs_requeued, &first);
+  field(out, "grants_rejected", m.grants_rejected, &first);
+  field(out, "abandoned", static_cast<std::uint64_t>(m.abandoned), &first);
+  field(out, "cancelled", static_cast<std::uint64_t>(m.cancelled), &first);
+  field(out, "p50_turnaround", m.p50_turnaround, &first);
+  field(out, "p90_turnaround", m.p90_turnaround, &first);
+  field(out, "p99_turnaround", m.p99_turnaround, &first);
+  out += '}';
+  return out;
+}
+
+}  // namespace jigsaw::service

@@ -1,0 +1,250 @@
+#include "service/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace jigsaw::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'J', 'G', 'S', 'W', 'W', 'A', 'L', '1'};
+constexpr std::uint64_t kHeaderBytes = sizeof(kMagic);
+/// Frames larger than this are treated as corruption, not data: the
+/// largest real payload (a grant's placement digest) is well under 4 KiB.
+constexpr std::uint32_t kMaxPayload = 1u << 24;
+
+std::uint32_t load_le32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v & 0xFF);
+  p[1] = static_cast<unsigned char>((v >> 8) & 0xFF);
+  p[2] = static_cast<unsigned char>((v >> 16) & 0xFF);
+  p[3] = static_cast<unsigned char>((v >> 24) & 0xFF);
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+bool valid_type(std::uint32_t type) {
+  return type >= static_cast<std::uint32_t>(WalRecordType::kSubmit) &&
+         type <= static_cast<std::uint32_t>(WalRecordType::kRelease);
+}
+
+std::uint32_t frame_crc(std::uint32_t type, const std::string& payload) {
+  unsigned char type_le[4];
+  store_le32(type_le, type);
+  std::uint32_t c = crc32(type_le, sizeof(type_le));
+  return crc32(payload.data(), payload.size(), c);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t k = 0; k < size; ++k) {
+    c = table[(c ^ p[k]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool wal_is_input(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kSubmit:
+    case WalRecordType::kCancel:
+    case WalRecordType::kFault:
+    case WalRecordType::kDrain:
+      return true;
+    case WalRecordType::kGrant:
+    case WalRecordType::kRelease:
+      return false;
+  }
+  return false;
+}
+
+const char* wal_record_type_name(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kSubmit: return "submit";
+    case WalRecordType::kCancel: return "cancel";
+    case WalRecordType::kFault: return "fault";
+    case WalRecordType::kDrain: return "drain";
+    case WalRecordType::kGrant: return "grant";
+    case WalRecordType::kRelease: return "release";
+  }
+  return "?";
+}
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return result;  // missing file == empty log
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  result.file_bytes = data.size();
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    if (!data.empty()) result.tail_error = "bad or short file header";
+    return result;
+  }
+  result.header_ok = true;
+  std::uint64_t off = kHeaderBytes;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  while (off < data.size()) {
+    if (data.size() - off < 8) {
+      result.tail_error = "truncated frame header";
+      break;
+    }
+    const std::uint32_t len = load_le32(bytes + off);
+    const std::uint32_t type = load_le32(bytes + off + 4);
+    if (len > kMaxPayload) {
+      result.tail_error = "implausible payload length";
+      break;
+    }
+    if (!valid_type(type)) {
+      result.tail_error = "unknown record type";
+      break;
+    }
+    if (data.size() - off - 8 < static_cast<std::uint64_t>(len) + 4) {
+      result.tail_error = "truncated record";
+      break;
+    }
+    std::string payload(data, off + 8, len);
+    const std::uint32_t stored_crc = load_le32(bytes + off + 8 + len);
+    if (stored_crc != frame_crc(type, payload)) {
+      result.tail_error = "checksum mismatch";
+      break;
+    }
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(type);
+    record.payload = std::move(payload);
+    record.offset = off;
+    result.records.push_back(std::move(record));
+    off += 8 + len + 4;
+  }
+  result.valid_bytes = off;
+  if (!result.tail_error.empty()) {
+    result.tail_error += " at offset " + std::to_string(off);
+  }
+  return result;
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WalWriter::open(const std::string& path, std::string* error,
+                     std::uint64_t truncate_at) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "cannot open WAL " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  path_ = path;
+  if (truncate_at > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(truncate_at)) != 0) {
+      if (error != nullptr) {
+        *error = "cannot truncate WAL: " + std::string(std::strerror(errno));
+      }
+      close();
+      return false;
+    }
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    if (error != nullptr) {
+      *error = "cannot stat WAL: " + std::string(std::strerror(errno));
+    }
+    close();
+    return false;
+  }
+  if (st.st_size == 0) {
+    if (::write(fd_, kMagic, sizeof(kMagic)) !=
+        static_cast<ssize_t>(sizeof(kMagic))) {
+      if (error != nullptr) {
+        *error = "cannot write WAL header: " + std::string(std::strerror(errno));
+      }
+      close();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WalWriter::append(WalRecordType type, const std::string& payload,
+                       std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "WAL not open";
+    return false;
+  }
+  std::string frame;
+  frame.resize(8);
+  store_le32(reinterpret_cast<unsigned char*>(frame.data()),
+             static_cast<std::uint32_t>(payload.size()));
+  store_le32(reinterpret_cast<unsigned char*>(frame.data()) + 4,
+             static_cast<std::uint32_t>(type));
+  frame += payload;
+  unsigned char crc_le[4];
+  store_le32(crc_le, frame_crc(static_cast<std::uint32_t>(type), payload));
+  frame.append(reinterpret_cast<const char*>(crc_le), 4);
+  const char* p = frame.data();
+  std::size_t remaining = frame.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) {
+        *error = "WAL write failed: " + std::string(std::strerror(errno));
+      }
+      return false;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WalWriter::sync(std::string* error) {
+  if (fd_ < 0) return true;
+  if (::fsync(fd_) != 0) {
+    if (error != nullptr) {
+      *error = "WAL fsync failed: " + std::string(std::strerror(errno));
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace jigsaw::service

@@ -104,6 +104,9 @@ struct SimMetrics {
   /// by the time the event queue drained (kill-and-requeue may orbit a
   /// job whose shape no longer fits the surviving hardware).
   std::size_t abandoned = 0;
+  /// Jobs cancelled while queued (online service only; always 0 for
+  /// batch trace replays, which have no cancel path).
+  std::size_t cancelled = 0;
   /// Instantaneous utilization (percent) sampled at every schedule or
   /// completion event inside the steady window (Table 2 input).
   std::vector<double> instant_utilization;

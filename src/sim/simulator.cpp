@@ -1,107 +1,10 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <deque>
-#include <limits>
-#include <memory>
-#include <stdexcept>
-#include <unordered_map>
 
-#include "fault/injector.hpp"
-#include "obs/cluster_probe.hpp"
-#include "obs/scoped_timer.hpp"
-#include "routing/dmodk.hpp"
-#include "util/stats.hpp"
-#include "routing/rnb_router.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/engine.hpp"
 
 namespace jigsaw {
-
-namespace {
-
-/// Incremental link-load tracker for the measured-interference mode.
-/// Each running job contributes the D-mod-k routes of one random traffic
-/// permutation; a starting job's congestion factor is the worst sharing
-/// level along its own flows (its flows included).
-class TrafficLoadModel {
- public:
-  TrafficLoadModel(const FatTree& topo, std::uint64_t seed)
-      : topo_(&topo),
-        load_(static_cast<std::size_t>(topo.directed_link_count()), 0),
-        rng_(seed) {}
-
-  /// Registers the job's traffic and returns its congestion factor
-  /// (>= 1.0): the maximum number of flows sharing any link it uses.
-  double add_job(const Allocation& allocation) {
-    std::vector<std::vector<int>> routes;
-    if (allocation.nodes.size() >= 2) {
-      for (const Flow& f : random_permutation(allocation, rng_)) {
-        if (f.src == f.dst) continue;
-        routes.push_back(dmodk_route(*topo_, f.src, f.dst));
-      }
-    }
-    int worst = 1;
-    for (const auto& route : routes) {
-      for (const int link : route) {
-        worst = std::max(worst, ++load_[static_cast<std::size_t>(link)]);
-      }
-    }
-    routes_[allocation.job] = std::move(routes);
-    return static_cast<double>(worst);
-  }
-
-  void remove_job(JobId job) {
-    const auto it = routes_.find(job);
-    if (it == routes_.end()) return;
-    for (const auto& route : it->second) {
-      for (const int link : route) {
-        --load_[static_cast<std::size_t>(link)];
-      }
-    }
-    routes_.erase(it);
-  }
-
- private:
-  const FatTree* topo_;
-  std::vector<int> load_;
-  std::unordered_map<JobId, std::vector<std::vector<int>>> routes_;
-  Rng rng_;
-};
-
-/// Pre-resolved observability handles for the simulation loop: one name
-/// lookup per metric per run instead of per event.
-struct SimObs {
-  const obs::ObsContext* ctx = nullptr;  ///< null when fully disabled
-  bool tracing = false;
-  obs::Counter* arrived = nullptr;
-  obs::Counter* started = nullptr;
-  obs::Counter* completed = nullptr;
-  obs::Counter* passes = nullptr;
-  obs::Gauge* queue_depth = nullptr;
-  obs::Histogram* pass_seconds = nullptr;
-  obs::Histogram* queue_depth_hist = nullptr;
-  obs::Histogram* wait_seconds = nullptr;
-
-  explicit SimObs(const obs::ObsContext& o) {
-    if (!o.enabled()) return;
-    ctx = &o;
-    tracing = o.tracing();
-    if (!o.metering()) return;
-    obs::MetricsRegistry& m = *o.metrics;
-    arrived = &m.counter("jobs.arrived");
-    started = &m.counter("jobs.started");
-    completed = &m.counter("jobs.completed");
-    passes = &m.counter("sched.passes");
-    queue_depth = &m.gauge("queue.depth");
-    pass_seconds = &m.histogram("sched.pass_seconds");
-    queue_depth_hist = &m.histogram("sched.queue_depth");
-    wait_seconds = &m.histogram("jobs.wait_seconds");
-  }
-};
-
-}  // namespace
 
 bool speedup_eligible(const Allocator& allocator) {
   return allocator.isolating() || allocator.name() == "LC+S";
@@ -112,422 +15,20 @@ SimMetrics simulate(const FatTree& topo, const Allocator& allocator,
   const std::size_t job_count =
       config.max_jobs == 0 ? trace.jobs.size()
                            : std::min(config.max_jobs, trace.jobs.size());
-  const bool speedups = speedup_eligible(allocator);
-  const SpeedupModel model(config.scenario, config.scenario_seed);
-  auto effective_runtime = [&](const Job& j) {
-    return speedups ? model.isolated_runtime(j) : j.runtime;
-  };
-
-  ClusterState state(topo, config.usable_bandwidth);
-  EasyScheduler scheduler(allocator, config.backfill_window,
-                          config.backfill_order);
-  EasyScheduler::Cache sched_cache;
-  // Measured interference penalizes schedulers without isolation
-  // guarantees (in this library: Baseline) instead of speeding up the
-  // isolating ones — the same comparison rebased.
-  std::unique_ptr<TrafficLoadModel> traffic;
-  if (config.measured_interference_comm_fraction > 0.0 &&
-      !speedup_eligible(allocator)) {
-    traffic = std::make_unique<TrafficLoadModel>(topo, config.traffic_seed);
-  }
-  EventQueue events;
+  SimEngine engine(topo, allocator, config);
+  // Arrival events first, fault events after, matching the historical
+  // batch loop's event-queue insertion order (seq breaks time ties).
   for (std::size_t k = 0; k < job_count; ++k) {
-    const Job& j = trace.jobs[k];
-    if (j.nodes > topo.total_nodes()) {
-      throw std::invalid_argument("trace job larger than the cluster");
-    }
-    events.push(j.arrival, EventType::kArrival, j.id);
+    engine.submit(trace.jobs[k]);
   }
   if (config.failures != nullptr) {
-    const auto& fault_events = config.failures->events;
-    for (std::size_t k = 0; k < fault_events.size(); ++k) {
-      events.push(fault_events[k].time,
-                  fault_events[k].failure ? EventType::kFailure
-                                          : EventType::kRepair,
-                  kNoJob, static_cast<std::int64_t>(k));
+    engine.set_allow_unfinished(true);
+    for (const fault::FaultEvent& fe : config.failures->events) {
+      engine.add_fault(fe.time, fe.failure, fe.target);
     }
   }
-
-  const SimObs so(config.obs);
-  if (so.tracing) {
-    config.obs.emit(
-        obs::instant("sim", "sim.run_start", 0.0)
-            .arg("allocator", allocator.name())
-            .arg("jobs", static_cast<std::int64_t>(job_count))
-            .arg("total_nodes", static_cast<std::int64_t>(topo.total_nodes()))
-            .arg("isolating",
-                 static_cast<std::int64_t>(allocator.isolating() ? 1 : 0)));
-  }
-
-  std::deque<PendingJob> queue;
-  std::deque<std::size_t> queue_trace_index;  // parallel to `queue`
-  std::vector<RunningJob> running;
-  std::unordered_map<JobId, std::size_t> running_index;
-  std::unordered_map<JobId, std::size_t> trace_index;
-  for (std::size_t k = 0; k < job_count; ++k) {
-    trace_index[trace.jobs[k].id] = k;
-  }
-
-  UtilizationTimeline timeline(topo.total_nodes());
-  SimMetrics metrics;
-  // Steady-state accounting (§5): integrate utilization only over periods
-  // with pending demand — "we are not particularly interested in cases
-  // where the system utilization is low due to a lack of pending jobs."
-  double backlogged_seconds = 0.0;
-  double backlogged_busy_area = 0.0;
-  double backlogged_waste_area = 0.0;
-  bool was_backlogged = false;
-  double last_event_time = 0.0;
-  std::vector<std::pair<double, double>> samples;  // (time, percent)
-  std::vector<double> turnarounds;
-  turnarounds.reserve(job_count);
-  double turnaround_sum = 0.0;
-  double turnaround_large_sum = 0.0;
-  double wait_sum = 0.0;
-  std::unordered_map<JobId, double> start_time;
-  // Run generation per job: bumped on every kill-and-requeue so the dead
-  // run's still-queued completion event (EventQueue has no removal) is
-  // recognized as a ghost and skipped.
-  std::unordered_map<JobId, std::int64_t> generation;
-  double first_arrival = std::numeric_limits<double>::infinity();
-  double last_completion = 0.0;
-  double first_backlog = std::numeric_limits<double>::infinity();
-  double last_backlog = -std::numeric_limits<double>::infinity();
-
-  while (!events.empty()) {
-    const double now = events.top().time;
-    if (was_backlogged) {
-      // The interval since the previous event ran with a non-empty wait
-      // queue: it counts toward steady-state utilization.
-      backlogged_seconds += now - last_event_time;
-      backlogged_busy_area +=
-          static_cast<double>(timeline.busy_now()) * (now - last_event_time);
-      backlogged_waste_area +=
-          static_cast<double>(timeline.waste_now()) * (now - last_event_time);
-    }
-    last_event_time = now;
-    while (!events.empty() && events.top().time == now) {
-      const Event e = events.pop();
-      if (e.type == EventType::kFailure || e.type == EventType::kRepair) {
-        const fault::FaultEvent& fe =
-            config.failures->events[static_cast<std::size_t>(e.aux)];
-        const fault::PrimitiveSet primitives = fault::expand(topo, fe.target);
-        ++metrics.fault_events;
-        if (e.type == EventType::kRepair) {
-          metrics.resources_repaired += static_cast<std::uint64_t>(
-              fault::apply_repair(state, primitives));
-          if (so.tracing) {
-            config.obs.emit(
-                obs::instant("fault", "resource_repaired", now)
-                    .arg("target", fault::describe(fe.target))
-                    .arg("failed_nodes",
-                         static_cast<std::int64_t>(state.failed_node_count()))
-                    .arg("failed_wires",
-                         static_cast<std::int64_t>(state.failed_wire_count())));
-          }
-          continue;
-        }
-        metrics.resources_failed += static_cast<std::uint64_t>(
-            fault::apply_failure(state, primitives));
-        if (so.tracing) {
-          config.obs.emit(
-              obs::instant("fault", "resource_failed", now)
-                  .arg("target", fault::describe(fe.target))
-                  .arg("failed_nodes",
-                       static_cast<std::int64_t>(state.failed_node_count()))
-                  .arg("failed_wires",
-                       static_cast<std::int64_t>(state.failed_wire_count())));
-        }
-        if (config.victim_policy == VictimPolicy::kKillAndRequeue) {
-          std::vector<JobId> victims;
-          for (const RunningJob& r : running) {
-            if (fault::allocation_uses(r.allocation, primitives)) {
-              victims.push_back(r.id);
-            }
-          }
-          for (const JobId id : victims) {
-            const std::size_t ri = running_index.at(id);
-            const Job& vjob = trace.jobs[trace_index.at(id)];
-            if (traffic != nullptr) traffic->remove_job(id);
-            state.release(running[ri].allocation);
-            timeline.record(now, -vjob.nodes);
-            if (running[ri].allocation.wasted_nodes() > 0) {
-              timeline.record_waste(now,
-                                    -running[ri].allocation.wasted_nodes());
-            }
-            running_index.erase(id);
-            if (ri != running.size() - 1) {
-              running[ri] = std::move(running.back());
-              running_index[running[ri].id] = ri;
-            }
-            running.pop_back();
-            // Undo the wait credited at the dead run's start; the restart
-            // credits the full arrival-to-restart wait instead.
-            wait_sum -= start_time.at(id) - vjob.arrival;
-            ++generation[id];
-            ++metrics.jobs_killed;
-            ++metrics.jobs_requeued;
-            queue.push_back(PendingJob{vjob.id, vjob.nodes, vjob.bandwidth,
-                                       effective_runtime(vjob)});
-            queue_trace_index.push_back(trace_index.at(id));
-            if (so.tracing) {
-              config.obs.emit(
-                  obs::instant("fault", "job_requeued", now)
-                      .arg("job", id)
-                      .arg("nodes", static_cast<std::int64_t>(vjob.nodes))
-                      .arg("target", fault::describe(fe.target)));
-            }
-          }
-        }
-        continue;
-      }
-      const Job& job = trace.jobs[trace_index.at(e.job)];
-      if (e.type == EventType::kArrival) {
-        first_arrival = std::min(first_arrival, now);
-        queue.push_back(PendingJob{job.id, job.nodes, job.bandwidth,
-                                   effective_runtime(job)});
-        queue_trace_index.push_back(trace_index.at(e.job));
-        if (so.arrived != nullptr) so.arrived->add();
-        if (so.tracing) {
-          config.obs.emit(
-              obs::instant("job", "job.arrival", now)
-                  .arg("job", job.id)
-                  .arg("nodes", static_cast<std::int64_t>(job.nodes)));
-        }
-      } else {
-        const auto git = generation.find(e.job);
-        if (git != generation.end() && e.aux != git->second) {
-          // Ghost completion of a run that was killed by a failure.
-          continue;
-        }
-        const std::size_t ri = running_index.at(e.job);
-        if (traffic != nullptr) traffic->remove_job(e.job);
-        state.release(running[ri].allocation);
-        timeline.record(now, -job.nodes);
-        if (running[ri].allocation.wasted_nodes() > 0) {
-          timeline.record_waste(now, -running[ri].allocation.wasted_nodes());
-        }
-        running_index.erase(e.job);
-        if (ri != running.size() - 1) {
-          running[ri] = std::move(running.back());
-          running_index[running[ri].id] = ri;
-        }
-        running.pop_back();
-
-        const double turnaround = now - job.arrival;
-        turnarounds.push_back(turnaround);
-        if (config.collect_job_records) {
-          metrics.job_records.push_back(JobRecord{
-              job.id, job.nodes, job.arrival, start_time.at(job.id), now});
-        }
-        turnaround_sum += turnaround;
-        if (job.nodes > 100) {
-          turnaround_large_sum += turnaround;
-          ++metrics.large_jobs;
-        }
-        ++metrics.completed;
-        last_completion = std::max(last_completion, now);
-        if (so.completed != nullptr) so.completed->add();
-        if (so.tracing) {
-          config.obs.emit(
-              obs::instant("job", "job.completion", now)
-                  .arg("job", job.id)
-                  .arg("nodes", static_cast<std::int64_t>(job.nodes))
-                  .arg("wait", start_time.at(job.id) - job.arrival)
-                  .arg("turnaround", turnaround));
-        }
-      }
-    }
-
-    // Scheduling pass. The timer is always on (SimMetrics needs the wall
-    // time regardless); the histogram pointer is null when metering is off.
-    const std::size_t pre_pass_depth = queue.size();
-    EasyScheduler::PassStats pass;
-    obs::ScopedTimer pass_timer(so.pass_seconds);
-    auto decisions = scheduler.schedule(now, state, queue, running, &pass,
-                                        &sched_cache, so.ctx);
-    const double pass_seconds = pass_timer.stop();
-    metrics.sched_wall_seconds += pass_seconds;
-    ++metrics.sched_passes;
-    if (so.passes != nullptr) so.passes->add();
-    if (so.tracing) {
-      config.obs.emit(
-          obs::span("sched", "sched.pass", now, pass_seconds)
-              .arg("queue_depth", static_cast<std::int64_t>(pre_pass_depth))
-              .arg("started", static_cast<std::int64_t>(decisions.size()))
-              .arg("allocate_calls",
-                   static_cast<std::int64_t>(pass.allocate_calls))
-              .arg("search_steps",
-                   static_cast<std::int64_t>(pass.search_steps)));
-    }
-    metrics.allocate_calls += pass.allocate_calls;
-    metrics.search_steps += pass.search_steps;
-    metrics.budget_exhaustions += pass.budget_exhaustions;
-
-    if (!decisions.empty()) {
-      std::vector<char> started(queue.size(), 0);
-      for (auto& d : decisions) {
-        const Job& job =
-            trace.jobs[queue_trace_index[d.pending_index]];
-        if (!state.can_apply(d.allocation)) {
-          // The placement raced a state change (a fault, or an earlier
-          // grant this pass); the job simply stays queued for the next
-          // pass instead of tripping apply()'s logic_error.
-          ++metrics.grants_rejected;
-          if (so.tracing) {
-            config.obs.emit(
-                obs::instant("fault", "grant_rejected", now)
-                    .arg("job", job.id)
-                    .arg("nodes", static_cast<std::int64_t>(job.nodes)));
-          }
-          continue;
-        }
-        state.apply(d.allocation);
-        if (config.grant_audit) {
-          config.grant_audit(now, d.allocation, state);
-        }
-        double runtime = effective_runtime(job);
-        if (traffic != nullptr) {
-          const double factor = traffic->add_job(d.allocation);
-          runtime *= 1.0 + config.measured_interference_comm_fraction *
-                               (factor - 1.0);
-        }
-        {
-          const auto git = generation.find(job.id);
-          events.push(now + runtime, EventType::kCompletion, job.id,
-                      git == generation.end() ? 0 : git->second);
-        }
-        timeline.record(now, job.nodes);
-        if (d.allocation.wasted_nodes() > 0) {
-          timeline.record_waste(now, d.allocation.wasted_nodes());
-        }
-        start_time[job.id] = now;
-        wait_sum += now - job.arrival;
-        if (so.started != nullptr) {
-          so.started->add();
-          so.wait_seconds->add(now - job.arrival);
-        }
-        if (so.tracing) {
-          config.obs.emit(
-              obs::instant("job", "job.start", now)
-                  .arg("job", job.id)
-                  .arg("nodes", static_cast<std::int64_t>(job.nodes))
-                  .arg("allocated_nodes",
-                       static_cast<std::int64_t>(d.allocation.allocated_nodes()))
-                  .arg("wasted_nodes",
-                       static_cast<std::int64_t>(d.allocation.wasted_nodes()))
-                  .arg("wait", now - job.arrival)
-                  .arg("runtime", runtime));
-        }
-        running_index[job.id] = running.size();
-        running.push_back(
-            RunningJob{job.id, now + runtime, std::move(d.allocation)});
-        started[d.pending_index] = 1;
-      }
-      std::deque<PendingJob> next_queue;
-      std::deque<std::size_t> next_index;
-      for (std::size_t k = 0; k < queue.size(); ++k) {
-        if (started[k]) continue;
-        next_queue.push_back(std::move(queue[k]));
-        next_index.push_back(queue_trace_index[k]);
-      }
-      queue = std::move(next_queue);
-      queue_trace_index = std::move(next_index);
-    }
-
-    if (so.queue_depth != nullptr) {
-      so.queue_depth->set(static_cast<double>(queue.size()));
-      so.queue_depth_hist->add(static_cast<double>(queue.size()));
-    }
-    if (so.ctx != nullptr) {
-      obs::sample_cluster_occupancy(*so.ctx, state, now);
-      if (so.tracing) {
-        config.obs.emit(obs::counter("sched", "queue.depth", now)
-                            .arg("depth",
-                                 static_cast<std::int64_t>(queue.size())));
-      }
-    }
-
-    was_backlogged = !queue.empty();
-    if (was_backlogged) {
-      first_backlog = std::min(first_backlog, now);
-      last_backlog = std::max(last_backlog, now);
-    }
-    if (config.collect_instant_samples && was_backlogged) {
-      samples.emplace_back(now, 100.0 *
-                                    static_cast<double>(timeline.busy_now()) /
-                                    static_cast<double>(topo.total_nodes()));
-    }
-  }
-
-  if (metrics.completed != job_count) {
-    if (config.failures == nullptr) {
-      throw std::logic_error("simulation ended with unfinished jobs");
-    }
-    // Under failure injection a job can outlive the event horizon: its
-    // shape may never fit the surviving tree again. Report rather than
-    // throw.
-    metrics.abandoned = job_count - metrics.completed;
-  }
-
-  metrics.makespan = last_completion - first_arrival;
-  metrics.mean_turnaround_all =
-      metrics.completed == 0
-          ? 0.0
-          : turnaround_sum / static_cast<double>(metrics.completed);
-  metrics.mean_turnaround_large =
-      metrics.large_jobs == 0
-          ? 0.0
-          : turnaround_large_sum / static_cast<double>(metrics.large_jobs);
-  metrics.mean_wait = metrics.completed == 0
-                          ? 0.0
-                          : wait_sum / static_cast<double>(metrics.completed);
-  metrics.mean_sched_time_per_job =
-      metrics.completed == 0
-          ? 0.0
-          : metrics.sched_wall_seconds /
-                static_cast<double>(metrics.completed);
-
-  if (!turnarounds.empty()) {
-    std::sort(turnarounds.begin(), turnarounds.end());
-    metrics.p50_turnaround = percentile_sorted(turnarounds, 50);
-    metrics.p90_turnaround = percentile_sorted(turnarounds, 90);
-    metrics.p99_turnaround = percentile_sorted(turnarounds, 99);
-  }
-
-  metrics.steady_start = first_backlog;
-  metrics.steady_end = last_backlog;
-  if (backlogged_seconds > 0.0) {
-    const double capacity =
-        static_cast<double>(topo.total_nodes()) * backlogged_seconds;
-    metrics.steady_utilization = backlogged_busy_area / capacity;
-    metrics.steady_waste = backlogged_waste_area / capacity;
-  } else {
-    // The queue never backed up (very light load): fall back to the whole
-    // span so the metric is still defined.
-    metrics.steady_start = first_arrival;
-    metrics.steady_end = last_completion;
-    metrics.steady_utilization =
-        timeline.utilization(first_arrival, last_completion);
-    metrics.steady_waste =
-        timeline.waste_fraction(first_arrival, last_completion);
-  }
-  if (config.collect_instant_samples) {
-    for (const auto& [time, percent] : samples) {
-      (void)time;
-      metrics.instant_utilization.push_back(percent);
-    }
-  }
-  if (so.tracing) {
-    config.obs.emit(
-        obs::instant("sim", "sim.run_end", last_completion)
-            .arg("allocator", allocator.name())
-            .arg("completed", static_cast<std::int64_t>(metrics.completed))
-            .arg("makespan", metrics.makespan)
-            .arg("steady_utilization", metrics.steady_utilization)
-            .arg("sched_wall_seconds", metrics.sched_wall_seconds));
-  }
-  return metrics;
+  engine.run();
+  return engine.finish();
 }
 
 }  // namespace jigsaw

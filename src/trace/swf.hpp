@@ -7,12 +7,31 @@
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "trace/trace.hpp"
 
 namespace jigsaw {
+
+/// A malformed SWF line: non-numeric or missing fields, a non-finite
+/// time, a negative submit time, or a processor count that overflows the
+/// simulator's int node counts. Carries the 1-based line number; what()
+/// includes it along with the offending text. Well-formed lines whose
+/// *values* merely describe an unusable job (nonpositive runtime or
+/// procs, SWF's "-1 = unknown" convention) are not errors — see
+/// SwfOptions::skip_invalid.
+class SwfParseError : public std::runtime_error {
+ public:
+  SwfParseError(const std::string& source, std::size_t line,
+                const std::string& detail);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
 
 struct SwfOptions {
   /// Processors per node: SWF logs count processors; node counts are
@@ -22,10 +41,15 @@ struct SwfOptions {
   bool zero_arrivals = false;
   /// Multiply arrival times (the paper's 0.5 scaling for Aug/Nov-Cab).
   double arrival_scale = 1.0;
-  /// Skip jobs with nonpositive runtime or processor count.
+  /// Skip jobs with nonpositive runtime or processor count (the archive's
+  /// "-1 = unknown" markers on otherwise well-formed lines). When false
+  /// such lines throw SwfParseError instead — a nonpositive node count or
+  /// runtime can never enter the simulator.
   bool skip_invalid = true;
 };
 
+/// Parse an SWF stream. Throws SwfParseError (with the 1-based line
+/// number) on malformed input; `name` labels the trace and the error.
 Trace read_swf(std::istream& in, const std::string& name,
                const SwfOptions& options);
 Trace read_swf_file(const std::string& path, const SwfOptions& options);

@@ -78,5 +78,68 @@ TEST(Swf, BadProcsPerNodeThrows) {
   EXPECT_THROW(read_swf(in, "sample", options), std::invalid_argument);
 }
 
+TEST(Swf, MalformedLineThrowsWithLineNumber) {
+  std::istringstream in(
+      "; comment\n"
+      "1 0 5 100 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n"
+      "2 zero 0 200 8 -1 -1 8 240 -1 1 1 1 1 1 -1 -1 -1\n");
+  try {
+    read_swf(in, "bad", SwfOptions{});
+    FAIL() << "expected SwfParseError";
+  } catch (const SwfParseError& e) {
+    EXPECT_EQ(e.line(), 3u);  // 1-based; the comment line counts
+    EXPECT_NE(std::string(e.what()).find("bad:3:"), std::string::npos);
+  }
+}
+
+TEST(Swf, ShortLineThrows) {
+  std::istringstream in("1 0 5\n");
+  EXPECT_THROW(read_swf(in, "short", SwfOptions{}), SwfParseError);
+}
+
+TEST(Swf, NonFiniteTimeThrows) {
+  std::istringstream in("1 0 5 inf 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(in, "inf", SwfOptions{}), SwfParseError);
+}
+
+TEST(Swf, NegativeSubmitThrowsUnlessArrivalsDiscarded) {
+  const std::string line =
+      "1 -5 0 100 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n";
+  {
+    std::istringstream in(line);
+    EXPECT_THROW(read_swf(in, "neg", SwfOptions{}), SwfParseError);
+  }
+  {
+    std::istringstream in(line);
+    SwfOptions options;
+    options.zero_arrivals = true;  // arrivals discarded: the value is moot
+    const Trace trace = read_swf(in, "neg", options);
+    ASSERT_EQ(trace.jobs.size(), 1u);
+    EXPECT_DOUBLE_EQ(trace.jobs[0].arrival, 0.0);
+  }
+}
+
+TEST(Swf, ProcOverflowThrows) {
+  std::istringstream in(
+      "1 0 0 100 99999999999 -1 -1 -1 120 -1 1 1 1 1 1 -1 -1 -1\n");
+  EXPECT_THROW(read_swf(in, "huge", SwfOptions{}), SwfParseError);
+}
+
+TEST(Swf, StrictModeRejectsInvalidJobs) {
+  // Line 3 of kSample has runtime -1: skipped by default, an error when
+  // skip_invalid is off — it must never reach the simulator as a job.
+  std::istringstream in(kSample);
+  SwfOptions options;
+  options.skip_invalid = false;
+  EXPECT_THROW(read_swf(in, "strict", options), SwfParseError);
+}
+
+TEST(Swf, BlankLinesAreIgnored) {
+  std::istringstream in(
+      "\n   \t\n1 0 5 100 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n\n");
+  const Trace trace = read_swf(in, "blank", SwfOptions{});
+  EXPECT_EQ(trace.jobs.size(), 1u);
+}
+
 }  // namespace
 }  // namespace jigsaw
