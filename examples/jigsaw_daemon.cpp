@@ -119,6 +119,10 @@ int main(int argc, char** argv) {
     options.recover = flags.boolean("recover");
     options.max_queue = static_cast<std::size_t>(flags.integer("max-queue"));
     options.time_scale = flags.real("time-scale");
+    if (!(options.time_scale > 0.0)) {
+      std::cerr << "--time-scale must be > 0\n";
+      return 1;
+    }
     options.step_delay_us =
         static_cast<std::uint64_t>(flags.integer("step-delay-us"));
 

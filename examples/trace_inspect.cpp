@@ -59,12 +59,15 @@ int main(int argc, char** argv) {
   flags.define("export", "write the trace to this SWF file", "");
   flags.define("import", "read an SWF file instead of generating", "");
   flags.define("procs-per-node", "SWF processors per node", "1");
+  flags.define("swf-lenient",
+               "skip malformed SWF lines instead of failing (0/1)", "0");
   if (!flags.parse(argc, argv)) return 0;
 
   Trace trace;
   if (!flags.str("import").empty()) {
     SwfOptions options;
     options.procs_per_node = static_cast<int>(flags.integer("procs-per-node"));
+    options.strict = flags.integer("swf-lenient") == 0;
     trace = read_swf_file(flags.str("import"), options);
   } else {
     trace = load_named(flags.str("trace"),

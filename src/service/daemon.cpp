@@ -221,6 +221,17 @@ bool ServiceDaemon::init(std::string* error) {
       recovery_.error = *error;
       return false;
     }
+    if (options_.clock == ClockMode::kWall && recovery_.resume_clock > 0.0 &&
+        options_.time_scale > 0.0) {
+      // Resume the wall clock at the pre-crash event clock: without this
+      // offset wall_elapsed() restarts at zero and every event past the
+      // recovered horizon stalls until the old uptime re-elapses.
+      wall_target_ = recovery_.resume_clock;
+      start_ = std::chrono::steady_clock::now() -
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(recovery_.resume_clock /
+                                                 options_.time_scale));
+    }
     emit("service.recover");
     return true;
   }
@@ -237,7 +248,18 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
   recovering_ = true;
   std::vector<GrantFact> logged;
   double horizon = 0.0;
+  double resume = 0.0;
   bool ok = true;
+  // Wall-mode inputs took effect against the event stream advanced to
+  // their accept clock; re-advancing before each one reproduces that
+  // interleaving (a cancel must see the same queue it saw live). The
+  // accept clocks are nondecreasing in log order, so each advance is a
+  // forward (or no-op) move. Virtual-mode logs never advanced outside
+  // drain, so their inputs apply against the unstepped engine.
+  const auto advance_to_accept = [&](double accept) {
+    resume = std::max(resume, accept);
+    if (options_.clock == ClockMode::kWall) engine_.advance_until(accept);
+  };
   for (const WalRecord& rec : log.records) {
     if (!ok) break;
     JsonValue payload;
@@ -255,6 +277,7 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
           Job job;
           double id = 0.0;
           double nodes = 0.0;
+          double accept = 0.0;
           if (!read_number(payload, "id", &id) ||
               !read_number(payload, "arrival", &job.arrival) ||
               !read_number(payload, "nodes", &nodes) ||
@@ -262,6 +285,7 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
               !read_number(payload, "bandwidth", &job.bandwidth)) {
             throw std::invalid_argument("missing submit field");
           }
+          if (read_number(payload, "now", &accept)) advance_to_accept(accept);
           job.id = static_cast<JobId>(id);
           job.nodes = static_cast<int>(nodes);
           engine_.submit(job);
@@ -271,8 +295,12 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
         }
         case WalRecordType::kCancel: {
           double job = 0.0;
+          double accept = 0.0;
           if (!read_number(payload, "job", &job)) {
             throw std::invalid_argument("missing cancel field");
+          }
+          if (read_number(payload, "time", &accept)) {
+            advance_to_accept(accept);
           }
           if (!engine_.cancel(static_cast<JobId>(job))) {
             throw std::invalid_argument("cancel replay hit a non-queued job");
@@ -282,6 +310,7 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
         }
         case WalRecordType::kFault: {
           double time = 0.0;
+          double accept = 0.0;
           const JsonValue* failure = payload.find("failure");
           const JsonValue* target_text = payload.find("target");
           if (!read_number(payload, "time", &time) || failure == nullptr ||
@@ -295,6 +324,7 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
           if (!fault::parse_target(words, &target, &target_error)) {
             throw std::invalid_argument("bad fault target: " + target_error);
           }
+          if (read_number(payload, "now", &accept)) advance_to_accept(accept);
           engine_.add_fault(time, failure->as_bool(), target);
           ++recovery_.inputs_replayed;
           break;
@@ -345,6 +375,7 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
     // recovered engine resumes from the pre-crash point.
     engine_.advance_until(horizon);
   }
+  recovery_.resume_clock = std::max({resume, horizon, engine_.now()});
   recovering_ = false;
   recovery_.grants_logged = logged.size();
   recovery_.grants_derived = derived_grants_.size();
@@ -400,7 +431,13 @@ bool ServiceDaemon::run_drain(std::string* error) {
 
 void ServiceDaemon::advance_wall() {
   if (options_.clock != ClockMode::kWall || drained()) return;
-  engine_.advance_until(wall_elapsed() * options_.time_scale);
+  wall_target_ =
+      std::max(wall_target_, wall_elapsed() * options_.time_scale);
+  engine_.advance_until(wall_target_);
+}
+
+double ServiceDaemon::input_clock() const {
+  return options_.clock == ClockMode::kWall ? wall_target_ : engine_.now();
 }
 
 double ServiceDaemon::on_idle() {
@@ -489,25 +526,41 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
   job.runtime = req.runtime;
   job.bandwidth = req.bandwidth;
   job.arrival = req.arrival.has_value() ? *req.arrival : engine_.now();
-  try {
-    engine_.submit(job);
-  } catch (const std::invalid_argument& e) {
-    return error_reply(ErrorCode::kBadRequest, e.what(), req.seq);
+  // Pre-validate everything engine_.submit() would reject, then log
+  // before applying: a request must never mutate the engine without its
+  // WAL record (an unlogged admission makes every later grant unaudit-
+  // able), and the failed-append path must leave no state behind.
+  if (engine_.phase(job.id) != JobPhase::kUnknown) {
+    return error_reply(ErrorCode::kBadRequest, "duplicate job id submitted",
+                       req.seq);
   }
-  next_job_id_ = std::max(next_job_id_, job.id + 1);
-  submit_wall_[job.id] = wall_elapsed();
+  if (job.arrival < engine_.now()) {
+    return error_reply(ErrorCode::kBadRequest,
+                       "job arrival in the simulated past", req.seq);
+  }
   std::string payload = "{\"id\":" + std::to_string(job.id) + ",\"arrival\":";
   append_double(payload, job.arrival);
   payload += ",\"nodes\":" + std::to_string(job.nodes) + ",\"runtime\":";
   append_double(payload, job.runtime);
   payload += ",\"bandwidth\":";
   append_double(payload, job.bandwidth);
+  payload += ",\"now\":";
+  append_double(payload, input_clock());
   payload += "}";
   std::string error;
   if (!wal_append(WalRecordType::kSubmit, payload, &error)) {
     return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
                        req.seq);
   }
+  try {
+    engine_.submit(job);
+  } catch (const std::exception& e) {
+    // Unreachable given the pre-validation above; surface rather than ack
+    // a submission the engine refused.
+    return error_reply(ErrorCode::kInternal, e.what(), req.seq);
+  }
+  next_job_id_ = std::max(next_job_id_, job.id + 1);
+  submit_wall_[job.id] = wall_elapsed();
   emit("service.submit", job.id);
   std::string body = ",\"job\":" + std::to_string(job.id);
   append_kv(body, "arrival", job.arrival);
@@ -525,18 +578,31 @@ std::string ServiceDaemon::handle_cancel(const Request& req) {
                        "job " + std::to_string(req.job) + " was never accepted",
                        req.seq);
   }
-  if (!engine_.cancel(req.job)) {
+  if (phase != JobPhase::kQueued) {
     return error_reply(ErrorCode::kBadState,
                        "job " + std::to_string(req.job) + " is " +
                            job_phase_name(phase) + "; only queued jobs cancel",
                        req.seq);
   }
+  // Append before applying (see handle_submit): an engine-side cancel
+  // without its record would leave the job queued on replay and derail
+  // every later audited grant. The record carries the accept clock so
+  // wall-mode replay removes the job at the same event-stream point.
+  std::string payload = "{\"job\":" + std::to_string(req.job) + ",\"time\":";
+  append_double(payload, input_clock());
+  payload += "}";
   std::string error;
-  if (!wal_append(WalRecordType::kCancel,
-                  "{\"job\":" + std::to_string(req.job) + "}", &error)) {
+  if (!wal_append(WalRecordType::kCancel, payload, &error)) {
     return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
                        req.seq);
   }
+  if (!engine_.cancel(req.job)) {
+    // Unreachable: the phase check above is cancel()'s success condition
+    // and nothing ran in between on this single thread.
+    return error_reply(ErrorCode::kInternal,
+                       "cancel refused for a queued job", req.seq);
+  }
+  submit_wall_.erase(req.job);
   emit("service.cancel", req.job);
   std::string body = ",\"job\":" + std::to_string(req.job);
   append_kv(body, "phase", std::string(job_phase_name(JobPhase::kCancelled)));
@@ -616,20 +682,29 @@ std::string ServiceDaemon::handle_fault(const Request& req) {
   }
   const bool is_failure = req.op == RequestOp::kFail;
   const double time = req.time.has_value() ? *req.time : engine_.now();
-  try {
-    engine_.add_fault(time, is_failure, target);
-  } catch (const std::invalid_argument& e) {
-    return error_reply(ErrorCode::kBadRequest, e.what(), req.seq);
+  if (time < engine_.now()) {
+    return error_reply(ErrorCode::kBadRequest,
+                       "fault event in the simulated past", req.seq);
   }
+  // Append before applying (see handle_submit): there is no way to undo
+  // an injected fault, so the engine must not see one the log missed.
   std::string payload = "{\"time\":";
   append_double(payload, time);
   payload += ",\"failure\":";
   payload += is_failure ? "true" : "false";
-  payload += ",\"target\":\"" + obs::json_escape(req.target) + "\"}";
+  payload += ",\"target\":\"" + obs::json_escape(req.target) + "\",\"now\":";
+  append_double(payload, input_clock());
+  payload += "}";
   std::string error;
   if (!wal_append(WalRecordType::kFault, payload, &error)) {
     return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
                        req.seq);
+  }
+  try {
+    engine_.add_fault(time, is_failure, target);
+  } catch (const std::exception& e) {
+    // Unreachable given the validation above.
+    return error_reply(ErrorCode::kInternal, e.what(), req.seq);
   }
   emit(is_failure ? "service.fail" : "service.repair");
   std::string body;

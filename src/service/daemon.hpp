@@ -4,9 +4,12 @@
 // is transport-agnostic — handle_line() maps one request line to one
 // reply line, so tests and the load bench can drive it directly while
 // jigsaw_daemon plugs it into a Reactor. State changes follow a strict
-// order: validate, apply to the engine, append to the WAL, then ack, so
-// every acknowledged input is recoverable (under --wal-sync=always; the
-// batch policy trades the unsynced tail for throughput).
+// order: validate, append to the WAL, apply to the engine, then ack —
+// the engine never gets ahead of the log, so a failed append rejects
+// the request with no state change (a torn record from a crash between
+// append and apply replays as an unacknowledged but consistent input),
+// and every acknowledged input is recoverable (under --wal-sync=always;
+// the batch policy trades the unsynced tail for throughput).
 //
 // Clock modes:
 //  * kVirtual — the engine's event clock only advances during `drain`,
@@ -20,7 +23,13 @@
 //
 // Recovery (--recover): read_wal() yields the longest valid record
 // prefix; the writer truncates the torn tail; inputs (submit / cancel /
-// fault / drain) replay through a fresh engine in log order. Replay is
+// fault / drain) replay through a fresh engine in log order. Each input
+// record carries the engine clock at which it was accepted live ("now"
+// on kSubmit/kFault, "time" on kCancel); in wall mode replay advances
+// the engine to that clock before applying the input, so a cancel
+// removes its job at the same point in the event stream it did live —
+// the job's tenure in the wait queue (and its effect on EASY
+// reservation / backfill decisions) is reproduced exactly. Replay is
 // deterministic, so re-derived grants must reproduce the logged kGrant
 // records — recovery cross-checks job id, %.17g grant time, node count,
 // and a crc32 placement digest, requiring the log to be an exact prefix
@@ -28,6 +37,9 @@
 // log makes recovery finish the run and cache the final metrics, which is
 // how a killed daemon's run completes with bit-identical metrics after
 // restart. Recovery appends nothing, so recovering twice is idempotent.
+// After a wall-mode recovery the wall epoch is shifted back by
+// RecoveryReport::resume_clock so wall_elapsed()*time_scale resumes at
+// the pre-crash event clock instead of re-elapsing the whole uptime.
 
 #pragma once
 
@@ -78,6 +90,10 @@ struct RecoveryReport {
   std::uint64_t dropped_bytes = 0;///< torn tail truncated away
   bool saw_drain = false;
   bool audit_ok = true;
+  /// Event clock the recovered run resumes at: the max of every input's
+  /// logged accept clock and the last audited grant/release time. Wall
+  /// mode shifts the wall epoch back by this much.
+  double resume_clock = 0.0;
   std::string error;  ///< nonempty: recovery failed (daemon unusable)
 };
 
@@ -139,6 +155,11 @@ class ServiceDaemon {
   double wall_elapsed() const;  ///< wall seconds since init()
   /// Wall mode: map wall time onto the event clock and advance.
   void advance_wall();
+  /// Engine clock an input accepted now is stamped with in the WAL: the
+  /// current wall target in wall mode (the exact advance_until() bound,
+  /// so replay reproduces the same processed-event prefix), the event
+  /// clock in virtual mode.
+  double input_clock() const;
   void emit(const char* name, JobId job = kNoJob);
 
   const FatTree* topo_;
@@ -156,6 +177,9 @@ class ServiceDaemon {
   JobId next_job_id_ = 0;
   std::optional<SimMetrics> final_metrics_;
   std::chrono::steady_clock::time_point start_;
+  /// Wall mode: the last advance_until() bound (monotone; equals the
+  /// recovered resume_clock right after a wall-mode recovery).
+  double wall_target_ = 0.0;
 
   /// Grant identity tuple logged to / audited against the WAL.
   struct GrantFact {

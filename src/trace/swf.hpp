@@ -46,6 +46,11 @@ struct SwfOptions {
   /// such lines throw SwfParseError instead — a nonpositive node count or
   /// runtime can never enter the simulator.
   bool skip_invalid = true;
+  /// Malformed lines (non-numeric fields, non-finite or negative times,
+  /// overflowing processor counts) throw SwfParseError. Set false to
+  /// silently drop them instead — the pre-hardening behavior, for junk
+  /// headers and stray text common in real archive files.
+  bool strict = true;
 };
 
 /// Parse an SWF stream. Throws SwfParseError (with the 1-based line

@@ -457,6 +457,78 @@ TEST_F(ServiceRecoveryTest, RecoveryWithoutDrainRestoresAdmissionState) {
   EXPECT_NE(resumed.find("\"job\":3"), std::string::npos) << resumed;
 }
 
+// Wall-mode recovery must replay a cancel at the same point in the
+// event stream it happened live: here the cancelled job sat at the head
+// of the queue long enough for EASY to refuse a backfill on its behalf,
+// so a replay that cancels it up front would derive different grants
+// and fail the audit. Also pins the wall-epoch resume: after recovery
+// the clock continues from the pre-crash event time instead of
+// re-elapsing the whole uptime.
+TEST_F(ServiceRecoveryTest, WallModeReplaysCancelAtItsAcceptClock) {
+  const FatTree topo = FatTree::from_radix(4);  // 16 nodes
+  const SimConfig config;
+  JigsawAllocator allocator;
+  DaemonOptions options;
+  options.clock = ClockMode::kWall;
+  options.time_scale = 2000.0;  // 1 event-clock hour ≈ 1.8 wall seconds
+  options.wal_path = wal_path_;
+  options.sync = SyncPolicy::kAlways;
+  {
+    ServiceDaemon daemon(topo, allocator, config, options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << error;
+    // A runs on 4 nodes until t=4000. B wants the whole cluster: queued,
+    // head of queue, shadow reservation at t=4000 over every node. C (1
+    // node, runtime 20000) fits the idle capacity but would overrun the
+    // shadow, so EASY keeps it queued *because B is queued*.
+    ASSERT_TRUE(is_ok(daemon.handle_line(
+        "{\"op\":\"submit\",\"nodes\":4,\"runtime\":4000}")));  // job 0 = A
+    ASSERT_TRUE(is_ok(daemon.handle_line(
+        "{\"op\":\"submit\",\"nodes\":16,\"runtime\":100}")));  // job 1 = B
+    ASSERT_TRUE(is_ok(daemon.handle_line(
+        "{\"op\":\"submit\",\"nodes\":1,\"runtime\":20000}")));  // job 2 = C
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"ping\"}")));
+    ASSERT_LT(daemon.engine().now(), 4000.0);  // A still running
+    ASSERT_EQ(daemon.engine().running_count(), 1u);  // A granted
+    ASSERT_EQ(daemon.engine().queue_depth(), 2u);    // B and C held
+    // Cancel B after its arrival was processed — it already shaped the
+    // backfill decision above.
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"cancel\",\"job\":1}")));
+    ASSERT_EQ(daemon.engine().queue_depth(), 1u);
+    // Let wall time carry the engine past A's completion: the pass at
+    // t=4000 releases A and finally grants C — both land in the WAL.
+    for (int k = 0; k < 20000 && daemon.engine().now() < 4000.0; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"ping\"}")));
+      ::usleep(1000);
+    }
+    ASSERT_GE(daemon.engine().now(), 4000.0);
+    ASSERT_EQ(daemon.engine().completed_count(), 1u);  // A done
+    ASSERT_EQ(daemon.engine().running_count(), 1u);    // C granted at 4000
+  }  // crash: the daemon dies with C mid-flight
+
+  DaemonOptions recover_options = options;
+  recover_options.recover = true;
+  ServiceDaemon daemon(topo, allocator, config, recover_options);
+  std::string error;
+  ASSERT_TRUE(daemon.init(&error)) << error;
+  const RecoveryReport& report = daemon.recovery();
+  EXPECT_TRUE(report.audit_ok);
+  EXPECT_EQ(report.grants_logged, 2u);  // A at 0, C at 4000
+  EXPECT_EQ(daemon.engine().cancelled_count(), 1u);
+  EXPECT_EQ(daemon.engine().completed_count(), 1u);
+  EXPECT_EQ(daemon.engine().running_count(), 1u);
+  EXPECT_EQ(daemon.engine().queue_depth(), 0u);
+  // The run resumes at the last audited grant/release time...
+  EXPECT_GE(report.resume_clock, 4000.0);
+  // ...and the wall epoch resumes there too: the next event (C's
+  // completion at t=24000) is due in (24000 - resume)/scale wall
+  // seconds, not a full re-elapse of the pre-crash uptime.
+  const double next_due =
+      (daemon.engine().next_time() - report.resume_clock) /
+      options.time_scale;
+  EXPECT_LE(daemon.on_idle(), next_due + 0.01);
+}
+
 TEST_F(ServiceRecoveryTest, TamperedGrantFailsTheAudit) {
   const FatTree topo = FatTree::from_radix(4);
   const SimConfig config;

@@ -134,6 +134,31 @@ TEST(Swf, StrictModeRejectsInvalidJobs) {
   EXPECT_THROW(read_swf(in, "strict", options), SwfParseError);
 }
 
+TEST(Swf, LenientModeSkipsMalformedLines) {
+  // Real archive files carry junk headers and stray text; strict=false
+  // restores the old skip-silently behavior for every line-level error
+  // that strict mode turns into SwfParseError.
+  const std::string junk =
+      "This archive was converted on 2006-01-01\n"          // prose header
+      "1 0 5 100 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n"   // good
+      "2 zero 0 200 8 -1 -1 8 240 -1 1 1 1 1 1 -1 -1 -1\n"  // non-numeric
+      "3 0 5 inf 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n"   // non-finite
+      "4 -5 0 100 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n"  // negative submit
+      "5 0 0 100 99999999999 -1 -1 -1 1 -1 1 1 1 1 1 -1\n"  // node overflow
+      "6 50 0 200 8 -1 -1 8 240 -1 1 1 1 1 1 -1 -1 -1\n";   // good
+  {
+    std::istringstream in(junk);
+    EXPECT_THROW(read_swf(in, "junk", SwfOptions{}), SwfParseError);
+  }
+  std::istringstream in(junk);
+  SwfOptions options;
+  options.strict = false;
+  const Trace trace = read_swf(in, "junk", options);
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  EXPECT_EQ(trace.jobs[0].nodes, 16);
+  EXPECT_EQ(trace.jobs[1].nodes, 8);
+}
+
 TEST(Swf, BlankLinesAreIgnored) {
   std::istringstream in(
       "\n   \t\n1 0 5 100 16 -1 -1 16 120 -1 1 1 1 1 1 -1 -1 -1\n\n");
