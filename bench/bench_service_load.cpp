@@ -74,8 +74,8 @@ void run_client(const std::string& endpoint, const Trace& trace,
   }
 }
 
-double pct(const std::vector<double>& sorted, double p) {
-  return sorted.empty() ? 0.0 : percentile_sorted(sorted, p);
+double pct(const SortedSamples& sorted, double p) {
+  return sorted.empty() ? 0.0 : sorted.percentile(p);
 }
 
 }  // namespace
@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
 
     std::size_t accepted = 0;
     std::size_t rejected = 0;
-    std::vector<double> acks;
+    std::vector<double> ack_samples;
     for (const ClientResult& r : results) {
       if (!r.error.empty()) {
         std::cerr << "client error: " << r.error << "\n";
@@ -174,9 +174,10 @@ int main(int argc, char** argv) {
       }
       accepted += r.accepted;
       rejected += r.rejected;
-      acks.insert(acks.end(), r.ack_seconds.begin(), r.ack_seconds.end());
+      ack_samples.insert(ack_samples.end(), r.ack_seconds.begin(),
+                         r.ack_seconds.end());
     }
-    std::sort(acks.begin(), acks.end());
+    const SortedSamples acks(std::move(ack_samples));
 
     // ---- drain + teardown through the protocol -------------------------
     service::ServiceClient control;

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   using namespace jigsaw::bench;
   CliFlags flags;
   define_scale_flags(flags, "2000");
+  define_repeat_flag(flags);
+  define_search_threads_flag(flags);
   define_obs_flags(flags);
   flags.define_bool("skip-lcs", "skip the slow LC+S row");
   flags.define("traces",
@@ -23,10 +25,14 @@ int main(int argc, char** argv) {
                "");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
+  const int repeats = repeat_count(flags);
   ObsSetup obs_setup = make_obs(flags);
+  const SearchSetup search = make_search_setup(flags);
 
   // Wall-time measurements stay sequential on purpose: parallel cells
-  // would contend for cores and corrupt per-job scheduling times.
+  // would contend for cores and corrupt per-job scheduling times. (The
+  // probe pool behind --search-threads is part of the thing being
+  // measured, not a cell driver.)
   std::vector<std::string> names{"Synth-16", "Sep-Cab", "Thunder",
                                  "Synth-28"};
   if (!flags.str("traces").empty()) {
@@ -41,7 +47,9 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Table 3: average scheduling time per job (s) ===\n\n";
   std::vector<std::string> header{"Approach"};
-  header.insert(header.end(), names.begin(), names.end());
+  for (const std::string& name : names) {
+    push_repeat_headers(header, name, repeats);
+  }
   TablePrinter table(header);
   std::vector<Scheme> schemes{Scheme::kTa, Scheme::kLaas, Scheme::kJigsaw};
   if (!flags.boolean("skip-lcs")) schemes.push_back(Scheme::kLcs);
@@ -50,26 +58,37 @@ int main(int argc, char** argv) {
   std::vector<NamedTrace> traces;
   for (const auto& name : names) traces.push_back(load(name, jobs));
 
+  auto sci = [](double x) {
+    std::ostringstream cell;
+    cell.setf(std::ios::scientific);
+    cell.precision(2);
+    cell << x;
+    return cell.str();
+  };
+
   std::vector<CellStats> stats;
   for (const Scheme s : schemes) {
-    const AllocatorPtr scheme = make_scheme(s);
+    const AllocatorPtr scheme = make_scheme(s, search.exec);
     std::vector<std::string> row{scheme->name()};
     for (const NamedTrace& nt : traces) {
-      SimConfig config;
-      config.obs = obs_setup.ctx;
-      obs_setup.annotate_run(nt.trace.name, scheme->name());
-      stats.push_back(CellStats{nt.trace.name, scheme->name(), 0, 0.0, 0,
-                                0});
-      const SimMetrics m = timed_simulate(nt.topo, *scheme, nt.trace,
-                                          config, &stats.back());
-      std::ostringstream cell;
-      cell.setf(std::ios::scientific);
-      cell.precision(2);
-      cell << m.mean_sched_time_per_job;
-      row.push_back(cell.str());
-      std::cerr << scheme->name() << " / " << nt.trace.name << ": "
-                << m.allocate_calls << " allocate calls, "
-                << m.budget_exhaustions << " budget exhaustions\n";
+      Accumulator sched_time;
+      for (int r = 0; r < repeats; ++r) {
+        SimConfig config;
+        config.obs = obs_setup.ctx;
+        obs_setup.annotate_run(nt.trace.name, scheme->name());
+        stats.push_back(CellStats{nt.trace.name, scheme->name(), r, 0.0, 0,
+                                  0});
+        const SimMetrics m = timed_simulate(nt.topo, *scheme, nt.trace,
+                                            config, &stats.back());
+        sched_time.add(m.mean_sched_time_per_job);
+        if (r + 1 == repeats) {
+          std::cerr << scheme->name() << " / " << nt.trace.name << ": "
+                    << m.allocate_calls << " allocate calls, "
+                    << m.budget_exhaustions << " budget exhaustions\n";
+        }
+      }
+      row.push_back(sci(sched_time.mean()));
+      if (repeats > 1) row.push_back(sci(sched_time.stddev()));
     }
     table.add_row(std::move(row));
   }

@@ -28,11 +28,13 @@
 #include "core/jigsaw_allocator.hpp"
 #include "core/laas.hpp"
 #include "core/lc.hpp"
+#include "core/parallel_search.hpp"
 #include "core/ta.hpp"
 #include "obs/sink.hpp"
 #include "service/daemon.hpp"
 #include "service/reactor.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -85,12 +87,33 @@ int main(int argc, char** argv) {
                "0");
   flags.define("trace-out",
                "write service.* and simulator event trace (JSONL) here", "");
+  flags.define("search-threads",
+               "probe lanes for the placement search (1 = exact sequential "
+               "path; grants are bit-identical at any lane count). The "
+               "reactor stays single-threaded either way: only the "
+               "read-only probe phase fans out, inside one handler call.",
+               "1");
   try {
     if (!flags.parse(argc, argv)) return 0;
 
     const FatTree topo =
         FatTree::from_radix(static_cast<int>(flags.integer("radix")));
     const AllocatorPtr allocator = make_allocator(flags.str("scheduler"));
+
+    // Pool first, daemon after: the pool must outlive every allocate()
+    // the daemon can issue, including the drain inside daemon.flush().
+    const int search_threads =
+        static_cast<int>(flags.integer("search-threads"));
+    if (search_threads < 1) {
+      std::cerr << "--search-threads must be >= 1\n";
+      return 1;
+    }
+    std::unique_ptr<ThreadPool> search_pool;
+    if (search_threads > 1) {
+      search_pool = std::make_unique<ThreadPool>(search_threads);
+      allocator->set_search_exec(
+          SearchExec{search_pool.get(), search_threads});
+    }
 
     std::unique_ptr<std::ofstream> trace_stream;
     std::unique_ptr<obs::TraceSink> sink;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate the committed scheduling-time baseline (BENCH_schedtime.json).
+#
+# Runs bench_table3_schedtime on Synth-16 with --repeat 5 so the baseline
+# carries a mean and a sample-stddev column per scheme, then rewrites the
+# checked-in BENCH_schedtime.json at the repo root. CI's perf-smoke job
+# compares a fresh run against this file with
+# scripts/check_schedtime_regression.py and fails on a >25% mean
+# regression for any scheme.
+#
+# Regenerate (and commit the result) whenever the allocator hot path
+# changes on purpose, on a quiet machine:
+#
+#   cmake --preset default && cmake --build --preset default -j
+#   scripts/bench_baseline.sh
+#
+# Usage: scripts/bench_baseline.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="$BUILD_DIR/bench/bench_table3_schedtime"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not found or not executable; build first:" >&2
+  echo "  cmake --preset default && cmake --build --preset default -j" >&2
+  exit 1
+fi
+
+"$BENCH" --traces Synth-16 --repeat 5 \
+  --json-out "$REPO_ROOT/BENCH_schedtime.json"
+echo "wrote $REPO_ROOT/BENCH_schedtime.json"

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_table3_schedtime JSON against the committed baseline.
+
+Fails (exit 1) if any scheme's mean scheduling time per job regressed by
+more than the tolerance (default 25%, generous to absorb runner noise)
+on any trace column present in both files. Columns ending in ".sd"
+(sample stddev) and the "Approach" key are ignored.
+
+Usage: check_schedtime_regression.py BASELINE.json FRESH.json [TOLERANCE]
+"""
+
+import json
+import sys
+
+
+def scheme_means(doc):
+    means = {}
+    for row in doc["rows"]:
+        scheme = row["Approach"]
+        for key, value in row.items():
+            if key == "Approach" or key.endswith(".sd"):
+                continue
+            means[(scheme, key)] = float(value)
+    return means
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        baseline = scheme_means(json.load(f))
+    with open(sys.argv[2]) as f:
+        fresh = scheme_means(json.load(f))
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+
+    if not baseline:
+        sys.exit("baseline has no rows")
+    failures = []
+    for key in sorted(baseline):
+        if key not in fresh or baseline[key] <= 0.0:
+            continue
+        ratio = fresh[key] / baseline[key]
+        verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSED"
+        print(f"{key[0]:>8} / {key[1]}: baseline {baseline[key]:.3e}s  "
+              f"fresh {fresh[key]:.3e}s  x{ratio:.2f}  {verdict}")
+        if verdict != "ok":
+            failures.append(key)
+    if failures:
+        sys.exit(f"mean sched-time regression >{tolerance:.0%} on: "
+                 + ", ".join(f"{s}/{t}" for s, t in failures))
+    print("no scheduling-time regressions")
+
+
+if __name__ == "__main__":
+    main()

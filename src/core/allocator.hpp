@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "core/parallel_search.hpp"
 #include "topology/cluster_state.hpp"
 
 namespace jigsaw {
@@ -46,6 +47,18 @@ class Allocator {
                                              const JobRequest& request,
                                              SearchStats* stats = nullptr)
       const = 0;
+
+  /// Install the execution policy for candidate scans. The default (no
+  /// pool) is the exact sequential search; with a pool and threads > 1
+  /// the condition-based schemes fan feasibility probes out across the
+  /// pool's lanes, with results bit-identical to sequential (see
+  /// core/parallel_search.hpp). The pool must outlive the allocator's
+  /// last allocate() call. Schemes without a candidate scan ignore it.
+  void set_search_exec(const SearchExec& exec) { exec_ = exec; }
+  const SearchExec& search_exec() const { return exec_; }
+
+ protected:
+  SearchExec exec_;
 };
 
 using AllocatorPtr = std::unique_ptr<Allocator>;

@@ -43,33 +43,66 @@ std::optional<Allocation> JigsawAllocator::allocate(
     }
   };
 
+  // One probe payload per execution lane; a lane stops pulling candidates
+  // after its first success, so the winning lane's slot still holds the
+  // winning pick when the scan returns. Sequential scans use the lone
+  // stack slot — no per-lane storage, no heap traffic.
+  const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
+
   // Pass 1: single-subtree (two-level) allocations, densest shape first,
-  // fullest subtree first.
+  // fullest subtree first. The candidate order is the flat (shape-major,
+  // tree-minor) product of the two nested loops this pass used to run.
   const std::vector<TreeId> tree_order = trees_best_fit(state);
-  for (const TwoLevelShape& shape : two_level_shapes(request.nodes, topo)) {
-    for (const TreeId t : tree_order) {
-      TwoLevelPick pick;
-      if (find_two_level(state, view, shape, t, budget, &pick)) {
-        record(false);
-        return materialize(state, shape, pick, request.id, request.nodes,
-                           0.0);
-      }
-      if (budget == 0) {
-        record(true);
-        return std::nullopt;
-      }
+  const auto shapes2 = two_level_shapes(request.nodes, topo);
+  {
+    const std::size_t n_trees = tree_order.size();
+    TwoLevelPick pick;
+    std::vector<TwoLevelPick> lane_picks(lanes > 1 ? lanes : 0);
+    auto pick_for = [&](int lane) -> TwoLevelPick& {
+      return lane_picks.empty() ? pick
+                                : lane_picks[static_cast<std::size_t>(lane)];
+    };
+    const FirstFeasible r = first_feasible(
+        exec_, shapes2.size() * n_trees, budget,
+        [&](int lane, std::size_t i, std::uint64_t& b) {
+          return find_two_level(state, view, shapes2[i / n_trees],
+                                tree_order[i % n_trees], b, &pick_for(lane));
+        });
+    if (r.winner >= 0) {
+      record(false);
+      const std::size_t w = static_cast<std::size_t>(r.winner);
+      return materialize(state, shapes2[w / n_trees], pick_for(r.winner_lane),
+                         request.id, request.nodes, 0.0);
+    }
+    if (r.exhausted) {
+      record(true);
+      return std::nullopt;
     }
   }
 
   // Pass 2: cross-subtree allocations with the whole-leaf restriction.
-  for (const ThreeLevelShape& shape :
-       three_level_shapes(request.nodes, topo, /*restrict_full_leaves=*/true)) {
+  const auto shapes3 =
+      three_level_shapes(request.nodes, topo, /*restrict_full_leaves=*/true);
+  {
     ThreeLevelPick pick;
-    if (find_three_level_full_leaves(state, view, shape, budget, &pick)) {
+    std::vector<ThreeLevelPick> lane_picks(lanes > 1 ? lanes : 0);
+    auto pick_for = [&](int lane) -> ThreeLevelPick& {
+      return lane_picks.empty() ? pick
+                                : lane_picks[static_cast<std::size_t>(lane)];
+    };
+    const FirstFeasible r = first_feasible(
+        exec_, shapes3.size(), budget,
+        [&](int lane, std::size_t i, std::uint64_t& b) {
+          return find_three_level_full_leaves(state, view, shapes3[i], b,
+                                              &pick_for(lane));
+        });
+    if (r.winner >= 0) {
       record(false);
-      return materialize(state, shape, pick, request.id, request.nodes, 0.0);
+      return materialize(state, shapes3[static_cast<std::size_t>(r.winner)],
+                         pick_for(r.winner_lane), request.id, request.nodes,
+                         0.0);
     }
-    if (budget == 0) {
+    if (r.exhausted) {
       record(true);
       return std::nullopt;
     }

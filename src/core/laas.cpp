@@ -13,11 +13,7 @@ namespace {
 /// is free from *every* L2 switch of the tree. Under whole-leaf operation
 /// bundles are claimed and released atomically, so this is exact.
 Mask free_bundles(const ClusterState& state, TreeId t) {
-  Mask m = low_bits(state.topo().spines_per_group());
-  for (int i = 0; i < state.topo().l2_per_tree(); ++i) {
-    m &= state.free_l2_up(t, i);
-  }
-  return m;
+  return state.free_l2_up_all(t);
 }
 
 /// Lowest `count` fully-free leaves of tree t (whole-leaf grants need the
@@ -159,47 +155,77 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
                      return state.tree_free_nodes(a) <
                             state.tree_free_nodes(b);
                    });
-  for (const TwoLevelShape& shape : two_level_shapes(request.nodes, topo)) {
-    for (const TreeId t : tree_order) {
-      TwoLevelPick pick;
-      if (find_two_level(state, view, shape, t, budget, &pick)) {
-        record(false);
-        return materialize(state, shape, pick, request.id, request.nodes,
-                           0.0);
-      }
-      if (budget == 0) {
-        record(true);
-        return std::nullopt;
-      }
+  const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
+  const auto shapes2 = two_level_shapes(request.nodes, topo);
+  {
+    const std::size_t n_trees = tree_order.size();
+    TwoLevelPick pick;
+    std::vector<TwoLevelPick> lane_picks(lanes > 1 ? lanes : 0);
+    auto pick_for = [&](int lane) -> TwoLevelPick& {
+      return lane_picks.empty() ? pick
+                                : lane_picks[static_cast<std::size_t>(lane)];
+    };
+    const FirstFeasible r = first_feasible(
+        exec_, shapes2.size() * n_trees, budget,
+        [&](int lane, std::size_t i, std::uint64_t& b) {
+          return find_two_level(state, view, shapes2[i / n_trees],
+                                tree_order[i % n_trees], b, &pick_for(lane));
+        });
+    if (r.winner >= 0) {
+      record(false);
+      const std::size_t w = static_cast<std::size_t>(r.winner);
+      return materialize(state, shapes2[w / n_trees], pick_for(r.winner_lane),
+                         request.id, request.nodes, 0.0);
+    }
+    if (r.exhausted) {
+      record(true);
+      return std::nullopt;
     }
   }
 
   // Multi-subtree: spread R leaves evenly, densest decomposition first.
-  for (int c = std::min(leaves_needed, m2); c >= 1; --c) {
-    const int q = leaves_needed / c;
-    const int cr = leaves_needed % c;
-    if (q < 1 || q + (cr > 0 ? 1 : 0) < 2) continue;
-    if (q + (cr > 0 ? 1 : 0) > m3) continue;
+  // Candidate k is the leaf-spread width c = cmax - k; the width screens
+  // cost no search steps, so they fold into the probe as step-free
+  // rejections exactly as the old `continue`s did.
+  {
+    const int cmax = std::min(leaves_needed, m2);
+    Allocation seq_alloc;
+    std::vector<Allocation> lane_allocs(lanes > 1 ? lanes : 0);
+    auto alloc_for = [&](int lane) -> Allocation& {
+      return lane_allocs.empty() ? seq_alloc
+                                 : lane_allocs[static_cast<std::size_t>(lane)];
+    };
+    const FirstFeasible r = first_feasible(
+        exec_, cmax > 0 ? static_cast<std::size_t>(cmax) : 0, budget,
+        [&](int lane, std::size_t k, std::uint64_t& b) {
+          const int c = cmax - static_cast<int>(k);
+          const int q = leaves_needed / c;
+          const int cr = leaves_needed % c;
+          if (q < 1 || q + (cr > 0 ? 1 : 0) < 2) return false;
+          if (q + (cr > 0 ? 1 : 0) > m3) return false;
 
-    LaasCtx ctx{&state, c, q, cr, {}, {}, {}, &budget, nullptr};
-    for (TreeId t = 0; t < m3; ++t) {
-      if (free_leaves(state, t, c).empty()) continue;
-      const Mask b = free_bundles(state, t);
-      if (popcount(b) < c) continue;
-      ctx.cand.push_back(t);
-      ctx.cand_bundles.push_back(b);
-    }
-    if (static_cast<int>(ctx.cand.size()) < q) continue;
+          LaasCtx ctx{&state, c, q, cr, {}, {}, {}, &b, nullptr};
+          for (TreeId t = 0; t < m3; ++t) {
+            if (free_leaves(state, t, c).empty()) continue;
+            const Mask bundles = free_bundles(state, t);
+            if (popcount(bundles) < c) continue;
+            ctx.cand.push_back(t);
+            ctx.cand_bundles.push_back(bundles);
+          }
+          if (static_cast<int>(ctx.cand.size()) < q) return false;
 
-    Allocation a;
-    a.job = request.id;
-    a.requested_nodes = request.nodes;
-    ctx.out = &a;
-    if (laas_recurse(ctx, 0, low_bits(topo.spines_per_group()))) {
+          Allocation& a = alloc_for(lane);
+          a.clear();
+          a.job = request.id;
+          a.requested_nodes = request.nodes;
+          ctx.out = &a;
+          return laas_recurse(ctx, 0, low_bits(topo.spines_per_group()));
+        });
+    if (r.winner >= 0) {
       record(false);
-      return a;
+      return std::move(alloc_for(r.winner_lane));
     }
-    if (budget == 0) {
+    if (r.exhausted) {
       record(true);
       return std::nullopt;
     }

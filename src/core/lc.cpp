@@ -339,18 +339,46 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
     }
   };
 
-  for (const TwoLevelShape& shape : two_level_shapes(request.nodes, topo)) {
-    for (TreeId t = 0; t < topo.trees(); ++t) {
-      TwoLevelPick pick;
-      if (find_two_level(state, view, shape, t, budget, &pick)) {
-        record(false);
-        return materialize(state, shape, pick, request.id, request.nodes,
-                           demand);
-      }
-      if (budget == 0) {
-        record(true);
-        return std::nullopt;
-      }
+  // Per-lane availability views for parallel probes: LinkView's lazy
+  // residual memo is mutable per-view state, so concurrent lanes need
+  // their own (each memoizes identical values — pure functions of the
+  // frozen state). The zero-demand view is stateless and shared.
+  const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
+  std::vector<LinkView> lane_views;
+  if (lanes > 1 && demand > 0.0) {
+    lane_views.reserve(lanes);
+    for (std::size_t k = 0; k < lanes; ++k) lane_views.emplace_back(&state, demand);
+  }
+  auto view_for = [&](int lane) -> const LinkView& {
+    return lane_views.empty() ? view
+                              : lane_views[static_cast<std::size_t>(lane)];
+  };
+
+  const auto shapes2 = two_level_shapes(request.nodes, topo);
+  {
+    const std::size_t n_trees = static_cast<std::size_t>(topo.trees());
+    TwoLevelPick pick;
+    std::vector<TwoLevelPick> lane_picks(lanes > 1 ? lanes : 0);
+    auto pick_for = [&](int lane) -> TwoLevelPick& {
+      return lane_picks.empty() ? pick
+                                : lane_picks[static_cast<std::size_t>(lane)];
+    };
+    const FirstFeasible r = first_feasible(
+        exec_, shapes2.size() * n_trees, budget,
+        [&](int lane, std::size_t i, std::uint64_t& b) {
+          return find_two_level(state, view_for(lane), shapes2[i / n_trees],
+                                static_cast<TreeId>(i % n_trees), b,
+                                &pick_for(lane));
+        });
+    if (r.winner >= 0) {
+      record(false);
+      const std::size_t w = static_cast<std::size_t>(r.winner);
+      return materialize(state, shapes2[w / n_trees], pick_for(r.winner_lane),
+                         request.id, request.nodes, demand);
+    }
+    if (r.exhausted) {
+      record(true);
+      return std::nullopt;
     }
   }
 
@@ -371,57 +399,69 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
     return at_least[static_cast<std::size_t>(t) * (m1 + 2) + per_leaf];
   };
 
-  for (const ThreeLevelShape& shape :
-       three_level_shapes(request.nodes, topo,
-                          /*restrict_full_leaves=*/false)) {
-    // Node-count feasibility screen: enough trees must hold enough
-    // sufficiently-free leaves before any link search is worth running.
-    int full_capable = 0;
-    int rem_capable = 0;
-    for (TreeId t = 0; t < topo.trees(); ++t) {
-      const int deep = leaves_with_at_least(t, shape.nodes_per_leaf);
-      if (deep >= shape.leaves_per_tree) ++full_capable;
-      if (shape.has_remainder_tree() && deep >= shape.rem_full_leaves &&
-          state.tree_free_nodes(t) >= shape.remainder_nodes()) {
-        ++rem_capable;
-      }
-    }
-    if (full_capable < shape.full_trees) continue;
-    if (shape.has_remainder_tree() &&
-        full_capable + rem_capable < shape.trees_touched()) {
-      continue;
-    }
-
-    L3Ctx ctx{&state, &view, shape, {}, {}, {}, {}, &budget, nullptr};
-    for (TreeId t = 0; t < topo.trees(); ++t) {
-      if (leaves_with_at_least(t, shape.nodes_per_leaf) <
-          shape.leaves_per_tree) {
-        continue;
-      }
-      auto solutions = tree_solutions(state, view, t, shape.leaves_per_tree,
-                                      shape.nodes_per_leaf, budget);
-      if (solutions.empty()) continue;
-      ctx.cand_trees.push_back(t);
-      ctx.cand_solutions.push_back(std::move(solutions));
-    }
-    if (static_cast<int>(ctx.cand_trees.size()) < shape.full_trees) {
-      if (budget == 0) {
-        record(true);
-        return std::nullopt;
-      }
-      continue;
-    }
-
+  const auto shapes3 = three_level_shapes(request.nodes, topo,
+                                          /*restrict_full_leaves=*/false);
+  {
     GeneralPick pick;
-    ctx.out = &pick;
+    std::vector<GeneralPick> lane_picks(lanes > 1 ? lanes : 0);
+    auto pick_for = [&](int lane) -> GeneralPick& {
+      return lane_picks.empty() ? pick
+                                : lane_picks[static_cast<std::size_t>(lane)];
+    };
     const std::vector<Mask> all(static_cast<std::size_t>(topo.l2_per_tree()),
                                 low_bits(topo.spines_per_group()));
-    if (recurse_general(ctx, 0, ~Mask{0}, all)) {
+    const FirstFeasible r = first_feasible(
+        exec_, shapes3.size(), budget,
+        [&](int lane, std::size_t si, std::uint64_t& b) {
+          const ThreeLevelShape& shape = shapes3[si];
+          // Node-count feasibility screen: enough trees must hold enough
+          // sufficiently-free leaves before any link search is worth
+          // running. Step-free, like the `continue`s it replaces.
+          int full_capable = 0;
+          int rem_capable = 0;
+          for (TreeId t = 0; t < topo.trees(); ++t) {
+            const int deep = leaves_with_at_least(t, shape.nodes_per_leaf);
+            if (deep >= shape.leaves_per_tree) ++full_capable;
+            if (shape.has_remainder_tree() && deep >= shape.rem_full_leaves &&
+                state.tree_free_nodes(t) >= shape.remainder_nodes()) {
+              ++rem_capable;
+            }
+          }
+          if (full_capable < shape.full_trees) return false;
+          if (shape.has_remainder_tree() &&
+              full_capable + rem_capable < shape.trees_touched()) {
+            return false;
+          }
+
+          const LinkView& lane_view = view_for(lane);
+          L3Ctx ctx{&state, &lane_view, shape, {}, {}, {}, {}, &b, nullptr};
+          for (TreeId t = 0; t < topo.trees(); ++t) {
+            if (leaves_with_at_least(t, shape.nodes_per_leaf) <
+                shape.leaves_per_tree) {
+              continue;
+            }
+            auto solutions = tree_solutions(state, lane_view, t,
+                                            shape.leaves_per_tree,
+                                            shape.nodes_per_leaf, b);
+            if (solutions.empty()) continue;
+            ctx.cand_trees.push_back(t);
+            ctx.cand_solutions.push_back(std::move(solutions));
+          }
+          if (static_cast<int>(ctx.cand_trees.size()) < shape.full_trees) {
+            return false;
+          }
+
+          ctx.out = &pick_for(lane);
+          return recurse_general(ctx, 0, ~Mask{0}, all);
+        });
+    if (r.winner >= 0) {
       record(false);
-      return materialize_general(state, shape, pick, request.id,
+      return materialize_general(state,
+                                 shapes3[static_cast<std::size_t>(r.winner)],
+                                 pick_for(r.winner_lane), request.id,
                                  request.nodes, demand);
     }
-    if (budget == 0) {
+    if (r.exhausted) {
       record(true);
       return std::nullopt;
     }

@@ -1,0 +1,148 @@
+// Deterministic parallel first-feasible candidate scan.
+//
+// Every condition-based allocator in this library is a loop over a
+// canonical candidate order — (shape, tree) pairs, leaf-spread widths,
+// three-level shapes — committing the first candidate whose feasibility
+// probe succeeds. The probes are pure reads of ClusterState's indices
+// (no Txn is needed to *test* a candidate, only to *apply* the winner),
+// so they can run concurrently against the frozen state.
+//
+// first_feasible() preserves the sequential semantics bit-exactly:
+//
+//  * Workers pull candidate indices from a shared atomic counter and
+//    probe each with a fresh copy of the phase's remaining step budget.
+//    A find_* search is deterministic and monotone in its budget — with
+//    budget b it executes a prefix of the full run's step sequence — so
+//    the probe's (steps, feasible) pair is enough to reconstruct what
+//    the sequential loop would have done at any budget.
+//  * After the fan-out joins, a sequential walk over the per-candidate
+//    records replays the budget ledger: candidate i either completes
+//    within the running remainder (consuming exactly its recorded
+//    steps) or exhausts the phase, and the first feasible candidate in
+//    walk order is the winner. This is the same min-index reduction the
+//    sequential loop computes, so the committed placement, the consumed
+//    budget, and the exhaustion flag are identical by construction.
+//  * Early quit: once some lane proves candidate h feasible, any index
+//    beyond h cannot win, so lanes skip it. Indices at or below the
+//    running hint are always probed, which is exactly the set the
+//    reconstruction walk can reach.
+//
+// The sequential path (exec.parallel() == false) is the plain loop the
+// allocators ran before — same iteration order, no extra heap traffic.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace jigsaw {
+
+/// How an allocator's candidate scans execute. Default: sequential,
+/// bit-identical to the historical single-threaded search. With a pool
+/// and threads > 1, feasibility probes fan out across the pool's lanes.
+struct SearchExec {
+  ThreadPool* pool = nullptr;
+  int threads = 1;
+
+  bool parallel() const {
+    return pool != nullptr && threads > 1 && pool->lanes() > 1;
+  }
+  /// Number of probe lanes the allocators must provision state for.
+  int lanes() const { return parallel() ? pool->lanes() : 1; }
+};
+
+/// Result of one candidate scan.
+struct FirstFeasible {
+  std::ptrdiff_t winner = -1;  ///< first feasible candidate index, -1 none
+  int winner_lane = 0;         ///< lane whose probe produced the winner
+  bool exhausted = false;      ///< scan hit the step budget
+};
+
+/// Scan candidates [0, count) for the first feasible one, in order.
+/// `probe(lane, index, budget)` must be a pure function of (cluster
+/// state, index, budget): it decrements `budget` per search step, returns
+/// feasibility, and on success leaves the winning payload in the lane's
+/// slot. `budget` is the phase's running budget; on return it holds
+/// exactly what the sequential scan would have left.
+template <typename Probe>
+FirstFeasible first_feasible(const SearchExec& exec, std::size_t count,
+                             std::uint64_t& budget, Probe&& probe) {
+  FirstFeasible result;
+  if (!exec.parallel() || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (probe(0, i, budget)) {
+        result.winner = static_cast<std::ptrdiff_t>(i);
+        return result;
+      }
+      if (budget == 0) {
+        result.exhausted = true;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  const std::uint64_t full = budget;
+  std::vector<std::uint64_t> steps(count, 0);
+  std::vector<unsigned char> feasible(count, 0);
+  std::vector<int> owner(count, 0);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> hint{count};  // lowest feasible index found
+
+  exec.pool->run([&](int lane) {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      // A feasible candidate at hint < i beats i in the min-index
+      // reduction, and the counter is monotone, so this lane is done.
+      if (i > hint.load(std::memory_order_relaxed)) return;
+      std::uint64_t b = full;
+      const bool ok = probe(lane, i, b);
+      steps[i] = full - b;
+      feasible[i] = ok ? 1 : 0;
+      owner[i] = lane;
+      if (ok) {
+        std::size_t h = hint.load(std::memory_order_relaxed);
+        while (i < h && !hint.compare_exchange_weak(
+                            h, i, std::memory_order_relaxed)) {
+        }
+        // Everything this lane could still pull exceeds i; stopping here
+        // also keeps the lane's payload slot holding the winning pick.
+        return;
+      }
+    }
+  });
+
+  // Budget-ledger replay of the sequential scan. A probe that recorded
+  // more steps than the running remainder would have been truncated at
+  // the remainder (deterministic prefix => infeasible) — the sequential
+  // loop then observed budget == 0 and gave up, and so do we.
+  std::uint64_t remaining = budget;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (steps[i] > remaining) {
+      budget = 0;
+      result.exhausted = true;
+      return result;
+    }
+    remaining -= steps[i];
+    if (feasible[i]) {
+      budget = remaining;
+      result.winner = static_cast<std::ptrdiff_t>(i);
+      result.winner_lane = owner[i];
+      return result;
+    }
+    if (remaining == 0) {
+      budget = 0;
+      result.exhausted = true;
+      return result;
+    }
+  }
+  budget = remaining;
+  return result;
+}
+
+}  // namespace jigsaw

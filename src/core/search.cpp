@@ -288,15 +288,11 @@ bool recurse_three_level(ThreeLevelCtx& ctx, std::size_t start,
   const int w2 = ctx.state->topo().l2_per_tree();
   std::vector<Mask> next(static_cast<std::size_t>(w2));
   for (std::size_t idx = start; idx + need <= ctx.cand_trees.size(); ++idx) {
-    bool viable = true;
-    for (int i = 0; i < w2 && viable; ++i) {
-      next[static_cast<std::size_t>(i)] =
-          inter[static_cast<std::size_t>(i)] &
-          ctx.tree_up[idx][static_cast<std::size_t>(i)];
-      viable = popcount(next[static_cast<std::size_t>(i)]) >=
-               ctx.shape.leaves_per_tree;
+    if (!and_rows_viable(inter.data(), ctx.tree_up[idx].data(), next.data(),
+                         static_cast<std::size_t>(w2),
+                         ctx.shape.leaves_per_tree)) {
+      continue;
     }
-    if (!viable) continue;
     ctx.chosen.push_back(ctx.cand_trees[idx]);
     if (recurse_three_level(ctx, idx + 1, next)) return true;
     ctx.chosen.pop_back();

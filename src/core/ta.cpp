@@ -14,13 +14,11 @@ bool leaf_uplinks_free(const ClusterState& state, LeafId l) {
 }
 
 /// A subtree is usable by a cross-subtree job when no other cross-subtree
-/// job has implicitly reserved its spine uplinks.
+/// job has implicitly reserved its spine uplinks. Per-wire masks never
+/// exceed low_bits(spines), so the batch AND equals `all` exactly when
+/// every individual mask does.
 bool tree_spines_free(const ClusterState& state, TreeId t) {
-  const Mask all = low_bits(state.topo().spines_per_group());
-  for (int i = 0; i < state.topo().l2_per_tree(); ++i) {
-    if (state.free_l2_up(t, i) != all) return false;
-  }
-  return true;
+  return state.free_l2_up_all(t) == low_bits(state.topo().spines_per_group());
 }
 
 void take_nodes(const ClusterState& state, LeafId l, int count,
@@ -118,21 +116,45 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
   }
 
   if (request.nodes <= tree_capacity) {
-    // Intra-subtree job: first subtree with enough usable capacity.
-    for (TreeId t = 0; t < topo.trees(); ++t) {
-      if (stats != nullptr) ++stats->steps;
-      // Usable capacity never exceeds the tree's free-node index, so a
-      // short tree can be skipped without the per-leaf uplink scan.
-      if (state.tree_free_nodes(t) < request.nodes) continue;
-      int capacity = 0;
-      for (int li = 0; li < topo.leaves_per_tree(); ++li) {
-        const LeafId l = topo.leaf_id(t, li);
-        if (leaf_uplinks_free(state, l)) capacity += state.free_node_count(l);
-      }
-      if (capacity < request.nodes) continue;
-      if (fill_from_tree(state, t, request.nodes, &a)) return a;
-      a.clear();
-    }
+    // Intra-subtree job: first subtree with enough usable capacity. TA
+    // has no step budget; each tree probe charges exactly one step to a
+    // synthetic budget that cannot exhaust, so the scan engine's ledger
+    // reproduces the historical one-increment-per-tree-visited stats.
+    const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
+    std::vector<Allocation> lane_allocs(lanes > 1 ? lanes : 0);
+    auto alloc_for = [&](int lane) -> Allocation& {
+      return lane_allocs.empty()
+                 ? a
+                 : lane_allocs[static_cast<std::size_t>(lane)];
+    };
+    std::uint64_t budget = static_cast<std::uint64_t>(topo.trees()) + 1;
+    const std::uint64_t full = budget;
+    const FirstFeasible r = first_feasible(
+        exec_, static_cast<std::size_t>(topo.trees()), budget,
+        [&](int lane, std::size_t ti, std::uint64_t& b) {
+          --b;
+          const TreeId t = static_cast<TreeId>(ti);
+          // Usable capacity never exceeds the tree's free-node index, so
+          // a short tree can be skipped without the per-leaf uplink scan.
+          if (state.tree_free_nodes(t) < request.nodes) return false;
+          int capacity = 0;
+          for (int li = 0; li < topo.leaves_per_tree(); ++li) {
+            const LeafId l = topo.leaf_id(t, li);
+            if (leaf_uplinks_free(state, l)) {
+              capacity += state.free_node_count(l);
+            }
+          }
+          if (capacity < request.nodes) return false;
+          Allocation& out = alloc_for(lane);
+          out.clear();
+          out.job = request.id;
+          out.requested_nodes = request.nodes;
+          if (fill_from_tree(state, t, request.nodes, &out)) return true;
+          out.clear();
+          return false;
+        });
+    if (stats != nullptr) stats->steps += full - budget;
+    if (r.winner >= 0) return std::move(alloc_for(r.winner_lane));
     return std::nullopt;
   }
 

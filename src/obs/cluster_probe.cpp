@@ -12,10 +12,7 @@ ClusterOccupancy measure_occupancy(const ClusterState& state) {
       1.0 - static_cast<double>(occ.free_nodes) /
                 static_cast<double>(topo.total_nodes());
 
-  int free_leaf_up = 0;
-  for (LeafId l = 0; l < topo.total_leaves(); ++l) {
-    free_leaf_up += popcount(state.free_leaf_up(l));
-  }
+  const int free_leaf_up = state.free_leaf_up_total();
   const int total_leaf_up = topo.num_leaf_wires();
   occ.leaf_up_occupancy =
       total_leaf_up == 0
@@ -23,12 +20,7 @@ ClusterOccupancy measure_occupancy(const ClusterState& state) {
           : 1.0 - static_cast<double>(free_leaf_up) /
                       static_cast<double>(total_leaf_up);
 
-  int free_l2_up = 0;
-  for (TreeId t = 0; t < topo.trees(); ++t) {
-    for (int i = 0; i < topo.l2_per_tree(); ++i) {
-      free_l2_up += popcount(state.free_l2_up(t, i));
-    }
-  }
+  const int free_l2_up = state.free_l2_up_total();
   const int total_l2_up = topo.num_l2_wires();
   occ.l2_up_occupancy = total_l2_up == 0
                             ? 0.0

@@ -651,14 +651,13 @@ std::string ServiceDaemon::handle_stats(const Request& req) {
               static_cast<std::uint64_t>(recovery_.records));
     append_kv(s, "recovery_dropped_bytes", recovery_.dropped_bytes);
   }
-  std::vector<double> lat = grant_latencies_;
-  std::sort(lat.begin(), lat.end());
-  s += ",\"grant_latency\":{\"count\":" + std::to_string(lat.size());
+  const SortedSamples lat(grant_latencies_);
+  s += ",\"grant_latency\":{\"count\":" + std::to_string(lat.count());
   if (!lat.empty()) {
-    append_kv(s, "p50", percentile_sorted(lat, 50.0));
-    append_kv(s, "p99", percentile_sorted(lat, 99.0));
-    append_kv(s, "p999", percentile_sorted(lat, 99.9));
-    append_kv(s, "max", lat.back());
+    append_kv(s, "p50", lat.percentile(50.0));
+    append_kv(s, "p99", lat.percentile(99.0));
+    append_kv(s, "p999", lat.percentile(99.9));
+    append_kv(s, "max", lat.max());
   }
   s += "}}";
   return ok_reply(",\"stats\":" + s, req.seq);

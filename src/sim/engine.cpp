@@ -507,11 +507,10 @@ const SimMetrics& SimEngine::finish() {
                 static_cast<double>(metrics.completed);
 
   if (!turnarounds_.empty()) {
-    std::vector<double> sorted = turnarounds_;
-    std::sort(sorted.begin(), sorted.end());
-    metrics.p50_turnaround = percentile_sorted(sorted, 50);
-    metrics.p90_turnaround = percentile_sorted(sorted, 90);
-    metrics.p99_turnaround = percentile_sorted(sorted, 99);
+    const SortedSamples sorted(turnarounds_);
+    metrics.p50_turnaround = sorted.percentile(50);
+    metrics.p90_turnaround = sorted.percentile(90);
+    metrics.p99_turnaround = sorted.percentile(99);
   }
 
   metrics.steady_start = first_backlog_;

@@ -11,8 +11,12 @@ namespace jigsaw {
 namespace {
 
 /// Metric handles a scheduling pass updates; resolved once per pass so
-/// the per-allocate-call cost is an increment, not a map lookup.
+/// the per-allocate-call cost is an increment, not a map lookup. The
+/// `enabled` flag folds the tracing/metering tests into one predictable
+/// branch: with a null ObsContext every per-allocate-call instrumentation
+/// site is a single well-predicted compare-and-skip.
 struct PassObs {
+  bool enabled = false;
   bool tracing = false;
   obs::Counter* alloc_calls = nullptr;
   obs::Counter* search_steps = nullptr;
@@ -24,7 +28,8 @@ struct PassObs {
   obs::Histogram* steps_per_call = nullptr;
 
   explicit PassObs(const obs::ObsContext* o) {
-    if (o == nullptr) return;
+    if (o == nullptr || !o->enabled()) return;
+    enabled = true;
     tracing = o->tracing();
     if (!o->metering()) return;
     obs::MetricsRegistry& m = *o->metrics;
@@ -106,6 +111,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       stats->search_steps += search.steps;
       if (search.budget_exhausted) ++stats->budget_exhaustions;
     }
+    if (!po.enabled) return result;
     if (po.alloc_calls != nullptr) {
       po.alloc_calls->add();
       po.search_steps->add(search.steps);
@@ -274,6 +280,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
 
   auto note_backfill = [&](const PendingJob& p, const char* outcome,
                            bool accepted) {
+    if (!po.enabled) return;
     if (accepted) {
       if (po.backfill_accepted != nullptr) po.backfill_accepted->add();
     } else if (po.backfill_rejected != nullptr) {

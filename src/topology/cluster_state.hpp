@@ -93,6 +93,26 @@ class ClusterState {
     return l2_up_count_[static_cast<std::size_t>(
         t * topo_->l2_per_tree() + l2_index)];
   }
+  /// AND of free_l2_up(t, i) over every L2 switch of tree t: bit j set
+  /// when the wire to spine j is free-and-healthy from *all* of them.
+  /// One batch kernel over the tree's contiguous row instead of w2
+  /// composed queries (LaaS bundle screens, TA spine screens).
+  Mask free_l2_up_all(TreeId t) const {
+    const std::size_t w2 = static_cast<std::size_t>(topo_->l2_per_tree());
+    const std::size_t base = static_cast<std::size_t>(t) * w2;
+    return low_bits(topo_->spines_per_group()) &
+           and_reduce_rows(&free_l2_up_[base], &healthy_l2_up_[base], w2);
+  }
+  /// Total free-and-healthy leaf-uplink wires across the cluster.
+  int free_leaf_up_total() const {
+    return popcount_and_rows(free_leaf_up_.data(), healthy_leaf_up_.data(),
+                             free_leaf_up_.size());
+  }
+  /// Total free-and-healthy L2-uplink wires across the cluster.
+  int free_l2_up_total() const {
+    return popcount_and_rows(free_l2_up_.data(), healthy_l2_up_.data(),
+                             free_l2_up_.size());
+  }
 
   // -- health queries ----------------------------------------------------
   bool node_healthy(NodeId n) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 namespace jigsaw {
@@ -50,5 +51,41 @@ constexpr void for_each_bit(Mask m, Fn&& fn) {
 
 /// True when a is a subset of b.
 constexpr bool subset_of(Mask a, Mask b) { return (a & ~b) == 0; }
+
+// -- batch kernels -----------------------------------------------------
+// Word-at-a-time loops over parallel Mask rows (a row is one word per
+// L2 switch or per leaf). The resource arrays ClusterState keeps are
+// free/healthy pairs, so the kernels take two rows and combine them with
+// AND — the same composition every free_* query performs one word at a
+// time. Branch-free bodies over a handful of words, so the compiler can
+// unroll/vectorize the probe-phase hot loops.
+
+/// AND-reduce of a[i] & b[i] over n words. Identity for n == 0.
+inline Mask and_reduce_rows(const Mask* a, const Mask* b, std::size_t n) {
+  Mask m = ~Mask{0};
+  for (std::size_t i = 0; i < n; ++i) m &= a[i] & b[i];
+  return m;
+}
+
+/// Sum of popcount(a[i] & b[i]) over n words.
+inline int popcount_and_rows(const Mask* a, const Mask* b, std::size_t n) {
+  int total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += popcount(a[i] & b[i]);
+  return total;
+}
+
+/// out[i] = a[i] & b[i] for all n words; true when every intersection
+/// keeps at least `need` bits. On a false return `out` still holds every
+/// intersection word (callers discard it), which keeps the body
+/// branch-free.
+inline bool and_rows_viable(const Mask* a, const Mask* b, Mask* out,
+                            std::size_t n, int need) {
+  bool viable = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a[i] & b[i];
+    viable &= popcount(out[i]) >= need;
+  }
+  return viable;
+}
 
 }  // namespace jigsaw

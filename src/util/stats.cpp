@@ -43,6 +43,15 @@ double percentile_sorted(const std::vector<double>& sorted, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
+SortedSamples::SortedSamples(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double SortedSamples::percentile(double p) const {
+  return percentile_sorted(sorted_, p);
+}
+
 BoundedHistogram::BoundedHistogram(std::vector<double> boundaries)
     : boundaries_(std::move(boundaries)), counts_(boundaries_.size() + 1, 0) {
   if (!std::is_sorted(boundaries_.begin(), boundaries_.end())) {

@@ -32,9 +32,28 @@ class Accumulator {
 
 /// Percentile of a sample set (linear interpolation); p in [0, 100].
 /// The input vector is copied; for repeated queries sort once and use
-/// percentile_sorted.
+/// percentile_sorted or SortedSamples.
 double percentile(std::vector<double> values, double p);
 double percentile_sorted(const std::vector<double>& sorted, double p);
+
+/// Sort-once percentile server: takes the sample vector, sorts it at
+/// construction, and serves any number of percentile/extreme queries
+/// from the same sorted buffer — no per-query copy or re-sort.
+class SortedSamples {
+ public:
+  explicit SortedSamples(std::vector<double> samples);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t count() const { return sorted_.size(); }
+  /// p in [0, 100], linear interpolation (same contract as
+  /// percentile_sorted); throws std::invalid_argument when empty.
+  double percentile(double p) const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+
+ private:
+  std::vector<double> sorted_;
+};
 
 /// Histogram over explicit bucket boundaries. A value lands in bucket i
 /// when boundaries[i-1] <= value < boundaries[i]; values below the first

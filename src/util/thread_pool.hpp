@@ -1,0 +1,160 @@
+// A small persistent fan-out/join thread pool.
+//
+// One pool is built per process (bench driver, daemon, test) and shared
+// by every parallel region: the placement-probe fan-out in the allocators
+// and the per-cell fan-out in the bench harnesses. run(body) invokes
+// body(lane) once on every lane — lane 0 is the calling thread, lanes
+// 1..N-1 are the persistent workers — and returns when all lanes have
+// finished. Work distribution is the caller's business: bodies typically
+// loop on a shared std::atomic chunk counter captured in the closure.
+//
+// Reentrancy: a run() issued from inside another run() (a worker lane, or
+// lane 0 itself), or concurrently from a second thread while the pool is
+// busy, executes body(0) inline on the calling thread instead of
+// deadlocking on the busy workers. Users of the pool must therefore be
+// correct at any lane count including one — which the deterministic
+// min-index probe reduction (core/parallel_search.hpp) is by
+// construction.
+//
+// The dispatch path is latency-sensitive: the allocators fan out once per
+// allocate() call, so workers spin briefly on an atomic generation
+// counter before parking on the condition variable, and the caller
+// spin-waits for the join (probe bodies are microseconds, not
+// milliseconds).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jigsaw {
+
+class ThreadPool {
+ public:
+  /// A pool with `lanes` execution lanes: the caller plus lanes-1
+  /// persistent workers. lanes <= 1 builds a no-thread pool whose run()
+  /// is a plain inline call.
+  explicit ThreadPool(int lanes) {
+    const int workers = lanes > 1 ? lanes - 1 : 0;
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      workers_.emplace_back([this]() { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int lanes() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Invoke body(lane) on every lane concurrently; body(0) runs on the
+  /// calling thread. Returns after every lane's call finished (all side
+  /// effects of the bodies happen-before the return). Nested or
+  /// concurrent run() calls degrade to an inline body(0).
+  template <typename Fn>
+  void run(Fn&& body) {
+    if (workers_.empty() || in_pool_region()) {
+      body(0);
+      return;
+    }
+    bool expected = false;
+    if (!dispatching_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acquire)) {
+      body(0);  // pool busy on another thread: degrade gracefully
+      return;
+    }
+    in_pool_region() = true;
+    pending_.store(static_cast<int>(workers_.size()),
+                   std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      thunk_ = &invoke<std::remove_reference_t<Fn>>;
+      ctx_ = &body;
+      // The release pairs with the workers' acquire load: thunk_/ctx_
+      // are visible before a worker acts on the new generation.
+      generation_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_all();
+    body(0);
+    // Join: probe bodies are short, so spin with a yield fallback
+    // instead of a sleep/notify round-trip per dispatch.
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    in_pool_region() = false;
+    dispatching_.store(false, std::memory_order_release);
+  }
+
+ private:
+  using Thunk = void (*)(void*, int lane);
+
+  template <typename Fn>
+  static void invoke(void* ctx, int lane) {
+    (*static_cast<Fn*>(ctx))(lane);
+  }
+
+  /// True on pool worker threads always, and on a caller thread while it
+  /// is inside run() — the reentrancy guard.
+  static bool& in_pool_region() {
+    thread_local bool inside = false;
+    return inside;
+  }
+
+  void worker_loop() {
+    in_pool_region() = true;
+    const int lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = 0;
+    while (true) {
+      // Spin briefly for the next dispatch before parking: the pool is
+      // dispatched once per allocate() call, and a cv sleep/wake costs
+      // more than a short probe body.
+      std::uint64_t gen = generation_.load(std::memory_order_acquire);
+      int spins = 0;
+      while (gen == seen && !stop_.load(std::memory_order_relaxed)) {
+        if (++spins > kSpinIterations) {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [&]() {
+            return stop_.load(std::memory_order_relaxed) ||
+                   generation_.load(std::memory_order_acquire) != seen;
+          });
+        }
+        gen = generation_.load(std::memory_order_acquire);
+      }
+      if (stop_.load(std::memory_order_relaxed)) return;
+      seen = gen;
+      // thunk_/ctx_ were published before the generation bump and stay
+      // stable until every worker decrements pending_, which gates the
+      // next dispatch.
+      thunk_(ctx_, lane);
+      pending_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  static constexpr int kSpinIterations = 20000;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> dispatching_{false};
+  std::atomic<int> next_lane_{1};
+  Thunk thunk_ = nullptr;
+  void* ctx_ = nullptr;
+};
+
+}  // namespace jigsaw

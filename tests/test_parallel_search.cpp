@@ -1,0 +1,297 @@
+// Equivalence guards for the parallel placement search.
+//
+// --search-threads N must never change a scheduling decision: the
+// min-index reduction in core/parallel_search.hpp commits exactly the
+// candidate the sequential scan would have, with the same budget ledger.
+// These tests pin that at three levels: the first_feasible() engine
+// against synthetic probes, a golden Synth-16 run (all five schemes,
+// 2000 jobs, constants dumped with %.17g from the sequential path — the
+// companion of tests/test_txn_equivalence.cpp), and a randomized
+// property sweep over traces, schemes, thread counts, step budgets, and
+// fault schedules comparing metrics and every granted allocation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "core/lc.hpp"
+#include "core/parallel_search.hpp"
+#include "core/ta.hpp"
+#include "fault/failure_schedule.hpp"
+#include "sim/simulator.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace jigsaw {
+namespace {
+
+std::string fmt17(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+// ---- the engine against synthetic probes --------------------------------
+
+TEST(ParallelSearch, FirstFeasibleMatchesSequentialOnRandomProbes) {
+  ThreadPool pool(4);
+  const SearchExec par{&pool, 4};
+  Rng rng(123);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t count = rng.below(40);
+    std::vector<std::uint64_t> costs(count);
+    std::vector<unsigned char> feas(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      costs[i] = rng.below(6);
+      feas[i] = rng.below(5) == 0 ? 1 : 0;
+    }
+    // A find_* probe run under budget b executes a prefix of its full
+    // step sequence: it either completes (consuming its full cost) or
+    // truncates at b and reports infeasible. Model exactly that.
+    const auto probe = [&](int, std::size_t i, std::uint64_t& b) {
+      const std::uint64_t take = std::min(costs[i], b);
+      b -= take;
+      if (take < costs[i]) return false;
+      return feas[i] != 0;
+    };
+    std::uint64_t budget_seq = 1 + rng.below(60);
+    std::uint64_t budget_par = budget_seq;
+    const FirstFeasible seq =
+        first_feasible(SearchExec{}, count, budget_seq, probe);
+    const FirstFeasible parallel =
+        first_feasible(par, count, budget_par, probe);
+    ASSERT_EQ(seq.winner, parallel.winner) << "trial " << trial;
+    ASSERT_EQ(seq.exhausted, parallel.exhausted) << "trial " << trial;
+    ASSERT_EQ(budget_seq, budget_par) << "trial " << trial;
+  }
+}
+
+// ---- whole-simulation equivalence ---------------------------------------
+
+enum class Scheme { kBaseline, kLcs, kJigsaw, kLaas, kTa };
+
+constexpr Scheme kAllSchemes[] = {Scheme::kBaseline, Scheme::kLcs,
+                                  Scheme::kJigsaw, Scheme::kLaas,
+                                  Scheme::kTa};
+
+AllocatorPtr make(Scheme scheme, std::uint64_t budget,
+                  const SearchExec& exec) {
+  AllocatorPtr ptr;
+  switch (scheme) {
+    case Scheme::kBaseline: ptr = std::make_unique<BaselineAllocator>(); break;
+    case Scheme::kLcs:
+      ptr = std::make_unique<LeastConstrainedAllocator>(true, budget);
+      break;
+    case Scheme::kJigsaw:
+      ptr = std::make_unique<JigsawAllocator>(budget);
+      break;
+    case Scheme::kLaas: ptr = std::make_unique<LaasAllocator>(budget); break;
+    case Scheme::kTa: ptr = std::make_unique<TaAllocator>(); break;
+  }
+  ptr->set_search_exec(exec);
+  return ptr;
+}
+
+/// Everything a grant commits, captured through SimConfig::grant_audit.
+/// Identical runs must grant identical resources at identical times.
+struct GrantRecord {
+  double now = 0.0;
+  JobId job = kNoJob;
+  int requested = 0;
+  double bandwidth = 0.0;
+  std::vector<NodeId> nodes;
+  std::vector<LeafWire> leaf_wires;
+  std::vector<L2Wire> l2_wires;
+  friend bool operator==(const GrantRecord&, const GrantRecord&) = default;
+};
+
+SimMetrics run_once(const FatTree& topo, const Trace& trace, Scheme scheme,
+                    std::uint64_t budget, const SearchExec& exec,
+                    const fault::FailureSchedule* failures,
+                    std::vector<GrantRecord>* grants) {
+  const AllocatorPtr alloc = make(scheme, budget, exec);
+  SimConfig config;
+  config.failures = failures;
+  config.grant_audit = [&](double now, const Allocation& a,
+                           const ClusterState&) {
+    GrantRecord r;
+    r.now = now;
+    r.job = a.job;
+    r.requested = a.requested_nodes;
+    r.bandwidth = a.bandwidth;
+    r.nodes = a.nodes;
+    r.leaf_wires = a.leaf_wires;
+    r.l2_wires = a.l2_wires;
+    grants->push_back(std::move(r));
+  };
+  return simulate(topo, *alloc, trace, config);
+}
+
+/// Bit-identical on every deterministic field; the wall-clock fields
+/// (sched_wall_seconds, mean_sched_time_per_job) are excluded — no two
+/// runs reproduce them, parallel or not.
+void expect_metrics_identical(const SimMetrics& a, const SimMetrics& b) {
+  EXPECT_EQ(fmt17(a.steady_utilization), fmt17(b.steady_utilization));
+  EXPECT_EQ(fmt17(a.steady_waste), fmt17(b.steady_waste));
+  EXPECT_EQ(fmt17(a.steady_start), fmt17(b.steady_start));
+  EXPECT_EQ(fmt17(a.steady_end), fmt17(b.steady_end));
+  EXPECT_EQ(fmt17(a.makespan), fmt17(b.makespan));
+  EXPECT_EQ(fmt17(a.mean_turnaround_all), fmt17(b.mean_turnaround_all));
+  EXPECT_EQ(fmt17(a.mean_turnaround_large), fmt17(b.mean_turnaround_large));
+  EXPECT_EQ(fmt17(a.mean_wait), fmt17(b.mean_wait));
+  EXPECT_EQ(fmt17(a.p50_turnaround), fmt17(b.p50_turnaround));
+  EXPECT_EQ(fmt17(a.p90_turnaround), fmt17(b.p90_turnaround));
+  EXPECT_EQ(fmt17(a.p99_turnaround), fmt17(b.p99_turnaround));
+  EXPECT_EQ(a.large_jobs, b.large_jobs);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.sched_passes, b.sched_passes);
+  EXPECT_EQ(a.allocate_calls, b.allocate_calls);
+  EXPECT_EQ(a.search_steps, b.search_steps);
+  EXPECT_EQ(a.budget_exhaustions, b.budget_exhaustions);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.resources_failed, b.resources_failed);
+  EXPECT_EQ(a.resources_repaired, b.resources_repaired);
+  EXPECT_EQ(a.jobs_killed, b.jobs_killed);
+  EXPECT_EQ(a.jobs_requeued, b.jobs_requeued);
+  EXPECT_EQ(a.grants_rejected, b.grants_rejected);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+}
+
+// Golden acceptance run: all five schemes on Synth-16 at 2000 jobs,
+// --search-threads 4 vs sequential. The pinned constants were dumped
+// with %.17g from the sequential path; both executions must reproduce
+// them bit-for-bit, and grant-for-grant.
+TEST(ParallelSearchGolden, Synth16Threads4MatchesSequential) {
+  Trace trace = named_synthetic("Synth-16", 2000);
+  Rng rng(0xBADC0FFEEULL);
+  assign_bandwidth_classes(trace, rng);
+  const FatTree topo = FatTree::from_radix(16);
+
+  ThreadPool pool(4);
+  const SearchExec par{&pool, 4};
+  constexpr std::uint64_t kDefaultBudget = 1ull << 24;
+
+  struct Golden {
+    Scheme scheme;
+    const char* steady_utilization;
+    const char* makespan;
+    const char* mean_turnaround_all;
+    std::uint64_t search_steps;
+    std::uint64_t allocate_calls;
+  };
+  const Golden goldens[] = {
+      {Scheme::kBaseline, "0.98848489293726394", "50972.627913662196",
+       "24738.700639499279", 3227630, 114521},
+      {Scheme::kLcs, "0.95733164553366179", "52720.457253746245",
+       "25122.045235523306", 2153967, 114434},
+      {Scheme::kJigsaw, "0.95387521249130025", "52987.266386010502",
+       "24783.906333569212", 473151, 114560},
+      {Scheme::kLaas, "0.90562891769691156", "55766.359690644669",
+       "26160.731744023666", 384288, 114790},
+      {Scheme::kTa, "0.86383506990582326", "58256.486995265703",
+       "27573.175480554226", 2463403, 114392},
+  };
+
+  for (const Golden& g : goldens) {
+    std::vector<GrantRecord> seq_grants;
+    std::vector<GrantRecord> par_grants;
+    const SimMetrics seq = run_once(topo, trace, g.scheme, kDefaultBudget,
+                                    SearchExec{}, nullptr, &seq_grants);
+    const SimMetrics parallel = run_once(topo, trace, g.scheme,
+                                         kDefaultBudget, par, nullptr,
+                                         &par_grants);
+    SCOPED_TRACE(make(g.scheme, kDefaultBudget, SearchExec{})->name());
+    for (const SimMetrics* m : {&seq, &parallel}) {
+      EXPECT_EQ(fmt17(m->steady_utilization), g.steady_utilization);
+      EXPECT_EQ(fmt17(m->makespan), g.makespan);
+      EXPECT_EQ(fmt17(m->mean_turnaround_all), g.mean_turnaround_all);
+      EXPECT_EQ(m->search_steps, g.search_steps);
+      EXPECT_EQ(m->allocate_calls, g.allocate_calls);
+    }
+    expect_metrics_identical(seq, parallel);
+    ASSERT_EQ(seq_grants.size(), par_grants.size());
+    for (std::size_t i = 0; i < seq_grants.size(); ++i) {
+      ASSERT_TRUE(seq_grants[i] == par_grants[i]) << "grant " << i;
+    }
+  }
+}
+
+// ---- randomized property sweep ------------------------------------------
+
+TEST(SearchDeterminismProperty, RandomTracesMatchSequentialAcrossThreads) {
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+  ThreadPool pool8(8);
+  const SearchExec execs[] = {{&pool2, 2}, {&pool4, 4}, {&pool8, 8}};
+
+  constexpr int kTrials = 210;
+  int fault_trials = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(0xFEEDBEEF + static_cast<std::uint64_t>(trial) * 7919);
+    const int radix = 8 + 2 * static_cast<int>(rng.below(3));  // 8/10/12
+    const FatTree topo = FatTree::from_radix(radix);
+    SyntheticParams params;
+    params.jobs = 40 + rng.below(80);
+    params.mean_size = 6.0 + static_cast<double>(rng.below(14));
+    params.max_size = topo.total_nodes() / 2;  // must fit the cluster
+    params.seed = rng();
+    Trace trace = synthetic_trace(params);
+    Rng bw_rng(rng());
+    assign_bandwidth_classes(trace, bw_rng);
+
+    // Small budgets on every third trial force the exhaustion path
+    // through the budget-ledger replay; TA ignores the budget.
+    const std::uint64_t budget =
+        trial % 3 == 0 ? 64 + rng.below(4096) : 1ull << 24;
+    const Scheme scheme = kAllSchemes[trial % 5];
+    const SearchExec exec = execs[trial % 3];
+
+    // Every fourth trial runs on failing hardware; both executions see
+    // the same schedule.
+    fault::FailureSchedule schedule;
+    const fault::FailureSchedule* failures = nullptr;
+    if (trial % 4 == 0) {
+      fault::RandomFaultConfig fc;
+      fc.horizon = 4000.0;
+      fc.node_mtbf = 300.0 + static_cast<double>(rng.below(2000));
+      fc.wire_mtbf = fc.node_mtbf * 2.0;
+      fc.mttr = 600.0;
+      fc.seed = rng();
+      schedule = fault::make_random_schedule(topo, fc);
+      failures = &schedule;
+      ++fault_trials;
+    }
+
+    std::vector<GrantRecord> seq_grants;
+    std::vector<GrantRecord> par_grants;
+    const SimMetrics seq = run_once(topo, trace, scheme, budget,
+                                    SearchExec{}, failures, &seq_grants);
+    const SimMetrics parallel =
+        run_once(topo, trace, scheme, budget, exec, failures, &par_grants);
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + " scheme " +
+                 make(scheme, budget, SearchExec{})->name() + " threads " +
+                 std::to_string(exec.threads) + " budget " +
+                 std::to_string(budget) +
+                 (failures != nullptr ? " +faults" : ""));
+    expect_metrics_identical(seq, parallel);
+    ASSERT_EQ(seq_grants.size(), par_grants.size());
+    for (std::size_t i = 0; i < seq_grants.size(); ++i) {
+      ASSERT_TRUE(seq_grants[i] == par_grants[i]) << "grant " << i;
+    }
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+  EXPECT_GE(fault_trials, 50);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,111 @@
+// Unit tests for the persistent probe pool behind --search-threads.
+//
+// The pool's contract (util/thread_pool.hpp): run(body) invokes body(lane)
+// exactly once per lane, with lane 0 on the calling thread; workers
+// persist across run() calls; a run() issued from inside a pool region
+// (or concurrently with another dispatch) degrades to an inline body(0)
+// instead of deadlocking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(ThreadPool, ReportsLaneCount) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.lanes(), 4);
+  ThreadPool one(1);
+  EXPECT_EQ(one.lanes(), 1);
+}
+
+TEST(ThreadPool, SingleLaneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.run([&](int lane) {
+    EXPECT_EQ(lane, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, FansOutToEveryLaneExactlyOnce) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::atomic<int>> hits(4);
+  std::atomic<bool> lane0_on_caller{false};
+  pool.run([&](int lane) {
+    ASSERT_GE(lane, 0);
+    ASSERT_LT(lane, 4);
+    hits[static_cast<std::size_t>(lane)].fetch_add(1);
+    if (lane == 0 && std::this_thread::get_id() == caller) {
+      lane0_on_caller.store(true);
+    }
+  });
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(lane)].load(), 1)
+        << "lane " << lane;
+  }
+  EXPECT_TRUE(lane0_on_caller.load());
+}
+
+TEST(ThreadPool, WorkersPersistAcrossManyRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.run([&](int) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 500 * 3);
+}
+
+TEST(ThreadPool, NestedRunDegradesToInline) {
+  ThreadPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  pool.run([&](int) {
+    outer.fetch_add(1);
+    // Re-entrant dispatch would deadlock the worker generation; the pool
+    // must detect it and run the nested body inline as lane 0, once.
+    pool.run([&](int lane) {
+      EXPECT_EQ(lane, 0);
+      inner.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 4);  // one inline call per nested run()
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersNeverLoseWork) {
+  // Several threads hammering run() on one pool: whoever wins the
+  // dispatch slot fans out, the rest degrade inline. Every run() call
+  // must invoke its body at least once (inline) and at most lanes()
+  // times (full fan-out) — and nothing may deadlock or race. This is
+  // the case the TSAN CI job exists for.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRunsPerCaller = 200;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&]() {
+      for (int i = 0; i < kRunsPerCaller; ++i) {
+        pool.run(
+            [&](int) { total.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_GE(total.load(), kCallers * kRunsPerCaller);
+  EXPECT_LE(total.load(), kCallers * kRunsPerCaller * pool.lanes());
+}
+
+}  // namespace
+}  // namespace jigsaw
