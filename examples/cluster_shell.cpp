@@ -19,12 +19,19 @@
 // jigsaw_daemon instead of a local ClusterState: submit/cancel/status/
 // fail/repair translate to protocol requests (submit takes an optional
 // runtime, default 3600 s) and replies print as the daemon's JSON.
+// `top [N [SEC]]` renders the daemon's Prometheus scrape (`metrics` op,
+// requires --metrics on the daemon) as a live utilization / queue /
+// blocked-reason / latency dashboard, N frames SEC seconds apart.
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/baseline.hpp"
 #include "core/fragmentation.hpp"
@@ -79,6 +86,63 @@ void print_allocation(const FatTree& topo, const Allocation& a) {
   }
 }
 
+/// Label-free samples of a Prometheus text exposition: name -> value.
+/// Histogram `_bucket{le=...}` series carry labels and are skipped; the
+/// `_sum`/`_count` samples are enough for the dashboard's means.
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    if (name.find('{') != std::string::npos) continue;
+    samples[name] = std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return samples;
+}
+
+/// One `top` frame: a curated dashboard over the scrape output.
+void render_top(const std::map<std::string, double>& m) {
+  const auto get = [&](const std::string& name) {
+    const auto it = m.find(name);
+    return it == m.end() ? 0.0 : it->second;
+  };
+  const auto mean_us = [&](const std::string& base) {
+    const double n = get(base + "_count");
+    return n > 0.0 ? 1e6 * get(base + "_sum") / n : 0.0;
+  };
+  std::cout << "  cluster   " << static_cast<int>(
+                   100.0 * get("jigsaw_cluster_utilization") + 0.5)
+            << "% utilized, " << get("jigsaw_cluster_busy_nodes")
+            << " busy nodes, queue " << get("jigsaw_queue_depth")
+            << ", running " << get("jigsaw_jobs_running") << "\n";
+  std::cout << "  contiguity " << get("jigsaw_frag_free_nodes")
+            << " free nodes, " << get("jigsaw_frag_fully_free_leaves")
+            << " free leaves, " << get("jigsaw_frag_fully_free_trees")
+            << " free subtrees\n";
+  std::cout << "  blocked   oversized "
+            << get("jigsaw_sched_blocked_oversized_total")
+            << " | node_shortage "
+            << get("jigsaw_sched_blocked_node_shortage_total")
+            << " | leaf_spread "
+            << get("jigsaw_sched_blocked_leaf_spread_total")
+            << " | uplink_isolation "
+            << get("jigsaw_sched_blocked_uplink_isolation_total")
+            << " | budget "
+            << get("jigsaw_sched_blocked_budget_exhausted_total") << "\n";
+  std::cout << "  latency   ack mean "
+            << mean_us("jigsaw_service_ack_seconds") << " us | grant mean "
+            << mean_us("jigsaw_service_grant_latency_seconds")
+            << " us | wal append mean " << mean_us("jigsaw_wal_append_seconds")
+            << " us | alloc call mean " << mean_us("jigsaw_alloc_call_seconds")
+            << " us\n";
+  std::cout << "  wal       " << get("jigsaw_wal_bytes") << " bytes, "
+            << get("jigsaw_wal_unsynced_records") << " unsynced records\n";
+}
+
 /// Remote mode: translate shell commands into daemon protocol requests.
 /// Returns the process exit code.
 int run_remote(const std::string& endpoint) {
@@ -90,7 +154,8 @@ int run_remote(const std::string& endpoint) {
   }
   std::cout << "cluster_shell connected to " << endpoint << "\n"
             << "commands: submit N [RUNTIME] | cancel ID | status ID | "
-               "fail TARGET | repair TARGET | stats | drain | quit\n";
+               "fail TARGET | repair TARGET | stats | top [N [SEC]] | "
+               "drain | quit\n";
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
     std::istringstream words(line);
@@ -132,6 +197,37 @@ int run_remote(const std::string& endpoint) {
     } else if (command == "stats" || command == "drain" ||
                command == "ping") {
       request = "{\"op\":\"" + command + "\"}";
+    } else if (command == "top") {
+      // Live dashboard over the daemon's metrics scrape: N frames,
+      // SEC seconds apart (needs a daemon started with --metrics).
+      int frames = 1;
+      double seconds = 2.0;
+      words >> frames >> seconds;
+      for (int frame = 0; frame < std::max(frames, 1); ++frame) {
+        if (frame > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(std::max(seconds, 0.0)));
+        }
+        std::string reply;
+        if (!client.request("{\"op\":\"metrics\"}", &reply, &error)) {
+          std::cerr << "error: " << error << "\n";
+          return 1;
+        }
+        service::JsonValue doc;
+        std::string parse_error;
+        const service::JsonValue* body = nullptr;
+        if (service::parse_json(reply, &doc, &parse_error)) {
+          body = doc.find("body");
+        }
+        if (body == nullptr || !body->is_string()) {
+          std::cout << reply << "\n";  // error reply (metrics disabled?)
+          break;
+        }
+        std::cout << "top frame " << (frame + 1) << "/"
+                  << std::max(frames, 1) << "\n";
+        render_top(parse_prometheus(body->as_string()));
+      }
+      continue;
     } else {
       std::cout << "unknown command (remote mode): " << command << "\n";
       continue;

@@ -68,8 +68,8 @@ int main(int argc, char** argv) {
   flags.define("connect", "daemon endpoint: unix:/path or tcp:PORT",
                "unix:/tmp/jigsaw.sock");
   flags.define("op",
-               "ping / submit / cancel / status / watch / stats / drain / "
-               "fail / repair / shutdown / submit-trace",
+               "ping / submit / cancel / status / watch / stats / metrics / "
+               "drain / fail / repair / shutdown / submit-trace",
                "ping");
   flags.define("nodes", "submit: node count", "0");
   flags.define("runtime", "submit: runtime seconds", "0");
@@ -106,7 +106,8 @@ int main(int argc, char** argv) {
       return reply_ok(reply);
     };
 
-    if (op == "ping" || op == "stats" || op == "drain" || op == "shutdown") {
+    if (op == "ping" || op == "stats" || op == "metrics" ||
+        op == "drain" || op == "shutdown") {
       return roundtrip("{\"op\":\"" + op + "\"}") ? 0 : 1;
     }
     if (op == "submit") {

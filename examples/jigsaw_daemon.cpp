@@ -87,6 +87,12 @@ int main(int argc, char** argv) {
                "0");
   flags.define("trace-out",
                "write service.* and simulator event trace (JSONL) here", "");
+  flags.define_bool("metrics",
+                    "enable the live metrics registry: the `metrics` op and "
+                    "HTTP `GET /metrics` (Prometheus text) on the same "
+                    "listener, plus latency histograms and §3.2 "
+                    "blocked-reason counters. Off by default: the disabled "
+                    "daemon's hot loop performs no observability work");
   flags.define("search-threads",
                "probe lanes for the placement search (1 = exact sequential "
                "path; grants are bit-identical at any lane count). The "
@@ -117,6 +123,7 @@ int main(int argc, char** argv) {
 
     std::unique_ptr<std::ofstream> trace_stream;
     std::unique_ptr<obs::TraceSink> sink;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
     SimConfig config;
     const std::string trace_path = flags.str("trace-out");
     if (!trace_path.empty()) {
@@ -127,6 +134,10 @@ int main(int argc, char** argv) {
       }
       sink = obs::make_sink("jsonl", *trace_stream);
       config.obs.sink = sink.get();
+    }
+    if (flags.boolean("metrics")) {
+      metrics = std::make_unique<obs::MetricsRegistry>();
+      config.obs.metrics = metrics.get();
     }
 
     service::DaemonOptions options;
@@ -187,9 +198,11 @@ int main(int argc, char** argv) {
     }
 
     daemon.attach_reactor(&reactor);
+    // handle_socket_line also answers HTTP `GET /metrics` on this same
+    // listener, so `curl --unix-socket` works during a live run.
     reactor.set_line_handler(
-        [&daemon](service::Reactor::ClientId, std::string&& line) {
-          return daemon.handle_line(line);
+        [&daemon](service::Reactor::ClientId id, std::string&& line) {
+          return daemon.handle_socket_line(id, std::move(line));
         });
     reactor.set_overflow_handler(
         [&daemon](service::Reactor::ClientId, bool oversized) {

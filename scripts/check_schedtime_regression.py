@@ -3,8 +3,14 @@
 
 Fails (exit 1) if any scheme's mean scheduling time per job regressed by
 more than the tolerance (default 25%, generous to absorb runner noise)
-on any trace column present in both files. Columns ending in ".sd"
-(sample stddev) and the "Approach" key are ignored.
+on any trace column present in both files, or if a scheme/trace cell
+present in the baseline is missing from the fresh run (a silently
+dropped row must never read as "no regression"). Columns ending in
+".sd" (sample stddev) and the "Approach" key are ignored.
+
+Prints a per-scheme diff table: one row per (scheme, trace) cell with
+the baseline and fresh means, the ratio, and an ok/REGRESSED verdict.
+Schemes only present in the fresh run are reported as notes.
 
 Usage: check_schedtime_regression.py BASELINE.json FRESH.json [TOLERANCE]
 """
@@ -13,38 +19,80 @@ import json
 import sys
 
 
-def scheme_means(doc):
+def scheme_means(path):
+    """{scheme: {trace: mean_seconds}} from a bench --json-out file."""
+    with open(path) as f:
+        doc = json.load(f)
     means = {}
-    for row in doc["rows"]:
+    for row in doc.get("rows", []):
+        if "Approach" not in row:
+            sys.exit(f"{path}: row without an 'Approach' key: {row}")
         scheme = row["Approach"]
+        cells = {}
         for key, value in row.items():
             if key == "Approach" or key.endswith(".sd"):
                 continue
-            means[(scheme, key)] = float(value)
+            try:
+                cells[key] = float(value)
+            except ValueError:
+                sys.exit(f"{path}: non-numeric cell {scheme}/{key}: "
+                         f"{value!r}")
+        means[scheme] = cells
+    if not means:
+        sys.exit(f"{path}: no rows")
     return means
 
 
 def main():
     if len(sys.argv) < 3:
         sys.exit(__doc__)
-    with open(sys.argv[1]) as f:
-        baseline = scheme_means(json.load(f))
-    with open(sys.argv[2]) as f:
-        fresh = scheme_means(json.load(f))
+    baseline = scheme_means(sys.argv[1])
+    fresh = scheme_means(sys.argv[2])
     tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
 
-    if not baseline:
-        sys.exit("baseline has no rows")
-    failures = []
-    for key in sorted(baseline):
-        if key not in fresh or baseline[key] <= 0.0:
+    # A scheme or trace cell that vanished from the fresh run is an
+    # error in its own right, reported before any ratio math.
+    missing = []
+    for scheme, cells in sorted(baseline.items()):
+        if scheme not in fresh:
+            missing.append(f"scheme '{scheme}' missing from fresh results")
             continue
-        ratio = fresh[key] / baseline[key]
-        verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSED"
-        print(f"{key[0]:>8} / {key[1]}: baseline {baseline[key]:.3e}s  "
-              f"fresh {fresh[key]:.3e}s  x{ratio:.2f}  {verdict}")
-        if verdict != "ok":
-            failures.append(key)
+        for trace in sorted(cells):
+            if trace not in fresh[scheme]:
+                missing.append(f"cell {scheme}/{trace} missing from "
+                               "fresh results")
+    if missing:
+        sys.exit("fresh results are incomplete:\n  " + "\n  ".join(missing))
+
+    scheme_w = max(len("scheme"), *(len(s) for s in baseline))
+    trace_w = max(len("trace"),
+                  *(len(t) for cells in baseline.values() for t in cells))
+    header = (f"{'scheme':<{scheme_w}}  {'trace':<{trace_w}}  "
+              f"{'baseline':>12}  {'fresh':>12}  {'ratio':>7}  verdict")
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for scheme in sorted(baseline):
+        for trace in sorted(baseline[scheme]):
+            base = baseline[scheme][trace]
+            new = fresh[scheme][trace]
+            if base <= 0.0:
+                print(f"{scheme:<{scheme_w}}  {trace:<{trace_w}}  "
+                      f"{base:>12.3e}  {new:>12.3e}  {'-':>7}  skipped "
+                      "(zero baseline)")
+                continue
+            ratio = new / base
+            verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSED"
+            print(f"{scheme:<{scheme_w}}  {trace:<{trace_w}}  "
+                  f"{base:>12.3e}  {new:>12.3e}  {ratio:>6.2f}x  {verdict}")
+            if verdict != "ok":
+                failures.append((scheme, trace))
+
+    for scheme in sorted(set(fresh) - set(baseline)):
+        print(f"note: scheme '{scheme}' is new (not in baseline), "
+              "not checked")
+
     if failures:
         sys.exit(f"mean sched-time regression >{tolerance:.0%} on: "
                  + ", ".join(f"{s}/{t}" for s, t in failures))

@@ -11,6 +11,17 @@
 #      reference (excluding the wall-clock scheduling-time fields, which
 #      no two runs reproduce).
 #
+# Then exercises the live observability plane:
+#
+#   3. a --metrics daemon is scraped over HTTP (GET /metrics on the same
+#      unix listener) in the middle of a live drain; the reply must be
+#      valid Prometheus text exposition (format-checked line by line,
+#      histogram bucket monotonicity included), and
+#   4. a daemon started WITHOUT --metrics must refuse the metrics op
+#      (bad_state), answer the HTTP scrape with 503, and report
+#      "obs_enabled":false in stats — the disabled hot loop does no
+#      observability work.
+#
 # Usage: scripts/service_smoke.sh [BUILD_DIR]   (default: build)
 
 set -euo pipefail
@@ -125,5 +136,124 @@ assert not diff, f"metrics diverge after recovery: {sorted(diff)}"
 print(f"recovered metrics bit-identical to reference "
       f"({len(ref)} fields compared)")
 EOF
+
+# ---- 5. live metrics scrape mid-drain ---------------------------------------
+echo "== live metrics scrape mid-drain =="
+rm -f "$SOCK"
+# step-delay widens the drain so the scrape reliably lands inside it.
+start_daemon --metrics --step-delay-us 2000
+"$CLIENT" --connect "unix:$SOCK" --op submit-trace --jobs "$JOBS" > /dev/null
+"$CLIENT" --connect "unix:$SOCK" --op drain > /dev/null 2>&1 &
+DRAIN_PID=$!
+sleep 0.3
+if ! kill -0 "$DRAIN_PID" 2>/dev/null; then
+  echo "warning: drain finished before the scrape; endpoint still exercised" >&2
+fi
+# HTTP on the protocol listener. curl when available, python fallback.
+if command -v curl > /dev/null 2>&1; then
+  curl -sf --max-time 10 --unix-socket "$SOCK" http://localhost/metrics \
+    > "$WORK/scrape.txt"
+else
+  python3 - "$SOCK" > "$WORK/scrape.txt" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(10)
+s.connect(sys.argv[1])
+s.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+data = b""
+while chunk := s.recv(65536):
+    data += chunk
+head, _, body = data.partition(b"\r\n\r\n")
+status = head.split(b"\r\n", 1)[0]
+assert b" 200 " in status, f"scrape failed: {status!r}"
+sys.stdout.write(body.decode())
+EOF
+fi
+wait "$DRAIN_PID" 2>/dev/null || true
+python3 - "$WORK/scrape.txt" <<'EOF'
+import re, sys
+from collections import defaultdict
+
+text = open(sys.argv[1]).read()
+assert text.endswith("\n"), "exposition must end with a newline"
+sample_re = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|[+-]?Inf|NaN)$")
+types, samples, buckets = {}, [], defaultdict(list)
+for line in text.splitlines():
+    if not line:
+        continue
+    if line.startswith("#"):
+        m = re.match(r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) ", line)
+        assert m, f"malformed comment line: {line!r}"
+        if m.group(1) == "TYPE":
+            types[m.group(2)] = line.split()[-1]
+        continue
+    m = sample_re.match(line)
+    assert m, f"malformed sample line: {line!r}"
+    name, labels, value = m.groups()
+    samples.append(name)
+    if name.endswith("_bucket"):
+        le = re.search(r'le="([^"]*)"', labels or "")
+        assert le, f"_bucket without le label: {line!r}"
+        buckets[name[:-len("_bucket")]].append(
+            (float("inf") if le.group(1) == "+Inf" else float(le.group(1)),
+             float(value)))
+assert samples, "no samples in the scrape"
+for required in ("jigsaw_cluster_utilization", "jigsaw_queue_depth",
+                 "jigsaw_jobs_running", "jigsaw_frag_free_nodes",
+                 "jigsaw_service_ack_seconds_count"):
+    assert required in samples, f"missing expected series: {required}"
+assert any(t == "histogram" for t in types.values()), "no histogram TYPE"
+for base, series in buckets.items():
+    series.sort()
+    counts = [c for _, c in series]
+    assert counts == sorted(counts), f"{base}: buckets not cumulative"
+    assert series[-1][0] == float("inf"), f"{base}: missing +Inf bucket"
+print(f"valid Prometheus exposition: {len(samples)} samples, "
+      f"{len(buckets)} histograms")
+EOF
+# The metrics op returns the same exposition through the line protocol.
+"$CLIENT" --connect "unix:$SOCK" --op metrics > "$WORK/metrics_op.json"
+grep -q '"format":"prometheus"' "$WORK/metrics_op.json" || {
+  echo "metrics op did not return prometheus payload:" >&2
+  cat "$WORK/metrics_op.json" >&2
+  exit 1
+}
+stop_daemon
+
+# ---- 6. disabled observability must stay disabled ---------------------------
+echo "== disabled-obs daemon =="
+rm -f "$SOCK"
+start_daemon
+"$CLIENT" --connect "unix:$SOCK" --op stats > "$WORK/noobs_stats.json"
+grep -q '"obs_enabled":false' "$WORK/noobs_stats.json" || {
+  echo "disabled-obs daemon did not report obs_enabled:false:" >&2
+  cat "$WORK/noobs_stats.json" >&2
+  exit 1
+}
+if "$CLIENT" --connect "unix:$SOCK" --op metrics > "$WORK/noobs_metrics.json" \
+    2>/dev/null; then
+  echo "metrics op unexpectedly succeeded without --metrics" >&2
+  exit 1
+fi
+grep -q '"error":"bad_state"' "$WORK/noobs_metrics.json" || {
+  echo "metrics op without --metrics did not return bad_state:" >&2
+  cat "$WORK/noobs_metrics.json" >&2
+  exit 1
+}
+python3 - "$SOCK" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(10)
+s.connect(sys.argv[1])
+s.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+data = b""
+while chunk := s.recv(65536):
+    data += chunk
+status = data.split(b"\r\n", 1)[0]
+assert b" 503 " in status, f"expected 503 without --metrics, got {status!r}"
+print("HTTP scrape correctly answers 503 without --metrics")
+EOF
+stop_daemon
 
 echo "service smoke: PASS"

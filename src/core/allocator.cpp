@@ -1,0 +1,43 @@
+#include "core/allocator.hpp"
+
+namespace jigsaw {
+
+const char* blocked_reason_name(BlockedReason reason) {
+  switch (reason) {
+    case BlockedReason::kNone:
+      return "none";
+    case BlockedReason::kOversized:
+      return "oversized";
+    case BlockedReason::kNodeShortage:
+      return "node_shortage";
+    case BlockedReason::kLeafSpread:
+      return "leaf_spread";
+    case BlockedReason::kUplinkIsolation:
+      return "uplink_isolation";
+    case BlockedReason::kBudgetExhausted:
+      return "budget_exhausted";
+  }
+  return "none";
+}
+
+BlockedReason Allocator::diagnose(const ClusterState& state,
+                                  const JobRequest& request) const {
+  if (request.nodes < 1 || request.nodes > state.topo().total_nodes()) {
+    return BlockedReason::kOversized;
+  }
+  if (request.nodes > state.total_free_nodes()) {
+    return BlockedReason::kNodeShortage;
+  }
+  SearchStats stats;
+  if (allocate(state, request, &stats).has_value()) {
+    return BlockedReason::kNone;
+  }
+  if (stats.budget_exhausted) return BlockedReason::kBudgetExhausted;
+  // Without a scheme-specific override we cannot distinguish the node
+  // layout class from the link class; layout is the conservative default
+  // (schemes with no link search, e.g. the first-fit baseline, never
+  // reach here at all — they fail only on node shortage).
+  return BlockedReason::kLeafSpread;
+}
+
+}  // namespace jigsaw

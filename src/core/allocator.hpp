@@ -31,6 +31,28 @@ struct SearchStats {
   bool budget_exhausted = false; ///< search gave up at its step budget
 };
 
+/// Why a placement attempt failed, by §3.2 condition class. The
+/// attribution is observational (diagnose() below) and never feeds back
+/// into placement decisions.
+enum class BlockedReason {
+  kNone = 0,         ///< not blocked (placement exists / succeeded)
+  kOversized,        ///< request exceeds the machine's total node count
+  kNodeShortage,     ///< fewer free healthy nodes than requested
+  /// Node-layout condition class — §3.2 (1)-(3): even with every link
+  /// unconstrained, no admissible spread of the free nodes over
+  /// leaves/subtrees exists under the scheme's shape family.
+  kLeafSpread,
+  /// Link condition class — §3.2 (4)-(6): an admissible node layout
+  /// exists when link occupancy is ignored, but the uplink/spine sets
+  /// held by running jobs (or bandwidth demand, LC+S) reject it.
+  kUplinkIsolation,
+  kBudgetExhausted,  ///< search hit its step budget before a verdict
+};
+
+/// Stable lower-case token for a reason ("leaf_spread", ...), used in
+/// metric names, trace events, and the daemon's job-status op.
+const char* blocked_reason_name(BlockedReason reason);
+
 class Allocator {
  public:
   virtual ~Allocator() = default;
@@ -47,6 +69,18 @@ class Allocator {
                                              const JobRequest& request,
                                              SearchStats* stats = nullptr)
       const = 0;
+
+  /// Explain why allocate() just failed for `request`: classify the
+  /// §3.2 condition class that rejected the best candidate. Purely
+  /// observational — read-only, sequential, and only ever invoked by
+  /// the observability layer on an already-failed head placement, so it
+  /// cannot perturb scheduling decisions or golden determinism. The
+  /// base implementation covers the condition-free classes (oversized,
+  /// node shortage, budget exhaustion); schemes with a link search
+  /// override it to separate kLeafSpread from kUplinkIsolation by
+  /// re-running their probe loop with link occupancy ignored.
+  virtual BlockedReason diagnose(const ClusterState& state,
+                                 const JobRequest& request) const;
 
   /// Install the execution policy for candidate scans. The default (no
   /// pool) is the exact sequential search; with a pool and threads > 1

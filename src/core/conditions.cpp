@@ -9,10 +9,27 @@
 
 namespace jigsaw {
 
+const char* condition_class_name(ConditionClass klass) {
+  switch (klass) {
+    case ConditionClass::kNone:
+      return "none";
+    case ConditionClass::kLayout:
+      return "layout";
+    case ConditionClass::kLinks:
+      return "links";
+  }
+  return "none";
+}
+
 namespace {
 
-ConditionReport fail(const std::string& message) {
-  return ConditionReport{false, message};
+ConditionReport fail(const std::string& message,
+                     ConditionClass klass = ConditionClass::kLayout) {
+  return ConditionReport{false, message, klass};
+}
+
+ConditionReport fail_links(const std::string& message) {
+  return fail(message, ConditionClass::kLinks);
 }
 
 struct Grouped {
@@ -24,7 +41,8 @@ struct Grouped {
 };
 
 bool group(const FatTree& topo, const Allocation& a, Grouped* g,
-           std::string* error) {
+           std::string* error, ConditionClass* klass) {
+  *klass = ConditionClass::kLayout;
   std::set<NodeId> seen_nodes;
   for (const NodeId n : a.nodes) {
     if (n < 0 || n >= topo.total_nodes()) {
@@ -40,6 +58,7 @@ bool group(const FatTree& topo, const Allocation& a, Grouped* g,
     ++g->nodes_per_tree[topo.tree_of_leaf(l)];
     g->trees.insert(topo.tree_of_leaf(l));
   }
+  *klass = ConditionClass::kLinks;
   for (const LeafWire& w : a.leaf_wires) {
     if (w.leaf < 0 || w.leaf >= topo.total_leaves() || w.l2_index < 0 ||
         w.l2_index >= topo.l2_per_tree()) {
@@ -79,7 +98,8 @@ ConditionReport check_full_bandwidth(const FatTree& topo,
   if (a.nodes.empty()) return fail("allocation has no nodes");
   Grouped g;
   std::string error;
-  if (!group(topo, a, &g, &error)) return fail(error);
+  ConditionClass klass = ConditionClass::kNone;
+  if (!group(topo, a, &g, &error, &klass)) return fail(error, klass);
 
   // Condition (1)/(2)/(3): identify nL, the remainder leaf, nT, and the
   // remainder tree; at most one of each, remainder leaf inside remainder
@@ -129,10 +149,10 @@ ConditionReport check_full_bandwidth(const FatTree& topo,
     const int wires =
         it == g.leaf_wire_mask.end() ? 0 : popcount(it->second);
     if (wires != 0 && wires < count) {
-      return fail("balance: single leaf has fewer uplinks than nodes");
+      return fail_links("balance: single leaf has fewer uplinks than nodes");
     }
     if (!g.l2_wire_mask.empty()) {
-      return fail("single-leaf partition must not hold spine links");
+      return fail_links("single-leaf partition must not hold spine links");
     }
     return {};
   }
@@ -148,37 +168,37 @@ ConditionReport check_full_bandwidth(const FatTree& topo,
     const Mask mask = it == g.leaf_wire_mask.end() ? 0 : it->second;
     if (leaf == remainder_leaf) continue;
     if (popcount(mask) < count) {
-      return fail("balance: leaf has fewer uplinks than nodes");
+      return fail_links("balance: leaf has fewer uplinks than nodes");
     }
     if (!s_known) {
       s_set = mask;
       s_known = true;
     } else if (mask != s_set) {
-      return fail("condition 4/5: full leaves use differing L2 sets");
+      return fail_links("condition 4/5: full leaves use differing L2 sets");
     }
   }
   if (remainder_leaf >= 0) {
     const auto it = g.leaf_wire_mask.find(remainder_leaf);
     const Mask mask = it == g.leaf_wire_mask.end() ? 0 : it->second;
     if (popcount(mask) != nrl) {
-      return fail("balance: remainder leaf uplinks != its node count");
+      return fail_links("balance: remainder leaf uplinks != its node count");
     }
     if (!subset_of(mask, s_set)) {
-      return fail("condition 4: remainder leaf set Sr not a subset of S");
+      return fail_links("condition 4: remainder leaf set Sr not a subset of S");
     }
   }
   // Every leaf wire must belong to an allocated leaf.
   for (const auto& [leaf, mask] : g.leaf_wire_mask) {
     (void)mask;
     if (g.nodes_per_leaf.find(leaf) == g.nodes_per_leaf.end()) {
-      return fail("leaf wire on a leaf with no allocated nodes");
+      return fail_links("leaf wire on a leaf with no allocated nodes");
     }
   }
 
   // Condition (6): spine sets. Single-subtree partitions use no spines.
   if (g.trees.size() == 1) {
     if (!g.l2_wire_mask.empty()) {
-      return fail("single-subtree partition must not hold spine links");
+      return fail_links("single-subtree partition must not hold spine links");
     }
     return {};
   }
@@ -186,10 +206,10 @@ ConditionReport check_full_bandwidth(const FatTree& topo,
   for (const auto& [key, mask] : g.l2_wire_mask) {
     (void)mask;
     if (g.nodes_per_tree.find(key.first) == g.nodes_per_tree.end()) {
-      return fail("L2 wire in a subtree with no allocated nodes");
+      return fail_links("L2 wire in a subtree with no allocated nodes");
     }
     if (!has_bit(s_set, key.second)) {
-      return fail("condition 6: spine links on an L2 switch outside S");
+      return fail_links("condition 6: spine links on an L2 switch outside S");
     }
   }
 
@@ -207,14 +227,14 @@ ConditionReport check_full_bandwidth(const FatTree& topo,
         std::ostringstream msg;
         msg << "balance: subtree " << t << " L2[" << i << "] has "
             << popcount(mask) << " spine links, expected " << lt;
-        return fail(msg.str());
+        return fail_links(msg.str());
       }
     }
     if (!star_known) {
       s_star = this_tree;
       star_known = true;
     } else if (this_tree != s_star) {
-      return fail("condition 6: full subtrees use differing spine sets S*_i");
+      return fail_links("condition 6: full subtrees use differing spine sets S*_i");
     }
   }
   if (remainder_tree >= 0) {
@@ -231,11 +251,11 @@ ConditionReport check_full_bandwidth(const FatTree& topo,
           }();
       const int expected = rem_full_leaves + (serves_remainder_leaf ? 1 : 0);
       if (popcount(mask) != expected) {
-        return fail(
+        return fail_links(
             "balance: remainder subtree L2 spine links != leaves served");
       }
       if (!subset_of(mask, star)) {
-        return fail("condition 6: S*r_i not a subset of S*_i");
+        return fail_links("condition 6: S*r_i not a subset of S*_i");
       }
     }
   }
@@ -250,11 +270,12 @@ ConditionReport check_high_utilization(const FatTree& topo,
   }
   Grouped g;
   std::string error;
-  if (!group(topo, a, &g, &error)) return fail(error);
+  ConditionClass klass = ConditionClass::kNone;
+  if (!group(topo, a, &g, &error, &klass)) return fail(error, klass);
 
   if (g.nodes_per_leaf.size() == 1) {
     if (!a.leaf_wires.empty() || !a.l2_wires.empty()) {
-      return fail("single-leaf job must not consume links");
+      return fail_links("single-leaf job must not consume links");
     }
     return {};
   }
@@ -263,11 +284,11 @@ ConditionReport check_high_utilization(const FatTree& topo,
     const auto it = g.leaf_wire_mask.find(leaf);
     const int wires = it == g.leaf_wire_mask.end() ? 0 : popcount(it->second);
     if (wires != count) {
-      return fail("leaf uplinks not minimal (uplinks != nodes on leaf)");
+      return fail_links("leaf uplinks not minimal (uplinks != nodes on leaf)");
     }
   }
   if (g.trees.size() == 1 && !a.l2_wires.empty()) {
-    return fail("single-subtree job must not consume spine links");
+    return fail_links("single-subtree job must not consume spine links");
   }
   return {};
 }

@@ -22,9 +22,21 @@
 
 namespace jigsaw {
 
+/// Which §3.2 condition class a violation belongs to. Layout covers the
+/// node-spread conditions (1)-(3) and malformed resource sets; links
+/// covers the uplink/spine-set conditions (4)-(6) and link balance.
+enum class ConditionClass {
+  kNone = 0,  ///< no violation
+  kLayout,
+  kLinks,
+};
+
+const char* condition_class_name(ConditionClass klass);
+
 struct ConditionReport {
   bool ok = true;
   std::string error;  ///< first violated condition, empty when ok
+  ConditionClass klass = ConditionClass::kNone;
 
   explicit operator bool() const { return ok; }
 };

@@ -4,8 +4,7 @@
 
 namespace jigsaw {
 
-FragmentationReport analyze_fragmentation(const ClusterState& state,
-                                          const Allocator& allocator) {
+FragmentationReport structural_fragmentation(const ClusterState& state) {
   const FatTree& topo = state.topo();
   FragmentationReport report;
   report.free_nodes = state.total_free_nodes();
@@ -21,6 +20,13 @@ FragmentationReport analyze_fragmentation(const ClusterState& state,
       ++report.fully_free_trees;
     }
   }
+  return report;
+}
+
+FragmentationReport analyze_fragmentation(const ClusterState& state,
+                                          const Allocator& allocator) {
+  const FatTree& topo = state.topo();
+  FragmentationReport report = structural_fragmentation(state);
 
   if (report.free_nodes == 0) return report;
 

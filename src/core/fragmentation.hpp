@@ -34,6 +34,12 @@ struct FragmentationReport {
   double external_fragmentation = 0.0;
 };
 
+/// The structural counts alone — free nodes, fully-free leaves/subtrees,
+/// per-leaf free histogram — without the allocate-probe bisection.
+/// O(leaves) index reads, cheap enough for a per-scrape metrics gauge;
+/// largest_placeable/external_fragmentation stay zero.
+FragmentationReport structural_fragmentation(const ClusterState& state);
+
 FragmentationReport analyze_fragmentation(const ClusterState& state,
                                           const Allocator& allocator);
 

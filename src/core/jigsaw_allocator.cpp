@@ -35,6 +35,35 @@ std::optional<Allocation> JigsawAllocator::allocate(
   if (request.nodes > state.total_free_nodes()) return std::nullopt;
 
   const LinkView view{&state, 0.0};
+  return search(state, view, exec_, request, stats);
+}
+
+BlockedReason JigsawAllocator::diagnose(const ClusterState& state,
+                                        const JobRequest& request) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
+    return BlockedReason::kOversized;
+  }
+  if (request.nodes > state.total_free_nodes()) {
+    return BlockedReason::kNodeShortage;
+  }
+  // Same probe loop, links unconstrained, sequential: a placement found
+  // here but not by allocate() was rejected by the link conditions.
+  const LinkView view = LinkView::links_unconstrained(&state);
+  SearchStats stats;
+  if (search(state, view, SearchExec{}, request, &stats).has_value()) {
+    return BlockedReason::kUplinkIsolation;
+  }
+  if (stats.budget_exhausted) return BlockedReason::kBudgetExhausted;
+  return BlockedReason::kLeafSpread;
+}
+
+std::optional<Allocation> JigsawAllocator::search(const ClusterState& state,
+                                                 const LinkView& view,
+                                                 const SearchExec& exec,
+                                                 const JobRequest& request,
+                                                 SearchStats* stats) const {
+  const FatTree& topo = state.topo();
   std::uint64_t budget = step_budget_;
   auto record = [&](bool exhausted) {
     if (stats != nullptr) {
@@ -47,7 +76,7 @@ std::optional<Allocation> JigsawAllocator::allocate(
   // after its first success, so the winning lane's slot still holds the
   // winning pick when the scan returns. Sequential scans use the lone
   // stack slot — no per-lane storage, no heap traffic.
-  const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
+  const std::size_t lanes = static_cast<std::size_t>(exec.lanes());
 
   // Pass 1: single-subtree (two-level) allocations, densest shape first,
   // fullest subtree first. The candidate order is the flat (shape-major,
@@ -63,7 +92,7 @@ std::optional<Allocation> JigsawAllocator::allocate(
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
     const FirstFeasible r = first_feasible(
-        exec_, shapes2.size() * n_trees, budget,
+        exec, shapes2.size() * n_trees, budget,
         [&](int lane, std::size_t i, std::uint64_t& b) {
           return find_two_level(state, view, shapes2[i / n_trees],
                                 tree_order[i % n_trees], b, &pick_for(lane));
@@ -91,7 +120,7 @@ std::optional<Allocation> JigsawAllocator::allocate(
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
     const FirstFeasible r = first_feasible(
-        exec_, shapes3.size(), budget,
+        exec, shapes3.size(), budget,
         [&](int lane, std::size_t i, std::uint64_t& b) {
           return find_three_level_full_leaves(state, view, shapes3[i], b,
                                               &pick_for(lane));

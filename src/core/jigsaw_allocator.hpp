@@ -19,6 +19,8 @@
 
 namespace jigsaw {
 
+struct LinkView;
+
 class JigsawAllocator final : public Allocator {
  public:
   /// `step_budget` bounds the backtracking search per request; the search
@@ -34,7 +36,22 @@ class JigsawAllocator final : public Allocator {
                                      const JobRequest& request,
                                      SearchStats* stats = nullptr) const override;
 
+  /// §3.2 condition-class attribution: re-runs the same two-pass probe
+  /// loop with link occupancy ignored to split kLeafSpread from
+  /// kUplinkIsolation. Read-only; used by the observability layer only.
+  BlockedReason diagnose(const ClusterState& state,
+                         const JobRequest& request) const override;
+
  private:
+  /// The two-pass probe loop, parameterized over the availability lens
+  /// and execution policy so allocate() (live view, installed exec) and
+  /// diagnose() (links-unconstrained view, sequential) share one search.
+  std::optional<Allocation> search(const ClusterState& state,
+                                   const LinkView& view,
+                                   const SearchExec& exec,
+                                   const JobRequest& request,
+                                   SearchStats* stats) const;
+
   std::uint64_t step_budget_;
 };
 

@@ -9,19 +9,21 @@ namespace jigsaw {
 
 namespace {
 
-/// Spine-index bundles free in tree t: bit j set when the wire to spine j
-/// is free from *every* L2 switch of the tree. Under whole-leaf operation
-/// bundles are claimed and released atomically, so this is exact.
-Mask free_bundles(const ClusterState& state, TreeId t) {
-  return state.free_l2_up_all(t);
+/// Spine-index bundles available in tree t under `view`: bit j set when
+/// the wire to spine j is available from *every* L2 switch of the tree.
+/// Under whole-leaf operation bundles are claimed and released
+/// atomically, so the live view's index read is exact.
+Mask free_bundles(const LinkView& view, TreeId t) {
+  return view.l2_up_all(t);
 }
 
-/// Lowest `count` fully-free leaves of tree t (whole-leaf grants need the
-/// uplinks too, which free leaves always have under whole-leaf operation).
-/// Reads the fully-free-leaf index; the uplink check stays for degraded
-/// trees, where a node-fully-free leaf can have failed uplink wires.
-std::vector<LeafId> free_leaves(const ClusterState& state, TreeId t,
-                                int count) {
+/// Lowest `count` fully-free leaves of tree t whose uplinks are all
+/// available under `view` (whole-leaf grants need the uplinks too, which
+/// free leaves always have under whole-leaf operation). The uplink check
+/// stays for degraded trees, where a node-fully-free leaf can have
+/// failed uplink wires.
+std::vector<LeafId> free_leaves(const ClusterState& state,
+                                const LinkView& view, TreeId t, int count) {
   std::vector<LeafId> out;
   const FatTree& topo = state.topo();
   const Mask all_up = low_bits(topo.l2_per_tree());
@@ -30,7 +32,7 @@ std::vector<LeafId> free_leaves(const ClusterState& state, TreeId t,
     const int li = lowest_bit(fully_free);
     fully_free &= fully_free - 1;
     const LeafId l = topo.leaf_id(t, li);
-    if (state.free_leaf_up(l) == all_up) out.push_back(l);
+    if (view.leaf_up(l) == all_up) out.push_back(l);
   }
   if (static_cast<int>(out.size()) < count) out.clear();
   return out;
@@ -56,6 +58,7 @@ void take_bundles(const ClusterState& state, TreeId t, Mask bundles,
 
 struct LaasCtx {
   const ClusterState* state;
+  const LinkView* view;
   int per_tree;   ///< c: leaves per full subtree
   int full;       ///< q: full subtrees
   int remainder;  ///< cr: leaves in the remainder subtree
@@ -71,7 +74,8 @@ bool laas_complete(LaasCtx& ctx, Mask inter) {
   const Mask j_set = lowest_n_bits(inter, ctx.per_tree);
   Allocation staged = *ctx.out;  // header fields already populated
   for (const TreeId t : ctx.chosen) {
-    for (const LeafId l : free_leaves(*ctx.state, t, ctx.per_tree)) {
+    for (const LeafId l : free_leaves(*ctx.state, *ctx.view, t,
+                                      ctx.per_tree)) {
       take_whole_leaf(*ctx.state, l, &staged);
     }
     take_bundles(*ctx.state, t, j_set, &staged);
@@ -86,15 +90,18 @@ bool laas_complete(LaasCtx& ctx, Mask inter) {
           ctx.chosen.end()) {
         continue;
       }
-      const Mask b = free_bundles(*ctx.state, tr) & j_set;
+      const Mask b = free_bundles(*ctx.view, tr) & j_set;
       if (popcount(b) < ctx.remainder) continue;
-      if (free_leaves(*ctx.state, tr, ctx.remainder).empty()) continue;
+      if (free_leaves(*ctx.state, *ctx.view, tr, ctx.remainder).empty()) {
+        continue;
+      }
       found = tr;
       jr = lowest_n_bits(b, ctx.remainder);
       break;
     }
     if (found < 0) return false;
-    for (const LeafId l : free_leaves(*ctx.state, found, ctx.remainder)) {
+    for (const LeafId l : free_leaves(*ctx.state, *ctx.view, found,
+                                      ctx.remainder)) {
       take_whole_leaf(*ctx.state, l, &staged);
     }
     take_bundles(*ctx.state, found, jr, &staged);
@@ -131,6 +138,38 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
   if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
     return std::nullopt;
   }
+  const LinkView view{&state, 0.0};
+  return search(state, view, exec_, request, stats);
+}
+
+BlockedReason LaasAllocator::diagnose(const ClusterState& state,
+                                      const JobRequest& request) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
+    return BlockedReason::kOversized;
+  }
+  if (request.nodes > state.total_free_nodes()) {
+    return BlockedReason::kNodeShortage;
+  }
+  // Same probe loop, links unconstrained, sequential: a placement found
+  // here but not by allocate() was rejected by the link conditions.
+  // LaaS's whole-leaf rounding constraints count as layout — they bind
+  // identically under both views.
+  const LinkView view = LinkView::links_unconstrained(&state);
+  SearchStats stats;
+  if (search(state, view, SearchExec{}, request, &stats).has_value()) {
+    return BlockedReason::kUplinkIsolation;
+  }
+  if (stats.budget_exhausted) return BlockedReason::kBudgetExhausted;
+  return BlockedReason::kLeafSpread;
+}
+
+std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
+                                               const LinkView& view,
+                                               const SearchExec& exec,
+                                               const JobRequest& request,
+                                               SearchStats* stats) const {
+  const FatTree& topo = state.topo();
   const int m1 = topo.nodes_per_leaf();
   const int m2 = topo.leaves_per_tree();
   const int m3 = topo.trees();
@@ -147,7 +186,6 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
   // Single-subtree allocations first: LaaS's native two-level conditions
   // (shared with Jigsaw) place exact node counts — no rounding. Fullest
   // subtree first, keeping whole subtrees available for spanning jobs.
-  const LinkView view{&state, 0.0};
   std::vector<TreeId> tree_order(static_cast<std::size_t>(m3));
   std::iota(tree_order.begin(), tree_order.end(), 0);
   std::stable_sort(tree_order.begin(), tree_order.end(),
@@ -155,7 +193,7 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
                      return state.tree_free_nodes(a) <
                             state.tree_free_nodes(b);
                    });
-  const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
+  const std::size_t lanes = static_cast<std::size_t>(exec.lanes());
   const auto shapes2 = two_level_shapes(request.nodes, topo);
   {
     const std::size_t n_trees = tree_order.size();
@@ -166,7 +204,7 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
     const FirstFeasible r = first_feasible(
-        exec_, shapes2.size() * n_trees, budget,
+        exec, shapes2.size() * n_trees, budget,
         [&](int lane, std::size_t i, std::uint64_t& b) {
           return find_two_level(state, view, shapes2[i / n_trees],
                                 tree_order[i % n_trees], b, &pick_for(lane));
@@ -196,7 +234,7 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
                                  : lane_allocs[static_cast<std::size_t>(lane)];
     };
     const FirstFeasible r = first_feasible(
-        exec_, cmax > 0 ? static_cast<std::size_t>(cmax) : 0, budget,
+        exec, cmax > 0 ? static_cast<std::size_t>(cmax) : 0, budget,
         [&](int lane, std::size_t k, std::uint64_t& b) {
           const int c = cmax - static_cast<int>(k);
           const int q = leaves_needed / c;
@@ -204,10 +242,10 @@ std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
           if (q < 1 || q + (cr > 0 ? 1 : 0) < 2) return false;
           if (q + (cr > 0 ? 1 : 0) > m3) return false;
 
-          LaasCtx ctx{&state, c, q, cr, {}, {}, {}, &b, nullptr};
+          LaasCtx ctx{&state, &view, c, q, cr, {}, {}, {}, &b, nullptr};
           for (TreeId t = 0; t < m3; ++t) {
-            if (free_leaves(state, t, c).empty()) continue;
-            const Mask bundles = free_bundles(state, t);
+            if (free_leaves(state, view, t, c).empty()) continue;
+            const Mask bundles = free_bundles(view, t);
             if (popcount(bundles) < c) continue;
             ctx.cand.push_back(t);
             ctx.cand_bundles.push_back(bundles);

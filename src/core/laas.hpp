@@ -21,6 +21,8 @@
 
 namespace jigsaw {
 
+struct LinkView;
+
 class LaasAllocator final : public Allocator {
  public:
   explicit LaasAllocator(std::uint64_t step_budget = 1ull << 24)
@@ -33,7 +35,21 @@ class LaasAllocator final : public Allocator {
                                      const JobRequest& request,
                                      SearchStats* stats = nullptr) const override;
 
+  /// §3.2 condition-class attribution: re-runs the two-level pass and the
+  /// whole-leaf width scan with link occupancy ignored to split
+  /// kLeafSpread from kUplinkIsolation. Read-only.
+  BlockedReason diagnose(const ClusterState& state,
+                         const JobRequest& request) const override;
+
  private:
+  /// The probe loop shared by allocate() (live view, installed exec) and
+  /// diagnose() (links-unconstrained view, sequential).
+  std::optional<Allocation> search(const ClusterState& state,
+                                   const LinkView& view,
+                                   const SearchExec& exec,
+                                   const JobRequest& request,
+                                   SearchStats* stats) const;
+
   std::uint64_t step_budget_;
 };
 

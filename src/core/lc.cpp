@@ -330,7 +330,37 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
   if (request.nodes > state.total_free_nodes()) return std::nullopt;
 
   const double demand = share_links_ ? request.bandwidth : 0.0;
-  const LinkView view{&state, demand};
+  return search(state, demand, /*ignore_links=*/false, exec_, request, stats);
+}
+
+BlockedReason LeastConstrainedAllocator::diagnose(
+    const ClusterState& state, const JobRequest& request) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
+    return BlockedReason::kOversized;
+  }
+  if (request.nodes > state.total_free_nodes()) {
+    return BlockedReason::kNodeShortage;
+  }
+  // Same probe loop, links (and demand) unconstrained, sequential: a
+  // placement found here but not by allocate() was rejected by the link
+  // conditions.
+  SearchStats stats;
+  if (search(state, 0.0, /*ignore_links=*/true, SearchExec{}, request, &stats)
+          .has_value()) {
+    return BlockedReason::kUplinkIsolation;
+  }
+  if (stats.budget_exhausted) return BlockedReason::kBudgetExhausted;
+  return BlockedReason::kLeafSpread;
+}
+
+std::optional<Allocation> LeastConstrainedAllocator::search(
+    const ClusterState& state, double demand, bool ignore_links,
+    const SearchExec& exec, const JobRequest& request,
+    SearchStats* stats) const {
+  const FatTree& topo = state.topo();
+  const LinkView view = ignore_links ? LinkView::links_unconstrained(&state)
+                                     : LinkView{&state, demand};
   std::uint64_t budget = step_budget_;
   auto record = [&](bool exhausted) {
     if (stats != nullptr) {
@@ -343,7 +373,7 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
   // residual memo is mutable per-view state, so concurrent lanes need
   // their own (each memoizes identical values — pure functions of the
   // frozen state). The zero-demand view is stateless and shared.
-  const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
+  const std::size_t lanes = static_cast<std::size_t>(exec.lanes());
   std::vector<LinkView> lane_views;
   if (lanes > 1 && demand > 0.0) {
     lane_views.reserve(lanes);
@@ -364,7 +394,7 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
     const FirstFeasible r = first_feasible(
-        exec_, shapes2.size() * n_trees, budget,
+        exec, shapes2.size() * n_trees, budget,
         [&](int lane, std::size_t i, std::uint64_t& b) {
           return find_two_level(state, view_for(lane), shapes2[i / n_trees],
                                 static_cast<TreeId>(i % n_trees), b,
@@ -411,7 +441,7 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
     const std::vector<Mask> all(static_cast<std::size_t>(topo.l2_per_tree()),
                                 low_bits(topo.spines_per_group()));
     const FirstFeasible r = first_feasible(
-        exec_, shapes3.size(), budget,
+        exec, shapes3.size(), budget,
         [&](int lane, std::size_t si, std::uint64_t& b) {
           const ThreeLevelShape& shape = shapes3[si];
           // Node-count feasibility screen: enough trees must hold enough

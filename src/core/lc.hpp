@@ -20,6 +20,8 @@
 
 namespace jigsaw {
 
+struct LinkView;
+
 class LeastConstrainedAllocator final : public Allocator {
  public:
   /// With `share_links`, requests' bandwidth demands are honored against
@@ -41,7 +43,20 @@ class LeastConstrainedAllocator final : public Allocator {
                                      const JobRequest& request,
                                      SearchStats* stats = nullptr) const override;
 
+  /// §3.2 condition-class attribution: re-runs the two-level and general
+  /// three-level probe loops with link occupancy (and bandwidth demand)
+  /// ignored to split kLeafSpread from kUplinkIsolation. Read-only.
+  BlockedReason diagnose(const ClusterState& state,
+                         const JobRequest& request) const override;
+
  private:
+  /// The probe loop shared by allocate() (live availability lens,
+  /// installed exec) and diagnose() (links-unconstrained, sequential).
+  std::optional<Allocation> search(const ClusterState& state, double demand,
+                                   bool ignore_links, const SearchExec& exec,
+                                   const JobRequest& request,
+                                   SearchStats* stats) const;
+
   bool share_links_;
   std::uint64_t step_budget_;
 };

@@ -20,11 +20,25 @@ namespace jigsaw {
 /// Availability lens over the cluster state. demand == 0 gives the
 /// exclusive-wire view (Jigsaw/LaaS); demand > 0 the bandwidth-share view
 /// (LC+S), where a wire is available when its residual covers the demand.
+/// A third mode — links_unconstrained() — ignores link *occupancy*
+/// entirely (every healthy wire reads as available) and exists only for
+/// blocked-reason diagnosis: a scheme whose search succeeds under it but
+/// failed under the real view was rejected by the §3.2 link conditions,
+/// not by node layout.
 struct LinkView {
   const ClusterState* state;
   double demand = 0.0;
+  bool ignore_links = false;
 
   LinkView(const ClusterState* s, double d) : state(s), demand(d) {}
+
+  /// Diagnostic view: link occupancy (and bandwidth demand) ignored;
+  /// only hardware health still constrains wires.
+  static LinkView links_unconstrained(const ClusterState* s) {
+    LinkView v{s, 0.0};
+    v.ignore_links = true;
+    return v;
+  }
 
   /// Lazy memo for the bandwidth-filtered masks (demand > 0 only): a view
   /// lives within one search over a frozen state, so each residual scan
@@ -36,6 +50,7 @@ struct LinkView {
   mutable std::vector<char> l2_known_;
 
   Mask leaf_up(LeafId l) const {
+    if (ignore_links) return state->healthy_leaf_up(l);
     if (demand <= 0.0) return state->free_leaf_up(l);
     if (leaf_known_.empty()) {
       leaf_known_.assign(
@@ -50,6 +65,7 @@ struct LinkView {
     return leaf_memo_[k];
   }
   Mask l2_up(TreeId t, int l2_index) const {
+    if (ignore_links) return state->healthy_l2_up(t, l2_index);
     if (demand <= 0.0) return state->free_l2_up(t, l2_index);
     const int w2 = state->topo().l2_per_tree();
     if (l2_known_.empty()) {
@@ -69,6 +85,18 @@ struct LinkView {
   bool leaf_fully_available(LeafId l) const {
     return state->leaf_fully_free(l) &&
            leaf_up(l) == low_bits(state->topo().l2_per_tree());
+  }
+
+  /// Spine availability common to every L2 group of a subtree (the
+  /// LaaS bundle screen). The zero-demand live view keeps its O(1)
+  /// index read; other modes intersect per-group masks.
+  Mask l2_up_all(TreeId t) const {
+    if (!ignore_links && demand <= 0.0) return state->free_l2_up_all(t);
+    Mask common = low_bits(state->topo().spines_per_group());
+    for (int i = 0; i < state->topo().l2_per_tree(); ++i) {
+      common &= l2_up(t, i);
+    }
+    return common;
   }
 };
 

@@ -196,4 +196,44 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
   return a;
 }
 
+BlockedReason TaAllocator::diagnose(const ClusterState& state,
+                                    const JobRequest& request) const {
+  const FatTree& topo = state.topo();
+  if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
+    return BlockedReason::kOversized;
+  }
+  if (request.nodes > state.total_free_nodes()) {
+    return BlockedReason::kNodeShortage;
+  }
+  const int m1 = topo.nodes_per_leaf();
+  const int tree_capacity = m1 * topo.leaves_per_tree();
+
+  if (request.nodes <= m1) {
+    // Intra-leaf tier: does any leaf hold enough free nodes once the
+    // implicit uplink reservations are ignored?
+    for (LeafId l = 0; l < topo.total_leaves(); ++l) {
+      if (state.free_node_count(l) >= request.nodes) {
+        return BlockedReason::kUplinkIsolation;
+      }
+    }
+    return BlockedReason::kLeafSpread;
+  }
+
+  if (request.nodes <= tree_capacity) {
+    // Intra-subtree tier: does any subtree hold enough free nodes once
+    // the reserved-leaf exclusions are ignored?
+    for (TreeId t = 0; t < topo.trees(); ++t) {
+      if (state.tree_free_nodes(t) >= request.nodes) {
+        return BlockedReason::kUplinkIsolation;
+      }
+    }
+    return BlockedReason::kLeafSpread;
+  }
+
+  // Cross-subtree tier: raw free-node capacity suffices (the shortage
+  // check above passed), so only the implicit spine/uplink reservations
+  // can be excluding trees or leaves.
+  return BlockedReason::kUplinkIsolation;
+}
+
 }  // namespace jigsaw

@@ -34,6 +34,13 @@ class TaAllocator final : public Allocator {
   std::optional<Allocation> allocate(const ClusterState& state,
                                      const JobRequest& request,
                                      SearchStats* stats = nullptr) const override;
+
+  /// Condition-class attribution mirroring the three placement tiers:
+  /// a tier that would admit the job once implicit uplink/spine
+  /// reservations are ignored reports kUplinkIsolation; a tier short on
+  /// raw node capacity reports kLeafSpread. Read-only.
+  BlockedReason diagnose(const ClusterState& state,
+                         const JobRequest& request) const override;
 };
 
 }  // namespace jigsaw

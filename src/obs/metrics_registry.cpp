@@ -12,14 +12,6 @@ namespace jigsaw::obs {
 
 namespace {
 
-constexpr int kExpOffset = 32;  // bucket 1 covers [2^-32, 2^-31)
-
-int bucket_of(double value) {
-  if (!(value > 0.0)) return 0;
-  const int e = static_cast<int>(std::floor(std::log2(value)));
-  return std::clamp(e + kExpOffset + 1, 1, Histogram::kBuckets - 1);
-}
-
 void print_double(std::ostream& out, double v) {
   if (!std::isfinite(v)) {
     out << (std::isnan(v) ? "null" : (v > 0 ? "1e308" : "-1e308"));
@@ -31,45 +23,6 @@ void print_double(std::ostream& out, double v) {
 }
 
 }  // namespace
-
-void Histogram::add(double value) {
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
-  ++count_;
-  sum_ += value;
-  ++buckets_[bucket_of(value)];
-}
-
-double Histogram::bucket_lo(int bucket) {
-  if (bucket <= 0) return 0.0;
-  return std::ldexp(1.0, bucket - 1 - kExpOffset);
-}
-
-double Histogram::bucket_hi(int bucket) {
-  if (bucket <= 0) return std::ldexp(1.0, -kExpOffset);
-  return std::ldexp(1.0, bucket - kExpOffset);
-}
-
-double Histogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  const double rank = p / 100.0 * static_cast<double>(count_);
-  std::uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (static_cast<double>(seen) >= rank) {
-      // Geometric midpoint of the bucket, clamped to observed extremes.
-      const double mid =
-          b == 0 ? min_ : std::sqrt(bucket_lo(b) * bucket_hi(b));
-      return std::clamp(mid, min_, max_);
-    }
-  }
-  return max_;
-}
 
 void MetricsRegistry::check_unique(const std::string& name, int kind) const {
   const bool clash = (kind != 0 && counters_.count(name) != 0) ||

@@ -6,11 +6,14 @@
 // The registry owns every metric; handles stay valid for the registry's
 // lifetime (std::map nodes never move).
 //
-// Histograms use power-of-two exponential buckets covering 2^-32 .. 2^32
-// (sub-nanosecond timings through billions of search steps) plus an
-// underflow bucket for zero/negative values, and track exact count / sum /
-// min / max alongside, so means are exact and percentiles are
-// bucket-resolution estimates.
+// Histograms are the lock-free log2 HdrHistogram (obs/hdr_histogram.hpp):
+// power-of-two exponential buckets covering 2^-32 .. 2^32 plus an
+// underflow bucket, with exact count / sum / min / max alongside, so
+// means are exact and percentiles are bucket-resolution estimates.
+// Because increments are relaxed atomics, a handle can be shared across
+// threads (bench client threads, probe lanes) without a lock. The
+// registry itself (find-or-create, snapshot) is not thread-safe: resolve
+// handles up front, mutate them from anywhere.
 
 #pragma once
 
@@ -18,6 +21,8 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+
+#include "obs/hdr_histogram.hpp"
 
 namespace jigsaw::obs {
 
@@ -39,36 +44,7 @@ class Gauge {
   double value_ = 0.0;
 };
 
-class Histogram {
- public:
-  /// Bucket 0 catches v <= 0; bucket 1+k covers [2^(k-32), 2^(k-31)).
-  static constexpr int kBuckets = 66;
-
-  void add(double value);
-
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
-  double mean() const {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
-  }
-  std::uint64_t bucket_count(int bucket) const { return buckets_[bucket]; }
-  /// Inclusive-lower bound of a bucket; bucket 0 has lower bound 0.
-  static double bucket_lo(int bucket);
-  static double bucket_hi(int bucket);
-
-  /// Bucket-resolution percentile estimate (geometric bucket midpoint),
-  /// clamped to the observed [min, max]; p in [0, 100].
-  double percentile(double p) const;
-
- private:
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
+using Histogram = HdrHistogram;
 
 class MetricsRegistry {
  public:
@@ -82,6 +58,13 @@ class MetricsRegistry {
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+
+  /// Read-only iteration, for exporters (JSON snapshot, Prometheus).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   /// Pretty-printed JSON snapshot:
   ///   {"counters": {...}, "gauges": {...}, "histograms": {name:

@@ -1,0 +1,87 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics_registry.hpp"
+
+namespace jigsaw::obs {
+
+namespace {
+
+constexpr char kNamespace[] = "jigsaw_";
+
+void print_value(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char ch : name) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    const bool ok = std::isalnum(c) != 0 || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry) {
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string n = kNamespace + prometheus_name(name) + "_total";
+    out << "# TYPE " << n << " counter\n";
+    out << n << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string n = kNamespace + prometheus_name(name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << ' ';
+    print_value(out, g.value());
+    out << '\n';
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string n = kNamespace + prometheus_name(name);
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t in_bucket = h.bucket_count(b);
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      out << n << "_bucket{le=\"";
+      print_value(out, Histogram::bucket_hi(b));
+      out << "\"} " << cumulative << '\n';
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+    out << n << "_sum ";
+    print_value(out, h.sum());
+    out << '\n';
+    out << n << "_count " << h.count() << '\n';
+  }
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  write_prometheus(out, registry);
+  return out.str();
+}
+
+}  // namespace jigsaw::obs

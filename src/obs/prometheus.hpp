@@ -1,0 +1,29 @@
+// Prometheus text exposition (version 0.0.4) rendering of a
+// MetricsRegistry snapshot.
+//
+// Metric names are sanitized for Prometheus ([a-zA-Z0-9_:] only, so the
+// registry's dotted names map 1:1 onto underscored ones) and prefixed
+// with "jigsaw_". Counters gain the conventional "_total" suffix;
+// histograms expose the cumulative "_bucket{le=...}" series plus "_sum"
+// and "_count". The output is what the daemon serves on its `metrics`
+// op and `GET /metrics` endpoint, so any Prometheus scraper — or plain
+// curl — can watch a live drain.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace jigsaw::obs {
+
+class MetricsRegistry;
+
+/// Sanitized metric name: invalid characters become '_'; a leading
+/// digit gains a '_' prefix. Does NOT add the "jigsaw_" namespace.
+std::string prometheus_name(const std::string& name);
+
+/// Render the whole registry in Prometheus text exposition format.
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry);
+std::string prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace jigsaw::obs

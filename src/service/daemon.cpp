@@ -7,7 +7,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/fragmentation.hpp"
 #include "fault/failure_schedule.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
 #include "util/stats.hpp"
 
@@ -145,7 +148,11 @@ void ServiceDaemon::on_grant(double now, const Allocation& alloc) {
   }
   const auto it = submit_wall_.find(alloc.job);
   if (it != submit_wall_.end()) {
-    grant_latencies_.push_back(wall_elapsed() - it->second);
+    const double latency = wall_elapsed() - it->second;
+    grant_latencies_.push_back(latency);
+    if (grant_latency_seconds_ != nullptr) {
+      grant_latency_seconds_->add(latency);
+    }
     submit_wall_.erase(it);
   }
   if (wal_.is_open()) {
@@ -157,9 +164,15 @@ void ServiceDaemon::on_grant(double now, const Allocation& alloc) {
     wal_append(WalRecordType::kGrant, payload, &error);
   }
   if (config_.obs.tracing()) {
-    config_.obs.emit(obs::instant("service", "service.grant", now)
-                         .arg("job", static_cast<std::int64_t>(alloc.job))
-                         .arg("nodes", static_cast<std::int64_t>(f.nodes)));
+    obs::TraceEvent e =
+        obs::instant("service", "service.grant", now)
+            .arg("job", static_cast<std::int64_t>(alloc.job))
+            .arg("nodes", static_cast<std::int64_t>(f.nodes));
+    const auto cit = corr_.find(alloc.job);
+    if (cit != corr_.end()) {
+      e.arg("corr", static_cast<std::int64_t>(cit->second));
+    }
+    config_.obs.emit(e);
   }
 }
 
@@ -176,18 +189,29 @@ void ServiceDaemon::on_release(double now, JobId job, bool completed) {
     wal_append(WalRecordType::kRelease, payload, &error);
   }
   if (config_.obs.tracing()) {
-    config_.obs.emit(obs::instant("service", "service.release", now)
-                         .arg("job", static_cast<std::int64_t>(job))
-                         .arg("completed",
-                              static_cast<std::int64_t>(completed ? 1 : 0)));
+    obs::TraceEvent e =
+        obs::instant("service", "service.release", now)
+            .arg("job", static_cast<std::int64_t>(job))
+            .arg("completed", static_cast<std::int64_t>(completed ? 1 : 0));
+    const auto cit = corr_.find(job);
+    if (cit != corr_.end()) {
+      e.arg("corr", static_cast<std::int64_t>(cit->second));
+    }
+    config_.obs.emit(e);
   }
 }
 
 bool ServiceDaemon::wal_append(WalRecordType type, const std::string& payload,
                                std::string* error) {
   if (!wal_.is_open()) return true;
-  if (!wal_.append(type, payload, error)) return false;
-  if (options_.sync == SyncPolicy::kAlways) return wal_.sync(error);
+  {
+    obs::ScopedTimer timer(wal_append_seconds_, wal_append_seconds_ != nullptr);
+    if (!wal_.append(type, payload, error)) return false;
+  }
+  if (options_.sync == SyncPolicy::kAlways) {
+    obs::ScopedTimer timer(wal_sync_seconds_, wal_sync_seconds_ != nullptr);
+    return wal_.sync(error);
+  }
   wal_dirty_ = true;
   return true;
 }
@@ -195,6 +219,13 @@ bool ServiceDaemon::wal_append(WalRecordType type, const std::string& payload,
 bool ServiceDaemon::init(std::string* error) {
   start_ = std::chrono::steady_clock::now();
   install_live_hooks();
+  if (config_.obs.metering()) {
+    obs::MetricsRegistry& m = *config_.obs.metrics;
+    ack_seconds_ = &m.histogram("service.ack_seconds");
+    grant_latency_seconds_ = &m.histogram("service.grant_latency_seconds");
+    wal_append_seconds_ = &m.histogram("wal.append_seconds");
+    wal_sync_seconds_ = &m.histogram("wal.sync_seconds");
+  }
   if (options_.wal_path.empty()) {
     if (options_.recover) {
       *error = "--recover requires a WAL path";
@@ -290,6 +321,14 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
           job.nodes = static_cast<int>(nodes);
           engine_.submit(job);
           next_job_id_ = std::max(next_job_id_, job.id + 1);
+          double corr = 0.0;
+          if (read_number(payload, "corr", &corr) && corr >= 1.0) {
+            // Restore the correlation id the live daemon acked, and bump
+            // the counter past it so post-recovery submits never reuse one.
+            corr_[job.id] = static_cast<std::uint64_t>(corr);
+            next_corr_ =
+                std::max(next_corr_, static_cast<std::uint64_t>(corr) + 1);
+          }
           ++recovery_.inputs_replayed;
           break;
         }
@@ -442,6 +481,7 @@ double ServiceDaemon::input_clock() const {
 
 double ServiceDaemon::on_idle() {
   if (wal_dirty_ && options_.sync == SyncPolicy::kBatch) {
+    obs::ScopedTimer timer(wal_sync_seconds_, wal_sync_seconds_ != nullptr);
     std::string error;
     if (wal_.sync(&error)) wal_dirty_ = false;
   }
@@ -470,6 +510,9 @@ std::string ServiceDaemon::overflow_reply(bool oversized_line) {
 }
 
 std::string ServiceDaemon::handle_line(const std::string& line) {
+  // Request-handling (ack) latency: parse to reply, every op. The timer
+  // is fully disabled without a registry (no clock reads).
+  obs::ScopedTimer ack_timer(ack_seconds_, ack_seconds_ != nullptr);
   Request req;
   ParseFailure failure;
   if (!parse_request(line, &req, &failure)) {
@@ -490,6 +533,8 @@ std::string ServiceDaemon::handle_line(const std::string& line) {
       return handle_status(req);
     case RequestOp::kStats:
       return handle_stats(req);
+    case RequestOp::kMetrics:
+      return handle_metrics(req);
     case RequestOp::kFail:
     case RequestOp::kRepair:
       return handle_fault(req);
@@ -538,6 +583,10 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
     return error_reply(ErrorCode::kBadRequest,
                        "job arrival in the simulated past", req.seq);
   }
+  // The correlation id is minted before the WAL append so the same id
+  // reaches the log, the ack, and every later grant/release event — one
+  // handle to follow the submission across reactor, engine, and log.
+  const std::uint64_t corr = next_corr_;
   std::string payload = "{\"id\":" + std::to_string(job.id) + ",\"arrival\":";
   append_double(payload, job.arrival);
   payload += ",\"nodes\":" + std::to_string(job.nodes) + ",\"runtime\":";
@@ -546,6 +595,7 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
   append_double(payload, job.bandwidth);
   payload += ",\"now\":";
   append_double(payload, input_clock());
+  payload += ",\"corr\":" + std::to_string(corr);
   payload += "}";
   std::string error;
   if (!wal_append(WalRecordType::kSubmit, payload, &error)) {
@@ -560,10 +610,17 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
     return error_reply(ErrorCode::kInternal, e.what(), req.seq);
   }
   next_job_id_ = std::max(next_job_id_, job.id + 1);
+  ++next_corr_;
+  corr_[job.id] = corr;
   submit_wall_[job.id] = wall_elapsed();
-  emit("service.submit", job.id);
+  if (config_.obs.tracing()) {
+    config_.obs.emit(obs::instant("service", "service.submit", engine_.now())
+                         .arg("job", static_cast<std::int64_t>(job.id))
+                         .arg("corr", static_cast<std::int64_t>(corr)));
+  }
   std::string body = ",\"job\":" + std::to_string(job.id);
   append_kv(body, "arrival", job.arrival);
+  append_kv(body, "corr", corr);
   return ok_reply(body, req.seq);
 }
 
@@ -623,6 +680,12 @@ std::string ServiceDaemon::handle_status(const Request& req) {
   append_kv(body, "runtime", status->job.runtime);
   if (std::isfinite(status->start)) append_kv(body, "start", status->start);
   if (std::isfinite(status->end)) append_kv(body, "end", status->end);
+  if (status->blocked_reason != BlockedReason::kNone) {
+    append_kv(body, "blocked_reason",
+              std::string(blocked_reason_name(status->blocked_reason)));
+  }
+  const auto cit = corr_.find(req.job);
+  if (cit != corr_.end()) append_kv(body, "corr", cit->second);
   return ok_reply(body, req.seq);
 }
 
@@ -642,6 +705,12 @@ std::string ServiceDaemon::handle_stats(const Request& req) {
   append_kv(s, "active", static_cast<std::uint64_t>(engine_.active_count()));
   append_kv(s, "grants", grants_);
   append_kv(s, "releases", releases_);
+  s += ",\"obs_enabled\":";
+  s += config_.obs.metering() ? "true" : "false";
+  if (wal_.is_open()) {
+    append_kv(s, "wal_bytes", wal_.bytes());
+    append_kv(s, "wal_unsynced_records", wal_.unsynced_records());
+  }
   s += ",\"drained\":";
   s += drained() ? "true" : "false";
   if (recovery_.performed) {
@@ -661,6 +730,105 @@ std::string ServiceDaemon::handle_stats(const Request& req) {
   }
   s += "}}";
   return ok_reply(",\"stats\":" + s, req.seq);
+}
+
+void ServiceDaemon::refresh_gauges() {
+  if (!config_.obs.metering()) return;
+  obs::MetricsRegistry& m = *config_.obs.metrics;
+  const ClusterState& state = engine_.cluster();
+  const int total = topo_->total_nodes();
+  const int busy =
+      total - state.total_free_nodes() - state.failed_node_count();
+  m.gauge("cluster.utilization")
+      .set(total > 0 ? static_cast<double>(busy) / total : 0.0);
+  m.gauge("cluster.busy_nodes").set(static_cast<double>(busy));
+  m.gauge("queue.depth").set(static_cast<double>(engine_.queue_depth()));
+  m.gauge("jobs.running").set(static_cast<double>(engine_.running_count()));
+  if (wal_.is_open()) {
+    m.gauge("wal.bytes").set(static_cast<double>(wal_.bytes()));
+    m.gauge("wal.unsynced_records")
+        .set(static_cast<double>(wal_.unsynced_records()));
+  }
+  // Structural contiguity only (free leaves/subtrees, scatter histogram):
+  // the allocate-probe bisection is far too expensive per scrape.
+  const FragmentationReport frag = structural_fragmentation(state);
+  m.gauge("frag.free_nodes").set(static_cast<double>(frag.free_nodes));
+  m.gauge("frag.fully_free_leaves")
+      .set(static_cast<double>(frag.fully_free_leaves));
+  m.gauge("frag.fully_free_trees")
+      .set(static_cast<double>(frag.fully_free_trees));
+}
+
+std::string ServiceDaemon::metrics_text() {
+  if (!config_.obs.metering()) return std::string();
+  refresh_gauges();
+  return obs::prometheus_text(*config_.obs.metrics);
+}
+
+std::string ServiceDaemon::handle_metrics(const Request& req) {
+  if (!config_.obs.metering()) {
+    return error_reply(ErrorCode::kBadState,
+                       "metrics are disabled (run the daemon with --metrics)",
+                       req.seq);
+  }
+  std::string body = ",\"format\":\"prometheus\",\"body\":\"";
+  body += obs::json_escape(metrics_text());
+  body += '"';
+  return ok_reply(body, req.seq);
+}
+
+std::string ServiceDaemon::http_metrics_response(
+    const std::string& request_line) {
+  std::string path;
+  {
+    std::istringstream words(request_line);
+    std::string method;
+    words >> method >> path;
+  }
+  int status = 200;
+  const char* reason = "OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (path != "/metrics") {
+    status = 404;
+    reason = "Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "only /metrics is served here\n";
+  } else if (!config_.obs.metering()) {
+    status = 503;
+    reason = "Service Unavailable";
+    content_type = "text/plain; charset=utf-8";
+    body = "metrics are disabled (run the daemon with --metrics)\n";
+  } else {
+    body = metrics_text();
+  }
+  std::string out =
+      "HTTP/1.0 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string ServiceDaemon::handle_socket_line(Reactor::ClientId client,
+                                              std::string&& line) {
+  if (reactor_ != nullptr) {
+    if (http_clients_.count(client) != 0) {
+      return std::string();  // remaining header lines of a served GET
+    }
+    if (line.rfind("GET ", 0) == 0) {
+      // Bound the swallow set. Every member was close_client()ed the
+      // moment it entered, so pruning can only stop swallowing headers
+      // of long-gone connections.
+      if (http_clients_.size() >= 1024) http_clients_.clear();
+      http_clients_.insert(client);
+      reactor_->send_raw(client, http_metrics_response(line));
+      reactor_->close_client(client);
+      return std::string();
+    }
+  }
+  return handle_line(line);
 }
 
 std::string ServiceDaemon::handle_fault(const Request& req) {

@@ -49,6 +49,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "service/protocol.hpp"
@@ -112,6 +113,25 @@ class ServiceDaemon {
   /// Reply for a reactor overflow (oversized line / pending-queue full).
   std::string overflow_reply(bool oversized_line);
 
+  /// Socket-facing wrapper around handle_line() that additionally answers
+  /// plain HTTP `GET /metrics` on the same listener: a "GET " line earns
+  /// a full HTTP response via Reactor::send_raw() plus close_client(),
+  /// and the request's remaining header lines are swallowed instead of
+  /// being fed to the JSON parser. Requires attach_reactor(); without a
+  /// reactor it degrades to handle_line(). Returns the reply line to
+  /// queue ("" for none).
+  std::string handle_socket_line(Reactor::ClientId client,
+                                 std::string&& line);
+
+  /// Current metrics as Prometheus text exposition (refreshes the
+  /// point-in-time gauges first). Empty when the daemon runs without a
+  /// metrics registry.
+  std::string metrics_text();
+  /// Full HTTP/1.0 response (headers + body, no trailing newline added)
+  /// for the given request line: 200 with the exposition for
+  /// `GET /metrics`, 404 otherwise, 503 when metrics are disabled.
+  std::string http_metrics_response(const std::string& request_line);
+
   /// Reactor to stop on `shutdown` (optional; handle_line works without).
   void attach_reactor(Reactor* reactor) { reactor_ = reactor; }
   /// Polled between drain steps so SIGTERM can abort a long drain.
@@ -140,9 +160,15 @@ class ServiceDaemon {
   std::string handle_cancel(const Request& req);
   std::string handle_status(const Request& req);
   std::string handle_stats(const Request& req);
+  std::string handle_metrics(const Request& req);
   std::string handle_fault(const Request& req);
   std::string handle_drain(const Request& req);
   std::string handle_shutdown(const Request& req);
+
+  /// Point-in-time gauges recomputed per scrape (utilization, queue
+  /// depth, WAL size/replay-lag, structural fragmentation). No-op
+  /// without a metrics registry.
+  void refresh_gauges();
 
   bool recover_from_wal(const WalReadResult& log, std::string* error);
   bool run_drain(std::string* error);  ///< run + finish, step-delay aware
@@ -196,6 +222,29 @@ class ServiceDaemon {
   std::vector<double> grant_latencies_;
   std::uint64_t grants_ = 0;
   std::uint64_t releases_ = 0;
+
+  /// Correlation ids: one monotone id per accepted submit, threaded
+  /// through the ack reply, the WAL submit record, grant/release trace
+  /// events, and the status op, so a submission can be followed across
+  /// the reactor, the engine, and the log. Recovery restores the counter
+  /// past the highest replayed id.
+  std::uint64_t next_corr_ = 1;
+  std::unordered_map<JobId, std::uint64_t> corr_;
+
+  /// Clients that spoke HTTP ("GET ..."): their remaining header lines
+  /// are swallowed until the close completes. Pruned wholesale at a size
+  /// cap — every member was close_client()ed the moment it was added, so
+  /// stale ids only cost memory, never semantics.
+  std::unordered_set<Reactor::ClientId> http_clients_;
+
+  /// Pre-resolved latency histogram handles (null without a registry):
+  /// request-handling (ack), wall-clock submit->grant, and WAL
+  /// append/fsync. Resolved once in init() so the hot paths pay a null
+  /// check, not a name lookup.
+  obs::Histogram* ack_seconds_ = nullptr;
+  obs::Histogram* grant_latency_seconds_ = nullptr;
+  obs::Histogram* wal_append_seconds_ = nullptr;
+  obs::Histogram* wal_sync_seconds_ = nullptr;
 };
 
 }  // namespace jigsaw::service

@@ -123,6 +123,8 @@ bool parse_request(const std::string& line, Request* out,
     out->job = static_cast<JobId>(job);
   } else if (op == "stats") {
     out->op = RequestOp::kStats;
+  } else if (op == "metrics") {
+    out->op = RequestOp::kMetrics;
   } else if (op == "fail" || op == "repair") {
     out->op = op == "fail" ? RequestOp::kFail : RequestOp::kRepair;
     const JsonValue* target = doc.find("target");

@@ -14,6 +14,7 @@
 //   {"op":"cancel","job":7}
 //   {"op":"status","job":7}
 //   {"op":"stats"}
+//   {"op":"metrics"}
 //   {"op":"fail","target":"node 17","time":40.0?}
 //   {"op":"repair","target":"node 17","time":90.0?}
 //   {"op":"drain"}
@@ -55,6 +56,7 @@ enum class RequestOp {
   kCancel,
   kStatus,
   kStats,
+  kMetrics,
   kFail,
   kRepair,
   kDrain,

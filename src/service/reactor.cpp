@@ -220,6 +220,12 @@ void Reactor::send(ClientId client, const std::string& line) {
   it->second.out += '\n';
 }
 
+void Reactor::send_raw(ClientId client, const std::string& bytes) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  it->second.out += bytes;
+}
+
 void Reactor::close_client(ClientId client) {
   auto it = clients_.find(client);
   if (it == clients_.end()) return;

@@ -80,6 +80,9 @@ class Reactor {
 
   /// Queue a reply line (newline appended here) to a connected client.
   void send(ClientId client, const std::string& line);
+  /// Queue bytes verbatim — no newline appended. For the one non-line
+  /// response the daemon speaks: the HTTP reply to `GET /metrics`.
+  void send_raw(ClientId client, const std::string& bytes);
   void close_client(ClientId client);
   std::size_t client_count() const { return clients_.size(); }
 

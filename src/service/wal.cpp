@@ -160,6 +160,8 @@ void WalWriter::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  bytes_ = 0;
+  unsynced_records_ = 0;
 }
 
 bool WalWriter::open(const std::string& path, std::string* error,
@@ -190,6 +192,7 @@ bool WalWriter::open(const std::string& path, std::string* error,
     close();
     return false;
   }
+  bytes_ = static_cast<std::uint64_t>(st.st_size);
   if (st.st_size == 0) {
     if (::write(fd_, kMagic, sizeof(kMagic)) !=
         static_cast<ssize_t>(sizeof(kMagic))) {
@@ -199,6 +202,7 @@ bool WalWriter::open(const std::string& path, std::string* error,
       close();
       return false;
     }
+    bytes_ = kHeaderBytes;
   }
   return true;
 }
@@ -233,6 +237,8 @@ bool WalWriter::append(WalRecordType type, const std::string& payload,
     p += n;
     remaining -= static_cast<std::size_t>(n);
   }
+  bytes_ += frame.size();
+  ++unsynced_records_;
   return true;
 }
 
@@ -244,6 +250,7 @@ bool WalWriter::sync(std::string* error) {
     }
     return false;
   }
+  unsynced_records_ = 0;
   return true;
 }
 

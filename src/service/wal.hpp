@@ -91,6 +91,13 @@ class WalWriter {
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
 
+  /// Current file size in bytes (header + every appended frame); tracked
+  /// incrementally so the metrics scrape never stats the file.
+  std::uint64_t bytes() const { return bytes_; }
+  /// Records appended since the last successful sync() — the replay-lag
+  /// tail a crash right now would lose under the batch policy.
+  std::uint64_t unsynced_records() const { return unsynced_records_; }
+
   /// Append one framed record (buffered in the kernel; see sync()).
   bool append(WalRecordType type, const std::string& payload,
               std::string* error);
@@ -104,6 +111,8 @@ class WalWriter {
  private:
   int fd_ = -1;
   std::string path_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t unsynced_records_ = 0;
 };
 
 }  // namespace jigsaw::service

@@ -321,6 +321,10 @@ void SimEngine::scheduling_pass(double now) {
   metrics_.allocate_calls += pass.allocate_calls;
   metrics_.search_steps += pass.search_steps;
   metrics_.budget_exhaustions += pass.budget_exhaustions;
+  // Latest-pass attribution for status(): assigned unconditionally so a
+  // pass that starts its head (reason kNone) clears the stale entry.
+  head_blocked_reason_ = pass.head_blocked_reason;
+  head_blocked_job_ = pass.head_blocked_job;
 
   if (!decisions.empty()) {
     std::vector<char> started(queue_.size(), 0);
@@ -567,6 +571,9 @@ std::optional<SimEngine::JobStatus> SimEngine::status(JobId id) const {
   }
   const auto et = end_time_.find(id);
   if (et != end_time_.end()) s.end = et->second;
+  if (s.phase == JobPhase::kQueued && id == head_blocked_job_) {
+    s.blocked_reason = head_blocked_reason_;
+  }
   return s;
 }
 

@@ -132,6 +132,11 @@ class SimEngine {
     JobPhase phase = JobPhase::kUnknown;
     double start = std::numeric_limits<double>::quiet_NaN();
     double end = std::numeric_limits<double>::quiet_NaN();
+    /// §3.2 condition class that blocked this job's last head placement,
+    /// when it is the queue head the scheduler most recently failed to
+    /// start under an enabled ObsContext; kNone otherwise (not blocked,
+    /// not the head, or the engine runs with observability disabled).
+    BlockedReason blocked_reason = BlockedReason::kNone;
   };
   std::optional<JobStatus> status(JobId id) const;
 
@@ -193,6 +198,11 @@ class SimEngine {
   std::deque<std::size_t> queue_job_index_;  ///< parallel to queue_
   std::vector<RunningJob> running_;
   std::unordered_map<JobId, std::size_t> running_index_;
+
+  /// Attribution of the most recent pass that left the head blocked
+  /// (kNone/kNoJob when the last pass started its head or obs is off).
+  BlockedReason head_blocked_reason_ = BlockedReason::kNone;
+  JobId head_blocked_job_ = kNoJob;
 
   UtilizationTimeline timeline_;
   SimMetrics metrics_;

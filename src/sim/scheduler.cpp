@@ -26,6 +26,13 @@ struct PassObs {
   obs::Counter* cache_hits = nullptr;
   obs::Histogram* call_seconds = nullptr;
   obs::Histogram* steps_per_call = nullptr;
+  /// Blocked-reason attribution (§3.2 condition classes): one counter per
+  /// BlockedReason value (index = enum value; kNone stays null because a
+  /// failed head attempt always has a reason), plus the total number of
+  /// attributed passes so `sum(sched.blocked.*) == sched.head_blocked_passes`
+  /// holds by construction.
+  obs::Counter* head_blocked_passes = nullptr;
+  obs::Counter* blocked[6] = {};
 
   explicit PassObs(const obs::ObsContext* o) {
     if (o == nullptr || !o->enabled()) return;
@@ -41,6 +48,13 @@ struct PassObs {
     cache_hits = &m.counter("sched.cache_hits");
     call_seconds = &m.histogram("alloc.call_seconds");
     steps_per_call = &m.histogram("alloc.search_steps_per_call");
+    head_blocked_passes = &m.counter("sched.head_blocked_passes");
+    for (int r = 1; r <= static_cast<int>(BlockedReason::kBudgetExhausted);
+         ++r) {
+      blocked[r] = &m.counter(
+          std::string("sched.blocked.") +
+          blocked_reason_name(static_cast<BlockedReason>(r)));
+    }
   }
 };
 
@@ -99,13 +113,15 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
   // attempt), "shadow_probe" (reservation search against a hypothetical
   // future state), or "backfill" (window candidate).
   auto try_alloc = [&](const ClusterState& s, const PendingJob& p,
-                       const char* context) {
+                       const char* context,
+                       SearchStats* search_out = nullptr) {
     SearchStats search;
     obs::ScopedTimer timer(po.call_seconds, po.call_seconds != nullptr);
     auto result =
         allocator_->allocate(s, JobRequest{p.id, p.nodes, p.bandwidth},
                              &search);
     timer.stop();
+    if (search_out != nullptr) *search_out = search;
     if (stats != nullptr) {
       ++stats->allocate_calls;
       stats->search_steps += search.steps;
@@ -159,6 +175,12 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
 
   if (cache_hit && po.cache_hits != nullptr) po.cache_hits->add();
   if (cache_hit) {
+    // Replay the memoized attribution so per-job status stays populated
+    // across arrival-only passes without re-running diagnose().
+    if (stats != nullptr && cache->blocked_reason != BlockedReason::kNone) {
+      stats->head_blocked_reason = cache->blocked_reason;
+      stats->head_blocked_job = cache->blocked_head;
+    }
     if (!cache->shadow.has_value()) return decisions;  // still no reservation
     shadow_alloc = cache->shadow;
     shadow_time = cache->shadow_time;
@@ -169,9 +191,12 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       first_candidate_offset = cache->examined;
     }
   } else {
-    // FIFO: start head jobs while they fit.
+    // FIFO: start head jobs while they fit. The failing attempt's search
+    // stats survive the loop so attribution below can distinguish a
+    // budget-exhausted search from a genuine condition rejection.
+    SearchStats head_search;
     while (head_index < pending.size()) {
-      auto alloc = try_alloc(state, pending[head_index], "head");
+      auto alloc = try_alloc(state, pending[head_index], "head", &head_search);
       if (!alloc.has_value()) break;
       state.apply(*alloc);
       decisions.push_back(Decision{head_index, std::move(*alloc)});
@@ -239,10 +264,36 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       }
       set_prefix(0);
     }
+    // §3.2 blocked-reason attribution for the failed head placement.
+    // Runs only under an enabled ObsContext: diagnose() is a read-only
+    // re-probe of the allocator, and a disabled-obs pass must do exactly
+    // the work the pre-observability scheduler did. The state here is the
+    // one the head's failed attempt saw (the release rungs above have all
+    // been rolled back). A budget-exhausted real attempt short-circuits —
+    // the search never reached a verdict, so re-probing can't name a
+    // condition class for it.
+    BlockedReason reason = BlockedReason::kNone;
+    if (po.enabled) {
+      reason = head_search.budget_exhausted
+                   ? BlockedReason::kBudgetExhausted
+                   : allocator_->diagnose(
+                         state,
+                         JobRequest{head.id, head.nodes, head.bandwidth});
+      if (po.head_blocked_passes != nullptr &&
+          reason != BlockedReason::kNone) {
+        po.head_blocked_passes->add();
+        po.blocked[static_cast<int>(reason)]->add();
+      }
+    }
+    if (stats != nullptr && reason != BlockedReason::kNone) {
+      stats->head_blocked_reason = reason;
+      stats->head_blocked_job = head.id;
+    }
     if (po.tracing) {
       obs::TraceEvent e = obs::instant("sched", "sched.head_blocked", now);
       e.arg("job", head.id)
           .arg("requested_nodes", static_cast<std::int64_t>(head.nodes))
+          .arg("blocked_reason", std::string(blocked_reason_name(reason)))
           .arg("reserved",
                static_cast<std::int64_t>(shadow_alloc.has_value() ? 1 : 0));
       if (shadow_alloc.has_value()) e.arg("shadow_time", shadow_time);
@@ -256,6 +307,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       cache->shadow = shadow_alloc;
       cache->shadow_time = shadow_time;
       cache->examined = 0;
+      cache->blocked_reason = reason;
     }
     if (!shadow_alloc.has_value()) return decisions;  // cannot reserve; wait
   }

@@ -66,6 +66,14 @@ class EasyScheduler {
     std::uint64_t allocate_calls = 0;
     std::uint64_t search_steps = 0;
     std::uint64_t budget_exhaustions = 0;
+    /// §3.2 condition-class attribution for the blocked head, when the
+    /// pass left one (kNone otherwise). Only computed when the pass runs
+    /// with an enabled ObsContext — attribution calls the allocator's
+    /// read-only diagnose() probe, which a disabled-obs pass must skip to
+    /// stay allocation-free. Cache-hit passes replay the reason memoized
+    /// by the pass that computed it.
+    BlockedReason head_blocked_reason = BlockedReason::kNone;
+    JobId head_blocked_job = kNoJob;
   };
 
   /// Inter-pass memo. When the cluster state is unchanged since a pass
@@ -86,6 +94,10 @@ class EasyScheduler {
     std::size_t examined = 0;
     std::optional<Allocation> shadow;
     double shadow_time = 0.0;
+    /// Attribution memoized alongside the shadow: a cache-hit pass skips
+    /// the head retry, so it reuses the reason diagnosed when the head
+    /// first blocked instead of re-probing.
+    BlockedReason blocked_reason = BlockedReason::kNone;
   };
 
   /// Decide which pending jobs to start at time `now`. `state` is

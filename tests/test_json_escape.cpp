@@ -1,0 +1,122 @@
+// JSON string escaping audit: hostile strings must round-trip.
+//
+// Every JSON byte the repo emits — trace events, protocol replies, WAL
+// payloads, the Prometheus scrape's JSON wrapper — funnels through
+// obs::json_escape, and everything the service reads back goes through
+// service::parse_json. A job name is user input (the shell sends fault
+// targets, the protocol accepts arbitrary ids), so the pair must
+// round-trip control characters, quotes, backslashes, embedded NULs,
+// and non-ASCII UTF-8 without corruption, and the parser must reject
+// what the writer would never produce (raw control bytes).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "service/json.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(obs::json_escape("a\tb"), "a\\tb");
+  // Control characters without a short form become \u00XX.
+  EXPECT_EQ(obs::json_escape(std::string("a\0b", 3)), "a\\u0000b");
+  EXPECT_EQ(obs::json_escape("a\x01z"), "a\\u0001z");
+  EXPECT_EQ(obs::json_escape("a\bz"), "a\\u0008z");
+  EXPECT_EQ(obs::json_escape("a\fz"), "a\\u000cz");
+  EXPECT_EQ(obs::json_escape("a\x1fz"), "a\\u001fz");
+}
+
+TEST(JsonEscape, PassesNonAsciiUtf8Through) {
+  // High bytes are valid inside JSON strings; the escaper must not
+  // sign-extend them into bogus \uFFxx escapes or mangle multi-byte
+  // sequences.
+  const std::string utf8 = "j\xC3\xB6rb \xE2\x98\x83";  // "jörb ☃"
+  EXPECT_EQ(obs::json_escape(utf8), utf8);
+  const std::string high = "\x80\xFF";
+  EXPECT_EQ(obs::json_escape(high), high);
+}
+
+std::vector<std::string> hostile_names() {
+  return {
+      "plain-job",
+      "quote\"inside",
+      "back\\slash",
+      "new\nline and\ttab",
+      "carriage\rreturn",
+      std::string("embedded\0nul", 12),
+      "\x01\x02\x03\x1f",
+      "j\xC3\xB6rb \xE2\x98\x83 \xF0\x9F\x92\xA1",  // 2-, 3-, 4-byte UTF-8
+      "mixed \"\\\n\x01\xC3\xA9 end",
+      "",
+  };
+}
+
+TEST(JsonEscape, HostileNamesRoundTripThroughTheParser) {
+  for (const std::string& name : hostile_names()) {
+    SCOPED_TRACE(obs::json_escape(name));
+    const std::string doc = "{\"name\":\"" + obs::json_escape(name) + "\"}";
+    service::JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(service::parse_json(doc, &parsed, &error)) << error;
+    const service::JsonValue* value = parsed.find("name");
+    ASSERT_NE(value, nullptr);
+    ASSERT_TRUE(value->is_string());
+    EXPECT_EQ(value->as_string(), name);
+  }
+}
+
+TEST(JsonEscape, WriterRoundTripsHostileKeysAndValues) {
+  // The service writer (write_json/to_json) shares the escaper; hostile
+  // content must survive a full value -> text -> value cycle, keys
+  // included.
+  for (const std::string& name : hostile_names()) {
+    SCOPED_TRACE(obs::json_escape(name));
+    service::JsonValue::Object obj;
+    obj.emplace_back("name", service::JsonValue(name));
+    obj.emplace_back(name, service::JsonValue(42.0));
+    const service::JsonValue original{std::move(obj)};
+    const std::string text = service::to_json(original);
+    service::JsonValue reparsed;
+    std::string error;
+    ASSERT_TRUE(service::parse_json(text, &reparsed, &error))
+        << error << " in " << text;
+    EXPECT_EQ(reparsed, original);
+  }
+}
+
+TEST(JsonEscape, ParserRejectsRawControlBytes) {
+  // The writer always escapes < 0x20; a raw control byte in the input
+  // is malformed and must fail loudly, not pass through.
+  service::JsonValue parsed;
+  std::string error;
+  EXPECT_FALSE(
+      service::parse_json(std::string("{\"name\":\"a\x01b\"}"), &parsed,
+                          &error));
+  EXPECT_FALSE(
+      service::parse_json(std::string("{\"name\":\"a\nb\"}"), &parsed,
+                          &error));
+}
+
+TEST(JsonEscape, ParserDecodesUnicodeEscapes) {
+  service::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(service::parse_json(
+      "{\"s\":\"\\u0041\\u00e9\\u2603\\u0000\"}", &parsed, &error))
+      << error;
+  const service::JsonValue* s = parsed.find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->as_string(),
+            std::string("A\xC3\xA9\xE2\x98\x83\0", 7));
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/jigsaw_allocator.hpp"
+#include "obs/metrics_registry.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/json.hpp"
@@ -170,6 +171,68 @@ TEST_F(ServiceTest, SubmitLifecycle) {
   // Cancelling a cancelled job is a state error, not unknown_job.
   EXPECT_TRUE(has_error(
       daemon->handle_line("{\"op\":\"cancel\",\"job\":0}"), "bad_state"));
+}
+
+TEST_F(ServiceTest, MetricsOpRequiresARegistry) {
+  auto daemon = make_daemon();
+  EXPECT_TRUE(
+      has_error(daemon->handle_line("{\"op\":\"metrics\"}"), "bad_state"));
+  // Same listener over HTTP: 503, not a hang or a JSON parse error.
+  const std::string http =
+      daemon->http_metrics_response("GET /metrics HTTP/1.1");
+  EXPECT_EQ(http.rfind("HTTP/1.0 503", 0), 0u) << http;
+}
+
+TEST_F(ServiceTest, MetricsOpServesPrometheusText) {
+  obs::MetricsRegistry registry;
+  config_.obs.metrics = &registry;
+  auto daemon = make_daemon();
+  ASSERT_TRUE(is_ok(daemon->handle_line(
+      "{\"op\":\"submit\",\"nodes\":2,\"runtime\":100}")));
+
+  const std::string reply = daemon->handle_line("{\"op\":\"metrics\"}");
+  ASSERT_TRUE(is_ok(reply)) << reply;
+  EXPECT_NE(reply.find("\"format\":\"prometheus\""), std::string::npos);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(reply, &doc, &error)) << error;
+  const JsonValue* body = doc.find("body");
+  ASSERT_NE(body, nullptr);
+  ASSERT_TRUE(body->is_string());
+  const std::string& text = body->as_string();
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+  EXPECT_NE(text.find("jigsaw_jobs_running "), std::string::npos);
+  EXPECT_NE(text.find("jigsaw_queue_depth "), std::string::npos);
+  EXPECT_NE(text.find("jigsaw_cluster_utilization "), std::string::npos);
+  EXPECT_NE(text.find("jigsaw_service_ack_seconds_count"),
+            std::string::npos);
+
+  // HTTP variant: 200 with the Prometheus content type and the same
+  // exposition; anything but /metrics is 404.
+  const std::string http =
+      daemon->http_metrics_response("GET /metrics HTTP/1.0");
+  EXPECT_EQ(http.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << http;
+  EXPECT_NE(http.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(http.find("jigsaw_jobs_running "), std::string::npos);
+  const std::string missing =
+      daemon->http_metrics_response("GET /other HTTP/1.0");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404", 0), 0u) << missing;
+}
+
+TEST_F(ServiceTest, CorrelationIdsThreadSubmitToStatus) {
+  auto daemon = make_daemon();
+  const std::string first = daemon->handle_line(
+      "{\"op\":\"submit\",\"nodes\":2,\"runtime\":100}");
+  ASSERT_TRUE(is_ok(first)) << first;
+  EXPECT_NE(first.find("\"corr\":1"), std::string::npos) << first;
+  const std::string second = daemon->handle_line(
+      "{\"op\":\"submit\",\"nodes\":2,\"runtime\":100}");
+  EXPECT_NE(second.find("\"corr\":2"), std::string::npos) << second;
+  // status carries the same id back, keyed by job.
+  const std::string status =
+      daemon->handle_line("{\"op\":\"status\",\"job\":0}");
+  EXPECT_NE(status.find("\"corr\":1"), std::string::npos) << status;
 }
 
 TEST_F(ServiceTest, BackpressureRejections) {
