@@ -145,8 +145,9 @@ void render_top(const std::map<std::string, double>& m) {
 
 /// Remote mode: translate shell commands into daemon protocol requests.
 /// Returns the process exit code.
-int run_remote(const std::string& endpoint) {
+int run_remote(const std::string& endpoint, double timeout) {
   service::ServiceClient client;
+  client.set_timeout(timeout);
   std::string error;
   if (!client.connect(endpoint, &error)) {
     std::cerr << "error: " << error << "\n";
@@ -252,8 +253,14 @@ int main(int argc, char** argv) {
                "drive a running jigsaw_daemon at this endpoint "
                "(unix:/path or tcp:PORT) instead of a local cluster",
                "");
+  flags.define("timeout",
+               "remote mode: bound connect and each reply wait to this many "
+               "seconds instead of hanging on a dead daemon (0 = forever)",
+               "0");
   if (!flags.parse(argc, argv)) return 0;
-  if (!flags.str("connect").empty()) return run_remote(flags.str("connect"));
+  if (!flags.str("connect").empty()) {
+    return run_remote(flags.str("connect"), flags.real("timeout"));
+  }
 
   const FatTree topo =
       FatTree::from_radix(static_cast<int>(flags.integer("radix")));

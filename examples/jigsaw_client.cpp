@@ -85,20 +85,39 @@ int main(int argc, char** argv) {
   flags.define("trace", "submit-trace: synthetic trace name", "Synth-16");
   flags.define("jobs", "submit-trace: job count", "800");
   flags.define("interval", "watch: poll interval seconds", "1");
+  flags.define("timeout",
+               "bound connect and each reply wait to this many seconds; a "
+               "dead daemon fails the command instead of hanging it "
+               "(0 = wait forever)",
+               "0");
+  flags.define("cluster",
+               "sharded daemon: route to this cluster id (< 0 = omit; the "
+               "daemon then uses cluster 0 / aggregates)",
+               "-1");
   try {
     if (!flags.parse(argc, argv)) return 0;
     const std::string op = flags.str("op");
+    const long cluster = flags.integer("cluster");
 
     service::ServiceClient client;
+    client.set_timeout(flags.real("timeout"));
     std::string error;
     if (!client.connect(flags.str("connect"), &error)) {
       std::cerr << "error: " << error << "\n";
       return 1;
     }
 
+    // Route to --cluster when given: every op accepts the field.
+    auto with_cluster = [cluster](std::string req) {
+      if (cluster >= 0) {
+        req.insert(1, "\"cluster\":" + std::to_string(cluster) + ",");
+      }
+      return req;
+    };
+
     auto roundtrip = [&](const std::string& request) -> bool {
       std::string reply;
-      if (!client.request(request, &reply, &error)) {
+      if (!client.request(with_cluster(request), &reply, &error)) {
         std::cerr << "error: " << error << "\n";
         return false;
       }
@@ -157,7 +176,7 @@ int main(int argc, char** argv) {
           flags.real("interval") * 1e6);
       while (true) {
         std::string reply;
-        if (!client.request(req, &reply, &error)) {
+        if (!client.request(with_cluster(req), &reply, &error)) {
           std::cerr << "error: " << error << "\n";
           return 1;
         }
@@ -180,8 +199,8 @@ int main(int argc, char** argv) {
       std::size_t rejected = 0;
       for (const Job& job : trace.jobs) {
         std::string reply;
-        if (!client.request(submit_request(job, /*with_id=*/true), &reply,
-                            &error)) {
+        if (!client.request(with_cluster(submit_request(job, /*with_id=*/true)),
+                            &reply, &error)) {
           std::cerr << "error: " << error << "\n";
           return 1;
         }

@@ -16,6 +16,12 @@
 //
 // SIGINT/SIGTERM stop the reactor via the self-pipe (async-signal-safe),
 // then the WAL and the event-trace sink are flushed before exit.
+//
+// --clusters N hosts N independent clusters behind one listener, routed
+// by the request's "cluster" field and served by --shards worker threads
+// (service/shard.hpp); each cluster keeps a private WAL/snapshot chain at
+// `<wal>.c<k>`. With the default --clusters 1 --shards 1 the daemon runs
+// the original single-threaded path, byte-identical to earlier releases.
 
 #include <unistd.h>
 
@@ -33,6 +39,7 @@
 #include "obs/sink.hpp"
 #include "service/daemon.hpp"
 #include "service/reactor.hpp"
+#include "service/shard.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
@@ -49,6 +56,20 @@ void on_signal(int) {
     const char byte = 1;
     [[maybe_unused]] const ssize_t n = ::write(g_notify_fd, &byte, 1);
   }
+}
+
+void print_recovery(const std::string& prefix,
+                    const jigsaw::service::RecoveryReport& r) {
+  std::cerr << prefix << "recovered WAL: " << r.records << " records, "
+            << r.inputs_replayed << " inputs replayed, " << r.grants_logged
+            << " grants audited against " << r.grants_derived
+            << " re-derived, " << r.dropped_bytes << " torn bytes dropped";
+  if (r.used_snapshot) {
+    std::cerr << ", snapshot epoch " << r.snapshot_epoch << " restored ("
+              << r.tail_records << " tail records"
+              << (r.snapshot_fallback ? ", fallback chain" : "") << ")";
+  }
+  std::cerr << (r.saw_drain ? ", drain resumed to completion" : "") << "\n";
 }
 
 AllocatorPtr make_allocator(const std::string& name) {
@@ -93,6 +114,20 @@ int main(int argc, char** argv) {
                     "listener, plus latency histograms and §3.2 "
                     "blocked-reason counters. Off by default: the disabled "
                     "daemon's hot loop performs no observability work");
+  flags.define("snapshot-every",
+               "snapshot + compact the WAL after this many accepted inputs "
+               "(0 = only on the explicit `snapshot` op). Recovery then "
+               "replays only the post-snapshot tail",
+               "0");
+  flags.define("clusters",
+               "independent clusters hosted behind this listener; requests "
+               "route by their \"cluster\" field (1 = classic single-"
+               "cluster daemon)",
+               "1");
+  flags.define("shards",
+               "worker threads serving the clusters (owner = cluster mod "
+               "shards); clamped to --clusters",
+               "1");
   flags.define("search-threads",
                "probe lanes for the placement search (1 = exact sequential "
                "path; grants are bit-identical at any lane count). The "
@@ -159,24 +194,60 @@ int main(int argc, char** argv) {
     }
     options.step_delay_us =
         static_cast<std::uint64_t>(flags.integer("step-delay-us"));
+    options.snapshot_every =
+        static_cast<std::uint64_t>(flags.integer("snapshot-every"));
 
-    service::ServiceDaemon daemon(topo, *allocator, config, options);
-    daemon.set_interrupt_check([]() { return g_signal != 0; });
-
-    std::string error;
-    if (!daemon.init(&error)) {
-      std::cerr << "daemon init failed: " << error << "\n";
+    const int clusters = static_cast<int>(flags.integer("clusters"));
+    const int shard_count = static_cast<int>(flags.integer("shards"));
+    if (clusters < 1 || shard_count < 1) {
+      std::cerr << "--clusters and --shards must be >= 1\n";
       return 1;
     }
-    if (daemon.recovery().performed) {
-      const service::RecoveryReport& r = daemon.recovery();
-      std::cerr << "recovered WAL: " << r.records << " records, "
-                << r.inputs_replayed << " inputs replayed, "
-                << r.grants_logged << " grants audited against "
-                << r.grants_derived << " re-derived, " << r.dropped_bytes
-                << " torn bytes dropped"
-                << (r.saw_drain ? ", drain resumed to completion" : "")
-                << "\n";
+    if (clusters > 1 && search_threads > 1) {
+      // Each cluster already has its own worker thread; nested probe
+      // fan-out would contend on one pool for no gain.
+      std::cerr << "--search-threads > 1 requires --clusters 1\n";
+      return 1;
+    }
+
+    std::string error;
+    std::unique_ptr<service::ServiceDaemon> daemon;
+    std::unique_ptr<service::ShardSet> shards;
+    std::vector<AllocatorPtr> cluster_allocators;
+    if (clusters > 1) {
+      service::ShardOptions sopt;
+      sopt.clusters = clusters;
+      sopt.shards = shard_count;
+      sopt.daemon = options;
+      // One allocator per cluster: allocators keep per-call scratch, so
+      // worker threads must not share one instance.
+      std::vector<const Allocator*> ptrs;
+      for (int c = 0; c < clusters; ++c) {
+        cluster_allocators.push_back(make_allocator(flags.str("scheduler")));
+        ptrs.push_back(cluster_allocators.back().get());
+      }
+      shards = std::make_unique<service::ShardSet>(topo, ptrs, config, sopt);
+      if (!shards->init(&error)) {
+        std::cerr << "daemon init failed: " << error << "\n";
+        return 1;
+      }
+      for (int c = 0; c < clusters; ++c) {
+        if (shards->daemon(c).recovery().performed) {
+          print_recovery("cluster " + std::to_string(c) + ": ",
+                         shards->daemon(c).recovery());
+        }
+      }
+    } else {
+      daemon = std::make_unique<service::ServiceDaemon>(topo, *allocator,
+                                                        config, options);
+      daemon->set_interrupt_check([]() { return g_signal != 0; });
+      if (!daemon->init(&error)) {
+        std::cerr << "daemon init failed: " << error << "\n";
+        return 1;
+      }
+      if (daemon->recovery().performed) {
+        print_recovery("", daemon->recovery());
+      }
     }
 
     service::Reactor reactor;
@@ -197,18 +268,34 @@ int main(int argc, char** argv) {
       std::cerr << "listening on unix:" << path << "\n";
     }
 
-    daemon.attach_reactor(&reactor);
     // handle_socket_line also answers HTTP `GET /metrics` on this same
     // listener, so `curl --unix-socket` works during a live run.
-    reactor.set_line_handler(
-        [&daemon](service::Reactor::ClientId id, std::string&& line) {
-          return daemon.handle_socket_line(id, std::move(line));
-        });
-    reactor.set_overflow_handler(
-        [&daemon](service::Reactor::ClientId, bool oversized) {
-          return daemon.overflow_reply(oversized);
-        });
-    reactor.set_idle_handler([&daemon]() { return daemon.on_idle(); });
+    if (shards != nullptr) {
+      shards->attach_reactor(&reactor);
+      reactor.set_line_handler(
+          [&shards](service::Reactor::ClientId id, std::string&& line) {
+            return shards->handle_socket_line(id, std::move(line));
+          });
+      reactor.set_overflow_handler(
+          [&shards](service::Reactor::ClientId, bool oversized) {
+            return shards->overflow_reply(oversized);
+          });
+      reactor.set_idle_handler([&shards]() { return shards->on_idle(); });
+      shards->start();
+      std::cerr << "serving " << shards->clusters() << " clusters on "
+                << shards->shards() << " shards\n";
+    } else {
+      daemon->attach_reactor(&reactor);
+      reactor.set_line_handler(
+          [&daemon](service::Reactor::ClientId id, std::string&& line) {
+            return daemon->handle_socket_line(id, std::move(line));
+          });
+      reactor.set_overflow_handler(
+          [&daemon](service::Reactor::ClientId, bool oversized) {
+            return daemon->overflow_reply(oversized);
+          });
+      reactor.set_idle_handler([&daemon]() { return daemon->on_idle(); });
+    }
 
     g_notify_fd = reactor.notify_fd();
     std::signal(SIGINT, on_signal);
@@ -219,7 +306,11 @@ int main(int argc, char** argv) {
 
     // Graceful shutdown: make every acked input durable and finalize the
     // event trace before exiting.
-    daemon.flush();
+    if (shards != nullptr) {
+      shards->stop();  // drains worker inboxes, flushes every WAL
+    } else {
+      daemon->flush();
+    }
     if (sink != nullptr) sink->finish();
     std::cerr << "daemon stopped"
               << (g_signal != 0 ? " (signal)" : "") << "\n";

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Regenerate the committed scheduling-time baseline (BENCH_schedtime.json).
+# Regenerate the committed perf baselines (BENCH_schedtime.json and
+# BENCH_service_load.json).
 #
 # Runs bench_table3_schedtime on Synth-16 with --repeat 5 so the baseline
 # carries a mean and a sample-stddev column per scheme, then rewrites the
@@ -8,8 +9,13 @@
 # scripts/check_schedtime_regression.py and fails on a >25% mean
 # regression for any scheme.
 #
-# Regenerate (and commit the result) whenever the allocator hot path
-# changes on purpose, on a quiet machine:
+# Then runs bench_service_load in its 8-shard in-process mode and
+# rewrites BENCH_service_load.json; CI compares a fresh run with
+# scripts/check_service_load_regression.py (50% tolerance — end-to-end
+# service throughput is noisier than the allocator microbenches).
+#
+# Regenerate (and commit the result) whenever the allocator hot path or
+# the service stack changes on purpose, on a quiet machine:
 #
 #   cmake --preset default && cmake --build --preset default -j
 #   scripts/bench_baseline.sh
@@ -21,13 +27,20 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BENCH="$BUILD_DIR/bench/bench_table3_schedtime"
+LOAD_BENCH="$BUILD_DIR/bench/bench_service_load"
 
-if [ ! -x "$BENCH" ]; then
-  echo "error: $BENCH not found or not executable; build first:" >&2
-  echo "  cmake --preset default && cmake --build --preset default -j" >&2
-  exit 1
-fi
+for bin in "$BENCH" "$LOAD_BENCH"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable; build first:" >&2
+    echo "  cmake --preset default && cmake --build --preset default -j" >&2
+    exit 1
+  fi
+done
 
 "$BENCH" --traces Synth-16 --repeat 5 \
   --json-out "$REPO_ROOT/BENCH_schedtime.json"
 echo "wrote $REPO_ROOT/BENCH_schedtime.json"
+
+"$LOAD_BENCH" --shards 8 --jobs 24000 --drain \
+  --json-out "$REPO_ROOT/BENCH_service_load.json"
+echo "wrote $REPO_ROOT/BENCH_service_load.json"

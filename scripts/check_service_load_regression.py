@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_service_load JSON against the committed baseline.
+
+Checks the aggregate (non-".s<k>") rows that appear in both files:
+
+  * submits/sec must not drop below (1 - tolerance) x baseline,
+  * ack p999 latency must not exceed (1 + 2 x tolerance) x baseline
+    (latency tails are noisier than throughput, hence the wider band),
+  * the run shape must match: same submit count, zero rejections, same
+    shard layout — a silently smaller run must never read as "fast".
+
+Per-shard rows (trace names ending ".s<k>") are informational only:
+they split the same wall interval, so their noise is the aggregate's
+noise amplified by the shard count.
+
+The default tolerance is 0.5 (50%), deliberately generous: the bench
+measures end-to-end service throughput on a shared CI runner, which is
+far noisier than the allocator microbenches.
+
+Usage: check_service_load_regression.py BASELINE.json FRESH.json [TOL]
+"""
+
+import json
+import sys
+
+
+def aggregate_rows(path):
+    """{trace: row} for rows that aren't per-shard splits."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        trace = row.get("trace")
+        if trace is None:
+            sys.exit(f"{path}: row without a 'trace' key: {row}")
+        base, dot, suffix = trace.rpartition(".")
+        if base and dot and suffix.startswith("s") and suffix[1:].isdigit():
+            continue  # per-shard split row
+        rows[trace] = row
+    if not rows:
+        sys.exit(f"{path}: no aggregate rows")
+    return rows
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    baseline = aggregate_rows(sys.argv[1])
+    fresh = aggregate_rows(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.5
+
+    missing = [t for t in baseline if t not in fresh]
+    if missing:
+        sys.exit("fresh results are incomplete; missing aggregate rows: "
+                 + ", ".join(sorted(missing)))
+
+    width = max(len("trace"), *(len(t) for t in baseline))
+    header = (f"{'trace':<{width}}  {'metric':<15}  {'baseline':>12}  "
+              f"{'fresh':>12}  {'ratio':>7}  verdict")
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for trace in sorted(baseline):
+        base, new = baseline[trace], fresh[trace]
+
+        # Shape first: a changed run is not comparable, fail loudly.
+        for key in ("submits", "shards"):
+            if base.get(key) != new.get(key):
+                failures.append(f"{trace}: '{key}' changed "
+                                f"({base.get(key)!r} -> {new.get(key)!r})")
+        if new.get("rejected", 0) != 0:
+            failures.append(f"{trace}: fresh run rejected "
+                            f"{new['rejected']} submits")
+
+        checks = [
+            ("submits/sec", float(base["submits.per.sec"]),
+             float(new["submits.per.sec"]), "floor", 1.0 - tolerance),
+            ("ack p999 (us)", float(base["ack.p999.us"]),
+             float(new["ack.p999.us"]), "ceiling", 1.0 + 2.0 * tolerance),
+        ]
+        for name, b, n, kind, bound in checks:
+            if b <= 0.0:
+                print(f"{trace:<{width}}  {name:<15}  {b:>12.1f}  "
+                      f"{n:>12.1f}  {'-':>7}  skipped (zero baseline)")
+                continue
+            ratio = n / b
+            ok = ratio >= bound if kind == "floor" else ratio <= bound
+            verdict = "ok" if ok else "REGRESSED"
+            print(f"{trace:<{width}}  {name:<15}  {b:>12.1f}  {n:>12.1f}  "
+                  f"{ratio:>6.2f}x  {verdict}")
+            if not ok:
+                failures.append(f"{trace}: {name} {ratio:.2f}x of baseline "
+                                f"(bound {bound:.2f}x)")
+
+    for trace in sorted(set(fresh) - set(baseline)):
+        print(f"note: trace '{trace}' is new (not in baseline), not checked")
+
+    if failures:
+        sys.exit("service-load regression:\n  " + "\n  ".join(failures))
+    print("no service-load regressions")
+
+
+if __name__ == "__main__":
+    main()

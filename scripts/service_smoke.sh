@@ -22,6 +22,18 @@
 #      "obs_enabled":false in stats — the disabled hot loop does no
 #      observability work.
 #
+# Then the snapshot and sharding subsystems:
+#
+#   5. a --snapshot-every daemon is killed -9 mid-drain after at least
+#      one WAL compaction; the restart restores the snapshot, replays
+#      only the post-snapshot tail (O(tail), asserted against the input
+#      count), and drains to metrics bit-identical to the reference, and
+#   6. a --clusters 2 --shards 2 daemon routes per-cluster submits,
+#      rejects unknown cluster ids, aggregates stats/drain across the
+#      clusters (the two drains must be bit-identical to each other:
+#      same trace, independent engines), and serves one merged /metrics
+#      exposition with a cluster label on every sample.
+#
 # Usage: scripts/service_smoke.sh [BUILD_DIR]   (default: build)
 
 set -euo pipefail
@@ -253,6 +265,167 @@ while chunk := s.recv(65536):
 status = data.split(b"\r\n", 1)[0]
 assert b" 503 " in status, f"expected 503 without --metrics, got {status!r}"
 print("HTTP scrape correctly answers 503 without --metrics")
+EOF
+stop_daemon
+
+# ---- 7. snapshot compaction: kill -9 after a compaction, O(tail) recovery ---
+echo "== snapshot run: kill -9 mid-drain after compaction =="
+rm -f "$SOCK"
+# Cadence well below the job count so at least one compaction happens
+# before the drain; step-delay widens the drain for a reliable kill.
+start_daemon --wal "$WORK/snap.wal" --wal-sync always --snapshot-every 100 \
+  --step-delay-us 2000
+"$CLIENT" --connect "unix:$SOCK" --op submit-trace --jobs "$JOBS" > /dev/null
+"$CLIENT" --connect "unix:$SOCK" --op stats > "$WORK/snap_stats.json"
+grep -q '"snapshots":0' "$WORK/snap_stats.json" && {
+  echo "no compaction happened before the crash:" >&2
+  cat "$WORK/snap_stats.json" >&2
+  exit 1
+}
+"$CLIENT" --connect "unix:$SOCK" --op drain > /dev/null 2>&1 &
+DRAIN_PID=$!
+sleep 0.7
+if ! kill -0 "$DRAIN_PID" 2>/dev/null; then
+  echo "warning: drain finished before the kill; recovery still exercised" >&2
+fi
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+wait "$DRAIN_PID" 2>/dev/null || true
+[ -s "$WORK/snap.wal" ] || { echo "snapshot run left no WAL" >&2; exit 1; }
+
+start_daemon --wal "$WORK/snap.wal" --wal-sync always --snapshot-every 100 \
+  --recover
+grep -q "snapshot epoch" "$WORK/daemon.log" || {
+  echo "recovery did not restore from a snapshot:" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+}
+"$CLIENT" --connect "unix:$SOCK" --op stats > "$WORK/snap_recover_stats.json"
+python3 - "$WORK/snap_recover_stats.json" "$JOBS" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+doc = doc.get("stats", doc)
+jobs = int(sys.argv[2])
+assert doc.get("recovery_audit_ok") is True, f"audit failed: {doc}"
+assert doc.get("recovery_used_snapshot") is True, \
+    f"recovery ignored the snapshot: {doc}"
+assert doc.get("recovery_snapshot_fallback") is False, \
+    f"unexpected fallback: {doc}"
+# O(tail): only the inputs logged after the last compaction replay. The
+# cadence is 100, so the tail holds < 100 inputs + the drain marker —
+# never the whole history.
+replayed = doc["recovery_inputs_replayed"]
+assert replayed <= 101, f"tail replay too large: {replayed} of {jobs}"
+print(f"snapshot recovery replayed {replayed} tail inputs "
+      f"(of {jobs + 1} logged), epoch {doc['recovery_snapshot_epoch']}")
+EOF
+"$CLIENT" --connect "unix:$SOCK" --op drain > "$WORK/snap_drain.json"
+stop_daemon
+python3 - "$WORK/reference_drain.json" "$WORK/snap_drain.json" <<'EOF'
+import json, sys
+
+WALL_FIELDS = {"sched_wall_seconds", "mean_sched_time_per_job"}
+
+def metrics(path):
+    with open(path) as f:
+        doc = json.loads(f.read().splitlines()[-1])
+    assert doc.get("ok") is True, f"{path}: drain not ok: {doc}"
+    return {k: v for k, v in doc["metrics"].items() if k not in WALL_FIELDS}
+
+ref, rec = metrics(sys.argv[1]), metrics(sys.argv[2])
+diff = {k for k in ref.keys() | rec.keys() if ref.get(k) != rec.get(k)}
+assert not diff, f"metrics diverge after snapshot recovery: {sorted(diff)}"
+print(f"snapshot-recovered metrics bit-identical to reference "
+      f"({len(ref)} fields compared)")
+EOF
+
+# ---- 8. sharded daemon: 2 clusters x 2 shards -------------------------------
+echo "== sharded daemon: 2 clusters x 2 shards =="
+rm -f "$SOCK"
+start_daemon --clusters 2 --shards 2 --metrics
+"$CLIENT" --connect "unix:$SOCK" --timeout 30 --op ping \
+  > "$WORK/shard_ping.json"
+grep -q '"clusters":2' "$WORK/shard_ping.json" || {
+  echo "sharded ping does not report clusters:" >&2
+  cat "$WORK/shard_ping.json" >&2
+  exit 1
+}
+grep -q '"shards":2' "$WORK/shard_ping.json" || {
+  echo "sharded ping does not report shards:" >&2
+  cat "$WORK/shard_ping.json" >&2
+  exit 1
+}
+# The same trace into both clusters: independent engines, so the two
+# drains below must agree bit for bit. --timeout exercises the bounded
+# client path against a healthy daemon.
+SHARD_JOBS=$(( JOBS / 3 ))
+for c in 0 1; do
+  "$CLIENT" --connect "unix:$SOCK" --timeout 30 --cluster "$c" \
+    --op submit-trace --jobs "$SHARD_JOBS" > /dev/null
+done
+if "$CLIENT" --connect "unix:$SOCK" --timeout 30 --cluster 7 --op ping \
+    > "$WORK/shard_bad.json" 2>/dev/null; then
+  echo "unknown cluster id was not rejected" >&2
+  exit 1
+fi
+grep -q "unknown cluster 7" "$WORK/shard_bad.json" || {
+  echo "unknown-cluster error lacks the cluster id:" >&2
+  cat "$WORK/shard_bad.json" >&2
+  exit 1
+}
+"$CLIENT" --connect "unix:$SOCK" --timeout 30 --op stats \
+  > "$WORK/shard_stats.json"
+grep -q "\"submitted\":$(( SHARD_JOBS * 2 ))" "$WORK/shard_stats.json" || {
+  echo "aggregate stats did not sum both clusters:" >&2
+  cat "$WORK/shard_stats.json" >&2
+  exit 1
+}
+grep -q '"per_cluster":\[' "$WORK/shard_stats.json" || {
+  echo "aggregate stats lack the per_cluster array:" >&2
+  cat "$WORK/shard_stats.json" >&2
+  exit 1
+}
+"$CLIENT" --connect "unix:$SOCK" --timeout 60 --op drain \
+  > "$WORK/shard_drain.json"
+python3 - "$WORK/shard_drain.json" <<'EOF'
+import json, sys
+
+WALL_FIELDS = {"sched_wall_seconds", "mean_sched_time_per_job"}
+doc = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+assert doc.get("ok") is True, f"sharded drain not ok: {doc}"
+parts = doc["metrics"]
+assert len(parts) == 2, f"expected 2 per-cluster metrics, got {len(parts)}"
+a, b = ({k: v for k, v in p.items() if k not in WALL_FIELDS} for p in parts)
+diff = {k for k in a.keys() | b.keys() if a.get(k) != b.get(k)}
+assert not diff, f"identical traces drained differently: {sorted(diff)}"
+print(f"sharded drain: both clusters bit-identical "
+      f"({len(a)} fields compared)")
+EOF
+python3 - "$SOCK" <<'EOF'
+import re, socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(10)
+s.connect(sys.argv[1])
+s.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+data = b""
+while chunk := s.recv(65536):
+    data += chunk
+head, _, body = data.partition(b"\r\n\r\n")
+status = head.split(b"\r\n", 1)[0]
+assert b" 200 " in status, f"sharded scrape failed: {status!r}"
+clusters = set()
+samples = 0
+for line in body.decode().splitlines():
+    if not line or line.startswith("#"):
+        continue
+    samples += 1
+    m = re.search(r'cluster="(\d+)"', line)
+    assert m, f"sample without a cluster label: {line!r}"
+    clusters.add(m.group(1))
+assert samples > 0, "no samples in the sharded scrape"
+assert clusters == {"0", "1"}, f"expected clusters 0 and 1, got {clusters}"
+print(f"sharded /metrics: {samples} samples, every one cluster-labelled")
 EOF
 stop_daemon
 

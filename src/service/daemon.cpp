@@ -3,7 +3,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -90,9 +93,10 @@ bool parse_sync_policy(const std::string& text, SyncPolicy* out) {
 ServiceDaemon::ServiceDaemon(const FatTree& topo, const Allocator& allocator,
                              const SimConfig& config, DaemonOptions options)
     : topo_(&topo),
+      allocator_(&allocator),
       options_(std::move(options)),
       config_(config),
-      engine_(topo, allocator, config) {}
+      engine_(std::make_unique<SimEngine>(topo, allocator, config)) {}
 
 double ServiceDaemon::wall_elapsed() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -102,7 +106,7 @@ double ServiceDaemon::wall_elapsed() const {
 
 void ServiceDaemon::emit(const char* name, JobId job) {
   if (!config_.obs.tracing()) return;
-  obs::TraceEvent e = obs::instant("service", name, engine_.now());
+  obs::TraceEvent e = obs::instant("service", name, engine_->now());
   if (job != kNoJob) e.arg("job", static_cast<std::int64_t>(job));
   config_.obs.emit(e);
 }
@@ -131,12 +135,28 @@ ServiceDaemon::GrantFact ServiceDaemon::grant_fact(double now,
 }
 
 void ServiceDaemon::install_live_hooks() {
-  engine_.set_grant_hook([this](double now, const Allocation& alloc) {
+  engine_->set_grant_hook([this](double now, const Allocation& alloc) {
     on_grant(now, alloc);
   });
-  engine_.set_release_hook([this](double now, JobId job, bool completed) {
+  engine_->set_release_hook([this](double now, JobId job, bool completed) {
     on_release(now, job, completed);
   });
+}
+
+void ServiceDaemon::reset_recovery_state() {
+  engine_ = std::make_unique<SimEngine>(*topo_, *allocator_, config_);
+  install_live_hooks();
+  derived_grants_.clear();
+  next_job_id_ = 0;
+  next_corr_ = 1;
+  corr_.clear();
+  grants_ = 0;
+  releases_ = 0;
+  wall_target_ = 0.0;
+  final_metrics_.reset();
+  inputs_since_snapshot_ = 0;
+  recovery_.inputs_replayed = 0;
+  recovery_.saw_drain = false;
 }
 
 void ServiceDaemon::on_grant(double now, const Allocation& alloc) {
@@ -281,6 +301,181 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
   double horizon = 0.0;
   double resume = 0.0;
   bool ok = true;
+  bool need_marker = false;
+
+  // Epoch named by a segment's leading kSnapshot marker (0 = none).
+  const auto leading_marker = [&](const std::vector<WalRecord>& records,
+                                  std::uint64_t* out) -> bool {
+    *out = 0;
+    if (records.empty() || records[0].type != WalRecordType::kSnapshot) {
+      return true;
+    }
+    JsonValue payload;
+    std::string parse_error;
+    double epoch = 0.0;
+    if (!parse_json(records[0].payload, &payload, &parse_error) ||
+        !read_number(payload, "epoch", &epoch) || epoch < 1.0) {
+      *error = "WAL snapshot marker has malformed payload";
+      return false;
+    }
+    *out = static_cast<std::uint64_t>(epoch);
+    return true;
+  };
+
+  const auto try_restore = [&](std::uint64_t epoch) -> bool {
+    SnapshotData data;
+    std::string snap_error;
+    const SnapshotReadStatus st = read_snapshot_file(
+        snapshot_path(options_.wal_path, epoch), &data, &snap_error);
+    if (st != SnapshotReadStatus::kOk) return false;
+    if (!restore_from_snapshot(data, &snap_error)) {
+      // The engine may be half-written; back to scratch before any
+      // fallback replays into it.
+      reset_recovery_state();
+      return false;
+    }
+    recovery_.used_snapshot = true;
+    recovery_.snapshot_epoch = epoch;
+    resume = std::max(resume, wall_target_);
+    return true;
+  };
+
+  // Newest snapshot lost: seed from the previous generation's snapshot
+  // (prev's own leading marker) and replay prev's tail, then the current
+  // segment from `cur_first`. When prev has no marker it holds the full
+  // history and both segments replay from scratch.
+  const auto fallback = [&](const WalReadResult& prev, std::uint64_t bad_epoch,
+                            std::size_t cur_first) -> bool {
+    recovery_.snapshot_fallback = true;
+    if (prev.file_bytes == 0) {
+      *error = "snapshot " + std::to_string(bad_epoch) +
+               " is unusable and no previous WAL segment exists: " +
+               snapshot_path(options_.wal_path, bad_epoch);
+      return false;
+    }
+    if (!prev.header_ok) {
+      *error = "previous WAL segment header corrupt: " + options_.wal_path +
+               ".prev";
+      return false;
+    }
+    if (!prev.tail_error.empty()) {
+      // The old segment was fully synced before it rotated, so a torn
+      // tail there is a mid-history gap — unrecoverable, unlike the
+      // current segment's crash-torn tail.
+      *error = "previous WAL segment is torn (" + prev.tail_error +
+               "): " + options_.wal_path + ".prev";
+      return false;
+    }
+    std::uint64_t pmarker = 0;
+    if (!leading_marker(prev.records, &pmarker)) return false;
+    std::size_t prev_first = 0;
+    if (pmarker > 0) {
+      if (!try_restore(pmarker)) {
+        *error = "snapshots " + std::to_string(bad_epoch) + " and " +
+                 std::to_string(pmarker) + " are both unusable: " +
+                 snapshot_path(options_.wal_path, bad_epoch);
+        return false;
+      }
+      prev_first = 1;
+    }
+    recovery_.tail_records = (prev.records.size() - prev_first) +
+                             (log.records.size() - cur_first);
+    return replay_records(prev.records, prev_first, &logged, &horizon,
+                          &resume, error) &&
+           replay_records(log.records, cur_first, &logged, &horizon, &resume,
+                          error);
+  };
+
+  std::uint64_t marker = 0;
+  ok = leading_marker(log.records, &marker);
+  if (ok && marker > 0) {
+    snapshot_epoch_ = marker;  // epochs never regress, even past a bad file
+    if (try_restore(marker)) {
+      recovery_.tail_records = log.records.size() - 1;
+      ok = replay_records(log.records, 1, &logged, &horizon, &resume, error);
+    } else {
+      const WalReadResult prev = read_wal(options_.wal_path + ".prev");
+      recovery_.records += prev.records.size();
+      ok = fallback(prev, marker, 1);
+    }
+  } else if (ok) {
+    const WalReadResult prev = read_wal(options_.wal_path + ".prev");
+    if (prev.file_bytes == 0) {
+      // Plain uncompacted log: replay everything (the original path).
+      recovery_.tail_records = log.records.size();
+      ok = replay_records(log.records, 0, &logged, &horizon, &resume, error);
+    } else {
+      // No marker but a .prev segment exists: a rotation crashed after
+      // renaming the old segment and before stamping the fresh one. The
+      // snapshot that rotation wrote (prev's epoch + 1) is the freshest
+      // durable state; recovery finishes the rotation by appending the
+      // missing marker afterwards.
+      recovery_.records += prev.records.size();
+      std::uint64_t pmarker = 0;
+      if (!prev.header_ok) {
+        *error = "previous WAL segment header corrupt: " +
+                 options_.wal_path + ".prev";
+        ok = false;
+      } else if (!leading_marker(prev.records, &pmarker)) {
+        ok = false;
+      } else {
+        snapshot_epoch_ = pmarker + 1;
+        need_marker = true;
+        if (try_restore(pmarker + 1)) {
+          recovery_.tail_records = log.records.size();
+          ok = replay_records(log.records, 0, &logged, &horizon, &resume,
+                              error);
+        } else {
+          ok = fallback(prev, pmarker + 1, 0);
+        }
+      }
+    }
+  }
+
+  if (ok && recovery_.saw_drain) {
+    ok = run_drain(error);
+  } else if (ok && horizon > 0.0) {
+    // Wall-mode log: re-advance to the last audited grant/release so the
+    // recovered engine resumes from the pre-crash point.
+    engine_->advance_until(horizon);
+  }
+  recovery_.resume_clock = std::max({resume, horizon, engine_->now()});
+  recovering_ = false;
+  recovery_.grants_logged = logged.size();
+  recovery_.grants_derived = derived_grants_.size();
+  if (ok) {
+    // Deterministic replay must re-derive every logged grant, in order.
+    recovery_.audit_ok = logged.size() <= derived_grants_.size() &&
+                         std::equal(logged.begin(), logged.end(),
+                                    derived_grants_.begin());
+    if (!recovery_.audit_ok) {
+      *error =
+          "WAL grant audit failed: logged grants are not a prefix of the "
+          "replayed run (" +
+          std::to_string(logged.size()) + " logged, " +
+          std::to_string(derived_grants_.size()) + " derived)";
+      ok = false;
+    }
+  } else {
+    recovery_.audit_ok = false;
+  }
+  derived_grants_.clear();
+  derived_grants_.shrink_to_fit();
+  if (ok && need_marker && wal_.is_open()) {
+    std::string payload =
+        "{\"epoch\":" + std::to_string(snapshot_epoch_) + "}";
+    if (!wal_.append(WalRecordType::kSnapshot, payload, error)) return false;
+    if (options_.sync != SyncPolicy::kNone && !wal_.sync(error)) return false;
+  }
+  return ok;
+}
+
+bool ServiceDaemon::replay_records(const std::vector<WalRecord>& records,
+                                   std::size_t first,
+                                   std::vector<GrantFact>* logged,
+                                   double* horizon, double* resume,
+                                   std::string* error) {
+  bool ok = true;
   // Wall-mode inputs took effect against the event stream advanced to
   // their accept clock; re-advancing before each one reproduces that
   // interleaving (a cancel must see the same queue it saw live). The
@@ -288,10 +483,11 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
   // forward (or no-op) move. Virtual-mode logs never advanced outside
   // drain, so their inputs apply against the unstepped engine.
   const auto advance_to_accept = [&](double accept) {
-    resume = std::max(resume, accept);
-    if (options_.clock == ClockMode::kWall) engine_.advance_until(accept);
+    *resume = std::max(*resume, accept);
+    if (options_.clock == ClockMode::kWall) engine_->advance_until(accept);
   };
-  for (const WalRecord& rec : log.records) {
+  for (std::size_t ri = first; ri < records.size(); ++ri) {
+    const WalRecord& rec = records[ri];
     if (!ok) break;
     JsonValue payload;
     std::string parse_error;
@@ -319,7 +515,8 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
           if (read_number(payload, "now", &accept)) advance_to_accept(accept);
           job.id = static_cast<JobId>(id);
           job.nodes = static_cast<int>(nodes);
-          engine_.submit(job);
+          engine_->submit(job);
+          ++inputs_since_snapshot_;
           next_job_id_ = std::max(next_job_id_, job.id + 1);
           double corr = 0.0;
           if (read_number(payload, "corr", &corr) && corr >= 1.0) {
@@ -341,9 +538,10 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
           if (read_number(payload, "time", &accept)) {
             advance_to_accept(accept);
           }
-          if (!engine_.cancel(static_cast<JobId>(job))) {
+          if (!engine_->cancel(static_cast<JobId>(job))) {
             throw std::invalid_argument("cancel replay hit a non-queued job");
           }
+          ++inputs_since_snapshot_;
           ++recovery_.inputs_replayed;
           break;
         }
@@ -364,7 +562,8 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
             throw std::invalid_argument("bad fault target: " + target_error);
           }
           if (read_number(payload, "now", &accept)) advance_to_accept(accept);
-          engine_.add_fault(time, failure->as_bool(), target);
+          engine_->add_fault(time, failure->as_bool(), target);
+          ++inputs_since_snapshot_;
           ++recovery_.inputs_replayed;
           break;
         }
@@ -388,17 +587,22 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
           append_double(f.time, time);
           f.nodes = static_cast<int>(nodes);
           f.digest = static_cast<std::uint32_t>(digest);
-          logged.push_back(std::move(f));
-          horizon = std::max(horizon, time);
+          logged->push_back(std::move(f));
+          *horizon = std::max(*horizon, time);
           break;
         }
         case WalRecordType::kRelease: {
           double time = 0.0;
           if (read_number(payload, "time", &time)) {
-            horizon = std::max(horizon, time);
+            *horizon = std::max(*horizon, time);
           }
           break;
         }
+        case WalRecordType::kSnapshot:
+          // Markers only ever lead a segment (a fresh file is created for
+          // each rotation); one mid-stream means the log was spliced.
+          throw std::invalid_argument(
+              "snapshot marker past the segment head");
       }
     } catch (const std::exception& e) {
       *error = std::string("WAL replay failed at ") +
@@ -407,36 +611,102 @@ bool ServiceDaemon::recover_from_wal(const WalReadResult& log,
       ok = false;
     }
   }
-  if (ok && recovery_.saw_drain) {
-    ok = run_drain(error);
-  } else if (ok && horizon > 0.0) {
-    // Wall-mode log: re-advance to the last audited grant/release so the
-    // recovered engine resumes from the pre-crash point.
-    engine_.advance_until(horizon);
-  }
-  recovery_.resume_clock = std::max({resume, horizon, engine_.now()});
-  recovering_ = false;
-  recovery_.grants_logged = logged.size();
-  recovery_.grants_derived = derived_grants_.size();
-  if (ok) {
-    // Deterministic replay must re-derive every logged grant, in order.
-    recovery_.audit_ok = logged.size() <= derived_grants_.size() &&
-                         std::equal(logged.begin(), logged.end(),
-                                    derived_grants_.begin());
-    if (!recovery_.audit_ok) {
-      *error =
-          "WAL grant audit failed: logged grants are not a prefix of the "
-          "replayed run (" +
-          std::to_string(logged.size()) + " logged, " +
-          std::to_string(derived_grants_.size()) + " derived)";
-      ok = false;
-    }
-  } else {
-    recovery_.audit_ok = false;
-  }
-  derived_grants_.clear();
-  derived_grants_.shrink_to_fit();
   return ok;
+}
+
+bool ServiceDaemon::restore_from_snapshot(const SnapshotData& data,
+                                          std::string* error) {
+  if (data.clock != clock_mode_name(options_.clock)) {
+    *error = "snapshot clock mode \"" + data.clock +
+             "\" does not match daemon mode \"" +
+             clock_mode_name(options_.clock) + '"';
+    return false;
+  }
+  if (!engine_->deserialize(data.engine_blob, error)) return false;
+  next_job_id_ = data.next_job_id;
+  next_corr_ = data.next_corr;
+  corr_.clear();
+  for (const auto& [job, corr] : data.corr) corr_[job] = corr;
+  grants_ = data.grants;
+  releases_ = data.releases;
+  wall_target_ = data.wall_target;
+  inputs_since_snapshot_ = 0;
+  if (data.drained) {
+    try {
+      final_metrics_ = engine_->finish();
+    } catch (const std::exception& e) {
+      *error = std::string("drained snapshot cannot finalize: ") + e.what();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ServiceDaemon::snapshot_now(std::string* error) {
+  if (!wal_.is_open()) {
+    *error = "snapshots require a WAL";
+    return false;
+  }
+  SnapshotData data;
+  data.epoch = snapshot_epoch_ + 1;
+  data.clock = clock_mode_name(options_.clock);
+  data.next_job_id = next_job_id_;
+  data.next_corr = next_corr_;
+  data.corr.assign(corr_.begin(), corr_.end());
+  std::sort(data.corr.begin(), data.corr.end());
+  data.grants = grants_;
+  data.releases = releases_;
+  data.wall_target = wall_target_;
+  data.drained = drained();
+  if (!engine_->serialize(&data.engine_blob, error)) return false;
+  if (!write_snapshot_file(snapshot_path(options_.wal_path, data.epoch), data,
+                           error)) {
+    return false;
+  }
+  // Rotate the log. The old segment is fully durable before it becomes
+  // .prev, so the fallback chain (snapshot epoch-1 + .prev tail) is
+  // complete whenever the new snapshot turns out corrupt. A crash
+  // anywhere in this sequence recovers: before the rename the marker-less
+  // old segment still pairs with its own snapshot chain; between rename
+  // and marker the .prev segment names the epoch (recover_from_wal's
+  // rotation-crash case); after the marker the rotation simply finished.
+  if (!wal_.sync(error)) return false;
+  wal_.close();
+  const std::string prev = options_.wal_path + ".prev";
+  if (::rename(options_.wal_path.c_str(), prev.c_str()) != 0) {
+    *error = "cannot rotate WAL to " + prev + ": " + std::strerror(errno);
+    return false;
+  }
+  if (!wal_.open(options_.wal_path, error)) return false;
+  const std::string marker =
+      "{\"epoch\":" + std::to_string(data.epoch) + "}";
+  if (!wal_.append(WalRecordType::kSnapshot, marker, error)) return false;
+  if (options_.sync != SyncPolicy::kNone) {
+    if (!wal_.sync(error)) return false;
+  }
+  wal_dirty_ = false;
+  if (data.epoch >= 2) {
+    // Two-generation retention: epoch-1 backs the corruption fallback,
+    // anything older is unreachable (best-effort unlink).
+    ::unlink(snapshot_path(options_.wal_path, data.epoch - 2).c_str());
+  }
+  snapshot_epoch_ = data.epoch;
+  inputs_since_snapshot_ = 0;
+  ++snapshots_taken_;
+  refresh_gauges();  // wal.bytes & friends now describe the fresh segment
+  emit("service.snapshot");
+  return true;
+}
+
+void ServiceDaemon::maybe_snapshot() {
+  if (options_.snapshot_every == 0 || !wal_.is_open() || drained()) return;
+  if (inputs_since_snapshot_ < options_.snapshot_every) return;
+  std::string error;
+  if (!snapshot_now(&error)) {
+    // The triggering request already committed to the WAL; a failed
+    // compaction costs recovery time, not correctness.
+    emit("service.snapshot_failed");
+  }
 }
 
 bool ServiceDaemon::run_drain(std::string* error) {
@@ -450,17 +720,17 @@ bool ServiceDaemon::run_drain(std::string* error) {
       return interrupt_check_ ? interrupt_check_() : false;
     };
   }
-  engine_.run(interrupted);
+  engine_->run(interrupted);
   if (interrupt_check_ && interrupt_check_()) {
     *error = "drain interrupted";
     return false;
   }
-  if (!engine_.idle()) {
+  if (!engine_->idle()) {
     *error = "drain interrupted";
     return false;
   }
   try {
-    final_metrics_ = engine_.finish();
+    final_metrics_ = engine_->finish();
   } catch (const std::exception& e) {
     *error = e.what();
     return false;
@@ -472,11 +742,11 @@ void ServiceDaemon::advance_wall() {
   if (options_.clock != ClockMode::kWall || drained()) return;
   wall_target_ =
       std::max(wall_target_, wall_elapsed() * options_.time_scale);
-  engine_.advance_until(wall_target_);
+  engine_->advance_until(wall_target_);
 }
 
 double ServiceDaemon::input_clock() const {
-  return options_.clock == ClockMode::kWall ? wall_target_ : engine_.now();
+  return options_.clock == ClockMode::kWall ? wall_target_ : engine_->now();
 }
 
 double ServiceDaemon::on_idle() {
@@ -487,9 +757,9 @@ double ServiceDaemon::on_idle() {
   }
   if (options_.clock != ClockMode::kWall) return -1.0;
   advance_wall();
-  if (engine_.idle()) return -1.0;
+  if (engine_->idle()) return -1.0;
   const double dt =
-      engine_.next_time() - wall_elapsed() * options_.time_scale;
+      engine_->next_time() - wall_elapsed() * options_.time_scale;
   if (dt <= 0.0) return 0.0;
   return dt / options_.time_scale;
 }
@@ -522,7 +792,7 @@ std::string ServiceDaemon::handle_line(const std::string& line) {
   switch (req.op) {
     case RequestOp::kPing: {
       std::string body;
-      append_kv(body, "time", engine_.now());
+      append_kv(body, "time", engine_->now());
       return ok_reply(body, req.seq);
     }
     case RequestOp::kSubmit:
@@ -540,6 +810,8 @@ std::string ServiceDaemon::handle_line(const std::string& line) {
       return handle_fault(req);
     case RequestOp::kDrain:
       return handle_drain(req);
+    case RequestOp::kSnapshot:
+      return handle_snapshot(req);
     case RequestOp::kShutdown:
       return handle_shutdown(req);
   }
@@ -559,7 +831,7 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
             std::to_string(topo_->total_nodes()),
         req.seq);
   }
-  if (engine_.active_count() >= options_.max_queue) {
+  if (engine_->active_count() >= options_.max_queue) {
     return error_reply(ErrorCode::kQueueFull,
                        "admission queue is full (" +
                            std::to_string(options_.max_queue) + " active jobs)",
@@ -570,16 +842,16 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
   job.nodes = req.nodes;
   job.runtime = req.runtime;
   job.bandwidth = req.bandwidth;
-  job.arrival = req.arrival.has_value() ? *req.arrival : engine_.now();
-  // Pre-validate everything engine_.submit() would reject, then log
+  job.arrival = req.arrival.has_value() ? *req.arrival : engine_->now();
+  // Pre-validate everything engine_->submit() would reject, then log
   // before applying: a request must never mutate the engine without its
   // WAL record (an unlogged admission makes every later grant unaudit-
   // able), and the failed-append path must leave no state behind.
-  if (engine_.phase(job.id) != JobPhase::kUnknown) {
+  if (engine_->phase(job.id) != JobPhase::kUnknown) {
     return error_reply(ErrorCode::kBadRequest, "duplicate job id submitted",
                        req.seq);
   }
-  if (job.arrival < engine_.now()) {
+  if (job.arrival < engine_->now()) {
     return error_reply(ErrorCode::kBadRequest,
                        "job arrival in the simulated past", req.seq);
   }
@@ -603,7 +875,7 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
                        req.seq);
   }
   try {
-    engine_.submit(job);
+    engine_->submit(job);
   } catch (const std::exception& e) {
     // Unreachable given the pre-validation above; surface rather than ack
     // a submission the engine refused.
@@ -613,8 +885,10 @@ std::string ServiceDaemon::handle_submit(const Request& req) {
   ++next_corr_;
   corr_[job.id] = corr;
   submit_wall_[job.id] = wall_elapsed();
+  ++inputs_since_snapshot_;
+  maybe_snapshot();
   if (config_.obs.tracing()) {
-    config_.obs.emit(obs::instant("service", "service.submit", engine_.now())
+    config_.obs.emit(obs::instant("service", "service.submit", engine_->now())
                          .arg("job", static_cast<std::int64_t>(job.id))
                          .arg("corr", static_cast<std::int64_t>(corr)));
   }
@@ -629,7 +903,7 @@ std::string ServiceDaemon::handle_cancel(const Request& req) {
     return error_reply(ErrorCode::kBadState, "daemon already drained",
                        req.seq);
   }
-  const JobPhase phase = engine_.phase(req.job);
+  const JobPhase phase = engine_->phase(req.job);
   if (phase == JobPhase::kUnknown) {
     return error_reply(ErrorCode::kUnknownJob,
                        "job " + std::to_string(req.job) + " was never accepted",
@@ -653,13 +927,15 @@ std::string ServiceDaemon::handle_cancel(const Request& req) {
     return error_reply(ErrorCode::kInternal, "WAL append failed: " + error,
                        req.seq);
   }
-  if (!engine_.cancel(req.job)) {
+  if (!engine_->cancel(req.job)) {
     // Unreachable: the phase check above is cancel()'s success condition
     // and nothing ran in between on this single thread.
     return error_reply(ErrorCode::kInternal,
                        "cancel refused for a queued job", req.seq);
   }
   submit_wall_.erase(req.job);
+  ++inputs_since_snapshot_;
+  maybe_snapshot();
   emit("service.cancel", req.job);
   std::string body = ",\"job\":" + std::to_string(req.job);
   append_kv(body, "phase", std::string(job_phase_name(JobPhase::kCancelled)));
@@ -667,7 +943,7 @@ std::string ServiceDaemon::handle_cancel(const Request& req) {
 }
 
 std::string ServiceDaemon::handle_status(const Request& req) {
-  const std::optional<SimEngine::JobStatus> status = engine_.status(req.job);
+  const std::optional<SimEngine::JobStatus> status = engine_->status(req.job);
   if (!status.has_value()) {
     return error_reply(ErrorCode::kUnknownJob,
                        "job " + std::to_string(req.job) + " was never accepted",
@@ -693,16 +969,16 @@ std::string ServiceDaemon::handle_stats(const Request& req) {
   std::string s = "{\"clock\":\"";
   s += clock_mode_name(options_.clock);
   s += '"';
-  append_kv(s, "now", engine_.now());
-  append_kv(s, "queue_depth", static_cast<std::uint64_t>(engine_.queue_depth()));
-  append_kv(s, "running", static_cast<std::uint64_t>(engine_.running_count()));
+  append_kv(s, "now", engine_->now());
+  append_kv(s, "queue_depth", static_cast<std::uint64_t>(engine_->queue_depth()));
+  append_kv(s, "running", static_cast<std::uint64_t>(engine_->running_count()));
   append_kv(s, "submitted",
-            static_cast<std::uint64_t>(engine_.submitted_count()));
+            static_cast<std::uint64_t>(engine_->submitted_count()));
   append_kv(s, "completed",
-            static_cast<std::uint64_t>(engine_.completed_count()));
+            static_cast<std::uint64_t>(engine_->completed_count()));
   append_kv(s, "cancelled",
-            static_cast<std::uint64_t>(engine_.cancelled_count()));
-  append_kv(s, "active", static_cast<std::uint64_t>(engine_.active_count()));
+            static_cast<std::uint64_t>(engine_->cancelled_count()));
+  append_kv(s, "active", static_cast<std::uint64_t>(engine_->active_count()));
   append_kv(s, "grants", grants_);
   append_kv(s, "releases", releases_);
   s += ",\"obs_enabled\":";
@@ -710,6 +986,9 @@ std::string ServiceDaemon::handle_stats(const Request& req) {
   if (wal_.is_open()) {
     append_kv(s, "wal_bytes", wal_.bytes());
     append_kv(s, "wal_unsynced_records", wal_.unsynced_records());
+    append_kv(s, "snapshot_epoch", snapshot_epoch_);
+    append_kv(s, "snapshots", snapshots_taken_);
+    append_kv(s, "inputs_since_snapshot", inputs_since_snapshot_);
   }
   s += ",\"drained\":";
   s += drained() ? "true" : "false";
@@ -719,6 +998,15 @@ std::string ServiceDaemon::handle_stats(const Request& req) {
     append_kv(s, "recovery_records",
               static_cast<std::uint64_t>(recovery_.records));
     append_kv(s, "recovery_dropped_bytes", recovery_.dropped_bytes);
+    append_kv(s, "recovery_inputs_replayed",
+              static_cast<std::uint64_t>(recovery_.inputs_replayed));
+    append_kv(s, "recovery_tail_records",
+              static_cast<std::uint64_t>(recovery_.tail_records));
+    s += ",\"recovery_used_snapshot\":";
+    s += recovery_.used_snapshot ? "true" : "false";
+    s += ",\"recovery_snapshot_fallback\":";
+    s += recovery_.snapshot_fallback ? "true" : "false";
+    append_kv(s, "recovery_snapshot_epoch", recovery_.snapshot_epoch);
   }
   const SortedSamples lat(grant_latencies_);
   s += ",\"grant_latency\":{\"count\":" + std::to_string(lat.count());
@@ -735,19 +1023,25 @@ std::string ServiceDaemon::handle_stats(const Request& req) {
 void ServiceDaemon::refresh_gauges() {
   if (!config_.obs.metering()) return;
   obs::MetricsRegistry& m = *config_.obs.metrics;
-  const ClusterState& state = engine_.cluster();
+  const ClusterState& state = engine_->cluster();
   const int total = topo_->total_nodes();
   const int busy =
       total - state.total_free_nodes() - state.failed_node_count();
   m.gauge("cluster.utilization")
       .set(total > 0 ? static_cast<double>(busy) / total : 0.0);
   m.gauge("cluster.busy_nodes").set(static_cast<double>(busy));
-  m.gauge("queue.depth").set(static_cast<double>(engine_.queue_depth()));
-  m.gauge("jobs.running").set(static_cast<double>(engine_.running_count()));
+  m.gauge("queue.depth").set(static_cast<double>(engine_->queue_depth()));
+  m.gauge("jobs.running").set(static_cast<double>(engine_->running_count()));
   if (wal_.is_open()) {
+    // wal.bytes describes the live segment only: a compaction rotates the
+    // log, so the gauge drops back to the fresh segment's size instead of
+    // reporting the retired history.
     m.gauge("wal.bytes").set(static_cast<double>(wal_.bytes()));
     m.gauge("wal.unsynced_records")
         .set(static_cast<double>(wal_.unsynced_records()));
+    m.gauge("wal.snapshot_epoch").set(static_cast<double>(snapshot_epoch_));
+    m.gauge("wal.inputs_since_snapshot")
+        .set(static_cast<double>(inputs_since_snapshot_));
   }
   // Structural contiguity only (free leaves/subtrees, scatter histogram):
   // the allocate-probe bisection is far too expensive per scrape.
@@ -848,8 +1142,8 @@ std::string ServiceDaemon::handle_fault(const Request& req) {
     return error_reply(ErrorCode::kBadRequest, invalid, req.seq);
   }
   const bool is_failure = req.op == RequestOp::kFail;
-  const double time = req.time.has_value() ? *req.time : engine_.now();
-  if (time < engine_.now()) {
+  const double time = req.time.has_value() ? *req.time : engine_->now();
+  if (time < engine_->now()) {
     return error_reply(ErrorCode::kBadRequest,
                        "fault event in the simulated past", req.seq);
   }
@@ -868,11 +1162,13 @@ std::string ServiceDaemon::handle_fault(const Request& req) {
                        req.seq);
   }
   try {
-    engine_.add_fault(time, is_failure, target);
+    engine_->add_fault(time, is_failure, target);
   } catch (const std::exception& e) {
     // Unreachable given the validation above.
     return error_reply(ErrorCode::kInternal, e.what(), req.seq);
   }
+  ++inputs_since_snapshot_;
+  maybe_snapshot();
   emit(is_failure ? "service.fail" : "service.repair");
   std::string body;
   append_kv(body, "target", fault::describe(target));
@@ -901,6 +1197,22 @@ std::string ServiceDaemon::handle_drain(const Request& req) {
     }
   }
   return ok_reply(",\"metrics\":" + metrics_json(*final_metrics_), req.seq);
+}
+
+std::string ServiceDaemon::handle_snapshot(const Request& req) {
+  if (!wal_.is_open()) {
+    return error_reply(ErrorCode::kBadState,
+                       "snapshots require a WAL (run the daemon with --wal)",
+                       req.seq);
+  }
+  std::string error;
+  if (!snapshot_now(&error)) {
+    return error_reply(ErrorCode::kInternal, error, req.seq);
+  }
+  std::string body;
+  append_kv(body, "epoch", snapshot_epoch_);
+  append_kv(body, "wal_bytes", wal_.bytes());
+  return ok_reply(body, req.seq);
 }
 
 std::string ServiceDaemon::handle_shutdown(const Request& req) {

@@ -23,7 +23,15 @@
 //
 // Recovery (--recover): read_wal() yields the longest valid record
 // prefix; the writer truncates the torn tail; inputs (submit / cancel /
-// fault / drain) replay through a fresh engine in log order. Each input
+// fault / drain) replay through a fresh engine in log order. When the
+// log opens with a kSnapshot marker (the daemon compacted it at some
+// point), the engine is seeded from that epoch's snapshot file instead
+// and only the records after the marker replay — O(events since the
+// snapshot), not O(history). A corrupt or missing newest snapshot falls
+// back to the previous generation: restore `<wal>.snap.<epoch-1>` and
+// replay the rotated-out `<wal>.prev` segment before the current tail
+// (or, when no older snapshot exists, replay both segments from
+// scratch). Every path ends in the same grant audit. Each input
 // record carries the engine clock at which it was accepted live ("now"
 // on kSubmit/kFault, "time" on kCancel); in wall mode replay advances
 // the engine to that clock before applying the input, so a cancel
@@ -46,6 +54,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -54,6 +63,7 @@
 
 #include "service/protocol.hpp"
 #include "service/reactor.hpp"
+#include "service/snapshot.hpp"
 #include "service/wal.hpp"
 #include "sim/engine.hpp"
 
@@ -80,6 +90,10 @@ struct DaemonOptions {
   /// Artificial delay between drain steps (crash-window widener for the
   /// kill -9 recovery smoke test; 0 in normal operation).
   std::uint64_t step_delay_us = 0;
+  /// Snapshot + compact the WAL after this many accepted inputs (submit/
+  /// cancel/fault records since the last snapshot); 0 disables automatic
+  /// snapshots (the `snapshot` protocol op still works).
+  std::uint64_t snapshot_every = 0;
 };
 
 struct RecoveryReport {
@@ -91,6 +105,12 @@ struct RecoveryReport {
   std::uint64_t dropped_bytes = 0;///< torn tail truncated away
   bool saw_drain = false;
   bool audit_ok = true;
+  bool used_snapshot = false;      ///< engine seeded from a snapshot file
+  bool snapshot_fallback = false;  ///< newest snapshot bad; older chain used
+  std::uint64_t snapshot_epoch = 0;  ///< epoch restored from (0 = none)
+  /// Records replayed after the restored snapshot's marker — the O(tail)
+  /// in "O(tail) recovery" (equals `records` when no snapshot was used).
+  std::size_t tail_records = 0;
   /// Event clock the recovered run resumes at: the max of every input's
   /// logged accept clock and the last audited grant/release time. Wall
   /// mode shifts the wall epoch back by this much.
@@ -147,7 +167,18 @@ class ServiceDaemon {
   void flush();
 
   bool drained() const { return final_metrics_.has_value(); }
-  const SimEngine& engine() const { return engine_; }
+  const SimEngine& engine() const { return *engine_; }
+
+  /// Serialize the full daemon state to `<wal>.snap.<epoch+1>` and
+  /// compact the WAL: the current segment (fully synced) rotates to
+  /// `<wal>.prev`, a fresh segment opens with a kSnapshot marker naming
+  /// the new epoch, and the epoch-2 snapshot is retired (two-generation
+  /// retention backs the corruption fallback). False with *error when no
+  /// WAL is open, the daemon has drained, the engine refuses to
+  /// serialize (measured-interference mode), or a file step fails.
+  bool snapshot_now(std::string* error);
+  std::uint64_t snapshot_epoch() const { return snapshot_epoch_; }
+  std::uint64_t snapshots_taken() const { return snapshots_taken_; }
 
   /// Wall-clock submit->grant latencies observed so far (seconds), in
   /// grant order. The bench reads these through `stats`.
@@ -156,6 +187,16 @@ class ServiceDaemon {
   }
 
  private:
+  /// Grant identity tuple logged to / audited against the WAL.
+  struct GrantFact {
+    JobId job = kNoJob;
+    std::string time;  ///< %.17g — compared textually, bit-exact
+    int nodes = 0;
+    std::uint32_t digest = 0;  ///< crc32 over the placement
+    friend bool operator==(const GrantFact&, const GrantFact&) = default;
+  };
+  static GrantFact grant_fact(double now, const Allocation& alloc);
+
   std::string handle_submit(const Request& req);
   std::string handle_cancel(const Request& req);
   std::string handle_status(const Request& req);
@@ -163,6 +204,7 @@ class ServiceDaemon {
   std::string handle_metrics(const Request& req);
   std::string handle_fault(const Request& req);
   std::string handle_drain(const Request& req);
+  std::string handle_snapshot(const Request& req);
   std::string handle_shutdown(const Request& req);
 
   /// Point-in-time gauges recomputed per scrape (utilization, queue
@@ -171,6 +213,24 @@ class ServiceDaemon {
   void refresh_gauges();
 
   bool recover_from_wal(const WalReadResult& log, std::string* error);
+  /// Replay one WAL segment's records starting at index `first`,
+  /// collecting logged grant facts and the grant/release horizon.
+  /// `resume` accumulates the max accept clock seen. A kSnapshot record
+  /// anywhere past a segment head is corruption and fails the replay.
+  bool replay_records(const std::vector<WalRecord>& records,
+                      std::size_t first, std::vector<GrantFact>* logged,
+                      double* horizon, double* resume, std::string* error);
+  /// Seed the daemon from one snapshot file: engine blob, id/corr
+  /// counters, grant/release totals, wall target. On failure the engine
+  /// may be half-written; the caller resets it before any fallback.
+  bool restore_from_snapshot(const SnapshotData& data, std::string* error);
+  /// Recovery-only: discard the (possibly half-restored) engine and every
+  /// counter a snapshot restore touches, back to the scratch-replay state.
+  void reset_recovery_state();
+  /// Count an accepted input toward --snapshot-every and compact when the
+  /// threshold is reached (failure is logged, never surfaced to the
+  /// triggering request — the WAL still holds every record).
+  void maybe_snapshot();
   bool run_drain(std::string* error);  ///< run + finish, step-delay aware
   void install_live_hooks();
   void on_grant(double now, const Allocation& alloc);
@@ -189,9 +249,12 @@ class ServiceDaemon {
   void emit(const char* name, JobId job = kNoJob);
 
   const FatTree* topo_;
+  const Allocator* allocator_;  ///< kept to rebuild the engine in recovery
   DaemonOptions options_;
   SimConfig config_;
-  SimEngine engine_;
+  /// Owned indirectly so fallback recovery can discard a half-restored
+  /// engine (SimEngine is neither copyable nor movable).
+  std::unique_ptr<SimEngine> engine_;
   Reactor* reactor_ = nullptr;
   std::function<bool()> interrupt_check_;
 
@@ -200,6 +263,10 @@ class ServiceDaemon {
   bool recovering_ = false;  ///< replay in progress: hooks stay quiet
   RecoveryReport recovery_;
 
+  std::uint64_t snapshot_epoch_ = 0;  ///< newest epoch written/restored
+  std::uint64_t inputs_since_snapshot_ = 0;
+  std::uint64_t snapshots_taken_ = 0;  ///< this process only (not restored)
+
   JobId next_job_id_ = 0;
   std::optional<SimMetrics> final_metrics_;
   std::chrono::steady_clock::time_point start_;
@@ -207,15 +274,6 @@ class ServiceDaemon {
   /// recovered resume_clock right after a wall-mode recovery).
   double wall_target_ = 0.0;
 
-  /// Grant identity tuple logged to / audited against the WAL.
-  struct GrantFact {
-    JobId job = kNoJob;
-    std::string time;  ///< %.17g — compared textually, bit-exact
-    int nodes = 0;
-    std::uint32_t digest = 0;  ///< crc32 over the placement
-    friend bool operator==(const GrantFact&, const GrantFact&) = default;
-  };
-  static GrantFact grant_fact(double now, const Allocation& alloc);
   std::vector<GrantFact> derived_grants_;  ///< recovery replay only
 
   std::unordered_map<JobId, double> submit_wall_;  ///< id -> wall seconds

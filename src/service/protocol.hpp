@@ -18,7 +18,12 @@
 //   {"op":"fail","target":"node 17","time":40.0?}
 //   {"op":"repair","target":"node 17","time":90.0?}
 //   {"op":"drain"}
+//   {"op":"snapshot"}
 //   {"op":"shutdown"}
+//
+// Any request may carry `"cluster":<k>` — a routing hint the sharded
+// front-end (service/shard.hpp) uses to pick the owning daemon. A
+// single-cluster daemon accepts and ignores it.
 //
 // This header is transport-agnostic: parse_request() turns a line into a
 // typed Request, and the reply builders produce lines. The daemon
@@ -60,12 +65,16 @@ enum class RequestOp {
   kFail,
   kRepair,
   kDrain,
+  kSnapshot,
   kShutdown,
 };
 
 struct Request {
   RequestOp op = RequestOp::kPing;
   std::string seq;  ///< serialized client "seq" value, echoed verbatim
+  /// Routing: which cluster this request addresses in a sharded service
+  /// (absent = cluster 0 / single-cluster daemon).
+  std::optional<int> cluster;
   // submit
   std::optional<JobId> id;      ///< client-chosen id (else daemon assigns)
   int nodes = 0;

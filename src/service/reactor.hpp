@@ -100,6 +100,12 @@ class Reactor {
   /// Async-signal-safe to write to.
   int notify_fd() const { return wake_write_fd_; }
 
+  /// Wake the poll loop WITHOUT stopping it: the next iteration runs the
+  /// idle handler and flushes queued writes as usual. Thread-safe — this
+  /// is how the sharded front-end's worker threads get their finished
+  /// replies flushed while run() is blocked in poll().
+  void wake();
+
  private:
   struct Client {
     int fd = -1;
@@ -123,6 +129,8 @@ class Reactor {
   std::string unix_path_;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
+  int poke_read_fd_ = -1;   ///< wake() pipe: wakes poll, does not stop
+  int poke_write_fd_ = -1;
   bool stop_requested_ = false;
   ClientId next_client_ = 1;
   std::map<ClientId, Client> clients_;

@@ -1,0 +1,197 @@
+#include "service/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "service/wal.hpp"  // crc32
+#include "util/binio.hpp"
+
+namespace jigsaw::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'J', 'G', 'S', 'W', 'S', 'N', 'P', '1'};
+constexpr std::uint32_t kVersion = 1;
+/// magic + version + payload length + trailing crc.
+constexpr std::size_t kFrameBytes = sizeof(kMagic) + 4 + 8 + 4;
+
+void encode_payload(const SnapshotData& data, std::string* out) {
+  BufWriter w(*out);
+  w.u64(data.epoch);
+  w.str(data.clock);
+  w.i64(data.next_job_id);
+  w.u64(data.next_corr);
+  w.u64(data.corr.size());
+  for (const auto& [job, corr] : data.corr) {
+    w.i64(job);
+    w.u64(corr);
+  }
+  w.u64(data.grants);
+  w.u64(data.releases);
+  w.f64(data.wall_target);
+  w.u8(data.drained ? 1 : 0);
+  w.str(data.engine_blob);
+}
+
+bool decode_payload(std::string_view payload, SnapshotData* out,
+                    std::string* error) {
+  BufReader r(payload);
+  out->epoch = r.u64();
+  out->clock = r.str();
+  out->next_job_id = r.i64();
+  out->next_corr = r.u64();
+  const std::uint64_t n_corr = r.u64();
+  if (n_corr > r.remaining() / 16) r.fail();
+  if (r.ok()) {
+    out->corr.resize(static_cast<std::size_t>(n_corr));
+    for (auto& [job, corr] : out->corr) {
+      job = r.i64();
+      corr = r.u64();
+    }
+  }
+  out->grants = r.u64();
+  out->releases = r.u64();
+  out->wall_target = r.f64();
+  out->drained = r.u8() != 0;
+  out->engine_blob = r.str();
+  if (!r.ok()) {
+    *error = "truncated snapshot payload";
+    return false;
+  }
+  if (r.remaining() != 0) {
+    *error = "trailing bytes in snapshot payload";
+    return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* p, std::size_t n, std::string* error) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      *error = "snapshot write failed: " + std::string(std::strerror(errno));
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// fsync the directory holding `path` so the rename itself is durable.
+/// Best-effort: some filesystems refuse directory fsync; the data file
+/// was already synced, so a failure here only risks replaying the
+/// previous generation after a crash — which recovery handles anyway.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string snapshot_path(const std::string& wal_path, std::uint64_t epoch) {
+  return wal_path + ".snap." + std::to_string(epoch);
+}
+
+bool write_snapshot_file(const std::string& path, const SnapshotData& data,
+                         std::string* error) {
+  std::string payload;
+  encode_payload(data, &payload);
+  std::string file;
+  file.reserve(kFrameBytes + payload.size());
+  file.append(kMagic, sizeof(kMagic));
+  {
+    BufWriter w(file);
+    w.u32(kVersion);
+    w.u64(payload.size());
+  }
+  file += payload;
+  {
+    BufWriter w(file);
+    w.u32(crc32(payload.data(), payload.size()));
+  }
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    *error = "cannot create " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  if (!write_all(fd, file.data(), file.size(), error)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    *error = "snapshot fsync failed: " + std::string(std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "cannot rename " + tmp + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+SnapshotReadStatus read_snapshot_file(const std::string& path,
+                                      SnapshotData* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) error->clear();  // missing is not an error
+    return SnapshotReadStatus::kMissing;
+  }
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (file.size() < kFrameBytes ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    *error = "bad or short snapshot header: " + path;
+    return SnapshotReadStatus::kCorrupt;
+  }
+  BufReader header(
+      std::string_view(file).substr(sizeof(kMagic), 12));
+  const std::uint32_t version = header.u32();
+  const std::uint64_t payload_len = header.u64();
+  if (version != kVersion) {
+    *error = "unsupported snapshot version " + std::to_string(version) + ": " +
+             path;
+    return SnapshotReadStatus::kCorrupt;
+  }
+  if (payload_len != file.size() - kFrameBytes) {
+    *error = "snapshot length mismatch: " + path;
+    return SnapshotReadStatus::kCorrupt;
+  }
+  const std::string_view payload =
+      std::string_view(file).substr(sizeof(kMagic) + 12,
+                                    static_cast<std::size_t>(payload_len));
+  std::uint32_t stored_crc = 0;
+  {
+    BufReader tail(std::string_view(file).substr(file.size() - 4));
+    stored_crc = tail.u32();
+  }
+  if (stored_crc != crc32(payload.data(), payload.size())) {
+    *error = "snapshot checksum mismatch: " + path;
+    return SnapshotReadStatus::kCorrupt;
+  }
+  if (!decode_payload(payload, out, error)) {
+    *error += ": " + path;
+    return SnapshotReadStatus::kCorrupt;
+  }
+  return SnapshotReadStatus::kOk;
+}
+
+}  // namespace jigsaw::service

@@ -1,0 +1,74 @@
+// Snapshot files: point-in-time daemon state for O(tail) recovery.
+//
+// A snapshot serializes everything the daemon needs to resume — the
+// engine blob (sim/engine.hpp serialize()), the id/correlation counters,
+// and the grant/release totals — into one CRC-framed file next to the
+// WAL. snapshot_now() (service/daemon.hpp) writes one and then compacts
+// the WAL, so recovery restores the snapshot and replays only the
+// records appended since, instead of the whole history.
+//
+// File layout (all little-endian):
+//
+//   "JGSWSNP1"  8-byte magic
+//   u32         format version (1)
+//   u64         payload length
+//   payload     binio-encoded SnapshotData
+//   u32         crc32(payload)
+//
+// Writes go to `<path>.tmp` + fsync + rename, so a crash mid-write
+// never damages an existing snapshot: the file at `path` is either the
+// complete old generation or the complete new one. The loader
+// distinguishes "missing" from "corrupt" so recovery can fall back to
+// the previous generation (`<wal>.snap.<epoch-1>` plus the rotated-out
+// `<wal>.prev` segment) when the newest snapshot did not survive.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/ids.hpp"
+
+namespace jigsaw::service {
+
+enum class SnapshotReadStatus {
+  kOk,
+  kMissing,  ///< no file at the path (not an error; fall back / fresh)
+  kCorrupt,  ///< truncated, bad magic/version, or checksum mismatch
+};
+
+/// Everything snapshot_now() captures. The engine blob is opaque here;
+/// SimEngine::deserialize() validates it against the live topology and
+/// config when the daemon restores.
+struct SnapshotData {
+  std::uint64_t epoch = 0;  ///< monotone snapshot generation number
+  std::string clock;        ///< clock_mode_name() guard ("virtual"/"wall")
+  JobId next_job_id = 0;
+  std::uint64_t next_corr = 1;
+  /// Live correlation ids (job -> corr), sorted by job id for
+  /// byte-deterministic re-serialization.
+  std::vector<std::pair<JobId, std::uint64_t>> corr;
+  std::uint64_t grants = 0;
+  std::uint64_t releases = 0;
+  double wall_target = 0.0;  ///< wall mode: last advance_until() bound
+  bool drained = false;
+  std::string engine_blob;  ///< SimEngine::serialize() output
+};
+
+/// `<wal_path>.snap.<epoch>` — snapshots live next to the WAL they
+/// compact.
+std::string snapshot_path(const std::string& wal_path, std::uint64_t epoch);
+
+/// Serialize + frame + write via tmp/fsync/rename. False with *error on
+/// any filesystem failure (the caller keeps serving from the WAL alone).
+bool write_snapshot_file(const std::string& path, const SnapshotData& data,
+                         std::string* error);
+
+/// Read + verify one snapshot file. On kCorrupt, *error says what broke
+/// (for the daemon's fallback log line); on kMissing, *error is empty.
+SnapshotReadStatus read_snapshot_file(const std::string& path,
+                                      SnapshotData* out, std::string* error);
+
+}  // namespace jigsaw::service

@@ -51,7 +51,7 @@ const std::array<std::uint32_t, 256>& crc_table() {
 
 bool valid_type(std::uint32_t type) {
   return type >= static_cast<std::uint32_t>(WalRecordType::kSubmit) &&
-         type <= static_cast<std::uint32_t>(WalRecordType::kRelease);
+         type <= static_cast<std::uint32_t>(WalRecordType::kSnapshot);
 }
 
 std::uint32_t frame_crc(std::uint32_t type, const std::string& payload) {
@@ -82,6 +82,7 @@ bool wal_is_input(WalRecordType type) {
       return true;
     case WalRecordType::kGrant:
     case WalRecordType::kRelease:
+    case WalRecordType::kSnapshot:
       return false;
   }
   return false;
@@ -95,6 +96,7 @@ const char* wal_record_type_name(WalRecordType type) {
     case WalRecordType::kDrain: return "drain";
     case WalRecordType::kGrant: return "grant";
     case WalRecordType::kRelease: return "release";
+    case WalRecordType::kSnapshot: return "snapshot";
   }
   return "?";
 }

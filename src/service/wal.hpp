@@ -39,6 +39,10 @@ enum class WalRecordType : std::uint32_t {
   kDrain = 4,    ///< drain requested (input; replayed)
   kGrant = 5,    ///< partition granted (audit: recovery cross-check)
   kRelease = 6,  ///< partition released (audit)
+  /// Leading record of a compacted segment: names the snapshot epoch the
+  /// segment's records extend. Recovery seeds the engine from that
+  /// snapshot file and replays only the records after this marker.
+  kSnapshot = 7,
 };
 
 /// True for the record types recovery replays as inputs (the rest are

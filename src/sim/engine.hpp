@@ -32,6 +32,8 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -139,6 +141,25 @@ class SimEngine {
     BlockedReason blocked_reason = BlockedReason::kNone;
   };
   std::optional<JobStatus> status(JobId id) const;
+
+  // -- state snapshot (service/snapshot) ----------------------------------
+  /// Append the engine's complete dynamic state to `out` as a
+  /// little-endian binary blob (util/binio.hpp): cluster masks, pending
+  /// events with their tie-break sequence numbers, queues, running set in
+  /// its exact (swap-remove) order, scheduler cache, timeline, and every
+  /// metrics accumulator. A restored engine continues the run with a
+  /// bit-identical event stream and %.17g-identical finish() metrics.
+  /// Returns false with *error in measured-interference mode (the
+  /// TrafficLoadModel's RNG-coupled link loads are not snapshotable) or
+  /// mid-transaction. Hooks and observability wiring are not part of the
+  /// blob; the owner re-installs them.
+  bool serialize(std::string* out, std::string* error) const;
+  /// Replace this engine's state with a serialized blob. The engine must
+  /// have been constructed with an identical topology, allocator, and
+  /// config (guard fields are checked). Returns false with *error on a
+  /// truncated/corrupt blob or a compat mismatch, leaving the engine in
+  /// an unspecified state — callers discard it on failure.
+  bool deserialize(std::string_view blob, std::string* error);
 
   // -- hooks (service WAL / latency accounting) ---------------------------
   /// After every applied grant (post grant_audit). The allocation is

@@ -1,16 +1,26 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace jigsaw {
 
 void EventQueue::push(double time, EventType type, JobId job,
                       std::int64_t aux) {
-  heap_.push(Event{time, type, job, aux, next_seq_++});
+  heap_.push_back(Event{time, type, job, aux, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 Event EventQueue::pop() {
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = heap_.back();
+  heap_.pop_back();
   return e;
+}
+
+void EventQueue::restore(std::vector<Event> events, std::uint64_t next_seq) {
+  heap_ = std::move(events);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  next_seq_ = next_seq;
 }
 
 }  // namespace jigsaw

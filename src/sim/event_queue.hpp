@@ -3,11 +3,18 @@
 // A strict-weak-ordered min-heap of timestamped events with deterministic
 // FIFO tie-breaking (insertion sequence), so simulations replay
 // identically across runs and platforms.
+//
+// The heap lives in an explicit vector (std::push_heap/pop_heap rather
+// than std::priority_queue) so the service snapshot subsystem can read
+// the pending events out and restore them later. The comparator is a
+// total order — (time, type rank, seq) with unique seqs — so the pop
+// sequence is exactly the sorted order and is independent of the heap's
+// internal array layout; a restored queue replays identically even if
+// its heap was rebuilt from scratch.
 
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "topology/ids.hpp"
@@ -32,8 +39,17 @@ class EventQueue {
   void push(double time, EventType type, JobId job, std::int64_t aux = 0);
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
-  const Event& top() const { return heap_.top(); }
+  const Event& top() const { return heap_.front(); }
   Event pop();
+
+  // -- snapshot access (service/snapshot) ---------------------------------
+  /// Pending events in heap-array order (NOT pop order; serialize all of
+  /// them and restore() rebuilds the heap).
+  const std::vector<Event>& events() const { return heap_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Replace the queue's contents wholesale. `events` may be in any
+  /// order; the seq fields must be < `next_seq`.
+  void restore(std::vector<Event> events, std::uint64_t next_seq);
 
  private:
   /// Same-instant ordering: completions free resources first, then the
@@ -55,7 +71,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

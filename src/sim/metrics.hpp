@@ -61,12 +61,22 @@ class UtilizationTimeline {
   /// Mean fraction of nodes allocated but wasted over [start, end].
   double waste_fraction(double start, double end) const;
 
- private:
+  // -- snapshot access (service/snapshot) ---------------------------------
   struct Point {
     double time;
     int busy;
     int waste;
   };
+  const std::vector<Point>& points() const { return points_; }
+  /// Replace the timeline wholesale (points must be time-ordered and the
+  /// busy/waste counters must match the last point's state).
+  void restore(int busy, int waste, std::vector<Point> points) {
+    busy_ = busy;
+    waste_ = waste;
+    points_ = std::move(points);
+  }
+
+ private:
   double integrate(double start, double end, bool waste) const;
 
   int system_nodes_;

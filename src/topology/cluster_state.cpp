@@ -1,5 +1,6 @@
 #include "topology/cluster_state.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -520,6 +521,98 @@ bool ClusterState::check_invariants() const {
   }
   for (const double r : residual_l2_up_) {
     if (r < -1e-6 || r > usable_bandwidth_ + 1e-6) return false;
+  }
+  return true;
+}
+
+// ---- snapshot access ----------------------------------------------------
+
+ClusterState::RawState ClusterState::raw_state() const {
+  if (in_txn()) {
+    throw std::logic_error("ClusterState::raw_state inside a Txn");
+  }
+  RawState raw;
+  raw.free_nodes = free_nodes_;
+  raw.free_leaf_up = free_leaf_up_;
+  raw.free_l2_up = free_l2_up_;
+  raw.healthy_nodes = healthy_nodes_;
+  raw.healthy_leaf_up = healthy_leaf_up_;
+  raw.healthy_l2_up = healthy_l2_up_;
+  raw.residual_leaf_up = residual_leaf_up_;
+  raw.residual_l2_up = residual_l2_up_;
+  raw.revision = revision_;
+  return raw;
+}
+
+bool ClusterState::load_raw_state(const RawState& raw) {
+  if (in_txn()) {
+    throw std::logic_error("ClusterState::load_raw_state inside a Txn");
+  }
+  const std::size_t leaves = static_cast<std::size_t>(topo_->total_leaves());
+  const std::size_t l2s = static_cast<std::size_t>(topo_->total_l2());
+  const std::size_t leaf_wires =
+      leaves * static_cast<std::size_t>(topo_->l2_per_tree());
+  const std::size_t l2_wires =
+      l2s * static_cast<std::size_t>(topo_->spines_per_group());
+  if (raw.free_nodes.size() != leaves || raw.free_leaf_up.size() != leaves ||
+      raw.free_l2_up.size() != l2s || raw.healthy_nodes.size() != leaves ||
+      raw.healthy_leaf_up.size() != leaves ||
+      raw.healthy_l2_up.size() != l2s) {
+    return false;
+  }
+  if (!raw.residual_leaf_up.empty() &&
+      (raw.residual_leaf_up.size() != leaf_wires ||
+       raw.residual_l2_up.size() != l2_wires)) {
+    return false;
+  }
+  if (raw.residual_leaf_up.empty() && !raw.residual_l2_up.empty()) {
+    return false;
+  }
+  free_nodes_ = raw.free_nodes;
+  free_leaf_up_ = raw.free_leaf_up;
+  free_l2_up_ = raw.free_l2_up;
+  healthy_nodes_ = raw.healthy_nodes;
+  healthy_leaf_up_ = raw.healthy_leaf_up;
+  healthy_l2_up_ = raw.healthy_l2_up;
+  residual_leaf_up_ = raw.residual_leaf_up;
+  residual_l2_up_ = raw.residual_l2_up;
+  revision_ = raw.revision;
+
+  // Recompute every derived index and counter from the masks. The
+  // failed-resource counters count unhealthy bits inside the topology
+  // range, exactly as check_invariants() re-derives them.
+  const int m1 = topo_->nodes_per_leaf();
+  const Mask node_range = low_bits(m1);
+  const Mask up_range = low_bits(topo_->l2_per_tree());
+  const Mask spine_range = low_bits(topo_->spines_per_group());
+  const std::size_t stride = static_cast<std::size_t>(m1) + 1;
+  total_free_nodes_ = 0;
+  failed_nodes_ = 0;
+  failed_wires_ = 0;
+  std::fill(leaf_bucket_.begin(), leaf_bucket_.end(), Mask{0});
+  std::fill(tree_free_.begin(), tree_free_.end(), 0);
+  std::fill(tree_fully_free_.begin(), tree_fully_free_.end(), 0);
+  std::fill(fully_free_mask_.begin(), fully_free_mask_.end(), Mask{0});
+  for (std::size_t l = 0; l < leaves; ++l) {
+    const int count = popcount(free_nodes_[l] & healthy_nodes_[l]);
+    leaf_free_[l] = count;
+    total_free_nodes_ += count;
+    failed_nodes_ += popcount(node_range & ~healthy_nodes_[l]);
+    failed_wires_ += popcount(up_range & ~healthy_leaf_up_[l]);
+    const TreeId t = topo_->tree_of_leaf(static_cast<LeafId>(l));
+    const Mask li_bit =
+        Mask{1} << topo_->leaf_index_in_tree(static_cast<LeafId>(l));
+    tree_free_[t] += count;
+    leaf_bucket_[static_cast<std::size_t>(t) * stride +
+                 static_cast<std::size_t>(count)] |= li_bit;
+    if (count == m1) {
+      ++tree_fully_free_[t];
+      fully_free_mask_[t] |= li_bit;
+    }
+  }
+  for (std::size_t l2 = 0; l2 < l2s; ++l2) {
+    l2_up_count_[l2] = popcount(free_l2_up_[l2] & healthy_l2_up_[l2]);
+    failed_wires_ += popcount(spine_range & ~healthy_l2_up_[l2]);
   }
   return true;
 }

@@ -244,6 +244,28 @@ class ClusterState {
   /// from-scratch recomputation.
   bool check_invariants() const;
 
+  // -- snapshot access (service/snapshot) --------------------------------
+  /// The full mutable state: masks, lazily-allocated residuals, and the
+  /// revision counter. The incremental indices and failed-resource
+  /// counters are derived and therefore not part of it.
+  struct RawState {
+    std::vector<Mask> free_nodes;
+    std::vector<Mask> free_leaf_up;
+    std::vector<Mask> free_l2_up;
+    std::vector<Mask> healthy_nodes;
+    std::vector<Mask> healthy_leaf_up;
+    std::vector<Mask> healthy_l2_up;
+    std::vector<double> residual_leaf_up;  ///< empty unless LC+S ran
+    std::vector<double> residual_l2_up;
+    std::uint64_t revision = 0;
+  };
+  RawState raw_state() const;
+  /// Replace the whole mutable state and recompute every incremental
+  /// index plus the failed-node/wire counters from the masks. Returns
+  /// false on a size mismatch against the topology (snapshot taken on a
+  /// different tree). Throws std::logic_error inside a Txn.
+  bool load_raw_state(const RawState& raw);
+
   /// Monotone counter bumped by every successful apply/release/fail/
   /// repair; lets the scheduler skip repeated searches against an
   /// unchanged cluster. Rolling back a Txn restores the counter to its

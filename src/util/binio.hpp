@@ -1,0 +1,169 @@
+// Little-endian binary buffer I/O for state snapshots.
+//
+// BufWriter appends fixed-width integers, bit-cast doubles, and
+// length-prefixed strings to a std::string; BufReader parses them back
+// with bounds checking. Doubles travel as their IEEE-754 bit pattern, so
+// a round trip is exact for every value including NaN payloads and
+// infinities — a requirement for the service snapshot subsystem, whose
+// recovery audit compares %.17g-formatted metrics bit for bit.
+//
+// The encoding is deliberately boring: no varints, no alignment, no
+// endian detection at runtime. Values are assembled byte by byte, which
+// compiles to single loads/stores on little-endian targets and is still
+// correct on big-endian ones.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jigsaw {
+
+class BufWriter {
+ public:
+  explicit BufWriter(std::string& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int k = 0; k < 4; ++k) {
+      out_->push_back(static_cast<char>((v >> (8 * k)) & 0xffu));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int k = 0; k < 8; ++k) {
+      out_->push_back(static_cast<char>((v >> (8 * k)) & 0xffu));
+    }
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    out_->append(s.data(), s.size());
+  }
+
+  void u64s(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (const std::uint64_t x : v) u64(x);
+  }
+
+  void f64s(const std::vector<double>& v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reader over an immutable byte range. Every accessor
+/// reports failure by returning false (or setting ok() false); once a
+/// read fails the reader stays failed, so callers can decode a whole
+/// struct and check ok() once at the end.
+class BufReader {
+ public:
+  explicit BufReader(std::string_view data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Put the reader into the failed state (callers' own sanity checks,
+  /// e.g. an element count larger than the remaining bytes could hold).
+  void fail() { ok_ = false; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + k]))
+           << (8 * k);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + k]))
+           << (8 * k);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s(data_.substr(pos_, static_cast<std::size_t>(n)));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::vector<std::uint64_t> u64s() {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > remaining() / 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint64_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = u64();
+    return v;
+  }
+
+  std::vector<double> f64s() {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > remaining() / 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = f64();
+    return v;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace jigsaw

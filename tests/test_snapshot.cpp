@@ -1,0 +1,585 @@
+// Snapshot subsystem: file framing, engine state round-trips, O(tail)
+// recovery after WAL compaction, and the corruption-fallback chain
+// (newest snapshot lost -> previous generation + rotated segment; both
+// generations lost -> hard error; uncompacted history -> full replay).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/jigsaw_allocator.hpp"
+#include "service/daemon.hpp"
+#include "service/protocol.hpp"
+#include "service/snapshot.hpp"
+#include "service/wal.hpp"
+#include "sim/engine.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace jigsaw::service {
+namespace {
+
+bool is_ok(const std::string& reply) {
+  return reply.rfind("{\"ok\":true", 0) == 0;
+}
+
+bool has_error(const std::string& reply, const char* code) {
+  return reply.find("\"ok\":false") != std::string::npos &&
+         reply.find(std::string("\"error\":\"") + code + "\"") !=
+             std::string::npos;
+}
+
+std::string metrics_text(const std::string& drain_reply) {
+  const std::size_t key = drain_reply.find("\"metrics\":");
+  if (key == std::string::npos) return {};
+  const std::size_t open = drain_reply.find('{', key);
+  const std::size_t close = drain_reply.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return {};
+  return drain_reply.substr(open, close - open + 1);
+}
+
+std::string scrub_wall_fields(std::string text) {
+  for (const char* key :
+       {"\"sched_wall_seconds\":", "\"mean_sched_time_per_job\":"}) {
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos) continue;
+    std::size_t end = text.find(',', at);
+    if (end == std::string::npos) end = text.find('}', at);
+    text.erase(at, end - at + 1);
+  }
+  return text;
+}
+
+/// Deterministic submit lines for the 16-node radix-4 tree: a mix of
+/// sizes, runtimes, and spaced arrivals so drains exercise queueing and
+/// backfill, not just a single pass.
+std::vector<std::string> workload(std::size_t count) {
+  Rng rng(0x5EEDC0DEULL);
+  std::vector<std::string> lines;
+  double arrival = 0.0;
+  for (std::size_t k = 0; k < count; ++k) {
+    arrival += rng.uniform(0.0, 40.0);
+    const int nodes = 1 + static_cast<int>(rng.uniform(0.0, 6.0));
+    const double runtime = rng.uniform(30.0, 900.0);
+    std::string line = "{\"op\":\"submit\",\"id\":" + std::to_string(k) +
+                       ",\"nodes\":" + std::to_string(nodes) +
+                       ",\"runtime\":";
+    append_double(line, runtime);
+    line += ",\"arrival\":";
+    append_double(line, arrival);
+    line += "}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// File framing.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotFile, RoundTripPreservesEveryField) {
+  const std::string path =
+      ::testing::TempDir() + "snap_roundtrip_" + std::to_string(::getpid());
+  std::remove(path.c_str());
+
+  SnapshotData data;
+  data.epoch = 7;
+  data.clock = "virtual";
+  data.next_job_id = 42;
+  data.next_corr = 9;
+  data.corr = {{3, 1}, {5, 2}, {41, 8}};
+  data.grants = 4;
+  data.releases = 3;
+  data.wall_target = 123.25;
+  data.drained = true;
+  // Arbitrary binary payload, embedded NULs included: the frame must be
+  // 8-bit clean because engine blobs are raw binio bytes.
+  data.engine_blob = std::string("\x00\xff\x7f engine\n\x01", 11);
+
+  std::string error;
+  ASSERT_TRUE(write_snapshot_file(path, data, &error)) << error;
+
+  SnapshotData out;
+  EXPECT_EQ(read_snapshot_file(path, &out, &error), SnapshotReadStatus::kOk)
+      << error;
+  EXPECT_EQ(out.epoch, 7u);
+  EXPECT_EQ(out.clock, "virtual");
+  EXPECT_EQ(out.next_job_id, 42);
+  EXPECT_EQ(out.next_corr, 9u);
+  EXPECT_EQ(out.corr, data.corr);
+  EXPECT_EQ(out.grants, 4u);
+  EXPECT_EQ(out.releases, 3u);
+  EXPECT_EQ(out.wall_target, 123.25);
+  EXPECT_TRUE(out.drained);
+  EXPECT_EQ(out.engine_blob, data.engine_blob);
+
+  // The tmp staging file must not linger after a successful rename.
+  EXPECT_EQ(read_snapshot_file(path + ".tmp", &out, &error),
+            SnapshotReadStatus::kMissing);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, MissingAndCorruptAreDistinguished) {
+  const std::string path =
+      ::testing::TempDir() + "snap_corrupt_" + std::to_string(::getpid());
+  std::remove(path.c_str());
+
+  SnapshotData out;
+  std::string error = "unset";
+  EXPECT_EQ(read_snapshot_file(path, &out, &error),
+            SnapshotReadStatus::kMissing);
+  EXPECT_TRUE(error.empty());  // missing is not an error
+
+  SnapshotData data;
+  data.epoch = 1;
+  data.clock = "virtual";
+  data.engine_blob = "payload bytes";
+  ASSERT_TRUE(write_snapshot_file(path, data, &error)) << error;
+  const std::string pristine = read_file(path);
+  ASSERT_FALSE(pristine.empty());
+
+  // A flipped payload byte fails the checksum.
+  std::string damaged = pristine;
+  damaged[damaged.size() / 2] =
+      static_cast<char>(damaged[damaged.size() / 2] ^ 0x40);
+  write_file(path, damaged);
+  error.clear();
+  EXPECT_EQ(read_snapshot_file(path, &out, &error),
+            SnapshotReadStatus::kCorrupt);
+  EXPECT_FALSE(error.empty());
+
+  // Truncation inside the header is corrupt too, not missing.
+  write_file(path, pristine.substr(0, 10));
+  EXPECT_EQ(read_snapshot_file(path, &out, &error),
+            SnapshotReadStatus::kCorrupt);
+
+  // Wrong magic: some other file at the path.
+  write_file(path, "definitely not a snapshot file, long enough to read");
+  EXPECT_EQ(read_snapshot_file(path, &out, &error),
+            SnapshotReadStatus::kCorrupt);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Engine state round-trip: a restored engine continues the run with
+// %.17g-identical metrics, and re-serialization is byte-deterministic.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotEngine, MidRunSerializeRestoresBitIdentical) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  const std::vector<std::string> lines = workload(40);
+
+  // Drive an engine halfway: submit everything, then process half the
+  // event stream so queues, running set, and accumulators are all
+  // non-trivial at capture time.
+  SimEngine engine(topo, allocator, config);
+  {
+    Rng rng(0x5EEDC0DEULL);
+    double arrival = 0.0;
+    for (std::size_t k = 0; k < 40; ++k) {
+      arrival += rng.uniform(0.0, 40.0);
+      Job job;
+      job.id = static_cast<JobId>(k);
+      job.nodes = 1 + static_cast<int>(rng.uniform(0.0, 6.0));
+      job.runtime = rng.uniform(30.0, 900.0);
+      job.arrival = arrival;
+      engine.submit(job);
+    }
+  }
+  for (int k = 0; k < 30 && !engine.idle(); ++k) engine.step();
+  ASSERT_FALSE(engine.idle());  // capture genuinely mid-run
+
+  std::string blob;
+  std::string error;
+  ASSERT_TRUE(engine.serialize(&blob, &error)) << error;
+
+  SimEngine restored(topo, allocator, config);
+  ASSERT_TRUE(restored.deserialize(blob, &error)) << error;
+
+  // Byte-deterministic: re-serializing the restored engine reproduces
+  // the blob exactly (unordered state must be written in a pinned order).
+  std::string blob2;
+  ASSERT_TRUE(restored.serialize(&blob2, &error)) << error;
+  EXPECT_EQ(blob, blob2);
+
+  engine.run();
+  restored.run();
+  EXPECT_EQ(scrub_wall_fields(metrics_json(restored.finish())),
+            scrub_wall_fields(metrics_json(engine.finish())));
+}
+
+TEST(SnapshotEngine, DeserializeRejectsDamagedBlob) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  SimEngine engine(topo, allocator, config);
+  Job job;
+  job.id = 0;
+  job.nodes = 2;
+  job.runtime = 100.0;
+  job.arrival = 0.0;
+  engine.submit(job);
+
+  std::string blob;
+  std::string error;
+  ASSERT_TRUE(engine.serialize(&blob, &error)) << error;
+
+  SimEngine victim(topo, allocator, config);
+  EXPECT_FALSE(victim.deserialize(blob.substr(0, blob.size() / 2), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Daemon recovery through snapshots.
+// ---------------------------------------------------------------------------
+
+class SnapshotRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wal_path_ =
+        ::testing::TempDir() + "snapshot_recovery_" +
+        std::to_string(::getpid()) + "_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".wal";
+    cleanup();
+  }
+  void TearDown() override { cleanup(); }
+
+  void cleanup() {
+    std::remove(wal_path_.c_str());
+    std::remove((wal_path_ + ".prev").c_str());
+    for (std::uint64_t e = 1; e <= 4; ++e) {
+      std::remove(snapshot_path(wal_path_, e).c_str());
+      std::remove((snapshot_path(wal_path_, e) + ".tmp").c_str());
+    }
+  }
+
+  /// Uninterrupted no-WAL reference: replay `lines` (plus optional
+  /// cancels), drain, return the scrubbed metrics object text.
+  std::string reference_metrics(const FatTree& topo,
+                                const JigsawAllocator& allocator,
+                                const SimConfig& config,
+                                const std::vector<std::string>& lines,
+                                const std::vector<JobId>& cancels) {
+    ServiceDaemon daemon(topo, allocator, config, DaemonOptions{});
+    std::string error;
+    EXPECT_TRUE(daemon.init(&error)) << error;
+    for (const std::string& line : lines) {
+      EXPECT_TRUE(is_ok(daemon.handle_line(line)));
+    }
+    for (const JobId id : cancels) {
+      EXPECT_TRUE(is_ok(daemon.handle_line(
+          "{\"op\":\"cancel\",\"job\":" + std::to_string(id) + "}")));
+    }
+    return scrub_wall_fields(
+        metrics_text(daemon.handle_line("{\"op\":\"drain\"}")));
+  }
+
+  std::string wal_path_;
+};
+
+TEST_F(SnapshotRecoveryTest, SnapshotOpWithoutWalIsBadState) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  ServiceDaemon daemon(topo, allocator, config, DaemonOptions{});
+  std::string error;
+  ASSERT_TRUE(daemon.init(&error)) << error;
+  EXPECT_TRUE(
+      has_error(daemon.handle_line("{\"op\":\"snapshot\"}"), "bad_state"));
+}
+
+// The headline property: after a compaction, recovery replays only the
+// records behind the snapshot marker (O(tail), not O(history)) and still
+// lands on metrics bit-identical to an uninterrupted run — even when the
+// crash tore the last WAL frame mid-write.
+TEST_F(SnapshotRecoveryTest, TailReplayAfterCompaction) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  const std::vector<std::string> lines = workload(30);
+  const std::string reference =
+      reference_metrics(topo, allocator, config, lines, {21});
+
+  DaemonOptions wal_options;
+  wal_options.wal_path = wal_path_;
+  wal_options.sync = SyncPolicy::kAlways;
+  {
+    ServiceDaemon daemon(topo, allocator, config, wal_options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << error;
+    for (std::size_t k = 0; k < 20; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    const std::string snap = daemon.handle_line("{\"op\":\"snapshot\"}");
+    ASSERT_TRUE(is_ok(snap)) << snap;
+    EXPECT_NE(snap.find("\"epoch\":1"), std::string::npos) << snap;
+    EXPECT_EQ(daemon.snapshots_taken(), 1u);
+    for (std::size_t k = 20; k < 30; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(
+        is_ok(daemon.handle_line("{\"op\":\"cancel\",\"job\":21}")));
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"drain\"}")));
+  }  // crash
+
+  // Tear the last frame of the current segment, as a kill -9 mid-append
+  // would: recovery must drop the torn bytes and still audit clean.
+  const std::string segment = read_file(wal_path_);
+  ASSERT_GT(segment.size(), 8u);
+  write_file(wal_path_, segment.substr(0, segment.size() - 3));
+
+  DaemonOptions recover_options = wal_options;
+  recover_options.recover = true;
+  ServiceDaemon daemon(topo, allocator, config, recover_options);
+  std::string error;
+  ASSERT_TRUE(daemon.init(&error)) << error;
+  const RecoveryReport& report = daemon.recovery();
+  EXPECT_TRUE(report.performed);
+  EXPECT_TRUE(report.audit_ok);
+  EXPECT_TRUE(report.used_snapshot);
+  EXPECT_FALSE(report.snapshot_fallback);
+  EXPECT_EQ(report.snapshot_epoch, 1u);
+  // Only the post-snapshot inputs replay: 10 submits + cancel + drain.
+  EXPECT_EQ(report.inputs_replayed, 12u);
+  EXPECT_LT(report.tail_records, report.records);
+  EXPECT_GT(report.dropped_bytes, 0u);
+  EXPECT_TRUE(daemon.drained());
+  EXPECT_EQ(scrub_wall_fields(
+                metrics_text(daemon.handle_line("{\"op\":\"drain\"}"))),
+            reference);
+}
+
+// Property test over the fallback chain: whatever seeded damage the
+// newest snapshot takes — truncation, a bit flip anywhere in the file,
+// or deletion — recovery falls back to the previous generation (snapshot
+// epoch-1 plus the rotated-out .prev segment) and the drained metrics
+// never change.
+TEST_F(SnapshotRecoveryTest, CorruptNewestSnapshotFallsBack) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  const std::vector<std::string> lines = workload(26);
+  const std::string reference =
+      reference_metrics(topo, allocator, config, lines, {14});
+
+  DaemonOptions wal_options;
+  wal_options.wal_path = wal_path_;
+  wal_options.sync = SyncPolicy::kAlways;
+  {
+    ServiceDaemon daemon(topo, allocator, config, wal_options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << error;
+    for (std::size_t k = 0; k < 12; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"snapshot\"}")));
+    for (std::size_t k = 12; k < 20; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"snapshot\"}")));
+    for (std::size_t k = 20; k < 26; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(
+        is_ok(daemon.handle_line("{\"op\":\"cancel\",\"job\":14}")));
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"drain\"}")));
+  }  // crash with two snapshot generations on disk
+
+  const std::string snap2_path = snapshot_path(wal_path_, 2);
+  const std::string pristine_wal = read_file(wal_path_);
+  const std::string pristine_prev = read_file(wal_path_ + ".prev");
+  const std::string pristine_snap1 = read_file(snapshot_path(wal_path_, 1));
+  const std::string pristine_snap2 = read_file(snap2_path);
+  ASSERT_FALSE(pristine_prev.empty());
+  ASSERT_FALSE(pristine_snap1.empty());
+  ASSERT_FALSE(pristine_snap2.empty());
+
+  DaemonOptions recover_options = wal_options;
+  recover_options.recover = true;
+  Rng rng(0xFA11BACCULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    write_file(wal_path_, pristine_wal);
+    write_file(wal_path_ + ".prev", pristine_prev);
+    write_file(snapshot_path(wal_path_, 1), pristine_snap1);
+    switch (trial % 3) {
+      case 0: {  // truncate (strictly shorter, possibly to zero)
+        const std::size_t cut = static_cast<std::size_t>(
+            rng.uniform(0.0, static_cast<double>(pristine_snap2.size())));
+        write_file(snap2_path, pristine_snap2.substr(0, cut));
+        break;
+      }
+      case 1: {  // flip one bit anywhere
+        std::string damaged = pristine_snap2;
+        const std::size_t at = static_cast<std::size_t>(rng.uniform(
+            0.0, static_cast<double>(damaged.size()) - 0.001));
+        const int bit = static_cast<int>(rng.uniform(0.0, 7.999));
+        damaged[at] = static_cast<char>(damaged[at] ^ (1 << bit));
+        write_file(snap2_path, damaged);
+        break;
+      }
+      default:  // the file vanished entirely
+        std::remove(snap2_path.c_str());
+        break;
+    }
+
+    ServiceDaemon daemon(topo, allocator, config, recover_options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << "trial " << trial << ": " << error;
+    const RecoveryReport& report = daemon.recovery();
+    EXPECT_TRUE(report.audit_ok) << "trial " << trial;
+    EXPECT_TRUE(report.snapshot_fallback) << "trial " << trial;
+    EXPECT_TRUE(report.used_snapshot) << "trial " << trial;
+    EXPECT_EQ(report.snapshot_epoch, 1u) << "trial " << trial;
+    ASSERT_EQ(scrub_wall_fields(
+                  metrics_text(daemon.handle_line("{\"op\":\"drain\"}"))),
+              reference)
+        << "trial " << trial;
+  }
+}
+
+// Single compaction, so .prev holds the full uncompacted history: losing
+// the only snapshot degrades to a full replay of both segments — slower,
+// never wrong.
+TEST_F(SnapshotRecoveryTest, LostOnlySnapshotReplaysFullHistory) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  const std::vector<std::string> lines = workload(18);
+  const std::string reference =
+      reference_metrics(topo, allocator, config, lines, {});
+
+  DaemonOptions wal_options;
+  wal_options.wal_path = wal_path_;
+  wal_options.sync = SyncPolicy::kAlways;
+  {
+    ServiceDaemon daemon(topo, allocator, config, wal_options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << error;
+    for (std::size_t k = 0; k < 12; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"snapshot\"}")));
+    for (std::size_t k = 12; k < 18; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"drain\"}")));
+  }
+  std::remove(snapshot_path(wal_path_, 1).c_str());
+
+  DaemonOptions recover_options = wal_options;
+  recover_options.recover = true;
+  ServiceDaemon daemon(topo, allocator, config, recover_options);
+  std::string error;
+  ASSERT_TRUE(daemon.init(&error)) << error;
+  const RecoveryReport& report = daemon.recovery();
+  EXPECT_TRUE(report.audit_ok);
+  EXPECT_TRUE(report.snapshot_fallback);
+  EXPECT_FALSE(report.used_snapshot);  // scratch replay of both segments
+  EXPECT_EQ(scrub_wall_fields(
+                metrics_text(daemon.handle_line("{\"op\":\"drain\"}"))),
+            reference);
+}
+
+// Both retained generations unusable: recovery must refuse loudly, not
+// serve from a partial state.
+TEST_F(SnapshotRecoveryTest, BothGenerationsLostIsAHardError) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  const std::vector<std::string> lines = workload(20);
+
+  DaemonOptions wal_options;
+  wal_options.wal_path = wal_path_;
+  wal_options.sync = SyncPolicy::kAlways;
+  {
+    ServiceDaemon daemon(topo, allocator, config, wal_options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << error;
+    for (std::size_t k = 0; k < 8; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"snapshot\"}")));
+    for (std::size_t k = 8; k < 14; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"snapshot\"}")));
+    for (std::size_t k = 14; k < 20; ++k) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(lines[k])));
+    }
+  }
+  std::remove(snapshot_path(wal_path_, 1).c_str());
+  std::remove(snapshot_path(wal_path_, 2).c_str());
+
+  DaemonOptions recover_options = wal_options;
+  recover_options.recover = true;
+  ServiceDaemon daemon(topo, allocator, config, recover_options);
+  std::string error;
+  EXPECT_FALSE(daemon.init(&error));
+  EXPECT_NE(error.find("both unusable"), std::string::npos) << error;
+}
+
+// Automatic cadence: --snapshot-every compacts on its own and retires
+// epoch-2 snapshots (two-generation retention), and recovery restores
+// the newest epoch.
+TEST_F(SnapshotRecoveryTest, SnapshotEveryCompactsAndRetires) {
+  const FatTree topo = FatTree::from_radix(4);
+  const SimConfig config;
+  JigsawAllocator allocator;
+  const std::vector<std::string> lines = workload(25);
+  const std::string reference =
+      reference_metrics(topo, allocator, config, lines, {});
+
+  DaemonOptions wal_options;
+  wal_options.wal_path = wal_path_;
+  wal_options.sync = SyncPolicy::kAlways;
+  wal_options.snapshot_every = 8;
+  {
+    ServiceDaemon daemon(topo, allocator, config, wal_options);
+    std::string error;
+    ASSERT_TRUE(daemon.init(&error)) << error;
+    for (const std::string& line : lines) {
+      ASSERT_TRUE(is_ok(daemon.handle_line(line)));
+    }
+    // 25 accepted inputs at a cadence of 8 -> epochs 1, 2, 3.
+    EXPECT_EQ(daemon.snapshots_taken(), 3u);
+    EXPECT_EQ(daemon.snapshot_epoch(), 3u);
+    ASSERT_TRUE(is_ok(daemon.handle_line("{\"op\":\"drain\"}")));
+  }
+  SnapshotData probe;
+  std::string error;
+  EXPECT_EQ(read_snapshot_file(snapshot_path(wal_path_, 1), &probe, &error),
+            SnapshotReadStatus::kMissing);  // retired by epoch 3
+  EXPECT_EQ(read_snapshot_file(snapshot_path(wal_path_, 3), &probe, &error),
+            SnapshotReadStatus::kOk);
+
+  DaemonOptions recover_options = wal_options;
+  recover_options.recover = true;
+  ServiceDaemon daemon(topo, allocator, config, recover_options);
+  ASSERT_TRUE(daemon.init(&error)) << error;
+  EXPECT_TRUE(daemon.recovery().used_snapshot);
+  EXPECT_EQ(daemon.recovery().snapshot_epoch, 3u);
+  EXPECT_EQ(scrub_wall_fields(
+                metrics_text(daemon.handle_line("{\"op\":\"drain\"}"))),
+            reference);
+}
+
+}  // namespace
+}  // namespace jigsaw::service
