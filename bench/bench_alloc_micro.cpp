@@ -5,9 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
 
 #include "core/baseline.hpp"
+#include "core/shape_table.hpp"
 #include "core/jigsaw_allocator.hpp"
 #include "core/laas.hpp"
 #include "core/lc.hpp"
@@ -93,11 +95,29 @@ void BM_AllocateOnEmptyCluster(benchmark::State& bench_state) {
 }  // namespace
 
 BENCHMARK(BM_AllocateOnEmptyCluster)
-    ->ArgsProduct({{16, 18, 28}, {0, 1, 2, 4}})
+    ->ArgsProduct({{16, 18, 28, 48, 64}, {0, 1, 2, 4}})
     ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK(BM_AllocateOnChurnedCluster)
-    ->ArgsProduct({{16, 18}, {0, 1, 2, 4}})
+    ->ArgsProduct({{16, 18, 48}, {0, 1, 2, 4}})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus JIGSAW_SHAPE_TABLE support so the precomputed
+// shape tables can be A/B'd against runtime enumeration:
+//   $ JIGSAW_SHAPE_TABLE=build/shape_tables/k48.jst ./bench_alloc_micro
+int main(int argc, char** argv) {
+  std::string error;
+  const std::size_t tables = jigsaw::install_shape_tables_from_env(&error);
+  if (!error.empty()) {
+    std::cerr << "JIGSAW_SHAPE_TABLE: " << error << "\n";
+    return 1;
+  }
+  if (tables > 0) {
+    std::cerr << "shape tables installed: " << tables << "\n";
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

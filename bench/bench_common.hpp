@@ -28,6 +28,7 @@
 #include "core/baseline.hpp"
 #include "core/jigsaw_allocator.hpp"
 #include "core/parallel_search.hpp"
+#include "core/shape_table.hpp"
 #include "core/laas.hpp"
 #include "core/lc.hpp"
 #include "core/ta.hpp"
@@ -50,7 +51,9 @@ struct NamedTrace {
 
 /// Paper trace by name at the requested scale (0 = paper scale), on the
 /// §5.4.3 cluster: Synth-16 -> radix 16, Synth-22 -> radix 22,
-/// Synth-28 -> radix 28, LLNL-like -> radix 18 (1458 nodes).
+/// Synth-28 -> radix 28, LLNL-like -> radix 18 (1458 nodes); plus the
+/// production-radix companions Synth-48 -> radix 48 and Synth-64 ->
+/// radix 64.
 inline NamedTrace load(const std::string& name, std::size_t jobs) {
   auto make = [&](Trace trace, int radix) {
     Rng rng(0xBADC0FFEEULL);
@@ -65,6 +68,15 @@ inline NamedTrace load(const std::string& name, std::size_t jobs) {
   }
   if (name == "Synth-28") {
     return make(named_synthetic(name, jobs == 0 ? 10000 : jobs), 28);
+  }
+  // Production-radix companions: same workload recipe on the k=48
+  // (27648-node) and k=64 (65536-node) machines, sized for
+  // scheduling-time benchmarks rather than paper figures.
+  if (name == "Synth-48") {
+    return make(named_synthetic(name, jobs == 0 ? 10000 : jobs), 48);
+  }
+  if (name == "Synth-64") {
+    return make(named_synthetic(name, jobs == 0 ? 10000 : jobs), 64);
   }
   if (name == "Thunder") {
     return make(thunder_like(jobs == 0 ? 105764 : jobs), 18);

@@ -24,6 +24,19 @@ int main(int argc, char** argv) {
                "comma-separated trace subset (default: the Table 3 four)",
                "");
   if (!flags.parse(argc, argv)) return 0;
+  // Precomputed shape tables (JIGSAW_SHAPE_TABLE=path[:path...]) make
+  // the tables-vs-runtime A/B a pure environment toggle: decisions are
+  // bit-identical, only scheduling time moves.
+  std::string table_error;
+  const std::size_t shape_tables =
+      install_shape_tables_from_env(&table_error);
+  if (!table_error.empty()) {
+    std::cerr << "JIGSAW_SHAPE_TABLE: " << table_error << "\n";
+    return 1;
+  }
+  if (shape_tables > 0) {
+    std::cerr << "shape tables installed: " << shape_tables << "\n";
+  }
   const std::size_t jobs = scaled_jobs(flags);
   const int repeats = repeat_count(flags);
   ObsSetup obs_setup = make_obs(flags);

@@ -35,6 +35,7 @@
 #include "core/laas.hpp"
 #include "core/lc.hpp"
 #include "core/parallel_search.hpp"
+#include "core/shape_table.hpp"
 #include "core/ta.hpp"
 #include "obs/sink.hpp"
 #include "service/daemon.hpp"
@@ -128,6 +129,12 @@ int main(int argc, char** argv) {
                "worker threads serving the clusters (owner = cluster mod "
                "shards); clamped to --clusters",
                "1");
+  flags.define("quick-reject",
+               "admission-time quick-reject screen (1 = on): skip placement "
+               "searches the allocator's O(trees) capacity-index check "
+               "proves futile. Sound, so decisions are unchanged; only "
+               "scheduling time and the sched.quick_reject counter move.",
+               "1");
   flags.define("search-threads",
                "probe lanes for the placement search (1 = exact sequential "
                "path; grants are bit-identical at any lane count). The "
@@ -140,6 +147,21 @@ int main(int argc, char** argv) {
     const FatTree topo =
         FatTree::from_radix(static_cast<int>(flags.integer("radix")));
     const AllocatorPtr allocator = make_allocator(flags.str("scheduler"));
+
+    // Precomputed shape tables (JIGSAW_SHAPE_TABLE=path[:path...]): the
+    // matching topology serves shape sequences zero-copy; everything
+    // else falls back to runtime enumeration. Decisions are identical
+    // either way, so this is a pure serving-latency knob.
+    std::string table_error;
+    const std::size_t shape_tables =
+        install_shape_tables_from_env(&table_error);
+    if (!table_error.empty()) {
+      std::cerr << "JIGSAW_SHAPE_TABLE: " << table_error << "\n";
+      return 1;
+    }
+    if (shape_tables > 0) {
+      std::cerr << "shape tables installed: " << shape_tables << "\n";
+    }
 
     // Pool first, daemon after: the pool must outlive every allocate()
     // the daemon can issue, including the drain inside daemon.flush().
@@ -174,6 +196,7 @@ int main(int argc, char** argv) {
       metrics = std::make_unique<obs::MetricsRegistry>();
       config.obs.metrics = metrics.get();
     }
+    config.admission_quick_reject = flags.integer("quick-reject") != 0;
 
     service::DaemonOptions options;
     if (!service::parse_clock_mode(flags.str("clock"), &options.clock)) {

@@ -19,6 +19,7 @@
 #include "core/laas.hpp"
 #include "core/lc.hpp"
 #include "core/parallel_search.hpp"
+#include "core/shape_table.hpp"
 #include "core/ta.hpp"
 #include "obs/observer.hpp"
 #include "sim/simulator.hpp"
@@ -69,7 +70,24 @@ int main(int argc, char** argv) {
                "chrome");
   flags.define("metrics-out",
                "write metrics registry JSON snapshot to this file", "");
+  flags.define("shape-table",
+               "precomputed shape table file(s), colon-separated (see "
+               "shape_dump); schemes whose topology matches serve shape "
+               "sequences zero-copy from the table instead of enumerating "
+               "per call — decisions are bit-identical either way",
+               "");
   if (!flags.parse(argc, argv)) return 0;
+
+  if (!flags.str("shape-table").empty()) {
+    std::string error;
+    const std::size_t installed =
+        install_shape_tables(flags.str("shape-table"), &error);
+    if (!error.empty()) {
+      std::cerr << "--shape-table: " << error << "\n";
+      return 1;
+    }
+    std::cout << "Installed " << installed << " shape table(s)\n";
+  }
 
   std::ofstream trace_stream;
   std::unique_ptr<obs::TraceSink> sink;
@@ -127,7 +145,12 @@ int main(int argc, char** argv) {
   TablePrinter table({"scheme", "utilization %", "waste %",
                       "mean turnaround (s)", "makespan (s)",
                       "sched time/job (ms)"});
+  // Per-scheme shape-serving split: how many shape sequences came from
+  // the installed tables vs runtime enumeration during each run.
+  TablePrinter serving({"scheme", "2L table", "2L runtime", "3L table",
+                        "3L runtime", "3L general (runtime-only)"});
   for (const auto& scheme : schemes) {
+    reset_shape_serve_counters();
     const SimMetrics m = simulate(topo, *scheme, trace, config);
     table.add_row({scheme->name(),
                    TablePrinter::fmt(100.0 * m.steady_utilization, 1),
@@ -135,8 +158,16 @@ int main(int argc, char** argv) {
                    TablePrinter::fmt(m.mean_turnaround_all, 0),
                    TablePrinter::fmt(m.makespan, 0),
                    TablePrinter::fmt(1e3 * m.mean_sched_time_per_job, 3)});
+    const ShapeServeCounters c = shape_serve_counters();
+    serving.add_row({scheme->name(), std::to_string(c.two_level_table),
+                     std::to_string(c.two_level_runtime),
+                     std::to_string(c.three_level_table),
+                     std::to_string(c.three_level_runtime),
+                     std::to_string(c.three_level_general_runtime)});
   }
   std::cout << table.render();
+  std::cout << "\nShape sequence serving (table vs runtime enumeration):\n"
+            << serving.render();
   if (sink != nullptr) sink->finish();
   if (obs_ctx.metrics != nullptr) {
     std::ofstream metrics_out(flags.str("metrics-out"));

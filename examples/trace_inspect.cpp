@@ -11,7 +11,10 @@
 
 #include <fstream>
 #include <iostream>
+#include <map>
 
+#include "core/shape_table.hpp"
+#include "topology/fat_tree.hpp"
 #include "trace/llnl_like.hpp"
 #include "trace/swf.hpp"
 #include "trace/synthetic.hpp"
@@ -61,6 +64,13 @@ int main(int argc, char** argv) {
   flags.define("procs-per-node", "SWF processors per node", "1");
   flags.define("swf-lenient",
                "skip malformed SWF lines instead of failing (0/1)", "0");
+  flags.define("shape-table",
+               "precomputed shape table file(s), colon-separated (see "
+               "shape_dump); reports how much of this trace's job-size "
+               "mix the tables cover per shape family", "");
+  flags.define("radix",
+               "switch radix of the cluster assumed for the coverage "
+               "report (0 = the trace's own system size, or 16)", "0");
   if (!flags.parse(argc, argv)) return 0;
 
   Trace trace;
@@ -105,6 +115,45 @@ int main(int argc, char** argv) {
                        stats.total_node_seconds / (1458.0 * last), 2)
                 << "\n";
     }
+  }
+
+  if (!flags.str("shape-table").empty()) {
+    std::string error;
+    const std::size_t installed =
+        install_shape_tables(flags.str("shape-table"), &error);
+    if (!error.empty()) {
+      std::cerr << "--shape-table: " << error << "\n";
+      return 1;
+    }
+    // The topology a scheduler would run this trace on (override with
+    // --radix, e.g. 48 for the production-radix tables): serve each
+    // distinct job size once per family and report the table-vs-runtime
+    // split weighted by job count.
+    const int radix = static_cast<int>(flags.integer("radix"));
+    const FatTree topo =
+        radix > 0 ? FatTree::from_radix(radix)
+                  : (trace.system_nodes > 0
+                         ? FatTree::at_least(trace.system_nodes)
+                         : FatTree::from_radix(16));
+    std::map<int, std::size_t> size_counts;
+    for (const Job& j : trace.jobs) ++size_counts[j.nodes];
+    std::size_t table_jobs = 0, runtime_jobs = 0;
+    reset_shape_serve_counters();
+    for (const auto& [nodes, count] : size_counts) {
+      const bool two_ok = two_level_shape_seq(nodes, topo).table_backed();
+      const bool three_ok =
+          three_level_shape_seq(nodes, topo, true).table_backed();
+      ((two_ok && three_ok) ? table_jobs : runtime_jobs) += count;
+    }
+    const ShapeServeCounters c = shape_serve_counters();
+    std::cout << "\nShape-table coverage (" << installed << " table(s), "
+              << topo.describe() << "):\n  " << table_jobs << "/"
+              << trace.jobs.size()
+              << " jobs served zero-copy from the table, " << runtime_jobs
+              << " via runtime enumeration\n  distinct sizes: two-level "
+              << c.two_level_table << " table / " << c.two_level_runtime
+              << " runtime, three-level restricted " << c.three_level_table
+              << " table / " << c.three_level_runtime << " runtime\n";
   }
 
   if (!flags.str("export").empty()) {

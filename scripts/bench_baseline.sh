@@ -2,12 +2,15 @@
 # Regenerate the committed perf baselines (BENCH_schedtime.json and
 # BENCH_service_load.json).
 #
-# Runs bench_table3_schedtime on Synth-16 with --repeat 5 so the baseline
-# carries a mean and a sample-stddev column per scheme, then rewrites the
-# checked-in BENCH_schedtime.json at the repo root. CI's perf-smoke job
-# compares a fresh run against this file with
+# Runs bench_table3_schedtime on Synth-16 and the production-radix
+# Synth-48 (27648 nodes) with --repeat 5 so the baseline carries a mean
+# and a sample-stddev column per scheme and trace, then rewrites the
+# checked-in BENCH_schedtime.json at the repo root. The run installs the
+# build's precomputed shape tables (JIGSAW_SHAPE_TABLE) — the shipping
+# configuration — so the baseline measures the table-serving path. CI's
+# perf-smoke job compares a fresh run against this file with
 # scripts/check_schedtime_regression.py and fails on a >25% mean
-# regression for any scheme.
+# regression for any scheme on any trace (missing cells are errors).
 #
 # Then runs bench_service_load in its 8-shard in-process mode and
 # rewrites BENCH_service_load.json; CI compares a fresh run with
@@ -37,7 +40,15 @@ for bin in "$BENCH" "$LOAD_BENCH"; do
   fi
 done
 
-"$BENCH" --traces Synth-16 --repeat 5 \
+for table in "$BUILD_DIR/shape_tables/k16.jst" "$BUILD_DIR/shape_tables/k48.jst"; do
+  if [ ! -f "$table" ]; then
+    echo "error: $table not found; build the shape_tables target first" >&2
+    exit 1
+  fi
+done
+
+JIGSAW_SHAPE_TABLE="$BUILD_DIR/shape_tables/k16.jst:$BUILD_DIR/shape_tables/k48.jst" \
+  "$BENCH" --traces Synth-16,Synth-48 --repeat 5 \
   --json-out "$REPO_ROOT/BENCH_schedtime.json"
 echo "wrote $REPO_ROOT/BENCH_schedtime.json"
 

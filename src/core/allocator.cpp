@@ -20,6 +20,14 @@ const char* blocked_reason_name(BlockedReason reason) {
   return "none";
 }
 
+bool Allocator::quick_reject(const ClusterState& state,
+                             const JobRequest& request) const {
+  // Every scheme's placement claims `nodes` free healthy nodes (LaaS
+  // claims even more, rounding up to whole leaves), so a shortage is a
+  // certain failure for all of them.
+  return request.nodes > state.total_free_nodes();
+}
+
 BlockedReason Allocator::diagnose(const ClusterState& state,
                                   const JobRequest& request) const {
   if (request.nodes < 1 || request.nodes > state.topo().total_nodes()) {

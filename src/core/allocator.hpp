@@ -70,6 +70,16 @@ class Allocator {
                                              SearchStats* stats = nullptr)
       const = 0;
 
+  /// Sound O(trees) screen over the incremental capacity indices: true
+  /// ONLY when allocate() is certain to fail for `request` on `state`.
+  /// The scheduler's admission path (SimConfig::admission_quick_reject)
+  /// consults it before paying for a full placement search, so a true
+  /// return must never be wrong — every override errs toward false.
+  /// The base screen is the node-count necessity shared by every scheme:
+  /// any placement claims at least `nodes` free healthy nodes.
+  virtual bool quick_reject(const ClusterState& state,
+                            const JobRequest& request) const;
+
   /// Explain why allocate() just failed for `request`: classify the
   /// §3.2 condition class that rejected the best candidate. Purely
   /// observational — read-only, sequential, and only ever invoked by

@@ -4,7 +4,7 @@
 #include <numeric>
 
 #include "core/search.hpp"
-#include "core/shapes.hpp"
+#include "core/shape_table.hpp"
 
 namespace jigsaw {
 
@@ -58,6 +58,24 @@ BlockedReason JigsawAllocator::diagnose(const ClusterState& state,
   return BlockedReason::kLeafSpread;
 }
 
+bool JigsawAllocator::quick_reject(const ClusterState& state,
+                                   const JobRequest& request) const {
+  if (Allocator::quick_reject(state, request)) return true;
+  const FatTree& topo = state.topo();
+  const int n = request.nodes;
+  // Necessity for the two-level pass: the whole job sits inside one
+  // subtree, so some subtree must hold n free nodes.
+  int fully_free = 0;
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    if (state.tree_free_nodes(t) >= n) return false;
+    fully_free += state.fully_free_leaves(t);
+  }
+  // Necessity for the restricted three-level pass: every allocated leaf
+  // except the single remainder leaf is wholly owned, so the cluster
+  // must hold floor(n / m1) fully-free leaves.
+  return fully_free < n / topo.nodes_per_leaf();
+}
+
 std::optional<Allocation> JigsawAllocator::search(const ClusterState& state,
                                                  const LinkView& view,
                                                  const SearchExec& exec,
@@ -82,7 +100,7 @@ std::optional<Allocation> JigsawAllocator::search(const ClusterState& state,
   // fullest subtree first. The candidate order is the flat (shape-major,
   // tree-minor) product of the two nested loops this pass used to run.
   const std::vector<TreeId> tree_order = trees_best_fit(state);
-  const auto shapes2 = two_level_shapes(request.nodes, topo);
+  const auto shapes2 = two_level_shape_seq(request.nodes, topo);
   {
     const std::size_t n_trees = tree_order.size();
     TwoLevelPick pick;
@@ -111,7 +129,7 @@ std::optional<Allocation> JigsawAllocator::search(const ClusterState& state,
 
   // Pass 2: cross-subtree allocations with the whole-leaf restriction.
   const auto shapes3 =
-      three_level_shapes(request.nodes, topo, /*restrict_full_leaves=*/true);
+      three_level_shape_seq(request.nodes, topo, /*restrict_full_leaves=*/true);
   {
     ThreeLevelPick pick;
     std::vector<ThreeLevelPick> lane_picks(lanes > 1 ? lanes : 0);

@@ -42,6 +42,12 @@ class JigsawAllocator final : public Allocator {
   BlockedReason diagnose(const ClusterState& state,
                          const JobRequest& request) const override;
 
+  /// Necessity screen over the capacity indices: a two-level placement
+  /// needs one subtree with `nodes` free nodes, a restricted three-level
+  /// placement needs floor(nodes/m1) fully-free leaves cluster-wide.
+  bool quick_reject(const ClusterState& state,
+                    const JobRequest& request) const override;
+
  private:
   /// The two-pass probe loop, parameterized over the availability lens
   /// and execution policy so allocate() (live view, installed exec) and

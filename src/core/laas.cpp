@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/search.hpp"
+#include "core/shape_table.hpp"
 
 namespace jigsaw {
 
@@ -164,6 +165,25 @@ BlockedReason LaasAllocator::diagnose(const ClusterState& state,
   return BlockedReason::kLeafSpread;
 }
 
+bool LaasAllocator::quick_reject(const ClusterState& state,
+                                 const JobRequest& request) const {
+  if (Allocator::quick_reject(state, request)) return true;
+  const FatTree& topo = state.topo();
+  const int m1 = topo.nodes_per_leaf();
+  const int n = request.nodes;
+  // Necessity for the native two-level pass: the whole job sits inside
+  // one subtree, so some subtree must hold n free nodes.
+  int fully_free = 0;
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    if (state.tree_free_nodes(t) >= n) return false;
+    fully_free += state.fully_free_leaves(t);
+  }
+  // Necessity for the whole-leaf reduction: the job is rounded up to
+  // ceil(n / m1) entire leaves, so that many fully-free leaves must
+  // exist cluster-wide.
+  return fully_free < (n + m1 - 1) / m1;
+}
+
 std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
                                                const LinkView& view,
                                                const SearchExec& exec,
@@ -194,7 +214,7 @@ std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
                             state.tree_free_nodes(b);
                    });
   const std::size_t lanes = static_cast<std::size_t>(exec.lanes());
-  const auto shapes2 = two_level_shapes(request.nodes, topo);
+  const auto shapes2 = two_level_shape_seq(request.nodes, topo);
   {
     const std::size_t n_trees = tree_order.size();
     TwoLevelPick pick;

@@ -41,6 +41,12 @@ class LaasAllocator final : public Allocator {
   BlockedReason diagnose(const ClusterState& state,
                          const JobRequest& request) const override;
 
+  /// Necessity screen over the capacity indices: the two-level pass needs
+  /// one subtree with `nodes` free nodes, the whole-leaf reduction needs
+  /// ceil(nodes/m1) fully-free leaves cluster-wide.
+  bool quick_reject(const ClusterState& state,
+                    const JobRequest& request) const override;
+
  private:
   /// The probe loop shared by allocate() (live view, installed exec) and
   /// diagnose() (links-unconstrained view, sequential).

@@ -4,7 +4,7 @@
 #include <limits>
 
 #include "core/search.hpp"
-#include "core/shapes.hpp"
+#include "core/shape_table.hpp"
 
 namespace jigsaw {
 
@@ -384,7 +384,7 @@ std::optional<Allocation> LeastConstrainedAllocator::search(
                               : lane_views[static_cast<std::size_t>(lane)];
   };
 
-  const auto shapes2 = two_level_shapes(request.nodes, topo);
+  const auto shapes2 = two_level_shape_seq(request.nodes, topo);
   {
     const std::size_t n_trees = static_cast<std::size_t>(topo.trees());
     TwoLevelPick pick;
@@ -429,7 +429,7 @@ std::optional<Allocation> LeastConstrainedAllocator::search(
     return at_least[static_cast<std::size_t>(t) * (m1 + 2) + per_leaf];
   };
 
-  const auto shapes3 = three_level_shapes(request.nodes, topo,
+  const auto shapes3 = three_level_shape_seq(request.nodes, topo,
                                           /*restrict_full_leaves=*/false);
   {
     GeneralPick pick;

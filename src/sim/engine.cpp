@@ -99,7 +99,8 @@ SimEngine::SimEngine(const FatTree& topo, const Allocator& allocator,
       model_(config.scenario, config.scenario_seed),
       so_(config_.obs),
       state_(topo, config.usable_bandwidth),
-      scheduler_(allocator, config.backfill_window, config.backfill_order),
+      scheduler_(allocator, config.backfill_window, config.backfill_order,
+                 config.admission_quick_reject),
       timeline_(topo.total_nodes()) {
   // Measured interference penalizes schedulers without isolation
   // guarantees (in this library: Baseline) instead of speeding up the
@@ -321,6 +322,7 @@ void SimEngine::scheduling_pass(double now) {
   metrics_.allocate_calls += pass.allocate_calls;
   metrics_.search_steps += pass.search_steps;
   metrics_.budget_exhaustions += pass.budget_exhaustions;
+  metrics_.quick_rejects += pass.quick_rejects;
   // Latest-pass attribution for status(): assigned unconditionally so a
   // pass that starts its head (reason kNone) clears the stale entry.
   head_blocked_reason_ = pass.head_blocked_reason;

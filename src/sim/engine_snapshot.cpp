@@ -24,7 +24,8 @@ namespace jigsaw {
 
 namespace {
 
-constexpr std::uint32_t kEngineBlobVersion = 1;
+// v2: SimMetrics gained quick_rejects (admission quick-reject screen).
+constexpr std::uint32_t kEngineBlobVersion = 2;
 
 void put_allocation(BufWriter& w, const Allocation& a) {
   w.i64(a.job);
@@ -103,6 +104,7 @@ void put_metrics(BufWriter& w, const SimMetrics& m) {
   w.u64(m.allocate_calls);
   w.u64(m.search_steps);
   w.u64(m.budget_exhaustions);
+  w.u64(m.quick_rejects);
   w.f64(m.mean_sched_time_per_job);
   w.u64(m.fault_events);
   w.u64(m.resources_failed);
@@ -143,6 +145,7 @@ SimMetrics get_metrics(BufReader& r) {
   m.allocate_calls = r.u64();
   m.search_steps = r.u64();
   m.budget_exhaustions = r.u64();
+  m.quick_rejects = r.u64();
   m.mean_sched_time_per_job = r.f64();
   m.fault_events = r.u64();
   m.resources_failed = r.u64();

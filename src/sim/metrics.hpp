@@ -101,6 +101,9 @@ struct SimMetrics {
   std::uint64_t allocate_calls = 0;
   std::uint64_t search_steps = 0;
   std::uint64_t budget_exhaustions = 0;
+  /// Placement searches skipped by the admission quick-reject screen
+  /// (SimConfig::admission_quick_reject); disjoint from allocate_calls.
+  std::uint64_t quick_rejects = 0;
   double mean_sched_time_per_job = 0.0;  ///< Table 3 metric
   // -- fault accounting (nonzero only when a FailureSchedule is active) --
   std::uint64_t fault_events = 0;        ///< schedule events applied

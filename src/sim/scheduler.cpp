@@ -24,6 +24,7 @@ struct PassObs {
   obs::Counter* backfill_accepted = nullptr;
   obs::Counter* backfill_rejected = nullptr;
   obs::Counter* cache_hits = nullptr;
+  obs::Counter* quick_rejects = nullptr;
   obs::Histogram* call_seconds = nullptr;
   obs::Histogram* steps_per_call = nullptr;
   /// Blocked-reason attribution (§3.2 condition classes): one counter per
@@ -46,6 +47,7 @@ struct PassObs {
     backfill_accepted = &m.counter("sched.backfill_accepted");
     backfill_rejected = &m.counter("sched.backfill_rejected");
     cache_hits = &m.counter("sched.cache_hits");
+    quick_rejects = &m.counter("sched.quick_reject");
     call_seconds = &m.histogram("alloc.call_seconds");
     steps_per_call = &m.histogram("alloc.search_steps_per_call");
     head_blocked_passes = &m.counter("sched.head_blocked_passes");
@@ -114,8 +116,32 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
   // future state), or "backfill" (window candidate).
   auto try_alloc = [&](const ClusterState& s, const PendingJob& p,
                        const char* context,
-                       SearchStats* search_out = nullptr) {
+                       SearchStats* search_out = nullptr)
+      -> std::optional<Allocation> {
     SearchStats search;
+    if (quick_reject_ &&
+        allocator_->quick_reject(s, JobRequest{p.id, p.nodes, p.bandwidth})) {
+      // The screen is sound: allocate() would certainly have failed, so
+      // skipping the search is decision-neutral. Counted separately from
+      // allocate_calls — the search never ran.
+      if (search_out != nullptr) *search_out = search;
+      if (stats != nullptr) ++stats->quick_rejects;
+      if (po.enabled) {
+        if (po.quick_rejects != nullptr) po.quick_rejects->add();
+        if (po.tracing) {
+          obs::TraceEvent e = obs::instant("alloc", "alloc.attempt", now);
+          e.arg("allocator", allocator_->name())
+              .arg("job", p.id)
+              .arg("requested_nodes", static_cast<std::int64_t>(p.nodes))
+              .arg("context", std::string(context))
+              .arg("steps", static_cast<std::int64_t>(0))
+              .arg("ok", static_cast<std::int64_t>(0))
+              .arg("reason", std::string("quick_reject"));
+          obs->emit(e);
+        }
+      }
+      return std::nullopt;
+    }
     obs::ScopedTimer timer(po.call_seconds, po.call_seconds != nullptr);
     auto result =
         allocator_->allocate(s, JobRequest{p.id, p.nodes, p.bandwidth},

@@ -53,9 +53,19 @@ enum class BackfillOrder {
 
 class EasyScheduler {
  public:
+  /// `quick_reject` enables the admission-time screen: every allocate
+  /// attempt (head, shadow probe, backfill) first consults the
+  /// allocator's O(trees) quick_reject() necessity check and skips the
+  /// full placement search when it proves failure. The screen is sound —
+  /// it only fires when allocate() would certainly fail — so enabling it
+  /// is decision-neutral; it changes only the work done, never which
+  /// jobs start. Off by default because golden tests pin exact
+  /// allocate-call counts.
   EasyScheduler(const Allocator& allocator, int backfill_window,
-                BackfillOrder order = BackfillOrder::kFifo)
-      : allocator_(&allocator), window_(backfill_window), order_(order) {}
+                BackfillOrder order = BackfillOrder::kFifo,
+                bool quick_reject = false)
+      : allocator_(&allocator), window_(backfill_window), order_(order),
+        quick_reject_(quick_reject) {}
 
   struct Decision {
     std::size_t pending_index;
@@ -66,6 +76,9 @@ class EasyScheduler {
     std::uint64_t allocate_calls = 0;
     std::uint64_t search_steps = 0;
     std::uint64_t budget_exhaustions = 0;
+    /// Placement searches skipped by the admission quick-reject screen
+    /// (counted instead of, not in addition to, allocate_calls).
+    std::uint64_t quick_rejects = 0;
     /// §3.2 condition-class attribution for the blocked head, when the
     /// pass left one (kNone otherwise). Only computed when the pass runs
     /// with an enabled ObsContext — attribution calls the allocator's
@@ -123,6 +136,7 @@ class EasyScheduler {
   const Allocator* allocator_;
   int window_;
   BackfillOrder order_;
+  bool quick_reject_;
 };
 
 }  // namespace jigsaw

@@ -38,6 +38,13 @@ struct SimConfig {
   std::uint64_t scenario_seed = 1;
   int backfill_window = 50;
   BackfillOrder backfill_order = BackfillOrder::kFifo;
+  /// Admission-time quick-reject screen: consult the allocator's sound
+  /// O(trees) necessity check (Allocator::quick_reject) before every
+  /// placement search and skip searches it proves futile. Decision-
+  /// neutral by soundness — only allocate_calls/search_steps change,
+  /// never which jobs start. Off by default so golden batch tests keep
+  /// pinning exact allocate-call counts; the service daemon enables it.
+  bool admission_quick_reject = false;
   /// Per-wire bandwidth budget for link sharing: peak 5 GB/s x 80% cap
   /// (§5.4.2).
   double usable_bandwidth = 4.0;

@@ -234,28 +234,32 @@ double ClusterState::residual_l2_up(TreeId t, int l2_index,
 }
 
 Mask ClusterState::leaf_up_with_bandwidth(LeafId l, double demand) const {
-  Mask out = 0;
-  for (int i = 0; i < topo_->l2_per_tree(); ++i) {
-    // A wire owned exclusively has its free bit cleared; shared wires keep
-    // the bit set and drain residual instead. Failed wires show neither.
-    if (has_bit(free_leaf_up(l), i) &&
-        residual_leaf_up(l, i) >= demand - 1e-9) {
-      out |= Mask{1} << i;
-    }
+  // A wire owned exclusively has its free bit cleared; shared wires keep
+  // the bit set and drain residual instead. Failed wires show neither —
+  // free_leaf_up() is already free AND healthy, so the residual row can
+  // be compared raw (stale values under cleared bits never surface).
+  const Mask free = free_leaf_up(l);
+  const double threshold = demand - 1e-9;
+  if (residual_leaf_up_.empty()) {
+    return usable_bandwidth_ >= threshold ? free : 0;
   }
-  return out;
+  const std::size_t w2 = static_cast<std::size_t>(topo_->l2_per_tree());
+  return free &
+         simd::mask_ge_rows(&residual_leaf_up_[static_cast<std::size_t>(l) * w2],
+                            w2, threshold);
 }
 
 Mask ClusterState::l2_up_with_bandwidth(TreeId t, int l2_index,
                                         double demand) const {
-  Mask out = 0;
-  for (int j = 0; j < topo_->spines_per_group(); ++j) {
-    if (has_bit(free_l2_up(t, l2_index), j) &&
-        residual_l2_up(t, l2_index, j) >= demand - 1e-9) {
-      out |= Mask{1} << j;
-    }
+  const Mask free = free_l2_up(t, l2_index);
+  const double threshold = demand - 1e-9;
+  if (residual_l2_up_.empty()) {
+    return usable_bandwidth_ >= threshold ? free : 0;
   }
-  return out;
+  const std::size_t l2 =
+      static_cast<std::size_t>(t * topo_->l2_per_tree() + l2_index);
+  const std::size_t sp = static_cast<std::size_t>(topo_->spines_per_group());
+  return free & simd::mask_ge_rows(&residual_l2_up_[l2 * sp], sp, threshold);
 }
 
 const char* ClusterState::check_apply(const Allocation& a) const {

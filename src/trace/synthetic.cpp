@@ -41,6 +41,15 @@ Trace named_synthetic(const std::string& name, std::size_t jobs) {
   } else if (name == "Synth-28") {
     params.mean_size = 28.0;
     params.seed = 2801;
+  } else if (name == "Synth-48") {
+    // Production-radix companions (not in the paper): the same workload
+    // recipe scaled to the k=48 (27648-node) and k=64 (65536-node)
+    // machines, for scheduling-time benchmarks at real-cluster radix.
+    params.mean_size = 48.0;
+    params.seed = 4801;
+  } else if (name == "Synth-64") {
+    params.mean_size = 64.0;
+    params.seed = 6401;
   } else {
     throw std::invalid_argument("unknown synthetic trace: " + name);
   }

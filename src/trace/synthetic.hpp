@@ -24,7 +24,9 @@ struct SyntheticParams {
 Trace synthetic_trace(const SyntheticParams& params);
 
 /// The paper's named synthetic traces: "Synth-16", "Synth-22", "Synth-28"
-/// (optionally with fewer jobs for quick runs).
+/// (optionally with fewer jobs for quick runs), plus production-radix
+/// companions "Synth-48" and "Synth-64" — the same recipe with mean
+/// sizes 48/64 for the k=48/64 machines.
 Trace named_synthetic(const std::string& name, std::size_t jobs = 10000);
 
 }  // namespace jigsaw

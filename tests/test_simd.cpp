@@ -1,0 +1,145 @@
+// Fuzz the runtime-dispatched SIMD mask kernels (util/simd.hpp) against
+// their scalar reference at every dispatch level the host supports. The
+// vector paths must be bit-identical to scalar — the allocators' golden
+// determinism tests assume the batch kernels are pure drop-ins — so the
+// fuzz covers the awkward geometry on purpose: length 0, lengths around
+// the 4- and 8-lane vector widths, unaligned base pointers, and tails of
+// every residue.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace jigsaw {
+namespace {
+
+std::vector<simd::Level> host_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  if (simd::detected_level() >= simd::Level::kAvx512) {
+    levels.push_back(simd::Level::kAvx512);
+  }
+  return levels;
+}
+
+TEST(Simd, LevelParseAndNames) {
+  simd::Level level = simd::Level::kAvx512;
+  EXPECT_TRUE(simd::parse_level("scalar", &level));
+  EXPECT_EQ(level, simd::Level::kScalar);
+  EXPECT_TRUE(simd::parse_level("avx2", &level));
+  EXPECT_EQ(level, simd::Level::kAvx2);
+  EXPECT_TRUE(simd::parse_level("avx512", &level));
+  EXPECT_EQ(level, simd::Level::kAvx512);
+  EXPECT_FALSE(simd::parse_level("sse9", &level));
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAvx512), "avx512");
+}
+
+TEST(Simd, SetActiveLevelClampsToDetected) {
+  const simd::Level before = simd::active_level();
+  simd::set_active_level(simd::Level::kAvx512);
+  EXPECT_LE(simd::active_level(), simd::detected_level());
+  simd::set_active_level(simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  simd::set_active_level(before);
+}
+
+TEST(Simd, FuzzMaskKernelsAllLevelsMatchScalar) {
+  std::mt19937_64 rng(0x51D0F00DULL);
+  const std::vector<simd::Level> levels = host_levels();
+  ASSERT_FALSE(levels.empty());
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Lengths hug the vector widths (0..~2 AVX-512 blocks plus change) so
+    // every tail residue of the 4- and 8-lane loops occurs many times.
+    const std::size_t n = rng() % 67;
+    const std::size_t offset = rng() % 3;  // unaligned slice starts
+    std::vector<std::uint64_t> a(offset + n), b(offset + n);
+    for (std::size_t i = 0; i < offset + n; ++i) {
+      a[i] = rng();
+      b[i] = (trial % 4 == 0) ? ~std::uint64_t{0} : rng();
+      if (trial % 5 == 0) b[i] &= a[i];  // correlated masks
+    }
+    const std::uint64_t* pa = a.data() + offset;
+    const std::uint64_t* pb = b.data() + offset;
+    const int need = static_cast<int>(rng() % 66);
+
+    const std::uint64_t want_and =
+        simd::and_reduce_rows_at(simd::Level::kScalar, pa, pb, n);
+    const int want_pop =
+        simd::popcount_and_rows_at(simd::Level::kScalar, pa, pb, n);
+    std::vector<std::uint64_t> want_out(n + 1, 0xABABABABABABABABULL);
+    const bool want_viable = simd::and_rows_viable_at(
+        simd::Level::kScalar, pa, pb, want_out.data(), n, need);
+
+    for (const simd::Level level : levels) {
+      SCOPED_TRACE(testing::Message() << "level=" << simd::level_name(level)
+                                      << " n=" << n << " trial=" << trial);
+      EXPECT_EQ(simd::and_reduce_rows_at(level, pa, pb, n), want_and);
+      EXPECT_EQ(simd::popcount_and_rows_at(level, pa, pb, n), want_pop);
+      std::vector<std::uint64_t> out(n + 1, 0xABABABABABABABABULL);
+      EXPECT_EQ(simd::and_rows_viable_at(level, pa, pb, out.data(), n, need),
+                want_viable);
+      EXPECT_EQ(out, want_out);  // includes the untouched guard word
+    }
+  }
+}
+
+TEST(Simd, FuzzMaskGeRowsAllLevelsMatchScalar) {
+  std::mt19937_64 rng(0xBEEFCAFEULL);
+  const std::vector<simd::Level> levels = host_levels();
+  std::uniform_real_distribution<double> value(-4.0, 4.0);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = rng() % 65;  // the kernel contract caps n at 64
+    const std::size_t offset = rng() % 3;
+    std::vector<double> vals(offset + n);
+    for (double& v : vals) v = value(rng);
+    // Thresholds collide with stored values often enough to exercise the
+    // >= boundary, including exact equality.
+    double threshold = value(rng);
+    if (n > 0 && trial % 3 == 0) threshold = vals[offset + rng() % n];
+    const double* pv = vals.data() + offset;
+
+    const std::uint64_t want =
+        simd::mask_ge_rows_at(simd::Level::kScalar, pv, n, threshold);
+    for (const simd::Level level : levels) {
+      SCOPED_TRACE(testing::Message() << "level=" << simd::level_name(level)
+                                      << " n=" << n << " trial=" << trial);
+      EXPECT_EQ(simd::mask_ge_rows_at(level, pv, n, threshold), want);
+    }
+  }
+}
+
+TEST(Simd, EdgeCasesLengthZeroAndAllOnes) {
+  for (const simd::Level level : host_levels()) {
+    SCOPED_TRACE(simd::level_name(level));
+    EXPECT_EQ(simd::and_reduce_rows_at(level, nullptr, nullptr, 0),
+              ~std::uint64_t{0});
+    EXPECT_EQ(simd::popcount_and_rows_at(level, nullptr, nullptr, 0), 0);
+    EXPECT_TRUE(
+        simd::and_rows_viable_at(level, nullptr, nullptr, nullptr, 0, 64));
+    EXPECT_EQ(simd::mask_ge_rows_at(level, nullptr, 0, 0.0), 0u);
+
+    std::vector<std::uint64_t> ones(9, ~std::uint64_t{0});
+    std::vector<std::uint64_t> out(9, 0);
+    EXPECT_EQ(simd::and_reduce_rows_at(level, ones.data(), ones.data(), 9),
+              ~std::uint64_t{0});
+    EXPECT_EQ(simd::popcount_and_rows_at(level, ones.data(), ones.data(), 9),
+              9 * 64);
+    EXPECT_TRUE(simd::and_rows_viable_at(level, ones.data(), ones.data(),
+                                         out.data(), 9, 64));
+    EXPECT_FALSE(simd::and_rows_viable_at(level, ones.data(), ones.data(),
+                                          out.data(), 9, 65));
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw
