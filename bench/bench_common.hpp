@@ -136,6 +136,27 @@ inline std::size_t scaled_jobs(const CliFlags& flags) {
   return static_cast<std::size_t>(flags.integer("jobs"));
 }
 
+// ---- defrag plumbing (shared --defrag flags) ---------------------------
+
+/// Live-defragmentation flags shared by the figure benches.
+inline void define_defrag_flags(CliFlags& flags) {
+  flags.define_bool("defrag",
+                    "enable live defragmentation (head-stall migration "
+                    "planning); off = bit-identical to the classic bench");
+  flags.define("migration-cost",
+               "simulated seconds a migrated job pauses, charged as "
+               "extended occupancy",
+               "60");
+  flags.define("max-moves", "most jobs one defrag plan may relocate", "3");
+}
+
+/// Apply the --defrag flag set to a bench cell's SimConfig.
+inline void apply_defrag_flags(const CliFlags& flags, SimConfig& config) {
+  config.defrag.enabled = flags.boolean("defrag");
+  config.defrag.migration_cost = flags.real("migration-cost");
+  config.defrag.max_moves = static_cast<int>(flags.integer("max-moves"));
+}
+
 // ---- repeated-run statistics (shared --repeat plumbing) ----------------
 
 inline void define_repeat_flag(CliFlags& flags) {
@@ -422,6 +443,11 @@ struct CellStats {
   double wall_seconds = 0.0;
   std::uint64_t search_steps = 0;
   std::uint64_t allocate_calls = 0;
+  // Defrag accounting (all zero with --defrag off).
+  std::uint64_t migration_plans = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t head_unblocks = 0;
+  double migration_node_seconds = 0.0;
 };
 
 /// simulate() wrapped with a wall clock, filling `stat`'s attribution
@@ -437,6 +463,10 @@ inline SimMetrics timed_simulate(const FatTree& topo, const Allocator& alloc,
     stat->wall_seconds = elapsed.count();
     stat->search_steps = m.search_steps;
     stat->allocate_calls = m.allocate_calls;
+    stat->migration_plans = m.migration_plans;
+    stat->migrations = m.migrations;
+    stat->head_unblocks = m.head_unblocks;
+    stat->migration_node_seconds = m.migration_node_seconds;
   }
   return m;
 }
@@ -451,7 +481,12 @@ inline std::string cells_json(const std::vector<CellStats>& cells) {
         << obs::json_escape(c.scheme) << "\", \"repeat\": " << c.repeat
         << ", \"wall_seconds\": " << c.wall_seconds
         << ", \"search_steps\": " << c.search_steps
-        << ", \"allocate_calls\": " << c.allocate_calls << '}';
+        << ", \"allocate_calls\": " << c.allocate_calls
+        << ", \"migration_plans\": " << c.migration_plans
+        << ", \"migrations\": " << c.migrations
+        << ", \"head_unblocks\": " << c.head_unblocks
+        << ", \"migration_node_seconds\": " << c.migration_node_seconds
+        << '}';
   }
   out << (cells.empty() ? "" : "\n  ") << ']';
   return out.str();

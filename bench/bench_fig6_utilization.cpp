@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   define_scale_flags(flags, "5000");
   define_obs_flags(flags);
   define_threads_flag(flags);
+  define_defrag_flags(flags);
   flags.define("traces", "comma-separated trace subset (default: all)", "");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
     const AllocatorPtr scheme = make_scheme(s);
     SimConfig config;
     config.obs = obs_setup.ctx;
+    apply_defrag_flags(flags, config);
     obs_setup.annotate_run(names[ti], scheme->name());
     Cell& cell = cells[i];
     cell.stats.trace = names[ti];
@@ -70,7 +72,12 @@ int main(int argc, char** argv) {
     note << names[ti] << " / " << scheme->name() << ": util " << cell.util
          << "%, waste " << TablePrinter::fmt(100.0 * m.steady_waste, 1)
          << "%, allocate calls " << m.allocate_calls
-         << ", budget exhaustions " << m.budget_exhaustions << "\n";
+         << ", budget exhaustions " << m.budget_exhaustions;
+    if (config.defrag.enabled) {
+      note << ", migrations " << m.migrations << " (plans "
+           << m.migration_plans << ", unblocks " << m.head_unblocks << ")";
+    }
+    note << "\n";
     cell.note = note.str();
   });
 

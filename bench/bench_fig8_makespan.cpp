@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   define_scale_flags(flags, "5000");
   define_obs_flags(flags);
   define_threads_flag(flags);
+  define_defrag_flags(flags);
   flags.define("traces", "comma-separated traces", "Thunder,Atlas");
   if (!flags.parse(argc, argv)) return 0;
   const std::size_t jobs = scaled_jobs(flags);
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
     SimConfig config;
     config.scenario = scenario;
     config.obs = obs_setup.ctx;
+    apply_defrag_flags(flags, config);
     Cell& cell = cells[i];
     const std::string tag =
         names[ti] + "@" + SpeedupModel::name(scenario);

@@ -122,7 +122,18 @@ void render_top(const std::map<std::string, double>& m) {
   std::cout << "  contiguity " << get("jigsaw_frag_free_nodes")
             << " free nodes, " << get("jigsaw_frag_fully_free_leaves")
             << " free leaves, " << get("jigsaw_frag_fully_free_trees")
-            << " free subtrees\n";
+            << " free subtrees, largest block "
+            << get("jigsaw_frag_largest_free_block") << "\n";
+  std::cout << "  fragmentation consolidation "
+            << static_cast<int>(100.0 * get("jigsaw_frag_consolidation") + 0.5)
+            << "% | external index "
+            << static_cast<int>(100.0 * get("jigsaw_frag_external_index") + 0.5)
+            << "%\n";
+  std::cout << "  defrag    plans " << get("jigsaw_defrag_plans_total")
+            << " | migrations " << get("jigsaw_defrag_migrations_total")
+            << " | unblocks " << get("jigsaw_defrag_head_unblocks_total")
+            << " | aborted " << get("jigsaw_defrag_plans_aborted_total")
+            << "\n";
   std::cout << "  blocked   oversized "
             << get("jigsaw_sched_blocked_oversized_total")
             << " | node_shortage "
@@ -377,6 +388,9 @@ int main(int argc, char** argv) {
                 << frag.free_nodes << " free nodes, largest placeable job "
                 << frag.largest_placeable << " (external fragmentation "
                 << static_cast<int>(100.0 * frag.external_fragmentation + 0.5)
+                << "%), largest free block " << frag.largest_free_block
+                << " (consolidation "
+                << static_cast<int>(100.0 * frag.consolidation + 0.5)
                 << "%)\n";
       if (state.degraded()) {
         std::cout << "  DEGRADED: " << state.failed_node_count()

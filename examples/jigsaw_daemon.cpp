@@ -135,6 +135,17 @@ int main(int argc, char** argv) {
                "proves futile. Sound, so decisions are unchanged; only "
                "scheduling time and the sched.quick_reject counter move.",
                "1");
+  flags.define_bool("defrag",
+                    "live defragmentation: when the head job stalls on a "
+                    "condition-class failure (leaf_spread / "
+                    "uplink_isolation), search for a bounded set of "
+                    "running-job migrations that unblocks it. Off by "
+                    "default; scheduling is bit-identical without it");
+  flags.define("migration-cost",
+               "simulated seconds a migrated job pauses (checkpoint + "
+               "restore + warm-up), charged as extended occupancy",
+               "60");
+  flags.define("max-moves", "most jobs one defrag plan may relocate", "3");
   flags.define("search-threads",
                "probe lanes for the placement search (1 = exact sequential "
                "path; grants are bit-identical at any lane count). The "
@@ -197,6 +208,9 @@ int main(int argc, char** argv) {
       config.obs.metrics = metrics.get();
     }
     config.admission_quick_reject = flags.integer("quick-reject") != 0;
+    config.defrag.enabled = flags.boolean("defrag");
+    config.defrag.migration_cost = flags.real("migration-cost");
+    config.defrag.max_moves = static_cast<int>(flags.integer("max-moves"));
 
     service::DaemonOptions options;
     if (!service::parse_clock_mode(flags.str("clock"), &options.clock)) {

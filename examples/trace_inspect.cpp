@@ -13,7 +13,14 @@
 #include <iostream>
 #include <map>
 
+#include "core/baseline.hpp"
+#include "core/jigsaw_allocator.hpp"
+#include "core/laas.hpp"
+#include "core/lc.hpp"
 #include "core/shape_table.hpp"
+#include "core/ta.hpp"
+#include "obs/metrics_registry.hpp"
+#include "sim/engine.hpp"
 #include "topology/fat_tree.hpp"
 #include "trace/llnl_like.hpp"
 #include "trace/swf.hpp"
@@ -34,6 +41,83 @@ Trace load_named(const std::string& name, std::size_t jobs) {
     return cab_like(name.substr(0, name.size() - 4), jobs);
   }
   throw std::invalid_argument("unknown trace: " + name);
+}
+
+AllocatorPtr make_stall_allocator(const std::string& name) {
+  if (name == "jigsaw") return std::make_unique<JigsawAllocator>();
+  if (name == "laas") return std::make_unique<LaasAllocator>();
+  if (name == "ta") return std::make_unique<TaAllocator>();
+  if (name == "lc") return std::make_unique<LeastConstrainedAllocator>(false);
+  if (name == "lcs") return std::make_unique<LeastConstrainedAllocator>(true);
+  if (name == "baseline") return std::make_unique<BaselineAllocator>();
+  throw std::invalid_argument(
+      "--stalls must be jigsaw/laas/ta/lc/lcs/baseline, got " + name);
+}
+
+/// Replay the trace through the EASY engine and report head-stall
+/// statistics: a stall episode is a maximal span of passes during which
+/// one job sits blocked at the head of the queue.
+void report_stalls(const Trace& trace, const FatTree& topo,
+                   const std::string& scheme) {
+  const AllocatorPtr allocator = make_stall_allocator(scheme);
+  // Blocked-reason attribution runs only under an enabled ObsContext;
+  // the registry also collects the sched.blocked.* counters for free.
+  obs::MetricsRegistry registry;
+  SimConfig config;
+  config.obs.metrics = &registry;
+  SimEngine engine(topo, *allocator, config);
+  for (const Job& j : trace.jobs) engine.submit(j);
+
+  std::size_t episodes = 0;
+  std::uint64_t stalled_passes = 0;
+  std::uint64_t stalled_depth_sum = 0;
+  double stall_seconds_sum = 0.0;
+  std::map<std::string, std::uint64_t> reason_passes;
+  JobId episode_job = kNoJob;
+  double episode_start = 0.0;
+  while (!engine.idle()) {
+    engine.step();
+    const BlockedReason reason = engine.head_blocked_reason();
+    const JobId head = engine.head_blocked_job();
+    const double now = engine.now();
+    if (reason != BlockedReason::kNone && head != kNoJob) {
+      ++stalled_passes;
+      ++reason_passes[blocked_reason_name(reason)];
+      stalled_depth_sum += engine.queue_depth();
+      if (head != episode_job) {
+        if (episode_job != kNoJob) stall_seconds_sum += now - episode_start;
+        episode_job = head;
+        episode_start = now;
+        ++episodes;
+      }
+    } else if (episode_job != kNoJob) {
+      stall_seconds_sum += now - episode_start;
+      episode_job = kNoJob;
+    }
+  }
+  if (episode_job != kNoJob) {
+    stall_seconds_sum += engine.now() - episode_start;
+  }
+  const SimMetrics& m = engine.finish();
+
+  std::cout << "\nHead-stall report (" << allocator->name() << " on "
+            << topo.describe() << "):\n  " << episodes
+            << " stall episodes over " << m.sched_passes << " passes ("
+            << stalled_passes << " passes with a blocked head)\n";
+  if (episodes > 0) {
+    std::cout << "  mean stall " << TablePrinter::fmt(
+                     stall_seconds_sum / static_cast<double>(episodes), 1)
+              << " s; mean queue depth while stalled "
+              << TablePrinter::fmt(
+                     static_cast<double>(stalled_depth_sum) /
+                         static_cast<double>(stalled_passes), 1)
+              << "\n";
+    std::cout << "  blocked-reason mix:";
+    for (const auto& [reason, passes] : reason_passes) {
+      std::cout << " " << reason << " " << passes;
+    }
+    std::cout << "\n";
+  }
 }
 
 void print_histogram(const std::string& title, const BoundedHistogram& h) {
@@ -71,6 +155,11 @@ int main(int argc, char** argv) {
   flags.define("radix",
                "switch radix of the cluster assumed for the coverage "
                "report (0 = the trace's own system size, or 16)", "0");
+  flags.define("stalls",
+               "replay the trace through the EASY engine under this "
+               "scheme (jigsaw/laas/ta/lc/lcs/baseline) and report "
+               "head-stall statistics: episodes, blocked-reason mix, "
+               "mean stall duration and depth (empty = off)", "");
   if (!flags.parse(argc, argv)) return 0;
 
   Trace trace;
@@ -154,6 +243,16 @@ int main(int argc, char** argv) {
               << c.two_level_table << " table / " << c.two_level_runtime
               << " runtime, three-level restricted " << c.three_level_table
               << " table / " << c.three_level_runtime << " runtime\n";
+  }
+
+  if (!flags.str("stalls").empty()) {
+    const int radix = static_cast<int>(flags.integer("radix"));
+    const FatTree topo =
+        radix > 0 ? FatTree::from_radix(radix)
+                  : (trace.system_nodes > 0
+                         ? FatTree::at_least(trace.system_nodes)
+                         : FatTree::from_radix(16));
+    report_stalls(trace, topo, flags.str("stalls"));
   }
 
   if (!flags.str("export").empty()) {

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Headline defragmentation experiment: the fig6 utilization bench with
+# live migration off and on across a migration-cost sweep, on the Atlas
+# production trace and the Synth-48 production-radix companion.
+#
+#   ./scripts/defrag_sweep.sh [build-dir] [out.json]
+#
+# Environment knobs: ATLAS_JOBS (default 3000), SYNTH_JOBS (default
+# 2000), COSTS (default "30 60 120 240" simulated seconds).
+#
+# The merged artifact records every bench cell plus a headline section:
+# the Jigsaw utilization delta (defrag on minus off) per trace per cost,
+# with each cost expressed as a fraction of the trace's mean job
+# runtime. The script fails unless Atlas gains >= 1.0 pp at some cost
+# <= 5% of mean job runtime (the PR 9 acceptance bar).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_defrag_fig6.json}"
+BENCH="$BUILD_DIR/bench/bench_fig6_utilization"
+INSPECT="$BUILD_DIR/examples/trace_inspect"
+[ -x "$BENCH" ] || { echo "missing $BENCH (build first)" >&2; exit 1; }
+
+ATLAS_JOBS="${ATLAS_JOBS:-3000}"
+SYNTH_JOBS="${SYNTH_JOBS:-2000}"
+COSTS="${COSTS:-30 60 120 240}"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+mean_runtime() {  # trace jobs
+  "$INSPECT" --trace "$1" --jobs "$2" --export "$WORK/mr.swf" > /dev/null
+  awk '!/^;/ {s+=$4; n++} END {printf "%.6g", s/n}' "$WORK/mr.swf"
+}
+
+run_cell() {  # trace jobs tag extra-flags...
+  local trace="$1" jobs="$2" tag="$3"
+  shift 3
+  echo "== $trace ($jobs jobs): $tag ==" >&2
+  "$BENCH" --traces "$trace" --jobs "$jobs" --json-out "$WORK/$trace.$tag.json" \
+    "$@" > /dev/null
+}
+
+for spec in "Atlas:$ATLAS_JOBS" "Synth-48:$SYNTH_JOBS"; do
+  trace="${spec%%:*}"
+  jobs="${spec##*:}"
+  mean_runtime "$trace" "$jobs" > "$WORK/$trace.mean_runtime"
+  run_cell "$trace" "$jobs" off
+  for cost in $COSTS; do
+    run_cell "$trace" "$jobs" "on$cost" --defrag --migration-cost "$cost"
+  done
+done
+
+python3 - "$WORK" "$OUT" "$ATLAS_JOBS" "$SYNTH_JOBS" "$COSTS" <<'PY'
+import json, sys
+
+work, out, atlas_jobs, synth_jobs, costs = sys.argv[1:6]
+costs = [float(c) for c in costs.split()]
+traces = {"Atlas": int(atlas_jobs), "Synth-48": int(synth_jobs)}
+
+def load(trace, tag):
+    with open(f"{work}/{trace}.{tag}.json") as f:
+        return json.load(f)
+
+def jigsaw_util(doc, trace):
+    for row in doc["rows"]:
+        if row["Trace"] == trace:
+            return row["Jigsaw"]
+    raise SystemExit(f"no Jigsaw row for {trace}")
+
+artifact = {"name": "defrag_fig6_sweep", "runs": [], "headline": []}
+ok = False
+for trace, jobs in traces.items():
+    mean_rt = float(open(f"{work}/{trace}.mean_runtime").read())
+    off = load(trace, "off")
+    off_util = jigsaw_util(off, trace)
+    artifact["runs"].append(
+        {"trace": trace, "jobs": jobs, "defrag": False,
+         "mean_job_runtime_s": mean_rt, "result": off})
+    for cost in costs:
+        on = load(trace, f"on{cost:g}")
+        on_util = jigsaw_util(on, trace)
+        cell = next(c for c in on["cells"]
+                    if c["trace"] == trace and c["scheme"] == "Jigsaw")
+        head = {"trace": trace, "migration_cost_s": cost,
+                "cost_over_mean_runtime": cost / mean_rt,
+                "jigsaw_util_off_pct": off_util,
+                "jigsaw_util_on_pct": on_util,
+                "gain_pp": round(on_util - off_util, 6),
+                "migrations": cell["migrations"],
+                "head_unblocks": cell["head_unblocks"]}
+        artifact["headline"].append(head)
+        artifact["runs"].append(
+            {"trace": trace, "jobs": jobs, "defrag": True,
+             "migration_cost_s": cost, "mean_job_runtime_s": mean_rt,
+             "result": on})
+        if trace == "Atlas" and cost <= 0.05 * mean_rt \
+                and on_util - off_util >= 1.0:
+            ok = True
+
+with open(out, "w") as f:
+    json.dump(artifact, f, indent=1)
+    f.write("\n")
+
+for h in artifact["headline"]:
+    print(f"{h['trace']:>8}  cost {h['migration_cost_s']:>6g}s "
+          f"({100 * h['cost_over_mean_runtime']:.2f}% of mean runtime)  "
+          f"Jigsaw {h['jigsaw_util_off_pct']:.1f} -> {h['jigsaw_util_on_pct']:.1f} "
+          f"({h['gain_pp']:+.1f} pp, {h['migrations']} migrations)")
+if not ok:
+    raise SystemExit(
+        "FAIL: Atlas Jigsaw gain < 1.0 pp at every cost <= 5% of mean runtime")
+print(f"headline OK -> {out}")
+PY

@@ -429,4 +429,93 @@ print(f"sharded /metrics: {samples} samples, every one cluster-labelled")
 EOF
 stop_daemon
 
+# ---- 9. defrag daemon: kill -9 mid-migration, recovery drains cleanly -------
+echo "== defrag run: migration under crash recovery =="
+# The hand-crafted stall workload from tests/test_defrag.cpp, scaled to
+# the radix-8 tree (FatTree(4,4,8), 128 nodes): two leaf-sharing 2-node
+# pairs in tree 0, seven whole-tree fillers in trees 1-7. After the two
+# 100 s leaf-mates finish, the 12-node head sees 12 free nodes but only
+# two fully-free leaves -- blocked on leaf_spread until the defrag
+# engine migrates one 2-node job; the drain must report exactly one
+# migration.
+submit_defrag_workload() {
+  local c="$CLIENT --connect unix:$SOCK --timeout 30"
+  $c --op submit --id 1 --arrival 0 --nodes 2 --runtime 100 > /dev/null
+  $c --op submit --id 2 --arrival 0 --nodes 2 --runtime 10000 > /dev/null
+  $c --op submit --id 3 --arrival 0 --nodes 2 --runtime 100 > /dev/null
+  $c --op submit --id 4 --arrival 0 --nodes 2 --runtime 10000 > /dev/null
+  local id
+  for id in 5 6 7 8 9 10 11; do
+    $c --op submit --id "$id" --arrival 0 --nodes 16 --runtime 10000 > /dev/null
+  done
+  $c --op submit --id 12 --arrival 10 --nodes 12 --runtime 50 > /dev/null
+}
+rm -f "$SOCK"
+start_daemon --radix 8 --defrag --migration-cost 40
+submit_defrag_workload
+"$CLIENT" --connect "unix:$SOCK" --op drain > "$WORK/defrag_reference.json"
+grep -q '"migrations":1' "$WORK/defrag_reference.json" || {
+  echo "defrag reference run performed no migration:" >&2
+  cat "$WORK/defrag_reference.json" >&2
+  exit 1
+}
+grep -q '"head_unblocks":1' "$WORK/defrag_reference.json" || {
+  echo "defrag reference run did not unblock the head:" >&2
+  cat "$WORK/defrag_reference.json" >&2
+  exit 1
+}
+stop_daemon
+
+rm -f "$SOCK"
+# The step delay stretches the ~10-step drain to ~1.5 s of wall time so
+# the kill lands around the migration steps (t=100 in simulated time).
+start_daemon --radix 8 --defrag --migration-cost 40 \
+  --wal "$WORK/defrag.wal" --wal-sync always --step-delay-us 150000
+submit_defrag_workload
+"$CLIENT" --connect "unix:$SOCK" --op drain > /dev/null 2>&1 &
+DRAIN_PID=$!
+sleep 0.65
+if ! kill -0 "$DRAIN_PID" 2>/dev/null; then
+  echo "warning: defrag drain finished before the kill; recovery still exercised" >&2
+fi
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+wait "$DRAIN_PID" 2>/dev/null || true
+[ -s "$WORK/defrag.wal" ] || { echo "defrag crash run left no WAL" >&2; exit 1; }
+
+start_daemon --radix 8 --defrag --migration-cost 40 \
+  --wal "$WORK/defrag.wal" --wal-sync always --recover
+grep -q "recovered WAL" "$WORK/daemon.log" || {
+  echo "defrag daemon did not report a recovery:" >&2
+  cat "$WORK/daemon.log" >&2
+  exit 1
+}
+"$CLIENT" --connect "unix:$SOCK" --op stats > "$WORK/defrag_stats.json"
+grep -q '"recovery_audit_ok":true' "$WORK/defrag_stats.json" || {
+  echo "defrag recovery audit failed (migration grants must replay):" >&2
+  cat "$WORK/defrag_stats.json" >&2
+  exit 1
+}
+"$CLIENT" --connect "unix:$SOCK" --op drain > "$WORK/defrag_drain.json"
+stop_daemon
+python3 - "$WORK/defrag_reference.json" "$WORK/defrag_drain.json" <<'EOF'
+import json, sys
+
+WALL_FIELDS = {"sched_wall_seconds", "mean_sched_time_per_job"}
+
+def metrics(path):
+    with open(path) as f:
+        doc = json.loads(f.read().splitlines()[-1])
+    assert doc.get("ok") is True, f"{path}: drain not ok: {doc}"
+    return {k: v for k, v in doc["metrics"].items() if k not in WALL_FIELDS}
+
+ref, rec = metrics(sys.argv[1]), metrics(sys.argv[2])
+assert ref["migrations"] == 1, f"reference lost its migration: {ref}"
+diff = {k for k in ref.keys() | rec.keys() if ref.get(k) != rec.get(k)}
+assert not diff, f"metrics diverge after defrag recovery: {sorted(diff)}"
+print(f"defrag recovery: migration replayed, metrics bit-identical "
+      f"({len(ref)} fields compared)")
+EOF
+
 echo "service smoke: PASS"

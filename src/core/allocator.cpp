@@ -28,6 +28,10 @@ bool Allocator::quick_reject(const ClusterState& state,
   return request.nodes > state.total_free_nodes();
 }
 
+bool Allocator::size_unplaceable(const FatTree& topo, int nodes) const {
+  return nodes < 1 || nodes > topo.total_nodes();
+}
+
 BlockedReason Allocator::diagnose(const ClusterState& state,
                                   const JobRequest& request) const {
   if (request.nodes < 1 || request.nodes > state.topo().total_nodes()) {

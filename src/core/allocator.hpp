@@ -80,6 +80,17 @@ class Allocator {
   virtual bool quick_reject(const ClusterState& state,
                             const JobRequest& request) const;
 
+  /// Structural (state-independent) placeability screen: true ONLY when
+  /// no legal placement of `nodes` can exist on `topo` even with the
+  /// whole machine free and healthy — i.e. the scheme's shape family
+  /// admits no candidate for that size. Sound like quick_reject(): a
+  /// true return must never be wrong. The base screen only rejects
+  /// oversized requests; schemes whose families are table-served (PR 8's
+  /// registry) answer from the installed tables so the fragmentation
+  /// frontier bisection skips structurally impossible probe sizes
+  /// without paying a placement search.
+  virtual bool size_unplaceable(const FatTree& topo, int nodes) const;
+
   /// Explain why allocate() just failed for `request`: classify the
   /// §3.2 condition class that rejected the best candidate. Purely
   /// observational — read-only, sequential, and only ever invoked by

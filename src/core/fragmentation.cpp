@@ -1,8 +1,58 @@
 #include "core/fragmentation.hpp"
 
 #include <algorithm>
+#include <functional>
 
 namespace jigsaw {
+
+ConsolidationReport consolidation(const ClusterState& state) {
+  const FatTree& topo = state.topo();
+  const int m1 = topo.nodes_per_leaf();
+  const int m2 = topo.leaves_per_tree();
+  ConsolidationReport report;
+
+  // Per subtree: sort the non-zero leaf free-counts descending; the
+  // largest rectangle under that histogram, max_w (depth[w-1] * w), is
+  // the largest uniform w-leaves-by-d block a two-level shape could
+  // cover. (Classic largest-rectangle-in-histogram, trivial on a sorted
+  // histogram.)
+  std::vector<int> depths;
+  std::vector<int> whole_leaves(static_cast<std::size_t>(topo.trees()), 0);
+  for (TreeId t = 0; t < topo.trees(); ++t) {
+    depths.clear();
+    for (int i = 0; i < m2; ++i) {
+      const LeafId l = t * m2 + i;
+      const int free_count = state.free_node_count(l);
+      report.free_nodes += free_count;
+      if (free_count > 0) depths.push_back(free_count);
+    }
+    whole_leaves[static_cast<std::size_t>(t)] = state.fully_free_leaves(t);
+    std::sort(depths.begin(), depths.end(), std::greater<int>());
+    for (std::size_t w = 0; w < depths.size(); ++w) {
+      report.largest_tree_block =
+          std::max(report.largest_tree_block,
+                   depths[w] * static_cast<int>(w + 1));
+    }
+  }
+
+  // Across subtrees only whole leaves consolidate (the §4 restriction):
+  // the same rectangle over per-tree fully-free-leaf counts gives the
+  // largest r-trees-by-q-whole-leaves block.
+  std::sort(whole_leaves.begin(), whole_leaves.end(), std::greater<int>());
+  for (std::size_t r = 0; r < whole_leaves.size(); ++r) {
+    report.largest_span_block =
+        std::max(report.largest_span_block,
+                 whole_leaves[r] * static_cast<int>(r + 1) * m1);
+  }
+
+  report.largest_block =
+      std::max(report.largest_tree_block, report.largest_span_block);
+  report.score = report.free_nodes == 0
+                     ? 1.0
+                     : static_cast<double>(report.largest_block) /
+                           static_cast<double>(report.free_nodes);
+  return report;
+}
 
 FragmentationReport structural_fragmentation(const ClusterState& state) {
   const FatTree& topo = state.topo();
@@ -20,6 +70,9 @@ FragmentationReport structural_fragmentation(const ClusterState& state) {
       ++report.fully_free_trees;
     }
   }
+  const ConsolidationReport c = consolidation(state);
+  report.largest_free_block = c.largest_block;
+  report.consolidation = c.score;
   return report;
 }
 
@@ -35,9 +88,19 @@ FragmentationReport analyze_fragmentation(const ClusterState& state,
   // the frontier. TA's must-fit-at-the-smallest-level rules break
   // monotonicity at leaf/subtree class boundaries, so a bounded linear
   // sweep above the bisection result catches those pockets.
+  //
+  // Each probe pays a full placement search, so certainly-failing sizes
+  // are screened first: size_unplaceable() answers from the installed
+  // shape tables (PR 8's registry) in O(1) at the production radices,
+  // and quick_reject() from the O(trees) incremental capacity indices.
+  // Both screens are sound, so the reported frontier is unchanged; the
+  // probes that do run serve their candidate sequences from the same
+  // registry inside allocate().
   auto placeable = [&](int size) {
-    return allocator.allocate(state, JobRequest{kNoJob, size, 0.0})
-        .has_value();
+    const JobRequest probe{kNoJob, size, 0.0};
+    if (allocator.size_unplaceable(topo, size)) return false;
+    if (allocator.quick_reject(state, probe)) return false;
+    return allocator.allocate(state, probe).has_value();
   };
   int lo = 0;
   int hi = report.free_nodes;

@@ -8,6 +8,10 @@
 //
 //   * structural counts: free nodes, fully-free leaves/subtrees, and the
 //     per-leaf free-node histogram (how scattered the free capacity is);
+//   * the free-region *consolidation* score: a max-rect-style
+//     decomposition of the leaf free-histogram and subtree contiguity
+//     that measures how much of the free capacity forms one rectangular
+//     block (the defrag planner's contiguity-gain objective);
 //   * the *placeability frontier* of an allocator: the largest job it
 //     could start right now, found by bisection over probe allocations;
 //   * the external-fragmentation index 1 - frontier/free: 0 when all free
@@ -22,12 +26,36 @@
 
 namespace jigsaw {
 
+/// Max-rect-style decomposition of the free capacity. Treating each
+/// subtree's leaf free-counts as a histogram, the largest "rectangle"
+/// (w leaves x d free nodes each) under the sorted histogram is the
+/// largest uniform two-level block; across subtrees the analogous
+/// rectangle over fully-free-leaf counts (r trees x q whole leaves) is
+/// the largest whole-leaf three-level block. The best of the two is the
+/// largest rectangular free region, and score = largest_block/free is
+/// the fraction of free capacity it covers: 1.0 when the free space is
+/// one solid block (or the cluster is full), falling toward 0 as free
+/// capacity shatters into unusable shreds. O(leaves log leaves).
+struct ConsolidationReport {
+  int largest_block = 0;       ///< nodes in the largest rectangular block
+  int largest_tree_block = 0;  ///< best single-subtree (two-level) block
+  int largest_span_block = 0;  ///< best cross-subtree whole-leaf block
+  int free_nodes = 0;
+  double score = 1.0;          ///< largest_block / free_nodes; 1 when full
+};
+
+ConsolidationReport consolidation(const ClusterState& state);
+
 struct FragmentationReport {
   int free_nodes = 0;
   int fully_free_leaves = 0;
   int fully_free_trees = 0;
   /// leaf_free_histogram[k] = number of leaves with exactly k free nodes.
   std::vector<int> leaf_free_histogram;
+  /// Largest rectangular free block and the consolidation score it
+  /// implies (see ConsolidationReport); structural, allocator-free.
+  int largest_free_block = 0;
+  double consolidation = 1.0;
   /// Largest single job the allocator can place right now (0 when none).
   int largest_placeable = 0;
   /// 1 - largest_placeable / free_nodes (0 when free_nodes == 0).
@@ -35,8 +63,9 @@ struct FragmentationReport {
 };
 
 /// The structural counts alone — free nodes, fully-free leaves/subtrees,
-/// per-leaf free histogram — without the allocate-probe bisection.
-/// O(leaves) index reads, cheap enough for a per-scrape metrics gauge;
+/// per-leaf free histogram, and the consolidation score — without the
+/// allocate-probe bisection. O(leaves log leaves) index reads, cheap
+/// enough for a per-scrape metrics gauge;
 /// largest_placeable/external_fragmentation stay zero.
 FragmentationReport structural_fragmentation(const ClusterState& state);
 

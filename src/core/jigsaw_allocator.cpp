@@ -76,6 +76,20 @@ bool JigsawAllocator::quick_reject(const ClusterState& state,
   return fully_free < n / topo.nodes_per_leaf();
 }
 
+bool JigsawAllocator::size_unplaceable(const FatTree& topo, int nodes) const {
+  if (Allocator::size_unplaceable(topo, nodes)) return true;
+  // allocate() enumerates exactly the two-level and restricted
+  // three-level families (the §4 restriction), so a size with both
+  // sequences empty can never be placed. Only an installed table (PR 8)
+  // answers that in O(1); without one the screen claims no structural
+  // knowledge rather than paying a runtime enumeration per probe.
+  if (const auto table = find_shape_table(topo)) {
+    return table->two_level(nodes).empty() &&
+           table->three_level_restricted(nodes).empty();
+  }
+  return false;
+}
+
 std::optional<Allocation> JigsawAllocator::search(const ClusterState& state,
                                                  const LinkView& view,
                                                  const SearchExec& exec,

@@ -48,6 +48,11 @@ class JigsawAllocator final : public Allocator {
   bool quick_reject(const ClusterState& state,
                     const JobRequest& request) const override;
 
+  /// Structural screen from the shape families themselves: a size with
+  /// an empty two-level AND empty restricted three-level sequence can
+  /// never be placed (table-served at the production radices).
+  bool size_unplaceable(const FatTree& topo, int nodes) const override;
+
  private:
   /// The two-pass probe loop, parameterized over the availability lens
   /// and execution policy so allocate() (live view, installed exec) and

@@ -1,0 +1,110 @@
+// Live defragmentation: planned migration of running jobs to unblock the
+// EASY head job.
+//
+// When the head of the queue stalls on a condition-class failure
+// (kLeafSpread / kUplinkIsolation — free nodes exist but their layout
+// admits no placement), the planner searches a bounded set of running-job
+// migrations that would make the head feasible. A migration pauses a
+// running job, re-places it through the scheme's own allocator against a
+// Txn-shadowed ClusterState, and resumes it after a configurable
+// migration cost in simulated time. Plans are scored by the free-region
+// consolidation metric (core/fragmentation.hpp): among feasible plans at
+// the shallowest feasible depth, the one leaving the freest contiguous
+// block wins.
+//
+// The planner is a pure function of (state, head request, candidate set,
+// config): every iteration order is deterministic, probes run under
+// ClusterState::Txn and roll back, and the state's revision counter is
+// restored — so planning never perturbs golden determinism, and with
+// defrag disabled the simulator is bit-identical to a build without it.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "topology/cluster_state.hpp"
+
+namespace jigsaw {
+
+struct DefragConfig {
+  /// Off by default: the stall detector and planner never run, and the
+  /// simulation is bit-identical to one without the subsystem.
+  bool enabled = false;
+  /// Simulated seconds a migrated job is paused (checkpoint + restore +
+  /// warm-up). Charged by extending the job's occupancy window; clamped
+  /// to a small positive epsilon so a migration can never be free.
+  double migration_cost = 60.0;
+  /// Deepest plan considered (number of jobs moved by one plan).
+  int max_moves = 3;
+  /// Candidate victims kept after the consolidation-gain ranking.
+  int max_candidates = 12;
+  /// Total placement searches one plan() call may spend.
+  std::uint64_t max_probes = 256;
+};
+
+/// One job relocation: pause `job`, release `from`, resume on `to` after
+/// the migration cost elapses.
+struct MigrationMove {
+  JobId job = kNoJob;
+  Allocation from;
+  Allocation to;
+};
+
+/// A feasible unblocking plan: applying every move (release all `from`,
+/// apply all `to`) leaves `head` placeable by the scheme's allocator.
+struct DefragPlan {
+  JobId head = kNoJob;
+  std::vector<MigrationMove> moves;
+  /// Consolidation score of the shadow state with the plan and the head
+  /// placement applied (higher = freer space left more contiguous).
+  double score = 0.0;
+};
+
+/// A running job the planner may relocate. `allocation` must outlive the
+/// plan() call; the planner copies it into any plan it returns.
+struct MigrationCandidate {
+  JobId job = kNoJob;
+  const Allocation* allocation = nullptr;
+  /// Bandwidth the job requested at admission (re-placement preserves it).
+  double bandwidth = 0.0;
+};
+
+struct DefragPlannerStats {
+  std::uint64_t probes = 0;        ///< placement searches spent
+  std::uint64_t plans_scored = 0;  ///< feasible plans found and scored
+};
+
+class DefragPlanner {
+ public:
+  /// The allocator is the scheme's own placement policy — re-placements
+  /// obey exactly the isolation conditions admission does. Both referents
+  /// must outlive the planner.
+  DefragPlanner(const Allocator& allocator, const DefragConfig& config)
+      : allocator_(allocator), config_(config) {}
+
+  /// Search for the best bounded migration plan that makes `head`
+  /// placeable. Probes mutate `state` only inside transactions that are
+  /// rolled back before returning (revision counter included). Returns
+  /// std::nullopt when no combination of at most max_moves candidates
+  /// unblocks the head within the probe budget.
+  std::optional<DefragPlan> plan(ClusterState& state, const JobRequest& head,
+                                 const std::vector<MigrationCandidate>& candidates,
+                                 DefragPlannerStats* stats = nullptr) const;
+
+  const DefragConfig& config() const { return config_; }
+
+ private:
+  const Allocator& allocator_;
+  DefragConfig config_;
+};
+
+/// Execute a plan's moves atomically: release every `from`, then apply
+/// every `to` under one transaction. Returns false — with `state`
+/// untouched — if any destination is no longer applicable (the caller
+/// aborts the migration); true after committing all moves.
+bool apply_plan_moves(ClusterState& state, const DefragPlan& plan);
+
+}  // namespace jigsaw

@@ -1,0 +1,141 @@
+#include "defrag/defrag.hpp"
+
+#include <algorithm>
+
+#include "core/fragmentation.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+struct RankedCandidate {
+  const MigrationCandidate* candidate = nullptr;
+  double gain = 0.0;
+};
+
+/// Rank candidates by the consolidation score of the state with their
+/// allocation released: victims whose departure leaves the freest
+/// contiguous block are tried first. Ties break toward the lower job id
+/// so the ordering — and therefore the whole search — is deterministic.
+std::vector<RankedCandidate> rank_candidates(
+    ClusterState& state, const std::vector<MigrationCandidate>& candidates,
+    int keep) {
+  std::vector<RankedCandidate> ranked;
+  ranked.reserve(candidates.size());
+  for (const MigrationCandidate& c : candidates) {
+    if (c.job == kNoJob || c.allocation == nullptr || c.allocation->empty()) {
+      continue;
+    }
+    ClusterState::Txn txn(state);
+    state.release(*c.allocation);
+    ranked.push_back({&c, consolidation(state).score});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     if (a.gain != b.gain) return a.gain > b.gain;
+                     return a.candidate->job < b.candidate->job;
+                   });
+  if (static_cast<int>(ranked.size()) > keep) {
+    ranked.resize(static_cast<std::size_t>(keep));
+  }
+  return ranked;
+}
+
+}  // namespace
+
+std::optional<DefragPlan> DefragPlanner::plan(
+    ClusterState& state, const JobRequest& head,
+    const std::vector<MigrationCandidate>& candidates,
+    DefragPlannerStats* stats) const {
+  DefragPlannerStats local;
+  DefragPlannerStats& st = stats != nullptr ? *stats : local;
+  if (config_.max_moves < 1 || head.nodes < 1) return std::nullopt;
+
+  const std::vector<RankedCandidate> ranked =
+      rank_candidates(state, candidates, std::max(config_.max_candidates, 1));
+  const int n = static_cast<int>(ranked.size());
+  if (n == 0) return std::nullopt;
+
+  // Probe one victim combination under a transaction: release the
+  // victims, place the head, then re-place each victim through the
+  // scheme's own allocator with its original request. Returns the scored
+  // plan if everything fits; the transaction is always rolled back.
+  auto probe_combo =
+      [&](const std::vector<int>& combo) -> std::optional<DefragPlan> {
+    ClusterState::Txn txn(state);
+    for (int idx : combo) {
+      state.release(*ranked[static_cast<std::size_t>(idx)].candidate->allocation);
+    }
+    ++st.probes;
+    std::optional<Allocation> head_alloc = allocator_.allocate(state, head);
+    if (!head_alloc.has_value()) return std::nullopt;
+    state.apply(*head_alloc);
+
+    DefragPlan plan;
+    plan.head = head.id;
+    plan.moves.reserve(combo.size());
+    for (int idx : combo) {
+      const MigrationCandidate& victim =
+          *ranked[static_cast<std::size_t>(idx)].candidate;
+      ++st.probes;
+      std::optional<Allocation> to = allocator_.allocate(
+          state, JobRequest{victim.job, victim.allocation->requested_nodes,
+                            victim.bandwidth});
+      if (!to.has_value()) return std::nullopt;
+      state.apply(*to);
+      plan.moves.push_back({victim.job, *victim.allocation, std::move(*to)});
+    }
+    ++st.plans_scored;
+    plan.score = consolidation(state).score;
+    return plan;
+  };
+
+  // Iterative deepening: every 1-move plan before any 2-move plan, so the
+  // cheapest unblocking depth always wins; within a depth the best
+  // consolidation score wins (first-found on ties). Combinations are
+  // enumerated in lexicographic index order over the ranked candidates.
+  for (int depth = 1; depth <= std::min(config_.max_moves, n); ++depth) {
+    std::optional<DefragPlan> best;
+    std::vector<int> combo(static_cast<std::size_t>(depth));
+    for (int i = 0; i < depth; ++i) combo[static_cast<std::size_t>(i)] = i;
+    for (;;) {
+      if (st.probes >= config_.max_probes) break;
+      std::optional<DefragPlan> plan = probe_combo(combo);
+      if (plan.has_value() &&
+          (!best.has_value() || plan->score > best->score)) {
+        best = std::move(plan);
+      }
+      // Advance to the next lexicographic depth-combination of [0, n).
+      int pos = depth - 1;
+      while (pos >= 0 &&
+             combo[static_cast<std::size_t>(pos)] == n - depth + pos) {
+        --pos;
+      }
+      if (pos < 0) break;
+      ++combo[static_cast<std::size_t>(pos)];
+      for (int i = pos + 1; i < depth; ++i) {
+        combo[static_cast<std::size_t>(i)] =
+            combo[static_cast<std::size_t>(i - 1)] + 1;
+      }
+    }
+    if (best.has_value()) return best;
+    if (st.probes >= config_.max_probes) break;
+  }
+  return std::nullopt;
+}
+
+bool apply_plan_moves(ClusterState& state, const DefragPlan& plan) {
+  ClusterState::Txn txn(state);
+  for (const MigrationMove& m : plan.moves) state.release(m.from);
+  for (const MigrationMove& m : plan.moves) {
+    // A destination can be stale if the cluster changed since planning
+    // (service-mode ops, node failures); the transaction rollback leaves
+    // the pre-plan state bit-identical, no partial migration possible.
+    if (!state.can_apply(m.to)) return false;
+    state.apply(m.to);
+  }
+  txn.commit();
+  return true;
+}
+
+}  // namespace jigsaw

@@ -1043,14 +1043,22 @@ void ServiceDaemon::refresh_gauges() {
     m.gauge("wal.inputs_since_snapshot")
         .set(static_cast<double>(inputs_since_snapshot_));
   }
-  // Structural contiguity only (free leaves/subtrees, scatter histogram):
-  // the allocate-probe bisection is far too expensive per scrape.
+  // Structural contiguity only (free leaves/subtrees, scatter histogram,
+  // and the max-rect consolidation decomposition): the allocate-probe
+  // bisection is far too expensive per scrape.
   const FragmentationReport frag = structural_fragmentation(state);
   m.gauge("frag.free_nodes").set(static_cast<double>(frag.free_nodes));
   m.gauge("frag.fully_free_leaves")
       .set(static_cast<double>(frag.fully_free_leaves));
   m.gauge("frag.fully_free_trees")
       .set(static_cast<double>(frag.fully_free_trees));
+  m.gauge("frag.largest_free_block")
+      .set(static_cast<double>(frag.largest_free_block));
+  // Consolidation score in [0,1] (1 = all free capacity in one
+  // shape-coverable block); its complement is the structural
+  // external-fragmentation index.
+  m.gauge("frag.consolidation").set(frag.consolidation);
+  m.gauge("frag.external_index").set(1.0 - frag.consolidation);
 }
 
 std::string ServiceDaemon::metrics_text() {

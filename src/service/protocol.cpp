@@ -251,6 +251,13 @@ std::string metrics_json(const SimMetrics& m) {
   field(out, "grants_rejected", m.grants_rejected, &first);
   field(out, "abandoned", static_cast<std::uint64_t>(m.abandoned), &first);
   field(out, "cancelled", static_cast<std::uint64_t>(m.cancelled), &first);
+  field(out, "migration_plans", m.migration_plans, &first);
+  field(out, "migration_plans_failed", m.migration_plans_failed, &first);
+  field(out, "migration_plans_aborted", m.migration_plans_aborted, &first);
+  field(out, "migrations", m.migrations, &first);
+  field(out, "migration_node_seconds", m.migration_node_seconds, &first);
+  field(out, "head_unblocks", m.head_unblocks, &first);
+  field(out, "head_unblock_failures", m.head_unblock_failures, &first);
   field(out, "p50_turnaround", m.p50_turnaround, &first);
   field(out, "p90_turnaround", m.p90_turnaround, &first);
   field(out, "p99_turnaround", m.p99_turnaround, &first);

@@ -88,6 +88,12 @@ SimEngine::SimObs::SimObs(const obs::ObsContext& o) {
   pass_seconds = &m.histogram("sched.pass_seconds");
   queue_depth_hist = &m.histogram("sched.queue_depth");
   wait_seconds = &m.histogram("jobs.wait_seconds");
+  defrag_plans = &m.counter("defrag.plans");
+  defrag_plan_failures = &m.counter("defrag.plan_failures");
+  defrag_aborted = &m.counter("defrag.plans_aborted");
+  defrag_migrations = &m.counter("defrag.migrations");
+  defrag_unblocks = &m.counter("defrag.head_unblocks");
+  defrag_unblock_failures = &m.counter("defrag.head_unblock_failures");
 }
 
 SimEngine::SimEngine(const FatTree& topo, const Allocator& allocator,
@@ -107,6 +113,16 @@ SimEngine::SimEngine(const FatTree& topo, const Allocator& allocator,
   // isolating ones — the same comparison rebased.
   if (config_.measured_interference_comm_fraction > 0.0 && !speedups_) {
     traffic_ = std::make_unique<TrafficLoadModel>(topo, config_.traffic_seed);
+  }
+  // A migration can never be free: a zero (or negative) cost would let a
+  // failed unblock re-plan at the same timestamp forever.
+  config_.defrag.migration_cost = std::max(config_.defrag.migration_cost, 1e-9);
+  // Defrag is incompatible with measured interference: relocating a job
+  // would have to reroute its traffic permutation, and the RNG-coupled
+  // link loads are not snapshotable anyway.
+  if (config_.defrag.enabled && traffic_ == nullptr) {
+    defrag_planner_ =
+        std::make_unique<DefragPlanner>(allocator, config_.defrag);
   }
 }
 
@@ -423,6 +439,176 @@ void SimEngine::scheduling_pass(double now) {
         now, 100.0 * static_cast<double>(timeline_.busy_now()) /
                  static_cast<double>(topo_->total_nodes()));
   }
+
+  // Defrag epilogue: first record the unblock outcome of a migration the
+  // pass just followed, then let the stall detector look at the (possibly
+  // new) head. Both are no-ops with defrag disabled.
+  if (unblock_check_pending_) {
+    unblock_check_pending_ = false;
+    const auto pit = phase_.find(unblock_job_);
+    const bool unblocked =
+        pit != phase_.end() && (pit->second == JobPhase::kRunning ||
+                                pit->second == JobPhase::kCompleted);
+    if (unblocked) {
+      ++metrics_.head_unblocks;
+      if (so_.defrag_unblocks != nullptr) so_.defrag_unblocks->add();
+    } else {
+      ++metrics_.head_unblock_failures;
+      if (so_.defrag_unblock_failures != nullptr) {
+        so_.defrag_unblock_failures->add();
+      }
+    }
+    if (so_.tracing) {
+      config_.obs.emit(obs::instant("defrag", "defrag.unblock_result", now)
+                           .arg("job", unblock_job_)
+                           .arg("unblocked",
+                                static_cast<std::int64_t>(unblocked ? 1 : 0)));
+    }
+    unblock_job_ = kNoJob;
+  }
+  maybe_plan_defrag(now);
+}
+
+void SimEngine::maybe_plan_defrag(double now) {
+  if (defrag_planner_ == nullptr || pending_plan_.has_value() ||
+      migrations_in_flight_ > 0) {
+    return;
+  }
+  if (queue_.empty() || running_.empty()) return;
+  // After a pass the head is still queued exactly when it could not
+  // start; re-diagnosing it on an unchanged cluster is pure waste, so the
+  // detector fires at most once per (head, revision).
+  const PendingJob& head = queue_.front();
+  if (head.id == last_defrag_job_ && state_.revision() == last_defrag_revision_) {
+    return;
+  }
+  last_defrag_job_ = head.id;
+  last_defrag_revision_ = state_.revision();
+  const JobRequest req{head.id, head.nodes, head.bandwidth};
+  // Migration only helps when free capacity exists but its layout blocks
+  // the head — the §3.2 condition classes. Shortage, oversize, and budget
+  // exhaustion are not fixable by moving jobs.
+  const BlockedReason reason = allocator_->diagnose(state_, req);
+  if (reason != BlockedReason::kLeafSpread &&
+      reason != BlockedReason::kUplinkIsolation) {
+    return;
+  }
+  std::vector<MigrationCandidate> candidates;
+  candidates.reserve(running_.size());
+  for (const RunningJob& r : running_) {
+    candidates.push_back(
+        MigrationCandidate{r.id, &r.allocation, r.allocation.bandwidth});
+  }
+  DefragPlannerStats stats;
+  std::optional<DefragPlan> plan =
+      defrag_planner_->plan(state_, req, candidates, &stats);
+  if (!plan.has_value()) {
+    ++metrics_.migration_plans_failed;
+    if (so_.defrag_plan_failures != nullptr) so_.defrag_plan_failures->add();
+    if (so_.tracing) {
+      config_.obs.emit(obs::instant("defrag", "defrag.plan_failed", now)
+                           .arg("job", head.id)
+                           .arg("reason", blocked_reason_name(reason))
+                           .arg("probes",
+                                static_cast<std::int64_t>(stats.probes)));
+    }
+    return;
+  }
+  ++metrics_.migration_plans;
+  if (so_.defrag_plans != nullptr) so_.defrag_plans->add();
+  if (so_.tracing) {
+    config_.obs.emit(
+        obs::instant("defrag", "defrag.plan", now)
+            .arg("job", head.id)
+            .arg("reason", blocked_reason_name(reason))
+            .arg("moves", static_cast<std::int64_t>(plan->moves.size()))
+            .arg("score", plan->score)
+            .arg("probes", static_cast<std::int64_t>(stats.probes)));
+  }
+  pending_plan_ = std::move(plan);
+  // Executes at this same timestamp in the next step: the engine drains
+  // every event of a batch before its scheduling pass, so nothing can
+  // intervene between planning and execution in batch mode.
+  events_.push(now, EventType::kMigrationStart, pending_plan_->head, 0);
+}
+
+void SimEngine::handle_migration_start(double now) {
+  if (!pending_plan_.has_value()) return;
+  const DefragPlan plan = std::move(*pending_plan_);
+  pending_plan_.reset();
+  // The plan was made against the live state one batch ago; in service
+  // mode an op may have slipped in between. Abort — never partially
+  // migrate — when any victim is gone or its placement moved.
+  bool stale = false;
+  for (const MigrationMove& m : plan.moves) {
+    const auto it = running_index_.find(m.job);
+    if (it == running_index_.end() ||
+        running_[it->second].allocation.nodes != m.from.nodes) {
+      stale = true;
+      break;
+    }
+  }
+  if (stale || !apply_plan_moves(state_, plan)) {
+    ++metrics_.migration_plans_aborted;
+    ++metrics_.head_unblock_failures;
+    if (so_.defrag_aborted != nullptr) so_.defrag_aborted->add();
+    if (so_.defrag_unblock_failures != nullptr) {
+      so_.defrag_unblock_failures->add();
+    }
+    if (so_.tracing) {
+      config_.obs.emit(obs::instant("defrag", "defrag.plan_aborted", now)
+                           .arg("job", plan.head)
+                           .arg("moves",
+                                static_cast<std::int64_t>(plan.moves.size())));
+    }
+    return;
+  }
+  const double cost = config_.defrag.migration_cost;
+  for (const MigrationMove& m : plan.moves) {
+    RunningJob& rj = running_[running_index_.at(m.job)];
+    // The pause is modelled as extended occupancy: the job keeps its
+    // requested nodes busy (now at the destination) for `cost` extra
+    // seconds. The old run's completion event becomes a ghost via the
+    // generation bump, exactly like kill-and-requeue.
+    const double new_end = rj.end_time + cost;
+    const std::int64_t gen = ++generation_[m.job];
+    events_.push(new_end, EventType::kCompletion, m.job, gen);
+    rj.end_time = new_end;
+    const int waste_delta = m.to.wasted_nodes() - rj.allocation.wasted_nodes();
+    rj.allocation = m.to;
+    if (waste_delta != 0) timeline_.record_waste(now, waste_delta);
+    ++metrics_.migrations;
+    metrics_.migration_node_seconds +=
+        static_cast<double>(rj.allocation.allocated_nodes()) * cost;
+    if (so_.defrag_migrations != nullptr) so_.defrag_migrations->add();
+    // The destination is a fresh grant for auditing purposes: the WAL
+    // records release+grant so replay reconstructs the same placements,
+    // and the resilience audit re-certifies RNB on the new partition.
+    if (config_.grant_audit) config_.grant_audit(now, rj.allocation, state_);
+    if (release_hook_) release_hook_(now, m.job, false);
+    if (grant_hook_) grant_hook_(now, rj.allocation);
+    if (so_.tracing) {
+      config_.obs.emit(
+          obs::instant("defrag", "defrag.migration_start", now)
+              .arg("job", m.job)
+              .arg("nodes",
+                   static_cast<std::int64_t>(rj.allocation.requested_nodes))
+              .arg("resume", now + cost));
+    }
+  }
+  ++migrations_in_flight_;
+  unblock_job_ = plan.head;
+  unblock_check_pending_ = true;
+  events_.push(now + cost, EventType::kMigrationDone, plan.head, 0);
+}
+
+void SimEngine::handle_migration_done(double now) {
+  if (migrations_in_flight_ > 0) --migrations_in_flight_;
+  if (so_.tracing) {
+    config_.obs.emit(obs::instant("defrag", "defrag.migration_done", now)
+                         .arg("in_flight",
+                              static_cast<std::int64_t>(migrations_in_flight_)));
+  }
 }
 
 void SimEngine::step() {
@@ -456,6 +642,14 @@ void SimEngine::step() {
     const Event e = events_.pop();
     if (e.type == EventType::kFailure || e.type == EventType::kRepair) {
       handle_fault_event(now, e);
+      continue;
+    }
+    if (e.type == EventType::kMigrationStart) {
+      handle_migration_start(now);
+      continue;
+    }
+    if (e.type == EventType::kMigrationDone) {
+      handle_migration_done(now);
       continue;
     }
     const Job& job = jobs_[job_index_.at(e.job)];

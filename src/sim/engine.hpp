@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "defrag/defrag.hpp"
 #include "fault/failure_schedule.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -142,6 +143,15 @@ class SimEngine {
   };
   std::optional<JobStatus> status(JobId id) const;
 
+  /// Attribution of the most recent pass that left the head blocked
+  /// (kNone when the last pass started its head, the queue is empty, or
+  /// the engine runs with observability disabled — the attribution
+  /// diagnose() is paid only under an enabled ObsContext).
+  BlockedReason head_blocked_reason() const { return head_blocked_reason_; }
+  JobId head_blocked_job() const { return head_blocked_job_; }
+  /// Open defrag migration windows (0 or 1: plans never overlap).
+  int migrations_in_flight() const { return migrations_in_flight_; }
+
   // -- state snapshot (service/snapshot) ----------------------------------
   /// Append the engine's complete dynamic state to `out` as a
   /// little-endian binary blob (util/binio.hpp): cluster masks, pending
@@ -184,6 +194,12 @@ class SimEngine {
     obs::Histogram* pass_seconds = nullptr;
     obs::Histogram* queue_depth_hist = nullptr;
     obs::Histogram* wait_seconds = nullptr;
+    obs::Counter* defrag_plans = nullptr;
+    obs::Counter* defrag_plan_failures = nullptr;
+    obs::Counter* defrag_aborted = nullptr;
+    obs::Counter* defrag_migrations = nullptr;
+    obs::Counter* defrag_unblocks = nullptr;
+    obs::Counter* defrag_unblock_failures = nullptr;
 
     explicit SimObs(const obs::ObsContext& o);
   };
@@ -196,6 +212,12 @@ class SimEngine {
   void handle_completion(double now, const Event& e, const Job& job);
   void release_running(double now, std::size_t ri, const Job& job);
   void scheduling_pass(double now);
+  /// End-of-pass stall detector: when the head is blocked on a condition
+  /// class a migration could fix, search for a plan and schedule a
+  /// kMigrationStart event (defrag enabled only; no-op otherwise).
+  void maybe_plan_defrag(double now);
+  void handle_migration_start(double now);
+  void handle_migration_done(double now);
 
   const FatTree* topo_;
   const Allocator* allocator_;
@@ -224,6 +246,21 @@ class SimEngine {
   /// (kNone/kNoJob when the last pass started its head or obs is off).
   BlockedReason head_blocked_reason_ = BlockedReason::kNone;
   JobId head_blocked_job_ = kNoJob;
+
+  // -- live defragmentation (config_.defrag.enabled only) -----------------
+  std::unique_ptr<DefragPlanner> defrag_planner_;  ///< null when disabled
+  /// Plan adopted by the stall detector, awaiting its kMigrationStart
+  /// event (executes at the same timestamp, next step).
+  std::optional<DefragPlan> pending_plan_;
+  int migrations_in_flight_ = 0;
+  /// Head job whose unblock outcome the next pass must record.
+  JobId unblock_job_ = kNoJob;
+  bool unblock_check_pending_ = false;
+  /// Stall-detector throttle: at most one plan search per (head job,
+  /// cluster revision) — re-arms whenever either changes.
+  JobId last_defrag_job_ = kNoJob;
+  std::uint64_t last_defrag_revision_ =
+      std::numeric_limits<std::uint64_t>::max();
 
   UtilizationTimeline timeline_;
   SimMetrics metrics_;

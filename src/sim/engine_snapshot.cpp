@@ -25,7 +25,11 @@ namespace jigsaw {
 namespace {
 
 // v2: SimMetrics gained quick_rejects (admission quick-reject screen).
-constexpr std::uint32_t kEngineBlobVersion = 2;
+// v3: live defragmentation — DefragConfig guard fields, migration
+//     accounting in SimMetrics, and the in-flight migration state
+//     (pending plan, open window, unblock check, stall throttle) so a
+//     recovered engine resumes or cleanly finishes a mid-window run.
+constexpr std::uint32_t kEngineBlobVersion = 3;
 
 void put_allocation(BufWriter& w, const Allocation& a) {
   w.i64(a.job);
@@ -126,6 +130,13 @@ void put_metrics(BufWriter& w, const SimMetrics& m) {
     w.f64(jr.start);
     w.f64(jr.end);
   }
+  w.u64(m.migration_plans);
+  w.u64(m.migration_plans_failed);
+  w.u64(m.migration_plans_aborted);
+  w.u64(m.migrations);
+  w.f64(m.migration_node_seconds);
+  w.u64(m.head_unblocks);
+  w.u64(m.head_unblock_failures);
 }
 
 SimMetrics get_metrics(BufReader& r) {
@@ -174,6 +185,13 @@ SimMetrics get_metrics(BufReader& r) {
     jr.end = r.f64();
     m.job_records.push_back(jr);
   }
+  m.migration_plans = r.u64();
+  m.migration_plans_failed = r.u64();
+  m.migration_plans_aborted = r.u64();
+  m.migrations = r.u64();
+  m.migration_node_seconds = r.f64();
+  m.head_unblocks = r.u64();
+  m.head_unblock_failures = r.u64();
   return m;
 }
 
@@ -217,6 +235,11 @@ bool SimEngine::serialize(std::string* out, std::string* error) const {
   w.str(allocator_->name());
   w.u32(static_cast<std::uint32_t>(config_.backfill_window));
   w.u8(speedups_ ? 1 : 0);
+  w.u8(config_.defrag.enabled ? 1 : 0);
+  w.f64(config_.defrag.migration_cost);
+  w.u32(static_cast<std::uint32_t>(config_.defrag.max_moves));
+  w.u32(static_cast<std::uint32_t>(config_.defrag.max_candidates));
+  w.u64(config_.defrag.max_probes);
 
   const ClusterState::RawState raw = state_.raw_state();
   w.u64s(raw.free_nodes);
@@ -333,6 +356,25 @@ bool SimEngine::serialize(std::string* out, std::string* error) const {
   w.f64(first_backlog_);
   w.f64(last_backlog_);
 
+  // Defrag dynamic state: a snapshot can land between plan adoption and
+  // its kMigrationStart event, or inside an open migration window.
+  w.u8(pending_plan_.has_value() ? 1 : 0);
+  if (pending_plan_.has_value()) {
+    w.i64(pending_plan_->head);
+    w.u64(pending_plan_->moves.size());
+    for (const MigrationMove& m : pending_plan_->moves) {
+      w.i64(m.job);
+      put_allocation(w, m.from);
+      put_allocation(w, m.to);
+    }
+    w.f64(pending_plan_->score);
+  }
+  w.u32(static_cast<std::uint32_t>(migrations_in_flight_));
+  w.i64(unblock_job_);
+  w.u8(unblock_check_pending_ ? 1 : 0);
+  w.i64(last_defrag_job_);
+  w.u64(last_defrag_revision_);
+
   w.u8(final_.has_value() ? 1 : 0);
   if (final_.has_value()) put_metrics(w, *final_);
   return true;
@@ -363,6 +405,13 @@ bool SimEngine::deserialize(std::string_view blob, std::string* error) {
   }
   if (r.u8() != (speedups_ ? 1 : 0)) {
     return fail("engine blob speedup-model mismatch");
+  }
+  if (r.u8() != (config_.defrag.enabled ? 1 : 0) ||
+      r.f64() != config_.defrag.migration_cost ||
+      r.u32() != static_cast<std::uint32_t>(config_.defrag.max_moves) ||
+      r.u32() != static_cast<std::uint32_t>(config_.defrag.max_candidates) ||
+      r.u64() != config_.defrag.max_probes) {
+    return fail("engine blob defrag-config mismatch");
   }
 
   ClusterState::RawState raw;
@@ -564,6 +613,31 @@ bool SimEngine::deserialize(std::string_view blob, std::string* error) {
   last_completion_ = r.f64();
   first_backlog_ = r.f64();
   last_backlog_ = r.f64();
+
+  pending_plan_.reset();
+  if (r.u8() != 0) {
+    DefragPlan plan;
+    plan.head = r.i64();
+    const std::uint64_t move_count = r.u64();
+    if (move_count > r.remaining() / 24) {
+      return fail("truncated engine blob (defrag plan)");
+    }
+    plan.moves.reserve(static_cast<std::size_t>(move_count));
+    for (std::uint64_t k = 0; k < move_count; ++k) {
+      MigrationMove m;
+      m.job = r.i64();
+      m.from = get_allocation(r);
+      m.to = get_allocation(r);
+      plan.moves.push_back(std::move(m));
+    }
+    plan.score = r.f64();
+    pending_plan_ = std::move(plan);
+  }
+  migrations_in_flight_ = static_cast<int>(r.u32());
+  unblock_job_ = r.i64();
+  unblock_check_pending_ = r.u8() != 0;
+  last_defrag_job_ = r.i64();
+  last_defrag_revision_ = r.u64();
 
   final_.reset();
   if (r.u8() != 0) final_ = get_metrics(r);

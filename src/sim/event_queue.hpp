@@ -21,7 +21,20 @@
 
 namespace jigsaw {
 
-enum class EventType { kArrival, kCompletion, kFailure, kRepair };
+/// New types append at the end: the type is serialized as its u8 value in
+/// engine snapshots, so existing values are wire-frozen.
+enum class EventType {
+  kArrival,
+  kCompletion,
+  kFailure,
+  kRepair,
+  /// Defrag migration window opens: the engine executes a pending plan
+  /// (pause + relocate the victims). `job` is the head job the plan
+  /// unblocks; aux unused.
+  kMigrationStart,
+  /// Migration window closes (pure bookkeeping: in-flight gauge + trace).
+  kMigrationDone,
+};
 
 struct Event {
   double time = 0.0;
@@ -53,15 +66,18 @@ class EventQueue {
 
  private:
   /// Same-instant ordering: completions free resources first, then the
-  /// cluster degrades/recovers, and arrivals see the settled state.
+  /// cluster degrades/recovers, then migration windows move jobs on the
+  /// settled cluster, and arrivals see the final state.
   static int rank(EventType type) {
     switch (type) {
       case EventType::kCompletion: return 0;
       case EventType::kFailure: return 1;
       case EventType::kRepair: return 2;
-      case EventType::kArrival: return 3;
+      case EventType::kMigrationStart: return 3;
+      case EventType::kMigrationDone: return 4;
+      case EventType::kArrival: return 5;
     }
-    return 4;
+    return 6;
   }
 
   struct Later {

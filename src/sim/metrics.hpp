@@ -120,6 +120,16 @@ struct SimMetrics {
   /// Jobs cancelled while queued (online service only; always 0 for
   /// batch trace replays, which have no cancel path).
   std::size_t cancelled = 0;
+  // -- defrag accounting (nonzero only with SimConfig::defrag.enabled) --
+  std::uint64_t migration_plans = 0;     ///< head-stall plans adopted
+  std::uint64_t migration_plans_failed = 0;  ///< stalls no plan could fix
+  std::uint64_t migration_plans_aborted = 0; ///< plans stale at execution
+  std::uint64_t migrations = 0;          ///< individual jobs relocated
+  /// Total overhead charged to moved jobs: allocated nodes x migration
+  /// cost, summed over migrations (node-seconds of extended occupancy).
+  double migration_node_seconds = 0.0;
+  std::uint64_t head_unblocks = 0;        ///< head started after its plan
+  std::uint64_t head_unblock_failures = 0;  ///< plan ran, head still stuck
   /// Instantaneous utilization (percent) sampled at every schedule or
   /// completion event inside the steady window (Table 2 input).
   std::vector<double> instant_utilization;

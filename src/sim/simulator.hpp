@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/allocator.hpp"
+#include "defrag/defrag.hpp"
 #include "fault/failure_schedule.hpp"
 #include "obs/observer.hpp"
 #include "sim/metrics.hpp"
@@ -81,6 +82,13 @@ struct SimConfig {
   /// zero-cost path.
   std::function<void(double now, const Allocation&, const ClusterState&)>
       grant_audit;
+  /// Live defragmentation (defrag/defrag.hpp): when enabled, a head job
+  /// stalled on a condition-class failure (leaf_spread /
+  /// uplink_isolation) triggers a bounded migration-plan search; adopted
+  /// plans pause and relocate running jobs at `defrag.migration_cost`
+  /// simulated seconds each. Off by default — and then bit-identical to
+  /// a simulator without the subsystem.
+  DefragConfig defrag;
   /// Observability hookup (non-owning; see obs/observer.hpp). Default is
   /// the null context: no events, no metrics, no extra cost. With a sink
   /// attached the run emits job-lifecycle, allocation, and scheduling-pass

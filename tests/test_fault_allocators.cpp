@@ -17,6 +17,7 @@
 #include "core/laas.hpp"
 #include "core/lc.hpp"
 #include "core/ta.hpp"
+#include "defrag/defrag.hpp"
 #include "fault/injector.hpp"
 #include "routing/rnb_router.hpp"
 #include "topology/cluster_state.hpp"
@@ -157,6 +158,143 @@ TEST(DegradedAllocators, JigsawFillsTheSurvivingSubtreeExactly) {
   // 4-node jobs tile leaves exactly, so the surviving capacity fills.
   EXPECT_EQ(placed, survivors);
   EXPECT_EQ(state.total_free_nodes(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Migration atomicity: a defrag plan either applies completely or leaves
+// the cluster bit-identical to the pre-plan state — under random load,
+// injected destination faults, and destinations stolen between planning
+// and execution. No partial migration, no double-free, no RNB violation.
+// ---------------------------------------------------------------------------
+
+bool raw_states_equal(const ClusterState::RawState& a,
+                      const ClusterState::RawState& b) {
+  return a.free_nodes == b.free_nodes && a.free_leaf_up == b.free_leaf_up &&
+         a.free_l2_up == b.free_l2_up && a.healthy_nodes == b.healthy_nodes &&
+         a.healthy_leaf_up == b.healthy_leaf_up &&
+         a.healthy_l2_up == b.healthy_l2_up &&
+         a.residual_leaf_up == b.residual_leaf_up &&
+         a.residual_l2_up == b.residual_l2_up && a.revision == b.revision;
+}
+
+TEST(DefragRollback, AbortedPlansRollBackToThePrePlanStateExactly) {
+  const FatTree topo = FatTree::from_radix(8);  // 128 nodes
+  std::size_t trials = 0;
+  std::size_t plans_found = 0;
+  std::size_t fault_aborts = 0;
+  std::size_t stolen_aborts = 0;
+  std::size_t applied = 0;
+
+  std::uint64_t scheme_index = 0;
+  for (SchemeCase& scheme : all_schemes()) {
+    SCOPED_TRACE(scheme.label);
+    Rng rng(0xDEF4A6000ULL + scheme_index++);
+    ClusterState state(topo);
+    std::vector<Allocation> held;
+    JobId next_job = 1;
+
+    for (int iter = 0; iter < 60; ++iter) {
+      ++trials;
+      // Churn toward a fragmented, mostly-full cluster.
+      for (int k = 0; k < 4; ++k) {
+        const int size = static_cast<int>(1 + rng.below(12));
+        const auto alloc = scheme.allocator->allocate(
+            state, JobRequest{next_job, size, scheme.bandwidth});
+        if (alloc.has_value()) {
+          state.apply(*alloc);
+          held.push_back(*alloc);
+          ++next_job;
+        }
+      }
+      while (!held.empty() && rng.chance(0.25)) {
+        const std::size_t pick = rng.below(held.size());
+        state.release(held[pick]);
+        held[pick] = std::move(held.back());
+        held.pop_back();
+      }
+      if (held.empty()) continue;
+
+      // `held` is stable for the rest of the iteration, so candidate
+      // pointers into it stay valid through plan().
+      std::vector<MigrationCandidate> candidates;
+      for (const Allocation& a : held) {
+        candidates.push_back(MigrationCandidate{a.job, &a, a.bandwidth});
+      }
+      DefragConfig config;
+      config.max_moves = static_cast<int>(1 + rng.below(3));
+      config.max_candidates = 8;
+      config.max_probes = 64;
+      const DefragPlanner planner(*scheme.allocator, config);
+      const JobRequest head{100000 + static_cast<JobId>(trials),
+                            static_cast<int>(4 + rng.below(24)),
+                            scheme.bandwidth};
+
+      const ClusterState::RawState before = state.raw_state();
+      const auto plan = planner.plan(state, head, candidates);
+      // Planning is probe-only whatever it returns: every transaction
+      // rolled back, revision counter included.
+      ASSERT_TRUE(raw_states_equal(state.raw_state(), before));
+      ASSERT_TRUE(state.check_invariants());
+      if (!plan.has_value()) continue;
+      ++plans_found;
+
+      const std::uint64_t variant = rng.below(3);
+      if (variant == 0) {
+        // Injected fault on a destination node between planning and
+        // execution: the apply must refuse and roll back completely.
+        const NodeId dead = plan->moves[0].to.nodes[0];
+        state.fail_node(dead);
+        const ClusterState::RawState degraded = state.raw_state();
+        ASSERT_FALSE(apply_plan_moves(state, *plan));
+        ASSERT_TRUE(raw_states_equal(state.raw_state(), degraded));
+        ASSERT_TRUE(state.check_invariants());
+        state.repair_node(dead);
+        ++fault_aborts;
+        continue;
+      }
+      if (variant == 1) {
+        // A rival grant steals a destination node first (service-mode
+        // race): abort, bit-identical rollback, rival unharmed.
+        Allocation rival;
+        rival.job = 900000 + static_cast<JobId>(trials);
+        rival.requested_nodes = 1;
+        rival.nodes = {plan->moves[0].to.nodes[0]};
+        if (state.can_apply(rival)) {
+          state.apply(rival);
+          const ClusterState::RawState stolen = state.raw_state();
+          ASSERT_FALSE(apply_plan_moves(state, *plan));
+          ASSERT_TRUE(raw_states_equal(state.raw_state(), stolen));
+          ASSERT_TRUE(state.check_invariants());
+          state.release(rival);
+          ++stolen_aborts;
+          continue;
+        }
+        // Destination overlaps a victim's own partition — fall through
+        // to the clean apply.
+      }
+      // Clean execution: all moves land, the head fits afterwards, and
+      // Jigsaw destinations stay RNB-certifiable.
+      ASSERT_TRUE(apply_plan_moves(state, *plan));
+      ASSERT_TRUE(state.check_invariants());
+      for (const MigrationMove& m : plan->moves) {
+        ASSERT_FALSE(fault::allocation_on_failed_hardware(state, m.to));
+        if (scheme.label == "Jigsaw") certify_rnb(topo, m.to, rng);
+        for (Allocation& h : held) {
+          if (h.job == m.job) h = m.to;
+        }
+      }
+      EXPECT_TRUE(
+          scheme.allocator->allocate(state, head).has_value())
+          << "plan applied but head still unplaceable";
+      ++applied;
+    }
+  }
+  // The sweep must exercise every outcome, not vacuously skip.
+  EXPECT_GE(trials, 200u);
+  EXPECT_GT(plans_found, 30u);
+  EXPECT_GT(fault_aborts, 5u);
+  EXPECT_GT(stolen_aborts, 5u);
+  EXPECT_GT(applied, 10u);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "core/baseline.hpp"
 #include "core/fragmentation.hpp"
 #include "core/jigsaw_allocator.hpp"
 #include "core/laas.hpp"
+#include "core/shape_table.hpp"
 #include "core/ta.hpp"
 #include "test_helpers.hpp"
 
@@ -107,6 +111,67 @@ TEST(Fragmentation, HistogramSumsToLeafCount) {
   }
   EXPECT_EQ(leaves, t.total_leaves());
   EXPECT_EQ(weighted, r.free_nodes);
+}
+
+TEST(Fragmentation, ReportsCarryTheConsolidationMetric) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  must_allocate(jigsaw, state, 1, 6);
+  must_allocate(jigsaw, state, 2, 9);
+  const ConsolidationReport c = consolidation(state);
+  const FragmentationReport structural = structural_fragmentation(state);
+  EXPECT_EQ(structural.largest_free_block, c.largest_block);
+  EXPECT_DOUBLE_EQ(structural.consolidation, c.score);
+  EXPECT_EQ(structural.largest_placeable, 0);  // no probes in the cheap path
+  const FragmentationReport full = analyze_fragmentation(state, jigsaw);
+  EXPECT_EQ(full.largest_free_block, c.largest_block);
+  EXPECT_DOUBLE_EQ(full.consolidation, c.score);
+  EXPECT_GT(full.largest_placeable, 0);
+}
+
+TEST(Fragmentation, FrontierBisectionServesFromInstalledShapeTables) {
+  // The placeability-frontier probes consult the PR 8 shape-table
+  // registry: with a matching table installed the bisection's allocate
+  // probes serve every candidate sequence zero-copy (no runtime
+  // enumeration), and the reported frontier is identical either way.
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  must_allocate(jigsaw, state, 1, 14);
+  must_allocate(jigsaw, state, 2, 5);
+
+  // Screens alone, no table installed: only structural impossibility.
+  clear_shape_tables();
+  EXPECT_TRUE(jigsaw.size_unplaceable(t, 0));
+  EXPECT_TRUE(jigsaw.size_unplaceable(t, t.total_nodes() + 1));
+  EXPECT_FALSE(jigsaw.size_unplaceable(t, t.total_nodes()));
+  const FragmentationReport untabled = analyze_fragmentation(state, jigsaw);
+
+  const std::string path =
+      ::testing::TempDir() + "frag_frontier_shapes.jst";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good());
+    out << ShapeTable::serialize(t);
+  }
+  std::string error;
+  const auto table = ShapeTable::load(path, &error);
+  ASSERT_NE(table, nullptr) << error;
+  install_shape_table(table);
+
+  reset_shape_serve_counters();
+  const FragmentationReport tabled = analyze_fragmentation(state, jigsaw);
+  const ShapeServeCounters served = shape_serve_counters();
+  clear_shape_tables();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(tabled.largest_placeable, untabled.largest_placeable);
+  EXPECT_DOUBLE_EQ(tabled.external_fragmentation,
+                   untabled.external_fragmentation);
+  EXPECT_GT(served.two_level_table, 0u);
+  EXPECT_EQ(served.two_level_runtime, 0u);
+  EXPECT_EQ(served.three_level_runtime, 0u);
 }
 
 }  // namespace
