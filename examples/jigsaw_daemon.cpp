@@ -152,6 +152,13 @@ int main(int argc, char** argv) {
                "reactor stays single-threaded either way: only the "
                "read-only probe phase fans out, inside one handler call.",
                "1");
+  flags.define("alloc-deadline-us",
+               "anytime placement-search deadline per allocate() call, "
+               "microseconds (0 = exhaustive search, the bit-identical "
+               "default). With a deadline, candidates probe in quality-"
+               "descending order and the best feasible placement found by "
+               "expiry is committed.",
+               "0");
   try {
     if (!flags.parse(argc, argv)) return 0;
 
@@ -208,6 +215,11 @@ int main(int argc, char** argv) {
       config.obs.metrics = metrics.get();
     }
     config.admission_quick_reject = flags.integer("quick-reject") != 0;
+    config.alloc_deadline_us = flags.integer("alloc-deadline-us");
+    if (config.alloc_deadline_us < 0) {
+      std::cerr << "--alloc-deadline-us must be >= 0\n";
+      return 1;
+    }
     config.defrag.enabled = flags.boolean("defrag");
     config.defrag.migration_cost = flags.real("migration-cost");
     config.defrag.max_moves = static_cast<int>(flags.integer("max-moves"));

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Regenerate the committed perf baselines (BENCH_schedtime.json and
-# BENCH_service_load.json).
+# Regenerate the committed perf baselines (BENCH_schedtime.json,
+# BENCH_service_load.json, and BENCH_alloc_deadline.json).
 #
 # Runs bench_table3_schedtime on Synth-16 and the production-radix
 # Synth-48 (27648 nodes) with --repeat 5 so the baseline carries a mean
@@ -17,6 +17,14 @@
 # scripts/check_service_load_regression.py (50% tolerance — end-to-end
 # service throughput is noisier than the allocator microbenches).
 #
+# Finally runs bench_alloc_deadline's Synth-48 deadline sweep (v2 ranked
+# shape tables installed) and rewrites BENCH_alloc_deadline.json; the
+# committed file must satisfy scripts/check_deadline_regression.py at
+# its strict defaults (allocate() p99 within 1.2x the 100 us deadline,
+# Jigsaw utilization within 1 pp of the exhaustive row) — CI re-checks
+# both the committed file and a fresh run (looser p99 factor there: the
+# shared runners' wall clocks are noisy).
+#
 # Regenerate (and commit the result) whenever the allocator hot path or
 # the service stack changes on purpose, on a quiet machine:
 #
@@ -31,8 +39,9 @@ BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BENCH="$BUILD_DIR/bench/bench_table3_schedtime"
 LOAD_BENCH="$BUILD_DIR/bench/bench_service_load"
+DEADLINE_BENCH="$BUILD_DIR/bench/bench_alloc_deadline"
 
-for bin in "$BENCH" "$LOAD_BENCH"; do
+for bin in "$BENCH" "$LOAD_BENCH" "$DEADLINE_BENCH"; do
   if [ ! -x "$bin" ]; then
     echo "error: $bin not found or not executable; build first:" >&2
     echo "  cmake --preset default && cmake --build --preset default -j" >&2
@@ -55,3 +64,10 @@ echo "wrote $REPO_ROOT/BENCH_schedtime.json"
 "$LOAD_BENCH" --shards 8 --jobs 24000 --drain \
   --json-out "$REPO_ROOT/BENCH_service_load.json"
 echo "wrote $REPO_ROOT/BENCH_service_load.json"
+
+JIGSAW_SHAPE_TABLE="$BUILD_DIR/shape_tables/k48.jst" \
+  "$DEADLINE_BENCH" --traces Synth-48 --schemes jigsaw --repeat 3 \
+  --json-out "$REPO_ROOT/BENCH_alloc_deadline.json"
+echo "wrote $REPO_ROOT/BENCH_alloc_deadline.json"
+python3 "$REPO_ROOT/scripts/check_deadline_regression.py" \
+  "$REPO_ROOT/BENCH_alloc_deadline.json"

@@ -29,6 +29,12 @@ struct JobRequest {
 struct SearchStats {
   std::uint64_t steps = 0;       ///< backtracking steps taken
   bool budget_exhausted = false; ///< search gave up at its step budget
+  std::uint64_t probes = 0;      ///< candidate probes across all passes
+  bool anytime = false;          ///< an active AllocBudget bounded the call
+  bool deadline_expired = false; ///< the deadline/abort cut the scan short
+  /// Remaining deadline headroom when the call returned (negative once
+  /// blown); only meaningful when anytime with a real deadline.
+  std::int64_t slack_ns = 0;
 };
 
 /// Why a placement attempt failed, by §3.2 condition class. The
@@ -64,11 +70,24 @@ class Allocator {
   virtual bool isolating() const = 0;
 
   /// Find a placement for the request. Does not modify `state`; returns
-  /// std::nullopt when the policy admits no placement right now.
+  /// std::nullopt when the policy admits no placement right now. An
+  /// inactive `budget` (the default) runs the exact exhaustive scan;
+  /// with deadline_ns > 0 the scan turns anytime — quality-descending
+  /// candidate order, best feasible placement committed at expiry (see
+  /// core/parallel_search.hpp). Either way the returned Allocation, if
+  /// any, satisfies the scheme's full isolation conditions: a deadline
+  /// can only trade placement *quality* and hit rate, never soundness.
   virtual std::optional<Allocation> allocate(const ClusterState& state,
                                              const JobRequest& request,
-                                             SearchStats* stats = nullptr)
-      const = 0;
+                                             const AllocBudget& budget,
+                                             SearchStats* stats) const = 0;
+
+  /// Convenience overload: no latency budget, exhaustive scan.
+  std::optional<Allocation> allocate(const ClusterState& state,
+                                     const JobRequest& request,
+                                     SearchStats* stats = nullptr) const {
+    return allocate(state, request, AllocBudget{}, stats);
+  }
 
   /// Sound O(trees) screen over the incremental capacity indices: true
   /// ONLY when allocate() is certain to fail for `request` on `state`.

@@ -4,7 +4,7 @@ namespace jigsaw {
 
 std::optional<Allocation> BaselineAllocator::allocate(
     const ClusterState& state, const JobRequest& request,
-    SearchStats* stats) const {
+    const AllocBudget& /*budget*/, SearchStats* stats) const {
   const FatTree& topo = state.topo();
   if (request.nodes < 1 || request.nodes > state.total_free_nodes()) {
     return std::nullopt;

@@ -16,9 +16,13 @@ class BaselineAllocator final : public Allocator {
   std::string name() const override { return "Baseline"; }
   bool isolating() const override { return false; }
 
+  using Allocator::allocate;
+  /// O(nodes) first-fit: no candidate scan to bound, so the latency
+  /// budget is accepted and ignored.
   std::optional<Allocation> allocate(const ClusterState& state,
                                      const JobRequest& request,
-                                     SearchStats* stats = nullptr) const override;
+                                     const AllocBudget& budget,
+                                     SearchStats* stats) const override;
 };
 
 }  // namespace jigsaw

@@ -27,7 +27,7 @@ std::vector<TreeId> trees_best_fit(const ClusterState& state) {
 
 std::optional<Allocation> JigsawAllocator::allocate(
     const ClusterState& state, const JobRequest& request,
-    SearchStats* stats) const {
+    const AllocBudget& budget, SearchStats* stats) const {
   const FatTree& topo = state.topo();
   if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
     return std::nullopt;
@@ -35,7 +35,7 @@ std::optional<Allocation> JigsawAllocator::allocate(
   if (request.nodes > state.total_free_nodes()) return std::nullopt;
 
   const LinkView view{&state, 0.0};
-  return search(state, view, exec_, request, stats);
+  return search(state, view, exec_, request, budget, stats);
 }
 
 BlockedReason JigsawAllocator::diagnose(const ClusterState& state,
@@ -51,7 +51,8 @@ BlockedReason JigsawAllocator::diagnose(const ClusterState& state,
   // here but not by allocate() was rejected by the link conditions.
   const LinkView view = LinkView::links_unconstrained(&state);
   SearchStats stats;
-  if (search(state, view, SearchExec{}, request, &stats).has_value()) {
+  if (search(state, view, SearchExec{}, request, AllocBudget{}, &stats)
+          .has_value()) {
     return BlockedReason::kUplinkIsolation;
   }
   if (stats.budget_exhausted) return BlockedReason::kBudgetExhausted;
@@ -94,14 +95,33 @@ std::optional<Allocation> JigsawAllocator::search(const ClusterState& state,
                                                  const LinkView& view,
                                                  const SearchExec& exec,
                                                  const JobRequest& request,
+                                                 const AllocBudget& latency,
                                                  SearchStats* stats) const {
   const FatTree& topo = state.topo();
   std::uint64_t budget = step_budget_;
+  // One clock for the whole call: the deadline bounds both passes
+  // together, not each pass separately.
+  const AnytimeClock clock(latency);
+  const bool anytime = clock.active();
+  const AnytimeClock* scan_clock = anytime ? &clock : nullptr;
   auto record = [&](bool exhausted) {
     if (stats != nullptr) {
       stats->steps += step_budget_ - budget;
       stats->budget_exhausted = stats->budget_exhausted || exhausted;
+      stats->anytime = stats->anytime || anytime;
+      if (clock.ranked()) stats->slack_ns = clock.slack_ns();
     }
+  };
+  auto fold = [&](const CandidateScan& r) {
+    if (stats != nullptr) {
+      stats->probes += r.probes;
+      stats->deadline_expired = stats->deadline_expired || r.expired;
+    }
+  };
+  // Long probes check the clock internally; position 0 runs unclocked so
+  // the top-ranked candidate always gets a full verdict.
+  auto probe_clock = [&](std::size_t pos) -> const AnytimeClock* {
+    return (anytime && pos > 0) ? &clock : nullptr;
   };
 
   // One probe payload per execution lane; a lane stops pulling candidates
@@ -113,53 +133,79 @@ std::optional<Allocation> JigsawAllocator::search(const ClusterState& state,
   // Pass 1: single-subtree (two-level) allocations, densest shape first,
   // fullest subtree first. The candidate order is the flat (shape-major,
   // tree-minor) product of the two nested loops this pass used to run.
+  // In ranked (anytime) mode the shape axis is permuted quality-descending
+  // — fewest leaves touched first — so the scan's min-position winner is
+  // the best-fitting feasible placement; the tree axis keeps its best-fit
+  // order, which is already quality-descending.
   const std::vector<TreeId> tree_order = trees_best_fit(state);
   const auto shapes2 = two_level_shape_seq(request.nodes, topo);
+  const auto rank2 = clock.ranked()
+                         ? two_level_ranked_seq(request.nodes, topo)
+                         : ShapeSeq<std::uint32_t>({});
   {
     const std::size_t n_trees = tree_order.size();
+    auto shape_at = [&](std::size_t pos) -> std::size_t {
+      const std::size_t s = pos / n_trees;
+      return clock.ranked() ? rank2[s] : s;
+    };
     TwoLevelPick pick;
     std::vector<TwoLevelPick> lane_picks(lanes > 1 ? lanes : 0);
     auto pick_for = [&](int lane) -> TwoLevelPick& {
       return lane_picks.empty() ? pick
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
-    const FirstFeasible r = first_feasible(
-        exec, shapes2.size() * n_trees, budget,
-        [&](int lane, std::size_t i, std::uint64_t& b) {
-          return find_two_level(state, view, shapes2[i / n_trees],
-                                tree_order[i % n_trees], b, &pick_for(lane));
+    const CandidateScan r = scan_first_feasible(
+        exec, shapes2.size() * n_trees, budget, scan_clock,
+        [&](int lane, std::size_t pos, std::uint64_t& b) {
+          return find_two_level(state, view, shapes2[shape_at(pos)],
+                                tree_order[pos % n_trees], b, &pick_for(lane),
+                                probe_clock(pos));
         });
+    fold(r);
     if (r.winner >= 0) {
       record(false);
       const std::size_t w = static_cast<std::size_t>(r.winner);
-      return materialize(state, shapes2[w / n_trees], pick_for(r.winner_lane),
+      return materialize(state, shapes2[shape_at(w)], pick_for(r.winner_lane),
                          request.id, request.nodes, 0.0);
     }
     if (r.exhausted) {
       record(true);
       return std::nullopt;
     }
+    // On expiry with no two-level winner, still give pass 2 its shot:
+    // its scan always probes the top-ranked candidate, so a head job
+    // that *needs* a cross-subtree placement cannot starve under a tiny
+    // deadline — the overrun is bounded at one extra probe.
   }
 
   // Pass 2: cross-subtree allocations with the whole-leaf restriction.
   const auto shapes3 =
       three_level_shape_seq(request.nodes, topo, /*restrict_full_leaves=*/true);
+  const auto rank3 = clock.ranked()
+                         ? three_level_ranked_seq(request.nodes, topo)
+                         : ShapeSeq<std::uint32_t>({});
   {
+    auto shape_at = [&](std::size_t pos) -> std::size_t {
+      return clock.ranked() ? rank3[pos] : pos;
+    };
     ThreeLevelPick pick;
     std::vector<ThreeLevelPick> lane_picks(lanes > 1 ? lanes : 0);
     auto pick_for = [&](int lane) -> ThreeLevelPick& {
       return lane_picks.empty() ? pick
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
-    const FirstFeasible r = first_feasible(
-        exec, shapes3.size(), budget,
-        [&](int lane, std::size_t i, std::uint64_t& b) {
-          return find_three_level_full_leaves(state, view, shapes3[i], b,
-                                              &pick_for(lane));
+    const CandidateScan r = scan_first_feasible(
+        exec, shapes3.size(), budget, scan_clock,
+        [&](int lane, std::size_t pos, std::uint64_t& b) {
+          return find_three_level_full_leaves(state, view, shapes3[shape_at(pos)],
+                                              b, &pick_for(lane),
+                                              probe_clock(pos));
         });
+    fold(r);
     if (r.winner >= 0) {
       record(false);
-      return materialize(state, shapes3[static_cast<std::size_t>(r.winner)],
+      return materialize(state,
+                         shapes3[shape_at(static_cast<std::size_t>(r.winner))],
                          pick_for(r.winner_lane), request.id, request.nodes,
                          0.0);
     }

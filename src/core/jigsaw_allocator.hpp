@@ -32,9 +32,11 @@ class JigsawAllocator final : public Allocator {
   std::string name() const override { return "Jigsaw"; }
   bool isolating() const override { return true; }
 
+  using Allocator::allocate;
   std::optional<Allocation> allocate(const ClusterState& state,
                                      const JobRequest& request,
-                                     SearchStats* stats = nullptr) const override;
+                                     const AllocBudget& budget,
+                                     SearchStats* stats) const override;
 
   /// §3.2 condition-class attribution: re-runs the same two-pass probe
   /// loop with link occupancy ignored to split kLeafSpread from
@@ -57,10 +59,13 @@ class JigsawAllocator final : public Allocator {
   /// The two-pass probe loop, parameterized over the availability lens
   /// and execution policy so allocate() (live view, installed exec) and
   /// diagnose() (links-unconstrained view, sequential) share one search.
+  /// An active `latency` turns both passes anytime (quality-descending
+  /// shape order, best feasible committed at expiry).
   std::optional<Allocation> search(const ClusterState& state,
                                    const LinkView& view,
                                    const SearchExec& exec,
                                    const JobRequest& request,
+                                   const AllocBudget& latency,
                                    SearchStats* stats) const;
 
   std::uint64_t step_budget_;

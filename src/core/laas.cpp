@@ -68,6 +68,7 @@ struct LaasCtx {
   std::vector<TreeId> chosen;
   std::uint64_t* budget;
   Allocation* out;
+  const AnytimeClock* clock = nullptr;
 };
 
 bool laas_complete(LaasCtx& ctx, Mask inter) {
@@ -87,6 +88,7 @@ bool laas_complete(LaasCtx& ctx, Mask inter) {
     for (TreeId tr = 0; tr < topo.trees(); ++tr) {
       if (*ctx.budget == 0) return false;
       --*ctx.budget;
+      if (anytime_interrupt(ctx.clock, *ctx.budget)) return false;
       if (std::find(ctx.chosen.begin(), ctx.chosen.end(), tr) !=
           ctx.chosen.end()) {
         continue;
@@ -114,6 +116,7 @@ bool laas_complete(LaasCtx& ctx, Mask inter) {
 bool laas_recurse(LaasCtx& ctx, std::size_t start, Mask inter) {
   if (*ctx.budget == 0) return false;
   --*ctx.budget;
+  if (anytime_interrupt(ctx.clock, *ctx.budget)) return false;
   if (static_cast<int>(ctx.chosen.size()) == ctx.full) {
     return laas_complete(ctx, inter);
   }
@@ -134,13 +137,14 @@ bool laas_recurse(LaasCtx& ctx, std::size_t start, Mask inter) {
 
 std::optional<Allocation> LaasAllocator::allocate(const ClusterState& state,
                                                   const JobRequest& request,
+                                                  const AllocBudget& budget,
                                                   SearchStats* stats) const {
   const FatTree& topo = state.topo();
   if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
     return std::nullopt;
   }
   const LinkView view{&state, 0.0};
-  return search(state, view, exec_, request, stats);
+  return search(state, view, exec_, request, budget, stats);
 }
 
 BlockedReason LaasAllocator::diagnose(const ClusterState& state,
@@ -158,7 +162,8 @@ BlockedReason LaasAllocator::diagnose(const ClusterState& state,
   // identically under both views.
   const LinkView view = LinkView::links_unconstrained(&state);
   SearchStats stats;
-  if (search(state, view, SearchExec{}, request, &stats).has_value()) {
+  if (search(state, view, SearchExec{}, request, AllocBudget{}, &stats)
+          .has_value()) {
     return BlockedReason::kUplinkIsolation;
   }
   if (stats.budget_exhausted) return BlockedReason::kBudgetExhausted;
@@ -188,6 +193,7 @@ std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
                                                const LinkView& view,
                                                const SearchExec& exec,
                                                const JobRequest& request,
+                                               const AllocBudget& latency,
                                                SearchStats* stats) const {
   const FatTree& topo = state.topo();
   const int m1 = topo.nodes_per_leaf();
@@ -196,11 +202,25 @@ std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
   const int leaves_needed = (request.nodes + m1 - 1) / m1;  // R
 
   std::uint64_t budget = step_budget_;
+  const AnytimeClock clock(latency);
+  const bool anytime = clock.active();
+  const AnytimeClock* scan_clock = anytime ? &clock : nullptr;
   auto record = [&](bool exhausted) {
     if (stats != nullptr) {
       stats->steps += step_budget_ - budget;
       stats->budget_exhausted = stats->budget_exhausted || exhausted;
+      stats->anytime = stats->anytime || anytime;
+      if (clock.ranked()) stats->slack_ns = clock.slack_ns();
     }
+  };
+  auto fold = [&](const CandidateScan& r) {
+    if (stats != nullptr) {
+      stats->probes += r.probes;
+      stats->deadline_expired = stats->deadline_expired || r.expired;
+    }
+  };
+  auto probe_clock = [&](std::size_t pos) -> const AnytimeClock* {
+    return (anytime && pos > 0) ? &clock : nullptr;
   };
 
   // Single-subtree allocations first: LaaS's native two-level conditions
@@ -215,24 +235,33 @@ std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
                    });
   const std::size_t lanes = static_cast<std::size_t>(exec.lanes());
   const auto shapes2 = two_level_shape_seq(request.nodes, topo);
+  const auto rank2 = clock.ranked()
+                         ? two_level_ranked_seq(request.nodes, topo)
+                         : ShapeSeq<std::uint32_t>({});
   {
     const std::size_t n_trees = tree_order.size();
+    auto shape_at = [&](std::size_t pos) -> std::size_t {
+      const std::size_t s = pos / n_trees;
+      return clock.ranked() ? rank2[s] : s;
+    };
     TwoLevelPick pick;
     std::vector<TwoLevelPick> lane_picks(lanes > 1 ? lanes : 0);
     auto pick_for = [&](int lane) -> TwoLevelPick& {
       return lane_picks.empty() ? pick
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
-    const FirstFeasible r = first_feasible(
-        exec, shapes2.size() * n_trees, budget,
-        [&](int lane, std::size_t i, std::uint64_t& b) {
-          return find_two_level(state, view, shapes2[i / n_trees],
-                                tree_order[i % n_trees], b, &pick_for(lane));
+    const CandidateScan r = scan_first_feasible(
+        exec, shapes2.size() * n_trees, budget, scan_clock,
+        [&](int lane, std::size_t pos, std::uint64_t& b) {
+          return find_two_level(state, view, shapes2[shape_at(pos)],
+                                tree_order[pos % n_trees], b, &pick_for(lane),
+                                probe_clock(pos));
         });
+    fold(r);
     if (r.winner >= 0) {
       record(false);
       const std::size_t w = static_cast<std::size_t>(r.winner);
-      return materialize(state, shapes2[w / n_trees], pick_for(r.winner_lane),
+      return materialize(state, shapes2[shape_at(w)], pick_for(r.winner_lane),
                          request.id, request.nodes, 0.0);
     }
     if (r.exhausted) {
@@ -244,7 +273,9 @@ std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
   // Multi-subtree: spread R leaves evenly, densest decomposition first.
   // Candidate k is the leaf-spread width c = cmax - k; the width screens
   // cost no search steps, so they fold into the probe as step-free
-  // rejections exactly as the old `continue`s did.
+  // rejections exactly as the old `continue`s did. The canonical width
+  // order (widest c first — fewest subtrees touched) is already
+  // quality-descending, so the anytime scan keeps the identity order.
   {
     const int cmax = std::min(leaves_needed, m2);
     Allocation seq_alloc;
@@ -253,16 +284,17 @@ std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
       return lane_allocs.empty() ? seq_alloc
                                  : lane_allocs[static_cast<std::size_t>(lane)];
     };
-    const FirstFeasible r = first_feasible(
+    const CandidateScan r = scan_first_feasible(
         exec, cmax > 0 ? static_cast<std::size_t>(cmax) : 0, budget,
-        [&](int lane, std::size_t k, std::uint64_t& b) {
+        scan_clock, [&](int lane, std::size_t k, std::uint64_t& b) {
           const int c = cmax - static_cast<int>(k);
           const int q = leaves_needed / c;
           const int cr = leaves_needed % c;
           if (q < 1 || q + (cr > 0 ? 1 : 0) < 2) return false;
           if (q + (cr > 0 ? 1 : 0) > m3) return false;
 
-          LaasCtx ctx{&state, &view, c, q, cr, {}, {}, {}, &b, nullptr};
+          LaasCtx ctx{&state, &view, c,  q,       cr,     {},
+                      {},     {},    &b, nullptr, probe_clock(k)};
           for (TreeId t = 0; t < m3; ++t) {
             if (free_leaves(state, view, t, c).empty()) continue;
             const Mask bundles = free_bundles(view, t);
@@ -279,6 +311,7 @@ std::optional<Allocation> LaasAllocator::search(const ClusterState& state,
           ctx.out = &a;
           return laas_recurse(ctx, 0, low_bits(topo.spines_per_group()));
         });
+    fold(r);
     if (r.winner >= 0) {
       record(false);
       return std::move(alloc_for(r.winner_lane));

@@ -31,9 +31,11 @@ class LaasAllocator final : public Allocator {
   std::string name() const override { return "LaaS"; }
   bool isolating() const override { return true; }
 
+  using Allocator::allocate;
   std::optional<Allocation> allocate(const ClusterState& state,
                                      const JobRequest& request,
-                                     SearchStats* stats = nullptr) const override;
+                                     const AllocBudget& budget,
+                                     SearchStats* stats) const override;
 
   /// §3.2 condition-class attribution: re-runs the two-level pass and the
   /// whole-leaf width scan with link occupancy ignored to split
@@ -49,11 +51,13 @@ class LaasAllocator final : public Allocator {
 
  private:
   /// The probe loop shared by allocate() (live view, installed exec) and
-  /// diagnose() (links-unconstrained view, sequential).
+  /// diagnose() (links-unconstrained view, sequential). An active
+  /// `latency` turns the two-level pass and the width scan anytime.
   std::optional<Allocation> search(const ClusterState& state,
                                    const LinkView& view,
                                    const SearchExec& exec,
                                    const JobRequest& request,
+                                   const AllocBudget& latency,
                                    SearchStats* stats) const;
 
   std::uint64_t step_budget_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "core/search.hpp"
 #include "core/shape_table.hpp"
@@ -32,11 +33,13 @@ struct L2Ctx {
   std::vector<LeafId> chosen;
   std::vector<TreeSolution>* out;
   std::uint64_t* budget;
+  const AnytimeClock* clock = nullptr;
 };
 
 void find_all_l2(L2Ctx& ctx, std::size_t start, Mask inter) {
   if (*ctx.budget == 0 || ctx.out->size() >= kMaxSolutionsPerTree) return;
   --*ctx.budget;
+  if (anytime_interrupt(ctx.clock, *ctx.budget)) return;
   if (static_cast<int>(ctx.chosen.size()) == ctx.full_leaves) {
     for (const TreeSolution& s : *ctx.out) {
       if (s.m == inter) return;  // mask-equivalent solution already stored
@@ -59,14 +62,15 @@ void find_all_l2(L2Ctx& ctx, std::size_t start, Mask inter) {
 std::vector<TreeSolution> tree_solutions(const ClusterState& state,
                                          const LinkView& view, TreeId tree,
                                          int full_leaves, int nodes_per_leaf,
-                                         std::uint64_t& budget) {
+                                         std::uint64_t& budget,
+                                         const AnytimeClock* clock = nullptr) {
   std::vector<TreeSolution> out;
   if (full_leaves == 0) {
     out.push_back(TreeSolution{{}, low_bits(state.topo().l2_per_tree())});
     return out;
   }
   L2Ctx ctx{&state, &view, tree, full_leaves, nodes_per_leaf,
-            {},     {},    {},   &out,        &budget};
+            {},     {},    {},   &out,        &budget,       clock};
   // OR of the >= nodes_per_leaf free-count buckets, walked in ascending
   // leaf-index order — the same candidate order as a full leaf sweep.
   Mask eligible = 0;
@@ -110,6 +114,7 @@ struct L3Ctx {
   std::vector<std::size_t> chosen_solution;
   std::uint64_t* budget;
   GeneralPick* out;
+  const AnytimeClock* clock = nullptr;
 };
 
 bool tree_in_chosen(const L3Ctx& ctx, TreeId t) {
@@ -169,11 +174,12 @@ bool complete_general(L3Ctx& ctx, Mask a, const std::vector<Mask>& d) {
   for (TreeId tr = 0; tr < topo.trees(); ++tr) {
     if (*ctx.budget == 0) return false;
     --*ctx.budget;
+    if (anytime_interrupt(ctx.clock, *ctx.budget)) return false;
     if (tree_in_chosen(ctx, tr)) continue;
 
     auto rem_solutions = tree_solutions(*ctx.state, *ctx.view, tr,
                                         sh.rem_full_leaves, sh.nodes_per_leaf,
-                                        *ctx.budget);
+                                        *ctx.budget, ctx.clock);
     for (const TreeSolution& rem_sol : rem_solutions) {
       // L2 indices usable for the remainder tree's full leaves.
       Mask viable_full = 0;
@@ -248,6 +254,7 @@ bool recurse_general(L3Ctx& ctx, std::size_t start, Mask a,
                      const std::vector<Mask>& d) {
   if (*ctx.budget == 0) return false;
   --*ctx.budget;
+  if (anytime_interrupt(ctx.clock, *ctx.budget)) return false;
   if (static_cast<int>(ctx.chosen.size()) == ctx.shape.full_trees) {
     return complete_general(ctx, a, d);
   }
@@ -322,7 +329,7 @@ Allocation materialize_general(const ClusterState& state,
 
 std::optional<Allocation> LeastConstrainedAllocator::allocate(
     const ClusterState& state, const JobRequest& request,
-    SearchStats* stats) const {
+    const AllocBudget& budget, SearchStats* stats) const {
   const FatTree& topo = state.topo();
   if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
     return std::nullopt;
@@ -330,7 +337,8 @@ std::optional<Allocation> LeastConstrainedAllocator::allocate(
   if (request.nodes > state.total_free_nodes()) return std::nullopt;
 
   const double demand = share_links_ ? request.bandwidth : 0.0;
-  return search(state, demand, /*ignore_links=*/false, exec_, request, stats);
+  return search(state, demand, /*ignore_links=*/false, exec_, request, budget,
+                stats);
 }
 
 BlockedReason LeastConstrainedAllocator::diagnose(
@@ -346,7 +354,8 @@ BlockedReason LeastConstrainedAllocator::diagnose(
   // placement found here but not by allocate() was rejected by the link
   // conditions.
   SearchStats stats;
-  if (search(state, 0.0, /*ignore_links=*/true, SearchExec{}, request, &stats)
+  if (search(state, 0.0, /*ignore_links=*/true, SearchExec{}, request,
+             AllocBudget{}, &stats)
           .has_value()) {
     return BlockedReason::kUplinkIsolation;
   }
@@ -357,16 +366,30 @@ BlockedReason LeastConstrainedAllocator::diagnose(
 std::optional<Allocation> LeastConstrainedAllocator::search(
     const ClusterState& state, double demand, bool ignore_links,
     const SearchExec& exec, const JobRequest& request,
-    SearchStats* stats) const {
+    const AllocBudget& latency, SearchStats* stats) const {
   const FatTree& topo = state.topo();
   const LinkView view = ignore_links ? LinkView::links_unconstrained(&state)
                                      : LinkView{&state, demand};
   std::uint64_t budget = step_budget_;
+  const AnytimeClock clock(latency);
+  const bool anytime = clock.active();
+  const AnytimeClock* scan_clock = anytime ? &clock : nullptr;
   auto record = [&](bool exhausted) {
     if (stats != nullptr) {
       stats->steps += step_budget_ - budget;
       stats->budget_exhausted = stats->budget_exhausted || exhausted;
+      stats->anytime = stats->anytime || anytime;
+      if (clock.ranked()) stats->slack_ns = clock.slack_ns();
     }
+  };
+  auto fold = [&](const CandidateScan& r) {
+    if (stats != nullptr) {
+      stats->probes += r.probes;
+      stats->deadline_expired = stats->deadline_expired || r.expired;
+    }
+  };
+  auto probe_clock = [&](std::size_t pos) -> const AnytimeClock* {
+    return (anytime && pos > 0) ? &clock : nullptr;
   };
 
   // Per-lane availability views for parallel probes: LinkView's lazy
@@ -393,23 +416,36 @@ std::optional<Allocation> LeastConstrainedAllocator::search(
       return lane_picks.empty() ? pick
                                 : lane_picks[static_cast<std::size_t>(lane)];
     };
-    const FirstFeasible r = first_feasible(
-        exec, shapes2.size() * n_trees, budget,
-        [&](int lane, std::size_t i, std::uint64_t& b) {
-          return find_two_level(state, view_for(lane), shapes2[i / n_trees],
-                                static_cast<TreeId>(i % n_trees), b,
-                                &pick_for(lane));
+    // Under a deadline, probe shapes quality-descending (fewest leaves
+    // touched first) so the min-position winner is the best-known fit.
+    const auto rank2 = clock.ranked() ? two_level_ranked_seq(request.nodes, topo)
+                                      : ShapeSeq<std::uint32_t>({});
+    auto shape_at = [&](std::size_t pos) {
+      const std::size_t s = pos / n_trees;
+      return clock.ranked() ? static_cast<std::size_t>(rank2[s]) : s;
+    };
+    const CandidateScan r = scan_first_feasible(
+        exec, shapes2.size() * n_trees, budget, scan_clock,
+        [&](int lane, std::size_t pos, std::uint64_t& b) {
+          return find_two_level(state, view_for(lane), shapes2[shape_at(pos)],
+                                static_cast<TreeId>(pos % n_trees), b,
+                                &pick_for(lane), probe_clock(pos));
         });
+    fold(r);
     if (r.winner >= 0) {
       record(false);
       const std::size_t w = static_cast<std::size_t>(r.winner);
-      return materialize(state, shapes2[w / n_trees], pick_for(r.winner_lane),
+      return materialize(state, shapes2[shape_at(w)], pick_for(r.winner_lane),
                          request.id, request.nodes, demand);
     }
     if (r.exhausted) {
       record(true);
       return std::nullopt;
     }
+    // On pass-1 expiry without a winner we still fall through: the general
+    // three-level family may hold the only feasible placement, and every
+    // scan probes its top-ranked candidate unclocked, so the overrun is
+    // bounded at one probe.
   }
 
   // Suffix-summed bucket counts, one row per tree: row[c] = leaves with
@@ -440,10 +476,25 @@ std::optional<Allocation> LeastConstrainedAllocator::search(
     };
     const std::vector<Mask> all(static_cast<std::size_t>(topo.l2_per_tree()),
                                 low_bits(topo.spines_per_group()));
-    const FirstFeasible r = first_feasible(
-        exec, shapes3.size(), budget,
+    // The general (any nodes-per-leaf) family is never tabled, so its
+    // quality-descending permutation is built at runtime per call.
+    std::vector<std::uint32_t> rank3;
+    if (clock.ranked()) {
+      rank3.resize(shapes3.size());
+      std::iota(rank3.begin(), rank3.end(), 0u);
+      std::stable_sort(rank3.begin(), rank3.end(),
+                       [&](std::uint32_t x, std::uint32_t y) {
+                         return three_level_shape_cost(shapes3[x]) <
+                                three_level_shape_cost(shapes3[y]);
+                       });
+    }
+    auto shape3_at = [&](std::size_t pos) {
+      return clock.ranked() ? static_cast<std::size_t>(rank3[pos]) : pos;
+    };
+    const CandidateScan r = scan_first_feasible(
+        exec, shapes3.size(), budget, scan_clock,
         [&](int lane, std::size_t si, std::uint64_t& b) {
-          const ThreeLevelShape& shape = shapes3[si];
+          const ThreeLevelShape& shape = shapes3[shape3_at(si)];
           // Node-count feasibility screen: enough trees must hold enough
           // sufficiently-free leaves before any link search is worth
           // running. Step-free, like the `continue`s it replaces.
@@ -464,7 +515,8 @@ std::optional<Allocation> LeastConstrainedAllocator::search(
           }
 
           const LinkView& lane_view = view_for(lane);
-          L3Ctx ctx{&state, &lane_view, shape, {}, {}, {}, {}, &b, nullptr};
+          L3Ctx ctx{&state,  &lane_view, shape, {}, {}, {}, {}, &b,
+                    nullptr, probe_clock(si)};
           for (TreeId t = 0; t < topo.trees(); ++t) {
             if (leaves_with_at_least(t, shape.nodes_per_leaf) <
                 shape.leaves_per_tree) {
@@ -472,7 +524,8 @@ std::optional<Allocation> LeastConstrainedAllocator::search(
             }
             auto solutions = tree_solutions(state, lane_view, t,
                                             shape.leaves_per_tree,
-                                            shape.nodes_per_leaf, b);
+                                            shape.nodes_per_leaf, b,
+                                            probe_clock(si));
             if (solutions.empty()) continue;
             ctx.cand_trees.push_back(t);
             ctx.cand_solutions.push_back(std::move(solutions));
@@ -484,12 +537,12 @@ std::optional<Allocation> LeastConstrainedAllocator::search(
           ctx.out = &pick_for(lane);
           return recurse_general(ctx, 0, ~Mask{0}, all);
         });
+    fold(r);
     if (r.winner >= 0) {
       record(false);
-      return materialize_general(state,
-                                 shapes3[static_cast<std::size_t>(r.winner)],
-                                 pick_for(r.winner_lane), request.id,
-                                 request.nodes, demand);
+      return materialize_general(
+          state, shapes3[shape3_at(static_cast<std::size_t>(r.winner))],
+          pick_for(r.winner_lane), request.id, request.nodes, demand);
     }
     if (r.exhausted) {
       record(true);

@@ -39,9 +39,11 @@ class LeastConstrainedAllocator final : public Allocator {
   std::string name() const override { return share_links_ ? "LC+S" : "LC"; }
   bool isolating() const override { return !share_links_; }
 
+  using Allocator::allocate;
   std::optional<Allocation> allocate(const ClusterState& state,
                                      const JobRequest& request,
-                                     SearchStats* stats = nullptr) const override;
+                                     const AllocBudget& budget,
+                                     SearchStats* stats) const override;
 
   /// §3.2 condition-class attribution: re-runs the two-level and general
   /// three-level probe loops with link occupancy (and bandwidth demand)
@@ -52,9 +54,13 @@ class LeastConstrainedAllocator final : public Allocator {
  private:
   /// The probe loop shared by allocate() (live availability lens,
   /// installed exec) and diagnose() (links-unconstrained, sequential).
+  /// An active `latency` turns both passes anytime; the general
+  /// three-level family is never tabled, so its quality-descending order
+  /// is computed at runtime per call.
   std::optional<Allocation> search(const ClusterState& state, double demand,
                                    bool ignore_links, const SearchExec& exec,
                                    const JobRequest& request,
+                                   const AllocBudget& latency,
                                    SearchStats* stats) const;
 
   bool share_links_;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -40,6 +41,76 @@
 #include "util/thread_pool.hpp"
 
 namespace jigsaw {
+
+/// Latency budget for one allocate() call. Default-constructed it is
+/// inactive and every scheme runs its exact exhaustive scan (the
+/// bit-identical golden-pinned path). With deadline_ns > 0 the search
+/// turns anytime: candidates are probed in quality-descending order and
+/// the best feasible placement found so far is committed when the
+/// deadline expires. `abort` is a cooperative kill switch (the
+/// PerfectClearNET pattern): when non-null and set, the scan stops at
+/// the next check without changing the candidate order, so an abort
+/// flag that never fires keeps results bit-identical to the default.
+struct AllocBudget {
+  std::int64_t deadline_ns = 0;          ///< 0 = no deadline
+  const std::atomic<bool>* abort = nullptr;
+
+  bool active() const { return deadline_ns > 0 || abort != nullptr; }
+};
+
+/// One allocate() call's view of its AllocBudget: the start timestamp is
+/// read once at construction and shared by every pass, so a deadline
+/// bounds the whole call, not each pass. Cheap to copy-construct; all
+/// queries are const.
+class AnytimeClock {
+ public:
+  explicit AnytimeClock(const AllocBudget& budget)
+      : deadline_ns_(budget.deadline_ns),
+        abort_(budget.abort),
+        start_(std::chrono::steady_clock::now()) {}
+
+  bool active() const { return deadline_ns_ > 0 || abort_ != nullptr; }
+  /// Quality-descending candidate order engages only under a real
+  /// deadline. An abort-only budget keeps the canonical order (and
+  /// therefore the deterministic ledger replay) so that a flag that
+  /// never fires is bit-identical to no budget at all.
+  bool ranked() const { return deadline_ns_ > 0; }
+
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  /// Remaining time under the deadline; negative once blown. 0 when no
+  /// deadline is set.
+  std::int64_t slack_ns() const {
+    return deadline_ns_ > 0 ? deadline_ns_ - elapsed_ns() : 0;
+  }
+  bool expired() const {
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_ns_ > 0 && elapsed_ns() >= deadline_ns_;
+  }
+
+ private:
+  std::int64_t deadline_ns_;
+  const std::atomic<bool>* abort_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Mid-probe cooperative deadline check, piggybacked on the step-budget
+/// ledger every find_* search already decrements: the clock is consulted
+/// only when the low bits of the remaining budget hit zero (once per
+/// 1024 steps), and the default path passes a null clock, so the check
+/// costs one pointer test there.
+inline constexpr std::uint64_t kAnytimeCheckMask = 0x3FF;
+
+inline bool anytime_interrupt(const AnytimeClock* clock,
+                              std::uint64_t budget) {
+  return clock != nullptr && (budget & kAnytimeCheckMask) == 0 &&
+         clock->expired();
+}
 
 /// How an allocator's candidate scans execute. Default: sequential,
 /// bit-identical to the historical single-threaded search. With a pool
@@ -142,6 +213,140 @@ FirstFeasible first_feasible(const SearchExec& exec, std::size_t count,
     }
   }
   budget = remaining;
+  return result;
+}
+
+/// Result of one deadline-aware candidate scan. `winner` is a *scan
+/// position* (the caller maps positions to candidate indices — identity
+/// in canonical order, a ranked permutation in anytime mode), so in
+/// quality-descending order the min-position reduction below IS the
+/// max-score reduction: the lowest winning position is the best-fitting
+/// feasible candidate seen before expiry.
+struct CandidateScan {
+  std::ptrdiff_t winner = -1;  ///< winning scan position, -1 none
+  int winner_lane = 0;         ///< lane whose probe produced the winner
+  bool exhausted = false;      ///< scan hit the step budget
+  bool expired = false;        ///< deadline/abort cut the scan short
+  std::uint64_t probes = 0;    ///< candidate probes charged to the scan
+};
+
+/// Deadline-aware candidate scan. With a null or inactive clock this is
+/// exactly first_feasible() (same committed position, same budget, same
+/// exhaustion flag — bit-identical by construction). With an active
+/// clock the scan checks expiry between probes (and, via the clock the
+/// probe threads into its find_* call, within long probes); position 0
+/// is always probed to completion so even a 1ns deadline returns a
+/// verdict on the top-ranked candidate. On expiry the best (lowest)
+/// feasible position among the probes that finished is committed.
+template <typename Probe>
+CandidateScan scan_first_feasible(const SearchExec& exec, std::size_t count,
+                                  std::uint64_t& budget,
+                                  const AnytimeClock* clock, Probe&& probe) {
+  CandidateScan result;
+  const bool anytime = clock != nullptr && clock->active();
+  if (!exec.parallel() || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (anytime && i > 0 && clock->expired()) {
+        result.expired = true;
+        return result;
+      }
+      ++result.probes;
+      if (probe(0, i, budget)) {
+        result.winner = static_cast<std::ptrdiff_t>(i);
+        return result;
+      }
+      if (budget == 0) {
+        result.exhausted = true;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  const std::uint64_t full = budget;
+  std::vector<std::uint64_t> steps(count, 0);
+  std::vector<unsigned char> feasible(count, 0);
+  std::vector<unsigned char> probed(count, 0);
+  std::vector<int> owner(count, 0);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> hint{count};  // lowest feasible position found
+  std::atomic<bool> stop{false};
+
+  exec.pool->run([&](int lane) {
+    while (true) {
+      if (anytime && stop.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (i > hint.load(std::memory_order_relaxed)) return;
+      // Position 0 is exempt from the expiry gate: some lane always
+      // probes the top-ranked candidate, the liveness floor the
+      // sequential path guarantees.
+      if (anytime && i > 0 && clock->expired()) {
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::uint64_t b = full;
+      const bool ok = probe(lane, i, b);
+      steps[i] = full - b;
+      feasible[i] = ok ? 1 : 0;
+      probed[i] = 1;
+      owner[i] = lane;
+      if (ok) {
+        std::size_t h = hint.load(std::memory_order_relaxed);
+        while (i < h && !hint.compare_exchange_weak(
+                            h, i, std::memory_order_relaxed)) {
+        }
+        return;
+      }
+    }
+  });
+
+  if (!(anytime && stop.load(std::memory_order_relaxed))) {
+    // No lane saw the deadline fire: the full fan-out completed, so the
+    // exact budget-ledger replay from first_feasible() applies and the
+    // result is bit-identical to the sequential scan.
+    std::uint64_t remaining = budget;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (steps[i] > remaining) {
+        budget = 0;
+        result.exhausted = true;
+        return result;
+      }
+      remaining -= steps[i];
+      ++result.probes;
+      if (feasible[i]) {
+        budget = remaining;
+        result.winner = static_cast<std::ptrdiff_t>(i);
+        result.winner_lane = owner[i];
+        return result;
+      }
+      if (remaining == 0) {
+        budget = 0;
+        result.exhausted = true;
+        return result;
+      }
+    }
+    budget = remaining;
+    return result;
+  }
+
+  // Deadline fired mid-scan: commit the best feasible position among
+  // the probes that finished. Lanes that won stopped pulling, so the
+  // lowest probed feasible position is exactly the hint CAS floor.
+  result.expired = true;
+  std::size_t best = count;
+  std::uint64_t used = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!probed[i]) continue;
+    ++result.probes;
+    used += steps[i];
+    if (feasible[i] && i < best) best = i;
+  }
+  if (best < count) {
+    result.winner = static_cast<std::ptrdiff_t>(best);
+    result.winner_lane = owner[best];
+  }
+  budget = used >= budget ? 0 : budget - used;
   return result;
 }
 

@@ -23,6 +23,7 @@ struct TwoLevelCtx {
   std::vector<LeafId> chosen;
   std::uint64_t* budget;
   TwoLevelPick* out;
+  const AnytimeClock* clock = nullptr;
 };
 
 /// Base case: LT full leaves chosen with common-uplink mask `inter`;
@@ -77,6 +78,7 @@ bool complete_two_level(TwoLevelCtx& ctx, Mask inter) {
 bool recurse_two_level(TwoLevelCtx& ctx, std::size_t start, Mask inter) {
   if (*ctx.budget == 0) return false;
   --*ctx.budget;
+  if (anytime_interrupt(ctx.clock, *ctx.budget)) return false;
   if (static_cast<int>(ctx.chosen.size()) == ctx.shape.full_leaves) {
     return complete_two_level(ctx, inter);
   }
@@ -97,7 +99,8 @@ bool recurse_two_level(TwoLevelCtx& ctx, std::size_t start, Mask inter) {
 
 bool find_two_level(const ClusterState& state, const LinkView& view,
                     const TwoLevelShape& shape, TreeId tree,
-                    std::uint64_t& budget, TwoLevelPick* out) {
+                    std::uint64_t& budget, TwoLevelPick* out,
+                    const AnytimeClock* clock) {
   const FatTree& topo = state.topo();
   // Index prescreen: the recursion needs full_leaves sufficiently-free
   // leaves, so a handful of bucket reads settles most trees before any
@@ -110,7 +113,7 @@ bool find_two_level(const ClusterState& state, const LinkView& view,
   if (popcount(eligible) < shape.full_leaves) return false;
 
   TwoLevelCtx ctx{&state,  &view,  shape, tree, shape.leaves_touched() > 1,
-                  {},      {},     {},    &budget, out};
+                  {},      {},     {},    &budget, out, clock};
   // Best fit: prefer the leaves with the fewest free nodes, so partially
   // used leaves fill up and pristine leaves stay available for the
   // whole-leaf three-level placements large jobs need. This ordering is
@@ -147,6 +150,7 @@ struct ThreeLevelCtx {
   std::vector<TreeId> chosen;
   std::uint64_t* budget;
   ThreeLevelPick* out;
+  const AnytimeClock* clock = nullptr;
 };
 
 /// Lowest `count` fully-available leaves of tree t; empty when scarce.
@@ -267,6 +271,7 @@ bool complete_three_level(ThreeLevelCtx& ctx, const std::vector<Mask>& inter) {
   for (TreeId tr = 0; tr < topo.trees(); ++tr) {
     if (*ctx.budget == 0) return false;
     --*ctx.budget;
+    if (anytime_interrupt(ctx.clock, *ctx.budget)) return false;
     if (std::find(ctx.chosen.begin(), ctx.chosen.end(), tr) !=
         ctx.chosen.end()) {
       continue;
@@ -280,6 +285,7 @@ bool recurse_three_level(ThreeLevelCtx& ctx, std::size_t start,
                          const std::vector<Mask>& inter) {
   if (*ctx.budget == 0) return false;
   --*ctx.budget;
+  if (anytime_interrupt(ctx.clock, *ctx.budget)) return false;
   if (static_cast<int>(ctx.chosen.size()) == ctx.shape.full_trees) {
     return complete_three_level(ctx, inter);
   }
@@ -307,13 +313,14 @@ bool find_three_level_full_leaves(const ClusterState& state,
                                   const LinkView& view,
                                   const ThreeLevelShape& shape,
                                   std::uint64_t& budget,
-                                  ThreeLevelPick* out) {
+                                  ThreeLevelPick* out,
+                                  const AnytimeClock* clock) {
   const FatTree& topo = state.topo();
   if (shape.nodes_per_leaf != topo.nodes_per_leaf()) {
     throw std::invalid_argument(
         "find_three_level_full_leaves: shape must use whole leaves");
   }
-  ThreeLevelCtx ctx{&state, &view, shape, {}, {}, {}, &budget, out};
+  ThreeLevelCtx ctx{&state, &view, shape, {}, {}, {}, &budget, out, clock};
   const int w2 = topo.l2_per_tree();
   const Mask all_leaf_up = low_bits(w2);
   for (TreeId t = 0; t < topo.trees(); ++t) {

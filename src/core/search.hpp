@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/parallel_search.hpp"  // AnytimeClock
 #include "core/shapes.hpp"
 #include "topology/cluster_state.hpp"
 
@@ -126,17 +127,22 @@ struct ThreeLevelPick {
 /// Searches subtree `tree` for a placement of `shape`. Decrements `budget`
 /// per backtracking step and gives up at zero. First-fit over ascending
 /// leaf indices; the remainder leaf is chosen best-fit (fewest free nodes
-/// that still suffice) to conserve empty leaves.
+/// that still suffice) to conserve empty leaves. A non-null `clock` makes
+/// long searches cooperative: every 1024 steps (anytime_interrupt) an
+/// expired deadline truncates the recursion, reporting infeasible for the
+/// rest of this candidate — the default null clock costs one pointer test.
 bool find_two_level(const ClusterState& state, const LinkView& view,
                     const TwoLevelShape& shape, TreeId tree,
-                    std::uint64_t& budget, TwoLevelPick* out);
+                    std::uint64_t& budget, TwoLevelPick* out,
+                    const AnytimeClock* clock = nullptr);
 
 /// Searches the whole machine for a placement of a whole-leaf three-level
 /// shape (shape.nodes_per_leaf must equal the topology's nodes-per-leaf).
 bool find_three_level_full_leaves(const ClusterState& state,
                                   const LinkView& view,
                                   const ThreeLevelShape& shape,
-                                  std::uint64_t& budget, ThreeLevelPick* out);
+                                  std::uint64_t& budget, ThreeLevelPick* out,
+                                  const AnytimeClock* clock = nullptr);
 
 /// Expand a pick into the concrete resource set. `demand` is copied into
 /// Allocation::bandwidth.

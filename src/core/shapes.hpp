@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "topology/fat_tree.hpp"
@@ -61,5 +62,27 @@ std::vector<TwoLevelShape> two_level_shapes(int size, const FatTree& topo);
 /// (fewest-subtrees first).
 std::vector<ThreeLevelShape> three_level_shapes(int size, const FatTree& topo,
                                                 bool restrict_full_leaves);
+
+/// Anytime-mode fit score, lower = better. The canonical enumeration
+/// order is densest-nL first but not strictly quality-descending (a
+/// shape touching fewer leaves can appear after one touching more);
+/// these costs give the total order the anytime scan probes in, so a
+/// min-position reduction over ranked positions is a max-quality
+/// reduction. Two-level: fewest leaves touched, then densest leaves.
+std::uint64_t two_level_shape_cost(const TwoLevelShape& shape);
+
+/// Three-level: fewest subtrees touched, then fewest leaves touched,
+/// then densest leaves — fewer uplinks claimed and less spine pressure.
+std::uint64_t three_level_shape_cost(const ThreeLevelShape& shape);
+
+/// Quality-descending permutation of `shapes` indices: position p of the
+/// returned array holds the index of the p-th best shape by
+/// two_level_shape_cost (stable — canonical order breaks cost ties, so
+/// the ranking is deterministic and reproducible from the shape list).
+std::vector<std::uint32_t> ranked_two_level_order(
+    const std::vector<TwoLevelShape>& shapes);
+
+std::vector<std::uint32_t> ranked_three_level_order(
+    const std::vector<ThreeLevelShape>& shapes);
 
 }  // namespace jigsaw

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 namespace jigsaw {
 
@@ -82,6 +83,7 @@ bool fill_from_tree(const ClusterState& state, TreeId t, int count,
 
 std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
                                                 const JobRequest& request,
+                                                const AllocBudget& latency,
                                                 SearchStats* stats) const {
   const FatTree& topo = state.topo();
   if (request.nodes < 1 || request.nodes > topo.total_nodes()) {
@@ -89,6 +91,11 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
   }
   const int m1 = topo.nodes_per_leaf();
   const int tree_capacity = m1 * topo.leaves_per_tree();
+  // Only the intra-subtree tier has a candidate scan to bound; the other
+  // two tiers are single O(leaves)/O(trees) sweeps cheaper than a clock
+  // read per element.
+  const AnytimeClock clock(latency);
+  if (stats != nullptr && clock.active()) stats->anytime = true;
 
   Allocation a;
   a.job = request.id;
@@ -120,6 +127,19 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
     // has no step budget; each tree probe charges exactly one step to a
     // synthetic budget that cannot exhaust, so the scan engine's ledger
     // reproduces the historical one-increment-per-tree-visited stats.
+    // Anytime mode probes trees best-fit (fewest free nodes first): the
+    // min-position winner is then the placement that packs tightest and
+    // implicitly reserves the fewest pristine leaves.
+    std::vector<TreeId> ranked;
+    if (clock.ranked()) {
+      ranked.resize(static_cast<std::size_t>(topo.trees()));
+      std::iota(ranked.begin(), ranked.end(), 0);
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [&](TreeId x, TreeId y) {
+                         return state.tree_free_nodes(x) <
+                                state.tree_free_nodes(y);
+                       });
+    }
     const std::size_t lanes = static_cast<std::size_t>(exec_.lanes());
     std::vector<Allocation> lane_allocs(lanes > 1 ? lanes : 0);
     auto alloc_for = [&](int lane) -> Allocation& {
@@ -129,11 +149,13 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
     };
     std::uint64_t budget = static_cast<std::uint64_t>(topo.trees()) + 1;
     const std::uint64_t full = budget;
-    const FirstFeasible r = first_feasible(
+    const CandidateScan r = scan_first_feasible(
         exec_, static_cast<std::size_t>(topo.trees()), budget,
+        clock.active() ? &clock : nullptr,
         [&](int lane, std::size_t ti, std::uint64_t& b) {
           --b;
-          const TreeId t = static_cast<TreeId>(ti);
+          const TreeId t =
+              clock.ranked() ? ranked[ti] : static_cast<TreeId>(ti);
           // Usable capacity never exceeds the tree's free-node index, so
           // a short tree can be skipped without the per-leaf uplink scan.
           if (state.tree_free_nodes(t) < request.nodes) return false;
@@ -153,7 +175,12 @@ std::optional<Allocation> TaAllocator::allocate(const ClusterState& state,
           out.clear();
           return false;
         });
-    if (stats != nullptr) stats->steps += full - budget;
+    if (stats != nullptr) {
+      stats->steps += full - budget;
+      stats->probes += r.probes;
+      stats->deadline_expired = stats->deadline_expired || r.expired;
+      if (clock.ranked()) stats->slack_ns = clock.slack_ns();
+    }
     if (r.winner >= 0) return std::move(alloc_for(r.winner_lane));
     return std::nullopt;
   }

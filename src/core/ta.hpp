@@ -31,9 +31,11 @@ class TaAllocator final : public Allocator {
   std::string name() const override { return "TA"; }
   bool isolating() const override { return true; }
 
+  using Allocator::allocate;
   std::optional<Allocation> allocate(const ClusterState& state,
                                      const JobRequest& request,
-                                     SearchStats* stats = nullptr) const override;
+                                     const AllocBudget& budget,
+                                     SearchStats* stats) const override;
 
   /// Condition-class attribution mirroring the three placement tiers:
   /// a tier that would admit the job once implicit uplink/spine

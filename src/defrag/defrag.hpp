@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -70,6 +71,13 @@ struct MigrationCandidate {
   const Allocation* allocation = nullptr;
   /// Bandwidth the job requested at admission (re-placement preserves it).
   double bandwidth = 0.0;
+  /// Simulated seconds until the job would finish on its own. The ranking
+  /// discounts a victim's consolidation gain by
+  /// remaining / (remaining + migration_cost): a job about to release its
+  /// partition anyway is a poor victim — pausing it costs a full
+  /// migration for space that was nearly free. The infinite default (for
+  /// callers without runtime knowledge) leaves the gain undiscounted.
+  double remaining = std::numeric_limits<double>::infinity();
 };
 
 struct DefragPlannerStats {

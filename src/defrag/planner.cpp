@@ -1,6 +1,7 @@
 #include "defrag/defrag.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/fragmentation.hpp"
 
@@ -14,12 +15,16 @@ struct RankedCandidate {
 };
 
 /// Rank candidates by the consolidation score of the state with their
-/// allocation released: victims whose departure leaves the freest
-/// contiguous block are tried first. Ties break toward the lower job id
+/// allocation released, discounted by how long the victim would otherwise
+/// keep running: a job finishing in a few seconds frees its partition for
+/// free, so paying migration_cost to evict it early buys almost nothing.
+/// The discount remaining / (remaining + migration_cost) is 1 for
+/// long-runners (and for the infinite no-estimate default) and approaches
+/// 0 as the victim nears completion. Ties break toward the lower job id
 /// so the ordering — and therefore the whole search — is deterministic.
 std::vector<RankedCandidate> rank_candidates(
     ClusterState& state, const std::vector<MigrationCandidate>& candidates,
-    int keep) {
+    int keep, double migration_cost) {
   std::vector<RankedCandidate> ranked;
   ranked.reserve(candidates.size());
   for (const MigrationCandidate& c : candidates) {
@@ -28,7 +33,12 @@ std::vector<RankedCandidate> rank_candidates(
     }
     ClusterState::Txn txn(state);
     state.release(*c.allocation);
-    ranked.push_back({&c, consolidation(state).score});
+    double discount = 1.0;
+    if (std::isfinite(c.remaining) && migration_cost > 0.0) {
+      const double remaining = std::max(c.remaining, 0.0);
+      discount = remaining / (remaining + migration_cost);
+    }
+    ranked.push_back({&c, consolidation(state).score * discount});
   }
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const RankedCandidate& a, const RankedCandidate& b) {
@@ -52,7 +62,8 @@ std::optional<DefragPlan> DefragPlanner::plan(
   if (config_.max_moves < 1 || head.nodes < 1) return std::nullopt;
 
   const std::vector<RankedCandidate> ranked =
-      rank_candidates(state, candidates, std::max(config_.max_candidates, 1));
+      rank_candidates(state, candidates, std::max(config_.max_candidates, 1),
+                      config_.migration_cost);
   const int n = static_cast<int>(ranked.size());
   if (n == 0) return std::nullopt;
 

@@ -189,6 +189,7 @@ void ShardSet::stop() {
 void ShardSet::worker_main(int shard) {
   Shard& w = *workers_[static_cast<std::size_t>(shard)];
   std::vector<Task> batch;
+  std::vector<Reply> replies;
   while (true) {
     {
       std::unique_lock<std::mutex> lock(w.mu);
@@ -200,9 +201,12 @@ void ShardSet::worker_main(int shard) {
       w.inbox.clear();
     }
     // The whole inbox applies back-to-back (admission batching) before
-    // the owned daemons advance their clocks / flush their WALs.
-    for (Task& t : batch) run_task(t);
+    // the owned daemons advance their clocks / flush their WALs. The
+    // replies coalesce into one outbox burst and one reactor wake —
+    // per-reply wake() calls would cost a syscall each under load.
+    for (Task& t : batch) run_task(t, &replies);
     batch.clear();
+    flush_replies(replies);
     for (int c = shard; c < clusters_; c += shards_) {
       daemons_[static_cast<std::size_t>(c)]->on_idle();
     }
@@ -212,7 +216,7 @@ void ShardSet::worker_main(int shard) {
   }
 }
 
-void ShardSet::run_task(Task& t) {
+void ShardSet::run_task(Task& t, std::vector<Reply>* sink) {
   ServiceDaemon& d = *daemons_[static_cast<std::size_t>(t.cluster)];
   std::string part =
       t.metrics_text ? d.metrics_text() : d.handle_line(t.line);
@@ -221,10 +225,11 @@ void ShardSet::run_task(Task& t) {
     return;
   }
   if (t.bcast != nullptr) {
-    finish_part(t.bcast, t.cluster, std::move(part));
+    finish_part(t.bcast, t.cluster, std::move(part), sink);
     return;
   }
-  deliver(Reply{t.client, std::move(part), /*raw=*/false, /*close=*/false});
+  deliver(Reply{t.client, std::move(part), /*raw=*/false, /*close=*/false},
+          sink);
 }
 
 void ShardSet::enqueue(Task task) {
@@ -237,7 +242,7 @@ void ShardSet::enqueue(Task task) {
 }
 
 void ShardSet::finish_part(const std::shared_ptr<Broadcast>& b, int cluster,
-                           std::string part) {
+                           std::string part, std::vector<Reply>* sink) {
   bool last = false;
   {
     std::lock_guard<std::mutex> lock(b->mu);
@@ -247,14 +252,30 @@ void ShardSet::finish_part(const std::shared_ptr<Broadcast>& b, int cluster,
   if (!last) return;
   std::string reply = compose(b->op, b->seq, b->http, b->parts);
   deliver(Reply{b->client, std::move(reply), /*raw=*/b->http,
-                /*close=*/b->http});
+                /*close=*/b->http},
+          sink);
 }
 
-void ShardSet::deliver(Reply reply) {
+void ShardSet::deliver(Reply reply, std::vector<Reply>* sink) {
+  if (sink != nullptr) {
+    sink->push_back(std::move(reply));
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(outbox_mu_);
     outbox_.push_back(std::move(reply));
   }
+  if (reactor_ != nullptr) reactor_->wake();
+}
+
+void ShardSet::flush_replies(std::vector<Reply>& replies) {
+  if (replies.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    outbox_.insert(outbox_.end(), std::make_move_iterator(replies.begin()),
+                   std::make_move_iterator(replies.end()));
+  }
+  replies.clear();
   if (reactor_ != nullptr) reactor_->wake();
 }
 

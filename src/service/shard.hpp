@@ -167,13 +167,20 @@ class ShardSet {
                      const std::string& line);
 
   void worker_main(int shard);
-  void run_task(Task& t);
+  /// `sink` (when non-null) collects this task's replies instead of
+  /// publishing them one by one: worker_main drains its whole inbox into
+  /// a local batch and flushes it with a single outbox splice and a
+  /// single reactor wake, instead of one lock round-trip and one wake()
+  /// syscall per reply.
+  void run_task(Task& t, std::vector<Reply>* sink);
   void enqueue(Task task);
   /// Worker side of a broadcast: record this cluster's part; the last
   /// one composes and delivers.
   void finish_part(const std::shared_ptr<Broadcast>& b, int cluster,
-                   std::string part);
-  void deliver(Reply reply);
+                   std::string part, std::vector<Reply>* sink);
+  void deliver(Reply reply, std::vector<Reply>* sink);
+  /// Publish a batch of replies: one outbox lock, one wake.
+  void flush_replies(std::vector<Reply>& replies);
 
   /// Fan one task per cluster (threaded) or loop inline; returns the
   /// composed reply in inline mode, "" in threaded mode.

@@ -106,7 +106,8 @@ SimEngine::SimEngine(const FatTree& topo, const Allocator& allocator,
       so_(config_.obs),
       state_(topo, config.usable_bandwidth),
       scheduler_(allocator, config.backfill_window, config.backfill_order,
-                 config.admission_quick_reject),
+                 config.admission_quick_reject,
+                 AllocBudget{config.alloc_deadline_us * 1000, nullptr}),
       timeline_(topo.total_nodes()) {
   // Measured interference penalizes schedulers without isolation
   // guarantees (in this library: Baseline) instead of speeding up the
@@ -496,8 +497,9 @@ void SimEngine::maybe_plan_defrag(double now) {
   std::vector<MigrationCandidate> candidates;
   candidates.reserve(running_.size());
   for (const RunningJob& r : running_) {
-    candidates.push_back(
-        MigrationCandidate{r.id, &r.allocation, r.allocation.bandwidth});
+    candidates.push_back(MigrationCandidate{r.id, &r.allocation,
+                                            r.allocation.bandwidth,
+                                            r.end_time - now});
   }
   DefragPlannerStats stats;
   std::optional<DefragPlan> plan =

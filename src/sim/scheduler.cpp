@@ -25,6 +25,18 @@ struct PassObs {
   obs::Counter* backfill_rejected = nullptr;
   obs::Counter* cache_hits = nullptr;
   obs::Counter* quick_rejects = nullptr;
+  /// Anytime (deadline-bounded) search surface. deadline_hits counts
+  /// allocate calls whose search expired before exhausting the candidate
+  /// space; anytime_commits the subset that still committed a placement
+  /// (the best-so-far under the quality-descending order);
+  /// probes_at_expiry accumulates how many candidates those expired calls
+  /// managed to probe. deadline_slack records deadline-minus-elapsed
+  /// seconds per deadline-bounded call (negative = overran; the
+  /// histogram's underflow bucket absorbs those).
+  obs::Counter* deadline_hits = nullptr;
+  obs::Counter* anytime_commits = nullptr;
+  obs::Counter* probes_at_expiry = nullptr;
+  obs::Histogram* deadline_slack = nullptr;
   obs::Histogram* call_seconds = nullptr;
   obs::Histogram* steps_per_call = nullptr;
   /// Blocked-reason attribution (§3.2 condition classes): one counter per
@@ -48,6 +60,10 @@ struct PassObs {
     backfill_rejected = &m.counter("sched.backfill_rejected");
     cache_hits = &m.counter("sched.cache_hits");
     quick_rejects = &m.counter("sched.quick_reject");
+    deadline_hits = &m.counter("sched.deadline_hits");
+    anytime_commits = &m.counter("sched.anytime_commits");
+    probes_at_expiry = &m.counter("alloc.probes_at_expiry");
+    deadline_slack = &m.histogram("alloc.deadline_slack_seconds");
     call_seconds = &m.histogram("alloc.call_seconds");
     steps_per_call = &m.histogram("alloc.search_steps_per_call");
     head_blocked_passes = &m.counter("sched.head_blocked_passes");
@@ -145,7 +161,7 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
     obs::ScopedTimer timer(po.call_seconds, po.call_seconds != nullptr);
     auto result =
         allocator_->allocate(s, JobRequest{p.id, p.nodes, p.bandwidth},
-                             &search);
+                             alloc_budget_, &search);
     timer.stop();
     if (search_out != nullptr) *search_out = search;
     if (stats != nullptr) {
@@ -159,6 +175,16 @@ std::vector<EasyScheduler::Decision> EasyScheduler::schedule(
       po.search_steps->add(search.steps);
       if (search.budget_exhausted) po.budget_exhaustions->add();
       po.steps_per_call->add(static_cast<double>(search.steps));
+      if (search.anytime) {
+        if (alloc_budget_.deadline_ns > 0) {
+          po.deadline_slack->add(static_cast<double>(search.slack_ns) * 1e-9);
+        }
+        if (search.deadline_expired) {
+          po.deadline_hits->add();
+          po.probes_at_expiry->add(search.probes);
+          if (result.has_value()) po.anytime_commits->add();
+        }
+      }
     }
     if (po.tracing) {
       obs::TraceEvent e = obs::instant("alloc", "alloc.attempt", now);

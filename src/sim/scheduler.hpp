@@ -61,11 +61,15 @@ class EasyScheduler {
   /// is decision-neutral; it changes only the work done, never which
   /// jobs start. Off by default because golden tests pin exact
   /// allocate-call counts.
+  /// `alloc_budget` bounds every placement search the pass issues (head,
+  /// shadow probe, backfill) with the allocator's anytime deadline; the
+  /// default inactive budget keeps the historical exhaustive behavior
+  /// bit-identical.
   EasyScheduler(const Allocator& allocator, int backfill_window,
                 BackfillOrder order = BackfillOrder::kFifo,
-                bool quick_reject = false)
+                bool quick_reject = false, AllocBudget alloc_budget = {})
       : allocator_(&allocator), window_(backfill_window), order_(order),
-        quick_reject_(quick_reject) {}
+        quick_reject_(quick_reject), alloc_budget_(alloc_budget) {}
 
   struct Decision {
     std::size_t pending_index;
@@ -137,6 +141,7 @@ class EasyScheduler {
   int window_;
   BackfillOrder order_;
   bool quick_reject_;
+  AllocBudget alloc_budget_;
 };
 
 }  // namespace jigsaw

@@ -190,6 +190,41 @@ TEST(DefragPlanner, ProbeBudgetAndMoveCapAreHardLimits) {
                    .has_value());
 }
 
+TEST(DefragPlanner, NearFinishedVictimsRankBelowLongRunners) {
+  const FatTree t(4, 4, 4);
+  ClusterState state(t);
+  const JigsawAllocator jigsaw;
+  const std::vector<Allocation> held = crafted_state(jigsaw, state);
+  const JobRequest head{8, 12, 0.0};
+
+  // A (job 2) and B (job 4) are interchangeable consolidation-wise; with
+  // A about to finish, its gain is discounted by 1/(1 + migration_cost)
+  // and the long-running B outranks it, so the planner migrates B.
+  std::vector<MigrationCandidate> candidates = as_candidates(held);
+  candidates[0].remaining = 1.0;      // A: nearly done, poor victim
+  candidates[1].remaining = 10000.0;  // B: long runner
+  DefragConfig config;
+  auto plan = DefragPlanner(jigsaw, config).plan(state, head, candidates);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->moves.size(), 1u);
+  EXPECT_EQ(plan->moves[0].job, 4);
+
+  // Keeping only the top-ranked candidate prunes the near-finished job
+  // out of the search entirely — the single survivor is still B.
+  config.max_candidates = 1;
+  plan = DefragPlanner(jigsaw, config).plan(state, head, candidates);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->moves.size(), 1u);
+  EXPECT_EQ(plan->moves[0].job, 4);
+
+  // With no runtime estimates (the infinite default) the discount is
+  // inert and the historical lower-job-id tie-break still picks A.
+  plan = DefragPlanner(jigsaw, DefragConfig{})
+             .plan(state, head, as_candidates(held));
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->moves[0].job, 2);
+}
+
 TEST(DefragPlanner, NoCandidatesOrImmovableJobsYieldNoPlan) {
   const FatTree t(4, 4, 4);
   ClusterState state(t);

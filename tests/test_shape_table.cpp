@@ -139,11 +139,12 @@ TEST(ShapeTable, CorruptTruncatedAndMismatchedFilesFailCleanly) {
   const std::string path = temp_path("corrupt");
   std::mt19937_64 rng(0xC0221071ULL);
 
-  // Version mismatch: bump the version field (offset 8) — must name the
-  // versions in the error.
+  // Version mismatch: bump the version field (offset 8) past the known
+  // versions (1 canonical, 2 ranked) — must name the versions in the
+  // error.
   {
     std::string bytes = good;
-    bytes[8] = 2;
+    bytes[8] = 3;
     write_file(path, bytes);
     std::string error;
     EXPECT_EQ(ShapeTable::load(path, &error), nullptr);
